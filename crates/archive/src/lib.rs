@@ -1,0 +1,23 @@
+//! # saq-archive
+//!
+//! A simulated archival-storage substrate for the paper's §1 motivation:
+//! "often this data is archived off-line on very slow storage media (e.g.
+//! magnetic tape) in a remote central site... obtaining raw seismic data can
+//! take several days. Since the exact data points are not necessarily of
+//! interest, we can store instead an approximate representation that is much
+//! more compact, thus can be stored locally."
+//!
+//! Nothing here sleeps: media are *cost models* and accesses accrue
+//! simulated seconds, so experiments measure the latency shape (local
+//! representation ≪ remote raw) deterministically. This substitutes for the
+//! remote tape archive the paper's scientists fought with (DESIGN.md,
+//! substitution 2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod medium;
+mod store;
+
+pub use medium::{AccessCost, Medium};
+pub use store::{ArchiveStore, TieredStore};

@@ -1,0 +1,90 @@
+//! Storage-medium cost models.
+
+/// The cost of one archival access.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessCost {
+    /// Simulated seconds spent positioning (mount, seek, request queueing).
+    pub seek_seconds: f64,
+    /// Simulated seconds spent transferring payload bytes.
+    pub transfer_seconds: f64,
+}
+
+impl AccessCost {
+    /// Total simulated seconds.
+    pub fn total(&self) -> f64 {
+        self.seek_seconds + self.transfer_seconds
+    }
+}
+
+/// A storage medium's latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Medium {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Fixed positioning cost per access, in seconds.
+    pub seek_seconds: f64,
+    /// Sustained transfer rate in bytes per second.
+    pub bytes_per_second: f64,
+}
+
+impl Medium {
+    /// A remote tape silo: requests queue behind an operator/robot and the
+    /// geochemist of §1 ("obtaining raw seismic data can take several
+    /// days" is dominated by this term at scale).
+    pub fn remote_tape() -> Medium {
+        Medium { name: "remote-tape", seek_seconds: 90.0, bytes_per_second: 2.0e6 }
+    }
+
+    /// An on-site optical jukebox.
+    pub fn optical_jukebox() -> Medium {
+        Medium { name: "optical-jukebox", seek_seconds: 8.0, bytes_per_second: 4.0e6 }
+    }
+
+    /// A local spinning disk.
+    pub fn local_disk() -> Medium {
+        Medium { name: "local-disk", seek_seconds: 8.0e-3, bytes_per_second: 1.5e8 }
+    }
+
+    /// Local memory (representations cached in RAM).
+    pub fn memory() -> Medium {
+        Medium { name: "memory", seek_seconds: 1.0e-7, bytes_per_second: 1.0e10 }
+    }
+
+    /// Cost of reading `bytes` in one access.
+    pub fn access(&self, bytes: u64) -> AccessCost {
+        AccessCost {
+            seek_seconds: self.seek_seconds,
+            transfer_seconds: bytes as f64 / self.bytes_per_second,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_components_add_up() {
+        let tape = Medium::remote_tape();
+        let c = tape.access(2_000_000);
+        assert_eq!(c.seek_seconds, 90.0);
+        assert!((c.transfer_seconds - 1.0).abs() < 1e-9);
+        assert!((c.total() - 91.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn media_ordering_is_sane() {
+        let bytes = 8_000;
+        let tape = Medium::remote_tape().access(bytes).total();
+        let optical = Medium::optical_jukebox().access(bytes).total();
+        let disk = Medium::local_disk().access(bytes).total();
+        let ram = Medium::memory().access(bytes).total();
+        assert!(tape > optical && optical > disk && disk > ram);
+    }
+
+    #[test]
+    fn seek_dominates_small_reads_on_tape() {
+        let c = Medium::remote_tape().access(4_000);
+        assert!(c.seek_seconds > 100.0 * c.transfer_seconds);
+    }
+}

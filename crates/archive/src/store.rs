@@ -1,0 +1,232 @@
+//! Archive and tiered stores with simulated access accounting.
+
+use crate::medium::{AccessCost, Medium};
+use parking_lot::Mutex;
+use saq_core::{QueryOutcome, QuerySpec, Result, SequenceStore, StoreConfig};
+use saq_sequence::Sequence;
+use std::collections::HashMap;
+
+/// Bytes per raw sample: a timestamp and a value, both `f64`.
+const BYTES_PER_POINT: u64 = 16;
+
+/// Bytes per stored representation parameter.
+const BYTES_PER_PARAM: u64 = 8;
+
+/// Raw sequences living on a (simulated) slow medium. Every fetch accrues
+/// simulated latency.
+#[derive(Debug)]
+pub struct ArchiveStore {
+    medium: Medium,
+    sequences: HashMap<u64, Sequence>,
+    elapsed: Mutex<f64>,
+}
+
+impl ArchiveStore {
+    /// An empty archive on the given medium.
+    pub fn new(medium: Medium) -> ArchiveStore {
+        ArchiveStore { medium, sequences: HashMap::new(), elapsed: Mutex::new(0.0) }
+    }
+
+    /// Archives a raw sequence (writing is done off the query path and not
+    /// accounted).
+    pub fn put(&mut self, id: u64, seq: Sequence) {
+        self.sequences.insert(id, seq);
+    }
+
+    /// Number of archived sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Fetches a raw sequence, accruing simulated seek + transfer time.
+    pub fn fetch(&self, id: u64) -> Option<(&Sequence, AccessCost)> {
+        let seq = self.sequences.get(&id)?;
+        let cost = self.medium.access(seq.len() as u64 * BYTES_PER_POINT);
+        *self.elapsed.lock() += cost.total();
+        Some((seq, cost))
+    }
+
+    /// Total simulated seconds accrued by fetches so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        *self.elapsed.lock()
+    }
+
+    /// Resets the simulated clock.
+    pub fn reset_clock(&self) {
+        *self.elapsed.lock() = 0.0;
+    }
+}
+
+/// The paper's recommended architecture: compact representations on fast
+/// local storage, raw data archived remotely. Queries run locally; only a
+/// drill-down to raw data pays the archival price.
+#[derive(Debug)]
+pub struct TieredStore {
+    local: SequenceStore,
+    local_medium: Medium,
+    archive: ArchiveStore,
+}
+
+impl TieredStore {
+    /// Builds a tiered store; representations live on `local_medium`, raw
+    /// data on `archive_medium`.
+    pub fn new(
+        config: StoreConfig,
+        local_medium: Medium,
+        archive_medium: Medium,
+    ) -> Result<TieredStore> {
+        // The local tier never needs the raw copies.
+        let local = SequenceStore::new(StoreConfig { keep_raw: false, ..config })?;
+        Ok(TieredStore { local, local_medium, archive: ArchiveStore::new(archive_medium) })
+    }
+
+    /// Ingests a sequence into both tiers.
+    pub fn insert(&mut self, seq: &Sequence) -> Result<u64> {
+        let id = self.local.insert(seq)?;
+        self.archive.put(id, seq.clone());
+        Ok(id)
+    }
+
+    /// The local representation store.
+    pub fn local(&self) -> &SequenceStore {
+        &self.local
+    }
+
+    /// The raw archive.
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
+    /// Answers a generalized approximate query from local representations,
+    /// returning the outcome and the simulated local read cost (reading
+    /// every representation's parameters once).
+    pub fn query_local(&self, query: &QuerySpec) -> Result<(QueryOutcome, f64)> {
+        let outcome = saq_core::query::evaluate(&self.local, query)?;
+        let report = self.local.total_compression();
+        let bytes = report.parameters as u64 * BYTES_PER_PARAM;
+        let cost = self.local_medium.access(bytes).total();
+        Ok((outcome, cost))
+    }
+
+    /// The pre-representation workflow of §1: fetch every raw sequence from
+    /// the archive (one access each) so an application program can scan
+    /// them. Returns the simulated cost.
+    pub fn full_archive_scan_cost(&self) -> f64 {
+        self.archive.reset_clock();
+        let ids: Vec<u64> = self.local.ids();
+        for id in ids {
+            let _ = self.archive.fetch(id);
+        }
+        self.archive.elapsed_seconds()
+    }
+
+    /// Drill-down: fetch the raw sequences behind `ids` (e.g. the query's
+    /// exact matches) for fine-resolution inspection; returns the cost.
+    pub fn drill_down_cost(&self, ids: &[u64]) -> f64 {
+        self.archive.reset_clock();
+        for &id in ids {
+            let _ = self.archive.fetch(id);
+        }
+        self.archive.elapsed_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    fn corpus() -> Vec<Sequence> {
+        let mut out = Vec::new();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                out.push(goalpost(GoalpostSpec { seed: i, noise: 0.1, ..GoalpostSpec::default() }));
+            } else {
+                out.push(peaks(PeaksSpec {
+                    centers: vec![6.0, 12.0, 18.0],
+                    seed: i,
+                    noise: 0.1,
+                    ..PeaksSpec::default()
+                }));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn archive_accounts_latency() {
+        let mut a = ArchiveStore::new(Medium::remote_tape());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.elapsed_seconds(), 0.0);
+        let (seq, cost) = a.fetch(1).unwrap();
+        assert_eq!(seq.len(), 49);
+        assert!(cost.seek_seconds == 90.0);
+        assert!(a.elapsed_seconds() >= 90.0);
+        assert!(a.fetch(99).is_none());
+        a.reset_clock();
+        assert_eq!(a.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn tiered_local_query_beats_archive_scan() {
+        let mut t = TieredStore::new(
+            StoreConfig::default(),
+            Medium::memory(),
+            Medium::remote_tape(),
+        )
+        .unwrap();
+        for s in corpus() {
+            t.insert(&s).unwrap();
+        }
+        let (outcome, local_cost) = t
+            .query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 })
+            .unwrap();
+        assert_eq!(outcome.exact.len(), 5, "{outcome:?}");
+        let scan_cost = t.full_archive_scan_cost();
+        // The headline motivation: orders of magnitude apart.
+        assert!(
+            scan_cost > 1000.0 * local_cost,
+            "scan {scan_cost} local {local_cost}"
+        );
+    }
+
+    #[test]
+    fn drill_down_touches_only_matches() {
+        let mut t = TieredStore::new(
+            StoreConfig::default(),
+            Medium::memory(),
+            Medium::remote_tape(),
+        )
+        .unwrap();
+        for s in corpus() {
+            t.insert(&s).unwrap();
+        }
+        let (outcome, _) = t
+            .query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 })
+            .unwrap();
+        let drill = t.drill_down_cost(&outcome.exact);
+        let full = t.full_archive_scan_cost();
+        assert!(drill < full, "drill {drill} full {full}");
+        // 5 of 10 sequences -> roughly half the cost.
+        assert!((drill / full - 0.5).abs() < 0.1, "ratio {}", drill / full);
+    }
+
+    #[test]
+    fn local_tier_drops_raw() {
+        let mut t = TieredStore::new(
+            StoreConfig::default(),
+            Medium::local_disk(),
+            Medium::optical_jukebox(),
+        )
+        .unwrap();
+        let id = t.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        assert!(t.local().get(id).unwrap().raw.is_none());
+        assert_eq!(t.archive().len(), 1);
+    }
+}

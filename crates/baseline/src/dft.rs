@@ -1,0 +1,168 @@
+//! Discrete Fourier transform from scratch: a naive `O(n²)` reference and a
+//! radix-2 Cooley–Tukey FFT. The F-index of \[AFS93\] keeps "the first K
+//! coefficients of the DFT" as the feature vector.
+
+/// A complex number (no external crates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are deliberate value-style ops
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Modulus.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Naive DFT: `X[k] = Σ_j x[j]·e^{-2πi jk/n}`. Any length.
+pub fn naive_dft(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::default();
+        for (j, &v) in x.iter().enumerate() {
+            let theta = -std::f64::consts::TAU * (j * k) as f64 / n as f64;
+            acc = acc.add(Complex::from_angle(theta).mul(Complex::new(v, 0.0)));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Radix-2 iterative FFT; the input length must be a power of two.
+///
+/// # Panics
+/// Panics on non-power-of-two lengths (caller pads; see
+/// [`crate::findex::FIndex`]).
+pub fn fft(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+    let mut data: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for off in 0..len / 2 {
+                let a = data[start + off];
+                let b = data[start + off + len / 2].mul(w);
+                data[start + off] = a.add(b);
+                data[start + off + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len *= 2;
+    }
+    data
+}
+
+/// Energy of a complex spectrum (sum of squared moduli).
+pub fn spectrum_energy(spectrum: &[Complex]) -> f64 {
+    spectrum.iter().map(|c| c.re * c.re + c.im * c.im).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_constant() {
+        let x = [2.0; 8];
+        let s = naive_dft(&x);
+        assert!((s[0].re - 16.0).abs() < 1e-9);
+        for c in &s[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dft_locates_pure_tone() {
+        // cos(2π·2t/16): energy at bins 2 and 14.
+        let x: Vec<f64> = (0..16)
+            .map(|i| (std::f64::consts::TAU * 2.0 * i as f64 / 16.0).cos())
+            .collect();
+        let s = naive_dft(&x);
+        assert!(s[2].abs() > 7.9);
+        assert!(s[14].abs() > 7.9);
+        assert!(s[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+        let a = naive_dft(&x);
+        let b = fft(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u.re - v.re).abs() < 1e-8 && (u.im - v.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy = spectrum_energy(&fft(&x)) / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_odd_lengths() {
+        fft(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = Complex::new(0.0, 1.0);
+        let sq = i.mul(i);
+        assert!((sq.re + 1.0).abs() < 1e-12 && sq.im.abs() < 1e-12);
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        let sum = Complex::new(1.0, 2.0).add(Complex::new(3.0, -1.0));
+        assert_eq!(sum, Complex::new(4.0, 1.0));
+        let diff = Complex::new(1.0, 2.0).sub(Complex::new(3.0, -1.0));
+        assert_eq!(diff, Complex::new(-2.0, 3.0));
+    }
+}

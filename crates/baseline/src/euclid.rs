@@ -1,0 +1,181 @@
+//! Value-based approximate matching (Fig. 1): "the result consists of all
+//! stored sequences within distance δ from the desired sequence".
+
+use saq_sequence::Sequence;
+
+/// Maximum pointwise (L∞) distance between two equally long sequences —
+/// the band semantics of Fig. 1: a stored sequence matches iff every sample
+/// lies within the ±δ envelope of the query.
+///
+/// Returns `None` when lengths differ (value-based matching is undefined
+/// then — precisely the weakness §2 exposes for dilated sequences).
+pub fn max_pointwise_distance(a: &Sequence, b: &Sequence) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(
+        a.points()
+            .iter()
+            .zip(b.points())
+            .map(|(p, q)| (p.v - q.v).abs())
+            .fold(0.0, f64::max),
+    )
+}
+
+/// Euclidean (L2) distance between two equally long sequences.
+pub fn euclidean_distance(a: &Sequence, b: &Sequence) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let ss: f64 = a
+        .points()
+        .iter()
+        .zip(b.points())
+        .map(|(p, q)| (p.v - q.v) * (p.v - q.v))
+        .sum();
+    Some(ss.sqrt())
+}
+
+/// Fig. 1's query: does `stored` lie entirely within the ±δ band around
+/// `query`? Length mismatches never match.
+pub fn band_match(query: &Sequence, stored: &Sequence, delta: f64) -> bool {
+    max_pointwise_distance(query, stored).is_some_and(|d| d <= delta)
+}
+
+/// Subsequence matching [FRM94-style, value level]: all start offsets where
+/// a window of `query.len()` consecutive samples of `stored` lies within
+/// Euclidean distance `delta` of the query.
+pub fn sliding_matches(query: &Sequence, stored: &Sequence, delta: f64) -> Vec<usize> {
+    let m = query.len();
+    let n = stored.len();
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    let q: Vec<f64> = query.values();
+    let s: Vec<f64> = stored.values();
+    let delta2 = delta * delta;
+    let mut out = Vec::new();
+    for start in 0..=n - m {
+        let mut ss = 0.0;
+        for (j, &qv) in q.iter().enumerate() {
+            let d = s[start + j] - qv;
+            ss += d * d;
+            if ss > delta2 {
+                break;
+            }
+        }
+        if ss <= delta2 {
+            out.push(start);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_core::Transform;
+    use saq_sequence::generators::{goalpost, GoalpostSpec};
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn distances_basic() {
+        let a = seq(&[0.0, 0.0, 0.0]);
+        let b = seq(&[1.0, -2.0, 1.0]);
+        assert_eq!(max_pointwise_distance(&a, &b), Some(2.0));
+        assert_eq!(euclidean_distance(&a, &b), Some(6.0_f64.sqrt()));
+        let c = seq(&[1.0]);
+        assert_eq!(max_pointwise_distance(&a, &c), None);
+        assert_eq!(euclidean_distance(&a, &c), None);
+    }
+
+    #[test]
+    fn band_match_semantics() {
+        let q = seq(&[1.0, 2.0, 3.0]);
+        assert!(band_match(&q, &seq(&[1.4, 1.6, 3.2]), 0.5));
+        assert!(!band_match(&q, &seq(&[1.6, 2.0, 3.0]), 0.5));
+        assert!(!band_match(&q, &seq(&[1.0, 2.0]), 99.0), "length mismatch");
+        // Exact match at delta 0.
+        assert!(band_match(&q, &q, 0.0));
+    }
+
+    #[test]
+    fn figure4_pointwise_fluctuations_match() {
+        // Fig. 4: the same two-peak pattern with pointwise fluctuations
+        // within a tolerable distance IS a value-based match.
+        let clean = goalpost(GoalpostSpec::default());
+        let noisy = saq_sequence::Sequence::new(
+            clean
+                .points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    saq_sequence::Point::new(p.t, p.v + if i % 2 == 0 { 0.3 } else { -0.3 })
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(band_match(&clean, &noisy, 0.5));
+    }
+
+    #[test]
+    fn figure5_transforms_defeat_value_matching() {
+        // Fig. 5 / §2.1: feature-preserving variants of the two-peak
+        // exemplar are NOT within value distance δ. Amplitude transforms are
+        // applied directly; time-domain variants (shift/contraction/
+        // dilation) are re-sampled on the same 24h grid, as in the figure.
+        let exemplar = goalpost(GoalpostSpec::default());
+        let delta = 0.5;
+        let amp_shift = Transform::AmplitudeShift(2.5).apply(&exemplar).unwrap();
+        let amp_scale = Transform::AmplitudeScale(1.8).apply(&exemplar).unwrap();
+        let time_shift =
+            goalpost(GoalpostSpec { peak1: 11.0, peak2: 21.0, ..GoalpostSpec::default() });
+        let contraction = goalpost(GoalpostSpec {
+            peak1: 5.0,
+            peak2: 10.0,
+            width: 0.8,
+            ..GoalpostSpec::default()
+        });
+        let dilation = goalpost(GoalpostSpec {
+            peak1: 4.0,
+            peak2: 19.0,
+            width: 2.4,
+            ..GoalpostSpec::default()
+        });
+        for (name, variant) in [
+            ("amplitude shift", &amp_shift),
+            ("amplitude scale", &amp_scale),
+            ("time shift", &time_shift),
+            ("contraction", &contraction),
+            ("dilation", &dilation),
+        ] {
+            assert!(
+                !band_match(&exemplar, variant, delta),
+                "value matching should reject `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_finds_embedded_query() {
+        let query = seq(&[5.0, 6.0, 7.0]);
+        let stored = seq(&[0.0, 5.0, 6.0, 7.0, 0.0, 5.0, 6.0, 7.0]);
+        assert_eq!(sliding_matches(&query, &stored, 0.01), vec![1, 5]);
+        // Loose delta admits near misses.
+        let near = seq(&[0.0, 5.2, 6.1, 6.8, 0.0]);
+        assert_eq!(sliding_matches(&query, &near, 0.5), vec![1]);
+        assert!(sliding_matches(&query, &near, 0.05).is_empty());
+    }
+
+    #[test]
+    fn sliding_edge_cases() {
+        let q = seq(&[1.0, 2.0]);
+        let short = seq(&[1.0]);
+        assert!(sliding_matches(&q, &short, 10.0).is_empty());
+        let empty = Sequence::new(vec![]).unwrap();
+        assert!(sliding_matches(&empty, &q, 10.0).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! An F-index-style similarity search \[AFS93\]:
+//! sequences → first `k` DFT coefficient moduli → Euclidean range queries
+//! in feature space. By Parseval, feature-space distance lower-bounds true
+//! (time-domain) Euclidean distance, so feature filtering admits false hits
+//! but never false dismissals.
+//!
+//! §3's critique is demonstrated against this structure: frequency-domain
+//! proximity cannot recognize dilated/contracted variants of a shape
+//! ("none of the sequences of Figure 5 matches the sequence given in
+//! Figure 3 if main frequencies are compared").
+
+use crate::dft::{fft, Complex};
+use saq_sequence::Sequence;
+
+/// A `k`-dimensional DFT feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    coords: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Extracts the feature vector of a sequence: moduli of DFT bins
+    /// `1..=k` of the z-normalized, zero-padded signal (bin 0 is dropped —
+    /// normalization zeroes the mean, making the feature translation
+    /// invariant, as \[GK95\] extends).
+    pub fn extract(seq: &Sequence, k: usize) -> FeatureVector {
+        let values = seq.values();
+        let n = values.len().max(1);
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let scale = if var > 0.0 { var.sqrt() } else { 1.0 };
+        let padded_len = n.next_power_of_two().max(2);
+        let mut padded = vec![0.0; padded_len];
+        for (dst, v) in padded.iter_mut().zip(&values) {
+            *dst = (v - mean) / scale;
+        }
+        let spectrum = fft(&padded);
+        // Normalize by length so features are comparable across lengths.
+        let norm = 1.0 / (padded_len as f64).sqrt();
+        let coords = spectrum
+            .iter()
+            .skip(1)
+            .take(k)
+            .map(|c: &Complex| c.abs() * norm)
+            .collect();
+        FeatureVector { coords }
+    }
+
+    /// The coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Euclidean distance in feature space.
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        let len = self.coords.len().max(other.coords.len());
+        let mut ss = 0.0;
+        for i in 0..len {
+            let a = self.coords.get(i).copied().unwrap_or(0.0);
+            let b = other.coords.get(i).copied().unwrap_or(0.0);
+            ss += (a - b) * (a - b);
+        }
+        ss.sqrt()
+    }
+}
+
+/// A linear-scan F-index over feature vectors (the original uses R*-trees
+/// over minimal bounding rectangles; a scan preserves the semantics that
+/// matter here — which candidates pass the feature filter).
+#[derive(Debug, Default)]
+pub struct FIndex {
+    k: usize,
+    entries: Vec<(u64, FeatureVector)>,
+}
+
+impl FIndex {
+    /// An index keeping `k` DFT coefficients per sequence.
+    pub fn new(k: usize) -> FIndex {
+        FIndex { k, entries: Vec::new() }
+    }
+
+    /// Number of indexed sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Indexes a sequence under `id`.
+    pub fn insert(&mut self, id: u64, seq: &Sequence) {
+        self.entries.push((id, FeatureVector::extract(seq, self.k)));
+    }
+
+    /// Ids whose feature vectors lie within `epsilon` of the query's — the
+    /// candidate set (no false dismissals w.r.t. time-domain distance on
+    /// equal-length normalized signals; possible false hits).
+    pub fn range_query(&self, query: &Sequence, epsilon: f64) -> Vec<u64> {
+        let qf = FeatureVector::extract(query, self.k);
+        let mut out: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, f)| qf.distance(f) <= epsilon)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Nearest neighbour in feature space (id and distance).
+    pub fn nearest(&self, query: &Sequence) -> Option<(u64, f64)> {
+        let qf = FeatureVector::extract(query, self.k);
+        self.entries
+            .iter()
+            .map(|(id, f)| (*id, qf.distance(f)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_core::Transform;
+    use saq_sequence::generators::{goalpost, sinusoid, GoalpostSpec};
+
+    #[test]
+    fn identical_sequences_have_zero_feature_distance() {
+        let s = goalpost(GoalpostSpec::default());
+        let a = FeatureVector::extract(&s, 8);
+        let b = FeatureVector::extract(&s, 8);
+        assert!(a.distance(&b) < 1e-12);
+        assert_eq!(a.coords().len(), 8);
+    }
+
+    #[test]
+    fn translation_and_scaling_invariance() {
+        // \[GK95\]'s shift/scale extension: z-normalized features cancel both.
+        let s = goalpost(GoalpostSpec::default());
+        let shifted = Transform::AmplitudeShift(40.0).apply(&s).unwrap();
+        let scaled = Transform::AmplitudeScale(3.0).apply(&s).unwrap();
+        let f = FeatureVector::extract(&s, 8);
+        assert!(f.distance(&FeatureVector::extract(&shifted, 8)) < 1e-9);
+        assert!(f.distance(&FeatureVector::extract(&scaled, 8)) < 1e-9);
+    }
+
+    #[test]
+    fn different_shapes_are_far() {
+        let two_peaks = goalpost(GoalpostSpec::default());
+        let tone = sinusoid(49, 0.5, 4.0, 0.4, 0.0, 98.0);
+        let f1 = FeatureVector::extract(&two_peaks, 8);
+        let f2 = FeatureVector::extract(&tone, 8);
+        assert!(f1.distance(&f2) > 0.3, "distance {}", f1.distance(&f2));
+    }
+
+    #[test]
+    fn range_query_separates_corpus() {
+        let mut idx = FIndex::new(8);
+        let base = goalpost(GoalpostSpec::default());
+        idx.insert(1, &base);
+        idx.insert(2, &goalpost(GoalpostSpec { noise: 0.1, ..GoalpostSpec::default() }));
+        idx.insert(3, &sinusoid(49, 0.5, 4.0, 0.4, 0.0, 98.0));
+        let hits = idx.range_query(&base, 0.15);
+        assert!(hits.contains(&1) && hits.contains(&2), "{hits:?}");
+        assert!(!hits.contains(&3), "{hits:?}");
+        assert_eq!(idx.nearest(&base).unwrap().0, 1);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn dilation_defeats_frequency_features() {
+        // §3: a contracted (frequency-doubled) goal-post pattern is the SAME
+        // feature class (two peaks) but lands far away in DFT feature space
+        // — the paper's core argument against frequency-domain similarity.
+        // Contraction over the same support: halve the bump spacing/width so
+        // the sample count stays 49.
+        let base = goalpost(GoalpostSpec::default());
+        let contracted = goalpost(GoalpostSpec {
+            peak1: 4.0,
+            peak2: 9.0,
+            width: 0.8,
+            ..GoalpostSpec::default()
+        });
+        let noisy_same = goalpost(GoalpostSpec { noise: 0.15, ..GoalpostSpec::default() });
+        let f_base = FeatureVector::extract(&base, 8);
+        let d_same = f_base.distance(&FeatureVector::extract(&noisy_same, 8));
+        let d_contracted = f_base.distance(&FeatureVector::extract(&contracted, 8));
+        assert!(
+            d_contracted > 4.0 * d_same,
+            "contracted {d_contracted} vs same {d_same}"
+        );
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FIndex::new(4);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(&goalpost(GoalpostSpec::default())).is_none());
+    }
+}

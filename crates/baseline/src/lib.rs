@@ -1,0 +1,30 @@
+//! # saq-baseline
+//!
+//! The prior-work comparators the paper positions itself against (§1, §3):
+//!
+//! * [`euclid`] — the *value-based* notion of approximate queries (Fig. 1):
+//!   a query sequence plus a distance bound δ; results are stored sequences
+//!   within pointwise (or Euclidean) distance δ. This is the semantics of
+//!   VAGUE \[Mot88\] and the similarity work [AFS93, FRM94] at the value
+//!   level, and the notion §2 shows fails on feature-preserving
+//!   transformations.
+//! * [`dft`] — a from-scratch discrete Fourier transform (naive `O(n²)` and
+//!   radix-2 FFT).
+//! * [`findex`] — an F-index-style similarity search \[AFS93\]: sequences map
+//!   to their first `k` DFT coefficients; Euclidean distance in feature
+//!   space lower-bounds true distance (Parseval), so feature-space range
+//!   queries return no false dismissals. §3's argument — "similarity tests
+//!   relying on proximity in the frequency domain can not detect similarity
+//!   under transformations such as dilation or contraction" — is
+//!   demonstrated against this implementation in the experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dft;
+pub mod euclid;
+pub mod findex;
+
+pub use dft::{fft, naive_dft, Complex};
+pub use euclid::{band_match, euclidean_distance, max_pointwise_distance, sliding_matches};
+pub use findex::{FIndex, FeatureVector};

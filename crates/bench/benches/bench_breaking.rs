@@ -1,0 +1,59 @@
+//! Breaking-algorithm cost (Fig. 8 instantiations vs the DP baseline).
+//!
+//! The paper: linear interpolation runs in `O(#peaks · n)`, "much faster
+//! than another approach we have taken using dynamic programming... which
+//! runs in O(n²)". This bench regenerates that comparison's shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_core::brk::{
+    Breaker, DynamicProgrammingBreaker, LinearInterpolationBreaker, LinearRegressionBreaker,
+    OnlineBreaker,
+};
+use saq_sequence::generators::{peaks, PeaksSpec};
+use saq_sequence::Sequence;
+use std::hint::black_box;
+
+fn workload(n: usize) -> Sequence {
+    // A fixed number of peaks regardless of n: interpolation stays ~linear.
+    peaks(PeaksSpec {
+        duration: n as f64,
+        dt: 1.0,
+        baseline: 0.0,
+        centers: (1..=8).map(|k| n as f64 * k as f64 / 9.0).collect(),
+        width: n as f64 / 60.0,
+        amplitude: 10.0,
+        noise: 0.2,
+        seed: 42,
+    })
+}
+
+fn bench_breaking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("breaking");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let seq = workload(n);
+        group.bench_with_input(BenchmarkId::new("interpolation", n), &seq, |b, s| {
+            let breaker = LinearInterpolationBreaker::new(1.0);
+            b.iter(|| black_box(breaker.break_ranges(black_box(s))));
+        });
+        group.bench_with_input(BenchmarkId::new("regression", n), &seq, |b, s| {
+            let breaker = LinearRegressionBreaker::new(1.0);
+            b.iter(|| black_box(breaker.break_ranges(black_box(s))));
+        });
+        group.bench_with_input(BenchmarkId::new("online", n), &seq, |b, s| {
+            let breaker = OnlineBreaker::new(1.0);
+            b.iter(|| black_box(breaker.break_ranges(black_box(s))));
+        });
+        // DP is quadratic: cap its input so the suite stays fast.
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("dp", n), &seq, |b, s| {
+                let breaker = DynamicProgrammingBreaker::new(4.0, 1.0);
+                b.iter(|| black_box(breaker.break_ranges(black_box(s))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breaking);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! DFT substrate cost: naive O(n²) vs radix-2 FFT, and F-index feature
+//! extraction (the [AFS93] comparator's ingest path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_baseline::dft::{fft, naive_dft};
+use saq_baseline::findex::FeatureVector;
+use saq_sequence::Sequence;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.17).sin() * 3.0).collect()
+}
+
+fn bench_dft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dft");
+    for &n in &[256usize, 1024] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("fft", n), &x, |b, x| {
+            b.iter(|| black_box(fft(black_box(x))));
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &x, |b, x| {
+                b.iter(|| black_box(naive_dft(black_box(x))));
+            });
+        }
+        let seq = Sequence::from_samples(&x).unwrap();
+        group.bench_with_input(BenchmarkId::new("feature_extract_k8", n), &seq, |b, s| {
+            b.iter(|| black_box(FeatureVector::extract(black_box(s), 8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dft);
+criterion_main!(benches);

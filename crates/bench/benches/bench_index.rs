@@ -1,0 +1,64 @@
+//! Index-structure microbenchmarks: B+tree insert/point/range and the
+//! inverted file's range lookup (the Fig. 10 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_index::{BPlusTree, InvertedIndex};
+use std::hint::black_box;
+
+fn bench_bplus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bplustree");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = BPlusTree::with_order(16);
+                for i in 0..n as u64 {
+                    t.insert((i * 2_654_435_761) % n as u64, i);
+                }
+                black_box(t.len())
+            });
+        });
+        let mut tree = BPlusTree::with_order(16);
+        for i in 0..n as u64 {
+            tree.insert((i * 2_654_435_761) % n as u64, i);
+        }
+        group.bench_with_input(BenchmarkId::new("get", n), &tree, |b, t| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for k in (0..1000u64).map(|i| i * 37 % n as u64) {
+                    if let Some(v) = t.get(&k) {
+                        acc = acc.wrapping_add(*v);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("range_1pct", n), &tree, |b, t| {
+            let lo = n as u64 / 3;
+            let hi = lo + n as u64 / 100;
+            b.iter(|| black_box(t.range(&lo, &hi).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inverted_file");
+    let mut idx = InvertedIndex::new();
+    // 10k postings over interval buckets 100..200 (ECG-realistic keys).
+    for i in 0..10_000u64 {
+        idx.add(100 + (i % 100) as i64, i % 500, (i / 500) as u32);
+    }
+    group.bench_function("lookup_exact", |b| {
+        b.iter(|| black_box(idx.lookup(black_box(136)).len()));
+    });
+    group.bench_function("lookup_range_pm3", |b| {
+        b.iter(|| black_box(idx.lookup_range(black_box(136), 3).len()));
+    });
+    group.bench_function("matching_sequences_pm3", |b| {
+        b.iter(|| black_box(idx.matching_sequences(black_box(136), 3).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bplus, bench_inverted);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Pattern-engine microbenchmarks: DFA compilation, DFA vs NFA matching,
+//! and index scanning with/without required-symbol pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saq_index::PatternIndex;
+use saq_pattern::{Alphabet, Regex};
+use std::hint::black_box;
+
+fn alphabet() -> Alphabet {
+    Alphabet::new(&['u', 'd', 'f']).unwrap()
+}
+
+fn long_symbols(n: usize) -> Vec<u8> {
+    // Repeating u d f u d pattern.
+    (0..n).map(|i| [0u8, 1, 2, 0, 1][i % 5]).collect()
+}
+
+fn bench_pattern(c: &mut Criterion) {
+    let ab = alphabet();
+    let goalpost = "f* u+ d+ f* u+ d+ f*";
+
+    c.bench_function("pattern/parse+compile", |b| {
+        b.iter(|| {
+            let re = Regex::parse(black_box(goalpost), &ab).unwrap();
+            black_box(re.compile().state_count())
+        });
+    });
+
+    let re = Regex::parse(goalpost, &ab).unwrap();
+    let dfa = re.compile();
+    let nfa = re.to_nfa();
+    let input = long_symbols(10_000);
+
+    c.bench_function("pattern/dfa_full_match_10k", |b| {
+        b.iter(|| black_box(dfa.is_match(black_box(&input))));
+    });
+    c.bench_function("pattern/nfa_full_match_10k", |b| {
+        b.iter(|| black_box(nfa.is_match(black_box(&input))));
+    });
+    c.bench_function("pattern/dfa_find_matches_10k", |b| {
+        let peak = Regex::parse("u+ d+", &ab).unwrap().compile();
+        b.iter(|| black_box(peak.find_matches(black_box(&input)).len()));
+    });
+
+    // Index scan over 1000 short documents.
+    let mut idx = PatternIndex::new();
+    for id in 0..1000u64 {
+        let doc: Vec<u8> = (0..20).map(|i| [0u8, 1, 2][(id as usize + i) % 3]).collect();
+        idx.insert(id, doc);
+    }
+    let peak_re = Regex::parse("u+ d+", &ab).unwrap();
+    c.bench_function("pattern/index_scan_pruned", |b| {
+        b.iter(|| black_box(idx.scan(black_box(&peak_re)).len()));
+    });
+    let peak_dfa = peak_re.compile();
+    c.bench_function("pattern/index_scan_unpruned", |b| {
+        b.iter(|| black_box(idx.scan_unpruned(black_box(&peak_dfa)).len()));
+    });
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Representation costs: building a function series, reconstructing the
+//! signal, extracting peaks, and the full store-ingest pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_core::alphabet::DEFAULT_THETA;
+use saq_core::brk::{Breaker, LinearInterpolationBreaker};
+use saq_core::features::PeakTable;
+use saq_core::repr::FunctionSeries;
+use saq_core::store::{SequenceStore, StoreConfig};
+use saq_curves::RegressionFitter;
+use saq_ecg::synth::{synthesize, EcgSpec};
+use std::hint::black_box;
+
+fn bench_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr");
+    let ecg = synthesize(EcgSpec { n: 2000, ..EcgSpec::default() });
+    let ranges = LinearInterpolationBreaker::coalescing(10.0).break_ranges(&ecg);
+
+    group.bench_function("build_series_2k", |b| {
+        b.iter(|| {
+            black_box(FunctionSeries::build(black_box(&ecg), &ranges, &RegressionFitter).unwrap())
+        });
+    });
+
+    let series = FunctionSeries::build(&ecg, &ranges, &RegressionFitter).unwrap();
+    group.bench_function("reconstruct_2k", |b| {
+        b.iter(|| black_box(series.reconstruct(2000).unwrap()));
+    });
+    group.bench_function("peak_extract", |b| {
+        b.iter(|| black_box(PeakTable::extract(black_box(&series), DEFAULT_THETA).len()));
+    });
+
+    for &n in &[500usize, 2000] {
+        let ecg = synthesize(EcgSpec { n, ..EcgSpec::default() });
+        group.bench_with_input(BenchmarkId::new("store_ingest", n), &ecg, |b, s| {
+            b.iter(|| {
+                let mut store = SequenceStore::new(StoreConfig {
+                    epsilon: 10.0,
+                    keep_raw: false,
+                    ..StoreConfig::default()
+                })
+                .unwrap();
+                black_box(store.insert(black_box(s)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repr);
+criterion_main!(benches);

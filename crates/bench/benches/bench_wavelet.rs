@@ -1,0 +1,37 @@
+//! Wavelet-transform cost (§7 preprocessing): DWT/IDWT roundtrips and
+//! threshold compression for both bases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_preprocess::{dwt, idwt, threshold_compress, Wavelet};
+use saq_sequence::Sequence;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.05).sin() * 5.0 + (i as f64 * 0.31).cos())
+        .collect()
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wavelet");
+    for &n in &[512usize, 4096] {
+        let x = signal(n);
+        for (name, w) in [("haar", Wavelet::Haar), ("d4", Wavelet::Daubechies4)] {
+            group.bench_with_input(BenchmarkId::new(format!("dwt_{name}"), n), &x, |b, x| {
+                b.iter(|| black_box(dwt(black_box(x), w)));
+            });
+            let coeffs = dwt(&x, w);
+            group.bench_with_input(BenchmarkId::new(format!("idwt_{name}"), n), &coeffs, |b, cs| {
+                b.iter(|| black_box(idwt(black_box(cs), w)));
+            });
+        }
+        let seq = Sequence::from_samples(&x).unwrap();
+        group.bench_with_input(BenchmarkId::new("compress_keep32", n), &seq, |b, s| {
+            b.iter(|| black_box(threshold_compress(black_box(s), Wavelet::Haar, 32).compression_ratio()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wavelet);
+criterion_main!(benches);

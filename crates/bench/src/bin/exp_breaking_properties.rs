@@ -1,0 +1,99 @@
+//! §5.1's three required properties of breaking algorithms, measured:
+//!
+//! * **consistency** — feature-equivalent variants break into the same
+//!   slope structure;
+//! * **robustness** — inserting one behaviour-preserving point shifts
+//!   breakpoints by at most one position;
+//! * **fragmentation avoidance** — most segments are longer than 2.
+
+use saq_bench::{banner, goalpost_corpus};
+use saq_core::alphabet::{series_symbols, symbols_to_string, DEFAULT_THETA};
+use saq_core::brk::{Breaker, LinearInterpolationBreaker};
+use saq_core::repr::FunctionSeries;
+use saq_curves::RegressionFitter;
+use saq_sequence::{Point, Sequence};
+
+fn slope_string(seq: &Sequence, eps: f64) -> String {
+    let ranges = LinearInterpolationBreaker::new(eps).break_ranges(seq);
+    let series = FunctionSeries::build(seq, &ranges, &RegressionFitter).unwrap();
+    // Collapse repeats: the structural signature.
+    let mut sig = String::new();
+    for c in symbols_to_string(&series_symbols(&series, DEFAULT_THETA)).chars() {
+        if !sig.ends_with(c) {
+            sig.push(c);
+        }
+    }
+    sig
+}
+
+fn main() {
+    banner("§5.1", "breaking-algorithm properties: consistency, robustness, fragmentation");
+
+    // --- Consistency across the two-peak variants.
+    println!("consistency (collapsed slope signatures):");
+    let corpus = goalpost_corpus();
+    let mut two_peak_sigs = Vec::new();
+    for (label, seq, k) in &corpus {
+        let sig = slope_string(seq, 1.0);
+        println!("  {:20} -> {}", label, sig);
+        if *k == 2 {
+            two_peak_sigs.push(sig);
+        }
+    }
+    // Flats are transparent to the goal-post pattern (`0*` may appear
+    // anywhere around peaks), so compare signatures modulo `f`.
+    let essential = |s: &str| s.chars().filter(|&c| c != 'f').collect::<String>();
+    let consistent = two_peak_sigs
+        .iter()
+        .all(|s| essential(s) == essential(&two_peak_sigs[0]));
+    println!("  all two-peak variants share a signature: {}", if consistent { "YES" } else { "no" });
+    assert!(consistent, "consistency must hold on the two-peak corpus");
+
+    // --- Robustness: insert an on-line point, measure breakpoint shift.
+    println!("\nrobustness (single behaviour-preserving insertion):");
+    let base = &corpus[0].1;
+    let breaker = LinearInterpolationBreaker::new(1.0);
+    let before = breaker.breakpoints(base);
+    let mut worst_shift = 0usize;
+    let mut trials = 0usize;
+    for i in 0..base.len() - 1 {
+        let a = base[i];
+        let b = base[i + 1];
+        // A point on the local line between samples i and i+1.
+        let p = Point::new(0.5 * (a.t + b.t), 0.5 * (a.v + b.v));
+        let perturbed = base.insert(p).unwrap();
+        let after = breaker.breakpoints(&perturbed);
+        if after.len() != before.len() {
+            // Structure changed: count as a large shift.
+            worst_shift = worst_shift.max(99);
+        } else {
+            for (x, y) in before.iter().zip(&after) {
+                // Indices after the insertion point are expected to move by
+                // exactly one slot; others by none.
+                let expected = if *x > i { x + 1 } else { *x };
+                let shift = y.abs_diff(expected);
+                worst_shift = worst_shift.max(shift);
+            }
+        }
+        trials += 1;
+    }
+    println!("  {trials} insertions; worst breakpoint shift beyond the expected slot: {worst_shift}");
+    println!(
+        "  robustness (shift <= 1): {}",
+        if worst_shift <= 1 { "HOLDS" } else { "VIOLATED" }
+    );
+
+    // --- Fragmentation.
+    println!("\nfragmentation avoidance (segments of length > 2):");
+    for (label, seq, _) in &corpus {
+        let ranges = breaker.break_ranges(seq);
+        let long = ranges.iter().filter(|(lo, hi)| hi - lo + 1 > 2).count();
+        println!(
+            "  {:20} -> {:>2} segments, {:>3.0}% long",
+            label,
+            ranges.len(),
+            100.0 * long as f64 / ranges.len() as f64
+        );
+    }
+    println!("\nshape check: consistent signatures, <=1 breakpoint shift, mostly-long segments.");
+}

@@ -1,0 +1,50 @@
+//! Figure 10: "An inverted file structure for R-R intervals" — a B-tree
+//! over interval-length buckets pointing into a postings file — and the
+//! worked query: "to find the ECGs with an R-R interval of duration
+//! 136 ± 3... we follow the B-Tree looking for values between 133..139 and
+//! find that ECG 2 satisfies the query."
+
+use saq_bench::banner;
+use saq_ecg::corpus::{build_corpus, build_rr_index, rr_query};
+
+fn main() {
+    banner("Fig. 10", "inverted-file index over R-R interval lengths");
+
+    // A corpus of 20 ECGs sweeping rr 110..190 (ids 1..=20).
+    let corpus = build_corpus(20, (110.0, 190.0), 2024).unwrap();
+    let index = build_rr_index(&corpus);
+
+    println!(
+        "corpus: {} ECGs; index: {} buckets, {} postings\n",
+        corpus.len(),
+        index.bucket_count(),
+        index.posting_count()
+    );
+
+    println!("bucket sample (keys present around 133..139):");
+    for key in 130..=142 {
+        let postings = index.lookup(key);
+        if !postings.is_empty() {
+            let ids: Vec<u64> = postings.iter().map(|p| p.sequence).collect();
+            println!("  interval {key}: ECGs {ids:?}");
+        }
+    }
+
+    println!("\nworked queries:");
+    for (n, eps) in [(136, 3), (149, 3), (160, 5), (300, 10)] {
+        let hits = rr_query(&index, n, eps);
+        println!("  R-R {n} +- {eps}: {hits:?}");
+    }
+
+    // The paper's two-ECG scenario is covered by `exp_rr_sequences`; here
+    // verify selectivity: a tight query matches only nearby-rr ECGs.
+    let hits = rr_query(&index, 136, 3);
+    for id in &hits {
+        let rrs = corpus.report(*id).unwrap().rr_intervals();
+        assert!(
+            rrs.iter().any(|&d| (d - 136.0).abs() <= 4.0),
+            "ECG {id} matched without a ~136 interval: {rrs:?}"
+        );
+    }
+    println!("\nshape check: hits all contain an interval within the queried band.");
+}

@@ -1,0 +1,49 @@
+//! Figure 1: the *value-based* notion of approximate queries — "the result
+//! consists of all stored sequences within distance ±δ from the desired
+//! sequence". Regenerates the figure's semantics: a query curve, a corpus,
+//! and which members fall inside the band.
+
+use saq_baseline::euclid::{band_match, max_pointwise_distance};
+use saq_bench::{banner, fnum, sparkline};
+use saq_sequence::{generators, Sequence};
+
+fn main() {
+    banner("Fig. 1", "value-based approximate query: sequences within +-delta");
+
+    // The solid query curve of Fig. 1: a gentle hump over t in [0, 7].
+    let query = generators::sinusoid(29, 0.25, 1.5, 1.0 / 14.0, 0.0, 1.5);
+    let delta = 0.5;
+    println!("query:   {}  (delta = {delta})\n", sparkline(&query, 29));
+
+    let corpus: Vec<(&str, Sequence)> = vec![
+        ("inside-band/small-noise", saq_preprocess::add_gaussian_noise(&query, 0.12, 7)),
+        ("inside-band/offset+0.3", query.map_values(|v| v + 0.3).unwrap()),
+        ("outside/offset+0.8", query.map_values(|v| v + 0.8).unwrap()),
+        ("outside/inverted", query.map_values(|v| 3.0 - v).unwrap()),
+        (
+            "outside/two-humps",
+            generators::peaks(generators::PeaksSpec {
+                duration: 7.0,
+                dt: 0.25,
+                baseline: 1.5,
+                centers: vec![2.0, 5.0],
+                width: 0.6,
+                amplitude: 1.5,
+                noise: 0.0,
+                seed: 0,
+            }),
+        ),
+    ];
+
+    println!("stored sequence            | Linf dist | within band");
+    for (name, stored) in &corpus {
+        let dist = max_pointwise_distance(&query, stored);
+        println!(
+            "{:26} | {:>9} | {}",
+            name,
+            dist.map(fnum).unwrap_or_else(|| "n/a".into()),
+            if band_match(&query, stored, delta) { "YES" } else { "no" }
+        );
+    }
+    println!("\nshape check: exactly the first two sequences are matches.");
+}

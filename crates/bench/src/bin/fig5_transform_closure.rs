@@ -1,0 +1,82 @@
+//! Figure 5 / §2.1: "various two-peaked sequences not within a value-based
+//! distance δ from the sequence of Fig. 3" — every feature-preserving
+//! transformation keeps the two-peaks property (an *exact* match for the
+//! generalized query) while defeating value-based matching.
+
+use saq_baseline::euclid::band_match;
+use saq_bench::{banner, sparkline};
+use saq_core::alphabet::DEFAULT_THETA;
+use saq_core::brk::{Breaker, LinearInterpolationBreaker};
+use saq_core::features::PeakTable;
+use saq_core::repr::FunctionSeries;
+use saq_curves::RegressionFitter;
+use saq_sequence::generators::{goalpost, GoalpostSpec};
+use saq_sequence::Sequence;
+
+fn peak_count(seq: &Sequence) -> usize {
+    let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(seq);
+    let series = FunctionSeries::build(seq, &ranges, &RegressionFitter).unwrap();
+    PeakTable::extract(&series, DEFAULT_THETA).len()
+}
+
+fn main() {
+    banner("Fig. 5", "feature-preserving transforms defeat value matching");
+
+    let exemplar = goalpost(GoalpostSpec::default());
+    let delta = 0.5;
+    println!("exemplar: {}\n", sparkline(&exemplar, 49));
+
+    // The figure's variants, resampled on the same 24h grid.
+    let variants: Vec<(&str, Sequence)> = vec![
+        (
+            "1: amplitude shift (+2.5F)",
+            exemplar.map_values(|v| v + 2.5).unwrap(),
+        ),
+        (
+            "2: amplitude scaling (x1.1)",
+            exemplar.map_values(|v| v * 1.1).unwrap(),
+        ),
+        (
+            "3: time shift (+3h)",
+            goalpost(GoalpostSpec { peak1: 11.0, peak2: 21.0, ..GoalpostSpec::default() }),
+        ),
+        (
+            "4: contraction (peaks 5h apart)",
+            goalpost(GoalpostSpec {
+                peak1: 5.0,
+                peak2: 10.0,
+                width: 0.9,
+                ..GoalpostSpec::default()
+            }),
+        ),
+        (
+            "5: dilation (peaks 15h apart)",
+            goalpost(GoalpostSpec {
+                peak1: 4.0,
+                peak2: 19.0,
+                width: 2.2,
+                ..GoalpostSpec::default()
+            }),
+        ),
+    ];
+
+    println!("variant                          | peaks | value match | feature match");
+    let mut all_hold = true;
+    for (name, v) in &variants {
+        let peaks = peak_count(v);
+        let value = band_match(&exemplar, v, delta);
+        let feature = peaks == 2;
+        all_hold &= feature && !value;
+        println!(
+            "{:32} | {:>5} | {:>11} | {}",
+            name,
+            peaks,
+            if value { "YES" } else { "no" },
+            if feature { "YES (exact)" } else { "no" }
+        );
+    }
+    println!(
+        "\nshape check: every variant is a feature-exact match and a value-based miss: {}",
+        if all_hold { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,28 @@
+//! Table 1: "Peaks information for the top ECG on Figure 9" — per peak, the
+//! rising and descending functions and the start/end points of their
+//! subsequences.
+
+use saq_bench::banner;
+use saq_ecg::analysis::analyze;
+use saq_ecg::synth::{synthesize, EcgSpec};
+
+fn main() {
+    banner("Table 1", "peaks information for the top ECG of Fig. 9");
+
+    let ecg = synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() });
+    let report = analyze(&ecg, 10.0).unwrap();
+    println!("{}", report.table1());
+
+    println!("paper's table (for its real ECG): rising slopes ~21-26, descending");
+    println!("slopes ~ -15, R peaks ~149 samples apart; ours:");
+    for row in &report.r_peaks {
+        println!(
+            "  peak {}: rising slope {:+.2}, descending slope {:+.2}, apex t = {:.0}",
+            row.peak, row.rising.slope, row.descending.slope,
+            row.apex().t
+        );
+    }
+    let rrs = report.rr_intervals();
+    println!("  R-R distances: {rrs:?}");
+    assert!(rrs.iter().all(|&d| (d - 149.0).abs() <= 3.0));
+}

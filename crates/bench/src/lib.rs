@@ -1,0 +1,118 @@
+//! # saq-bench
+//!
+//! Experiment binaries and Criterion benches regenerating every figure and
+//! table of the paper (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records).
+//!
+//! Each binary prints a self-contained report; `cargo run -p saq-bench
+//! --bin <name>` regenerates one artifact. This library holds the shared
+//! formatting and corpus helpers.
+
+#![forbid(unsafe_code)]
+
+use saq_sequence::Sequence;
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Renders a sequence as a compact ASCII sparkline (for eyeballing shapes
+/// in terminal output, standing in for the paper's plots).
+pub fn sparkline(seq: &Sequence, width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if seq.is_empty() || width == 0 {
+        return String::new();
+    }
+    let stats = seq.stats();
+    let range = if stats.range() > 0.0 { stats.range() } else { 1.0 };
+    let vals = seq.values();
+    let n = vals.len();
+    (0..width.min(n))
+        .map(|i| {
+            let idx = i * n / width.min(n);
+            let frac = (vals[idx] - stats.min) / range;
+            LEVELS[((frac * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Formats a float tersely for table cells.
+pub fn fnum(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// The corpus used by the goal-post experiments: `(label, sequence,
+/// true peak count)`.
+pub fn goalpost_corpus() -> Vec<(String, Sequence, usize)> {
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+    let mut corpus: Vec<(String, Sequence, usize)> =
+        vec![("goalpost/base".into(), goalpost(GoalpostSpec::default()), 2)];
+    corpus.push((
+        "goalpost/shifted".into(),
+        goalpost(GoalpostSpec { peak1: 10.0, peak2: 20.0, ..GoalpostSpec::default() }),
+        2,
+    ));
+    corpus.push((
+        "goalpost/contracted".into(),
+        goalpost(GoalpostSpec { peak1: 4.0, peak2: 9.5, width: 1.0, ..GoalpostSpec::default() }),
+        2,
+    ));
+    corpus.push((
+        "goalpost/taller".into(),
+        goalpost(GoalpostSpec { amplitude: 10.5, ..GoalpostSpec::default() }),
+        2,
+    ));
+    corpus.push((
+        "one-peak".into(),
+        peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }),
+        1,
+    ));
+    corpus.push((
+        "three-peaks".into(),
+        peaks(PeaksSpec { centers: vec![5.0, 12.0, 19.0], ..PeaksSpec::default() }),
+        3,
+    ));
+    corpus.push((
+        "flat".into(),
+        peaks(PeaksSpec { centers: vec![], noise: 0.05, ..PeaksSpec::default() }),
+        0,
+    ));
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        let tent = Sequence::from_samples(&[0.0, 5.0, 10.0, 5.0, 0.0]).unwrap();
+        let s = sparkline(&tent, 5);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.contains('█'));
+        assert_eq!(sparkline(&Sequence::new(vec![]).unwrap(), 10), "");
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(123.4), "123");
+        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(0.1234), "0.123");
+    }
+
+    #[test]
+    fn corpus_has_expected_labels() {
+        let c = goalpost_corpus();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.iter().filter(|(_, _, k)| *k == 2).count(), 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! Dynamic-programming segmentation.
+//!
+//! §5.1 describes "another approach we have taken using dynamic programming,
+//! minimizing a cost function of the form
+//! `a · (#segments) + b · (distance from approximating line)`" and notes it
+//! is much slower than the interpolation breaker. The implementation here
+//! minimizes `a·k + b·Σ SSE(segment)` over all segmentations, where
+//! `SSE(segment)` is the sum of squared residuals of the segment's
+//! least-squares line. Prefix sums give each segment's SSE in O(1), for an
+//! overall O(n²) — the cost the paper contrasts with O(#peaks · n).
+
+use super::Breaker;
+use saq_sequence::Sequence;
+
+/// Optimal (cost-minimizing) breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicProgrammingBreaker {
+    /// Per-segment cost `a` (controls how much each extra segment must pay
+    /// for itself).
+    pub segment_cost: f64,
+    /// Error weight `b`.
+    pub error_weight: f64,
+}
+
+impl DynamicProgrammingBreaker {
+    /// Creates a DP breaker with cost `a · #segments + b · Σ SSE`.
+    ///
+    /// # Panics
+    /// Panics unless both weights are positive and finite (caller bug).
+    pub fn new(segment_cost: f64, error_weight: f64) -> Self {
+        assert!(
+            segment_cost > 0.0 && segment_cost.is_finite(),
+            "segment_cost must be positive"
+        );
+        assert!(
+            error_weight > 0.0 && error_weight.is_finite(),
+            "error_weight must be positive"
+        );
+        DynamicProgrammingBreaker { segment_cost, error_weight }
+    }
+
+    /// Total cost of a given segmentation under this breaker's weights —
+    /// exposed so tests and benches can verify optimality.
+    pub fn cost_of(&self, seq: &Sequence, ranges: &[(usize, usize)]) -> f64 {
+        let prefix = Prefix::new(seq);
+        ranges
+            .iter()
+            .map(|&(lo, hi)| self.segment_cost + self.error_weight * prefix.sse(lo, hi))
+            .sum()
+    }
+}
+
+/// Prefix sums enabling O(1) per-segment regression SSE.
+struct Prefix {
+    st: Vec<f64>,
+    sv: Vec<f64>,
+    stt: Vec<f64>,
+    stv: Vec<f64>,
+    svv: Vec<f64>,
+}
+
+impl Prefix {
+    fn new(seq: &Sequence) -> Prefix {
+        let n = seq.len();
+        let mut p = Prefix {
+            st: vec![0.0; n + 1],
+            sv: vec![0.0; n + 1],
+            stt: vec![0.0; n + 1],
+            stv: vec![0.0; n + 1],
+            svv: vec![0.0; n + 1],
+        };
+        for (i, pt) in seq.points().iter().enumerate() {
+            p.st[i + 1] = p.st[i] + pt.t;
+            p.sv[i + 1] = p.sv[i] + pt.v;
+            p.stt[i + 1] = p.stt[i] + pt.t * pt.t;
+            p.stv[i + 1] = p.stv[i] + pt.t * pt.v;
+            p.svv[i + 1] = p.svv[i] + pt.v * pt.v;
+        }
+        p
+    }
+
+    /// SSE of the least-squares line over inclusive range `[lo, hi]`.
+    fn sse(&self, lo: usize, hi: usize) -> f64 {
+        let n = (hi - lo + 1) as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let st = self.st[hi + 1] - self.st[lo];
+        let sv = self.sv[hi + 1] - self.sv[lo];
+        let stt = self.stt[hi + 1] - self.stt[lo];
+        let stv = self.stv[hi + 1] - self.stv[lo];
+        let svv = self.svv[hi + 1] - self.svv[lo];
+        let ctt = stt - st * st / n;
+        let ctv = stv - st * sv / n;
+        let cvv = svv - sv * sv / n;
+        if ctt.abs() < 1e-12 {
+            // Degenerate abscissae: best horizontal line.
+            return cvv.max(0.0);
+        }
+        (cvv - ctv * ctv / ctt).max(0.0)
+    }
+}
+
+impl Breaker for DynamicProgrammingBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        let n = seq.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let prefix = Prefix::new(seq);
+        // best[j] = minimal cost of segmenting the first j points; j in 0..=n.
+        let mut best = vec![f64::INFINITY; n + 1];
+        let mut back = vec![0usize; n + 1];
+        best[0] = 0.0;
+        for j in 1..=n {
+            for i in 0..j {
+                let cost =
+                    best[i] + self.segment_cost + self.error_weight * prefix.sse(i, j - 1);
+                if cost < best[j] {
+                    best[j] = cost;
+                    back[j] = i;
+                }
+            }
+        }
+        // Reconstruct ranges.
+        let mut ranges = Vec::new();
+        let mut j = n;
+        while j > 0 {
+            let i = back[j];
+            ranges.push((i, j - 1));
+            j = i;
+        }
+        ranges.reverse();
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brk::{assert_partition, LinearInterpolationBreaker};
+    use saq_sequence::generators::piecewise_linear;
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn line_stays_whole() {
+        let s = seq(&(0..30).map(|i| i as f64 * 1.5 + 2.0).collect::<Vec<_>>());
+        let ranges = DynamicProgrammingBreaker::new(1.0, 1.0).break_ranges(&s);
+        assert_eq!(ranges, vec![(0, 29)]);
+    }
+
+    #[test]
+    fn tent_splits_once() {
+        let vals: Vec<f64> = (0..=20)
+            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
+            .collect();
+        let s = seq(&vals);
+        let ranges = DynamicProgrammingBreaker::new(1.0, 1.0).break_ranges(&s);
+        assert_partition(&ranges, 21);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+        assert!((10..=11).contains(&ranges[1].0), "{ranges:?}");
+    }
+
+    #[test]
+    fn segment_cost_trades_off_error() {
+        let s = piecewise_linear(&[(0.0, 0.0), (8.0, 8.0), (16.0, 0.0), (24.0, 8.0), (32.0, 0.0)]);
+        let cheap_segments = DynamicProgrammingBreaker::new(0.01, 1.0).break_ranges(&s).len();
+        let pricey_segments = DynamicProgrammingBreaker::new(100.0, 1.0).break_ranges(&s).len();
+        assert!(cheap_segments >= 4, "cheap {cheap_segments}");
+        assert_eq!(pricey_segments, 1, "pricey {pricey_segments}");
+    }
+
+    #[test]
+    fn dp_cost_is_never_worse_than_interpolation_breaker() {
+        // Optimality check: DP minimizes the cost, so any other segmentation
+        // (here the fast breaker's) costs at least as much.
+        let s = piecewise_linear(&[(0.0, 0.0), (10.0, 12.0), (20.0, 3.0), (30.0, 18.0)]);
+        let dp = DynamicProgrammingBreaker::new(2.0, 1.0);
+        let dp_ranges = dp.break_ranges(&s);
+        let fast_ranges = LinearInterpolationBreaker::new(0.5).break_ranges(&s);
+        assert!(dp.cost_of(&s, &dp_ranges) <= dp.cost_of(&s, &fast_ranges) + 1e-9);
+    }
+
+    #[test]
+    fn prefix_sse_matches_direct_regression() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = seq(&vals);
+        let prefix = Prefix::new(&s);
+        for lo in 0..vals.len() {
+            for hi in lo..vals.len() {
+                let run = &s.points()[lo..=hi];
+                let direct = if run.len() < 2 {
+                    0.0
+                } else {
+                    let line = saq_curves::Line::regression(run).unwrap();
+                    run.iter()
+                        .map(|p| {
+                            let r = saq_curves::Curve::eval(&line, p.t) - p.v;
+                            r * r
+                        })
+                        .sum()
+                };
+                let fast = prefix.sse(lo, hi);
+                assert!((direct - fast).abs() < 1e-8, "({lo},{hi}): {direct} vs {fast}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let dp = DynamicProgrammingBreaker::new(1.0, 1.0);
+        assert!(dp.break_ranges(&Sequence::new(vec![]).unwrap()).is_empty());
+        assert_eq!(dp.break_ranges(&seq(&[7.0])), vec![(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_rejected() {
+        let _ = DynamicProgrammingBreaker::new(0.0, 1.0);
+    }
+}

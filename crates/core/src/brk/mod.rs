@@ -1,0 +1,110 @@
+//! Breaking algorithms (§5).
+//!
+//! A breaking algorithm partitions a sequence into contiguous index ranges
+//! ("meaningful subsequences") at points where behaviour changes
+//! significantly. §5.1 requires breakers to be **consistent** (similar
+//! sequences break at corresponding points), **robust** (inserting or
+//! deleting a behaviour-preserving element shifts breakpoints by at most
+//! one), and to **avoid fragmentation** (most segments longer than 2).
+//!
+//! * [`OfflineBreaker`] — the recursive curve-fitting template of Fig. 8,
+//!   generic over any [`saq_curves::CurveFitter`];
+//! * [`LinearInterpolationBreaker`] — the template instantiated with
+//!   endpoint-interpolation lines; breaks at extrema in
+//!   `O(#peaks · n)` and is the algorithm behind Figs. 6/7/9;
+//! * [`LinearRegressionBreaker`] / [`BezierBreaker`] — the other two
+//!   instantiations the paper studied;
+//! * [`OnlineBreaker`] — sliding-window breaking while data streams in;
+//! * [`DynamicProgrammingBreaker`] — the `O(n²)` cost-minimizing
+//!   segmentation (`a·#segments + b·error`) the paper cites as the slow
+//!   alternative.
+
+mod dp;
+mod offline;
+mod online;
+
+pub use dp::DynamicProgrammingBreaker;
+pub use offline::{
+    BezierBreaker, BreakOptions, LinearInterpolationBreaker, LinearRegressionBreaker,
+    OfflineBreaker,
+};
+pub use online::{OnlineBreaker, WindowedPolynomialBreaker};
+
+use saq_sequence::Sequence;
+
+/// A breaking algorithm: partitions a sequence into contiguous inclusive
+/// index ranges.
+pub trait Breaker {
+    /// Breaks `seq` into ordered, contiguous, inclusive `(start, end)` index
+    /// ranges that partition `[0, seq.len())`. Empty input yields no ranges.
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)>;
+
+    /// Breakpoints as the start indices of every range except the first.
+    fn breakpoints(&self, seq: &Sequence) -> Vec<usize> {
+        self.break_ranges(seq)
+            .iter()
+            .skip(1)
+            .map(|&(lo, _)| lo)
+            .collect()
+    }
+}
+
+/// Validates that ranges partition `[0, n)` — shared test helper.
+#[cfg(test)]
+pub(crate) fn assert_partition(ranges: &[(usize, usize)], n: usize) {
+    if n == 0 {
+        assert!(ranges.is_empty());
+        return;
+    }
+    assert!(!ranges.is_empty());
+    assert_eq!(ranges[0].0, 0, "must start at 0: {ranges:?}");
+    assert_eq!(ranges[ranges.len() - 1].1, n - 1, "must end at n-1: {ranges:?}");
+    for w in ranges.windows(2) {
+        assert_eq!(w[0].1 + 1, w[1].0, "ranges must be contiguous: {ranges:?}");
+    }
+    for &(lo, hi) in ranges {
+        assert!(lo <= hi, "range must be non-empty: {ranges:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_sequence::Sequence;
+
+    struct WholeBreaker;
+    impl Breaker for WholeBreaker {
+        fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+            if seq.is_empty() {
+                vec![]
+            } else {
+                vec![(0, seq.len() - 1)]
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoints_derived_from_ranges() {
+        let s = Sequence::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(WholeBreaker.breakpoints(&s).is_empty());
+        struct TwoBreaker;
+        impl Breaker for TwoBreaker {
+            fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+                vec![(0, 0), (1, seq.len() - 1)]
+            }
+        }
+        assert_eq!(TwoBreaker.breakpoints(&s), vec![1]);
+    }
+
+    #[test]
+    fn partition_helper_accepts_valid() {
+        assert_partition(&[(0, 2), (3, 5)], 6);
+        assert_partition(&[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn partition_helper_rejects_gap() {
+        assert_partition(&[(0, 1), (3, 5)], 6);
+    }
+}

@@ -1,0 +1,496 @@
+//! The offline recursive curve-fitting template of Fig. 8.
+//!
+//! ```text
+//! 1. Fit a curve of type c to S
+//! 2. Find point (x_i, y_i) in S with maximum deviation from curve
+//! 3. If deviation <= ε, return S
+//! 4. Else:
+//!    (a) fit a curve to the subsequence ending at (x_{i-1}, y_{i-1}), S1
+//!    (b) fit a curve to the subsequence starting at (x_i, y_i), S2
+//!    (c) if (x_i, y_i) is closer to the curve from (a), make it the last
+//!        element of S1; else make it the first element of S2
+//!    (d) recursively apply the algorithm to S1 and S2
+//! ```
+//!
+//! Unlike Schneider's original Bézier fitter the template imposes no
+//! continuity between segments, and steps (a)–(c) decide which side owns the
+//! breakpoint (the paper's adjustment, §5.1).
+
+use super::Breaker;
+use saq_curves::{max_deviation, Curve, CurveFitter};
+use saq_curves::{BezierFitter, EndpointInterpolator, RegressionFitter};
+use saq_sequence::{Point, Sequence};
+
+/// Tunable design choices of the offline template — exposed so the
+/// ablation experiments (`exp_ablation`) can isolate each one's effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakOptions {
+    /// Steps 4(a)–(c) of Fig. 8: decide which side owns the breakpoint by
+    /// fitting both candidate subsequences. When disabled, the breakpoint
+    /// always becomes the first element of the right subsequence
+    /// (Schneider's original behaviour, minus the shared endpoint).
+    pub assign_breakpoint_side: bool,
+    /// Fold singleton ranges into a neighbour when the merge fits within ε.
+    pub merge_singletons: bool,
+    /// Greedily merge *any* adjacent ranges that jointly fit within ε.
+    pub coalesce: bool,
+}
+
+impl Default for BreakOptions {
+    fn default() -> Self {
+        BreakOptions {
+            assign_breakpoint_side: true,
+            merge_singletons: true,
+            coalesce: false,
+        }
+    }
+}
+
+/// Fig. 8 instantiated over an arbitrary curve family.
+#[derive(Debug, Clone)]
+pub struct OfflineBreaker<F> {
+    fitter: F,
+    /// Error tolerance ε: maximum allowed vertical deviation of any sample
+    /// from its segment's fitted curve.
+    epsilon: f64,
+    options: BreakOptions,
+}
+
+impl<F: CurveFitter> OfflineBreaker<F> {
+    /// Creates a breaker with tolerance `epsilon >= 0` and default options.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `epsilon` (caller bug).
+    pub fn new(fitter: F, epsilon: f64) -> Self {
+        Self::with_options(fitter, epsilon, BreakOptions::default())
+    }
+
+    /// Like [`OfflineBreaker::new`] but with post-hoc coalescing enabled:
+    /// the top-down recursion can leave adjacent ranges that would jointly
+    /// fit within ε (a split high up the recursion is never revisited);
+    /// coalescing merges them, strengthening §5.1's fragmentation-avoidance
+    /// requirement without violating the ε bound.
+    pub fn with_coalescing(fitter: F, epsilon: f64) -> Self {
+        Self::with_options(
+            fitter,
+            epsilon,
+            BreakOptions { coalesce: true, ..BreakOptions::default() },
+        )
+    }
+
+    /// Full control over the template's design choices (ablations).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `epsilon` (caller bug).
+    pub fn with_options(fitter: F, epsilon: f64, options: BreakOptions) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
+        OfflineBreaker { fitter, epsilon, options }
+    }
+
+    /// The configured tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> BreakOptions {
+        self.options
+    }
+
+    fn break_rec(&self, pts: &[Point], lo: usize, hi: usize, out: &mut Vec<(usize, usize)>) {
+        let len = hi - lo + 1;
+        // Too short to split further (or to fit): emit as one segment.
+        if len <= self.fitter.min_points() {
+            out.push((lo, hi));
+            return;
+        }
+        let run = &pts[lo..=hi];
+        let curve = match self.fitter.fit(run) {
+            Ok(c) => c,
+            Err(_) => {
+                // Unfittable run (degenerate data): emit rather than loop.
+                out.push((lo, hi));
+                return;
+            }
+        };
+        let dev = max_deviation(&curve, run).expect("non-empty run");
+        if dev.value <= self.epsilon {
+            out.push((lo, hi));
+            return;
+        }
+        let split = lo + dev.index; // absolute index of worst point
+        // Degenerate splits at the ends: peel one point off so recursion
+        // strictly shrinks.
+        if split == lo {
+            out.push((lo, lo));
+            self.break_rec(pts, lo + 1, hi, out);
+            return;
+        }
+        if split == hi {
+            self.break_rec(pts, lo, hi - 1, out);
+            out.push((hi, hi));
+            return;
+        }
+        // Steps (a)-(c): which side owns the breakpoint?
+        let (left_end, right_start) = if self.options.assign_breakpoint_side {
+            let worst = pts[split];
+            let left_dist = self
+                .fitter
+                .fit(&pts[lo..split]) // S1 without the breakpoint
+                .map(|c| (c.eval(worst.t) - worst.v).abs())
+                .unwrap_or(f64::INFINITY);
+            let right_dist = self
+                .fitter
+                .fit(&pts[split..=hi]) // S2 including the breakpoint
+                .map(|c| (c.eval(worst.t) - worst.v).abs())
+                .unwrap_or(f64::INFINITY);
+            if left_dist <= right_dist {
+                (split, split + 1) // breakpoint is the last element of S1
+            } else {
+                (split - 1, split) // breakpoint is the first element of S2
+            }
+        } else {
+            // Ablation: always give the breakpoint to the right side.
+            (split - 1, split)
+        };
+        self.break_rec(pts, lo, left_end, out);
+        self.break_rec(pts, right_start, hi, out);
+    }
+}
+
+impl<F: CurveFitter> OfflineBreaker<F> {
+    /// Post-pass against fragmentation (§5.1's third requirement): a
+    /// singleton range is folded into an adjacent range whenever the merged
+    /// run still fits within ε. Singletons that genuinely encode an abrupt
+    /// change (no ε-respecting merge exists) are kept.
+    fn merge_singletons(&self, pts: &[Point], mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+        let dev_of = |lo: usize, hi: usize| -> f64 {
+            let run = &pts[lo..=hi];
+            match self.fitter.fit(run) {
+                Ok(c) => max_deviation(&c, run).map(|d| d.value).unwrap_or(f64::INFINITY),
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut i = 0;
+            while i < ranges.len() {
+                let (lo, hi) = ranges[i];
+                if lo != hi || ranges.len() == 1 {
+                    i += 1;
+                    continue;
+                }
+                let left = (i > 0).then(|| dev_of(ranges[i - 1].0, hi));
+                let right = (i + 1 < ranges.len()).then(|| dev_of(lo, ranges[i + 1].1));
+                let take_left = left.is_some_and(|d| d <= self.epsilon)
+                    && (right.is_none() || left <= right);
+                let take_right = !take_left && right.is_some_and(|d| d <= self.epsilon);
+                if take_left {
+                    ranges[i - 1].1 = hi;
+                    ranges.remove(i);
+                    changed = true;
+                } else if take_right {
+                    ranges[i + 1].0 = lo;
+                    ranges.remove(i);
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        ranges
+    }
+
+    /// Greedy adjacent-pair merging while the merged run fits within ε.
+    fn coalesce_ranges(&self, pts: &[Point], mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+        let fits = |lo: usize, hi: usize| -> bool {
+            let run = &pts[lo..=hi];
+            match self.fitter.fit(run) {
+                Ok(c) => max_deviation(&c, run).is_some_and(|d| d.value <= self.epsilon),
+                Err(_) => false,
+            }
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut i = 0;
+            while i + 1 < ranges.len() {
+                let (lo, _) = ranges[i];
+                let (_, hi) = ranges[i + 1];
+                if fits(lo, hi) {
+                    ranges[i] = (lo, hi);
+                    ranges.remove(i + 1);
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        ranges
+    }
+}
+
+impl<F: CurveFitter> Breaker for OfflineBreaker<F> {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        if seq.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.break_rec(seq.points(), 0, seq.len() - 1, &mut out);
+        if self.options.merge_singletons {
+            out = self.merge_singletons(seq.points(), out);
+        }
+        if self.options.coalesce {
+            out = self.coalesce_ranges(seq.points(), out);
+        }
+        out
+    }
+}
+
+/// The paper's preferred instantiation: interpolation lines through run
+/// endpoints. "Effectively breaks sequences at extremum points... the
+/// algorithm's run time is O(#peaks · n)" (§5.1).
+#[derive(Debug, Clone)]
+pub struct LinearInterpolationBreaker(OfflineBreaker<EndpointInterpolator>);
+
+impl LinearInterpolationBreaker {
+    /// Creates the breaker with tolerance ε.
+    pub fn new(epsilon: f64) -> Self {
+        LinearInterpolationBreaker(OfflineBreaker::new(EndpointInterpolator, epsilon))
+    }
+
+    /// Like [`LinearInterpolationBreaker::new`] with post-hoc coalescing of
+    /// adjacent ranges that jointly fit within ε.
+    pub fn coalescing(epsilon: f64) -> Self {
+        LinearInterpolationBreaker(OfflineBreaker::with_coalescing(EndpointInterpolator, epsilon))
+    }
+
+    /// The configured tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.0.epsilon()
+    }
+}
+
+impl Breaker for LinearInterpolationBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        self.0.break_ranges(seq)
+    }
+}
+
+/// Fig. 8 instantiated with least-squares regression lines.
+#[derive(Debug, Clone)]
+pub struct LinearRegressionBreaker(OfflineBreaker<RegressionFitter>);
+
+impl LinearRegressionBreaker {
+    /// Creates the breaker with tolerance ε.
+    pub fn new(epsilon: f64) -> Self {
+        LinearRegressionBreaker(OfflineBreaker::new(RegressionFitter, epsilon))
+    }
+}
+
+impl Breaker for LinearRegressionBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        self.0.break_ranges(seq)
+    }
+}
+
+/// Fig. 8 instantiated with Schneider-fitted cubic Bézier curves (the
+/// "modified Bézier curve" instantiation).
+#[derive(Debug, Clone)]
+pub struct BezierBreaker(OfflineBreaker<BezierFitter>);
+
+impl BezierBreaker {
+    /// Creates the breaker with tolerance ε and default Newton–Raphson
+    /// iteration count.
+    pub fn new(epsilon: f64) -> Self {
+        BezierBreaker(OfflineBreaker::new(BezierFitter::default(), epsilon))
+    }
+}
+
+impl Breaker for BezierBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        self.0.break_ranges(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brk::assert_partition;
+    use saq_sequence::generators::{goalpost, piecewise_linear, GoalpostSpec};
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_segment() {
+        let s = seq(&(0..50).map(|i| 2.0 * i as f64 + 1.0).collect::<Vec<_>>());
+        for ranges in [
+            LinearInterpolationBreaker::new(0.1).break_ranges(&s),
+            LinearRegressionBreaker::new(0.1).break_ranges(&s),
+        ] {
+            assert_eq!(ranges, vec![(0, 49)]);
+        }
+    }
+
+    #[test]
+    fn tent_breaks_at_apex() {
+        // Tent with apex at index 10.
+        let vals: Vec<f64> = (0..=20)
+            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
+            .collect();
+        let s = seq(&vals);
+        let ranges = LinearInterpolationBreaker::new(0.5).break_ranges(&s);
+        assert_partition(&ranges, 21);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+        // The apex (index 10) ends up on exactly one side, adjacent to the cut.
+        let cut = ranges[1].0;
+        assert!((10..=11).contains(&cut), "cut at {cut}");
+    }
+
+    #[test]
+    fn goalpost_breaks_at_extrema() {
+        let s = goalpost(GoalpostSpec::default());
+        let breaker = LinearInterpolationBreaker::new(1.0);
+        let ranges = breaker.break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        // Two peaks + valley: at least 4 segments (up/down/up/down), and the
+        // tolerance keeps fragmentation low.
+        assert!(ranges.len() >= 4, "{}", ranges.len());
+        assert!(ranges.len() <= 12, "{}", ranges.len());
+    }
+
+    #[test]
+    fn epsilon_controls_granularity() {
+        let s = goalpost(GoalpostSpec { noise: 0.15, ..GoalpostSpec::default() });
+        let coarse = LinearInterpolationBreaker::new(2.0).break_ranges(&s).len();
+        let fine = LinearInterpolationBreaker::new(0.05).break_ranges(&s).len();
+        assert!(fine > coarse, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn piecewise_linear_recovers_knots() {
+        let s = piecewise_linear(&[(0.0, 0.0), (10.0, 20.0), (20.0, 5.0), (30.0, 25.0)]);
+        let breaker = LinearInterpolationBreaker::new(0.5);
+        let bps = breaker.breakpoints(&s);
+        // Knots at t = 10 and t = 20 (indices 10, 20); breakpoint may land on
+        // either side of the knot.
+        assert_eq!(bps.len(), 2, "{bps:?}");
+        assert!((9..=11).contains(&bps[0]), "{bps:?}");
+        assert!((19..=21).contains(&bps[1]), "{bps:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let b = LinearInterpolationBreaker::new(1.0);
+        assert!(b.break_ranges(&Sequence::new(vec![]).unwrap()).is_empty());
+        assert_eq!(b.break_ranges(&seq(&[5.0])), vec![(0, 0)]);
+        assert_eq!(b.break_ranges(&seq(&[5.0, 9.0])), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn zero_epsilon_still_terminates() {
+        let vals: Vec<f64> = (0..30).map(|i| ((i * 7919) % 13) as f64).collect();
+        let s = seq(&vals);
+        let ranges = LinearInterpolationBreaker::new(0.0).break_ranges(&s);
+        assert_partition(&ranges, 30);
+        // Every segment must fit exactly within ε=0: endpoint lines through
+        // 2 points always do; longer segments must be collinear runs.
+        for &(lo, hi) in &ranges {
+            if hi - lo >= 2 {
+                let run = &s.points()[lo..=hi];
+                let line = saq_curves::Line::through(run[0], run[run.len() - 1]).unwrap();
+                for p in run {
+                    assert!((line.eval(p.t) - p.v).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_bound_holds_for_all_instantiations() {
+        let s = goalpost(GoalpostSpec { noise: 0.3, ..GoalpostSpec::default() });
+        let eps = 1.5;
+        // Interpolation: every segment of length >= 2 fits within eps.
+        let ranges = LinearInterpolationBreaker::new(eps).break_ranges(&s);
+        for &(lo, hi) in &ranges {
+            if hi > lo {
+                let run = &s.points()[lo..=hi];
+                let line = EndpointInterpolator.fit(run).unwrap();
+                let d = max_deviation(&line, run).unwrap();
+                assert!(d.value <= eps + 1e-9, "segment ({lo},{hi}) dev {}", d.value);
+            }
+        }
+        // Regression instantiation honours the same bound.
+        let ranges = LinearRegressionBreaker::new(eps).break_ranges(&s);
+        for &(lo, hi) in &ranges {
+            if hi > lo {
+                let run = &s.points()[lo..=hi];
+                if let Ok(line) = RegressionFitter.fit(run) {
+                    let d = max_deviation(&line, run).unwrap();
+                    assert!(d.value <= eps + 1e-9, "segment ({lo},{hi}) dev {}", d.value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bezier_breaker_handles_smooth_data() {
+        let vals: Vec<f64> = (0..80).map(|i| (i as f64 * 0.15).sin() * 10.0).collect();
+        let s = seq(&vals);
+        let ranges = BezierBreaker::new(1.0).break_ranges(&s);
+        assert_partition(&ranges, 80);
+        // Smooth sinusoid: Bézier needs fewer segments than a fine-grained
+        // linear breaker.
+        let linear = LinearInterpolationBreaker::new(1.0).break_ranges(&s);
+        assert!(ranges.len() <= linear.len(), "bezier {} linear {}", ranges.len(), linear.len());
+    }
+
+    #[test]
+    fn fragmentation_avoided_on_clean_data() {
+        // §5.1: "Most resulting subsequences should be of length > 2".
+        let s = goalpost(GoalpostSpec::default());
+        let ranges = LinearInterpolationBreaker::new(0.5).break_ranges(&s);
+        let long = ranges.iter().filter(|(lo, hi)| hi - lo + 1 > 2).count();
+        assert!(
+            long * 2 >= ranges.len(),
+            "too fragmented: {ranges:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        let _ = LinearInterpolationBreaker::new(-1.0);
+    }
+
+    #[test]
+    fn coalescing_reduces_segments_but_keeps_epsilon_bound() {
+        let s = goalpost(GoalpostSpec { noise: 0.2, ..GoalpostSpec::default() });
+        let eps = 1.0;
+        let plain = LinearInterpolationBreaker::new(eps).break_ranges(&s);
+        let merged = LinearInterpolationBreaker::coalescing(eps).break_ranges(&s);
+        assert_partition(&merged, s.len());
+        assert!(merged.len() <= plain.len(), "merged {} plain {}", merged.len(), plain.len());
+        for &(lo, hi) in &merged {
+            if hi > lo {
+                let run = &s.points()[lo..=hi];
+                let line = EndpointInterpolator.fit(run).unwrap();
+                assert!(max_deviation(&line, run).unwrap().value <= eps + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_does_not_merge_real_features() {
+        // A tent cannot be coalesced into one segment: the apex deviates.
+        let vals: Vec<f64> = (0..=20)
+            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
+            .collect();
+        let s = seq(&vals);
+        let ranges = LinearInterpolationBreaker::coalescing(0.5).break_ranges(&s);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+    }
+}

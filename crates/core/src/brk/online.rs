@@ -1,0 +1,346 @@
+//! On-line breaking (§5.1): decide breakpoints while data streams in,
+//! "based on the data seen so far with no overall view of the sequence".
+//!
+//! The implemented family slides a growing window, maintains the
+//! least-squares line of the window incrementally (O(1) per point via
+//! running sums), and emits a breakpoint when the incoming point — or the
+//! refitted window — deviates from the line by more than ε. This trades the
+//! global optimality of the offline template for single-pass operation; the
+//! paper notes online algorithms' "obvious deficiency is possible lack of
+//! accuracy".
+
+use super::Breaker;
+use saq_sequence::{Point, Sequence};
+
+/// Streaming sliding-window breaker with incremental regression.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineBreaker {
+    epsilon: f64,
+    /// Residual check of the incoming point uses `spread_factor * epsilon`
+    /// as an early trigger before the exact window re-check; 1.0 means the
+    /// same tolerance.
+    min_segment: usize,
+}
+
+impl OnlineBreaker {
+    /// Creates an online breaker with tolerance ε and a minimum segment
+    /// length of 2.
+    pub fn new(epsilon: f64) -> Self {
+        Self::with_min_segment(epsilon, 2)
+    }
+
+    /// Creates an online breaker enforcing a minimum segment length
+    /// (fragmentation control).
+    ///
+    /// # Panics
+    /// Panics on invalid ε or `min_segment == 0` (caller bug).
+    pub fn with_min_segment(epsilon: f64, min_segment: usize) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
+        assert!(min_segment >= 1, "min_segment must be >= 1");
+        OnlineBreaker { epsilon, min_segment }
+    }
+
+    /// The configured tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Incremental simple-regression state over a window of points.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunningFit {
+    n: f64,
+    st: f64,
+    sv: f64,
+    stt: f64,
+    stv: f64,
+}
+
+impl RunningFit {
+    fn push(&mut self, p: Point) {
+        self.n += 1.0;
+        self.st += p.t;
+        self.sv += p.v;
+        self.stt += p.t * p.t;
+        self.stv += p.t * p.v;
+    }
+
+    /// `(slope, intercept)` of the current window; horizontal line until two
+    /// distinct abscissae exist.
+    fn line(&self) -> (f64, f64) {
+        if self.n < 2.0 {
+            return (0.0, if self.n > 0.0 { self.sv / self.n } else { 0.0 });
+        }
+        let denom = self.stt - self.st * self.st / self.n;
+        if denom.abs() < 1e-12 {
+            return (0.0, self.sv / self.n);
+        }
+        let slope = (self.stv - self.st * self.sv / self.n) / denom;
+        let intercept = (self.sv - slope * self.st) / self.n;
+        (slope, intercept)
+    }
+
+    fn residual(&self, p: Point) -> f64 {
+        let (a, b) = self.line();
+        (a * p.t + b - p.v).abs()
+    }
+}
+
+impl Breaker for OnlineBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        let pts = seq.points();
+        let n = pts.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        let mut fit = RunningFit::default();
+        fit.push(pts[0]);
+
+        for (i, &p) in pts.iter().enumerate().skip(1) {
+            // Tentatively extend the window.
+            let mut candidate = fit;
+            candidate.push(p);
+            let window_len = i - start + 1;
+            let over = candidate.residual(p) > self.epsilon
+                || worst_residual(&candidate, &pts[start..=i]) > self.epsilon;
+            if over && window_len > self.min_segment {
+                // Close the current segment before p.
+                ranges.push((start, i - 1));
+                start = i;
+                fit = RunningFit::default();
+                fit.push(p);
+            } else {
+                fit = candidate;
+            }
+        }
+        ranges.push((start, n - 1));
+        ranges
+    }
+}
+
+fn worst_residual(fit: &RunningFit, window: &[Point]) -> f64 {
+    window
+        .iter()
+        .map(|&p| fit.residual(p))
+        .fold(0.0, f64::max)
+}
+
+/// The paper's described online family (§5.1): "sliding a window,
+/// interpolating a polynomial through it and breaking the sequence whenever
+/// it deviates significantly from the polynomial". Each incoming point
+/// tentatively extends the window; the window's least-squares polynomial of
+/// the configured degree is refitted and the segment closes when any sample
+/// deviates beyond ε.
+///
+/// Costlier than [`OnlineBreaker`] (refit per point) but follows curvature,
+/// so smooth nonlinear runs stay unbroken.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedPolynomialBreaker {
+    /// Polynomial degree fitted through the window.
+    pub degree: usize,
+    epsilon: f64,
+    min_segment: usize,
+}
+
+impl WindowedPolynomialBreaker {
+    /// Creates a windowed polynomial breaker.
+    ///
+    /// # Panics
+    /// Panics on invalid ε, `degree > 12`, or `min_segment < degree + 1`
+    /// (caller bug).
+    pub fn new(degree: usize, epsilon: f64) -> Self {
+        Self::with_min_segment(degree, epsilon, degree + 1)
+    }
+
+    /// As [`WindowedPolynomialBreaker::new`] with explicit fragmentation
+    /// control.
+    pub fn with_min_segment(degree: usize, epsilon: f64, min_segment: usize) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
+        assert!(degree <= 12, "degree must be <= 12");
+        assert!(min_segment > degree, "min_segment must exceed the degree");
+        WindowedPolynomialBreaker { degree, epsilon, min_segment }
+    }
+
+    /// The configured tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Breaker for WindowedPolynomialBreaker {
+    fn break_ranges(&self, seq: &Sequence) -> Vec<(usize, usize)> {
+        use saq_curves::{max_deviation, Polynomial};
+        let pts = seq.points();
+        let n = pts.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for i in 1..n {
+            let window = &pts[start..=i];
+            let window_len = window.len();
+            if window_len <= self.degree + 1 {
+                continue; // exactly fittable, cannot deviate
+            }
+            let over = match Polynomial::fit(window, self.degree) {
+                Ok(poly) => max_deviation(&poly, window)
+                    .is_some_and(|d| d.value > self.epsilon),
+                Err(_) => false, // degenerate window: keep growing
+            };
+            if over && window_len > self.min_segment {
+                ranges.push((start, i - 1));
+                start = i;
+            }
+        }
+        ranges.push((start, n - 1));
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brk::assert_partition;
+    use saq_sequence::generators::{goalpost, piecewise_linear, GoalpostSpec};
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn straight_line_single_segment() {
+        let s = seq(&(0..40).map(|i| 3.0 * i as f64).collect::<Vec<_>>());
+        let ranges = OnlineBreaker::new(0.1).break_ranges(&s);
+        assert_eq!(ranges, vec![(0, 39)]);
+    }
+
+    #[test]
+    fn detects_slope_change() {
+        let s = piecewise_linear(&[(0.0, 0.0), (15.0, 15.0), (30.0, 0.0)]);
+        let ranges = OnlineBreaker::new(0.75).break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        assert!(ranges.len() >= 2, "{ranges:?}");
+        // A breakpoint lands near the knee at index 15.
+        let near_knee = ranges.iter().any(|&(lo, _)| (13..=18).contains(&lo));
+        assert!(near_knee, "{ranges:?}");
+    }
+
+    #[test]
+    fn online_segments_respect_tolerance_at_close() {
+        let s = goalpost(GoalpostSpec::default());
+        let breaker = OnlineBreaker::new(1.0);
+        let ranges = breaker.break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        // Every *closed* segment (all but possibly the last) fits within ε
+        // under its own regression line.
+        for &(lo, hi) in &ranges[..ranges.len().saturating_sub(1)] {
+            let run = &s.points()[lo..=hi];
+            if run.len() < 2 {
+                continue;
+            }
+            let line = saq_curves::Line::regression(run).unwrap();
+            let worst = run
+                .iter()
+                .map(|p| (saq_curves::Curve::eval(&line, p.t) - p.v).abs())
+                .fold(0.0, f64::max);
+            assert!(worst <= 1.0 + 1e-9, "segment ({lo},{hi}) worst {worst}");
+        }
+    }
+
+    #[test]
+    fn min_segment_controls_fragmentation() {
+        let vals: Vec<f64> = (0..60).map(|i| ((i * 31) % 7) as f64).collect();
+        let s = seq(&vals);
+        let frag = OnlineBreaker::with_min_segment(0.1, 1).break_ranges(&s);
+        let chunky = OnlineBreaker::with_min_segment(0.1, 6).break_ranges(&s);
+        assert!(chunky.len() < frag.len(), "chunky {} frag {}", chunky.len(), frag.len());
+        assert!(chunky.iter().all(|(lo, hi)| hi - lo + 1 >= 2));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let b = OnlineBreaker::new(0.5);
+        assert!(b.break_ranges(&Sequence::new(vec![]).unwrap()).is_empty());
+        assert_eq!(b.break_ranges(&seq(&[1.0])), vec![(0, 0)]);
+        assert_eq!(b.break_ranges(&seq(&[1.0, 9.0])), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn online_close_to_offline_on_clean_data() {
+        // The paper: online lacks accuracy but should be in the ballpark on
+        // clean piecewise-linear data.
+        let s = piecewise_linear(&[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0), (30.0, 10.0)]);
+        let online = OnlineBreaker::new(0.5).break_ranges(&s).len();
+        let offline =
+            crate::brk::LinearInterpolationBreaker::new(0.5).break_ranges(&s).len();
+        assert!(
+            (online as i64 - offline as i64).abs() <= 2,
+            "online {online} offline {offline}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_segment")]
+    fn zero_min_segment_rejected() {
+        let _ = OnlineBreaker::with_min_segment(1.0, 0);
+    }
+
+    #[test]
+    fn quadratic_window_follows_parabola() {
+        // A parabola breaks a *linear* online breaker but not a quadratic
+        // windowed one.
+        let vals: Vec<f64> = (0..60).map(|i| 0.05 * (i as f64 - 30.0).powi(2)).collect();
+        let s = seq(&vals);
+        let quad = WindowedPolynomialBreaker::new(2, 0.5).break_ranges(&s);
+        assert_eq!(quad, vec![(0, 59)], "quadratic fit covers the parabola");
+        let lin = OnlineBreaker::new(0.5).break_ranges(&s);
+        assert!(lin.len() > 1, "linear breaker must split the parabola");
+    }
+
+    #[test]
+    fn windowed_poly_partitions_and_respects_eps_on_closed_segments() {
+        let s = goalpost(GoalpostSpec { noise: 0.1, ..GoalpostSpec::default() });
+        let breaker = WindowedPolynomialBreaker::new(2, 0.8);
+        let ranges = breaker.break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        for &(lo, hi) in &ranges[..ranges.len() - 1] {
+            let run = &s.points()[lo..=hi];
+            if run.len() >= 3 {
+                let poly = saq_curves::Polynomial::fit(run, 2).unwrap();
+                let worst = saq_curves::max_deviation(&poly, run).unwrap().value;
+                assert!(worst <= 0.8 + 1e-9, "segment ({lo},{hi}) worst {worst}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_poly_degree_zero_tracks_level_shifts() {
+        // Degree 0 = running constant: breaks exactly at level changes.
+        let vals: Vec<f64> = (0..30)
+            .map(|i| if i < 10 { 1.0 } else if i < 20 { 5.0 } else { 2.0 })
+            .collect();
+        let s = seq(&vals);
+        let ranges = WindowedPolynomialBreaker::new(0, 0.5).break_ranges(&s);
+        assert_partition(&ranges, 30);
+        assert_eq!(ranges.len(), 3, "{ranges:?}");
+        assert_eq!(ranges[1].0, 10);
+        assert_eq!(ranges[2].0, 20);
+    }
+
+    #[test]
+    fn windowed_poly_tiny_inputs() {
+        let b = WindowedPolynomialBreaker::new(2, 1.0);
+        assert!(b.break_ranges(&Sequence::new(vec![]).unwrap()).is_empty());
+        assert_eq!(b.break_ranges(&seq(&[1.0])), vec![(0, 0)]);
+        assert_eq!(b.break_ranges(&seq(&[1.0, 99.0])), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn windowed_poly_bad_min_segment() {
+        let _ = WindowedPolynomialBreaker::with_min_segment(3, 1.0, 2);
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Errors from breaking, representation and querying.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying sequence operation failed.
+    Sequence(saq_sequence::Error),
+    /// An underlying curve fit failed.
+    Curve(saq_curves::Error),
+    /// A pattern failed to parse or compile.
+    Pattern(saq_pattern::Error),
+    /// The requested sequence id is not in the store.
+    UnknownSequence {
+        /// The id that was looked up.
+        id: u64,
+    },
+    /// Breaking produced no segments (empty input).
+    EmptyInput,
+    /// A configuration value was invalid.
+    BadConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sequence(e) => write!(f, "sequence error: {e}"),
+            Error::Curve(e) => write!(f, "curve error: {e}"),
+            Error::Pattern(e) => write!(f, "pattern error: {e}"),
+            Error::UnknownSequence { id } => write!(f, "unknown sequence id {id}"),
+            Error::EmptyInput => write!(f, "empty input sequence"),
+            Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sequence(e) => Some(e),
+            Error::Curve(e) => Some(e),
+            Error::Pattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<saq_sequence::Error> for Error {
+    fn from(e: saq_sequence::Error) -> Self {
+        Error::Sequence(e)
+    }
+}
+
+impl From<saq_curves::Error> for Error {
+    fn from(e: saq_curves::Error) -> Self {
+        Error::Curve(e)
+    }
+}
+
+impl From<saq_pattern::Error> for Error {
+    fn from(e: saq_pattern::Error) -> Self {
+        Error::Pattern(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: Error = saq_curves::Error::SingularSystem.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = saq_pattern::Error::UnknownSymbol { ch: 'x' }.into();
+        assert!(e.to_string().contains("pattern"));
+        assert!(std::error::Error::source(&Error::EmptyInput).is_none());
+        assert!(Error::UnknownSequence { id: 7 }.to_string().contains('7'));
+    }
+}

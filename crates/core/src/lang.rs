@@ -1,0 +1,395 @@
+//! A small textual query language for generalized approximate queries —
+//! the paper's §6 future work ("Define a query language that supports
+//! generalized approximate queries"), in the constraint-per-dimension
+//! style it sketches: the user states the shape and per-dimension error
+//! tolerances.
+//!
+//! Grammar (case-insensitive keywords, `#`-comments, clauses joined by
+//! `and`):
+//!
+//! ```text
+//! query     := clause ('and' clause)*
+//! clause    := shape | peaks | interval | steepness
+//! shape     := 'shape' STRING                  -- slope pattern, both notations
+//! peaks     := 'peaks' '=' INT ('tol' INT)?
+//! interval  := 'interval' '=' INT ('tol' INT)?
+//! steepness := 'steepness' ('all' | 'any') '>=' FLOAT ('slack' FLOAT)?
+//! ```
+//!
+//! Example: `shape "0* 1+ (-1)+ 0*" and peaks = 1 tol 0`.
+//!
+//! A conjunctive query is evaluated clause by clause; a sequence is an
+//! **exact** result if exact in every clause, and **approximate** if it
+//! matches every clause with at least one within-tolerance deviation (the
+//! total deviation is the sum across dimensions — each dimension carries
+//! its own metric, per §2.2).
+
+use crate::error::{Error, Result};
+use crate::query::{evaluate, ApproximateMatch, QueryOutcome, QuerySpec};
+use crate::store::SequenceStore;
+use std::collections::HashMap;
+
+/// A parsed conjunctive query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    clauses: Vec<QuerySpec>,
+}
+
+impl ParsedQuery {
+    /// The parsed clauses, in source order.
+    pub fn clauses(&self) -> &[QuerySpec] {
+        &self.clauses
+    }
+}
+
+/// Parses the textual language into clauses.
+pub fn parse_query(text: &str) -> Result<ParsedQuery> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Err(Error::BadConfig("empty query".into()));
+    }
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut clauses = vec![parser.clause()?];
+    while !parser.at_end() {
+        parser.expect_keyword("and")?;
+        clauses.push(parser.clause()?);
+    }
+    Ok(ParsedQuery { clauses })
+}
+
+/// Parses and evaluates a conjunctive query against a store.
+pub fn run_query(store: &SequenceStore, text: &str) -> Result<QueryOutcome> {
+    let parsed = parse_query(text)?;
+    let mut per_clause = Vec::with_capacity(parsed.clauses.len());
+    for clause in &parsed.clauses {
+        per_clause.push(evaluate(store, clause)?);
+    }
+    Ok(conjoin(&per_clause))
+}
+
+/// Combines per-clause outcomes conjunctively.
+pub fn conjoin(outcomes: &[QueryOutcome]) -> QueryOutcome {
+    if outcomes.is_empty() {
+        return QueryOutcome::default();
+    }
+    // tier: Some(total deviation) if matched, None if not; 0.0 = exact.
+    let mut tally: HashMap<u64, (usize, f64, bool)> = HashMap::new();
+    for outcome in outcomes {
+        for id in &outcome.exact {
+            let e = tally.entry(*id).or_insert((0, 0.0, false));
+            e.0 += 1;
+        }
+        for m in &outcome.approximate {
+            let e = tally.entry(m.id).or_insert((0, 0.0, false));
+            e.0 += 1;
+            e.1 += m.deviation;
+            e.2 = true;
+        }
+    }
+    let total = outcomes.len();
+    let mut exact = Vec::new();
+    let mut approximate = Vec::new();
+    for (id, (hits, dev, any_approx)) in tally {
+        if hits == total {
+            if any_approx {
+                approximate.push(ApproximateMatch { id, deviation: dev });
+            } else {
+                exact.push(id);
+            }
+        }
+    }
+    exact.sort_unstable();
+    approximate.sort_by(|a, b| {
+        a.deviation
+            .partial_cmp(&b.deviation)
+            .expect("finite deviations")
+            .then(a.id.cmp(&b.id))
+    });
+    QueryOutcome { exact, approximate }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Str(String),
+    Number(f64),
+    Eq,
+    Ge,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '"' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err(Error::BadConfig("unterminated string literal".into()));
+            }
+            out.push(Token::Str(chars[start..j].iter().collect()));
+            i = j + 1;
+        } else if c == '=' {
+            out.push(Token::Eq);
+            i += 1;
+        } else if c == '>' && chars.get(i + 1) == Some(&'=') {
+            out.push(Token::Ge);
+            i += 2;
+        } else if c.is_ascii_digit() || c == '-' || c == '.' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let s: String = chars[start..i].iter().collect();
+            let v: f64 = s
+                .parse()
+                .map_err(|_| Error::BadConfig(format!("bad number `{s}`")))?;
+            out.push(Token::Number(v));
+        } else if c.is_alphabetic() {
+            let start = i;
+            while i < chars.len() && chars[i].is_alphanumeric() {
+                i += 1;
+            }
+            out.push(Token::Word(chars[start..i].iter().collect::<String>().to_lowercase()));
+        } else {
+            return Err(Error::BadConfig(format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<&Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| Error::BadConfig("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Word(w) if w == kw => Ok(()),
+            other => Err(Error::BadConfig(format!("expected `{kw}`, got {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        match self.next()? {
+            Token::Number(v) => Ok(*v),
+            other => Err(Error::BadConfig(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    fn optional_number_after(&mut self, kw: &str) -> Result<Option<f64>> {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == kw) {
+            self.pos += 1;
+            Ok(Some(self.expect_number()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn clause(&mut self) -> Result<QuerySpec> {
+        let head = match self.next()? {
+            Token::Word(w) => w.clone(),
+            other => return Err(Error::BadConfig(format!("expected a clause, got {other:?}"))),
+        };
+        match head.as_str() {
+            "shape" => match self.next()? {
+                Token::Str(s) => Ok(QuerySpec::Shape { pattern: s.clone() }),
+                other => Err(Error::BadConfig(format!(
+                    "`shape` expects a quoted pattern, got {other:?}"
+                ))),
+            },
+            "peaks" => {
+                self.expect_eq()?;
+                let count = self.expect_count()?;
+                let tol = self.optional_number_after("tol")?.unwrap_or(0.0);
+                Ok(QuerySpec::PeakCount { count, tolerance: tol as usize })
+            }
+            "interval" => {
+                self.expect_eq()?;
+                let interval = self.expect_number()?;
+                let tol = self.optional_number_after("tol")?.unwrap_or(0.0);
+                Ok(QuerySpec::PeakInterval {
+                    interval: interval.round() as i64,
+                    epsilon: tol.round() as i64,
+                })
+            }
+            "steepness" => {
+                let mode = match self.next()? {
+                    Token::Word(w) if w == "all" || w == "any" => w.clone(),
+                    other => {
+                        return Err(Error::BadConfig(format!(
+                            "`steepness` expects `all` or `any`, got {other:?}"
+                        )))
+                    }
+                };
+                match self.next()? {
+                    Token::Ge => {}
+                    other => {
+                        return Err(Error::BadConfig(format!("expected `>=`, got {other:?}")))
+                    }
+                }
+                let steepness = self.expect_number()?;
+                let slack = self.optional_number_after("slack")?.unwrap_or(0.0);
+                if mode == "all" {
+                    Ok(QuerySpec::MinPeakSteepness { steepness, slack })
+                } else {
+                    Ok(QuerySpec::HasSteepPeak { steepness, slack })
+                }
+            }
+            other => Err(Error::BadConfig(format!("unknown clause `{other}`"))),
+        }
+    }
+
+    fn expect_eq(&mut self) -> Result<()> {
+        match self.next()? {
+            Token::Eq => Ok(()),
+            other => Err(Error::BadConfig(format!("expected `=`, got {other:?}"))),
+        }
+    }
+
+    fn expect_count(&mut self) -> Result<usize> {
+        let v = self.expect_number()?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(Error::BadConfig(format!("expected a non-negative integer, got {v}")));
+        }
+        Ok(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    fn corpus() -> (SequenceStore, Vec<u64>) {
+        let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+        let mut ids = Vec::new();
+        for seq in [
+            peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }),
+            goalpost(GoalpostSpec::default()),
+            peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() }),
+        ] {
+            ids.push(store.insert(&seq).unwrap());
+        }
+        (store, ids)
+    }
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let q = parse_query(
+            r#"shape "0* 1+ (-1)+ 0*" and peaks = 2 tol 1 and interval = 136 tol 3
+               and steepness all >= 2.0 slack 0.25 and steepness any >= 5"#,
+        )
+        .unwrap();
+        assert_eq!(q.clauses().len(), 5);
+        assert!(matches!(q.clauses()[0], QuerySpec::Shape { .. }));
+        assert!(matches!(q.clauses()[1], QuerySpec::PeakCount { count: 2, tolerance: 1 }));
+        assert!(matches!(
+            q.clauses()[2],
+            QuerySpec::PeakInterval { interval: 136, epsilon: 3 }
+        ));
+        assert!(matches!(q.clauses()[3], QuerySpec::MinPeakSteepness { .. }));
+        assert!(matches!(q.clauses()[4], QuerySpec::HasSteepPeak { .. }));
+    }
+
+    #[test]
+    fn comments_and_case_insensitivity() {
+        let q = parse_query("PEAKS = 2 # the goal-post count\n").unwrap();
+        assert_eq!(q.clauses().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("shape pattern", "quoted"),
+            ("peaks 2", "expected `=`"),
+            ("peaks = 2.5", "integer"),
+            ("steepness maybe >= 1", "`all` or `any`"),
+            ("bogus = 1", "unknown clause"),
+            ("peaks = 2 peaks = 3", "expected `and`"),
+            (r#"shape "unterminated"#, "unterminated"),
+        ] {
+            let err = parse_query(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{text}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn single_clause_runs_like_evaluate() {
+        let (store, ids) = corpus();
+        let out = run_query(&store, r#"shape "0* 1+ (-1)+ 0* 1+ (-1)+ 0*""#).unwrap();
+        assert_eq!(out.exact, vec![ids[1]]);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let (store, ids) = corpus();
+        // Two peaks AND an inter-peak interval near 10h: only the goalpost.
+        let out = run_query(&store, "peaks = 2 and interval = 10 tol 2").unwrap();
+        assert_eq!(out.exact, vec![ids[1]]);
+        // Two peaks (tol 1) AND interval near 8: the 3-peak sequence
+        // (interval-exact, count off by one) surfaces as approximate.
+        let out = run_query(&store, "peaks = 2 tol 1 and interval = 8 tol 1").unwrap();
+        assert!(out.approximate.iter().any(|m| m.id == ids[2]), "{out:?}");
+        assert!(!out.exact.contains(&ids[2]));
+    }
+
+    #[test]
+    fn conjunction_requires_all_clauses() {
+        let (store, ids) = corpus();
+        // One peak AND three peaks: unsatisfiable.
+        let out = run_query(&store, "peaks = 1 and peaks = 3").unwrap();
+        assert!(out.exact.is_empty() && out.approximate.is_empty());
+        // One peak alone matches the single-peak sequence.
+        let out = run_query(&store, "peaks = 1").unwrap();
+        assert_eq!(out.exact, vec![ids[0]]);
+    }
+
+    #[test]
+    fn deviations_sum_across_dimensions() {
+        let (store, ids) = corpus();
+        // Count tol 2 + interval tol 3: the 3-peak sequence deviates by 1
+        // in count and 2 in interval when asked for interval = 10.
+        let out = run_query(&store, "peaks = 2 tol 2 and interval = 10 tol 3").unwrap();
+        if let Some(m) = out.approximate.iter().find(|m| m.id == ids[2]) {
+            assert!(m.deviation >= 1.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn conjoin_empty_is_empty() {
+        assert_eq!(conjoin(&[]), QueryOutcome::default());
+    }
+}

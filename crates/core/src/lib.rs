@@ -1,0 +1,67 @@
+//! # saq-core
+//!
+//! The paper's primary contribution (Shatkay & Zdonik, ICDE 1996): breaking
+//! large data sequences into meaningful subsequences, representing each by a
+//! well-behaved real-valued function, and answering *generalized approximate
+//! queries* over the resulting compact representation.
+//!
+//! The crate is organized around the paper's pipeline:
+//!
+//! 1. **Breaking** ([`brk`]) — the offline recursive curve-fitting template
+//!    of Fig. 8 (instantiated with endpoint interpolation, least-squares
+//!    regression, or Bézier curves), an online sliding-window breaker, and a
+//!    dynamic-programming cost-minimizing breaker used as the expensive
+//!    baseline.
+//! 2. **Representation** ([`repr`]) — [`FunctionSeries`]: the sequence of
+//!    fitted functions with per-segment start/end points, reconstruction and
+//!    compression accounting.
+//! 3. **Slope alphabet** ([`alphabet`]) — quantizing segment slopes into
+//!    `{−1, 0, +1}` (rendered `d`, `f`, `u`), the paper's index alphabet.
+//! 4. **Features** ([`features`]) — peaks (Table 1's per-peak rising and
+//!    descending functions), inter-peak intervals, steepness.
+//! 5. **Transformations** ([`transform`]) — the feature-preserving
+//!    transformations that generalized approximate queries are closed under.
+//! 6. **Queries** ([`query`], [`store`]) — the query engine over a store of
+//!    representations with slope-pattern and inverted-file indexes.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use saq_core::{brk::LinearInterpolationBreaker, repr::FunctionSeries, Breaker};
+//! use saq_curves::RegressionFitter;
+//! use saq_sequence::generators::{goalpost, GoalpostSpec};
+//!
+//! let log = goalpost(GoalpostSpec::default());
+//! let breaker = LinearInterpolationBreaker::new(1.0);
+//! let ranges = breaker.break_ranges(&log);
+//! let series = FunctionSeries::build(&log, &ranges, &RegressionFitter).unwrap();
+//! assert!(series.segment_count() >= 4); // up, down, up, down at least
+//! assert!(series.compression().ratio() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alphabet;
+pub mod brk;
+mod error;
+pub mod features;
+pub mod lang;
+pub mod multi;
+pub mod persist;
+pub mod query;
+pub mod repr;
+pub mod store;
+pub mod transform;
+
+pub use alphabet::{slope_alphabet, SlopeSymbol};
+pub use brk::Breaker;
+pub use error::{Error, Result};
+pub use features::{Peak, PeakTable};
+pub use lang::{parse_query, run_query, ParsedQuery};
+pub use multi::{Family, MultiSeries};
+pub use persist::{load_series, read_series, save_series, write_series};
+pub use query::{ApproximateMatch, QueryOutcome, QuerySpec};
+pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
+pub use store::{SequenceStore, SharedStore, StoreConfig};
+pub use transform::Transform;

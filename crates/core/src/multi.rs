@@ -1,0 +1,161 @@
+//! Multiple simultaneous representations (§5.2): "since our representation
+//! is quite compact it would be possible to compute and store multiple
+//! representations and indices for the same data. This would be useful for
+//! simultaneously supporting several common query forms."
+//!
+//! [`MultiSeries`] stores three function-family representations of the same
+//! sequence over the same breakpoints: interpolation lines (cheap slopes for
+//! the pattern index), least-squares quadratics (curvature queries,
+//! smoother reconstruction), and Schneider Bézier curves (graphics-style
+//! rendering/look queries, §5.1's computer-graphics motivation).
+
+use crate::brk::{Breaker, LinearInterpolationBreaker};
+use crate::error::Result;
+use crate::repr::FunctionSeries;
+use saq_curves::{BezierFitter, CubicBezier, EndpointInterpolator, Line, Polynomial, PolynomialFitter};
+use saq_sequence::Sequence;
+
+/// Three representations of the same sequence, sharing breakpoints.
+#[derive(Debug, Clone)]
+pub struct MultiSeries {
+    /// Interpolation lines (the paper's workhorse).
+    pub linear: FunctionSeries<Line>,
+    /// Per-segment least-squares quadratics.
+    pub quadratic: FunctionSeries<Polynomial>,
+    /// Per-segment Bézier curves.
+    pub bezier: FunctionSeries<CubicBezier>,
+}
+
+/// Which stored family to read a value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Interpolation lines.
+    Linear,
+    /// Quadratic polynomials.
+    Quadratic,
+    /// Bézier curves.
+    Bezier,
+}
+
+impl MultiSeries {
+    /// Breaks `seq` once (linear-interpolation breaker at ε) and fits all
+    /// three families over the shared ranges. Ranges too short for a family
+    /// fall back to that family's singleton/minimal fit where possible.
+    pub fn build(seq: &Sequence, epsilon: f64) -> Result<MultiSeries> {
+        let ranges = LinearInterpolationBreaker::new(epsilon).break_ranges(seq);
+        let linear = FunctionSeries::build(seq, &ranges, &EndpointInterpolator)?;
+        // Quadratics need 3 points; split any shorter range handling via the
+        // fitter's singleton fallback by clamping the degree per range.
+        let quadratic = build_adaptive_poly(seq, &ranges)?;
+        let bezier = FunctionSeries::build(seq, &ranges, &BezierFitter::default())?;
+        Ok(MultiSeries { linear, quadratic, bezier })
+    }
+
+    /// Value at `t` from the chosen family.
+    pub fn value_at(&self, family: Family, t: f64) -> Result<f64> {
+        match family {
+            Family::Linear => self.linear.value_at(t),
+            Family::Quadratic => self.quadratic.value_at(t),
+            Family::Bezier => self.bezier.value_at(t),
+        }
+    }
+
+    /// Max deviation of each family from the raw sequence:
+    /// `(linear, quadratic, bezier)`.
+    pub fn deviations(&self, seq: &Sequence) -> (f64, f64, f64) {
+        (
+            self.linear.max_deviation_from(seq),
+            self.quadratic.max_deviation_from(seq),
+            self.bezier.max_deviation_from(seq),
+        )
+    }
+
+    /// Stored parameters per family: `(linear, quadratic, bezier)`.
+    pub fn parameter_counts(&self) -> (usize, usize, usize) {
+        (
+            self.linear.compression().parameters,
+            self.quadratic.compression().parameters,
+            self.bezier.compression().parameters,
+        )
+    }
+}
+
+/// Quadratic fits where ranges allow, lower degrees where they don't.
+fn build_adaptive_poly(
+    seq: &Sequence,
+    ranges: &[(usize, usize)],
+) -> Result<FunctionSeries<Polynomial>> {
+    // FunctionSeries::build fits one fixed fitter; emulate adaptivity by
+    // using degree = min(2, len - 1) per range through a wrapper fitter.
+    struct Adaptive;
+    impl saq_curves::CurveFitter for Adaptive {
+        type Curve = Polynomial;
+        fn fit(&self, points: &[saq_sequence::Point]) -> saq_curves::Result<Polynomial> {
+            let degree = (points.len() - 1).min(2);
+            Polynomial::fit(points, degree)
+        }
+        fn min_points(&self) -> usize {
+            1
+        }
+        fn fit_singleton(&self, point: saq_sequence::Point) -> saq_curves::Result<Polynomial> {
+            PolynomialFitter::new(0).fit_singleton(point)
+        }
+    }
+    FunctionSeries::build(seq, ranges, &Adaptive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_sequence::generators::{goalpost, GoalpostSpec};
+
+    #[test]
+    fn all_families_share_breakpoints() {
+        let log = goalpost(GoalpostSpec::default());
+        let multi = MultiSeries::build(&log, 1.0).unwrap();
+        assert_eq!(multi.linear.segment_count(), multi.quadratic.segment_count());
+        assert_eq!(multi.linear.segment_count(), multi.bezier.segment_count());
+        for (a, b) in multi.linear.segments().iter().zip(multi.quadratic.segments()) {
+            assert_eq!(a.start_index, b.start_index);
+            assert_eq!(a.end_index, b.end_index);
+        }
+    }
+
+    #[test]
+    fn quadratics_reconstruct_at_least_as_well_as_lines() {
+        let log = goalpost(GoalpostSpec::default());
+        let multi = MultiSeries::build(&log, 1.0).unwrap();
+        let (lin, quad, _bez) = multi.deviations(&log);
+        assert!(quad <= lin + 1e-9, "quad {quad} lin {lin}");
+        // The eps bound still holds for the linear family.
+        assert!(lin <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn parameter_costs_rank_as_expected() {
+        let log = goalpost(GoalpostSpec::default());
+        let multi = MultiSeries::build(&log, 1.0).unwrap();
+        let (lin, quad, bez) = multi.parameter_counts();
+        assert!(lin <= quad, "lines are cheapest: {lin} vs {quad}");
+        assert!(quad <= bez, "beziers are richest: {quad} vs {bez}");
+    }
+
+    #[test]
+    fn value_at_agrees_with_underlying_family() {
+        let log = goalpost(GoalpostSpec::default());
+        let multi = MultiSeries::build(&log, 1.0).unwrap();
+        let t = 8.25;
+        assert_eq!(
+            multi.value_at(Family::Linear, t).unwrap(),
+            multi.linear.value_at(t).unwrap()
+        );
+        assert_eq!(
+            multi.value_at(Family::Quadratic, t).unwrap(),
+            multi.quadratic.value_at(t).unwrap()
+        );
+        assert_eq!(
+            multi.value_at(Family::Bezier, t).unwrap(),
+            multi.bezier.value_at(t).unwrap()
+        );
+    }
+}

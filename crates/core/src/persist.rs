@@ -1,0 +1,214 @@
+//! Persistence for linear representations.
+//!
+//! The paper's premise is that representations are "significantly more
+//! space efficient than the original" and therefore *storable locally*;
+//! this module gives [`LinearSeries`] a compact, human-auditable text form
+//! (one segment per line) so representations survive process restarts and
+//! can be shipped between sites without the raw data.
+//!
+//! Format (version-tagged, `#`-comments tolerated):
+//!
+//! ```text
+//! saq-linear-series v1 <original_len> <segment_count>
+//! <start_index> <end_index> <start_t> <start_v> <end_t> <end_v> <slope> <intercept>
+//! ...
+//! ```
+
+use crate::error::{Error, Result};
+use crate::repr::{FunctionSeries, LinearSeries, Segment};
+use saq_curves::Line;
+use saq_sequence::Point;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "saq-linear-series v1";
+
+/// Writes a linear series in the v1 text format.
+pub fn write_series<W: Write>(series: &LinearSeries, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(
+        w,
+        "{MAGIC} {} {}",
+        series.original_len(),
+        series.segment_count()
+    )
+    .map_err(io_err)?;
+    for seg in series.segments() {
+        writeln!(
+            w,
+            "{} {} {} {} {} {} {} {}",
+            seg.start_index,
+            seg.end_index,
+            seg.start.t,
+            seg.start.v,
+            seg.end.t,
+            seg.end.v,
+            seg.curve.slope,
+            seg.curve.intercept
+        )
+        .map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a linear series from the v1 text format.
+pub fn read_series<R: Read>(input: R) -> Result<LinearSeries> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate().filter_map(|(no, l)| match l {
+        Ok(text) => {
+            let trimmed = text.trim().to_string();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                None
+            } else {
+                Some(Ok((no + 1, trimmed)))
+            }
+        }
+        Err(e) => Some(Err(Error::Sequence(saq_sequence::Error::Io(e)))),
+    });
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad(0, "empty representation file"))??;
+    let rest = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| bad(1, "missing or unsupported header"))?;
+    let mut head_fields = rest.split_whitespace();
+    let original_len: usize = parse_field(head_fields.next(), 1, "original length")?;
+    let segment_count: usize = parse_field(head_fields.next(), 1, "segment count")?;
+
+    let mut segments = Vec::with_capacity(segment_count);
+    for item in lines {
+        let (lineno, text) = item?;
+        let mut f = text.split_whitespace();
+        let start_index: usize = parse_field(f.next(), lineno, "start index")?;
+        let end_index: usize = parse_field(f.next(), lineno, "end index")?;
+        let st: f64 = parse_field(f.next(), lineno, "start t")?;
+        let sv: f64 = parse_field(f.next(), lineno, "start v")?;
+        let et: f64 = parse_field(f.next(), lineno, "end t")?;
+        let ev: f64 = parse_field(f.next(), lineno, "end v")?;
+        let slope: f64 = parse_field(f.next(), lineno, "slope")?;
+        let intercept: f64 = parse_field(f.next(), lineno, "intercept")?;
+        if f.next().is_some() {
+            return Err(bad(lineno, "trailing fields"));
+        }
+        segments.push(Segment {
+            start_index,
+            end_index,
+            start: Point::new(st, sv),
+            end: Point::new(et, ev),
+            curve: Line::new(slope, intercept),
+        });
+    }
+    if segments.len() != segment_count {
+        return Err(bad(
+            0,
+            &format!("expected {segment_count} segments, found {}", segments.len()),
+        ));
+    }
+    FunctionSeries::from_segments(segments, original_len)
+}
+
+/// Saves to a file path.
+pub fn save_series<P: AsRef<Path>>(series: &LinearSeries, path: P) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    write_series(series, file)
+}
+
+/// Loads from a file path.
+pub fn load_series<P: AsRef<Path>>(path: P) -> Result<LinearSeries> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    read_series(file)
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Sequence(saq_sequence::Error::Io(e))
+}
+
+fn bad(line: usize, message: &str) -> Error {
+    Error::BadConfig(format!("representation file line {line}: {message}"))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T> {
+    let text = field.ok_or_else(|| bad(line, &format!("missing {what}")))?;
+    text.parse()
+        .map_err(|_| bad(line, &format!("bad {what} `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brk::{Breaker, LinearInterpolationBreaker};
+    use saq_curves::RegressionFitter;
+    use saq_sequence::generators::{goalpost, GoalpostSpec};
+
+    fn sample_series() -> LinearSeries {
+        let log = goalpost(GoalpostSpec::default());
+        let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(&log);
+        FunctionSeries::build(&log, &ranges, &RegressionFitter).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let series = sample_series();
+        let mut buf = Vec::new();
+        write_series(&series, &mut buf).unwrap();
+        let back = read_series(buf.as_slice()).unwrap();
+        assert_eq!(series, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("saq_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.saq");
+        let series = sample_series();
+        save_series(&series, &path).unwrap();
+        let back = load_series(&path).unwrap();
+        assert_eq!(series, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let series = sample_series();
+        let mut buf = Vec::new();
+        write_series(&series, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let with_comments = text.replacen('\n', "\n# a comment\n\n", 1);
+        let back = read_series(with_comments.as_bytes()).unwrap();
+        assert_eq!(series, back);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(read_series("".as_bytes()).is_err());
+        assert!(read_series("not-a-header 1 2\n".as_bytes()).is_err());
+        // Wrong count.
+        let text = format!("{MAGIC} 49 3\n0 5 0 1 5 2 0.2 1\n");
+        assert!(read_series(text.as_bytes()).is_err());
+        // Bad numeric field.
+        let text = format!("{MAGIC} 49 1\n0 5 0 1 5 zebra 0.2 1\n");
+        let err = read_series(text.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("zebra"), "{err}");
+        // Trailing junk.
+        let text = format!("{MAGIC} 49 1\n0 5 0 1 5 2 0.2 1 99\n");
+        assert!(read_series(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn loaded_series_still_answers_queries() {
+        let series = sample_series();
+        let mut buf = Vec::new();
+        write_series(&series, &mut buf).unwrap();
+        let back = read_series(buf.as_slice()).unwrap();
+        // Peak extraction works on the reloaded representation.
+        let peaks = crate::features::PeakTable::extract(&back, 0.25);
+        assert_eq!(peaks.len(), 2);
+        // Evaluation too.
+        assert!((back.value_at(8.0).unwrap() - series.value_at(8.0).unwrap()).abs() < 1e-12);
+    }
+}

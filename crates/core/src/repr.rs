@@ -1,0 +1,358 @@
+//! Piecewise-function representation of sequences.
+//!
+//! "The stored sequences are represented as sequences of linear functions.
+//! Each function is an approximation of a subsequence of the original
+//! sequence" (§4.4). Each [`Segment`] keeps the representing function plus
+//! the start/end points of the subsequence it approximates — the paper notes
+//! start/end points are "part of the information obtained from the breaking
+//! algorithm and are maintained with any representation".
+
+use crate::error::{Error, Result};
+use saq_curves::{Curve, CurveFitter};
+use saq_sequence::{Point, Sequence};
+use serde::{Deserialize, Serialize};
+
+/// One represented subsequence: an index range of the original sequence,
+/// its endpoints, and the fitted function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment<C> {
+    /// Index of the first point (inclusive) in the original sequence.
+    pub start_index: usize,
+    /// Index of the last point (inclusive) in the original sequence.
+    pub end_index: usize,
+    /// First point of the subsequence.
+    pub start: Point,
+    /// Last point of the subsequence.
+    pub end: Point,
+    /// The representing function.
+    pub curve: C,
+}
+
+impl<C: Curve> Segment<C> {
+    /// Number of raw points covered.
+    pub fn len(&self) -> usize {
+        self.end_index - self.start_index + 1
+    }
+
+    /// Always at least one point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Time span covered.
+    pub fn span(&self) -> (f64, f64) {
+        (self.start.t, self.end.t)
+    }
+
+    /// Representative slope of the segment: the derivative of the fitted
+    /// function at the segment's mid-time.
+    pub fn slope(&self) -> f64 {
+        self.curve.derivative(0.5 * (self.start.t + self.end.t))
+    }
+}
+
+/// Compression accounting for a representation (§5.2: "500 points sequences
+/// are represented by about 10 function segments... about a factor of 12
+/// reduction in space").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionReport {
+    /// Points in the original sequence.
+    pub original_points: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Total stored parameters: per segment, the function's parameters plus
+    /// two breakpoint coordinates (start/end time).
+    pub parameters: usize,
+}
+
+impl CompressionReport {
+    /// Space reduction factor `original_points / parameters`.
+    pub fn ratio(&self) -> f64 {
+        if self.parameters == 0 {
+            return 1.0;
+        }
+        self.original_points as f64 / self.parameters as f64
+    }
+}
+
+/// A sequence of fitted functions — the stored representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSeries<C> {
+    segments: Vec<Segment<C>>,
+    original_len: usize,
+}
+
+/// The representation used throughout the paper's experiments: lines.
+pub type LinearSeries = FunctionSeries<saq_curves::Line>;
+
+impl<C: Curve + Clone> FunctionSeries<C> {
+    /// Builds a representation by fitting `fitter`'s curve family to each
+    /// index range. Ranges must be non-empty, contiguous, in order, and
+    /// partition `[0, seq.len())` — breakers guarantee this.
+    pub fn build<F>(seq: &Sequence, ranges: &[(usize, usize)], fitter: &F) -> Result<Self>
+    where
+        F: CurveFitter<Curve = C>,
+    {
+        if seq.is_empty() || ranges.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        let mut segments = Vec::with_capacity(ranges.len());
+        let mut expected_start = 0usize;
+        for &(lo, hi) in ranges {
+            if lo != expected_start || hi < lo || hi >= seq.len() {
+                return Err(Error::BadConfig(format!(
+                    "ranges must partition the sequence; got ({lo}, {hi}) expecting start {expected_start}"
+                )));
+            }
+            expected_start = hi + 1;
+            let pts = &seq.points()[lo..=hi];
+            let curve = if pts.len() == 1 {
+                fitter.fit_singleton(pts[0])?
+            } else {
+                fitter.fit(pts)?
+            };
+            segments.push(Segment {
+                start_index: lo,
+                end_index: hi,
+                start: pts[0],
+                end: pts[pts.len() - 1],
+                curve,
+            });
+        }
+        if expected_start != seq.len() {
+            return Err(Error::BadConfig(format!(
+                "ranges cover {expected_start} of {} points",
+                seq.len()
+            )));
+        }
+        Ok(FunctionSeries { segments, original_len: seq.len() })
+    }
+
+    /// Rebuilds a series from already-fitted segments (deserialization
+    /// path); validates the same partition invariants as
+    /// [`FunctionSeries::build`] plus endpoint time ordering.
+    pub fn from_segments(segments: Vec<Segment<C>>, original_len: usize) -> Result<Self> {
+        if segments.is_empty() || original_len == 0 {
+            return Err(Error::EmptyInput);
+        }
+        let mut expected_start = 0usize;
+        for seg in &segments {
+            if seg.start_index != expected_start || seg.end_index < seg.start_index {
+                return Err(Error::BadConfig(format!(
+                    "segments must partition the sequence; got [{}, {}] expecting start {expected_start}",
+                    seg.start_index, seg.end_index
+                )));
+            }
+            if seg.start.t > seg.end.t {
+                return Err(Error::BadConfig("segment endpoints out of order".into()));
+            }
+            expected_start = seg.end_index + 1;
+        }
+        if expected_start != original_len {
+            return Err(Error::BadConfig(format!(
+                "segments cover {expected_start} of {original_len} points"
+            )));
+        }
+        Ok(FunctionSeries { segments, original_len })
+    }
+
+    /// The segments, in time order.
+    pub fn segments(&self) -> &[Segment<C>] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Length of the represented raw sequence.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Time span covered by the representation.
+    pub fn span(&self) -> (f64, f64) {
+        (
+            self.segments[0].start.t,
+            self.segments[self.segments.len() - 1].end.t,
+        )
+    }
+
+    /// Approximate value at time `t` — functions interpolate unsampled
+    /// points (§3, characteristic 6). Between adjacent segments the two
+    /// boundary points are linearly bridged; outside the span an error is
+    /// returned.
+    pub fn value_at(&self, t: f64) -> Result<f64> {
+        let (lo, hi) = self.span();
+        if t < lo || t > hi {
+            return Err(Error::Sequence(saq_sequence::Error::OutOfRange {
+                t,
+                start: lo,
+                end: hi,
+            }));
+        }
+        // Find the first segment whose end time >= t.
+        let idx = self.segments.partition_point(|s| s.end.t < t);
+        let seg = &self.segments[idx];
+        if t >= seg.start.t {
+            return Ok(seg.curve.eval(t));
+        }
+        // t falls in the gap between segments idx-1 and idx: bridge.
+        let prev = &self.segments[idx - 1];
+        let w = (t - prev.end.t) / (seg.start.t - prev.end.t);
+        Ok(prev.end.v + w * (seg.start.v - prev.end.v))
+    }
+
+    /// Reconstructs an approximation of the original sequence at `n`
+    /// uniformly spaced times across the span.
+    pub fn reconstruct(&self, n: usize) -> Result<Sequence> {
+        if n < 2 {
+            return Err(Error::BadConfig("reconstruction needs n >= 2".into()));
+        }
+        let (lo, hi) = self.span();
+        let dt = (hi - lo) / (n - 1) as f64;
+        let mut points = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = if i == n - 1 { hi } else { lo + i as f64 * dt };
+            points.push(Point::new(t, self.value_at(t)?));
+        }
+        Ok(Sequence::new(points)?)
+    }
+
+    /// Compression accounting: each segment costs its function's parameters
+    /// plus two breakpoint coordinates.
+    pub fn compression(&self) -> CompressionReport {
+        let parameters = self
+            .segments
+            .iter()
+            .map(|s| s.curve.parameter_count() + 2)
+            .sum();
+        CompressionReport {
+            original_points: self.original_len,
+            segments: self.segments.len(),
+            parameters,
+        }
+    }
+
+    /// Per-segment representative slopes.
+    pub fn slopes(&self) -> Vec<f64> {
+        self.segments.iter().map(Segment::slope).collect()
+    }
+
+    /// Maximum absolute deviation between the representation and the raw
+    /// sequence it was built from (must be the same sequence).
+    pub fn max_deviation_from(&self, seq: &Sequence) -> f64 {
+        let mut worst = 0.0f64;
+        for seg in &self.segments {
+            for p in &seq.points()[seg.start_index..=seg.end_index] {
+                worst = worst.max((seg.curve.eval(p.t) - p.v).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_curves::{EndpointInterpolator, RegressionFitter};
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn build_validates_partition() {
+        let s = seq(&[0.0, 1.0, 2.0, 3.0]);
+        // Gap.
+        assert!(FunctionSeries::build(&s, &[(0, 1), (3, 3)], &RegressionFitter).is_err());
+        // Overlap.
+        assert!(FunctionSeries::build(&s, &[(0, 2), (2, 3)], &RegressionFitter).is_err());
+        // Missing tail.
+        assert!(FunctionSeries::build(&s, &[(0, 1)], &RegressionFitter).is_err());
+        // Out of bounds.
+        assert!(FunctionSeries::build(&s, &[(0, 9)], &RegressionFitter).is_err());
+        // Correct.
+        assert!(FunctionSeries::build(&s, &[(0, 1), (2, 3)], &RegressionFitter).is_ok());
+        // Empty.
+        assert!(FunctionSeries::build(&s, &[], &RegressionFitter).is_err());
+    }
+
+    #[test]
+    fn exact_on_piecewise_linear_data() {
+        // Tent: up over [0..5], down over [5..10].
+        let vals: Vec<f64> = (0..=10)
+            .map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 })
+            .collect();
+        let s = seq(&vals);
+        let fs = FunctionSeries::build(&s, &[(0, 5), (6, 10)], &EndpointInterpolator).unwrap();
+        assert_eq!(fs.segment_count(), 2);
+        assert!(fs.max_deviation_from(&s) < 1e-12);
+        assert_eq!(fs.slopes().len(), 2);
+        assert!(fs.slopes()[0] > 0.0 && fs.slopes()[1] < 0.0);
+    }
+
+    #[test]
+    fn value_at_inside_segment_and_bridge() {
+        let vals: Vec<f64> = (0..=10)
+            .map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 })
+            .collect();
+        let s = seq(&vals);
+        let fs = FunctionSeries::build(&s, &[(0, 5), (6, 10)], &EndpointInterpolator).unwrap();
+        assert!((fs.value_at(2.5).unwrap() - 2.5).abs() < 1e-12);
+        // Bridge between t=5 (end of seg 0, v=5) and t=6 (start of seg 1, v=4).
+        assert!((fs.value_at(5.5).unwrap() - 4.5).abs() < 1e-12);
+        assert!(fs.value_at(-1.0).is_err());
+        assert!(fs.value_at(11.0).is_err());
+    }
+
+    #[test]
+    fn reconstruction_tracks_original() {
+        let vals: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin() * 5.0).collect();
+        let s = seq(&vals);
+        // Break by hand every 10 points.
+        let ranges: Vec<(usize, usize)> =
+            (0..6).map(|k| (k * 10, (k * 10 + 9).min(59))).collect();
+        let fs = FunctionSeries::build(&s, &ranges, &RegressionFitter).unwrap();
+        let rec = fs.reconstruct(60).unwrap();
+        assert_eq!(rec.len(), 60);
+        // Coarse linear representation: generous bound.
+        let dev = fs.max_deviation_from(&s);
+        assert!(dev < 2.5, "dev {dev}");
+    }
+
+    #[test]
+    fn compression_accounting() {
+        let s = seq(&(0..500).map(|i| i as f64).collect::<Vec<_>>());
+        let ranges: Vec<(usize, usize)> = (0..10).map(|k| (k * 50, k * 50 + 49)).collect();
+        let fs = FunctionSeries::build(&s, &ranges, &EndpointInterpolator).unwrap();
+        let report = fs.compression();
+        assert_eq!(report.original_points, 500);
+        assert_eq!(report.segments, 10);
+        // 10 segments * (2 line params + 2 breakpoints) = 40.
+        assert_eq!(report.parameters, 40);
+        assert!((report.ratio() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_segment_allowed() {
+        let s = seq(&[1.0, 9.0, 1.0]);
+        let fs = FunctionSeries::build(&s, &[(0, 0), (1, 1), (2, 2)], &RegressionFitter).unwrap();
+        assert_eq!(fs.segment_count(), 3);
+        assert_eq!(fs.segments()[1].len(), 1);
+        assert!((fs.value_at(1.0).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_and_segment_metadata() {
+        let s = Sequence::from_values(100.0, 2.0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let fs = FunctionSeries::build(&s, &[(0, 3)], &EndpointInterpolator).unwrap();
+        assert_eq!(fs.span(), (100.0, 106.0));
+        let seg = &fs.segments()[0];
+        assert_eq!(seg.len(), 4);
+        assert_eq!(seg.span(), (100.0, 106.0));
+        assert!(!seg.is_empty());
+        assert_eq!(fs.original_len(), 4);
+    }
+}

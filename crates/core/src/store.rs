@@ -1,0 +1,301 @@
+//! The representation store: what the paper's "database" holds (§4.4).
+//!
+//! "The stored sequences are represented as sequences of linear functions"
+//! with two index structures maintained over them: the slope-sign pattern
+//! index (§4.4) and the inverted-file index over inter-peak intervals
+//! (§5.2, Fig. 10). Raw sequences may optionally be retained ("we don't
+//! propose discarding the actual sequences; they can be stored archivally").
+
+use crate::alphabet::{series_symbols, DEFAULT_THETA};
+use crate::brk::{Breaker, LinearInterpolationBreaker};
+use crate::error::{Error, Result};
+use crate::features::PeakTable;
+use crate::repr::LinearSeries;
+use parking_lot::RwLock;
+use saq_curves::{Line, RegressionFitter};
+use saq_sequence::Sequence;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of the ingestion pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Breaking tolerance ε.
+    pub epsilon: f64,
+    /// Slope-quantization threshold θ (the paper uses 0.25).
+    pub theta: f64,
+    /// Whether to retain the raw sequences alongside representations.
+    pub keep_raw: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { epsilon: 1.0, theta: DEFAULT_THETA, keep_raw: true }
+    }
+}
+
+/// Everything stored for one ingested sequence.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// The piecewise-linear representation.
+    pub series: LinearSeries,
+    /// θ-quantized slope symbol ids.
+    pub symbols: Vec<u8>,
+    /// The peaks table (Table 1).
+    pub peaks: PeakTable<Line>,
+    /// The raw sequence, if retained.
+    pub raw: Option<Sequence>,
+}
+
+/// A store of sequence representations with the paper's two indexes.
+#[derive(Debug)]
+pub struct SequenceStore {
+    config: StoreConfig,
+    next_id: u64,
+    entries: HashMap<u64, StoredEntry>,
+    pattern_index: saq_index::PatternIndex,
+    interval_index: saq_index::InvertedIndex,
+}
+
+impl Default for SequenceStore {
+    fn default() -> Self {
+        SequenceStore::new(StoreConfig::default()).expect("default config is valid")
+    }
+}
+
+impl SequenceStore {
+    /// An empty store with the given configuration.
+    pub fn new(config: StoreConfig) -> Result<SequenceStore> {
+        if !(config.epsilon.is_finite() && config.epsilon >= 0.0) {
+            return Err(Error::BadConfig("epsilon must be finite and >= 0".into()));
+        }
+        if !(config.theta.is_finite() && config.theta >= 0.0) {
+            return Err(Error::BadConfig("theta must be finite and >= 0".into()));
+        }
+        Ok(SequenceStore {
+            config,
+            next_id: 1,
+            entries: HashMap::new(),
+            pattern_index: saq_index::PatternIndex::new(),
+            interval_index: saq_index::InvertedIndex::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Ingests a sequence: break → represent (regression lines) → quantize
+    /// slopes → extract peaks → index. Returns the assigned id.
+    pub fn insert(&mut self, seq: &Sequence) -> Result<u64> {
+        if seq.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        let breaker = LinearInterpolationBreaker::new(self.config.epsilon);
+        let ranges = breaker.break_ranges(seq);
+        let series = LinearSeries::build(seq, &ranges, &RegressionFitter)?;
+        // Single-sample segments have no defined slope; their Flat symbol
+        // would split e.g. a `u+ d+` peak at its apex, so they are dropped
+        // from the indexed symbol string.
+        let symbols: Vec<u8> = series_symbols(&series, self.config.theta)
+            .into_iter()
+            .zip(series.segments())
+            .filter(|(sym, seg)| {
+                !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat)
+            })
+            .map(|(sym, _)| sym.id())
+            .collect();
+        let peaks = PeakTable::extract(&series, self.config.theta);
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pattern_index.insert(id, symbols.clone());
+        for (pos, bucket) in peaks.interval_buckets().into_iter().enumerate() {
+            self.interval_index.add(bucket, id, pos as u32);
+        }
+        self.entries.insert(
+            id,
+            StoredEntry {
+                series,
+                symbols,
+                peaks,
+                raw: self.config.keep_raw.then(|| seq.clone()),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entry for an id.
+    pub fn get(&self, id: u64) -> Result<&StoredEntry> {
+        self.entries.get(&id).ok_or(Error::UnknownSequence { id })
+    }
+
+    /// All stored ids (unordered).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The slope-pattern index (§4.4).
+    pub fn pattern_index(&self) -> &saq_index::PatternIndex {
+        &self.pattern_index
+    }
+
+    /// The inverted-file interval index (Fig. 10).
+    pub fn interval_index(&self) -> &saq_index::InvertedIndex {
+        &self.interval_index
+    }
+
+    /// Aggregate compression across all stored representations.
+    pub fn total_compression(&self) -> crate::repr::CompressionReport {
+        let mut original = 0;
+        let mut segments = 0;
+        let mut parameters = 0;
+        for e in self.entries.values() {
+            let r = e.series.compression();
+            original += r.original_points;
+            segments += r.segments;
+            parameters += r.parameters;
+        }
+        crate::repr::CompressionReport {
+            original_points: original,
+            segments,
+            parameters,
+        }
+    }
+}
+
+/// A thread-safe handle to a shared store (readers don't block each other;
+/// the paper's physician workload is read-heavy).
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<SequenceStore>>,
+}
+
+impl SharedStore {
+    /// Wraps a store for shared use.
+    pub fn new(store: SequenceStore) -> SharedStore {
+        SharedStore { inner: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Ingests a sequence under the write lock.
+    pub fn insert(&self, seq: &Sequence) -> Result<u64> {
+        self.inner.write().insert(seq)
+    }
+
+    /// Runs a closure with read access.
+    pub fn read<R>(&self, f: impl FnOnce(&SequenceStore) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    fn store() -> SequenceStore {
+        SequenceStore::new(StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_increasing_ids() {
+        let mut s = store();
+        let log = goalpost(GoalpostSpec::default());
+        let a = s.insert(&log).unwrap();
+        let b = s.insert(&log).unwrap();
+        assert!(b > a);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let mut s = store();
+        let empty = Sequence::new(vec![]).unwrap();
+        assert!(matches!(s.insert(&empty), Err(Error::EmptyInput)));
+    }
+
+    #[test]
+    fn entry_holds_all_artifacts() {
+        let mut s = store();
+        let log = goalpost(GoalpostSpec::default());
+        let id = s.insert(&log).unwrap();
+        let e = s.get(id).unwrap();
+        assert!(e.series.segment_count() >= 4);
+        assert!(!e.symbols.is_empty());
+        assert_eq!(e.peaks.len(), 2);
+        assert!(e.raw.is_some());
+        assert!(s.get(999).is_err());
+    }
+
+    #[test]
+    fn keep_raw_false_drops_raw() {
+        let mut s =
+            SequenceStore::new(StoreConfig { keep_raw: false, ..StoreConfig::default() }).unwrap();
+        let id = s.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        assert!(s.get(id).unwrap().raw.is_none());
+    }
+
+    #[test]
+    fn interval_index_populated() {
+        let mut s = store();
+        let three = peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() });
+        let id = s.insert(&three).unwrap();
+        // Two intervals of ~8h each.
+        let hits = s.interval_index().matching_sequences(8, 2);
+        assert_eq!(hits, vec![id]);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        assert!(SequenceStore::new(StoreConfig {
+            epsilon: f64::NAN,
+            ..StoreConfig::default()
+        })
+        .is_err());
+        assert!(SequenceStore::new(StoreConfig {
+            theta: -1.0,
+            ..StoreConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn total_compression_aggregates() {
+        let mut s = store();
+        s.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        s.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        let r = s.total_compression();
+        assert_eq!(r.original_points, 98);
+        assert!(r.ratio() > 1.0);
+    }
+
+    #[test]
+    fn shared_store_concurrent_reads() {
+        let shared = SharedStore::new(store());
+        let log = goalpost(GoalpostSpec::default());
+        let id = shared.insert(&log).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.read(|st| st.get(id).unwrap().peaks.len()))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 2);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Feature-preserving transformations (§2.2).
+//!
+//! A generalized approximate query denotes a set `S` of sequences "closed
+//! under any behavior-preserving transformations": translation in time and
+//! amplitude, dilation and contraction (frequency changes), and combinations
+//! thereof. These transformations generate the equivalence class a query
+//! exemplar stands for; the experiments apply them to verify consistency of
+//! breaking and closure of feature queries.
+
+use crate::error::{Error, Result};
+use saq_sequence::Sequence;
+
+/// A feature-preserving transformation of sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Translation in time: `t ↦ t + dt`.
+    TimeShift(f64),
+    /// Translation in amplitude: `v ↦ v + dv`.
+    AmplitudeShift(f64),
+    /// Amplitude scaling: `v ↦ s·v` with `s > 0` (negative would invert
+    /// peaks into valleys and is *not* feature preserving).
+    AmplitudeScale(f64),
+    /// Time dilation (`s > 1`) or contraction (`0 < s < 1`): `t ↦ s·t`.
+    /// These are the frequency changes of §2.2's footnote.
+    TimeDilate(f64),
+    /// Composition, applied left to right.
+    Compose(Vec<Transform>),
+}
+
+impl Transform {
+    /// Applies the transformation.
+    pub fn apply(&self, seq: &Sequence) -> Result<Sequence> {
+        match self {
+            Transform::TimeShift(dt) => {
+                if !dt.is_finite() {
+                    return Err(Error::BadConfig("non-finite time shift".into()));
+                }
+                Ok(seq.map_times(|t| t + dt)?)
+            }
+            Transform::AmplitudeShift(dv) => {
+                if !dv.is_finite() {
+                    return Err(Error::BadConfig("non-finite amplitude shift".into()));
+                }
+                Ok(seq.map_values(|v| v + dv)?)
+            }
+            Transform::AmplitudeScale(s) => {
+                if !(s.is_finite() && *s > 0.0) {
+                    return Err(Error::BadConfig(
+                        "amplitude scale must be positive (negative scaling inverts features)"
+                            .into(),
+                    ));
+                }
+                Ok(seq.map_values(|v| s * v)?)
+            }
+            Transform::TimeDilate(s) => {
+                if !(s.is_finite() && *s > 0.0) {
+                    return Err(Error::BadConfig("time dilation must be positive".into()));
+                }
+                Ok(seq.map_times(|t| s * t)?)
+            }
+            Transform::Compose(list) => {
+                let mut current = seq.clone();
+                for t in list {
+                    current = t.apply(&current)?;
+                }
+                Ok(current)
+            }
+        }
+    }
+
+    /// The inverse transformation (compositions invert in reverse order).
+    pub fn inverse(&self) -> Transform {
+        match self {
+            Transform::TimeShift(dt) => Transform::TimeShift(-dt),
+            Transform::AmplitudeShift(dv) => Transform::AmplitudeShift(-dv),
+            Transform::AmplitudeScale(s) => Transform::AmplitudeScale(1.0 / s),
+            Transform::TimeDilate(s) => Transform::TimeDilate(1.0 / s),
+            Transform::Compose(list) => {
+                Transform::Compose(list.iter().rev().map(Transform::inverse).collect())
+            }
+        }
+    }
+
+    /// Every [`Transform`] in this enum preserves the ordinal features
+    /// (number of peaks, their order); provided for symmetry with the
+    /// paper's taxonomy, where *deviations* (noise) are the transformations
+    /// that are only approximately feature-preserving.
+    pub fn is_feature_preserving(&self) -> bool {
+        true
+    }
+
+    /// The five Fig. 5 variants: transformations that keep "two peaks" true
+    /// while defeating value-based ±δ matching.
+    pub fn figure5_suite() -> Vec<(&'static str, Transform)> {
+        vec![
+            ("amplitude shift", Transform::AmplitudeShift(2.5)),
+            ("time shift", Transform::TimeShift(3.0)),
+            ("amplitude scale", Transform::AmplitudeScale(1.8)),
+            ("contraction", Transform::TimeDilate(0.6)),
+            (
+                "dilation + shift",
+                Transform::Compose(vec![
+                    Transform::TimeDilate(1.5),
+                    Transform::AmplitudeShift(-1.0),
+                ]),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::DEFAULT_THETA;
+    use crate::brk::{Breaker, LinearInterpolationBreaker};
+    use crate::features::PeakTable;
+    use crate::repr::FunctionSeries;
+    use saq_curves::RegressionFitter;
+    use saq_sequence::generators::{goalpost, GoalpostSpec};
+
+    fn peak_count(seq: &Sequence) -> usize {
+        let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(seq);
+        let series = FunctionSeries::build(seq, &ranges, &RegressionFitter).unwrap();
+        PeakTable::extract(&series, DEFAULT_THETA).len()
+    }
+
+    #[test]
+    fn shifts_and_scales() {
+        let s = Sequence::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(
+            Transform::TimeShift(10.0).apply(&s).unwrap().times(),
+            vec![10.0, 11.0, 12.0]
+        );
+        assert_eq!(
+            Transform::AmplitudeShift(-1.0).apply(&s).unwrap().values(),
+            vec![0.0, 1.0, 2.0]
+        );
+        assert_eq!(
+            Transform::AmplitudeScale(2.0).apply(&s).unwrap().values(),
+            vec![2.0, 4.0, 6.0]
+        );
+        assert_eq!(
+            Transform::TimeDilate(0.5).apply(&s).unwrap().times(),
+            vec![0.0, 0.5, 1.0]
+        );
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let s = Sequence::from_samples(&[1.0]).unwrap();
+        let t = Transform::Compose(vec![
+            Transform::AmplitudeScale(3.0),
+            Transform::AmplitudeShift(1.0),
+        ]);
+        // (1 * 3) + 1 = 4, not (1 + 1) * 3.
+        assert_eq!(t.apply(&s).unwrap().values(), vec![4.0]);
+    }
+
+    #[test]
+    fn inverses_cancel() {
+        let s = Sequence::from_samples(&[1.0, 5.0, 2.0]).unwrap();
+        for t in [
+            Transform::TimeShift(7.0),
+            Transform::AmplitudeShift(-3.0),
+            Transform::AmplitudeScale(2.5),
+            Transform::TimeDilate(3.0),
+            Transform::Compose(vec![
+                Transform::TimeDilate(2.0),
+                Transform::AmplitudeShift(4.0),
+            ]),
+        ] {
+            let roundtrip = t.inverse().apply(&t.apply(&s).unwrap()).unwrap();
+            for (a, b) in s.points().iter().zip(roundtrip.points()) {
+                assert!((a.t - b.t).abs() < 1e-9 && (a.v - b.v).abs() < 1e-9, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let s = Sequence::from_samples(&[1.0]).unwrap();
+        assert!(Transform::AmplitudeScale(-1.0).apply(&s).is_err());
+        assert!(Transform::AmplitudeScale(0.0).apply(&s).is_err());
+        assert!(Transform::TimeDilate(0.0).apply(&s).is_err());
+        assert!(Transform::TimeShift(f64::NAN).apply(&s).is_err());
+    }
+
+    #[test]
+    fn figure5_suite_preserves_two_peaks() {
+        // The heart of §2: every Fig. 5 transformation keeps the goal-post
+        // property "exactly two peaks".
+        let log = goalpost(GoalpostSpec::default());
+        assert_eq!(peak_count(&log), 2);
+        for (name, t) in Transform::figure5_suite() {
+            let transformed = t.apply(&log).unwrap();
+            assert_eq!(peak_count(&transformed), 2, "transform `{name}` broke the feature");
+            assert!(t.is_feature_preserving());
+        }
+    }
+}

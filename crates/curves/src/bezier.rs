@@ -1,0 +1,486 @@
+//! Cubic Bézier curves with Schneider's automatic fitting algorithm
+//! (Graphics Gems, "An Algorithm for Automatically Fitting Digitized
+//! Curves") — the curve family the paper's offline breaking template
+//! generalizes (§5.1).
+//!
+//! The fitting pipeline is the published one: chord-length
+//! parameterization → least-squares placement of the two inner control
+//! points along the end tangents → Newton–Raphson reparameterization, with
+//! the Wu/Barsky heuristic as fallback for degenerate systems.
+//!
+//! A Bézier curve is parametric in `u ∈ [0,1]`; to expose the paper's
+//! function-of-time view ([`Curve`]), `eval(t)` inverts the (monotone in
+//! practice) `x(u)` component numerically.
+
+use crate::curve::{Curve, CurveFitter};
+use crate::error::{Error, Result};
+use crate::ordering::FunctionDescriptor;
+use saq_sequence::Point;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D control point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ctrl {
+    /// Abscissa (time axis).
+    pub x: f64,
+    /// Ordinate (value axis).
+    pub y: f64,
+}
+
+impl Ctrl {
+    fn new(x: f64, y: f64) -> Ctrl {
+        Ctrl { x, y }
+    }
+    fn add(self, o: Ctrl) -> Ctrl {
+        Ctrl::new(self.x + o.x, self.y + o.y)
+    }
+    fn sub(self, o: Ctrl) -> Ctrl {
+        Ctrl::new(self.x - o.x, self.y - o.y)
+    }
+    fn scale(self, s: f64) -> Ctrl {
+        Ctrl::new(self.x * s, self.y * s)
+    }
+    fn dot(self, o: Ctrl) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+    fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+    fn normalized(self) -> Ctrl {
+        let n = self.norm();
+        if n == 0.0 {
+            Ctrl::new(0.0, 0.0)
+        } else {
+            self.scale(1.0 / n)
+        }
+    }
+}
+
+/// A cubic Bézier segment defined by four control points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CubicBezier {
+    /// Control points `P0..P3`; `P0`/`P3` interpolate the run endpoints.
+    pub ctrl: [Ctrl; 4],
+}
+
+/// Bernstein basis values for cubic curves.
+#[inline]
+fn bernstein(u: f64) -> [f64; 4] {
+    let v = 1.0 - u;
+    [v * v * v, 3.0 * u * v * v, 3.0 * u * u * v, u * u * u]
+}
+
+impl CubicBezier {
+    /// Point on the curve at parameter `u ∈ [0,1]`.
+    pub fn point_at(&self, u: f64) -> (f64, f64) {
+        let b = bernstein(u);
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (bi, c) in b.iter().zip(&self.ctrl) {
+            x += bi * c.x;
+            y += bi * c.y;
+        }
+        (x, y)
+    }
+
+    /// First derivative w.r.t. `u`.
+    pub fn velocity_at(&self, u: f64) -> (f64, f64) {
+        let v = 1.0 - u;
+        let b = [3.0 * v * v, 6.0 * u * v, 3.0 * u * u];
+        let d = [
+            self.ctrl[1].sub(self.ctrl[0]),
+            self.ctrl[2].sub(self.ctrl[1]),
+            self.ctrl[3].sub(self.ctrl[2]),
+        ];
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for i in 0..3 {
+            x += b[i] * d[i].x;
+            y += b[i] * d[i].y;
+        }
+        (x, y)
+    }
+
+    /// Solves `x(u) = t` for `u ∈ [0,1]` by bisection. `x(u)` is monotone for
+    /// the fits produced here (control abscissae ordered along time); for
+    /// safety the result is the first crossing.
+    pub fn param_for_time(&self, t: f64) -> f64 {
+        let (x0, x1) = (self.ctrl[0].x, self.ctrl[3].x);
+        if t <= x0 {
+            return 0.0;
+        }
+        if t >= x1 {
+            return 1.0;
+        }
+        let mut lo = 0.0;
+        let mut hi = 1.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.point_at(mid).0 < t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Maximum Euclidean distance from `points` to the curve at the given
+    /// parameter assignment, together with the worst index — Schneider's
+    /// error measure.
+    pub fn max_error(&self, points: &[Point], params: &[f64]) -> (usize, f64) {
+        let mut worst = (0, 0.0);
+        for (i, (p, &u)) in points.iter().zip(params).enumerate() {
+            let (x, y) = self.point_at(u);
+            let d = ((x - p.t).powi(2) + (y - p.v).powi(2)).sqrt();
+            if d > worst.1 {
+                worst = (i, d);
+            }
+        }
+        worst
+    }
+}
+
+impl Curve for CubicBezier {
+    fn eval(&self, t: f64) -> f64 {
+        self.point_at(self.param_for_time(t)).1
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        let u = self.param_for_time(t);
+        let (dx, dy) = self.velocity_at(u);
+        if dx.abs() < 1e-12 {
+            // Vertical tangent: report a large signed slope.
+            return dy.signum() * 1e12;
+        }
+        dy / dx
+    }
+
+    fn descriptor(&self) -> FunctionDescriptor {
+        FunctionDescriptor::Bezier(
+            self.ctrl
+                .iter()
+                .flat_map(|c| [c.x, c.y])
+                .collect::<Vec<f64>>(),
+        )
+    }
+
+    fn parameter_count(&self) -> usize {
+        8
+    }
+}
+
+/// Chord-length parameterization of a run of points, normalized to `[0,1]`.
+pub fn chord_length_params(points: &[Point]) -> Vec<f64> {
+    let n = points.len();
+    let mut u = vec![0.0; n];
+    for i in 1..n {
+        let dx = points[i].t - points[i - 1].t;
+        let dy = points[i].v - points[i - 1].v;
+        u[i] = u[i - 1] + (dx * dx + dy * dy).sqrt();
+    }
+    let total = u[n - 1];
+    if total > 0.0 {
+        for ui in u.iter_mut() {
+            *ui /= total;
+        }
+    }
+    u
+}
+
+/// Unit tangent at the start of the run (direction of the first chord).
+fn left_tangent(points: &[Point]) -> Ctrl {
+    Ctrl::new(points[1].t - points[0].t, points[1].v - points[0].v).normalized()
+}
+
+/// Unit tangent at the end of the run (pointing backwards, Schneider's
+/// convention).
+fn right_tangent(points: &[Point]) -> Ctrl {
+    let n = points.len();
+    Ctrl::new(
+        points[n - 2].t - points[n - 1].t,
+        points[n - 2].v - points[n - 1].v,
+    )
+    .normalized()
+}
+
+/// One least-squares fit with fixed parameterization (Schneider's
+/// `GenerateBezier`).
+fn generate_bezier(points: &[Point], params: &[f64], t_hat1: Ctrl, t_hat2: Ctrl) -> CubicBezier {
+    let n = points.len();
+    let first = Ctrl::new(points[0].t, points[0].v);
+    let last = Ctrl::new(points[n - 1].t, points[n - 1].v);
+
+    // A[i][0] = t_hat1 * 3u(1-u)^2 ; A[i][1] = t_hat2 * 3u^2(1-u)
+    let mut c = [[0.0f64; 2]; 2];
+    let mut xr = [0.0f64; 2];
+    for (p, &u) in points.iter().zip(params) {
+        let b = bernstein(u);
+        let a0 = t_hat1.scale(b[1]);
+        let a1 = t_hat2.scale(b[2]);
+        c[0][0] += a0.dot(a0);
+        c[0][1] += a0.dot(a1);
+        c[1][1] += a1.dot(a1);
+        let tmp = Ctrl::new(p.t, p.v)
+            .sub(first.scale(b[0] + b[1]))
+            .sub(last.scale(b[2] + b[3]));
+        xr[0] += a0.dot(tmp);
+        xr[1] += a1.dot(tmp);
+    }
+    c[1][0] = c[0][1];
+
+    let det_c = c[0][0] * c[1][1] - c[1][0] * c[0][1];
+    let (mut alpha_l, mut alpha_r);
+    if det_c.abs() > 1e-12 {
+        alpha_l = (xr[0] * c[1][1] - xr[1] * c[0][1]) / det_c;
+        alpha_r = (c[0][0] * xr[1] - c[1][0] * xr[0]) / det_c;
+    } else {
+        alpha_l = 0.0;
+        alpha_r = 0.0;
+    }
+
+    // Wu/Barsky heuristic when alphas are degenerate.
+    let seg_len = last.sub(first).norm();
+    let epsilon = 1e-6 * seg_len;
+    if alpha_l < epsilon || alpha_r < epsilon {
+        let dist = seg_len / 3.0;
+        alpha_l = dist;
+        alpha_r = dist;
+    }
+
+    CubicBezier {
+        ctrl: [
+            first,
+            first.add(t_hat1.scale(alpha_l)),
+            last.add(t_hat2.scale(alpha_r)),
+            last,
+        ],
+    }
+}
+
+/// One Newton–Raphson step improving each parameter (Schneider's
+/// `Reparameterize`).
+fn reparameterize(points: &[Point], params: &[f64], curve: &CubicBezier) -> Vec<f64> {
+    points
+        .iter()
+        .zip(params)
+        .map(|(p, &u)| newton_raphson_root_find(curve, p, u))
+        .collect()
+}
+
+fn newton_raphson_root_find(curve: &CubicBezier, p: &Point, u: f64) -> f64 {
+    let (qx, qy) = curve.point_at(u);
+    let (q1x, q1y) = curve.velocity_at(u);
+    // Second derivative.
+    let d = [
+        curve.ctrl[1].sub(curve.ctrl[0]),
+        curve.ctrl[2].sub(curve.ctrl[1]),
+        curve.ctrl[3].sub(curve.ctrl[2]),
+    ];
+    let dd = [d[1].sub(d[0]).scale(2.0), d[2].sub(d[1]).scale(2.0)];
+    let v = 1.0 - u;
+    let q2x = 3.0 * (v * dd[0].x + u * dd[1].x);
+    let q2y = 3.0 * (v * dd[0].y + u * dd[1].y);
+
+    let num = (qx - p.t) * q1x + (qy - p.v) * q1y;
+    let den = q1x * q1x + q1y * q1y + (qx - p.t) * q2x + (qy - p.v) * q2y;
+    if den.abs() < 1e-12 {
+        return u;
+    }
+    (u - num / den).clamp(0.0, 1.0)
+}
+
+/// Fits a single cubic Bézier segment to a run of points, iterating
+/// Newton–Raphson reparameterization `iterations` times.
+pub fn fit_cubic(points: &[Point], iterations: usize) -> Result<CubicBezier> {
+    fit_cubic_with_error(points, iterations).map(|(c, _)| c)
+}
+
+/// Like [`fit_cubic`] but also returns Schneider's max point-to-curve error
+/// of the returned curve under its own parameter assignment. Monotone
+/// non-increasing in `iterations` (the best iterate is kept).
+pub fn fit_cubic_with_error(points: &[Point], iterations: usize) -> Result<(CubicBezier, f64)> {
+    let n = points.len();
+    if n < 2 {
+        return Err(Error::TooFewPoints { required: 2, actual: n });
+    }
+    if n == 2 {
+        // Straight segment via the Wu/Barsky placement.
+        let first = Ctrl::new(points[0].t, points[0].v);
+        let last = Ctrl::new(points[1].t, points[1].v);
+        let dist = last.sub(first).norm() / 3.0;
+        let dir = last.sub(first).normalized();
+        return Ok((
+            CubicBezier {
+                ctrl: [
+                    first,
+                    first.add(dir.scale(dist)),
+                    last.sub(dir.scale(dist)),
+                    last,
+                ],
+            },
+            0.0,
+        ));
+    }
+    let t1 = left_tangent(points);
+    let t2 = right_tangent(points);
+    let mut params = chord_length_params(points);
+    let mut curve = generate_bezier(points, &params, t1, t2);
+    let mut best = curve;
+    let mut best_err = curve.max_error(points, &params).1;
+    for _ in 0..iterations {
+        params = reparameterize(points, &params, &curve);
+        curve = generate_bezier(points, &params, t1, t2);
+        let err = curve.max_error(points, &params).1;
+        if err < best_err {
+            best_err = err;
+            best = curve;
+        }
+    }
+    if best.ctrl.iter().any(|c| !c.x.is_finite() || !c.y.is_finite()) {
+        return Err(Error::NumericalFailure("non-finite Bezier control point"));
+    }
+    Ok((best, best_err))
+}
+
+/// [`CurveFitter`] adapter for Bézier fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct BezierFitter {
+    /// Newton–Raphson reparameterization passes (Schneider uses 4).
+    pub iterations: usize,
+}
+
+impl Default for BezierFitter {
+    fn default() -> Self {
+        BezierFitter { iterations: 4 }
+    }
+}
+
+impl CurveFitter for BezierFitter {
+    type Curve = CubicBezier;
+
+    fn fit(&self, points: &[Point]) -> Result<CubicBezier> {
+        fit_cubic(points, self.iterations)
+    }
+
+    fn min_points(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts_from<F: Fn(f64) -> f64>(n: usize, f: F) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, f(i as f64))).collect()
+    }
+
+    #[test]
+    fn bernstein_partition_of_unity() {
+        for &u in &[0.0, 0.3, 0.5, 0.99, 1.0] {
+            let b = bernstein(u);
+            assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn endpoints_interpolated() {
+        let c = fit_cubic(&pts_from(10, |t| t * t), 4).unwrap();
+        let (x0, y0) = c.point_at(0.0);
+        let (x1, y1) = c.point_at(1.0);
+        assert!((x0 - 0.0).abs() < 1e-9 && (y0 - 0.0).abs() < 1e-9);
+        assert!((x1 - 9.0).abs() < 1e-9 && (y1 - 81.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_fits_exactly() {
+        let pts = pts_from(12, |t| 2.0 * t + 1.0);
+        let c = fit_cubic(&pts, 4).unwrap();
+        let params = chord_length_params(&pts);
+        let (_, err) = c.max_error(&pts, &params);
+        assert!(err < 1e-6, "err {err}");
+        // eval as function of time also matches
+        for p in &pts {
+            assert!((c.eval(p.t) - p.v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn smooth_hump_fits_tightly() {
+        // A single smooth hump is well approximated by one cubic.
+        let pts: Vec<Point> = (0..21)
+            .map(|i| {
+                let t = i as f64 / 20.0;
+                Point::new(t * 10.0, (std::f64::consts::PI * t).sin())
+            })
+            .collect();
+        let (_, err) = fit_cubic_with_error(&pts, 6).unwrap();
+        // One cubic constrained to the end tangents cannot nail a full
+        // half-sine hump; ~0.16 of a unit-height hump is Schneider's result.
+        assert!(err < 0.2, "err {err}");
+    }
+
+    #[test]
+    fn newton_iterations_do_not_regress() {
+        let pts: Vec<Point> = (0..15)
+            .map(|i| Point::new(i as f64, (i as f64 * 0.4).sin() * 3.0))
+            .collect();
+        let (_, e0) = fit_cubic_with_error(&pts, 0).unwrap();
+        let (_, e4) = fit_cubic_with_error(&pts, 4).unwrap();
+        // fit keeps the best iterate, so error is monotone non-increasing.
+        assert!(e4 <= e0 + 1e-9, "e0 {e0} e4 {e4}");
+    }
+
+    #[test]
+    fn two_point_fit_is_straight() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 3.0)];
+        let c = fit_cubic(&pts, 4).unwrap();
+        for &u in &[0.25, 0.5, 0.75] {
+            let (x, y) = c.point_at(u);
+            assert!((x - y).abs() < 1e-9, "off diagonal at u={u}");
+        }
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_cubic(&[Point::new(0.0, 0.0)], 4).is_err());
+    }
+
+    #[test]
+    fn chord_params_monotone_normalized() {
+        let pts = pts_from(7, |t| t.sin());
+        let u = chord_length_params(&pts);
+        assert_eq!(u[0], 0.0);
+        assert!((u[6] - 1.0).abs() < 1e-12);
+        assert!(u.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn param_for_time_inverts_x() {
+        let c = fit_cubic(&pts_from(10, |t| t * 0.5), 4).unwrap();
+        for &t in &[0.0, 2.5, 7.0, 9.0] {
+            let u = c.param_for_time(t);
+            assert!((c.point_at(u).0 - t).abs() < 1e-6, "t={t}");
+        }
+        assert_eq!(c.param_for_time(-5.0), 0.0);
+        assert_eq!(c.param_for_time(99.0), 1.0);
+    }
+
+    #[test]
+    fn derivative_of_line_is_slope() {
+        let c = fit_cubic(&pts_from(10, |t| 2.0 * t + 1.0), 4).unwrap();
+        let d = c.derivative(4.5);
+        assert!((d - 2.0).abs() < 1e-3, "d {d}");
+    }
+
+    #[test]
+    fn descriptor_has_eight_params() {
+        let c = fit_cubic(&pts_from(5, |t| t), 2).unwrap();
+        assert_eq!(c.parameter_count(), 8);
+        match c.descriptor() {
+            FunctionDescriptor::Bezier(v) => assert_eq!(v.len(), 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

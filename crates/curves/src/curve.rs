@@ -1,0 +1,48 @@
+use crate::error::{Error, Result};
+use crate::ordering::FunctionDescriptor;
+use saq_sequence::Point;
+
+/// A fitted real-valued function of time.
+///
+/// This is the "well-behaved, continuous and differentiable function" of
+/// §4.2: it can be evaluated anywhere on its span (interpolating unsampled
+/// points) and exposes its derivative, from which the behavioural features
+/// (slopes, extrema) used by generalized approximate queries are read.
+pub trait Curve {
+    /// Value at time `t`.
+    fn eval(&self, t: f64) -> f64;
+
+    /// First derivative at time `t`.
+    fn derivative(&self, t: f64) -> f64;
+
+    /// A descriptor used for lexicographic ordering/indexing within the
+    /// family (§4.2, item 2).
+    fn descriptor(&self) -> FunctionDescriptor;
+
+    /// Number of stored parameters — the unit of the paper's compression
+    /// accounting (≈4 parameters per segment in §5.2).
+    fn parameter_count(&self) -> usize;
+}
+
+/// A strategy for fitting a [`Curve`] to a run of points.
+///
+/// The offline breaking template (Fig. 8) is generic over this trait: "Let c
+/// be a type of curve" — instantiations are endpoint interpolation,
+/// least-squares regression, and Bézier fitting.
+pub trait CurveFitter {
+    /// The curve family produced.
+    type Curve: Curve;
+
+    /// Fits a curve to `points` (which are ordered by time).
+    fn fit(&self, points: &[Point]) -> Result<Self::Curve>;
+
+    /// Minimum number of points this fitter accepts.
+    fn min_points(&self) -> usize;
+
+    /// Fits a degenerate curve through a single point — used by breakers
+    /// when an abrupt change isolates one sample. Families without a natural
+    /// constant member may return an error (the default).
+    fn fit_singleton(&self, _point: Point) -> Result<Self::Curve> {
+        Err(Error::TooFewPoints { required: self.min_points(), actual: 1 })
+    }
+}

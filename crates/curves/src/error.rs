@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors from curve fitting and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Fitting needed at least `required` points, got `actual`.
+    TooFewPoints {
+        /// Minimum points the fitter needs.
+        required: usize,
+        /// Points actually supplied.
+        actual: usize,
+    },
+    /// The normal-equation system was singular (e.g. duplicate abscissae or a
+    /// degree too high for the data).
+    SingularSystem,
+    /// A fitted parameter came out non-finite.
+    NumericalFailure(&'static str),
+    /// A requested polynomial degree is unsupported.
+    BadDegree {
+        /// The requested degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooFewPoints { required, actual } => {
+                write!(f, "fitting requires at least {required} points, got {actual}")
+            }
+            Error::SingularSystem => write!(f, "singular system in least-squares fit"),
+            Error::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
+            Error::BadDegree { degree } => write!(f, "unsupported polynomial degree {degree}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::TooFewPoints { required: 4, actual: 2 }.to_string().contains('4'));
+        assert!(Error::SingularSystem.to_string().contains("singular"));
+        assert!(Error::BadDegree { degree: 99 }.to_string().contains("99"));
+        assert!(Error::NumericalFailure("nan slope").to_string().contains("nan slope"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # saq-curves
+//!
+//! Families of well-behaved real-valued functions and the fitting machinery
+//! the breaking algorithms of `saq-core` are parameterized by.
+//!
+//! §4.2 of the paper requires each function family to support:
+//! * evaluation (interpolation of unsampled points),
+//! * a deviation metric against the raw subsequence (error tolerance ε),
+//! * lexicographic ordering/indexing within the family,
+//! * behaviour capture through derivatives (slopes, extrema).
+//!
+//! Provided families:
+//! * [`Line`] — linear interpolation through endpoints and least-squares
+//!   regression lines (the representation used for all of the paper's
+//!   reported experiments),
+//! * [`Polynomial`] — arbitrary-degree least-squares fits,
+//! * [`CubicBezier`] — Schneider's automatically fitted Bézier curves
+//!   (Graphics Gems), the paper's third instantiation,
+//! * [`Sinusoid`] — amplitude/frequency/phase fits, listed by the paper as
+//!   another orderable family.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bezier;
+mod curve;
+pub mod deviation;
+mod error;
+pub mod linalg;
+pub mod linear;
+pub mod ordering;
+pub mod polynomial;
+pub mod sinusoid;
+
+pub use bezier::{BezierFitter, CubicBezier};
+pub use curve::{Curve, CurveFitter};
+pub use deviation::{max_deviation, rmse_deviation, sse_deviation, Deviation};
+pub use error::{Error, Result};
+pub use linear::{EndpointInterpolator, Line, RegressionFitter};
+pub use ordering::FunctionDescriptor;
+pub use polynomial::{Polynomial, PolynomialFitter};
+pub use sinusoid::{Sinusoid, SinusoidFitter};

@@ -1,0 +1,244 @@
+//! Small dense linear algebra: just enough to solve the normal equations of
+//! least-squares fits. Row-major square systems, Gaussian elimination with
+//! partial pivoting.
+
+use crate::error::{Error, Result};
+
+/// A small row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a row-major nested slice. All rows must share a length.
+    ///
+    /// # Panics
+    /// Panics on ragged input (caller bug).
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+}
+
+/// Solves the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. `a` is consumed as scratch space conceptually (copied inside).
+///
+/// Returns [`Error::SingularSystem`] when a pivot is (near-)zero.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/below diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = m.get(col, col).abs();
+        for r in col + 1..n {
+            let v = m.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(Error::SingularSystem);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let diag = m.get(col, col);
+        for r in col + 1..n {
+            let factor = m.get(r, col) / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r];
+        #[allow(clippy::needless_range_loop)] // triangular access pattern
+        for c in r + 1..n {
+            acc -= m.get(r, c) * x[c];
+        }
+        x[r] = acc / m.get(r, r);
+        if !x[r].is_finite() {
+            return Err(Error::NumericalFailure("non-finite solution component"));
+        }
+    }
+    Ok(x)
+}
+
+/// Solves the linear least-squares problem `min ||V x - y||` through the
+/// normal equations `VᵀV x = Vᵀy`, where `V` is a tall design matrix given
+/// row by row via `design` (row `i` = basis functions evaluated at sample
+/// `i`).
+pub fn least_squares(design: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>> {
+    let m = design.len();
+    if m == 0 {
+        return Err(Error::TooFewPoints { required: 1, actual: 0 });
+    }
+    let k = design[0].len();
+    if m < k {
+        return Err(Error::TooFewPoints { required: k, actual: m });
+    }
+    assert_eq!(y.len(), m, "rhs length must match design rows");
+    let mut ata = Matrix::zeros(k, k);
+    let mut aty = vec![0.0; k];
+    for (row, &yi) in design.iter().zip(y) {
+        assert_eq!(row.len(), k, "ragged design matrix");
+        for i in 0..k {
+            aty[i] += row[i] * yi;
+            for j in i..k {
+                ata.add(i, j, row[i] * row[j]);
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..k {
+        for j in 0..i {
+            let v = ata.get(j, i);
+            ata.set(i, j, v);
+        }
+    }
+    solve(&ata, &aty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_known() {
+        // x=1, y=2, z=3
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[1.0, 3.0, 2.0],
+            &[1.0, 0.0, 0.0],
+        ]);
+        let b = [7.0, 13.0, 1.0];
+        let x = solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), Error::SingularSystem);
+    }
+
+    #[test]
+    fn least_squares_exact_line() {
+        // y = 2x + 1 sampled exactly: basis [1, x]
+        let design: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..5).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let x = least_squares(&design, &y).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 3x with symmetric noise ±0.1 alternating: slope stays ~3.
+        let design: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10)
+            .map(|i| 3.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let x = least_squares(&design, &y).unwrap();
+        assert!((x[1] - 3.0).abs() < 0.02, "slope {}", x[1]);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let design = vec![vec![1.0, 0.0, 0.0]];
+        assert!(matches!(
+            least_squares(&design, &[1.0]),
+            Err(Error::TooFewPoints { required: 3, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        m.add(1, 2, 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+}

@@ -1,0 +1,241 @@
+//! Linear functions: the representation behind every experiment the paper
+//! reports (Figs. 6, 7, 9, Table 1).
+//!
+//! Two fitters are provided:
+//! * [`EndpointInterpolator`] — the line through the first and last point of
+//!   the run. The paper's preferred breaker uses it because it needs no
+//!   processing of interior points and *effectively breaks sequences at
+//!   extremum points* (§5.1).
+//! * [`RegressionFitter`] — the least-squares regression line, used to
+//!   *represent* each subsequence once breakpoints are chosen (Fig. 6 shows
+//!   regression lines such as `.94x+97.66`).
+
+use crate::curve::{Curve, CurveFitter};
+use crate::error::{Error, Result};
+use crate::ordering::FunctionDescriptor;
+use saq_sequence::Point;
+use serde::{Deserialize, Serialize};
+
+/// A line `v = slope * t + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept (value at `t = 0`).
+    pub intercept: f64,
+}
+
+impl Line {
+    /// Creates a line from slope and intercept.
+    pub fn new(slope: f64, intercept: f64) -> Line {
+        Line { slope, intercept }
+    }
+
+    /// The line through two points. `a.t` must differ from `b.t`.
+    pub fn through(a: Point, b: Point) -> Result<Line> {
+        let dt = b.t - a.t;
+        if dt == 0.0 {
+            return Err(Error::NumericalFailure("coincident abscissae"));
+        }
+        let slope = (b.v - a.v) / dt;
+        Ok(Line { slope, intercept: a.v - slope * a.t })
+    }
+
+    /// Least-squares regression line through `points` (≥ 2, with at least
+    /// two distinct abscissae).
+    pub fn regression(points: &[Point]) -> Result<Line> {
+        let n = points.len();
+        if n < 2 {
+            return Err(Error::TooFewPoints { required: 2, actual: n });
+        }
+        let nf = n as f64;
+        let mt = points.iter().map(|p| p.t).sum::<f64>() / nf;
+        let mv = points.iter().map(|p| p.v).sum::<f64>() / nf;
+        let mut stt = 0.0;
+        let mut stv = 0.0;
+        for p in points {
+            let dt = p.t - mt;
+            stt += dt * dt;
+            stv += dt * (p.v - mv);
+        }
+        if stt == 0.0 {
+            return Err(Error::SingularSystem);
+        }
+        let slope = stv / stt;
+        Ok(Line { slope, intercept: mv - slope * mt })
+    }
+
+    /// The paper's human-readable rendering, e.g. `0.94x+97.66`.
+    pub fn formula(&self) -> String {
+        if self.intercept >= 0.0 {
+            format!("{:.3}x+{:.3}", self.slope, self.intercept)
+        } else {
+            format!("{:.3}x{:.3}", self.slope, self.intercept)
+        }
+    }
+}
+
+impl Curve for Line {
+    fn eval(&self, t: f64) -> f64 {
+        self.slope * t + self.intercept
+    }
+
+    fn derivative(&self, _t: f64) -> f64 {
+        self.slope
+    }
+
+    fn descriptor(&self) -> FunctionDescriptor {
+        FunctionDescriptor::Polynomial(vec![self.slope, self.intercept])
+    }
+
+    fn parameter_count(&self) -> usize {
+        2
+    }
+}
+
+/// Fits the line through the endpoints of the run (Fig. 8 instantiated with
+/// interpolation lines — the algorithm of §5.1/§5.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndpointInterpolator;
+
+impl CurveFitter for EndpointInterpolator {
+    type Curve = Line;
+
+    fn fit(&self, points: &[Point]) -> Result<Line> {
+        match points {
+            [] | [_] => Err(Error::TooFewPoints { required: 2, actual: points.len() }),
+            _ => Line::through(points[0], points[points.len() - 1]),
+        }
+    }
+
+    fn min_points(&self) -> usize {
+        2
+    }
+
+    fn fit_singleton(&self, point: Point) -> Result<Line> {
+        Ok(Line::new(0.0, point.v))
+    }
+}
+
+/// Fits the least-squares regression line of the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegressionFitter;
+
+impl CurveFitter for RegressionFitter {
+    type Curve = Line;
+
+    fn fit(&self, points: &[Point]) -> Result<Line> {
+        Line::regression(points)
+    }
+
+    fn min_points(&self) -> usize {
+        2
+    }
+
+    fn fit_singleton(&self, point: Point) -> Result<Line> {
+        Ok(Line::new(0.0, point.v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::max_deviation;
+
+    fn pts(vals: &[f64]) -> Vec<Point> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Point::new(i as f64, v))
+            .collect()
+    }
+
+    #[test]
+    fn through_two_points() {
+        let l = Line::through(Point::new(1.0, 3.0), Point::new(3.0, 7.0)).unwrap();
+        assert!((l.slope - 2.0).abs() < 1e-12);
+        assert!((l.intercept - 1.0).abs() < 1e-12);
+        assert!((l.eval(2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_rejects_vertical() {
+        let e = Line::through(Point::new(1.0, 0.0), Point::new(1.0, 5.0)).unwrap_err();
+        assert!(matches!(e, Error::NumericalFailure(_)));
+    }
+
+    #[test]
+    fn regression_exact_line() {
+        let p = pts(&[1.0, 3.0, 5.0, 7.0]);
+        let l = Line::regression(&p).unwrap();
+        assert!((l.slope - 2.0).abs() < 1e-12);
+        assert!((l.intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_balances_noise() {
+        // Symmetric noise around y=x leaves slope 1 intercept ~0.
+        let p = vec![
+            Point::new(0.0, 0.5),
+            Point::new(1.0, 0.5),
+            Point::new(2.0, 2.5),
+            Point::new(3.0, 2.5),
+        ];
+        let l = Line::regression(&p).unwrap();
+        assert!((l.slope - 0.8).abs() < 1e-12, "slope {}", l.slope);
+    }
+
+    #[test]
+    fn regression_needs_two_distinct_ts() {
+        assert!(Line::regression(&pts(&[1.0])).is_err());
+        let same_t = vec![Point::new(0.0, 1.0), Point::new(0.0, 2.0)];
+        assert!(matches!(Line::regression(&same_t), Err(Error::SingularSystem)));
+    }
+
+    #[test]
+    fn regression_minimizes_vs_endpoint_line() {
+        // A noisy run: regression SSE must be <= interpolation SSE.
+        let p = pts(&[0.0, 2.5, 1.5, 4.0, 3.0, 6.0]);
+        let reg = Line::regression(&p).unwrap();
+        let interp = EndpointInterpolator.fit(&p).unwrap();
+        let sse = |l: &Line| -> f64 {
+            p.iter().map(|q| (l.eval(q.t) - q.v).powi(2)).sum()
+        };
+        assert!(sse(&reg) <= sse(&interp) + 1e-9);
+    }
+
+    #[test]
+    fn endpoint_fitter_is_exact_at_ends() {
+        let p = pts(&[5.0, 9.0, 2.0, 8.0]);
+        let l = EndpointInterpolator.fit(&p).unwrap();
+        assert!((l.eval(0.0) - 5.0).abs() < 1e-12);
+        assert!((l.eval(3.0) - 8.0).abs() < 1e-12);
+        assert!(EndpointInterpolator.fit(&p[..1]).is_err());
+    }
+
+    #[test]
+    fn interpolation_max_deviation_is_interior_extremum() {
+        // Tent shape: the apex deviates most from the endpoint line.
+        let p = pts(&[0.0, 5.0, 10.0, 5.0, 0.0]);
+        let l = EndpointInterpolator.fit(&p).unwrap();
+        let d = max_deviation(&l, &p).unwrap();
+        assert_eq!(d.index, 2);
+        assert!((d.value - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_trait_line() {
+        let l = Line::new(2.0, 1.0);
+        assert_eq!(l.derivative(123.0), 2.0);
+        assert_eq!(l.parameter_count(), 2);
+        match l.descriptor() {
+            FunctionDescriptor::Polynomial(c) => assert_eq!(c, vec![2.0, 1.0]),
+            other => panic!("unexpected descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn formula_rendering() {
+        assert_eq!(Line::new(0.94, 97.66).formula(), "0.940x+97.660");
+        assert_eq!(Line::new(-1.1, -2.0).formula(), "-1.100x-2.000");
+    }
+}

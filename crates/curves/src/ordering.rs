@@ -1,0 +1,140 @@
+//! Lexicographic ordering of function descriptors.
+//!
+//! §4.2, item 2: "Simple lexicographic ordering/indexing exists within a
+//! single family of functions" — polynomials by degree then coefficients
+//! (degree more significant: `x² < x² + x`), sinusoids by amplitude,
+//! frequency, phase. The ordering makes fitted functions usable as B-tree
+//! keys in `saq-index`.
+
+use std::cmp::Ordering;
+
+/// A comparable, family-tagged summary of a fitted function.
+///
+/// Descriptors from *different* families order by family tag first
+/// (Polynomial < Sinusoid < Bezier); within a family the paper's
+/// lexicographic rules apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionDescriptor {
+    /// Coefficients in descending significance: highest-degree first.
+    /// A longer vector (higher degree) orders after a shorter one.
+    Polynomial(Vec<f64>),
+    /// Sinusoid ordered by amplitude, then frequency, then phase.
+    Sinusoid {
+        /// Amplitude.
+        amp: f64,
+        /// Frequency.
+        freq: f64,
+        /// Phase.
+        phase: f64,
+    },
+    /// Bézier ordered by flattened control coordinates.
+    Bezier(Vec<f64>),
+}
+
+impl FunctionDescriptor {
+    fn family_rank(&self) -> u8 {
+        match self {
+            FunctionDescriptor::Polynomial(_) => 0,
+            FunctionDescriptor::Sinusoid { .. } => 1,
+            FunctionDescriptor::Bezier(_) => 2,
+        }
+    }
+
+    /// Total ordering; `NaN`-free inputs assumed (fitters reject non-finite
+    /// parameters), falling back to `Equal` on incomparable pairs.
+    pub fn compare(&self, other: &FunctionDescriptor) -> Ordering {
+        use FunctionDescriptor::*;
+        match self.family_rank().cmp(&other.family_rank()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        match (self, other) {
+            (Polynomial(a), Polynomial(b)) => {
+                // Degree (vector length) dominates.
+                match a.len().cmp(&b.len()) {
+                    Ordering::Equal => cmp_slices(a, b),
+                    o => o,
+                }
+            }
+            (
+                Sinusoid { amp: a1, freq: f1, phase: p1 },
+                Sinusoid { amp: a2, freq: f2, phase: p2 },
+            ) => cmp_f64(*a1, *a2)
+                .then(cmp_f64(*f1, *f2))
+                .then(cmp_f64(*p1, *p2)),
+            (Bezier(a), Bezier(b)) => cmp_slices(a, b),
+            _ => unreachable!("family ranks already matched"),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+fn cmp_slices(a: &[f64], b: &[f64]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match cmp_f64(*x, *y) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_dominates_coefficients() {
+        // x^2 (coeffs desc [1,0,0]) > 100x + 100 (coeffs desc [100,100])
+        let quad = FunctionDescriptor::Polynomial(vec![1.0, 0.0, 0.0]);
+        let line = FunctionDescriptor::Polynomial(vec![100.0, 100.0]);
+        assert_eq!(quad.compare(&line), Ordering::Greater);
+        assert_eq!(line.compare(&quad), Ordering::Less);
+    }
+
+    #[test]
+    fn same_degree_orders_by_leading_coefficient() {
+        let a = FunctionDescriptor::Polynomial(vec![1.0, 5.0]);
+        let b = FunctionDescriptor::Polynomial(vec![2.0, 0.0]);
+        assert_eq!(a.compare(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn paper_example_x2_lt_x2_plus_x() {
+        // x^2 -> [1, 0, 0]; x^2 + x -> [1, 1, 0]
+        let x2 = FunctionDescriptor::Polynomial(vec![1.0, 0.0, 0.0]);
+        let x2x = FunctionDescriptor::Polynomial(vec![1.0, 1.0, 0.0]);
+        assert_eq!(x2.compare(&x2x), Ordering::Less);
+    }
+
+    #[test]
+    fn sinusoid_ordering_priority() {
+        let a = FunctionDescriptor::Sinusoid { amp: 1.0, freq: 9.0, phase: 9.0 };
+        let b = FunctionDescriptor::Sinusoid { amp: 2.0, freq: 0.0, phase: 0.0 };
+        assert_eq!(a.compare(&b), Ordering::Less);
+        let c = FunctionDescriptor::Sinusoid { amp: 1.0, freq: 1.0, phase: 0.0 };
+        let d = FunctionDescriptor::Sinusoid { amp: 1.0, freq: 1.0, phase: 0.5 };
+        assert_eq!(c.compare(&d), Ordering::Less);
+        assert_eq!(c.compare(&c), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_family_rank() {
+        let p = FunctionDescriptor::Polynomial(vec![9.0]);
+        let s = FunctionDescriptor::Sinusoid { amp: 0.0, freq: 0.0, phase: 0.0 };
+        let b = FunctionDescriptor::Bezier(vec![0.0]);
+        assert_eq!(p.compare(&s), Ordering::Less);
+        assert_eq!(s.compare(&b), Ordering::Less);
+        assert_eq!(b.compare(&p), Ordering::Greater);
+    }
+
+    #[test]
+    fn prefix_slices_order_by_length() {
+        let short = FunctionDescriptor::Bezier(vec![1.0, 2.0]);
+        let long = FunctionDescriptor::Bezier(vec![1.0, 2.0, 3.0]);
+        assert_eq!(short.compare(&long), Ordering::Less);
+    }
+}

@@ -1,0 +1,334 @@
+//! Polynomials of arbitrary degree with least-squares fitting.
+//!
+//! §4.2 lists polynomials as the canonical orderable family: ordered "by
+//! degrees and coefficients, where degrees are more significant". Evaluation
+//! uses Horner's rule; fitting solves the normal equations of the monomial
+//! basis (adequate for the short, origin-shifted runs the breaker produces).
+
+use crate::curve::{Curve, CurveFitter};
+use crate::error::{Error, Result};
+use crate::linalg::least_squares;
+use crate::ordering::FunctionDescriptor;
+use saq_sequence::Point;
+use serde::{Deserialize, Serialize};
+
+/// A polynomial stored by ascending-power coefficients:
+/// `coeffs[0] + coeffs[1] t + coeffs[2] t² + ...`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Builds from ascending-power coefficients; trailing zero coefficients
+    /// are trimmed so `degree` is meaningful. An all-zero polynomial keeps a
+    /// single zero coefficient.
+    pub fn new(mut coeffs: Vec<f64>) -> Polynomial {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The constant polynomial.
+    pub fn constant(c: f64) -> Polynomial {
+        Polynomial { coeffs: vec![c] }
+    }
+
+    /// Degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Ascending-power coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Formal derivative.
+    pub fn differentiate(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::constant(0.0);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| i as f64 * c)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Least-squares fit of the given degree.
+    pub fn fit(points: &[Point], degree: usize) -> Result<Polynomial> {
+        if degree > 12 {
+            // Monomial normal equations are hopeless beyond this.
+            return Err(Error::BadDegree { degree });
+        }
+        let needed = degree + 1;
+        if points.len() < needed {
+            return Err(Error::TooFewPoints { required: needed, actual: points.len() });
+        }
+        // Shift to the run's start for conditioning (the paper shifts each
+        // subsequence to start at time 0 anyway).
+        let t0 = points[0].t;
+        let design: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| {
+                let x = p.t - t0;
+                let mut row = Vec::with_capacity(needed);
+                let mut pw = 1.0;
+                for _ in 0..needed {
+                    row.push(pw);
+                    pw *= x;
+                }
+                row
+            })
+            .collect();
+        let y: Vec<f64> = points.iter().map(|p| p.v).collect();
+        let shifted = least_squares(&design, &y)?;
+        // Un-shift: p(t) = q(t - t0); expand via synthetic Taylor shift.
+        Ok(Polynomial::new(unshift(&shifted, t0)))
+    }
+
+    /// Approximate real roots of the polynomial inside `[lo, hi]`, found by
+    /// sampling + bisection. Used to locate extrema (roots of the
+    /// derivative).
+    pub fn roots_in(&self, lo: f64, hi: f64, samples: usize) -> Vec<f64> {
+        let mut roots = Vec::new();
+        if samples < 2 || hi <= lo {
+            return roots;
+        }
+        let step = (hi - lo) / (samples - 1) as f64;
+        let mut prev_t = lo;
+        let mut prev_v = self.eval_at(lo);
+        for i in 1..samples {
+            let t = lo + i as f64 * step;
+            let v = self.eval_at(t);
+            if prev_v == 0.0 {
+                roots.push(prev_t);
+            } else if prev_v * v < 0.0 {
+                roots.push(bisect(|x| self.eval_at(x), prev_t, t));
+            }
+            prev_t = t;
+            prev_v = v;
+        }
+        if prev_v == 0.0 {
+            roots.push(prev_t);
+        }
+        roots
+    }
+
+    #[inline]
+    fn eval_at(&self, t: f64) -> f64 {
+        // Horner's rule.
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * t + c;
+        }
+        acc
+    }
+}
+
+/// Expands `q(t - t0)` into coefficients of `t`.
+fn unshift(shifted: &[f64], t0: f64) -> Vec<f64> {
+    // Repeated synthetic evaluation: out(t) = sum shifted[k] (t - t0)^k.
+    // Build by multiplying out (t - t0)^k incrementally.
+    let n = shifted.len();
+    let mut out = vec![0.0; n];
+    // pow holds coefficients of (t - t0)^k, starting with k = 0 -> [1].
+    let mut pow = vec![0.0; n];
+    pow[0] = 1.0;
+    #[allow(clippy::needless_range_loop)] // k drives both shifted[k] and the pow update
+    for k in 0..n {
+        for (o, &p) in out.iter_mut().zip(pow.iter()) {
+            *o += shifted[k] * p;
+        }
+        if k + 1 < n {
+            // pow *= (t - t0)
+            let mut next = vec![0.0; n];
+            for i in 0..n - 1 {
+                next[i + 1] += pow[i];
+                next[i] += -t0 * pow[i];
+            }
+            // The degree-n term cannot appear for k < n.
+            pow = next;
+        }
+    }
+    out
+}
+
+fn bisect<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64) -> f64 {
+    let mut flo = f(lo);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if flo * fm < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fm;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl Curve for Polynomial {
+    fn eval(&self, t: f64) -> f64 {
+        self.eval_at(t)
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        self.differentiate().eval_at(t)
+    }
+
+    fn descriptor(&self) -> FunctionDescriptor {
+        // Descending significance: degree first via length, then high->low
+        // coefficients (§4.2's "x^2 < x^2 + x" style ordering).
+        let mut desc: Vec<f64> = self.coeffs.clone();
+        desc.reverse();
+        FunctionDescriptor::Polynomial(desc)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// [`CurveFitter`] adapter fitting a fixed-degree polynomial.
+#[derive(Debug, Clone, Copy)]
+pub struct PolynomialFitter {
+    /// Degree of every fitted polynomial.
+    pub degree: usize,
+}
+
+impl PolynomialFitter {
+    /// Creates a fitter for the given degree.
+    pub fn new(degree: usize) -> PolynomialFitter {
+        PolynomialFitter { degree }
+    }
+}
+
+impl CurveFitter for PolynomialFitter {
+    type Curve = Polynomial;
+
+    fn fit(&self, points: &[Point]) -> Result<Polynomial> {
+        Polynomial::fit(points, self.degree)
+    }
+
+    fn min_points(&self) -> usize {
+        self.degree + 1
+    }
+
+    fn fit_singleton(&self, point: Point) -> Result<Polynomial> {
+        Ok(Polynomial::constant(point.v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts_from<F: Fn(f64) -> f64>(n: usize, f: F) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, f(i as f64))).collect()
+    }
+
+    #[test]
+    fn horner_eval() {
+        // 1 + 2t + 3t^2 at t=2 -> 17
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        assert!((p.eval(2.0) - 17.0).abs() < 1e-12);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 0);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.coefficients(), &[0.0]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dt (1 + 2t + 3t^2) = 2 + 6t
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let d = p.differentiate();
+        assert_eq!(d.coefficients(), &[2.0, 6.0]);
+        assert_eq!(Polynomial::constant(5.0).differentiate().coefficients(), &[0.0]);
+    }
+
+    #[test]
+    fn fit_recovers_exact_quadratic() {
+        let p = pts_from(8, |t| 2.0 - t + 0.5 * t * t);
+        let fit = Polynomial::fit(&p, 2).unwrap();
+        for (got, want) in fit.coefficients().iter().zip([2.0, -1.0, 0.5]) {
+            assert!((got - want).abs() < 1e-8, "{:?}", fit.coefficients());
+        }
+    }
+
+    #[test]
+    fn fit_recovers_cubic_with_offset_times() {
+        let points: Vec<Point> = (0..10)
+            .map(|i| {
+                let t = 100.0 + i as f64;
+                Point::new(t, 1.0 + 0.1 * t - 0.01 * t * t + 0.001 * t * t * t)
+            })
+            .collect();
+        let fit = Polynomial::fit(&points, 3).unwrap();
+        for p in &points {
+            assert!((fit.eval(p.t) - p.v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fit_degree_guard() {
+        let p = pts_from(3, |t| t);
+        assert!(matches!(Polynomial::fit(&p, 3), Err(Error::TooFewPoints { .. })));
+        assert!(matches!(Polynomial::fit(&p, 13), Err(Error::BadDegree { degree: 13 })));
+    }
+
+    #[test]
+    fn roots_of_derivative_locate_extremum() {
+        // v = (t-3)^2 has derivative root at t=3.
+        let p = Polynomial::new(vec![9.0, -6.0, 1.0]);
+        let d = p.differentiate();
+        let roots = d.roots_in(0.0, 6.0, 20);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roots_handles_endpoints_and_empty() {
+        let p = Polynomial::new(vec![0.0, 1.0]); // root at 0
+        let roots = p.roots_in(0.0, 1.0, 5);
+        assert!(!roots.is_empty());
+        assert!((roots[0] - 0.0).abs() < 1e-9);
+        assert!(p.roots_in(1.0, 0.0, 5).is_empty());
+    }
+
+    #[test]
+    fn fitter_adapter() {
+        let f = PolynomialFitter::new(2);
+        assert_eq!(f.min_points(), 3);
+        let p = pts_from(5, |t| t * t);
+        let c = f.fit(&p).unwrap();
+        assert!((c.eval(4.0) - 16.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn descriptor_is_degree_major() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        match p.descriptor() {
+            FunctionDescriptor::Polynomial(d) => assert_eq!(d, vec![3.0, 2.0, 1.0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Sinusoids `offset + amp·sin(2π·freq·t + phase)`.
+//!
+//! §4.2 lists sinusoids (ordered by amplitude, frequency, phase) as another
+//! family suited to lexicographic indexing. Fitting uses a coarse frequency
+//! grid followed by golden-section refinement; for each candidate frequency
+//! the remaining parameters are a *linear* least-squares problem in the
+//! `sin`/`cos`/constant basis.
+
+use crate::curve::{Curve, CurveFitter};
+use crate::error::{Error, Result};
+use crate::linalg::least_squares;
+use crate::ordering::FunctionDescriptor;
+use saq_sequence::Point;
+use serde::{Deserialize, Serialize};
+
+/// A sinusoid `offset + amp·sin(2π·freq·t + phase)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sinusoid {
+    /// Amplitude (non-negative by construction of the fitter).
+    pub amp: f64,
+    /// Frequency in cycles per time unit.
+    pub freq: f64,
+    /// Phase in radians, normalized to `[0, 2π)`.
+    pub phase: f64,
+    /// Vertical offset.
+    pub offset: f64,
+}
+
+impl Sinusoid {
+    /// Creates a sinusoid, normalizing the phase.
+    pub fn new(amp: f64, freq: f64, phase: f64, offset: f64) -> Sinusoid {
+        let tau = std::f64::consts::TAU;
+        let mut ph = phase % tau;
+        if ph < 0.0 {
+            ph += tau;
+        }
+        Sinusoid { amp, freq, phase: ph, offset }
+    }
+}
+
+impl Curve for Sinusoid {
+    fn eval(&self, t: f64) -> f64 {
+        self.offset + self.amp * (std::f64::consts::TAU * self.freq * t + self.phase).sin()
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        let w = std::f64::consts::TAU * self.freq;
+        self.amp * w * (w * t + self.phase).cos()
+    }
+
+    fn descriptor(&self) -> FunctionDescriptor {
+        FunctionDescriptor::Sinusoid {
+            amp: self.amp,
+            freq: self.freq,
+            phase: self.phase,
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        4
+    }
+}
+
+/// Sum of squared residuals for the best linear (amp/phase/offset) fit at a
+/// fixed frequency, returning the fitted sinusoid too.
+fn fit_at_frequency(points: &[Point], freq: f64) -> Result<(Sinusoid, f64)> {
+    let w = std::f64::consts::TAU * freq;
+    let design: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| vec![(w * p.t).sin(), (w * p.t).cos(), 1.0])
+        .collect();
+    let y: Vec<f64> = points.iter().map(|p| p.v).collect();
+    let sol = least_squares(&design, &y)?;
+    let (a, b, c) = (sol[0], sol[1], sol[2]);
+    // a sin + b cos = amp sin(. + phase), amp = hypot, phase = atan2(b, a)
+    let amp = a.hypot(b);
+    let phase = b.atan2(a);
+    let s = Sinusoid::new(amp, freq, phase, c);
+    let sse: f64 = points.iter().map(|p| (s.eval(p.t) - p.v).powi(2)).sum();
+    Ok((s, sse))
+}
+
+/// Fits a sinusoid by scanning `grid` candidate frequencies over
+/// `(0, max_freq]` and refining the best via golden-section search.
+pub fn fit_sinusoid(points: &[Point], max_freq: f64, grid: usize) -> Result<Sinusoid> {
+    if points.len() < 4 {
+        return Err(Error::TooFewPoints { required: 4, actual: points.len() });
+    }
+    if grid < 2 || max_freq <= 0.0 {
+        return Err(Error::NumericalFailure("bad frequency search range"));
+    }
+    let mut best: Option<(Sinusoid, f64)> = None;
+    for i in 1..=grid {
+        let f = max_freq * i as f64 / grid as f64;
+        if let Ok((s, sse)) = fit_at_frequency(points, f) {
+            if best.as_ref().is_none_or(|(_, b)| sse < *b) {
+                best = Some((s, sse));
+            }
+        }
+    }
+    let (coarse, _) = best.ok_or(Error::SingularSystem)?;
+    // Golden-section refinement around the coarse winner.
+    let step = max_freq / grid as f64;
+    let mut lo = (coarse.freq - step).max(step * 1e-3);
+    let mut hi = coarse.freq + step;
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let sse_at = |f: f64| fit_at_frequency(points, f).map(|(_, sse)| sse).unwrap_or(f64::INFINITY);
+    for _ in 0..40 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if sse_at(m1) < sse_at(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let f_best = 0.5 * (lo + hi);
+    fit_at_frequency(points, f_best).map(|(s, _)| s)
+}
+
+/// [`CurveFitter`] adapter for sinusoid fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct SinusoidFitter {
+    /// Highest candidate frequency.
+    pub max_freq: f64,
+    /// Grid resolution of the coarse scan.
+    pub grid: usize,
+}
+
+impl Default for SinusoidFitter {
+    fn default() -> Self {
+        SinusoidFitter { max_freq: 0.5, grid: 64 }
+    }
+}
+
+impl CurveFitter for SinusoidFitter {
+    type Curve = Sinusoid;
+
+    fn fit(&self, points: &[Point]) -> Result<Sinusoid> {
+        fit_sinusoid(points, self.max_freq, self.grid)
+    }
+
+    fn min_points(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(s: &Sinusoid, n: usize, dt: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                Point::new(t, s.eval(t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eval_matches_definition() {
+        let s = Sinusoid::new(2.0, 0.25, 0.0, 1.0);
+        // At t=1: sin(pi/2)=1 -> 1 + 2
+        assert!((s.eval(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_normalized() {
+        let s = Sinusoid::new(1.0, 1.0, -1.0, 0.0);
+        assert!(s.phase >= 0.0 && s.phase < std::f64::consts::TAU);
+        let t = Sinusoid::new(1.0, 1.0, 7.0, 0.0);
+        assert!(t.phase < std::f64::consts::TAU);
+    }
+
+    #[test]
+    fn recovers_known_sinusoid() {
+        let truth = Sinusoid::new(3.0, 0.1, 0.7, 5.0);
+        let pts = sample(&truth, 100, 1.0);
+        let fit = fit_sinusoid(&pts, 0.5, 128).unwrap();
+        assert!((fit.freq - 0.1).abs() < 1e-3, "freq {}", fit.freq);
+        assert!((fit.amp - 3.0).abs() < 0.05, "amp {}", fit.amp);
+        assert!((fit.offset - 5.0).abs() < 0.05, "offset {}", fit.offset);
+        // Reconstruction accuracy is the real criterion.
+        for p in &pts {
+            assert!((fit.eval(p.t) - p.v).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let s = Sinusoid::new(2.0, 0.3, 0.5, 0.0);
+        let h = 1e-6;
+        for &t in &[0.0, 0.7, 2.3] {
+            let fd = (s.eval(t + h) - s.eval(t - h)) / (2.0 * h);
+            assert!((s.derivative(t) - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let pts = sample(&Sinusoid::new(1.0, 0.1, 0.0, 0.0), 3, 1.0);
+        assert!(matches!(
+            fit_sinusoid(&pts, 0.5, 16),
+            Err(Error::TooFewPoints { required: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn fitter_adapter_defaults() {
+        let f = SinusoidFitter::default();
+        assert_eq!(f.min_points(), 4);
+        let truth = Sinusoid::new(1.0, 0.05, 0.0, 0.0);
+        let pts = sample(&truth, 80, 1.0);
+        let fit = f.fit(&pts).unwrap();
+        assert!((fit.freq - 0.05).abs() < 2e-3);
+    }
+
+    #[test]
+    fn bad_search_range_rejected() {
+        let pts = sample(&Sinusoid::new(1.0, 0.1, 0.0, 0.0), 10, 1.0);
+        assert!(fit_sinusoid(&pts, 0.0, 16).is_err());
+        assert!(fit_sinusoid(&pts, 0.5, 1).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! R-peak analysis through the representation (§5.2 steps 1–4).
+//!
+//! The pipeline is the paper's: break the ECG with the linear-interpolation
+//! algorithm at ε=10, represent subsequences by their interpolation lines,
+//! find peaks from the slopes of the representing functions, build Table 1
+//! (per-peak rising/descending functions with subsequence start/end points),
+//! and derive the R–R interval sequence.
+
+use saq_core::alphabet::DEFAULT_THETA;
+use saq_core::brk::{Breaker, LinearInterpolationBreaker};
+use saq_core::features::PeakTable;
+use saq_core::repr::LinearSeries;
+use saq_core::Result;
+use saq_curves::{Curve, EndpointInterpolator, Line};
+use saq_sequence::{Point, Sequence};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct PeakRow {
+    /// 1-based peak number (Table 1 numbers peaks from 1).
+    pub peak: usize,
+    /// Rising function.
+    pub rising: Line,
+    /// Start point of the rising subsequence.
+    pub r_start: Point,
+    /// End point of the rising subsequence.
+    pub r_end: Point,
+    /// Descending function.
+    pub descending: Line,
+    /// Start point of the descending subsequence.
+    pub d_start: Point,
+    /// End point of the descending subsequence.
+    pub d_end: Point,
+}
+
+impl PeakRow {
+    /// Apex position: the endpoint (REnd vs DStart) with larger amplitude.
+    pub fn apex(&self) -> Point {
+        if self.r_end.v >= self.d_start.v {
+            self.r_end
+        } else {
+            self.d_start
+        }
+    }
+}
+
+/// The full analysis of one ECG segment.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The piecewise-linear representation (interpolation lines, as in
+    /// Fig. 9).
+    pub series: LinearSeries,
+    /// All detected peaks (R waves and any large T waves).
+    pub all_peaks: PeakTable<Line>,
+    /// Table 1, filtered to R peaks.
+    pub r_peaks: Vec<PeakRow>,
+}
+
+impl AnalysisReport {
+    /// "The result is a sequence of distances between peaks" — R–R
+    /// intervals in samples.
+    pub fn rr_intervals(&self) -> Vec<f64> {
+        self.r_peaks
+            .windows(2)
+            .map(|w| w[1].apex().t - w[0].apex().t)
+            .collect()
+    }
+
+    /// Intervals rounded to integer buckets for the inverted-file index.
+    pub fn rr_buckets(&self) -> Vec<i64> {
+        self.rr_intervals().iter().map(|&d| d.round() as i64).collect()
+    }
+
+    /// Renders Table 1 in the paper's column layout.
+    pub fn table1(&self) -> String {
+        let mut out = String::from(
+            "Peak | Rising Function | RStart | REnd | Descending Function | DStart | DEnd\n",
+        );
+        for row in &self.r_peaks {
+            out.push_str(&format!(
+                "{:>4} | {:>15} | ({:.0},{:.0}) | ({:.0},{:.0}) | {:>19} | ({:.0},{:.0}) | ({:.0},{:.0})\n",
+                row.peak,
+                row.rising.formula(),
+                row.r_start.t,
+                row.r_start.v,
+                row.r_end.t,
+                row.r_end.v,
+                row.descending.formula(),
+                row.d_start.t,
+                row.d_start.v,
+                row.d_end.t,
+                row.d_end.v,
+            ));
+        }
+        out
+    }
+}
+
+/// Analyzes an ECG: breaks at ε (the paper uses 10), represents with
+/// interpolation lines, extracts peaks, and keeps as R peaks those whose
+/// apex amplitude reaches half the segment maximum.
+pub fn analyze(ecg: &Sequence, epsilon: f64) -> Result<AnalysisReport> {
+    // Coalescing keeps the inter-beat baseline as single flat segments,
+    // matching the paper's ~10-segment representations of Fig. 9.
+    let ranges = LinearInterpolationBreaker::coalescing(epsilon).break_ranges(ecg);
+    let series = LinearSeries::build(ecg, &ranges, &EndpointInterpolator)?;
+    let all_peaks = PeakTable::extract(&series, DEFAULT_THETA);
+    let threshold = 0.5 * ecg.stats().max;
+    let r_peaks = all_peaks
+        .peaks
+        .iter()
+        .filter(|p| p.amplitude() >= threshold)
+        .enumerate()
+        .map(|(i, p)| PeakRow {
+            peak: i + 1,
+            rising: p.rising,
+            r_start: p.r_start,
+            r_end: p.r_end,
+            descending: p.descending,
+            d_start: p.d_start,
+            d_end: p.d_end,
+        })
+        .collect();
+    Ok(AnalysisReport { series, all_peaks, r_peaks })
+}
+
+/// R–R variability: coefficient of variation (σ/μ) of the interval
+/// sequence — the triage statistic a physician would derive from the
+/// representation to flag irregular rhythms. `None` with fewer than two
+/// intervals.
+pub fn rr_variability(report: &AnalysisReport) -> Option<f64> {
+    let rrs = report.rr_intervals();
+    if rrs.len() < 2 {
+        return None;
+    }
+    let n = rrs.len() as f64;
+    let mean = rrs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = rrs.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    Some(var.sqrt() / mean)
+}
+
+/// Steepness sanity helper: R flanks must be much steeper than P/T flanks;
+/// returns the minimum |slope| across R rising/descending functions.
+pub fn min_r_flank_slope(report: &AnalysisReport) -> f64 {
+    report
+        .r_peaks
+        .iter()
+        .flat_map(|r| {
+            [
+                r.rising.derivative(0.0).abs(),
+                r.descending.derivative(0.0).abs(),
+            ]
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, true_r_positions, EcgSpec};
+
+    #[test]
+    fn detects_all_four_r_peaks() {
+        let spec = EcgSpec::default();
+        let report = analyze(&synthesize(spec), 10.0).unwrap();
+        let truth = true_r_positions(&spec);
+        assert_eq!(report.r_peaks.len(), truth.len(), "{:?}", report.r_peaks);
+        for (row, want) in report.r_peaks.iter().zip(&truth) {
+            assert!(
+                (row.apex().t - want).abs() <= 3.0,
+                "peak {} at {} want {want}",
+                row.peak,
+                row.apex().t
+            );
+        }
+    }
+
+    #[test]
+    fn rr_intervals_match_spec() {
+        let spec = EcgSpec { rr: 149.0, ..EcgSpec::default() };
+        let report = analyze(&synthesize(spec), 10.0).unwrap();
+        let rrs = report.rr_intervals();
+        assert!(!rrs.is_empty());
+        for rr in &rrs {
+            assert!((rr - 149.0).abs() <= 3.0, "rr {rr}");
+        }
+        for b in report.rr_buckets() {
+            assert!((b - 149).abs() <= 3, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn compression_is_about_a_factor_of_twelve() {
+        // §5.2: "500 points sequences are represented by about 10 function
+        // segments... about a factor of 12 reduction in space."
+        let report = analyze(&synthesize(EcgSpec::default()), 10.0).unwrap();
+        let c = report.series.compression();
+        assert!(
+            (8..=26).contains(&c.segments),
+            "{} segments",
+            c.segments
+        );
+        assert!(c.ratio() > 4.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn r_flanks_are_steep() {
+        let report = analyze(&synthesize(EcgSpec::default()), 10.0).unwrap();
+        // Table 1 shows R flank slopes of ~±15-26; ours are the same order.
+        let steep = min_r_flank_slope(&report);
+        assert!(steep > 5.0, "min flank slope {steep}");
+    }
+
+    #[test]
+    fn noise_tolerated_at_paper_epsilon() {
+        let spec = EcgSpec { noise: 3.0, rr_jitter: 3.0, ..EcgSpec::default() };
+        let report = analyze(&synthesize(spec), 10.0).unwrap();
+        assert_eq!(report.r_peaks.len(), 4, "{:?}", report.rr_intervals());
+    }
+
+    #[test]
+    fn t_waves_do_not_become_r_peaks() {
+        let report = analyze(&synthesize(EcgSpec::default()), 10.0).unwrap();
+        // All R rows reach at least half max; T waves (~28% of R) are
+        // excluded by the threshold even if they appear in all_peaks.
+        for row in &report.r_peaks {
+            assert!(row.apex().v > 60.0);
+        }
+        assert!(report.all_peaks.len() >= report.r_peaks.len());
+    }
+
+    #[test]
+    fn table1_renders_all_columns() {
+        let report = analyze(&synthesize(EcgSpec::default()), 10.0).unwrap();
+        let table = report.table1();
+        assert!(table.contains("Rising Function"));
+        assert!(table.lines().count() >= 4);
+        // Slope/intercept formulas present.
+        assert!(table.contains('x'));
+    }
+
+    #[test]
+    fn rr_variability_separates_regular_from_irregular() {
+        // Regular rhythm: near-zero variability.
+        let regular = analyze(&synthesize(EcgSpec { n: 1500, ..EcgSpec::default() }), 10.0).unwrap();
+        let v_reg = rr_variability(&regular).unwrap();
+        assert!(v_reg < 0.02, "regular CV {v_reg}");
+        // Heavy jitter: clearly higher variability.
+        let irregular = analyze(
+            &synthesize(EcgSpec { n: 1500, rr_jitter: 25.0, seed: 77, ..EcgSpec::default() }),
+            10.0,
+        )
+        .unwrap();
+        let v_irr = rr_variability(&irregular).unwrap();
+        assert!(v_irr > 3.0 * v_reg, "irregular CV {v_irr} vs {v_reg}");
+        // Too few intervals -> None.
+        let short = analyze(&synthesize(EcgSpec { n: 220, ..EcgSpec::default() }), 10.0).unwrap();
+        assert!(rr_variability(&short).is_none() || short.rr_intervals().len() >= 2);
+    }
+
+    #[test]
+    fn representation_tracks_the_signal_within_epsilon() {
+        let ecg = synthesize(EcgSpec::default());
+        let report = analyze(&ecg, 10.0).unwrap();
+        let dev = report.series.max_deviation_from(&ecg);
+        assert!(dev <= 10.0 + 1e-9, "dev {dev}");
+    }
+}

@@ -1,0 +1,128 @@
+//! ECG corpora and the inverted-file R–R query of §5.2/Fig. 10.
+
+use crate::analysis::{analyze, AnalysisReport};
+use crate::synth::{synthesize, EcgSpec};
+use saq_core::Result;
+use saq_index::InvertedIndex;
+use saq_sequence::Sequence;
+
+/// A corpus of ECG segments with their analyses.
+#[derive(Debug, Clone)]
+pub struct EcgCorpus {
+    /// `(id, raw segment, analysis)` triples; ids start at 1.
+    pub entries: Vec<(u64, Sequence, AnalysisReport)>,
+}
+
+impl EcgCorpus {
+    /// Number of ECGs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The analysis of a given id.
+    pub fn report(&self, id: u64) -> Option<&AnalysisReport> {
+        self.entries
+            .iter()
+            .find(|(eid, _, _)| *eid == id)
+            .map(|(_, _, r)| r)
+    }
+}
+
+/// Builds a corpus of `count` ECG segments whose base R–R intervals sweep
+/// `rr_range` uniformly, with mild jitter and noise; broken at ε=10 like the
+/// paper's experiments.
+pub fn build_corpus(count: usize, rr_range: (f64, f64), seed: u64) -> Result<EcgCorpus> {
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let frac = if count > 1 { i as f64 / (count - 1) as f64 } else { 0.0 };
+        let rr = rr_range.0 + frac * (rr_range.1 - rr_range.0);
+        let spec = EcgSpec {
+            rr,
+            rr_jitter: 1.5,
+            noise: 2.0,
+            seed: seed.wrapping_add(i as u64),
+            ..EcgSpec::default()
+        };
+        let ecg = synthesize(spec);
+        let report = analyze(&ecg, 10.0)?;
+        entries.push((i as u64 + 1, ecg, report));
+    }
+    Ok(EcgCorpus { entries })
+}
+
+/// Builds the Fig. 10 inverted file over the corpus: bucket key = R–R
+/// interval length (samples), postings = `(ecg id, interval position)`.
+pub fn build_rr_index(corpus: &EcgCorpus) -> InvertedIndex {
+    let mut idx = InvertedIndex::new();
+    for (id, _, report) in &corpus.entries {
+        for (pos, bucket) in report.rr_buckets().into_iter().enumerate() {
+            idx.add(bucket, *id, pos as u32);
+        }
+    }
+    idx
+}
+
+/// The §5.2 query: "find all ECGs with R–R intervals of length n ± ε".
+pub fn rr_query(index: &InvertedIndex, n: i64, epsilon: i64) -> Vec<u64> {
+    index.matching_sequences(n, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_reproducible_and_sized() {
+        let a = build_corpus(5, (120.0, 160.0), 7).unwrap();
+        let b = build_corpus(5, (120.0, 160.0), 7).unwrap();
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        for ((_, x, _), (_, y, _)) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn rr_query_selects_the_right_ecgs() {
+        // 5 ECGs with rr = 120, 130, 140, 150, 160.
+        let corpus = build_corpus(5, (120.0, 160.0), 42).unwrap();
+        let index = build_rr_index(&corpus);
+        // Query 130 ± 4: should return the rr=130 ECG (id 2) and nothing
+        // far away like id 5.
+        let hits = rr_query(&index, 130, 4);
+        assert!(hits.contains(&2), "{hits:?}");
+        assert!(!hits.contains(&5), "{hits:?}");
+        // A query far outside the sweep matches nothing.
+        assert!(rr_query(&index, 400, 10).is_empty());
+    }
+
+    #[test]
+    fn paper_example_136_pm_3() {
+        // Reproduce §5.2's worked example: top ECG has intervals {149,149},
+        // bottom has {136,137,136}; query 136±3 returns only the bottom.
+        let top = analyze(&synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() }), 10.0).unwrap();
+        let bottom =
+            analyze(&synthesize(EcgSpec { rr: 136.0, ..EcgSpec::default() }), 10.0).unwrap();
+        let mut idx = InvertedIndex::new();
+        for (pos, b) in top.rr_buckets().into_iter().enumerate() {
+            idx.add(b, 1, pos as u32);
+        }
+        for (pos, b) in bottom.rr_buckets().into_iter().enumerate() {
+            idx.add(b, 2, pos as u32);
+        }
+        assert_eq!(rr_query(&idx, 136, 3), vec![2]);
+        assert_eq!(rr_query(&idx, 149, 3), vec![1]);
+    }
+
+    #[test]
+    fn report_lookup() {
+        let corpus = build_corpus(3, (130.0, 150.0), 1).unwrap();
+        assert!(corpus.report(2).is_some());
+        assert!(corpus.report(99).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! # saq-ecg
+//!
+//! The paper's cardiology application (§5.2): electrocardiogram segments,
+//! R-peak analysis, and the R–R interval query workload.
+//!
+//! The original experiments used digitized ECG segments fetched over the
+//! early WWW (`http://avnode.wustl.edu`), which are long gone. The
+//! [`synth`] module substitutes a morphology-faithful synthesizer
+//! (Gaussian P-QRS-T waves, configurable beat interval, noise and baseline
+//! wander); what the paper's pipeline depends on — prominent R peaks,
+//! ~500-sample segments, breaking at ε=10 into ~10 segments with steep
+//! R flanks — is preserved (see DESIGN.md, substitution 1).
+//!
+//! ```
+//! use saq_ecg::{synth::{synthesize, EcgSpec}, analysis};
+//!
+//! let ecg = synthesize(EcgSpec::default());
+//! let report = analysis::analyze(&ecg, 10.0).unwrap();
+//! assert_eq!(report.r_peaks.len(), 4);
+//! assert!(report.rr_intervals().iter().all(|&rr| rr > 100.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod corpus;
+pub mod synth;
+
+pub use analysis::{analyze, rr_variability, AnalysisReport, PeakRow};
+pub use corpus::{build_corpus, build_rr_index, EcgCorpus};
+pub use synth::{synthesize, EcgSpec};

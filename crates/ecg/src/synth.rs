@@ -1,0 +1,211 @@
+//! ECG synthesis: Gaussian P-QRS-T morphology on a configurable beat grid.
+//!
+//! Amplitudes are in the same arbitrary ADC-like units as Fig. 9
+//! (≈ −150..150), and the default beat interval reproduces the paper's
+//! R–R distances of ~136–149 samples within 500-sample segments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saq_sequence::generators::{bump, gaussian};
+use saq_sequence::{Point, Sequence};
+
+/// Specification of a synthetic ECG segment.
+#[derive(Debug, Clone, Copy)]
+pub struct EcgSpec {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample index of the first R peak.
+    pub first_r: f64,
+    /// Base R–R interval in samples (the paper's segments show ~136–149).
+    pub rr: f64,
+    /// Per-beat R–R jitter (uniform ±, in samples); 0 = perfectly regular.
+    pub rr_jitter: f64,
+    /// R-wave amplitude.
+    pub r_amp: f64,
+    /// Additive Gaussian noise σ.
+    pub noise: f64,
+    /// Amplitude of slow baseline wander (respiration-like).
+    pub wander: f64,
+    /// RNG seed for jitter/noise.
+    pub seed: u64,
+}
+
+impl Default for EcgSpec {
+    fn default() -> Self {
+        EcgSpec {
+            n: 500,
+            first_r: 60.0,
+            rr: 136.0,
+            rr_jitter: 0.0,
+            r_amp: 130.0,
+            noise: 0.0,
+            wander: 0.0,
+            seed: 0xEC60,
+        }
+    }
+}
+
+/// Gaussian low-amplitude waves relative to the R peak, in samples
+/// `(offset, width, amplitude-fraction of r_amp)`. P and T are kept below
+/// the paper's breaking tolerance ε=10 — on their real ECG plots (Fig. 9)
+/// P/T are barely visible and absorbed by the flat segments.
+const WAVES: [(f64, f64, f64); 3] = [
+    (-34.0, 7.0, 0.06), // P
+    (-12.0, 2.5, -0.05), // Q
+    (42.0, 10.0, 0.07), // T
+];
+
+/// QRS spike geometry: a digitized R wave at this sample rate is essentially
+/// piecewise linear — a steep rise, a steep fall overshooting into the S
+/// trough, and a linear recovery (matching Table 1's straight rising and
+/// descending functions with slopes ≈ ±22).
+const R_RISE: f64 = 6.0;
+const R_FALL: f64 = 7.0;
+const S_FRAC: f64 = -0.22;
+const S_RECOVER: f64 = 8.0;
+
+/// Piecewise-linear QRS contribution at offset `x = t - r_position`.
+fn qrs(x: f64, amp: f64) -> f64 {
+    if (-R_RISE..=0.0).contains(&x) {
+        amp * (1.0 + x / R_RISE)
+    } else if (0.0..=R_FALL).contains(&x) {
+        // From +amp down to the S trough.
+        amp + (S_FRAC * amp - amp) * (x / R_FALL)
+    } else if (R_FALL..=R_FALL + S_RECOVER).contains(&x) {
+        S_FRAC * amp * (1.0 - (x - R_FALL) / S_RECOVER)
+    } else {
+        0.0
+    }
+}
+
+/// Synthesizes an ECG segment.
+pub fn synthesize(spec: EcgSpec) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Lay out R-peak positions.
+    let mut r_positions = Vec::new();
+    let mut r = spec.first_r;
+    while r < spec.n as f64 + spec.rr {
+        r_positions.push(r);
+        let jitter = if spec.rr_jitter > 0.0 {
+            (rng.random::<f64>() * 2.0 - 1.0) * spec.rr_jitter
+        } else {
+            0.0
+        };
+        r += spec.rr + jitter;
+    }
+    // Also one beat before the window so early P/T tails are present.
+    let lead_in = spec.first_r - spec.rr;
+    let all_r: Vec<f64> = std::iter::once(lead_in).chain(r_positions).collect();
+
+    let points = (0..spec.n)
+        .map(|i| {
+            let t = i as f64;
+            let mut v = 0.0;
+            for &rpos in &all_r {
+                v += qrs(t - rpos, spec.r_amp);
+                for (offset, width, frac) in WAVES {
+                    let center = rpos + offset;
+                    if (t - center).abs() < 6.0 * width {
+                        v += bump(t, center, width, frac * spec.r_amp);
+                    }
+                }
+            }
+            if spec.wander > 0.0 {
+                v += spec.wander * (t * std::f64::consts::TAU / 350.0).sin();
+            }
+            if spec.noise > 0.0 {
+                v += spec.noise * gaussian(&mut rng);
+            }
+            Point::new(t, v)
+        })
+        .collect();
+    Sequence::new(points).expect("synthesizer produces valid sequences")
+}
+
+/// True R-peak sample positions of a spec with no jitter — ground truth for
+/// detector tests.
+pub fn true_r_positions(spec: &EcgSpec) -> Vec<f64> {
+    assert!(spec.rr_jitter == 0.0, "ground truth requires jitter 0");
+    let mut out = Vec::new();
+    let mut r = spec.first_r;
+    while r < spec.n as f64 {
+        out.push(r);
+        r += spec.rr;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_figure9() {
+        let ecg = synthesize(EcgSpec::default());
+        assert_eq!(ecg.len(), 500);
+        let stats = ecg.stats();
+        // Fig. 9's axis: roughly -150..150.
+        assert!(stats.max > 100.0 && stats.max < 160.0, "max {}", stats.max);
+        assert!(stats.min < -20.0, "min {}", stats.min);
+        // Four R peaks fit in 500 samples at rr=136 starting at 60.
+        assert_eq!(true_r_positions(&EcgSpec::default()).len(), 4);
+    }
+
+    #[test]
+    fn r_peaks_at_expected_positions() {
+        let spec = EcgSpec::default();
+        let ecg = synthesize(spec);
+        for rpos in true_r_positions(&spec) {
+            let idx = rpos as usize;
+            let v = ecg[idx].v;
+            assert!(v > 0.9 * spec.r_amp, "at {idx}: {v}");
+            // Local maximum within ±5 samples.
+            for d in 1..=5usize {
+                assert!(ecg[idx].v >= ecg[idx - d].v);
+                if idx + d < ecg.len() {
+                    assert!(ecg[idx].v >= ecg[idx + d].v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_and_t_waves_present_but_small() {
+        let spec = EcgSpec::default();
+        let ecg = synthesize(spec);
+        // T wave ~42 samples after the first R; sub-ε so the breaker can
+        // absorb it (the paper's real ECGs show barely visible P/T).
+        let t_idx = (spec.first_r + 42.0) as usize;
+        let t_amp = ecg[t_idx].v;
+        assert!(t_amp > 5.0 && t_amp < 10.0, "T amplitude {t_amp}");
+        // P wave before R, small positive.
+        let p_idx = (spec.first_r - 34.0) as usize;
+        assert!(ecg[p_idx].v > 4.0 && ecg[p_idx].v < 10.0, "P {}", ecg[p_idx].v);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = EcgSpec { noise: 3.0, rr_jitter: 4.0, ..EcgSpec::default() };
+        assert_eq!(synthesize(spec), synthesize(spec));
+        let other = EcgSpec { seed: 1, ..spec };
+        assert_ne!(synthesize(spec), synthesize(other));
+    }
+
+    #[test]
+    fn wander_shifts_baseline() {
+        let calm = synthesize(EcgSpec::default());
+        let wavy = synthesize(EcgSpec { wander: 20.0, ..EcgSpec::default() });
+        // Between beats, the wavy baseline departs from zero.
+        let quiet_idx = 130; // past the T wave of beat 1 (R=60), before P of beat 2
+        assert!(calm[quiet_idx].v.abs() < 6.0);
+        assert!((wavy[quiet_idx].v - calm[quiet_idx].v).abs() > 5.0);
+    }
+
+    #[test]
+    fn custom_rr_changes_beat_count() {
+        let slow = EcgSpec { rr: 200.0, ..EcgSpec::default() };
+        assert_eq!(true_r_positions(&slow).len(), 3);
+        let fast = EcgSpec { rr: 100.0, ..EcgSpec::default() };
+        assert_eq!(true_r_positions(&fast).len(), 5);
+    }
+}

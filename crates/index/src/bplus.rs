@@ -1,0 +1,484 @@
+//! A B+tree with arena-allocated nodes and linked leaves.
+//!
+//! Fig. 10 of the paper shows "a B-Tree structure which points to the
+//! postings file"; this is that structure. Keys live in the leaves, internal
+//! nodes hold separators, and leaves are singly linked for range scans
+//! (`range` powers the R–R interval query `n ± ε`).
+
+/// Maximum keys a node may hold before splitting; the tree's order.
+const DEFAULT_ORDER: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i+1]` holds keys `>= keys[i]`.
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<usize>,
+    },
+}
+
+/// An order-configurable B+tree.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    len: usize,
+    order: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// An empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// An empty tree whose nodes split beyond `order` keys (`order >= 3`).
+    ///
+    /// # Panics
+    /// Panics if `order < 3` (caller bug).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+tree order must be at least 3");
+        let nodes = vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }];
+        BPlusTree { nodes, root: 0, len: 0, order }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.insert_rec(self.root, key, value) {
+            InsertOutcome::Replaced(old) => Some(old),
+            InsertOutcome::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertOutcome::Split { sep, right } => {
+                self.len += 1;
+                let new_root = Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+                self.nodes.push(new_root);
+                self.root = self.nodes.len() - 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &self.nodes[leaf] {
+            keys.binary_search(key).ok().map(|i| &values[i])
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+            keys.binary_search(key).ok().map(|i| &mut values[i])
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All entries with `lo <= key <= hi`, in key order — a linked-leaf walk.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        let mut leaf = Some(self.find_leaf(lo));
+        while let Some(id) = leaf {
+            if let Node::Leaf { keys, values, next } = &self.nodes[id] {
+                for (k, v) in keys.iter().zip(values) {
+                    if k > hi {
+                        return out;
+                    }
+                    if k >= lo {
+                        out.push((k, v));
+                    }
+                }
+                leaf = *next;
+            } else {
+                unreachable!("leaf chain contains only leaves")
+            }
+        }
+        out
+    }
+
+    /// All entries in key order.
+    pub fn iter(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut node = self.root;
+        // Descend to the leftmost leaf.
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
+        }
+        let mut leaf = Some(node);
+        while let Some(id) = leaf {
+            if let Node::Leaf { keys, values, next } = &self.nodes[id] {
+                out.extend(keys.iter().zip(values.iter()));
+                leaf = *next;
+            }
+        }
+        out
+    }
+
+    fn find_leaf(&self, key: &K) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: usize, key: K, value: V) -> InsertOutcome<K, V> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => InsertOutcome::Replaced(std::mem::replace(&mut values[i], value)),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() > self.order {
+                            self.split_leaf(node)
+                        } else {
+                            InsertOutcome::Inserted
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= &key);
+                let child = children[idx];
+                match self.insert_rec(child, key, value) {
+                    InsertOutcome::Split { sep, right } => {
+                        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                            let pos = keys.partition_point(|k| k <= &sep);
+                            keys.insert(pos, sep);
+                            children.insert(pos + 1, right);
+                            if keys.len() > self.order {
+                                self.split_internal(node)
+                            } else {
+                                InsertOutcome::Inserted
+                            }
+                        } else {
+                            unreachable!("node type cannot change mid-insert")
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> InsertOutcome<K, V> {
+        let new_id = self.nodes.len();
+        if let Node::Leaf { keys, values, next } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let right_keys: Vec<K> = keys.split_off(mid);
+            let right_values: Vec<V> = values.split_off(mid);
+            let sep = right_keys[0].clone();
+            let right = Node::Leaf { keys: right_keys, values: right_values, next: *next };
+            *next = Some(new_id);
+            self.nodes.push(right);
+            InsertOutcome::Split { sep, right: new_id }
+        } else {
+            unreachable!("split_leaf on a leaf")
+        }
+    }
+
+    fn split_internal(&mut self, node: usize) -> InsertOutcome<K, V> {
+        let new_id = self.nodes.len();
+        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            // The middle key moves up; right node takes keys after it.
+            let sep = keys[mid].clone();
+            let right_keys: Vec<K> = keys.split_off(mid + 1);
+            keys.pop(); // remove the promoted separator
+            let right_children: Vec<usize> = children.split_off(mid + 1);
+            let right = Node::Internal { keys: right_keys, children: right_children };
+            self.nodes.push(right);
+            InsertOutcome::Split { sep, right: new_id }
+        } else {
+            unreachable!("split_internal on an internal node")
+        }
+    }
+
+    /// Removes a key, returning its value if present.
+    ///
+    /// Deletion is *lazy* (as in most LSM/posting-file systems): the entry
+    /// leaves its leaf immediately, but nodes are not rebalanced or merged.
+    /// Search and range scans remain correct; space is reclaimed only by
+    /// rebuilding. This matches the paper's workload, where representations
+    /// are append-mostly and queries read-heavy.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+            match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    let v = values.remove(i);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Err(_) => None,
+            }
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Validates structural invariants (test/debug helper): key ordering
+    /// within nodes, separator correctness, and leaf-chain ordering.
+    pub fn check_invariants(&self) -> bool {
+        // Leaf chain must be globally sorted.
+        let entries = self.iter();
+        entries.windows(2).all(|w| w[0].0 < w[1].0) && entries.len() == self.len
+    }
+}
+
+enum InsertOutcome<K, V> {
+    Inserted,
+    Replaced(V),
+    Split { sep: K, right: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i64, &str> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.height(), 1);
+        assert!(t.range(&0, &10).is_empty());
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "five"), None);
+        assert_eq!(t.insert(3, "three"), None);
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.insert(5, "FIVE"), Some("five"));
+        assert_eq!(t.get(&5), Some(&"FIVE"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn grows_beyond_one_leaf() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 0..50 {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.len(), 50);
+        assert!(t.height() > 1);
+        for k in 0..50 {
+            assert_eq!(t.get(&k), Some(&(k * 10)), "key {k}");
+        }
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insertion() {
+        let mut t = BPlusTree::with_order(4);
+        // Deterministic shuffle: multiply by coprime modulo 101.
+        for i in 0..101u64 {
+            let k = (i * 37) % 101;
+            t.insert(k, k);
+        }
+        assert_eq!(t.len(), 101);
+        assert!(t.check_invariants());
+        let all = t.iter();
+        assert_eq!(all.len(), 101);
+        assert_eq!(*all[0].0, 0);
+        assert_eq!(*all[100].0, 100);
+    }
+
+    #[test]
+    fn range_inclusive_semantics() {
+        let mut t = BPlusTree::with_order(3);
+        for k in (0..40).step_by(2) {
+            t.insert(k, ());
+        }
+        let r = t.range(&10, &20);
+        let keys: Vec<i32> = r.iter().map(|(k, _)| **k).collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18, 20]);
+        // Bounds not present in the tree.
+        let r2 = t.range(&11, &15);
+        let keys2: Vec<i32> = r2.iter().map(|(k, _)| **k).collect();
+        assert_eq!(keys2, vec![12, 14]);
+        // Inverted range is empty.
+        assert!(t.range(&20, &10).is_empty());
+    }
+
+    #[test]
+    fn range_spanning_many_leaves() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 0..200 {
+            t.insert(k, k);
+        }
+        let r = t.range(&50, &150);
+        assert_eq!(r.len(), 101);
+        assert_eq!(*r[0].0, 50);
+        assert_eq!(*r[100].0, 150);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        t.insert(1, vec![1]);
+        t.get_mut(&1).unwrap().push(2);
+        assert_eq!(t.get(&1), Some(&vec![1, 2]));
+        assert!(t.get_mut(&99).is_none());
+    }
+
+    #[test]
+    fn contains_key() {
+        let mut t = BPlusTree::new();
+        t.insert("a", 1);
+        assert!(t.contains_key(&"a"));
+        assert!(!t.contains_key(&"b"));
+    }
+
+    #[test]
+    fn iter_is_sorted_after_heavy_churn() {
+        let mut t = BPlusTree::with_order(5);
+        for i in 0..1000u64 {
+            let k = (i * 7919) % 1000;
+            t.insert(k, i);
+        }
+        assert_eq!(t.len(), 1000);
+        let keys: Vec<u64> = t.iter().into_iter().map(|(k, _)| *k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn tiny_order_rejected() {
+        let _ = BPlusTree::<i32, ()>::with_order(2);
+    }
+
+    #[test]
+    fn remove_basics() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 0..30 {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.remove(&7), Some(70));
+        assert_eq!(t.remove(&7), None);
+        assert_eq!(t.remove(&99), None);
+        assert_eq!(t.len(), 29);
+        assert_eq!(t.get(&7), None);
+        assert_eq!(t.get(&8), Some(&80));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn remove_then_range_skips_deleted() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 0..20 {
+            t.insert(k, ());
+        }
+        for k in (0..20).step_by(2) {
+            assert!(t.remove(&k).is_some());
+        }
+        let keys: Vec<i32> = t.range(&0, &19).iter().map(|(k, _)| **k).collect();
+        assert_eq!(keys, (1..20).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..50u64 {
+            t.insert(k, k);
+        }
+        for k in 10..40u64 {
+            t.remove(&k);
+        }
+        for k in 10..40u64 {
+            assert_eq!(t.insert(k, k + 1000), None);
+        }
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.get(&25), Some(&1025));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn drain_everything() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 0..40 {
+            t.insert(k, k);
+        }
+        for k in 0..40 {
+            assert_eq!(t.remove(&k), Some(k));
+        }
+        assert!(t.is_empty());
+        assert!(t.iter().is_empty());
+        assert!(t.range(&0, &100).is_empty());
+        // The tree is usable after being drained.
+        t.insert(5, 5);
+        assert_eq!(t.get(&5), Some(&5));
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t = BPlusTree::with_order(3);
+        for w in ["pear", "apple", "fig", "date", "cherry", "banana", "kiwi"] {
+            t.insert(w.to_string(), w.len());
+        }
+        assert_eq!(t.get(&"fig".to_string()), Some(&3));
+        let r = t.range(&"b".to_string(), &"d".to_string());
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["banana", "cherry"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The inverted-file organization of Fig. 10.
+//!
+//! "It consists of a B-Tree structure which points to the postings file. The
+//! postings file contains buckets of R–R interval lengths and a set of
+//! pointers to the ECG representations which contain those interval
+//! lengths... augmented with the position of the interval."
+//!
+//! Keys are integral bucket values (e.g. an interval length in samples);
+//! each bucket's posting list holds `(sequence id, position)` pairs kept
+//! sorted, as the paper notes each bucket is "sorted by the values stored in
+//! it".
+
+use crate::bplus::BPlusTree;
+
+/// A pointer from a bucket into a stored sequence representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Identifier of the sequence representation.
+    pub sequence: u64,
+    /// Position of the feature occurrence inside the sequence (e.g. the
+    /// index of the first peak of the matching interval).
+    pub position: u32,
+}
+
+/// Inverted file: B+tree over bucket keys → sorted posting lists.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    tree: BPlusTree<i64, Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        InvertedIndex { tree: BPlusTree::new() }
+    }
+
+    /// Adds an occurrence of `key` in the given sequence at `position`.
+    pub fn add(&mut self, key: i64, sequence: u64, position: u32) {
+        let posting = Posting { sequence, position };
+        match self.tree.get_mut(&key) {
+            Some(list) => {
+                // Keep sorted; ignore exact duplicates.
+                match list.binary_search(&posting) {
+                    Ok(_) => {}
+                    Err(i) => list.insert(i, posting),
+                }
+            }
+            None => {
+                self.tree.insert(key, vec![posting]);
+            }
+        }
+    }
+
+    /// Number of distinct bucket keys.
+    pub fn bucket_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.tree.iter().iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Postings for an exact key.
+    pub fn lookup(&self, key: i64) -> &[Posting] {
+        self.tree.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All postings with bucket key in `[key - tolerance, key + tolerance]` —
+    /// the paper's approximate query `n ± ε` handled "as regular range
+    /// queries". Results are deduplicated and sorted.
+    pub fn lookup_range(&self, key: i64, tolerance: i64) -> Vec<Posting> {
+        let lo = key - tolerance;
+        let hi = key + tolerance;
+        let mut out: Vec<Posting> = self
+            .tree
+            .range(&lo, &hi)
+            .into_iter()
+            .flat_map(|(_, list)| list.iter().copied())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Removes every posting of a sequence (e.g. when a representation is
+    /// re-ingested); returns how many postings were dropped.
+    pub fn remove_sequence(&mut self, sequence: u64) -> usize {
+        let mut dropped = 0;
+        let keys: Vec<i64> = self.tree.iter().into_iter().map(|(k, _)| *k).collect();
+        for key in keys {
+            if let Some(list) = self.tree.get_mut(&key) {
+                let before = list.len();
+                list.retain(|p| p.sequence != sequence);
+                dropped += before - list.len();
+            }
+        }
+        dropped
+    }
+
+    /// Distinct sequence ids with any posting in `[key ± tolerance]`.
+    pub fn matching_sequences(&self, key: i64, tolerance: i64) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .lookup_range(key, tolerance)
+            .into_iter()
+            .map(|p| p.sequence)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lookups() {
+        let idx = InvertedIndex::new();
+        assert!(idx.lookup(5).is_empty());
+        assert!(idx.lookup_range(5, 3).is_empty());
+        assert_eq!(idx.bucket_count(), 0);
+    }
+
+    #[test]
+    fn add_and_exact_lookup() {
+        let mut idx = InvertedIndex::new();
+        idx.add(136, 1, 0);
+        idx.add(136, 2, 3);
+        idx.add(149, 1, 1);
+        assert_eq!(idx.lookup(136).len(), 2);
+        assert_eq!(idx.lookup(149), &[Posting { sequence: 1, position: 1 }]);
+        assert_eq!(idx.bucket_count(), 2);
+        assert_eq!(idx.posting_count(), 3);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut idx = InvertedIndex::new();
+        idx.add(10, 1, 0);
+        idx.add(10, 1, 0);
+        assert_eq!(idx.lookup(10).len(), 1);
+    }
+
+    #[test]
+    fn postings_stay_sorted() {
+        let mut idx = InvertedIndex::new();
+        idx.add(7, 9, 5);
+        idx.add(7, 1, 2);
+        idx.add(7, 9, 1);
+        let l = idx.lookup(7);
+        assert!(l.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn paper_rr_query_scenario() {
+        // §5.2: "to find the ECGs with an R-R interval of duration 136 ± 3 we
+        // follow the B-Tree looking for values 133..139".
+        let mut idx = InvertedIndex::new();
+        // Top ECG of Fig. 9: intervals 149, 149.
+        for (pos, iv) in [149i64, 149].iter().enumerate() {
+            idx.add(*iv, 1, pos as u32);
+        }
+        // Bottom ECG: intervals 136, 137, 136.
+        for (pos, iv) in [136i64, 137, 136].iter().enumerate() {
+            idx.add(*iv, 2, pos as u32);
+        }
+        assert_eq!(idx.matching_sequences(136, 3), vec![2]);
+        assert_eq!(idx.matching_sequences(149, 0), vec![1]);
+        assert_eq!(idx.matching_sequences(143, 10), vec![1, 2]);
+        assert!(idx.matching_sequences(100, 5).is_empty());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_dedups() {
+        let mut idx = InvertedIndex::new();
+        idx.add(10, 1, 0);
+        idx.add(12, 1, 0);
+        idx.add(14, 2, 0);
+        // (sequence 1, position 0) occurs under two bucket keys but is one
+        // occurrence; lookup_range reports it once.
+        let r = idx.lookup_range(12, 2);
+        assert_eq!(r.len(), 2);
+        let seqs = idx.matching_sequences(12, 2);
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_sequence_strips_all_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.add(10, 1, 0);
+        idx.add(12, 1, 1);
+        idx.add(12, 2, 0);
+        assert_eq!(idx.remove_sequence(1), 2);
+        assert_eq!(idx.posting_count(), 1);
+        assert!(idx.matching_sequences(11, 2) == vec![2]);
+        assert_eq!(idx.remove_sequence(1), 0);
+    }
+
+    #[test]
+    fn negative_keys_allowed() {
+        let mut idx = InvertedIndex::new();
+        idx.add(-5, 3, 1);
+        assert_eq!(idx.lookup_range(-6, 1).len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # saq-index
+//!
+//! Index structures over function-series representations:
+//!
+//! * [`BPlusTree`] — an order-configurable B+tree with linked leaves, built
+//!   from scratch (the "B-Tree structure" of Fig. 10),
+//! * [`InvertedIndex`] — the inverted-file organization of §5.2/Fig. 10:
+//!   a B+tree over bucket keys pointing into posting lists of
+//!   `(sequence id, position)` pairs,
+//! * [`PatternIndex`] — the slope-sign pattern index of §4.4, answering
+//!   "positions of the first point of all stored sequences matching a
+//!   pattern" with a DFA scan over stored symbol strings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bplus;
+pub mod inverted;
+pub mod pattern_index;
+
+pub use bplus::BPlusTree;
+pub use inverted::{InvertedIndex, Posting};
+pub use pattern_index::{PatternHit, PatternIndex};

@@ -1,0 +1,283 @@
+//! The slope-pattern index of §4.4.
+//!
+//! Stored sequences are kept as strings over the slope-sign alphabet; a
+//! query pattern compiles to a DFA and the index returns, per sequence, the
+//! positions where matches begin ("by using the index we get the positions
+//! of the first point of all stored sequences that match that pattern").
+//!
+//! A 1-gram occurrence table accelerates scans: sequences lacking some
+//! symbol that every match must contain are skipped without running the
+//! DFA.
+
+use saq_pattern::{Ast, Dfa, Regex};
+use std::collections::HashMap;
+
+/// A per-sequence pattern-match result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternHit {
+    /// Sequence identifier.
+    pub sequence: u64,
+    /// Start offsets (in segments) of every match.
+    pub positions: Vec<usize>,
+}
+
+/// Index over symbol strings (one per stored sequence representation).
+#[derive(Debug, Clone, Default)]
+pub struct PatternIndex {
+    docs: Vec<(u64, Vec<u8>)>,
+    ids: HashMap<u64, usize>,
+    /// `contains[sym]` = sorted list of doc slots whose string contains sym.
+    contains: HashMap<u8, Vec<usize>>,
+}
+
+impl PatternIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        PatternIndex::default()
+    }
+
+    /// Inserts (or replaces) the symbol string of a sequence.
+    pub fn insert(&mut self, sequence: u64, symbols: Vec<u8>) {
+        match self.ids.get(&sequence) {
+            Some(&slot) => {
+                self.docs[slot].1 = symbols;
+                self.rebuild_contains();
+            }
+            None => {
+                let slot = self.docs.len();
+                for &sym in symbols.iter() {
+                    let list = self.contains.entry(sym).or_default();
+                    if list.last() != Some(&slot) {
+                        list.push(slot);
+                    }
+                }
+                self.docs.push((sequence, symbols));
+                self.ids.insert(sequence, slot);
+            }
+        }
+    }
+
+    fn rebuild_contains(&mut self) {
+        self.contains.clear();
+        for (slot, (_, symbols)) in self.docs.iter().enumerate() {
+            for &sym in symbols {
+                let list = self.contains.entry(sym).or_default();
+                if list.last() != Some(&slot) {
+                    list.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Number of indexed sequences.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The stored symbol string of a sequence, if present.
+    pub fn symbols_of(&self, sequence: u64) -> Option<&[u8]> {
+        self.ids.get(&sequence).map(|&slot| self.docs[slot].1.as_slice())
+    }
+
+    /// Sequences whose *entire* symbol string matches the pattern — the
+    /// goal-post query semantics (a 24-hour log with exactly two peaks).
+    pub fn full_matches(&self, regex: &Regex) -> Vec<u64> {
+        let dfa = regex.compile();
+        let required = required_symbols(regex.ast());
+        self.candidate_slots(&required)
+            .into_iter()
+            .filter(|&slot| dfa.is_match(&self.docs[slot].1))
+            .map(|slot| self.docs[slot].0)
+            .collect()
+    }
+
+    /// Per-sequence start positions of every (possibly overlapping)
+    /// occurrence of the pattern.
+    pub fn scan(&self, regex: &Regex) -> Vec<PatternHit> {
+        let dfa = regex.compile();
+        let required = required_symbols(regex.ast());
+        self.candidate_slots(&required)
+            .into_iter()
+            .filter_map(|slot| {
+                let (id, symbols) = &self.docs[slot];
+                let positions = dfa.match_starts(symbols);
+                if positions.is_empty() {
+                    None
+                } else {
+                    Some(PatternHit { sequence: *id, positions })
+                }
+            })
+            .collect()
+    }
+
+    /// Like [`PatternIndex::scan`] but with a pre-compiled DFA and no
+    /// pruning — used by benchmarks to isolate scan cost.
+    pub fn scan_unpruned(&self, dfa: &Dfa) -> Vec<PatternHit> {
+        self.docs
+            .iter()
+            .filter_map(|(id, symbols)| {
+                let positions = dfa.match_starts(symbols);
+                if positions.is_empty() {
+                    None
+                } else {
+                    Some(PatternHit { sequence: *id, positions })
+                }
+            })
+            .collect()
+    }
+
+    /// Doc slots containing every required symbol (sorted).
+    fn candidate_slots(&self, required: &[u8]) -> Vec<usize> {
+        if required.is_empty() {
+            return (0..self.docs.len()).collect();
+        }
+        // Intersect the occurrence lists, smallest first.
+        let mut lists: Vec<&Vec<usize>> = Vec::with_capacity(required.len());
+        for sym in required {
+            match self.contains.get(sym) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<usize> = lists[0].clone();
+        for list in &lists[1..] {
+            acc.retain(|slot| list.binary_search(slot).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// Symbols that *every* string in the pattern's language must contain —
+/// a sound filter for candidate pruning.
+fn required_symbols(ast: &Ast) -> Vec<u8> {
+    fn go(ast: &Ast) -> Vec<u8> {
+        match ast {
+            Ast::Epsilon => Vec::new(),
+            Ast::Symbol(s) => vec![*s],
+            Ast::Concat(a, b) => {
+                let mut out = go(a);
+                for s in go(b) {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+                out
+            }
+            Ast::Alt(a, b) => {
+                // Only symbols required by *both* branches are required.
+                let left = go(a);
+                let right = go(b);
+                left.into_iter().filter(|s| right.contains(s)).collect()
+            }
+            // Zero repetitions allowed: nothing is required.
+            Ast::Star(_) | Ast::Optional(_) => Vec::new(),
+            Ast::Plus(a) => go(a),
+        }
+    }
+    let mut out = go(ast);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_pattern::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(&['u', 'd', 'f']).unwrap()
+    }
+
+    fn index_with(docs: &[(u64, &str)]) -> PatternIndex {
+        let ab = ab();
+        let mut idx = PatternIndex::new();
+        for (id, text) in docs {
+            idx.insert(*id, ab.encode(text).unwrap());
+        }
+        idx
+    }
+
+    #[test]
+    fn goalpost_full_match() {
+        let idx = index_with(&[
+            (1, "uudd"),       // one peak
+            (2, "uuddfuudd"),  // two peaks
+            (3, "udfudfud"),   // three peaks
+            (4, "fudfduf"),    // u d f d u f: not two clean peaks
+            (5, "fuddfudf"),   // two peaks with flats
+        ]);
+        let re = Regex::parse("f* u+ d+ f* u+ d+ f*", &ab()).unwrap();
+        let mut hits = idx.full_matches(&re);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![2, 5]);
+    }
+
+    #[test]
+    fn scan_positions() {
+        let idx = index_with(&[(7, "ffudffud")]);
+        let re = Regex::parse("u+ d+", &ab()).unwrap();
+        let hits = idx.scan(&re);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].sequence, 7);
+        assert_eq!(hits[0].positions, vec![2, 6]);
+    }
+
+    #[test]
+    fn pruning_skips_docs_missing_required_symbols() {
+        let idx = index_with(&[(1, "ffff"), (2, "uuuu"), (3, "ud")]);
+        let re = Regex::parse("u+ d+", &ab()).unwrap();
+        let hits = idx.scan(&re);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].sequence, 3);
+    }
+
+    #[test]
+    fn required_symbols_logic() {
+        let re = Regex::parse("u+ d+ f*", &ab()).unwrap();
+        assert_eq!(required_symbols(re.ast()), vec![0, 1]);
+        let re2 = Regex::parse("u | d", &ab()).unwrap();
+        assert!(required_symbols(re2.ast()).is_empty());
+        let re3 = Regex::parse("(u|u d) u", &ab()).unwrap();
+        assert_eq!(required_symbols(re3.ast()), vec![0]);
+    }
+
+    #[test]
+    fn replace_reindexes() {
+        let ab = ab();
+        let mut idx = index_with(&[(1, "uuuu")]);
+        let re = Regex::parse("d", &ab).unwrap();
+        assert!(idx.scan(&re).is_empty());
+        idx.insert(1, ab.encode("dd").unwrap());
+        assert_eq!(idx.scan(&re).len(), 1);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.symbols_of(1).unwrap(), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_index_and_missing_doc() {
+        let idx = PatternIndex::new();
+        assert!(idx.is_empty());
+        let re = Regex::parse("u", &ab()).unwrap();
+        assert!(idx.full_matches(&re).is_empty());
+        assert!(idx.symbols_of(42).is_none());
+    }
+
+    #[test]
+    fn unpruned_scan_agrees_with_pruned() {
+        let idx = index_with(&[(1, "ududud"), (2, "ffff"), (3, "uddu")]);
+        let re = Regex::parse("u d", &ab()).unwrap();
+        let pruned = idx.scan(&re);
+        let unpruned = idx.scan_unpruned(&re.compile());
+        assert_eq!(pruned, unpruned);
+    }
+}

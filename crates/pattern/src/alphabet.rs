@@ -1,0 +1,96 @@
+use crate::error::{Error, Result};
+
+/// A finite alphabet of single-`char` symbols, each assigned a dense `u8` id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    chars: Vec<char>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet; symbols must be distinct, non-empty, and at most
+    /// 255 of them.
+    pub fn new(chars: &[char]) -> Result<Alphabet> {
+        if chars.is_empty() {
+            return Err(Error::BadAlphabet("alphabet is empty".into()));
+        }
+        if chars.len() > 255 {
+            return Err(Error::BadAlphabet("alphabet too large".into()));
+        }
+        for (i, c) in chars.iter().enumerate() {
+            if chars[..i].contains(c) {
+                return Err(Error::BadAlphabet(format!("duplicate symbol `{c}`")));
+            }
+        }
+        Ok(Alphabet { chars: chars.to_vec() })
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the alphabet is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Id of a character, if it belongs to the alphabet.
+    pub fn id_of(&self, ch: char) -> Option<u8> {
+        self.chars.iter().position(|&c| c == ch).map(|i| i as u8)
+    }
+
+    /// Character of an id, if in range.
+    pub fn char_of(&self, id: u8) -> Option<char> {
+        self.chars.get(id as usize).copied()
+    }
+
+    /// Encodes a string of symbol characters into ids.
+    pub fn encode(&self, text: &str) -> Result<Vec<u8>> {
+        text.chars()
+            .map(|ch| self.id_of(ch).ok_or(Error::UnknownSymbol { ch }))
+            .collect()
+    }
+
+    /// Decodes ids back into a string (ids must be valid).
+    pub fn decode(&self, ids: &[u8]) -> Result<String> {
+        ids.iter()
+            .map(|&id| self.char_of(id).ok_or(Error::UnknownSymbol { ch: '?' }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ab = Alphabet::new(&['a', 'b', 'c']).unwrap();
+        let ids = ab.encode("cab").unwrap();
+        assert_eq!(ids, vec![2, 0, 1]);
+        assert_eq!(ab.decode(&ids).unwrap(), "cab");
+        assert_eq!(ab.len(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(Alphabet::new(&[]).is_err());
+        assert!(Alphabet::new(&['x', 'x']).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_reported() {
+        let ab = Alphabet::new(&['a']).unwrap();
+        assert_eq!(ab.encode("az").unwrap_err(), Error::UnknownSymbol { ch: 'z' });
+        assert!(ab.decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn id_lookup() {
+        let ab = Alphabet::new(&['u', 'd', 'f']).unwrap();
+        assert_eq!(ab.id_of('d'), Some(1));
+        assert_eq!(ab.id_of('q'), None);
+        assert_eq!(ab.char_of(2), Some('f'));
+        assert_eq!(ab.char_of(9), None);
+    }
+}

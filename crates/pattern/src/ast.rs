@@ -1,0 +1,70 @@
+/// Abstract syntax of the pattern language.
+///
+/// Operators follow standard regular-expression semantics; symbols are
+/// alphabet ids assigned by [`crate::Alphabet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Epsilon,
+    /// Matches a single symbol.
+    Symbol(u8),
+    /// Concatenation `ab`.
+    Concat(Box<Ast>, Box<Ast>),
+    /// Alternation `a|b`.
+    Alt(Box<Ast>, Box<Ast>),
+    /// Kleene star `a*`.
+    Star(Box<Ast>),
+    /// One-or-more `a+`.
+    Plus(Box<Ast>),
+    /// Zero-or-one `a?`.
+    Optional(Box<Ast>),
+}
+
+impl Ast {
+    /// Concatenates a list of ASTs (empty list → epsilon).
+    pub fn concat_all(parts: Vec<Ast>) -> Ast {
+        parts
+            .into_iter()
+            .reduce(|a, b| Ast::Concat(Box::new(a), Box::new(b)))
+            .unwrap_or(Ast::Epsilon)
+    }
+
+    /// Whether the language of this AST contains the empty string.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Ast::Epsilon => true,
+            Ast::Symbol(_) => false,
+            Ast::Concat(a, b) => a.nullable() && b.nullable(),
+            Ast::Alt(a, b) => a.nullable() || b.nullable(),
+            Ast::Star(_) | Ast::Optional(_) => true,
+            Ast::Plus(a) => a.nullable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_all_reduces() {
+        let a = Ast::Symbol(0);
+        let b = Ast::Symbol(1);
+        let c = Ast::concat_all(vec![a.clone(), b.clone()]);
+        assert_eq!(c, Ast::Concat(Box::new(a), Box::new(b)));
+        assert_eq!(Ast::concat_all(vec![]), Ast::Epsilon);
+    }
+
+    #[test]
+    fn nullability() {
+        use Ast::*;
+        assert!(Epsilon.nullable());
+        assert!(!Symbol(0).nullable());
+        assert!(Star(Box::new(Symbol(0))).nullable());
+        assert!(Optional(Box::new(Symbol(0))).nullable());
+        assert!(!Plus(Box::new(Symbol(0))).nullable());
+        assert!(Plus(Box::new(Star(Box::new(Symbol(0))))).nullable());
+        assert!(!Concat(Box::new(Epsilon), Box::new(Symbol(1))).nullable());
+        assert!(Alt(Box::new(Epsilon), Box::new(Symbol(1))).nullable());
+    }
+}

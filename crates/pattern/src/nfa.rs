@@ -1,0 +1,230 @@
+//! Thompson construction of a nondeterministic finite automaton.
+
+use crate::ast::Ast;
+
+/// A state's outgoing edges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct State {
+    /// `(symbol id, target state)` transitions.
+    pub(crate) on_symbol: Vec<(u8, usize)>,
+    /// ε-transitions.
+    pub(crate) epsilon: Vec<usize>,
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    pub(crate) states: Vec<State>,
+    pub(crate) start: usize,
+    pub(crate) accept: usize,
+}
+
+impl Nfa {
+    /// Builds the NFA for an AST via Thompson's construction.
+    pub fn from_ast(ast: &Ast) -> Nfa {
+        let mut builder = Builder { states: Vec::new() };
+        let (start, accept) = builder.build(ast);
+        Nfa { states: builder.states, start, accept }
+    }
+
+    /// Number of states (for tests/benchmarks).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// ε-closure of a set of states, returned sorted and deduplicated.
+    pub(crate) fn epsilon_closure(&self, seed: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<usize> = Vec::with_capacity(seed.len());
+        for &s in seed {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.states[s].epsilon {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Direct NFA simulation: does the automaton accept exactly `input`?
+    /// Slower than compiling to a DFA but allocation-light for one-shot use.
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        let mut current = self.epsilon_closure(&[self.start]);
+        for &sym in input {
+            let mut next = Vec::new();
+            for &s in &current {
+                for &(edge_sym, t) in &self.states[s].on_symbol {
+                    if edge_sym == sym {
+                        next.push(t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = self.epsilon_closure(&next);
+        }
+        current.contains(&self.accept)
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> usize {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn build(&mut self, ast: &Ast) -> (usize, usize) {
+        match ast {
+            Ast::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].epsilon.push(a);
+                (s, a)
+            }
+            Ast::Symbol(sym) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].on_symbol.push((*sym, a));
+                (s, a)
+            }
+            Ast::Concat(l, r) => {
+                let (ls, la) = self.build(l);
+                let (rs, ra) = self.build(r);
+                self.states[la].epsilon.push(rs);
+                (ls, ra)
+            }
+            Ast::Alt(l, r) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (ls, la) = self.build(l);
+                let (rs, ra) = self.build(r);
+                self.states[s].epsilon.push(ls);
+                self.states[s].epsilon.push(rs);
+                self.states[la].epsilon.push(a);
+                self.states[ra].epsilon.push(a);
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.states[s].epsilon.push(is);
+                self.states[s].epsilon.push(a);
+                self.states[ia].epsilon.push(is);
+                self.states[ia].epsilon.push(a);
+                (s, a)
+            }
+            Ast::Plus(inner) => {
+                let (is, ia) = self.build(inner);
+                let a = self.new_state();
+                self.states[ia].epsilon.push(is);
+                self.states[ia].epsilon.push(a);
+                (is, a)
+            }
+            Ast::Optional(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.states[s].epsilon.push(is);
+                self.states[s].epsilon.push(a);
+                self.states[ia].epsilon.push(a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::parser::Regex;
+
+    fn nfa(pattern: &str) -> Nfa {
+        let ab = Alphabet::new(&['a', 'b', 'c']).unwrap();
+        Regex::parse(pattern, &ab).unwrap().to_nfa()
+    }
+
+    fn enc(text: &str) -> Vec<u8> {
+        Alphabet::new(&['a', 'b', 'c']).unwrap().encode(text).unwrap()
+    }
+
+    #[test]
+    fn literal_match() {
+        let n = nfa("abc");
+        assert!(n.is_match(&enc("abc")));
+        assert!(!n.is_match(&enc("ab")));
+        assert!(!n.is_match(&enc("abcc")));
+    }
+
+    #[test]
+    fn star_accepts_empty() {
+        let n = nfa("a*");
+        assert!(n.is_match(&enc("")));
+        assert!(n.is_match(&enc("aaaa")));
+        assert!(!n.is_match(&enc("ab")));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let n = nfa("a+b");
+        assert!(!n.is_match(&enc("b")));
+        assert!(n.is_match(&enc("ab")));
+        assert!(n.is_match(&enc("aaab")));
+    }
+
+    #[test]
+    fn optional_both_ways() {
+        let n = nfa("ab?c");
+        assert!(n.is_match(&enc("ac")));
+        assert!(n.is_match(&enc("abc")));
+        assert!(!n.is_match(&enc("abbc")));
+    }
+
+    #[test]
+    fn alternation() {
+        let n = nfa("a|bc");
+        assert!(n.is_match(&enc("a")));
+        assert!(n.is_match(&enc("bc")));
+        assert!(!n.is_match(&enc("ab")));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let n = nfa("(a|b)*c");
+        assert!(n.is_match(&enc("c")));
+        assert!(n.is_match(&enc("ababbac")));
+        assert!(!n.is_match(&enc("abab")));
+    }
+
+    #[test]
+    fn epsilon_closure_is_sorted_unique() {
+        let n = nfa("(a|b)*");
+        let closure = n.epsilon_closure(&[n.start]);
+        let mut sorted = closure.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(closure, sorted);
+        assert!(closure.contains(&n.accept));
+    }
+
+    #[test]
+    fn state_count_grows_with_pattern() {
+        assert!(nfa("a").state_count() < nfa("(a|b)+(c|a)*").state_count());
+    }
+}

@@ -1,0 +1,159 @@
+//! Smoothing filters used for noise elimination before breaking.
+
+use saq_sequence::Sequence;
+
+/// Centered moving average with window `2*half + 1`; the window is clipped
+/// at the sequence boundaries. `half == 0` returns a clone.
+pub fn moving_average(seq: &Sequence, half: usize) -> Sequence {
+    let pts = seq.points();
+    let n = pts.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sum: f64 = pts[lo..hi].iter().map(|p| p.v).sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    rebuild(seq, out)
+}
+
+/// Centered median filter with window `2*half + 1`, clipped at boundaries.
+/// Removes impulsive spikes while preserving edges better than averaging.
+pub fn median_filter(seq: &Sequence, half: usize) -> Sequence {
+    let pts = seq.points();
+    let n = pts.len();
+    let mut out = Vec::with_capacity(n);
+    let mut window: Vec<f64> = Vec::with_capacity(2 * half + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        window.clear();
+        window.extend(pts[lo..hi].iter().map(|p| p.v));
+        window.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let m = window.len();
+        let med = if m % 2 == 1 {
+            window[m / 2]
+        } else {
+            0.5 * (window[m / 2 - 1] + window[m / 2])
+        };
+        out.push(med);
+    }
+    rebuild(seq, out)
+}
+
+/// Exponential smoothing `s_i = α v_i + (1-α) s_{i-1}` with `α ∈ (0, 1]`.
+///
+/// # Panics
+/// Panics if `alpha` is outside `(0, 1]` (caller bug).
+pub fn exponential_smooth(seq: &Sequence, alpha: f64) -> Sequence {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let pts = seq.points();
+    let mut out = Vec::with_capacity(pts.len());
+    let mut state = None;
+    for p in pts {
+        let s = match state {
+            None => p.v,
+            Some(prev) => alpha * p.v + (1.0 - alpha) * prev,
+        };
+        out.push(s);
+        state = Some(s);
+    }
+    rebuild(seq, out)
+}
+
+fn rebuild(seq: &Sequence, values: Vec<f64>) -> Sequence {
+    let mut i = 0;
+    seq.map_values(|_| {
+        let v = values[i];
+        i += 1;
+        v
+    })
+    .expect("filter outputs are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn moving_average_flattens_alternation() {
+        let s = seq(&[1.0, -1.0, 1.0, -1.0, 1.0]);
+        let f = moving_average(&s, 1);
+        // Interior points average to ±1/3.
+        assert!((f[1].v - (1.0 / 3.0)).abs() < 1e-12);
+        assert!((f[2].v - (-1.0 / 3.0)).abs() < 1e-12);
+        // Boundary windows are clipped (2 elements).
+        assert!((f[0].v - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_zero_window_is_identity() {
+        let s = seq(&[3.0, 1.0, 4.0]);
+        assert_eq!(moving_average(&s, 0), s);
+    }
+
+    #[test]
+    fn moving_average_preserves_constant() {
+        let s = seq(&[5.0; 9]);
+        assert_eq!(moving_average(&s, 3).values(), vec![5.0; 9]);
+    }
+
+    #[test]
+    fn median_kills_single_spike() {
+        let s = seq(&[1.0, 1.0, 100.0, 1.0, 1.0]);
+        let f = median_filter(&s, 1);
+        assert_eq!(f[2].v, 1.0);
+        // Edges survive.
+        assert_eq!(f[0].v, 1.0);
+    }
+
+    #[test]
+    fn median_preserves_step_edge() {
+        let s = seq(&[0.0, 0.0, 0.0, 10.0, 10.0, 10.0]);
+        let f = median_filter(&s, 1);
+        assert_eq!(f.values(), vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn median_even_window_at_boundary_averages() {
+        let s = seq(&[2.0, 4.0, 6.0]);
+        let f = median_filter(&s, 1);
+        assert_eq!(f[0].v, 3.0); // window [2,4]
+    }
+
+    #[test]
+    fn exponential_smooth_tracks_mean() {
+        let s = seq(&[10.0, 10.0, 10.0, 10.0]);
+        let f = exponential_smooth(&s, 0.5);
+        assert_eq!(f.values(), vec![10.0; 4]);
+        let step = seq(&[0.0, 10.0, 10.0, 10.0]);
+        let g = exponential_smooth(&step, 0.5);
+        assert_eq!(g.values(), vec![0.0, 5.0, 7.5, 8.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn exponential_smooth_rejects_bad_alpha() {
+        exponential_smooth(&seq(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn filters_keep_timestamps() {
+        let s = Sequence::from_values(7.0, 0.25, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(moving_average(&s, 1).times(), s.times());
+        assert_eq!(median_filter(&s, 1).times(), s.times());
+        assert_eq!(exponential_smooth(&s, 0.3).times(), s.times());
+    }
+
+    #[test]
+    fn empty_sequences_pass_through() {
+        let e = Sequence::new(vec![]).unwrap();
+        assert!(moving_average(&e, 2).is_empty());
+        assert!(median_filter(&e, 2).is_empty());
+        assert!(exponential_smooth(&e, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # saq-preprocess
+//!
+//! Preprocessing applied to raw sequences before breaking (§5.1 footnote,
+//! §7): filtering for noise elimination, normalization to mean 0 / variance 1
+//! (which also cancels amplitude scaling and translation between sequences),
+//! and wavelet-transform compression that preserves features such as peaks.
+//!
+//! Noise/spike *injection* utilities are included because the robustness
+//! experiments (§5.1) need controlled perturbations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod filter;
+pub mod noise;
+pub mod normalize;
+pub mod pipeline;
+pub mod wavelet;
+
+pub use filter::{exponential_smooth, median_filter, moving_average};
+pub use noise::{add_gaussian_noise, add_spikes};
+pub use normalize::{min_max_normalize, z_normalize, NormalizeParams};
+pub use pipeline::{Pipeline, Stage};
+pub use wavelet::{dwt, idwt, threshold_compress, Wavelet, WaveletCompression};

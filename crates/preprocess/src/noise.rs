@@ -1,0 +1,82 @@
+//! Controlled perturbation of sequences for the robustness experiments
+//! (§5.1): additive Gaussian noise and impulsive spikes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saq_sequence::{generators::gaussian, Sequence};
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma`.
+pub fn add_gaussian_noise(seq: &Sequence, sigma: f64, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    seq.map_values(|v| v + sigma * gaussian(&mut rng))
+        .expect("noise stays finite")
+}
+
+/// Replaces a fraction `rate` of samples with `value + spike` where spike is
+/// `±magnitude` (random sign). Models the impulsive glitches median
+/// filtering is meant to remove.
+pub fn add_spikes(seq: &Sequence, rate: f64, magnitude: f64, seed: u64) -> Sequence {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    seq.map_values(|v| {
+        if rng.random::<f64>() < rate {
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            v + sign * magnitude
+        } else {
+            v
+        }
+    })
+    .expect("spikes stay finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Sequence {
+        Sequence::from_samples(&vec![0.0; n]).unwrap()
+    }
+
+    #[test]
+    fn gaussian_noise_has_requested_scale() {
+        let s = seq(10_000);
+        let noisy = add_gaussian_noise(&s, 2.0, 1);
+        let stats = noisy.stats();
+        assert!((stats.std_dev - 2.0).abs() < 0.1, "std {}", stats.std_dev);
+        assert!(stats.mean.abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let s = Sequence::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(add_gaussian_noise(&s, 0.0, 5), s);
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let s = seq(100);
+        assert_eq!(add_gaussian_noise(&s, 1.0, 9), add_gaussian_noise(&s, 1.0, 9));
+        assert_ne!(add_gaussian_noise(&s, 1.0, 9), add_gaussian_noise(&s, 1.0, 10));
+    }
+
+    #[test]
+    fn spike_rate_is_respected() {
+        let s = seq(20_000);
+        let spiky = add_spikes(&s, 0.05, 10.0, 2);
+        let count = spiky.values().iter().filter(|v| v.abs() > 5.0).count();
+        let rate = count as f64 / 20_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let s = Sequence::from_samples(&[1.0, 2.0]).unwrap();
+        assert_eq!(add_spikes(&s, 0.0, 100.0, 1), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_rate_panics() {
+        add_spikes(&seq(3), 1.5, 1.0, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Normalization to mean 0 and variance 1 (§7).
+//!
+//! The paper: "Normalization is important both for maintaining robustness of
+//! our breaking algorithms and also for enhancing similarity and eliminating
+//! the differences between sequences that are linear transformations (scaling
+//! and translation) of each other."
+
+use saq_sequence::Sequence;
+
+/// The affine parameters removed by a normalization, kept so values can be
+/// mapped back into original units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizeParams {
+    /// Subtracted offset (mean, or min for min–max).
+    pub offset: f64,
+    /// Dividing scale (std-dev, or range for min–max); never zero.
+    pub scale: f64,
+}
+
+impl NormalizeParams {
+    /// Maps a normalized value back to original units.
+    pub fn denormalize(&self, v: f64) -> f64 {
+        v * self.scale + self.offset
+    }
+}
+
+/// Z-normalization: output has mean 0 and (population) variance 1.
+///
+/// Constant sequences get scale 1 (values become all zero) so the operation
+/// is total.
+pub fn z_normalize(seq: &Sequence) -> (Sequence, NormalizeParams) {
+    let stats = seq.stats();
+    let scale = if stats.std_dev > 0.0 { stats.std_dev } else { 1.0 };
+    let params = NormalizeParams { offset: stats.mean, scale };
+    let out = seq
+        .map_values(|v| (v - params.offset) / params.scale)
+        .expect("normalization preserves finiteness");
+    (out, params)
+}
+
+/// Min–max normalization onto `[0, 1]`; constant sequences map to all zeros.
+pub fn min_max_normalize(seq: &Sequence) -> (Sequence, NormalizeParams) {
+    let stats = seq.stats();
+    let range = stats.range();
+    let scale = if range > 0.0 { range } else { 1.0 };
+    let offset = if seq.is_empty() { 0.0 } else { stats.min };
+    let params = NormalizeParams { offset, scale };
+    let out = seq
+        .map_values(|v| (v - params.offset) / params.scale)
+        .expect("normalization preserves finiteness");
+    (out, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: &[f64]) -> Sequence {
+        Sequence::from_samples(vals).unwrap()
+    }
+
+    #[test]
+    fn z_normalize_moments() {
+        let s = seq(&[2.0, 4.0, 6.0, 8.0, 10.0]);
+        let (z, p) = z_normalize(&s);
+        let st = z.stats();
+        assert!(st.mean.abs() < 1e-12);
+        assert!((st.variance - 1.0).abs() < 1e-12);
+        assert_eq!(p.offset, 6.0);
+    }
+
+    #[test]
+    fn z_normalize_roundtrip() {
+        let s = seq(&[1.0, -3.0, 7.0, 2.0]);
+        let (z, p) = z_normalize(&s);
+        for (orig, norm) in s.points().iter().zip(z.points()) {
+            assert!((p.denormalize(norm.v) - orig.v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_normalize_constant_is_total() {
+        let s = seq(&[5.0, 5.0, 5.0]);
+        let (z, p) = z_normalize(&s);
+        assert_eq!(z.values(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(p.scale, 1.0);
+    }
+
+    #[test]
+    fn z_normalize_cancels_linear_transform() {
+        // The paper's point: a·x + b normalizes to the same thing as x.
+        let x = seq(&[1.0, 4.0, 2.0, 8.0, 5.0]);
+        let y = x.map_values(|v| 3.0 * v + 100.0).unwrap();
+        let (zx, _) = z_normalize(&x);
+        let (zy, _) = z_normalize(&y);
+        for (a, b) in zx.points().iter().zip(zy.points()) {
+            assert!((a.v - b.v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_unit_interval() {
+        let s = seq(&[10.0, 20.0, 15.0]);
+        let (m, p) = min_max_normalize(&s);
+        assert_eq!(m.values(), vec![0.0, 1.0, 0.5]);
+        assert_eq!(p.offset, 10.0);
+        assert_eq!(p.scale, 10.0);
+    }
+
+    #[test]
+    fn min_max_constant_total() {
+        let s = seq(&[7.0, 7.0]);
+        let (m, _) = min_max_normalize(&s);
+        assert_eq!(m.values(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_sequences_are_fine() {
+        let e = Sequence::new(vec![]).unwrap();
+        let (z, _) = z_normalize(&e);
+        assert!(z.is_empty());
+        let (m, _) = min_max_normalize(&e);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Wavelet transforms (Haar and Daubechies-4) with threshold compression.
+//!
+//! §7: "we are experimenting with multi-resolution analysis and applying the
+//! wavelet transform for compressing the sequences in a way that allows
+//! extracting features from the compressed data". The discrete wavelet
+//! transform here is the classic pyramid algorithm with periodic boundary
+//! handling; compression zeroes the smallest-magnitude detail coefficients.
+
+use saq_sequence::Sequence;
+
+/// Supported wavelet bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wavelet {
+    /// Haar (D2) — piecewise-constant analysis.
+    Haar,
+    /// Daubechies-4 — smoother analysis, better for slow trends.
+    Daubechies4,
+}
+
+impl Wavelet {
+    /// Low-pass (scaling) filter taps.
+    fn lowpass(&self) -> &'static [f64] {
+        const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        const H: [f64; 2] = [SQRT2_INV, SQRT2_INV];
+        // Daubechies-4 coefficients.
+        const D4: [f64; 4] = [
+            0.482962913144690,
+            0.836516303737469,
+            0.224143868041857,
+            -0.129409522550921,
+        ];
+        match self {
+            Wavelet::Haar => &H,
+            Wavelet::Daubechies4 => &D4,
+        }
+    }
+}
+
+/// One full multi-level DWT of `values`. The length must be a power of two
+/// (callers pad or truncate; see [`WaveletCompression`]). Output layout is
+/// the standard pyramid: `[approx | detail_1 | detail_2 | ...]` in place.
+pub fn dwt(values: &[f64], wavelet: Wavelet) -> Vec<f64> {
+    assert!(values.len().is_power_of_two() && !values.is_empty(), "length must be a power of two");
+    let mut data = values.to_vec();
+    let mut n = data.len();
+    let mut scratch = vec![0.0; n];
+    while n >= 2 {
+        transform_step(&mut data[..n], &mut scratch[..n], wavelet);
+        n /= 2;
+    }
+    data
+}
+
+/// Inverse of [`dwt`].
+pub fn idwt(coeffs: &[f64], wavelet: Wavelet) -> Vec<f64> {
+    assert!(coeffs.len().is_power_of_two() && !coeffs.is_empty(), "length must be a power of two");
+    let mut data = coeffs.to_vec();
+    let total = data.len();
+    let mut scratch = vec![0.0; total];
+    let mut n = 2;
+    while n <= total {
+        inverse_step(&mut data[..n], &mut scratch[..n], wavelet);
+        n *= 2;
+    }
+    data
+}
+
+fn transform_step(data: &mut [f64], scratch: &mut [f64], wavelet: Wavelet) {
+    let n = data.len();
+    let half = n / 2;
+    let low = wavelet.lowpass();
+    let k = low.len();
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (j, &lj) in low.iter().enumerate() {
+            let idx = (2 * i + j) % n; // periodic boundary
+            a += lj * data[idx];
+            // High-pass taps by quadrature mirror: g[j] = (-1)^j h[k-1-j]
+            let g = if j % 2 == 0 { low[k - 1 - j] } else { -low[k - 1 - j] };
+            d += g * data[idx];
+        }
+        scratch[i] = a;
+        scratch[half + i] = d;
+    }
+    data.copy_from_slice(&scratch[..n]);
+}
+
+fn inverse_step(data: &mut [f64], scratch: &mut [f64], wavelet: Wavelet) {
+    let n = data.len();
+    let half = n / 2;
+    let low = wavelet.lowpass();
+    let k = low.len();
+    for s in scratch.iter_mut().take(n) {
+        *s = 0.0;
+    }
+    for i in 0..half {
+        let a = data[i];
+        let d = data[half + i];
+        for (j, &lj) in low.iter().enumerate() {
+            let idx = (2 * i + j) % n;
+            let g = if j % 2 == 0 { low[k - 1 - j] } else { -low[k - 1 - j] };
+            scratch[idx] += lj * a + g * d;
+        }
+    }
+    data.copy_from_slice(&scratch[..n]);
+}
+
+/// Result of a lossy wavelet compression of a sequence.
+#[derive(Debug, Clone)]
+pub struct WaveletCompression {
+    /// Wavelet used.
+    pub wavelet: Wavelet,
+    /// Power-of-two length the values were zero-padded to.
+    pub padded_len: usize,
+    /// Original (un-padded) length.
+    pub original_len: usize,
+    /// Surviving coefficients as `(index, value)` pairs, the compressed form.
+    pub coefficients: Vec<(usize, f64)>,
+    /// Mean value removed before transforming (improves sparsity).
+    pub mean: f64,
+    /// Original start time and sampling interval for reconstruction.
+    pub t0: f64,
+    /// Sampling interval of the original (assumed uniform).
+    pub dt: f64,
+}
+
+impl WaveletCompression {
+    /// Fraction of coefficients kept, relative to the original length.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            return 1.0;
+        }
+        self.coefficients.len() as f64 / self.original_len as f64
+    }
+
+    /// Reconstructs an approximation of the original sequence.
+    pub fn reconstruct(&self) -> Sequence {
+        let mut coeffs = vec![0.0; self.padded_len];
+        for &(i, v) in &self.coefficients {
+            coeffs[i] = v;
+        }
+        let padded = idwt(&coeffs, self.wavelet);
+        let values: Vec<f64> = padded[..self.original_len]
+            .iter()
+            .map(|v| v + self.mean)
+            .collect();
+        Sequence::from_values(self.t0, self.dt, &values)
+            .expect("reconstruction yields finite values")
+    }
+}
+
+/// Compresses a (uniformly sampled) sequence by keeping the `keep`
+/// largest-magnitude wavelet coefficients.
+///
+/// # Panics
+/// Panics on an empty sequence or `keep == 0` (caller bug).
+pub fn threshold_compress(seq: &Sequence, wavelet: Wavelet, keep: usize) -> WaveletCompression {
+    assert!(!seq.is_empty(), "cannot compress an empty sequence");
+    assert!(keep > 0, "must keep at least one coefficient");
+    let values = seq.values();
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let padded_len = n.next_power_of_two();
+    let mut padded = vec![0.0; padded_len];
+    for (dst, v) in padded.iter_mut().zip(&values) {
+        *dst = v - mean;
+    }
+    let coeffs = dwt(&padded, wavelet);
+    let mut order: Vec<usize> = (0..padded_len).collect();
+    order.sort_by(|&a, &b| {
+        coeffs[b]
+            .abs()
+            .partial_cmp(&coeffs[a].abs())
+            .expect("finite coefficients")
+    });
+    let kept = keep.min(padded_len);
+    let mut coefficients: Vec<(usize, f64)> =
+        order[..kept].iter().map(|&i| (i, coeffs[i])).collect();
+    coefficients.sort_by_key(|&(i, _)| i);
+    let (t0, dt) = match seq.points() {
+        [only] => (only.t, 1.0),
+        pts => (pts[0].t, pts[1].t - pts[0].t),
+    };
+    WaveletCompression {
+        wavelet,
+        padded_len,
+        original_len: n,
+        coefficients,
+        mean,
+        t0,
+        dt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_roundtrip_is_exact() {
+        let v = [4.0, 2.0, 5.0, 5.0, 1.0, 0.0, 3.0, 6.0];
+        let c = dwt(&v, Wavelet::Haar);
+        let back = idwt(&c, Wavelet::Haar);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10, "{back:?}");
+        }
+    }
+
+    #[test]
+    fn d4_roundtrip_is_exact() {
+        let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() * 5.0 + i as f64 * 0.1).collect();
+        let c = dwt(&v, Wavelet::Daubechies4);
+        let back = idwt(&c, Wavelet::Daubechies4);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn haar_constant_concentrates_energy() {
+        let v = [3.0; 8];
+        let c = dwt(&v, Wavelet::Haar);
+        // All energy in the approximation coefficient.
+        assert!((c[0] - 3.0 * (8.0_f64).sqrt()).abs() < 1e-10);
+        for &d in &c[1..] {
+            assert!(d.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn energy_preserved_parseval() {
+        let v: Vec<f64> = (0..16).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        for w in [Wavelet::Haar, Wavelet::Daubechies4] {
+            let c = dwt(&v, w);
+            let ev: f64 = v.iter().map(|x| x * x).sum();
+            let ec: f64 = c.iter().map(|x| x * x).sum();
+            assert!((ev - ec).abs() < 1e-9, "{w:?}: {ev} vs {ec}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        dwt(&[1.0, 2.0, 3.0], Wavelet::Haar);
+    }
+
+    #[test]
+    fn compression_keeps_peaky_shape() {
+        // Two-bump signal, length 50 (padded to 64).
+        let values: Vec<f64> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                saq_sequence::generators::bump(t, 12.0, 3.0, 10.0)
+                    + saq_sequence::generators::bump(t, 36.0, 3.0, 10.0)
+            })
+            .collect();
+        let seq = Sequence::from_samples(&values).unwrap();
+        let comp = threshold_compress(&seq, Wavelet::Haar, 16);
+        let rec = comp.reconstruct();
+        assert_eq!(rec.len(), 50);
+        // Peaks survive compression: local max near 12 and 36.
+        let rv = rec.values();
+        let peak1 = (8..16).map(|i| rv[i]).fold(f64::MIN, f64::max);
+        let peak2 = (32..40).map(|i| rv[i]).fold(f64::MIN, f64::max);
+        assert!(peak1 > 6.0 && peak2 > 6.0, "peaks {peak1} {peak2}");
+        // Valley stays low.
+        assert!(rv[24] < 3.0, "valley {}", rv[24]);
+    }
+
+    #[test]
+    fn keeping_all_coefficients_is_lossless() {
+        let seq = Sequence::from_samples(&[1.0, 4.0, 2.0, 8.0, 5.0, 7.0, 0.0, 3.0]).unwrap();
+        let comp = threshold_compress(&seq, Wavelet::Daubechies4, 8);
+        let rec = comp.reconstruct();
+        for (a, b) in seq.points().iter().zip(rec.points()) {
+            assert!((a.v - b.v).abs() < 1e-9);
+        }
+        assert_eq!(comp.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        let seq = Sequence::from_samples(&(0..100).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        let comp = threshold_compress(&seq, Wavelet::Haar, 10);
+        assert!((comp.compression_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(comp.padded_len, 128);
+    }
+
+    #[test]
+    fn reconstruction_keeps_time_axis() {
+        let seq = Sequence::from_values(5.0, 0.5, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let comp = threshold_compress(&seq, Wavelet::Haar, 4);
+        let rec = comp.reconstruct();
+        assert_eq!(rec.times(), seq.times());
+    }
+
+    #[test]
+    fn singleton_sequence_compresses() {
+        let seq = Sequence::from_samples(&[42.0]).unwrap();
+        let comp = threshold_compress(&seq, Wavelet::Haar, 1);
+        let rec = comp.reconstruct();
+        assert!((rec[0].v - 42.0).abs() < 1e-9);
+    }
+}

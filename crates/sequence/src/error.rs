@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors produced by sequence construction, manipulation and I/O.
+#[derive(Debug)]
+pub enum Error {
+    /// A sequence operation required at least `required` points but the
+    /// sequence only held `actual`.
+    TooShort {
+        /// Minimum number of points the operation needs.
+        required: usize,
+        /// Number of points actually present.
+        actual: usize,
+    },
+    /// Timestamps were not strictly increasing at the given index.
+    NonMonotonicTime {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A point carried a non-finite (`NaN` or infinite) value or timestamp.
+    NonFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A requested time lay outside the sequence's time span.
+    OutOfRange {
+        /// The requested time.
+        t: f64,
+        /// Start of the valid span.
+        start: f64,
+        /// End of the valid span.
+        end: f64,
+    },
+    /// An empty sequence was supplied where data was required.
+    Empty,
+    /// CSV parsing failed.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooShort { required, actual } => write!(
+                f,
+                "sequence too short: operation requires {required} points, got {actual}"
+            ),
+            Error::NonMonotonicTime { index } => {
+                write!(f, "timestamps must be strictly increasing (violated at index {index})")
+            }
+            Error::NonFinite { index } => {
+                write!(f, "non-finite value or timestamp at index {index}")
+            }
+            Error::OutOfRange { t, start, end } => {
+                write!(f, "time {t} outside sequence span [{start}, {end}]")
+            }
+            Error::Empty => write!(f, "empty sequence"),
+            Error::Parse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_too_short() {
+        let e = Error::TooShort { required: 2, actual: 1 };
+        assert!(e.to_string().contains("requires 2"));
+    }
+
+    #[test]
+    fn display_out_of_range() {
+        let e = Error::OutOfRange { t: 5.0, start: 0.0, end: 1.0 };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('['));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        assert!(std::error::Error::source(&Error::Empty).is_none());
+    }
+}

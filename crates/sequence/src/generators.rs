@@ -1,0 +1,378 @@
+//! Synthetic workload generators.
+//!
+//! The paper's running examples are (a) 24-hour temperature logs exhibiting
+//! the *goal-post fever* pattern — exactly two peaks (§2.1, Figs. 2–7) — and
+//! (b) digitized electrocardiograms (§5.2, Fig. 9). The generators here
+//! produce the temperature-log side plus generic building blocks (trends,
+//! sinusoids, random walks, peak trains); ECG synthesis lives in `saq-ecg`.
+//!
+//! All stochastic generators take an explicit seed so experiments are
+//! reproducible.
+
+use crate::point::Point;
+use crate::sequence::Sequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard-normal sample via the Box–Muller transform.
+///
+/// `rand_distr` is deliberately not a dependency; two uniforms suffice.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A single Gaussian bump `amp * exp(-(t-center)^2 / (2*width^2))`.
+#[inline]
+pub fn bump(t: f64, center: f64, width: f64, amp: f64) -> f64 {
+    let z = (t - center) / width;
+    amp * (-0.5 * z * z).exp()
+}
+
+/// Specification of a goal-post fever temperature log (Figs. 2–3).
+#[derive(Debug, Clone, Copy)]
+pub struct GoalpostSpec {
+    /// Total duration in hours.
+    pub duration: f64,
+    /// Sampling interval in hours.
+    pub dt: f64,
+    /// Baseline body temperature (°F).
+    pub baseline: f64,
+    /// Center of the first fever peak (hours).
+    pub peak1: f64,
+    /// Center of the second fever peak (hours).
+    pub peak2: f64,
+    /// Peak width parameter (hours).
+    pub width: f64,
+    /// Peak amplitude above baseline (°F).
+    pub amplitude: f64,
+    /// Standard deviation of additive Gaussian noise (°F); 0 disables noise.
+    pub noise: f64,
+    /// RNG seed used when `noise > 0`.
+    pub seed: u64,
+}
+
+impl Default for GoalpostSpec {
+    fn default() -> Self {
+        GoalpostSpec {
+            duration: 24.0,
+            dt: 0.5,
+            baseline: 98.0,
+            peak1: 8.0,
+            peak2: 18.0,
+            width: 1.6,
+            amplitude: 8.0,
+            noise: 0.0,
+            seed: 0x5AD_CAFE,
+        }
+    }
+}
+
+/// Generates a two-peaked goal-post fever log.
+pub fn goalpost(spec: GoalpostSpec) -> Sequence {
+    peaks(PeaksSpec {
+        duration: spec.duration,
+        dt: spec.dt,
+        baseline: spec.baseline,
+        centers: vec![spec.peak1, spec.peak2],
+        width: spec.width,
+        amplitude: spec.amplitude,
+        noise: spec.noise,
+        seed: spec.seed,
+    })
+}
+
+/// Specification of a general `k`-peak pattern.
+#[derive(Debug, Clone)]
+pub struct PeaksSpec {
+    /// Total duration.
+    pub duration: f64,
+    /// Sampling interval.
+    pub dt: f64,
+    /// Baseline level.
+    pub baseline: f64,
+    /// Peak centers (must lie within `[0, duration]`).
+    pub centers: Vec<f64>,
+    /// Shared peak width.
+    pub width: f64,
+    /// Shared peak amplitude.
+    pub amplitude: f64,
+    /// Additive Gaussian noise σ.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PeaksSpec {
+    fn default() -> Self {
+        PeaksSpec {
+            duration: 24.0,
+            dt: 0.5,
+            baseline: 98.0,
+            centers: vec![8.0, 18.0],
+            width: 1.6,
+            amplitude: 8.0,
+            noise: 0.0,
+            seed: 0x5AD_CAFE,
+        }
+    }
+}
+
+/// Generates a sequence with Gaussian peaks at the given centers.
+pub fn peaks(spec: PeaksSpec) -> Sequence {
+    let n = (spec.duration / spec.dt).round() as usize + 1;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 * spec.dt;
+        let mut v = spec.baseline;
+        for &c in &spec.centers {
+            v += bump(t, c, spec.width, spec.amplitude);
+        }
+        if spec.noise > 0.0 {
+            v += spec.noise * gaussian(&mut rng);
+        }
+        points.push(Point::new(t, v));
+    }
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// A pure sinusoid `offset + amp * sin(2π freq t + phase)` sampled at `dt`.
+pub fn sinusoid(n: usize, dt: f64, amp: f64, freq: f64, phase: f64, offset: f64) -> Sequence {
+    let points = (0..n)
+        .map(|i| {
+            let t = i as f64 * dt;
+            Point::new(t, offset + amp * (std::f64::consts::TAU * freq * t + phase).sin())
+        })
+        .collect();
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// A linear trend `intercept + slope * t` with optional Gaussian noise.
+pub fn trend(n: usize, dt: f64, slope: f64, intercept: f64, noise: f64, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|i| {
+            let t = i as f64 * dt;
+            let mut v = intercept + slope * t;
+            if noise > 0.0 {
+                v += noise * gaussian(&mut rng);
+            }
+            Point::new(t, v)
+        })
+        .collect();
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// A Gaussian random walk with per-step σ `step`.
+pub fn random_walk(n: usize, start: f64, step: f64, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = start;
+    let points = (0..n)
+        .map(|i| {
+            let p = Point::new(i as f64, v);
+            v += step * gaussian(&mut rng);
+            p
+        })
+        .collect();
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// Piecewise-linear sequence through the given `(t, v)` knots, sampled at
+/// unit steps between the first and last knot. Knots must have strictly
+/// increasing times.
+///
+/// This mirrors the paper's Fig. 6 style data: straight runs joined at
+/// extrema, ideal for validating that breaking recovers the knots.
+pub fn piecewise_linear(knots: &[(f64, f64)]) -> Sequence {
+    assert!(knots.len() >= 2, "need at least two knots");
+    let mut points = Vec::new();
+    let t_start = knots[0].0;
+    let t_end = knots[knots.len() - 1].0;
+    let mut t = t_start;
+    while t <= t_end + 1e-9 {
+        // Find the surrounding knots.
+        let j = knots.partition_point(|&(kt, _)| kt < t).min(knots.len() - 1);
+        let (t1, v1, t0, v0);
+        if knots[j].0 <= t && j + 1 < knots.len() {
+            t0 = knots[j].0;
+            v0 = knots[j].1;
+            t1 = knots[j + 1].0;
+            v1 = knots[j + 1].1;
+        } else {
+            t0 = knots[j - 1].0;
+            v0 = knots[j - 1].1;
+            t1 = knots[j].0;
+            v1 = knots[j].1;
+        }
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        points.push(Point::new(t, v0 + w * (v1 - v0)));
+        t += 1.0;
+    }
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// A stock-price-like series: random walk plus occasional jumps, and a mild
+/// upward drift — used by the `stock_trends` example motivated in §1
+/// ("rises and drops of stock values").
+pub fn stock_series(n: usize, start: f64, volatility: f64, drift: f64, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = start;
+    let points = (0..n)
+        .map(|i| {
+            let p = Point::new(i as f64, v);
+            v += drift + volatility * gaussian(&mut rng);
+            // Occasional news shock.
+            if rng.random::<f64>() < 0.02 {
+                v += 4.0 * volatility * gaussian(&mut rng);
+            }
+            v = v.max(0.01);
+            p
+        })
+        .collect();
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+/// Seismic-style burst: quiet background noise with a sudden vigorous
+/// oscillatory event (§1: "sudden vigorous seismic activity").
+pub fn seismic_burst(
+    n: usize,
+    event_start: usize,
+    event_len: usize,
+    background_noise: f64,
+    event_amp: f64,
+    seed: u64,
+) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let mut v = background_noise * gaussian(&mut rng);
+            if i >= event_start && i < event_start + event_len {
+                let phase = (i - event_start) as f64;
+                // Decaying oscillation.
+                let envelope = (-phase / (event_len as f64 / 3.0)).exp();
+                v += event_amp * envelope * (phase * 0.9).sin();
+            }
+            Point::new(t, v)
+        })
+        .collect();
+    Sequence::new(points).expect("generator produces valid sequence")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goalpost_has_expected_shape() {
+        let s = goalpost(GoalpostSpec::default());
+        assert_eq!(s.len(), 49);
+        let stats = s.stats();
+        // Peaks reach roughly baseline + amplitude.
+        assert!(stats.max > 104.0, "max {}", stats.max);
+        assert!(stats.min >= 97.9, "min {}", stats.min);
+        // Peak near t=8 and t=18.
+        let m = s.argmax().unwrap();
+        let t_peak = s[m].t;
+        assert!((t_peak - 8.0).abs() < 1.0 || (t_peak - 18.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn goalpost_noise_is_reproducible() {
+        let spec = GoalpostSpec { noise: 0.3, ..GoalpostSpec::default() };
+        let a = goalpost(spec);
+        let b = goalpost(spec);
+        assert_eq!(a, b);
+        let c = goalpost(GoalpostSpec { seed: 99, ..spec });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn peaks_count_matches_centers() {
+        let spec = PeaksSpec {
+            centers: vec![4.0, 12.0, 20.0],
+            ..PeaksSpec::default()
+        };
+        let s = peaks(spec);
+        // Count strict local maxima above baseline + amplitude/2.
+        let vals = s.values();
+        let mut count = 0;
+        for i in 1..vals.len() - 1 {
+            if vals[i] > vals[i - 1] && vals[i] > vals[i + 1] && vals[i] > 98.0 + 4.0 {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn sinusoid_period() {
+        // freq 0.1 Hz, dt 1 => period 10 samples
+        let s = sinusoid(41, 1.0, 2.0, 0.1, 0.0, 0.0);
+        assert!((s[0].v - s[10].v).abs() < 1e-9);
+        assert!((s[0].v - 0.0).abs() < 1e-9);
+        let stats = s.stats();
+        assert!(stats.max <= 2.0 + 1e-9 && stats.min >= -2.0 - 1e-9);
+    }
+
+    #[test]
+    fn trend_is_linear_when_noiseless() {
+        let s = trend(10, 1.0, 2.0, 5.0, 0.0, 0);
+        for p in s.points() {
+            assert!((p.v - (5.0 + 2.0 * p.t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_walk_is_reproducible_and_long_enough() {
+        let a = random_walk(100, 0.0, 1.0, 7);
+        let b = random_walk(100, 0.0, 1.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a[0].v, 0.0);
+    }
+
+    #[test]
+    fn piecewise_linear_hits_knots() {
+        let s = piecewise_linear(&[(0.0, 0.0), (5.0, 10.0), (10.0, 0.0)]);
+        assert_eq!(s.len(), 11);
+        assert!((s[5].v - 10.0).abs() < 1e-9);
+        assert!((s[2].v - 4.0).abs() < 1e-9);
+        assert!((s[10].v - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn stock_series_stays_positive() {
+        let s = stock_series(500, 100.0, 1.0, 0.05, 3);
+        assert!(s.values().iter().all(|&v| v > 0.0));
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn seismic_burst_has_quiet_and_loud_regions() {
+        let s = seismic_burst(400, 200, 80, 0.05, 10.0, 11);
+        let quiet: f64 = s.values()[..150].iter().map(|v| v.abs()).fold(0.0, f64::max);
+        let loud: f64 = s.values()[200..280].iter().map(|v| v.abs()).fold(0.0, f64::max);
+        assert!(loud > 10.0 * quiet, "loud {loud} quiet {quiet}");
+    }
+
+    #[test]
+    fn bump_peaks_at_center() {
+        assert!((bump(5.0, 5.0, 1.0, 3.0) - 3.0).abs() < 1e-12);
+        assert!(bump(8.0, 5.0, 1.0, 3.0) < 0.1);
+    }
+}

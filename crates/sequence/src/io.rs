@@ -1,0 +1,120 @@
+//! Minimal CSV I/O for sequences.
+//!
+//! Domain experts in the paper's motivating scenario exchange raw dumps;
+//! two-column `t,v` CSV is the lingua franca used by the examples and the
+//! experiment binaries to persist generated corpora.
+
+use crate::error::{Error, Result};
+use crate::point::Point;
+use crate::sequence::Sequence;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes a sequence as `t,v` lines (no header).
+pub fn write_csv<W: Write>(seq: &Sequence, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    for p in seq.points() {
+        writeln!(w, "{},{}", p.t, p.v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a sequence from `t,v` lines. Blank lines and lines starting with
+/// `#` are ignored.
+pub fn read_csv<R: Read>(input: R) -> Result<Sequence> {
+    let reader = BufReader::new(input);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(2, ',');
+        let t_str = parts.next().unwrap_or("");
+        let v_str = parts.next().ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            message: "expected `t,v`".into(),
+        })?;
+        let t: f64 = t_str.trim().parse().map_err(|e| Error::Parse {
+            line: lineno + 1,
+            message: format!("bad t `{t_str}`: {e}"),
+        })?;
+        let v: f64 = v_str.trim().parse().map_err(|e| Error::Parse {
+            line: lineno + 1,
+            message: format!("bad v `{v_str}`: {e}"),
+        })?;
+        points.push(Point::new(t, v));
+    }
+    Sequence::new(points)
+}
+
+/// Writes a sequence to a file path.
+pub fn save<P: AsRef<Path>>(seq: &Sequence, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(seq, file)
+}
+
+/// Reads a sequence from a file path.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Sequence> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let s = Sequence::from_samples(&[1.5, -2.25, 3.0]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&s, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0,1.0\n1, 2.0 \n";
+        let s = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(s.values(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_column_is_parse_error() {
+        let err = read_csv("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let err = read_csv("0,1\n1,zebra\n".as_bytes()).unwrap_err();
+        match err {
+            Error::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("zebra"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_monotonic_file_rejected() {
+        let err = read_csv("1,1\n0,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("saq_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seq.csv");
+        let s = Sequence::from_samples(&[9.0, 8.0, 7.0]).unwrap();
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(s, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,40 @@
+//! # saq-sequence
+//!
+//! The sequence data model underlying the SAQ (Sequence Approximate Queries)
+//! workspace: timestamped real-valued series, descriptive statistics,
+//! resampling, CSV I/O, and the synthetic workload generators used by the
+//! experiments of Shatkay & Zdonik (ICDE 1996).
+//!
+//! The paper manipulates *digitized sequences*: ordered samples
+//! `(x_0, y_0), ..., (x_n, y_n)` with `x` usually (but not necessarily)
+//! uniformly spaced time. [`Sequence`] stores explicit `(t, v)` points so
+//! both regular and irregular sampling are supported.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use saq_sequence::{Sequence, generators};
+//!
+//! // A 24-hour goal-post fever temperature log, sampled hourly.
+//! let log = generators::goalpost(generators::GoalpostSpec::default());
+//! assert_eq!(log.len(), 49);
+//! let stats = log.stats();
+//! assert!(stats.max > stats.min);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod generators;
+pub mod io;
+mod point;
+mod resample;
+mod sequence;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use point::Point;
+pub use resample::{resample_uniform, shift_to_origin, value_at};
+pub use sequence::{Sequence, SequenceBuilder};
+pub use stats::SummaryStats;

@@ -1,0 +1,90 @@
+use serde::{Deserialize, Serialize};
+
+/// A single sample of a sequence: a timestamp `t` and a value `v`.
+///
+/// The paper treats sequences as ordered pairs `(x_i, y_i)`; `t` plays the
+/// role of `x` (time, depth, position along a trace, ...) and `v` the role of
+/// `y` (temperature, voltage, stock price, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Sample position on the ordering axis.
+    pub t: f64,
+    /// Sampled value.
+    pub v: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub fn new(t: f64, v: f64) -> Self {
+        Point { t, v }
+    }
+
+    /// Both coordinates are finite (neither `NaN` nor infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.t.is_finite() && self.v.is_finite()
+    }
+
+    /// Euclidean distance to another point in the `(t, v)` plane.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dt = self.t - other.t;
+        let dv = self.v - other.v;
+        (dt * dt + dv * dv).sqrt()
+    }
+
+    /// Vertical (value-axis) distance to another point, ignoring time.
+    #[inline]
+    pub fn vertical_distance(&self, other: &Point) -> f64 {
+        (self.v - other.v).abs()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((t, v): (f64, f64)) -> Self {
+        Point::new(t, v)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.t, p.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        let p = Point::new(1.0, 2.0);
+        let q: Point = (1.0, 2.0).into();
+        assert_eq!(p, q);
+        let tup: (f64, f64) = p.into();
+        assert_eq!(tup, (1.0, 2.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new(0.0, 0.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.vertical_distance(&b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_distance_symmetric() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(9.0, 3.0);
+        assert_eq!(a.vertical_distance(&b), b.vertical_distance(&a));
+    }
+}

@@ -1,0 +1,124 @@
+//! Resampling and alignment helpers.
+//!
+//! The paper notes (§4.2, footnote) that each subsequence must be shifted and
+//! regarded as if starting at time 0 for representing functions to be
+//! comparable — [`shift_to_origin`] does exactly that. [`value_at`] provides
+//! the linear interpolation of unsampled points that function representation
+//! promises (§3, characteristic 6).
+
+use crate::error::{Error, Result};
+use crate::point::Point;
+use crate::sequence::Sequence;
+
+/// Linearly interpolated value of `seq` at time `t`.
+///
+/// Returns an error for an empty sequence or a `t` outside the span.
+pub fn value_at(seq: &Sequence, t: f64) -> Result<f64> {
+    let pts = seq.points();
+    if pts.is_empty() {
+        return Err(Error::Empty);
+    }
+    let (start, end) = (pts[0].t, pts[pts.len() - 1].t);
+    if t < start || t > end {
+        return Err(Error::OutOfRange { t, start, end });
+    }
+    // partition_point: first index with pts[i].t >= t
+    let i = pts.partition_point(|p| p.t < t);
+    if i < pts.len() && pts[i].t == t {
+        return Ok(pts[i].v);
+    }
+    // t lies strictly between pts[i-1] and pts[i]
+    let a = pts[i - 1];
+    let b = pts[i];
+    let w = (t - a.t) / (b.t - a.t);
+    Ok(a.v + w * (b.v - a.v))
+}
+
+/// Resamples `seq` onto `n` uniformly spaced points across its span using
+/// linear interpolation. Requires `n >= 2` and a non-degenerate span.
+pub fn resample_uniform(seq: &Sequence, n: usize) -> Result<Sequence> {
+    if n < 2 {
+        return Err(Error::TooShort { required: 2, actual: n });
+    }
+    let (start, end) = seq.span()?;
+    if end <= start {
+        return Err(Error::TooShort { required: 2, actual: seq.len() });
+    }
+    let dt = (end - start) / (n - 1) as f64;
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        // Clamp the final point to the exact span end to dodge FP drift.
+        let t = if i == n - 1 { end } else { start + i as f64 * dt };
+        points.push(Point::new(t, value_at(seq, t)?));
+    }
+    Sequence::new(points)
+}
+
+/// Shifts timestamps so the sequence starts at `t = 0`.
+pub fn shift_to_origin(seq: &Sequence) -> Result<Sequence> {
+    let (start, _) = seq.span()?;
+    seq.map_times(|t| t - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Sequence {
+        // v = 2t over t in 0..=4
+        Sequence::from_samples(&[0.0, 2.0, 4.0, 6.0, 8.0]).unwrap()
+    }
+
+    #[test]
+    fn value_at_exact_sample() {
+        let s = ramp();
+        assert_eq!(value_at(&s, 2.0).unwrap(), 4.0);
+        assert_eq!(value_at(&s, 0.0).unwrap(), 0.0);
+        assert_eq!(value_at(&s, 4.0).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = ramp();
+        assert!((value_at(&s, 1.5).unwrap() - 3.0).abs() < 1e-12);
+        assert!((value_at(&s, 3.25).unwrap() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_out_of_range() {
+        let s = ramp();
+        assert!(matches!(value_at(&s, -0.1), Err(Error::OutOfRange { .. })));
+        assert!(matches!(value_at(&s, 4.1), Err(Error::OutOfRange { .. })));
+        let empty = Sequence::new(vec![]).unwrap();
+        assert!(matches!(value_at(&empty, 0.0), Err(Error::Empty)));
+    }
+
+    #[test]
+    fn resample_preserves_linear_data_exactly() {
+        let s = ramp();
+        let r = resample_uniform(&s, 9).unwrap();
+        assert_eq!(r.len(), 9);
+        for p in r.points() {
+            assert!((p.v - 2.0 * p.t).abs() < 1e-9, "point {p:?} off the line");
+        }
+        // Endpoints exact.
+        assert_eq!(r.first().unwrap().t, 0.0);
+        assert_eq!(r.last().unwrap().t, 4.0);
+    }
+
+    #[test]
+    fn resample_requires_two_points() {
+        let s = ramp();
+        assert!(resample_uniform(&s, 1).is_err());
+        let single = Sequence::from_samples(&[1.0]).unwrap();
+        assert!(resample_uniform(&single, 4).is_err());
+    }
+
+    #[test]
+    fn shift_to_origin_zeroes_start() {
+        let s = Sequence::from_values(100.0, 2.0, &[1.0, 2.0, 3.0]).unwrap();
+        let o = shift_to_origin(&s).unwrap();
+        assert_eq!(o.times(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(o.values(), s.values());
+    }
+}

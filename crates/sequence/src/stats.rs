@@ -1,0 +1,207 @@
+//! Descriptive statistics over sequences.
+//!
+//! The paper's preprocessing (§7) normalizes sequences to mean 0 and
+//! variance 1; the moments computed here feed `saq-preprocess::normalize`.
+
+use crate::point::Point;
+
+/// Summary statistics of the values of a sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty input).
+    pub mean: f64,
+    /// Population variance (0 for fewer than 2 samples).
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value (`+inf` for empty input).
+    pub min: f64,
+    /// Maximum value (`-inf` for empty input).
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over the values of `points`.
+    pub fn of(points: &[Point]) -> SummaryStats {
+        let n = points.len();
+        if n == 0 {
+            return SummaryStats {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for p in points {
+            sum += p.v;
+            min = min.min(p.v);
+            max = max.max(p.v);
+        }
+        let mean = sum / n as f64;
+        let mut ss = 0.0;
+        for p in points {
+            let d = p.v - mean;
+            ss += d * d;
+        }
+        let variance = if n > 1 { ss / n as f64 } else { 0.0 };
+        SummaryStats { n, mean, variance, std_dev: variance.sqrt(), min, max }
+    }
+
+    /// Value range (`max - min`); 0 for empty input by convention.
+    pub fn range(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+/// Population covariance of `(t, v)` pairs — the building block of
+/// least-squares regression in `saq-curves`.
+pub fn covariance_tv(points: &[Point]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mt = points.iter().map(|p| p.t).sum::<f64>() / n as f64;
+    let mv = points.iter().map(|p| p.v).sum::<f64>() / n as f64;
+    points.iter().map(|p| (p.t - mt) * (p.v - mv)).sum::<f64>() / n as f64
+}
+
+/// Lag-`k` autocorrelation of the values (biased estimator).
+///
+/// Useful for characterizing the synthetic workloads (an ECG has strong
+/// periodic autocorrelation at the beat interval).
+pub fn autocorrelation(values: &[f64], lag: usize) -> f64 {
+    let n = values.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let denom: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Root-mean-square difference between two equally long value slices.
+///
+/// # Panics
+/// Panics if the slices differ in length (caller bug).
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equally long slices");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Maximum absolute pointwise difference (L∞) between two value slices —
+/// the paper's error-tolerance metric ε.
+///
+/// # Panics
+/// Panics if the slices differ in length (caller bug).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff requires equally long slices");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(vals: &[f64]) -> Vec<Point> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Point::new(i as f64, v))
+            .collect()
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = SummaryStats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn singleton_stats() {
+        let s = SummaryStats::of(&pts(&[7.0]));
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        // values 1..5: mean 3, population variance 2
+        let s = SummaryStats::of(&pts(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.variance - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.range(), 4.0);
+    }
+
+    #[test]
+    fn covariance_of_perfect_line() {
+        // v = 2t  => cov(t,v) = 2 * var(t)
+        let p = pts(&[0.0, 2.0, 4.0, 6.0]);
+        let var_t = SummaryStats::of(
+            &p.iter().map(|q| Point::new(q.t, q.t)).collect::<Vec<_>>(),
+        )
+        .variance;
+        assert!((covariance_tv(&p) - 2.0 * var_t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_degenerate() {
+        assert_eq!(covariance_tv(&pts(&[1.0])), 0.0);
+        assert_eq!(covariance_tv(&[]), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_period_two() {
+        let v = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!(autocorrelation(&v, 2) > 0.5);
+        assert!(autocorrelation(&v, 1) < -0.5);
+        assert_eq!(autocorrelation(&v, 99), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_constant_is_zero() {
+        assert_eq!(autocorrelation(&[3.0; 10], 1), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_linf() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, -1.0, 1.0, -1.0];
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(max_abs_diff(&a, &b), 1.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The §1 motivation scenario: raw sequences live on a remote tape archive
+//! ("obtaining raw seismic data can take several days"); compact
+//! function-series representations live locally and answer feature queries
+//! without touching the archive.
+//!
+//! Run with `cargo run --example archive_latency`.
+
+use saq::archive::{Medium, TieredStore};
+use saq::core::query::QuerySpec;
+use saq::core::store::StoreConfig;
+use saq::sequence::generators::{random_walk, seismic_burst};
+use saq::sequence::Sequence;
+
+fn station_data() -> Vec<Sequence> {
+    // 40 seismic station traces; a quarter contain a vigorous event.
+    let mut traces = Vec::new();
+    for i in 0..40u64 {
+        if i % 4 == 0 {
+            traces.push(seismic_burst(2_000, 700 + (i as usize * 13) % 600, 120, 0.05, 12.0, i));
+        } else {
+            traces.push(random_walk(2_000, 0.0, 0.05, 1_000 + i));
+        }
+    }
+    traces
+}
+
+fn main() {
+    let mut tiered = TieredStore::new(
+        StoreConfig { epsilon: 0.8, ..StoreConfig::default() },
+        Medium::memory(),
+        Medium::remote_tape(),
+    )
+    .unwrap();
+    for trace in station_data() {
+        tiered.insert(&trace).unwrap();
+    }
+
+    let report = tiered.local().total_compression();
+    println!(
+        "archived {} traces ({} raw samples); local representation: {} parameters ({:.1}x smaller)",
+        tiered.archive().len(),
+        report.original_points,
+        report.parameters,
+        report.ratio()
+    );
+
+    // "Sudden vigorous seismic activity": at least one steep peak.
+    let query = QuerySpec::HasSteepPeak { steepness: 2.0, slack: 0.0 };
+    let (outcome, local_cost) = tiered.query_local(&query).unwrap();
+    println!(
+        "\nquery `any peak steeper than 2.0` answered locally in {:.6} simulated seconds",
+        local_cost
+    );
+    println!("matching stations: {:?}", outcome.exact);
+
+    // The pre-representation workflow: fetch everything from tape and scan.
+    let scan_cost = tiered.full_archive_scan_cost();
+    println!(
+        "\nfetching all raw traces from the remote tape would take {:.0} simulated seconds (~{:.1} hours)",
+        scan_cost,
+        scan_cost / 3600.0
+    );
+
+    // Drill down to raw data only for the matches.
+    let drill_cost = tiered.drill_down_cost(&outcome.exact);
+    println!(
+        "drilling down to the {} matching traces costs {:.0} simulated seconds (~{:.1} minutes)",
+        outcome.exact.len(),
+        drill_cost,
+        drill_cost / 60.0
+    );
+
+    println!(
+        "\nspeedup of representation-first workflow: {:.0}x for triage, {:.1}x end-to-end with drill-down",
+        scan_cost / local_cost.max(1e-9),
+        scan_cost / (local_cost + drill_cost)
+    );
+}

@@ -1,0 +1,54 @@
+//! The cardiology workload of §5.2: break digitized ECGs with ε=10, build
+//! Table 1 (per-peak rising/descending functions), derive R–R interval
+//! sequences, index them in an inverted file (Fig. 10) and answer
+//! "find all ECGs with R–R intervals of length n ± ε".
+//!
+//! Run with `cargo run --example ecg_rr_query`.
+
+use saq::ecg::corpus::{build_rr_index, rr_query};
+use saq::ecg::synth::{synthesize, EcgSpec};
+use saq::ecg::{analyze, EcgCorpus};
+
+fn main() {
+    // Two segments standing in for Fig. 9's top (rr ~ 149) and bottom
+    // (rr ~ 136) ECGs.
+    let top = synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() });
+    let bottom = synthesize(EcgSpec { rr: 136.0, rr_jitter: 0.8, seed: 9, ..EcgSpec::default() });
+
+    let top_report = analyze(&top, 10.0).unwrap();
+    let bottom_report = analyze(&bottom, 10.0).unwrap();
+
+    println!("== Fig. 9 style analysis (eps = 10) ==\n");
+    for (name, report) in [("top ECG", &top_report), ("bottom ECG", &bottom_report)] {
+        let c = report.series.compression();
+        println!(
+            "{name}: {} samples -> {} segments (compression {:.1}x), {} R peaks",
+            c.original_points,
+            c.segments,
+            c.ratio(),
+            report.r_peaks.len()
+        );
+    }
+
+    println!("\n== Table 1: peaks information for the top ECG ==\n");
+    print!("{}", top_report.table1());
+
+    println!("\nR-R interval sequences:");
+    println!("  top:    {:?}", top_report.rr_buckets());
+    println!("  bottom: {:?}", bottom_report.rr_buckets());
+
+    // Build the Fig. 10 inverted file over a small library of ECGs.
+    let corpus = EcgCorpus {
+        entries: vec![
+            (1, top.clone(), top_report),
+            (2, bottom.clone(), bottom_report),
+        ],
+    };
+    let index = build_rr_index(&corpus);
+
+    println!("\n== Inverted-file R-R query (Fig. 10) ==\n");
+    for (n, eps) in [(136, 3), (149, 3), (120, 5)] {
+        let hits = rr_query(&index, n, eps);
+        println!("R-R interval {n} +- {eps}: matching ECG ids {hits:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end integration: the §5.2 cardiology workflow — synthesize ECGs,
+//! break at ε=10, build the peaks table, index R–R intervals in the
+//! inverted file, and answer interval queries.
+
+use saq::ecg::corpus::{build_corpus, build_rr_index, rr_query};
+use saq::ecg::synth::{synthesize, EcgSpec};
+use saq::ecg::analyze;
+
+#[test]
+fn corpus_rr_queries_are_selective_and_complete() {
+    let corpus = build_corpus(15, (115.0, 185.0), 99).unwrap();
+    let index = build_rr_index(&corpus);
+
+    // Completeness: every ECG is findable through one of its own buckets.
+    for (id, _, report) in &corpus.entries {
+        let bucket = report.rr_buckets()[0];
+        let hits = rr_query(&index, bucket, 0);
+        assert!(hits.contains(id), "ECG {id} not findable at its own bucket {bucket}");
+    }
+
+    // Selectivity: a tight band only returns ECGs with an interval in band.
+    for n in [120i64, 150, 180] {
+        for id in rr_query(&index, n, 2) {
+            let rrs = corpus.report(id).unwrap().rr_intervals();
+            assert!(
+                rrs.iter().any(|&d| (d - n as f64).abs() <= 3.0),
+                "ECG {id} matched {n}±2 without such an interval: {rrs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_worked_example_136_pm_3() {
+    let top = analyze(&synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() }), 10.0).unwrap();
+    let bottom = analyze(&synthesize(EcgSpec { rr: 136.0, ..EcgSpec::default() }), 10.0).unwrap();
+    assert_eq!(top.rr_buckets(), vec![149, 149]);
+    assert!(bottom.rr_buckets().iter().all(|&b| (b - 136).abs() <= 1));
+
+    let mut idx = saq::index::InvertedIndex::new();
+    for (pos, b) in top.rr_buckets().into_iter().enumerate() {
+        idx.add(b, 1, pos as u32);
+    }
+    for (pos, b) in bottom.rr_buckets().into_iter().enumerate() {
+        idx.add(b, 2, pos as u32);
+    }
+    assert_eq!(idx.matching_sequences(136, 3), vec![2]);
+}
+
+#[test]
+fn analysis_is_robust_to_moderate_noise_and_jitter() {
+    for seed in 0..8u64 {
+        let spec = EcgSpec { noise: 2.5, rr_jitter: 3.0, seed, ..EcgSpec::default() };
+        let report = analyze(&synthesize(spec), 10.0).unwrap();
+        assert_eq!(report.r_peaks.len(), 4, "seed {seed}: {:?}", report.rr_intervals());
+        for rr in report.rr_intervals() {
+            assert!((rr - 136.0).abs() < 12.0, "seed {seed}: rr {rr}");
+        }
+    }
+}
+
+#[test]
+fn representation_deviation_respects_epsilon_across_corpus() {
+    let corpus = build_corpus(6, (125.0, 165.0), 5).unwrap();
+    for (id, raw, report) in &corpus.entries {
+        let dev = report.series.max_deviation_from(raw);
+        assert!(dev <= 10.0 + 1e-9, "ECG {id}: dev {dev}");
+        let c = report.series.compression();
+        assert!(c.ratio() > 3.0, "ECG {id}: ratio {}", c.ratio());
+    }
+}

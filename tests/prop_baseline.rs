@@ -1,0 +1,79 @@
+//! Property-based tests of the baseline comparators: FFT/naive-DFT
+//! agreement, Parseval energy conservation, and the F-index's
+//! no-false-dismissal lower-bound guarantee.
+
+use proptest::prelude::*;
+use saq::baseline::dft::{fft, naive_dft};
+use saq::baseline::euclid::{euclidean_distance, max_pointwise_distance};
+use saq::baseline::findex::FeatureVector;
+use saq::sequence::Sequence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_agrees_with_naive(values in prop::collection::vec(-10.0f64..10.0, 1..5usize)
+        .prop_map(|seed| {
+            let n = 1usize << (seed.len() + 2);
+            (0..n).map(|i| seed[i % seed.len()] * (1.0 + (i as f64 * 0.3).cos())).collect::<Vec<f64>>()
+        })
+    ) {
+        let a = naive_dft(&values);
+        let b = fft(&values);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u.re - v.re).abs() < 1e-6 && (u.im - v.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(values in prop::collection::vec(-10.0f64..10.0, 1..4usize)
+        .prop_map(|seed| {
+            let n = 1usize << (seed.len() + 3);
+            (0..n).map(|i| seed[i % seed.len()] + i as f64 * 0.01).collect::<Vec<f64>>()
+        })
+    ) {
+        let n = values.len() as f64;
+        let time: f64 = values.iter().map(|v| v * v).sum();
+        let freq: f64 = fft(&values).iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn linf_lower_bounds_l2(
+        a in prop::collection::vec(-20.0f64..20.0, 4..40),
+        noise in prop::collection::vec(-5.0f64..5.0, 4..40),
+    ) {
+        let n = a.len().min(noise.len());
+        let sa = Sequence::from_samples(&a[..n]).unwrap();
+        let vb: Vec<f64> = a[..n].iter().zip(&noise[..n]).map(|(x, e)| x + e).collect();
+        let sb = Sequence::from_samples(&vb).unwrap();
+        let linf = max_pointwise_distance(&sa, &sb).unwrap();
+        let l2 = euclidean_distance(&sa, &sb).unwrap();
+        prop_assert!(linf <= l2 + 1e-9);
+        prop_assert!(l2 <= linf * (n as f64).sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn findex_no_false_dismissals_under_noise(
+        base in prop::collection::vec(-10.0f64..10.0, 16..48),
+        sigma in 0.0f64..0.5,
+    ) {
+        // Feature distance of a noisy variant is small whenever the noisy
+        // variant is close in (normalized) time domain — keeping features
+        // cannot *increase* distance (Parseval truncation only discards
+        // energy). We verify the lower-bound direction empirically.
+        let sa = Sequence::from_samples(&base).unwrap();
+        let vb: Vec<f64> = base.iter().enumerate()
+            .map(|(i, v)| v + sigma * ((i * 31 % 7) as f64 - 3.0) / 3.0)
+            .collect();
+        let sb = Sequence::from_samples(&vb).unwrap();
+        let k = 8;
+        let fa = FeatureVector::extract(&sa, k);
+        let fb = FeatureVector::extract(&sb, k);
+        // Full-spectrum feature distance with k = n upper-bounds the k=8 one.
+        let full_k = base.len().next_power_of_two();
+        let fa_full = FeatureVector::extract(&sa, full_k);
+        let fb_full = FeatureVector::extract(&sb, full_k);
+        prop_assert!(fa.distance(&fb) <= fa_full.distance(&fb_full) + 1e-9);
+    }
+}

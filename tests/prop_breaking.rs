@@ -1,0 +1,152 @@
+//! Property-based tests of the §5.1 breaker requirements over randomized
+//! inputs: partition validity, the ε deviation bound, robustness under
+//! insertion, and consistency under feature-preserving transformations.
+
+use proptest::prelude::*;
+use saq::core::brk::{
+    Breaker, DynamicProgrammingBreaker, LinearInterpolationBreaker, LinearRegressionBreaker,
+    OnlineBreaker,
+};
+use saq::curves::{max_deviation, CurveFitter, EndpointInterpolator};
+use saq::sequence::{Point, Sequence};
+
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 1..max_len)
+}
+
+fn check_partition(ranges: &[(usize, usize)], n: usize) {
+    assert!(!ranges.is_empty());
+    assert_eq!(ranges[0].0, 0);
+    assert_eq!(ranges[ranges.len() - 1].1, n - 1);
+    for w in ranges.windows(2) {
+        assert_eq!(w[0].1 + 1, w[1].0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_breaker_always_partitions(values in arb_values(120)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(2.0).break_ranges(&seq);
+        check_partition(&ranges, seq.len());
+    }
+
+    #[test]
+    fn all_breakers_partition_arbitrary_data(values in arb_values(60)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        for ranges in [
+            LinearInterpolationBreaker::new(1.0).break_ranges(&seq),
+            LinearInterpolationBreaker::coalescing(1.0).break_ranges(&seq),
+            LinearRegressionBreaker::new(1.0).break_ranges(&seq),
+            OnlineBreaker::new(1.0).break_ranges(&seq),
+            DynamicProgrammingBreaker::new(1.0, 1.0).break_ranges(&seq),
+        ] {
+            check_partition(&ranges, seq.len());
+        }
+    }
+
+    #[test]
+    fn epsilon_bound_holds_on_multipoint_segments(
+        values in arb_values(100),
+        eps in 0.5f64..5.0,
+    ) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(eps).break_ranges(&seq);
+        for (lo, hi) in ranges {
+            if hi > lo {
+                let run = &seq.points()[lo..=hi];
+                let line = EndpointInterpolator.fit(run).unwrap();
+                let d = max_deviation(&line, run).unwrap();
+                prop_assert!(d.value <= eps + 1e-9, "({lo},{hi}) dev {}", d.value);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_count_monotone_in_epsilon(values in arb_values(80)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let fine = LinearInterpolationBreaker::new(0.25).break_ranges(&seq).len();
+        let coarse = LinearInterpolationBreaker::new(4.0).break_ranges(&seq).len();
+        prop_assert!(coarse <= fine, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn robustness_insertion_on_representing_function(
+        knots in prop::collection::vec(-30.0f64..30.0, 3..7),
+        pick in 0usize..1000,
+    ) {
+        // §5.1's robustness definition: inserting a point s' between s_l and
+        // s_{l+1} with |F(t) - s'| <= eps — where F is the *representing
+        // function* of the enclosing subsequence — shifts breakpoints by at
+        // most one position. The property concerns sequences that break
+        // into meaningful subsequences (the paper's setting), so the input
+        // is piecewise linear between well-separated knots; we insert
+        // exactly on F (deviation 0).
+        let knot_points: Vec<(f64, f64)> = knots
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i * 8) as f64, v))
+            .collect();
+        let seq = saq::sequence::generators::piecewise_linear(&knot_points);
+        let breaker = LinearInterpolationBreaker::new(1.0);
+        let ranges = breaker.break_ranges(&seq);
+        // Pick a long segment and an interior gap, away from the ends.
+        let candidates: Vec<(usize, usize)> = ranges
+            .iter()
+            .copied()
+            .filter(|(lo, hi)| hi - lo >= 3)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let (lo, hi) = candidates[pick % candidates.len()];
+        let gap = lo + 1 + pick % (hi - lo - 2).max(1); // interior gap
+        let f = saq::curves::Line::through(seq[lo], seq[hi]).unwrap();
+        let t = 0.5 * (seq[gap].t + seq[gap + 1].t);
+        let on_f = Point::new(t, saq::curves::Curve::eval(&f, t));
+        let perturbed = seq.insert(on_f).unwrap();
+
+        let before = breaker.breakpoints(&seq);
+        let after = breaker.breakpoints(&perturbed);
+        prop_assert_eq!(before.len(), after.len(), "structure changed");
+        for (x, y) in before.iter().zip(&after) {
+            let expected = if *x > gap { x + 1 } else { *x };
+            prop_assert!(
+                y.abs_diff(expected) <= 1,
+                "breakpoint {x} moved to {y} (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_under_amplitude_shift(values in arb_values(80), dv in -20.0f64..20.0) {
+        // AmplitudeShift changes no deviations at all: identical breaking.
+        let seq = Sequence::from_samples(&values).unwrap();
+        let shifted = seq.map_values(|v| v + dv).unwrap();
+        let breaker = LinearInterpolationBreaker::new(1.0);
+        prop_assert_eq!(breaker.break_ranges(&seq), breaker.break_ranges(&shifted));
+    }
+
+    #[test]
+    fn consistency_under_time_shift(values in arb_values(80), dt in 0.0f64..100.0) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let shifted = seq.map_times(|t| t + dt).unwrap();
+        let breaker = LinearInterpolationBreaker::new(1.0);
+        prop_assert_eq!(breaker.break_ranges(&seq), breaker.break_ranges(&shifted));
+    }
+
+    #[test]
+    fn dp_is_optimal_for_its_cost(values in arb_values(40)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let dp = DynamicProgrammingBreaker::new(2.0, 1.0);
+        let dp_cost = dp.cost_of(&seq, &dp.break_ranges(&seq));
+        // Any competitor segmentation costs at least as much.
+        for other in [
+            LinearInterpolationBreaker::new(1.0).break_ranges(&seq),
+            OnlineBreaker::new(1.0).break_ranges(&seq),
+            vec![(0, seq.len() - 1)],
+        ] {
+            prop_assert!(dp_cost <= dp.cost_of(&seq, &other) + 1e-6);
+        }
+    }
+}

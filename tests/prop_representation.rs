@@ -1,0 +1,98 @@
+//! Property-based tests of representation invariants: ε-bounded deviation
+//! of the stored representation, in-span evaluation, compression accounting,
+//! and normalization/wavelet roundtrips from the preprocessing substrate.
+
+use proptest::prelude::*;
+use saq::core::brk::{Breaker, LinearInterpolationBreaker};
+use saq::core::repr::FunctionSeries;
+use saq::curves::EndpointInterpolator;
+use saq::preprocess::{dwt, idwt, z_normalize, Wavelet};
+use saq::sequence::Sequence;
+
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_representation_respects_epsilon(
+        values in arb_values(100),
+        eps in 0.5f64..8.0,
+    ) {
+        // With the same fitter used for breaking, the stored representation
+        // deviates from the raw data by at most eps (multi-point segments)
+        // and exactly hits singletons.
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(eps).break_ranges(&seq);
+        let series = FunctionSeries::build(&seq, &ranges, &EndpointInterpolator).unwrap();
+        prop_assert!(series.max_deviation_from(&seq) <= eps + 1e-9);
+    }
+
+    #[test]
+    fn value_at_is_exact_at_segment_endpoints(values in arb_values(60)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(&seq);
+        let series = FunctionSeries::build(&seq, &ranges, &EndpointInterpolator).unwrap();
+        for seg in series.segments() {
+            prop_assert!((series.value_at(seg.start.t).unwrap() - seg.start.v).abs() < 1e-9);
+            prop_assert!((series.value_at(seg.end.t).unwrap() - seg.end.v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstruction_covers_span(values in arb_values(60)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(&seq);
+        let series = FunctionSeries::build(&seq, &ranges, &EndpointInterpolator).unwrap();
+        let rec = series.reconstruct(seq.len().max(2)).unwrap();
+        let (lo, hi) = series.span();
+        prop_assert_eq!(rec.first().unwrap().t, lo);
+        prop_assert_eq!(rec.last().unwrap().t, hi);
+    }
+
+    #[test]
+    fn compression_parameters_formula(values in arb_values(120)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let ranges = LinearInterpolationBreaker::new(2.0).break_ranges(&seq);
+        let series = FunctionSeries::build(&seq, &ranges, &EndpointInterpolator).unwrap();
+        let report = series.compression();
+        // Lines: 2 params + 2 breakpoints per segment.
+        prop_assert_eq!(report.parameters, 4 * report.segments);
+        prop_assert_eq!(report.original_points, seq.len());
+        prop_assert!(report.ratio() > 0.0);
+    }
+
+    #[test]
+    fn z_normalization_is_invertible_and_standard(values in arb_values(80)) {
+        let seq = Sequence::from_samples(&values).unwrap();
+        let (z, params) = z_normalize(&seq);
+        let stats = z.stats();
+        prop_assert!(stats.mean.abs() < 1e-8);
+        // Non-constant inputs end up with unit variance.
+        if seq.stats().std_dev > 1e-9 {
+            prop_assert!((stats.variance - 1.0).abs() < 1e-6);
+        }
+        for (orig, norm) in seq.points().iter().zip(z.points()) {
+            prop_assert!((params.denormalize(norm.v) - orig.v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wavelet_roundtrip_identity(
+        values in prop::collection::vec(-100.0f64..100.0, 1..6usize)
+            .prop_map(|seed| {
+                // Build a power-of-two length from the seed.
+                let n = 1usize << (seed.len() + 2);
+                (0..n).map(|i| seed[i % seed.len()] * ((i as f64 * 0.1).sin() + 1.0)).collect::<Vec<f64>>()
+            })
+    ) {
+        for w in [Wavelet::Haar, Wavelet::Daubechies4] {
+            let back = idwt(&dwt(&values, w), w);
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6, "{w:?}");
+            }
+        }
+    }
+}
