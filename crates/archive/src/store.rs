@@ -175,41 +175,29 @@ mod tests {
 
     #[test]
     fn tiered_local_query_beats_archive_scan() {
-        let mut t = TieredStore::new(
-            StoreConfig::default(),
-            Medium::memory(),
-            Medium::remote_tape(),
-        )
-        .unwrap();
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::remote_tape())
+                .unwrap();
         for s in corpus() {
             t.insert(&s).unwrap();
         }
-        let (outcome, local_cost) = t
-            .query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 })
-            .unwrap();
+        let (outcome, local_cost) =
+            t.query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 }).unwrap();
         assert_eq!(outcome.exact.len(), 5, "{outcome:?}");
         let scan_cost = t.full_archive_scan_cost();
         // The headline motivation: orders of magnitude apart.
-        assert!(
-            scan_cost > 1000.0 * local_cost,
-            "scan {scan_cost} local {local_cost}"
-        );
+        assert!(scan_cost > 1000.0 * local_cost, "scan {scan_cost} local {local_cost}");
     }
 
     #[test]
     fn drill_down_touches_only_matches() {
-        let mut t = TieredStore::new(
-            StoreConfig::default(),
-            Medium::memory(),
-            Medium::remote_tape(),
-        )
-        .unwrap();
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::remote_tape())
+                .unwrap();
         for s in corpus() {
             t.insert(&s).unwrap();
         }
-        let (outcome, _) = t
-            .query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 })
-            .unwrap();
+        let (outcome, _) = t.query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 }).unwrap();
         let drill = t.drill_down_cost(&outcome.exact);
         let full = t.full_archive_scan_cost();
         assert!(drill < full, "drill {drill} full {full}");

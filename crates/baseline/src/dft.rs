@@ -35,10 +35,7 @@ impl Complex {
 
     /// Complex multiplication.
     pub fn mul(self, o: Complex) -> Complex {
-        Complex::new(
-            self.re * o.re - self.im * o.im,
-            self.re * o.im + self.im * o.re,
-        )
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }
 
     /// Modulus.
@@ -121,9 +118,8 @@ mod tests {
     #[test]
     fn dft_locates_pure_tone() {
         // cos(2π·2t/16): energy at bins 2 and 14.
-        let x: Vec<f64> = (0..16)
-            .map(|i| (std::f64::consts::TAU * 2.0 * i as f64 / 16.0).cos())
-            .collect();
+        let x: Vec<f64> =
+            (0..16).map(|i| (std::f64::consts::TAU * 2.0 * i as f64 / 16.0).cos()).collect();
         let s = naive_dft(&x);
         assert!(s[2].abs() > 7.9);
         assert!(s[14].abs() > 7.9);

@@ -13,13 +13,7 @@ pub fn max_pointwise_distance(a: &Sequence, b: &Sequence) -> Option<f64> {
     if a.len() != b.len() {
         return None;
     }
-    Some(
-        a.points()
-            .iter()
-            .zip(b.points())
-            .map(|(p, q)| (p.v - q.v).abs())
-            .fold(0.0, f64::max),
-    )
+    Some(a.points().iter().zip(b.points()).map(|(p, q)| (p.v - q.v).abs()).fold(0.0, f64::max))
 }
 
 /// Euclidean (L2) distance between two equally long sequences.
@@ -27,12 +21,7 @@ pub fn euclidean_distance(a: &Sequence, b: &Sequence) -> Option<f64> {
     if a.len() != b.len() {
         return None;
     }
-    let ss: f64 = a
-        .points()
-        .iter()
-        .zip(b.points())
-        .map(|(p, q)| (p.v - q.v) * (p.v - q.v))
-        .sum();
+    let ss: f64 = a.points().iter().zip(b.points()).map(|(p, q)| (p.v - q.v) * (p.v - q.v)).sum();
     Some(ss.sqrt())
 }
 

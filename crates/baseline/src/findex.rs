@@ -37,12 +37,7 @@ impl FeatureVector {
         let spectrum = fft(&padded);
         // Normalize by length so features are comparable across lengths.
         let norm = 1.0 / (padded_len as f64).sqrt();
-        let coords = spectrum
-            .iter()
-            .skip(1)
-            .take(k)
-            .map(|c: &Complex| c.abs() * norm)
-            .collect();
+        let coords = spectrum.iter().skip(1).take(k).map(|c: &Complex| c.abs() * norm).collect();
         FeatureVector { coords }
     }
 
@@ -186,10 +181,7 @@ mod tests {
         let f_base = FeatureVector::extract(&base, 8);
         let d_same = f_base.distance(&FeatureVector::extract(&noisy_same, 8));
         let d_contracted = f_base.distance(&FeatureVector::extract(&contracted, 8));
-        assert!(
-            d_contracted > 4.0 * d_same,
-            "contracted {d_contracted} vs same {d_same}"
-        );
+        assert!(d_contracted > 4.0 * d_same, "contracted {d_contracted} vs same {d_same}");
     }
 
     #[test]

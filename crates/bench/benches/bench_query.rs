@@ -51,12 +51,9 @@ fn bench_query(c: &mut Criterion) {
                 let mut hits = 0usize;
                 for s in ss {
                     let ranges = LinearInterpolationBreaker::new(1.0).break_ranges(s);
-                    let series =
-                        FunctionSeries::build(s, &ranges, &RegressionFitter).unwrap();
-                    let ids: Vec<u8> = series_symbols(&series, DEFAULT_THETA)
-                        .iter()
-                        .map(|sym| sym.id())
-                        .collect();
+                    let series = FunctionSeries::build(s, &ranges, &RegressionFitter).unwrap();
+                    let ids: Vec<u8> =
+                        series_symbols(&series, DEFAULT_THETA).iter().map(|sym| sym.id()).collect();
                     if dfa.is_match(&ids) {
                         hits += 1;
                     }

@@ -7,9 +7,7 @@ use saq_sequence::Sequence;
 use std::hint::black_box;
 
 fn signal(n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| (i as f64 * 0.05).sin() * 5.0 + (i as f64 * 0.31).cos())
-        .collect()
+    (0..n).map(|i| (i as f64 * 0.05).sin() * 5.0 + (i as f64 * 0.31).cos()).collect()
 }
 
 fn bench_wavelet(c: &mut Criterion) {
@@ -21,13 +19,19 @@ fn bench_wavelet(c: &mut Criterion) {
                 b.iter(|| black_box(dwt(black_box(x), w)));
             });
             let coeffs = dwt(&x, w);
-            group.bench_with_input(BenchmarkId::new(format!("idwt_{name}"), n), &coeffs, |b, cs| {
-                b.iter(|| black_box(idwt(black_box(cs), w)));
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("idwt_{name}"), n),
+                &coeffs,
+                |b, cs| {
+                    b.iter(|| black_box(idwt(black_box(cs), w)));
+                },
+            );
         }
         let seq = Sequence::from_samples(&x).unwrap();
         group.bench_with_input(BenchmarkId::new("compress_keep32", n), &seq, |b, s| {
-            b.iter(|| black_box(threshold_compress(black_box(s), Wavelet::Haar, 32).compression_ratio()));
+            b.iter(|| {
+                black_box(threshold_compress(black_box(s), Wavelet::Haar, 32).compression_ratio())
+            });
         });
     }
     group.finish();

@@ -17,10 +17,7 @@ fn variants() -> Vec<(&'static str, BreakOptions)> {
             "no side assignment",
             BreakOptions { assign_breakpoint_side: false, ..BreakOptions::default() },
         ),
-        (
-            "no singleton merge",
-            BreakOptions { merge_singletons: false, ..BreakOptions::default() },
-        ),
+        ("no singleton merge", BreakOptions { merge_singletons: false, ..BreakOptions::default() }),
         ("with coalescing", BreakOptions { coalesce: true, ..BreakOptions::default() }),
         (
             "bare recursion",
@@ -105,7 +102,13 @@ fn main() {
         // Which segment contains index 20 (the apex)?
         let owner = ranges.iter().position(|&(lo, hi)| (lo..=hi).contains(&20)).unwrap();
         let (lo, hi) = ranges[owner];
-        let side = if hi == 20 { "last of rising" } else if lo == 20 { "first of falling" } else { "interior" };
+        let side = if hi == 20 {
+            "last of rising"
+        } else if lo == 20 {
+            "first of falling"
+        } else {
+            "interior"
+        };
         println!("  {:19} -> apex sample is {} (segment [{lo},{hi}])", name, side);
     }
 

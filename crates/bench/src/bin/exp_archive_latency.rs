@@ -29,16 +29,11 @@ fn main() {
                 };
                 tiered.insert(&seq).unwrap();
             }
-            let (outcome, local) = tiered
-                .query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 })
-                .unwrap();
+            let (outcome, local) =
+                tiered.query_local(&QuerySpec::PeakCount { count: 2, tolerance: 0 }).unwrap();
             // Half the corpus is two-peaked by construction; noise may
             // occasionally perturb a count, so demand the bulk of them.
-            assert!(
-                outcome.exact.len() * 10 >= count * 4,
-                "{} of {count}",
-                outcome.exact.len()
-            );
+            assert!(outcome.exact.len() * 10 >= count * 4, "{} of {count}", outcome.exact.len());
             let scan = tiered.full_archive_scan_cost();
             println!(
                 "{:>6} | {:15} | {:>17} | {:>15} | {:>7}x",

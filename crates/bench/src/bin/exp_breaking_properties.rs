@@ -43,10 +43,11 @@ fn main() {
     // Flats are transparent to the goal-post pattern (`0*` may appear
     // anywhere around peaks), so compare signatures modulo `f`.
     let essential = |s: &str| s.chars().filter(|&c| c != 'f').collect::<String>();
-    let consistent = two_peak_sigs
-        .iter()
-        .all(|s| essential(s) == essential(&two_peak_sigs[0]));
-    println!("  all two-peak variants share a signature: {}", if consistent { "YES" } else { "no" });
+    let consistent = two_peak_sigs.iter().all(|s| essential(s) == essential(&two_peak_sigs[0]));
+    println!(
+        "  all two-peak variants share a signature: {}",
+        if consistent { "YES" } else { "no" }
+    );
     assert!(consistent, "consistency must hold on the two-peak corpus");
 
     // --- Robustness: insert an on-line point, measure breakpoint shift.
@@ -77,11 +78,10 @@ fn main() {
         }
         trials += 1;
     }
-    println!("  {trials} insertions; worst breakpoint shift beyond the expected slot: {worst_shift}");
     println!(
-        "  robustness (shift <= 1): {}",
-        if worst_shift <= 1 { "HOLDS" } else { "VIOLATED" }
+        "  {trials} insertions; worst breakpoint shift beyond the expected slot: {worst_shift}"
     );
+    println!("  robustness (shift <= 1): {}", if worst_shift <= 1 { "HOLDS" } else { "VIOLATED" });
 
     // --- Fragmentation.
     println!("\nfragmentation avoidance (segments of length > 2):");

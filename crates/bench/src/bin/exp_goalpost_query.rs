@@ -16,19 +16,15 @@ fn main() {
         labels.push((id, label.clone(), *true_peaks));
     }
 
-    let outcome = evaluate(
-        &store,
-        &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
-    )
-    .unwrap();
+    let outcome =
+        evaluate(&store, &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() })
+            .unwrap();
 
     println!("sequence             | true peaks | slope string     | matched");
     let mut correct = 0;
     for (id, label, true_peaks) in &labels {
         let entry = store.get(*id).unwrap();
-        let symbols = saq_core::alphabet::slope_alphabet()
-            .decode(&entry.symbols)
-            .unwrap();
+        let symbols = saq_core::alphabet::slope_alphabet().decode(&entry.symbols).unwrap();
         let matched = outcome.exact.contains(id);
         let should = *true_peaks == 2;
         if matched == should {

@@ -21,18 +21,9 @@ fn main() {
         let multi = MultiSeries::build(seq, *eps).unwrap();
         let (dl, dq, db) = multi.deviations(seq);
         let (pl, pq, pb) = multi.parameter_counts();
-        for (family, params, dev) in [
-            ("linear", pl, dl),
-            ("quadratic", pq, dq),
-            ("bezier", pb, db),
-        ] {
-            println!(
-                "{:19} | {:9} | {:>6} | {}",
-                name,
-                family,
-                params,
-                fnum(dev)
-            );
+        for (family, params, dev) in [("linear", pl, dl), ("quadratic", pq, dq), ("bezier", pb, db)]
+        {
+            println!("{:19} | {:9} | {:>6} | {}", name, family, params, fnum(dev));
         }
         // The linear family honours its breaking tolerance; richer families
         // spend more parameters for equal-or-better fidelity on smooth data.

@@ -10,11 +10,7 @@ use saq_ecg::synth::{synthesize, EcgSpec};
 fn main() {
     banner("§5.2", "R-R interval sequences for both Fig. 9 ECGs");
 
-    let top = analyze(
-        &synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() }),
-        10.0,
-    )
-    .unwrap();
+    let top = analyze(&synthesize(EcgSpec { rr: 149.0, ..EcgSpec::default() }), 10.0).unwrap();
     let bottom = analyze(
         &synthesize(EcgSpec { rr: 136.0, rr_jitter: 0.8, seed: 9, ..EcgSpec::default() }),
         10.0,

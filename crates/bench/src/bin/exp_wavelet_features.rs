@@ -64,8 +64,10 @@ fn main() {
         // restores differentiability before slope-based feature extraction
         // (the multiresolution smoothing Sec. 7 alludes to).
         let rec = saq_preprocess::moving_average(&comp.reconstruct(), 1);
-        let ranges =
-            saq_core::brk::Breaker::break_ranges(&saq_core::brk::LinearInterpolationBreaker::new(1.0), &rec);
+        let ranges = saq_core::brk::Breaker::break_ranges(
+            &saq_core::brk::LinearInterpolationBreaker::new(1.0),
+            &rec,
+        );
         let series =
             saq_core::repr::FunctionSeries::build(&rec, &ranges, &saq_curves::RegressionFitter)
                 .unwrap();

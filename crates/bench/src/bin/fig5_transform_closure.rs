@@ -28,14 +28,8 @@ fn main() {
 
     // The figure's variants, resampled on the same 24h grid.
     let variants: Vec<(&str, Sequence)> = vec![
-        (
-            "1: amplitude shift (+2.5F)",
-            exemplar.map_values(|v| v + 2.5).unwrap(),
-        ),
-        (
-            "2: amplitude scaling (x1.1)",
-            exemplar.map_values(|v| v * 1.1).unwrap(),
-        ),
+        ("1: amplitude shift (+2.5F)", exemplar.map_values(|v| v + 2.5).unwrap()),
+        ("2: amplitude scaling (x1.1)", exemplar.map_values(|v| v * 1.1).unwrap()),
         (
             "3: time shift (+3h)",
             goalpost(GoalpostSpec { peak1: 11.0, peak2: 21.0, ..GoalpostSpec::default() }),

@@ -41,7 +41,11 @@ fn main() {
         };
         println!(
             "{:>7} | [{:>3}, {:>3}] | {:>16} | {}",
-            i, seg.start_index, seg.end_index, seg.curve.formula(), sign
+            i,
+            seg.start_index,
+            seg.end_index,
+            seg.curve.formula(),
+            sign
         );
     }
 

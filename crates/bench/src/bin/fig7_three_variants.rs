@@ -71,10 +71,7 @@ fn main() {
             .chars()
             .map(|c| saq_core::alphabet::slope_alphabet().id_of(c).unwrap())
             .collect();
-        println!(
-            "  matches goal-post pattern: {}",
-            if dfa.is_match(&ids) { "YES" } else { "no" }
-        );
+        println!("  matches goal-post pattern: {}", if dfa.is_match(&ids) { "YES" } else { "no" });
     }
     println!("\nshape check: all three variants break into the same u/d structure");
     println!("(consistency, the first requirement of Sec. 4.3).");

@@ -18,7 +18,9 @@ fn main() {
     for row in &report.r_peaks {
         println!(
             "  peak {}: rising slope {:+.2}, descending slope {:+.2}, apex t = {:.0}",
-            row.peak, row.rising.slope, row.descending.slope,
+            row.peak,
+            row.rising.slope,
+            row.descending.slope,
             row.apex().t
         );
     }

@@ -79,11 +79,7 @@ pub fn series_symbols<C: Curve + Clone>(
     series: &FunctionSeries<C>,
     theta: f64,
 ) -> Vec<SlopeSymbol> {
-    series
-        .slopes()
-        .into_iter()
-        .map(|s| SlopeSymbol::quantize(s, theta))
-        .collect()
+    series.slopes().into_iter().map(|s| SlopeSymbol::quantize(s, theta)).collect()
 }
 
 /// Symbol ids for the pattern engine.
@@ -103,11 +99,8 @@ pub fn symbols_to_string(symbols: &[SlopeSymbol]) -> String {
 pub fn parse_slope_pattern(pattern: &str) -> crate::Result<Regex> {
     // Rewrite the paper notation into character symbols. `(-1)` must be
     // handled before `(`-grouping is interpreted, and `-1` before `1`.
-    let rewritten = pattern
-        .replace("(-1)", "d")
-        .replace("-1", "d")
-        .replace('1', "u")
-        .replace('0', "f");
+    let rewritten =
+        pattern.replace("(-1)", "d").replace("-1", "d").replace('1', "u").replace('0', "f");
     Ok(Regex::parse(&rewritten, &slope_alphabet())?)
 }
 
@@ -167,11 +160,7 @@ mod tests {
         let symbols = series_symbols(&series, DEFAULT_THETA);
         let ids = symbol_ids(&symbols);
         let dfa = goalpost_pattern().compile();
-        assert!(
-            dfa.is_match(&ids),
-            "symbols {}",
-            symbols_to_string(&symbols)
-        );
+        assert!(dfa.is_match(&ids), "symbols {}", symbols_to_string(&symbols));
     }
 
     #[test]

@@ -28,14 +28,8 @@ impl DynamicProgrammingBreaker {
     /// # Panics
     /// Panics unless both weights are positive and finite (caller bug).
     pub fn new(segment_cost: f64, error_weight: f64) -> Self {
-        assert!(
-            segment_cost > 0.0 && segment_cost.is_finite(),
-            "segment_cost must be positive"
-        );
-        assert!(
-            error_weight > 0.0 && error_weight.is_finite(),
-            "error_weight must be positive"
-        );
+        assert!(segment_cost > 0.0 && segment_cost.is_finite(), "segment_cost must be positive");
+        assert!(error_weight > 0.0 && error_weight.is_finite(), "error_weight must be positive");
         DynamicProgrammingBreaker { segment_cost, error_weight }
     }
 
@@ -114,8 +108,7 @@ impl Breaker for DynamicProgrammingBreaker {
         best[0] = 0.0;
         for j in 1..=n {
             for i in 0..j {
-                let cost =
-                    best[i] + self.segment_cost + self.error_weight * prefix.sse(i, j - 1);
+                let cost = best[i] + self.segment_cost + self.error_weight * prefix.sse(i, j - 1);
                 if cost < best[j] {
                     best[j] = cost;
                     back[j] = i;
@@ -154,9 +147,8 @@ mod tests {
 
     #[test]
     fn tent_splits_once() {
-        let vals: Vec<f64> = (0..=20)
-            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=20).map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 }).collect();
         let s = seq(&vals);
         let ranges = DynamicProgrammingBreaker::new(1.0, 1.0).break_ranges(&s);
         assert_partition(&ranges, 21);

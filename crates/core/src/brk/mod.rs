@@ -41,11 +41,7 @@ pub trait Breaker {
 
     /// Breakpoints as the start indices of every range except the first.
     fn breakpoints(&self, seq: &Sequence) -> Vec<usize> {
-        self.break_ranges(seq)
-            .iter()
-            .skip(1)
-            .map(|&(lo, _)| lo)
-            .collect()
+        self.break_ranges(seq).iter().skip(1).map(|&(lo, _)| lo).collect()
     }
 }
 

@@ -38,11 +38,7 @@ pub struct BreakOptions {
 
 impl Default for BreakOptions {
     fn default() -> Self {
-        BreakOptions {
-            assign_breakpoint_side: true,
-            merge_singletons: true,
-            coalesce: false,
-        }
+        BreakOptions { assign_breakpoint_side: true, merge_singletons: true, coalesce: false }
     }
 }
 
@@ -118,9 +114,9 @@ impl<F: CurveFitter> OfflineBreaker<F> {
             out.push((lo, hi));
             return;
         }
-        let split = lo + dev.index; // absolute index of worst point
-        // Degenerate splits at the ends: peel one point off so recursion
-        // strictly shrinks.
+        // Absolute index of the worst point. Degenerate splits at the ends:
+        // peel one point off so recursion strictly shrinks.
+        let split = lo + dev.index;
         if split == lo {
             out.push((lo, lo));
             self.break_rec(pts, lo + 1, hi, out);
@@ -163,7 +159,11 @@ impl<F: CurveFitter> OfflineBreaker<F> {
     /// singleton range is folded into an adjacent range whenever the merged
     /// run still fits within ε. Singletons that genuinely encode an abrupt
     /// change (no ε-respecting merge exists) are kept.
-    fn merge_singletons(&self, pts: &[Point], mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    fn merge_singletons(
+        &self,
+        pts: &[Point],
+        mut ranges: Vec<(usize, usize)>,
+    ) -> Vec<(usize, usize)> {
         let dev_of = |lo: usize, hi: usize| -> f64 {
             let run = &pts[lo..=hi];
             match self.fitter.fit(run) {
@@ -183,8 +183,8 @@ impl<F: CurveFitter> OfflineBreaker<F> {
                 }
                 let left = (i > 0).then(|| dev_of(ranges[i - 1].0, hi));
                 let right = (i + 1 < ranges.len()).then(|| dev_of(lo, ranges[i + 1].1));
-                let take_left = left.is_some_and(|d| d <= self.epsilon)
-                    && (right.is_none() || left <= right);
+                let take_left =
+                    left.is_some_and(|d| d <= self.epsilon) && (right.is_none() || left <= right);
                 let take_right = !take_left && right.is_some_and(|d| d <= self.epsilon);
                 if take_left {
                     ranges[i - 1].1 = hi;
@@ -203,7 +203,11 @@ impl<F: CurveFitter> OfflineBreaker<F> {
     }
 
     /// Greedy adjacent-pair merging while the merged run fits within ε.
-    fn coalesce_ranges(&self, pts: &[Point], mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    fn coalesce_ranges(
+        &self,
+        pts: &[Point],
+        mut ranges: Vec<(usize, usize)>,
+    ) -> Vec<(usize, usize)> {
         let fits = |lo: usize, hi: usize| -> bool {
             let run = &pts[lo..=hi];
             match self.fitter.fit(run) {
@@ -338,9 +342,8 @@ mod tests {
     #[test]
     fn tent_breaks_at_apex() {
         // Tent with apex at index 10.
-        let vals: Vec<f64> = (0..=20)
-            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=20).map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 }).collect();
         let s = seq(&vals);
         let ranges = LinearInterpolationBreaker::new(0.5).break_ranges(&s);
         assert_partition(&ranges, 21);
@@ -454,10 +457,7 @@ mod tests {
         let s = goalpost(GoalpostSpec::default());
         let ranges = LinearInterpolationBreaker::new(0.5).break_ranges(&s);
         let long = ranges.iter().filter(|(lo, hi)| hi - lo + 1 > 2).count();
-        assert!(
-            long * 2 >= ranges.len(),
-            "too fragmented: {ranges:?}"
-        );
+        assert!(long * 2 >= ranges.len(), "too fragmented: {ranges:?}");
     }
 
     #[test]
@@ -486,11 +486,114 @@ mod tests {
     #[test]
     fn coalescing_does_not_merge_real_features() {
         // A tent cannot be coalesced into one segment: the apex deviates.
-        let vals: Vec<f64> = (0..=20)
-            .map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=20).map(|i| if i <= 10 { i as f64 } else { 20.0 - i as f64 }).collect();
         let s = seq(&vals);
         let ranges = LinearInterpolationBreaker::coalescing(0.5).break_ranges(&s);
         assert_eq!(ranges.len(), 2, "{ranges:?}");
+    }
+
+    /// Coverage + ordering invariant across every ablation combination: all
+    /// eight `BreakOptions` settings still produce ordered partitions of
+    /// `[0, n)`, on clean and noisy data.
+    #[test]
+    fn all_option_combinations_partition() {
+        let inputs = [
+            goalpost(GoalpostSpec::default()),
+            goalpost(GoalpostSpec { noise: 0.4, ..GoalpostSpec::default() }),
+            seq(&(0..40).map(|i| ((i * 7919) % 17) as f64).collect::<Vec<_>>()),
+        ];
+        for assign in [false, true] {
+            for merge in [false, true] {
+                for coalesce in [false, true] {
+                    let options = BreakOptions {
+                        assign_breakpoint_side: assign,
+                        merge_singletons: merge,
+                        coalesce,
+                    };
+                    for s in &inputs {
+                        let breaker =
+                            OfflineBreaker::with_options(EndpointInterpolator, 1.0, options);
+                        assert_partition(&breaker.break_ranges(s), s.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Error bound is independent of breakpoint-side assignment: with the
+    /// Fig. 8 steps (a)-(c) disabled (breakpoint always opens the right
+    /// subsequence), multi-point segments still fit within ε.
+    #[test]
+    fn error_bound_holds_without_side_assignment() {
+        let s = goalpost(GoalpostSpec { noise: 0.3, ..GoalpostSpec::default() });
+        let eps = 1.0;
+        let options = BreakOptions { assign_breakpoint_side: false, ..BreakOptions::default() };
+        let breaker = OfflineBreaker::with_options(EndpointInterpolator, eps, options);
+        let ranges = breaker.break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        for &(lo, hi) in &ranges {
+            if hi > lo {
+                let run = &s.points()[lo..=hi];
+                let line = EndpointInterpolator.fit(run).unwrap();
+                let d = max_deviation(&line, run).unwrap();
+                assert!(d.value <= eps + 1e-9, "segment ({lo},{hi}) dev {}", d.value);
+            }
+        }
+    }
+
+    /// Singleton merging only removes singletons whose merge keeps the ε
+    /// bound; disabling it never *reduces* the segment count, and enabling
+    /// it never violates the bound.
+    #[test]
+    fn merge_singletons_is_conservative() {
+        let s = goalpost(GoalpostSpec { noise: 0.35, ..GoalpostSpec::default() });
+        let eps = 0.8;
+        let without = OfflineBreaker::with_options(
+            EndpointInterpolator,
+            eps,
+            BreakOptions { merge_singletons: false, ..BreakOptions::default() },
+        )
+        .break_ranges(&s);
+        let with = OfflineBreaker::new(EndpointInterpolator, eps).break_ranges(&s);
+        assert!(with.len() <= without.len(), "with {} without {}", with.len(), without.len());
+        for &(lo, hi) in &with {
+            if hi > lo {
+                let run = &s.points()[lo..=hi];
+                let line = EndpointInterpolator.fit(run).unwrap();
+                let d = max_deviation(&line, run).unwrap();
+                assert!(d.value <= eps + 1e-9, "segment ({lo},{hi}) dev {}", d.value);
+            }
+        }
+    }
+
+    /// The generic template honours ε for the regression instantiation under
+    /// every option combination (regression lines always fit ≥ 2 points).
+    #[test]
+    fn regression_instantiation_error_bound_across_options() {
+        let s = goalpost(GoalpostSpec { noise: 0.25, ..GoalpostSpec::default() });
+        let eps = 1.2;
+        for assign in [false, true] {
+            for coalesce in [false, true] {
+                let options = BreakOptions {
+                    assign_breakpoint_side: assign,
+                    merge_singletons: true,
+                    coalesce,
+                };
+                let breaker = OfflineBreaker::with_options(RegressionFitter, eps, options);
+                for &(lo, hi) in &breaker.break_ranges(&s) {
+                    if hi > lo {
+                        let run = &s.points()[lo..=hi];
+                        let line = RegressionFitter.fit(run).unwrap();
+                        let d = max_deviation(&line, run).unwrap();
+                        assert!(
+                            d.value <= eps + 1e-9,
+                            "options {options:?}: segment ({lo},{hi}) dev {}",
+                            d.value
+                        );
+                    }
+                }
+            }
+        }
     }
 }

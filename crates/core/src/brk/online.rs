@@ -121,10 +121,7 @@ impl Breaker for OnlineBreaker {
 }
 
 fn worst_residual(fit: &RunningFit, window: &[Point]) -> f64 {
-    window
-        .iter()
-        .map(|&p| fit.residual(p))
-        .fold(0.0, f64::max)
+    window.iter().map(|&p| fit.residual(p)).fold(0.0, f64::max)
 }
 
 /// The paper's described online family (§5.1): "sliding a window,
@@ -186,8 +183,7 @@ impl Breaker for WindowedPolynomialBreaker {
                 continue; // exactly fittable, cannot deviate
             }
             let over = match Polynomial::fit(window, self.degree) {
-                Ok(poly) => max_deviation(&poly, window)
-                    .is_some_and(|d| d.value > self.epsilon),
+                Ok(poly) => max_deviation(&poly, window).is_some_and(|d| d.value > self.epsilon),
                 Err(_) => false, // degenerate window: keep growing
             };
             if over && window_len > self.min_segment {
@@ -274,12 +270,8 @@ mod tests {
         // clean piecewise-linear data.
         let s = piecewise_linear(&[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0), (30.0, 10.0)]);
         let online = OnlineBreaker::new(0.5).break_ranges(&s).len();
-        let offline =
-            crate::brk::LinearInterpolationBreaker::new(0.5).break_ranges(&s).len();
-        assert!(
-            (online as i64 - offline as i64).abs() <= 2,
-            "online {online} offline {offline}"
-        );
+        let offline = crate::brk::LinearInterpolationBreaker::new(0.5).break_ranges(&s).len();
+        assert!((online as i64 - offline as i64).abs() <= 2, "online {online} offline {offline}");
     }
 
     #[test]
@@ -320,7 +312,15 @@ mod tests {
     fn windowed_poly_degree_zero_tracks_level_shifts() {
         // Degree 0 = running constant: breaks exactly at level changes.
         let vals: Vec<f64> = (0..30)
-            .map(|i| if i < 10 { 1.0 } else if i < 20 { 5.0 } else { 2.0 })
+            .map(|i| {
+                if i < 10 {
+                    1.0
+                } else if i < 20 {
+                    5.0
+                } else {
+                    2.0
+                }
+            })
             .collect();
         let s = seq(&vals);
         let ranges = WindowedPolynomialBreaker::new(0, 0.5).break_ranges(&s);
@@ -342,5 +342,77 @@ mod tests {
     #[should_panic(expected = "degree")]
     fn windowed_poly_bad_min_segment() {
         let _ = WindowedPolynomialBreaker::with_min_segment(3, 1.0, 2);
+    }
+
+    /// Coverage + ordering invariant: every breaker output partitions
+    /// `[0, n)` in order, across adversarial shapes and tolerances.
+    #[test]
+    fn coverage_and_ordering_on_adversarial_inputs() {
+        let shapes: Vec<Vec<f64>> = vec![
+            vec![0.0; 50],                                                  // constant
+            (0..50).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect(), // alternating
+            (0..50).map(|i| ((i * 7919) % 23) as f64).collect(),            // pseudo-random
+            (0..50).map(|i| (i as f64 * 0.4).sin() * 5.0).collect(),        // smooth
+            (0..50).map(|i| if i == 25 { 100.0 } else { 0.0 }).collect(),   // lone spike
+        ];
+        for vals in &shapes {
+            let s = seq(vals);
+            for eps in [0.0, 0.5, 5.0] {
+                assert_partition(&OnlineBreaker::new(eps).break_ranges(&s), s.len());
+                assert_partition(&WindowedPolynomialBreaker::new(2, eps).break_ranges(&s), s.len());
+            }
+        }
+    }
+
+    /// Every *closed* segment (all but the last) respects `min_segment`:
+    /// the window only closes once it has grown past the floor.
+    #[test]
+    fn closed_segments_respect_min_segment_floor() {
+        let vals: Vec<f64> = (0..80).map(|i| ((i * 31) % 11) as f64).collect();
+        let s = seq(&vals);
+        for min_segment in [1usize, 2, 4, 8] {
+            let ranges = OnlineBreaker::with_min_segment(0.1, min_segment).break_ranges(&s);
+            assert_partition(&ranges, s.len());
+            for &(lo, hi) in &ranges[..ranges.len() - 1] {
+                assert!(
+                    hi - lo + 1 >= min_segment,
+                    "min_segment {min_segment} violated by ({lo},{hi})"
+                );
+            }
+        }
+    }
+
+    /// Error bound at the moment of closing: the tentative window that
+    /// triggered the break exceeded ε, so a zero tolerance on noisy data
+    /// must fragment down to (near-)minimum segments rather than absorb
+    /// deviating points.
+    #[test]
+    fn zero_epsilon_closes_eagerly_on_noisy_data() {
+        let vals: Vec<f64> = (0..40).map(|i| ((i * 7) % 5) as f64).collect();
+        let s = seq(&vals);
+        let ranges = OnlineBreaker::new(0.0).break_ranges(&s);
+        assert_partition(&ranges, s.len());
+        // With ε = 0 and min_segment = 2, no closed segment can grow past
+        // the floor: any third non-collinear point trips the bound.
+        for &(lo, hi) in &ranges[..ranges.len() - 1] {
+            let run = &s.points()[lo..=hi];
+            let line = saq_curves::Line::regression(run).unwrap();
+            let worst = run
+                .iter()
+                .map(|p| (saq_curves::Curve::eval(&line, p.t) - p.v).abs())
+                .fold(0.0, f64::max);
+            assert!(worst <= 1e-9, "segment ({lo},{hi}) worst {worst}");
+        }
+    }
+
+    /// A constant sequence never deviates from its running fit: both online
+    /// breakers keep it whole at any tolerance.
+    #[test]
+    fn constant_sequence_is_one_segment() {
+        let s = seq(&[7.5; 64]);
+        assert_eq!(OnlineBreaker::new(0.0).break_ranges(&s), vec![(0, 63)]);
+        // The polynomial fit carries ~1e-13 of rounding residue, so give it
+        // a tolerance that is zero for every practical purpose.
+        assert_eq!(WindowedPolynomialBreaker::new(1, 1e-9).break_ranges(&s), vec![(0, 63)]);
     }
 }

@@ -62,10 +62,7 @@ impl<C: Curve> Peak<C> {
     /// slopes").
     pub fn steepness(&self) -> f64 {
         let up = self.rising.derivative(0.5 * (self.r_start.t + self.r_end.t)).abs();
-        let down = self
-            .descending
-            .derivative(0.5 * (self.d_start.t + self.d_end.t))
-            .abs();
+        let down = self.descending.derivative(0.5 * (self.d_start.t + self.d_end.t)).abs();
         up.min(down)
     }
 }
@@ -223,9 +220,8 @@ mod tests {
     #[test]
     fn valley_is_not_a_peak() {
         // V shape: down then up.
-        let vals: Vec<f64> = (0..=20)
-            .map(|i| if i <= 10 { 10.0 - i as f64 } else { i as f64 - 10.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=20).map(|i| if i <= 10 { 10.0 - i as f64 } else { i as f64 - 10.0 }).collect();
         let s = Sequence::from_samples(&vals).unwrap();
         let series = linear_series(&s, 0.5);
         assert!(PeakTable::extract(&series, DEFAULT_THETA).is_empty());
@@ -248,11 +244,8 @@ mod tests {
     #[test]
     fn flats_between_peaks_are_tolerated() {
         // Peaks separated by long flat stretches.
-        let log = peaks(PeaksSpec {
-            duration: 48.0,
-            centers: vec![8.0, 40.0],
-            ..PeaksSpec::default()
-        });
+        let log =
+            peaks(PeaksSpec { duration: 48.0, centers: vec![8.0, 40.0], ..PeaksSpec::default() });
         let series = linear_series(&log, 1.0);
         let table = PeakTable::extract(&series, DEFAULT_THETA);
         assert_eq!(table.len(), 2, "times {:?}", table.times());

@@ -100,10 +100,7 @@ pub fn conjoin(outcomes: &[QueryOutcome]) -> QueryOutcome {
     }
     exact.sort_unstable();
     approximate.sort_by(|a, b| {
-        a.deviation
-            .partial_cmp(&b.deviation)
-            .expect("finite deviations")
-            .then(a.id.cmp(&b.id))
+        a.deviation.partial_cmp(&b.deviation).expect("finite deviations").then(a.id.cmp(&b.id))
     });
     QueryOutcome { exact, approximate }
 }
@@ -153,9 +150,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             let s: String = chars[start..i].iter().collect();
-            let v: f64 = s
-                .parse()
-                .map_err(|_| Error::BadConfig(format!("bad number `{s}`")))?;
+            let v: f64 = s.parse().map_err(|_| Error::BadConfig(format!("bad number `{s}`")))?;
             out.push(Token::Number(v));
         } else if c.is_alphabetic() {
             let start = i;
@@ -254,9 +249,7 @@ impl Parser {
                 };
                 match self.next()? {
                     Token::Ge => {}
-                    other => {
-                        return Err(Error::BadConfig(format!("expected `>=`, got {other:?}")))
-                    }
+                    other => return Err(Error::BadConfig(format!("expected `>=`, got {other:?}"))),
                 }
                 let steepness = self.expect_number()?;
                 let slack = self.optional_number_after("slack")?.unwrap_or(0.0);
@@ -315,10 +308,7 @@ mod tests {
         assert_eq!(q.clauses().len(), 5);
         assert!(matches!(q.clauses()[0], QuerySpec::Shape { .. }));
         assert!(matches!(q.clauses()[1], QuerySpec::PeakCount { count: 2, tolerance: 1 }));
-        assert!(matches!(
-            q.clauses()[2],
-            QuerySpec::PeakInterval { interval: 136, epsilon: 3 }
-        ));
+        assert!(matches!(q.clauses()[2], QuerySpec::PeakInterval { interval: 136, epsilon: 3 }));
         assert!(matches!(q.clauses()[3], QuerySpec::MinPeakSteepness { .. }));
         assert!(matches!(q.clauses()[4], QuerySpec::HasSteepPeak { .. }));
     }

@@ -12,7 +12,9 @@
 use crate::brk::{Breaker, LinearInterpolationBreaker};
 use crate::error::Result;
 use crate::repr::FunctionSeries;
-use saq_curves::{BezierFitter, CubicBezier, EndpointInterpolator, Line, Polynomial, PolynomialFitter};
+use saq_curves::{
+    BezierFitter, CubicBezier, EndpointInterpolator, Line, Polynomial, PolynomialFitter,
+};
 use saq_sequence::Sequence;
 
 /// Three representations of the same sequence, sharing breakpoints.
@@ -145,17 +147,11 @@ mod tests {
         let log = goalpost(GoalpostSpec::default());
         let multi = MultiSeries::build(&log, 1.0).unwrap();
         let t = 8.25;
-        assert_eq!(
-            multi.value_at(Family::Linear, t).unwrap(),
-            multi.linear.value_at(t).unwrap()
-        );
+        assert_eq!(multi.value_at(Family::Linear, t).unwrap(), multi.linear.value_at(t).unwrap());
         assert_eq!(
             multi.value_at(Family::Quadratic, t).unwrap(),
             multi.quadratic.value_at(t).unwrap()
         );
-        assert_eq!(
-            multi.value_at(Family::Bezier, t).unwrap(),
-            multi.bezier.value_at(t).unwrap()
-        );
+        assert_eq!(multi.value_at(Family::Bezier, t).unwrap(), multi.bezier.value_at(t).unwrap());
     }
 }

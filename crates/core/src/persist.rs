@@ -26,13 +26,7 @@ const MAGIC: &str = "saq-linear-series v1";
 /// Writes a linear series in the v1 text format.
 pub fn write_series<W: Write>(series: &LinearSeries, out: W) -> Result<()> {
     let mut w = BufWriter::new(out);
-    writeln!(
-        w,
-        "{MAGIC} {} {}",
-        series.original_len(),
-        series.segment_count()
-    )
-    .map_err(io_err)?;
+    writeln!(w, "{MAGIC} {} {}", series.original_len(), series.segment_count()).map_err(io_err)?;
     for seg in series.segments() {
         writeln!(
             w,
@@ -66,12 +60,8 @@ pub fn read_series<R: Read>(input: R) -> Result<LinearSeries> {
         Err(e) => Some(Err(Error::Sequence(saq_sequence::Error::Io(e)))),
     });
 
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| bad(0, "empty representation file"))??;
-    let rest = header
-        .strip_prefix(MAGIC)
-        .ok_or_else(|| bad(1, "missing or unsupported header"))?;
+    let (_, header) = lines.next().ok_or_else(|| bad(0, "empty representation file"))??;
+    let rest = header.strip_prefix(MAGIC).ok_or_else(|| bad(1, "missing or unsupported header"))?;
     let mut head_fields = rest.split_whitespace();
     let original_len: usize = parse_field(head_fields.next(), 1, "original length")?;
     let segment_count: usize = parse_field(head_fields.next(), 1, "segment count")?;
@@ -128,14 +118,9 @@ fn bad(line: usize, message: &str) -> Error {
     Error::BadConfig(format!("representation file line {line}: {message}"))
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, line: usize, what: &str) -> Result<T> {
     let text = field.ok_or_else(|| bad(line, &format!("missing {what}")))?;
-    text.parse()
-        .map_err(|_| bad(line, &format!("bad {what} `{text}`")))
+    text.parse().map_err(|_| bad(line, &format!("bad {what} `{text}`")))
 }
 
 #[cfg(test)]

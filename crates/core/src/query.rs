@@ -155,18 +155,11 @@ fn steepness_query(
         if entry.peaks.is_empty() {
             continue;
         }
-        let measure = entry
-            .peaks
-            .peaks
-            .iter()
-            .map(|p| p.steepness())
-            .fold(init, fold);
+        let measure = entry.peaks.peaks.iter().map(|p| p.steepness()).fold(init, fold);
         if measure >= steepness {
             outcome.exact.push(id);
         } else if measure >= steepness * (1.0 - slack) {
-            outcome
-                .approximate
-                .push(ApproximateMatch { id, deviation: steepness - measure });
+            outcome.approximate.push(ApproximateMatch { id, deviation: steepness - measure });
         }
     }
     sort_outcome(&mut outcome);
@@ -176,10 +169,7 @@ fn steepness_query(
 fn sort_outcome(outcome: &mut QueryOutcome) {
     outcome.exact.sort_unstable();
     outcome.approximate.sort_by(|a, b| {
-        a.deviation
-            .partial_cmp(&b.deviation)
-            .expect("finite deviations")
-            .then(a.id.cmp(&b.id))
+        a.deviation.partial_cmp(&b.deviation).expect("finite deviations").then(a.id.cmp(&b.id))
     });
 }
 
@@ -206,11 +196,9 @@ mod tests {
     #[test]
     fn shape_query_goalpost() {
         let (store, ids) = corpus();
-        let out = evaluate(
-            &store,
-            &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
-        )
-        .unwrap();
+        let out =
+            evaluate(&store, &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() })
+                .unwrap();
         assert_eq!(out.exact, vec![ids[1], ids[2]]);
         assert!(out.approximate.is_empty());
     }
@@ -241,8 +229,7 @@ mod tests {
     fn peak_interval_query() {
         let (store, ids) = corpus();
         // The default goalpost has peaks at ~8 and ~18 => interval ~10.
-        let out =
-            evaluate(&store, &QuerySpec::PeakInterval { interval: 10, epsilon: 1 }).unwrap();
+        let out = evaluate(&store, &QuerySpec::PeakInterval { interval: 10, epsilon: 1 }).unwrap();
         assert!(out.all_ids().contains(&ids[1]), "{out:?}");
         // The 3-peak sequence has ~8h intervals; exact query at 8 finds it.
         let out8 = evaluate(&store, &QuerySpec::PeakInterval { interval: 8, epsilon: 0 }).unwrap();
@@ -271,11 +258,8 @@ mod tests {
             evaluate(&store, &QuerySpec::MinPeakSteepness { steepness: 0.3, slack: 0.0 }).unwrap();
         assert_eq!(loose.exact.len(), 4);
         // Impossibly steep threshold matches nothing.
-        let strict = evaluate(
-            &store,
-            &QuerySpec::MinPeakSteepness { steepness: 1e6, slack: 0.0 },
-        )
-        .unwrap();
+        let strict =
+            evaluate(&store, &QuerySpec::MinPeakSteepness { steepness: 1e6, slack: 0.0 }).unwrap();
         assert!(strict.exact.is_empty() && strict.approximate.is_empty());
     }
 
@@ -284,11 +268,8 @@ mod tests {
         let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
         // One tall steep peak plus one gentle peak: fails the universal
         // reading at high thresholds but passes the existential one.
-        let mixed = peaks(PeaksSpec {
-            centers: vec![6.0, 18.0],
-            width: 1.0,
-            ..PeaksSpec::default()
-        });
+        let mixed =
+            peaks(PeaksSpec { centers: vec![6.0, 18.0], width: 1.0, ..PeaksSpec::default() });
         let gentle = peaks(PeaksSpec {
             centers: vec![12.0],
             width: 4.0,
@@ -298,16 +279,12 @@ mod tests {
         let id_mixed = store.insert(&mixed).unwrap();
         store.insert(&gentle).unwrap();
         let threshold = 2.5;
-        let universal = evaluate(
-            &store,
-            &QuerySpec::MinPeakSteepness { steepness: threshold, slack: 0.0 },
-        )
-        .unwrap();
-        let existential = evaluate(
-            &store,
-            &QuerySpec::HasSteepPeak { steepness: threshold, slack: 0.0 },
-        )
-        .unwrap();
+        let universal =
+            evaluate(&store, &QuerySpec::MinPeakSteepness { steepness: threshold, slack: 0.0 })
+                .unwrap();
+        let existential =
+            evaluate(&store, &QuerySpec::HasSteepPeak { steepness: threshold, slack: 0.0 })
+                .unwrap();
         assert!(existential.exact.contains(&id_mixed));
         assert!(universal.exact.len() <= existential.exact.len());
     }

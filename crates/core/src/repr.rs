@@ -106,11 +106,8 @@ impl<C: Curve + Clone> FunctionSeries<C> {
             }
             expected_start = hi + 1;
             let pts = &seq.points()[lo..=hi];
-            let curve = if pts.len() == 1 {
-                fitter.fit_singleton(pts[0])?
-            } else {
-                fitter.fit(pts)?
-            };
+            let curve =
+                if pts.len() == 1 { fitter.fit_singleton(pts[0])? } else { fitter.fit(pts)? };
             segments.push(Segment {
                 start_index: lo,
                 end_index: hi,
@@ -173,10 +170,7 @@ impl<C: Curve + Clone> FunctionSeries<C> {
 
     /// Time span covered by the representation.
     pub fn span(&self) -> (f64, f64) {
-        (
-            self.segments[0].start.t,
-            self.segments[self.segments.len() - 1].end.t,
-        )
+        (self.segments[0].start.t, self.segments[self.segments.len() - 1].end.t)
     }
 
     /// Approximate value at time `t` — functions interpolate unsampled
@@ -186,11 +180,7 @@ impl<C: Curve + Clone> FunctionSeries<C> {
     pub fn value_at(&self, t: f64) -> Result<f64> {
         let (lo, hi) = self.span();
         if t < lo || t > hi {
-            return Err(Error::Sequence(saq_sequence::Error::OutOfRange {
-                t,
-                start: lo,
-                end: hi,
-            }));
+            return Err(Error::Sequence(saq_sequence::Error::OutOfRange { t, start: lo, end: hi }));
         }
         // Find the first segment whose end time >= t.
         let idx = self.segments.partition_point(|s| s.end.t < t);
@@ -223,11 +213,7 @@ impl<C: Curve + Clone> FunctionSeries<C> {
     /// Compression accounting: each segment costs its function's parameters
     /// plus two breakpoint coordinates.
     pub fn compression(&self) -> CompressionReport {
-        let parameters = self
-            .segments
-            .iter()
-            .map(|s| s.curve.parameter_count() + 2)
-            .sum();
+        let parameters = self.segments.iter().map(|s| s.curve.parameter_count() + 2).sum();
         CompressionReport {
             original_points: self.original_len,
             segments: self.segments.len(),
@@ -282,9 +268,8 @@ mod tests {
     #[test]
     fn exact_on_piecewise_linear_data() {
         // Tent: up over [0..5], down over [5..10].
-        let vals: Vec<f64> = (0..=10)
-            .map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=10).map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 }).collect();
         let s = seq(&vals);
         let fs = FunctionSeries::build(&s, &[(0, 5), (6, 10)], &EndpointInterpolator).unwrap();
         assert_eq!(fs.segment_count(), 2);
@@ -295,9 +280,8 @@ mod tests {
 
     #[test]
     fn value_at_inside_segment_and_bridge() {
-        let vals: Vec<f64> = (0..=10)
-            .map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..=10).map(|i| if i <= 5 { i as f64 } else { 10.0 - i as f64 }).collect();
         let s = seq(&vals);
         let fs = FunctionSeries::build(&s, &[(0, 5), (6, 10)], &EndpointInterpolator).unwrap();
         assert!((fs.value_at(2.5).unwrap() - 2.5).abs() < 1e-12);
@@ -312,8 +296,7 @@ mod tests {
         let vals: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin() * 5.0).collect();
         let s = seq(&vals);
         // Break by hand every 10 points.
-        let ranges: Vec<(usize, usize)> =
-            (0..6).map(|k| (k * 10, (k * 10 + 9).min(59))).collect();
+        let ranges: Vec<(usize, usize)> = (0..6).map(|k| (k * 10, (k * 10 + 9).min(59))).collect();
         let fs = FunctionSeries::build(&s, &ranges, &RegressionFitter).unwrap();
         let rec = fs.reconstruct(60).unwrap();
         assert_eq!(rec.len(), 60);

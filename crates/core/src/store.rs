@@ -101,9 +101,7 @@ impl SequenceStore {
         let symbols: Vec<u8> = series_symbols(&series, self.config.theta)
             .into_iter()
             .zip(series.segments())
-            .filter(|(sym, seg)| {
-                !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat)
-            })
+            .filter(|(sym, seg)| !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat))
             .map(|(sym, _)| sym.id())
             .collect();
         let peaks = PeakTable::extract(&series, self.config.theta);
@@ -116,12 +114,7 @@ impl SequenceStore {
         }
         self.entries.insert(
             id,
-            StoredEntry {
-                series,
-                symbols,
-                peaks,
-                raw: self.config.keep_raw.then(|| seq.clone()),
-            },
+            StoredEntry { series, symbols, peaks, raw: self.config.keep_raw.then(|| seq.clone()) },
         );
         Ok(id)
     }
@@ -169,11 +162,7 @@ impl SequenceStore {
             segments += r.segments;
             parameters += r.parameters;
         }
-        crate::repr::CompressionReport {
-            original_points: original,
-            segments,
-            parameters,
-        }
+        crate::repr::CompressionReport { original_points: original, segments, parameters }
     }
 }
 
@@ -261,16 +250,9 @@ mod tests {
 
     #[test]
     fn bad_config_rejected() {
-        assert!(SequenceStore::new(StoreConfig {
-            epsilon: f64::NAN,
-            ..StoreConfig::default()
-        })
-        .is_err());
-        assert!(SequenceStore::new(StoreConfig {
-            theta: -1.0,
-            ..StoreConfig::default()
-        })
-        .is_err());
+        assert!(SequenceStore::new(StoreConfig { epsilon: f64::NAN, ..StoreConfig::default() })
+            .is_err());
+        assert!(SequenceStore::new(StoreConfig { theta: -1.0, ..StoreConfig::default() }).is_err());
     }
 
     #[test]

@@ -127,22 +127,13 @@ mod tests {
     #[test]
     fn shifts_and_scales() {
         let s = Sequence::from_samples(&[1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(
-            Transform::TimeShift(10.0).apply(&s).unwrap().times(),
-            vec![10.0, 11.0, 12.0]
-        );
+        assert_eq!(Transform::TimeShift(10.0).apply(&s).unwrap().times(), vec![10.0, 11.0, 12.0]);
         assert_eq!(
             Transform::AmplitudeShift(-1.0).apply(&s).unwrap().values(),
             vec![0.0, 1.0, 2.0]
         );
-        assert_eq!(
-            Transform::AmplitudeScale(2.0).apply(&s).unwrap().values(),
-            vec![2.0, 4.0, 6.0]
-        );
-        assert_eq!(
-            Transform::TimeDilate(0.5).apply(&s).unwrap().times(),
-            vec![0.0, 0.5, 1.0]
-        );
+        assert_eq!(Transform::AmplitudeScale(2.0).apply(&s).unwrap().values(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(Transform::TimeDilate(0.5).apply(&s).unwrap().times(), vec![0.0, 0.5, 1.0]);
     }
 
     #[test]
@@ -164,10 +155,7 @@ mod tests {
             Transform::AmplitudeShift(-3.0),
             Transform::AmplitudeScale(2.5),
             Transform::TimeDilate(3.0),
-            Transform::Compose(vec![
-                Transform::TimeDilate(2.0),
-                Transform::AmplitudeShift(4.0),
-            ]),
+            Transform::Compose(vec![Transform::TimeDilate(2.0), Transform::AmplitudeShift(4.0)]),
         ] {
             let roundtrip = t.inverse().apply(&t.apply(&s).unwrap()).unwrap();
             for (a, b) in s.points().iter().zip(roundtrip.points()) {

@@ -157,12 +157,7 @@ impl Curve for CubicBezier {
     }
 
     fn descriptor(&self) -> FunctionDescriptor {
-        FunctionDescriptor::Bezier(
-            self.ctrl
-                .iter()
-                .flat_map(|c| [c.x, c.y])
-                .collect::<Vec<f64>>(),
-        )
+        FunctionDescriptor::Bezier(self.ctrl.iter().flat_map(|c| [c.x, c.y]).collect::<Vec<f64>>())
     }
 
     fn parameter_count(&self) -> usize {
@@ -197,11 +192,7 @@ fn left_tangent(points: &[Point]) -> Ctrl {
 /// convention).
 fn right_tangent(points: &[Point]) -> Ctrl {
     let n = points.len();
-    Ctrl::new(
-        points[n - 2].t - points[n - 1].t,
-        points[n - 2].v - points[n - 1].v,
-    )
-    .normalized()
+    Ctrl::new(points[n - 2].t - points[n - 1].t, points[n - 2].v - points[n - 1].v).normalized()
 }
 
 /// One least-squares fit with fixed parameterization (Schneider's
@@ -221,9 +212,7 @@ fn generate_bezier(points: &[Point], params: &[f64], t_hat1: Ctrl, t_hat2: Ctrl)
         c[0][0] += a0.dot(a0);
         c[0][1] += a0.dot(a1);
         c[1][1] += a1.dot(a1);
-        let tmp = Ctrl::new(p.t, p.v)
-            .sub(first.scale(b[0] + b[1]))
-            .sub(last.scale(b[2] + b[3]));
+        let tmp = Ctrl::new(p.t, p.v).sub(first.scale(b[0] + b[1])).sub(last.scale(b[2] + b[3]));
         xr[0] += a0.dot(tmp);
         xr[1] += a1.dot(tmp);
     }
@@ -249,23 +238,14 @@ fn generate_bezier(points: &[Point], params: &[f64], t_hat1: Ctrl, t_hat2: Ctrl)
     }
 
     CubicBezier {
-        ctrl: [
-            first,
-            first.add(t_hat1.scale(alpha_l)),
-            last.add(t_hat2.scale(alpha_r)),
-            last,
-        ],
+        ctrl: [first, first.add(t_hat1.scale(alpha_l)), last.add(t_hat2.scale(alpha_r)), last],
     }
 }
 
 /// One Newton–Raphson step improving each parameter (Schneider's
 /// `Reparameterize`).
 fn reparameterize(points: &[Point], params: &[f64], curve: &CubicBezier) -> Vec<f64> {
-    points
-        .iter()
-        .zip(params)
-        .map(|(p, &u)| newton_raphson_root_find(curve, p, u))
-        .collect()
+    points.iter().zip(params).map(|(p, &u)| newton_raphson_root_find(curve, p, u)).collect()
 }
 
 fn newton_raphson_root_find(curve: &CubicBezier, p: &Point, u: f64) -> f64 {
@@ -312,12 +292,7 @@ pub fn fit_cubic_with_error(points: &[Point], iterations: usize) -> Result<(Cubi
         let dir = last.sub(first).normalized();
         return Ok((
             CubicBezier {
-                ctrl: [
-                    first,
-                    first.add(dir.scale(dist)),
-                    last.sub(dir.scale(dist)),
-                    last,
-                ],
+                ctrl: [first, first.add(dir.scale(dist)), last.sub(dir.scale(dist)), last],
             },
             0.0,
         ));
@@ -423,9 +398,8 @@ mod tests {
 
     #[test]
     fn newton_iterations_do_not_regress() {
-        let pts: Vec<Point> = (0..15)
-            .map(|i| Point::new(i as f64, (i as f64 * 0.4).sin() * 3.0))
-            .collect();
+        let pts: Vec<Point> =
+            (0..15).map(|i| Point::new(i as f64, (i as f64 * 0.4).sin() * 3.0)).collect();
         let (_, e0) = fit_cubic_with_error(&pts, 0).unwrap();
         let (_, e4) = fit_cubic_with_error(&pts, 4).unwrap();
         // fit keeps the best iterate, so error is monotone non-increasing.

@@ -56,10 +56,7 @@ mod tests {
     use crate::linear::Line;
 
     fn pts(vals: &[f64]) -> Vec<Point> {
-        vals.iter()
-            .enumerate()
-            .map(|(i, &v)| Point::new(i as f64, v))
-            .collect()
+        vals.iter().enumerate().map(|(i, &v)| Point::new(i as f64, v)).collect()
     }
 
     #[test]

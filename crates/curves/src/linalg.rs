@@ -184,11 +184,7 @@ mod tests {
     #[test]
     fn solve_3x3_known() {
         // x=1, y=2, z=3
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[1.0, 3.0, 2.0],
-            &[1.0, 0.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]);
         let b = [7.0, 13.0, 1.0];
         let x = solve(&a, &b).unwrap();
         for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
@@ -216,9 +212,8 @@ mod tests {
     fn least_squares_overdetermined_noisy() {
         // y = 3x with symmetric noise ±0.1 alternating: slope stays ~3.
         let design: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
-        let y: Vec<f64> = (0..10)
-            .map(|i| 3.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
-            .collect();
+        let y: Vec<f64> =
+            (0..10).map(|i| 3.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let x = least_squares(&design, &y).unwrap();
         assert!((x[1] - 3.0).abs() < 0.02, "slope {}", x[1]);
     }

@@ -143,10 +143,7 @@ mod tests {
     use crate::deviation::max_deviation;
 
     fn pts(vals: &[f64]) -> Vec<Point> {
-        vals.iter()
-            .enumerate()
-            .map(|(i, &v)| Point::new(i as f64, v))
-            .collect()
+        vals.iter().enumerate().map(|(i, &v)| Point::new(i as f64, v)).collect()
     }
 
     #[test]
@@ -197,9 +194,7 @@ mod tests {
         let p = pts(&[0.0, 2.5, 1.5, 4.0, 3.0, 6.0]);
         let reg = Line::regression(&p).unwrap();
         let interp = EndpointInterpolator.fit(&p).unwrap();
-        let sse = |l: &Line| -> f64 {
-            p.iter().map(|q| (l.eval(q.t) - q.v).powi(2)).sum()
-        };
+        let sse = |l: &Line| -> f64 { p.iter().map(|q| (l.eval(q.t) - q.v).powi(2)).sum() };
         assert!(sse(&reg) <= sse(&interp) + 1e-9);
     }
 

@@ -59,9 +59,7 @@ impl FunctionDescriptor {
             (
                 Sinusoid { amp: a1, freq: f1, phase: p1 },
                 Sinusoid { amp: a2, freq: f2, phase: p2 },
-            ) => cmp_f64(*a1, *a2)
-                .then(cmp_f64(*f1, *f2))
-                .then(cmp_f64(*p1, *p2)),
+            ) => cmp_f64(*a1, *a2).then(cmp_f64(*f1, *f2)).then(cmp_f64(*p1, *p2)),
             (Bezier(a), Bezier(b)) => cmp_slices(a, b),
             _ => unreachable!("family ranks already matched"),
         }

@@ -53,13 +53,7 @@ impl Polynomial {
         if self.coeffs.len() <= 1 {
             return Polynomial::constant(0.0);
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, &c)| i as f64 * c)
-            .collect();
+        let coeffs = self.coeffs.iter().enumerate().skip(1).map(|(i, &c)| i as f64 * c).collect();
         Polynomial::new(coeffs)
     }
 

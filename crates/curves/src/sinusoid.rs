@@ -49,11 +49,7 @@ impl Curve for Sinusoid {
     }
 
     fn descriptor(&self) -> FunctionDescriptor {
-        FunctionDescriptor::Sinusoid {
-            amp: self.amp,
-            freq: self.freq,
-            phase: self.phase,
-        }
+        FunctionDescriptor::Sinusoid { amp: self.amp, freq: self.freq, phase: self.phase }
     }
 
     fn parameter_count(&self) -> usize {
@@ -65,10 +61,8 @@ impl Curve for Sinusoid {
 /// fixed frequency, returning the fitted sinusoid too.
 fn fit_at_frequency(points: &[Point], freq: f64) -> Result<(Sinusoid, f64)> {
     let w = std::f64::consts::TAU * freq;
-    let design: Vec<Vec<f64>> = points
-        .iter()
-        .map(|p| vec![(w * p.t).sin(), (w * p.t).cos(), 1.0])
-        .collect();
+    let design: Vec<Vec<f64>> =
+        points.iter().map(|p| vec![(w * p.t).sin(), (w * p.t).cos(), 1.0]).collect();
     let y: Vec<f64> = points.iter().map(|p| p.v).collect();
     let sol = least_squares(&design, &y)?;
     let (a, b, c) = (sol[0], sol[1], sol[2]);

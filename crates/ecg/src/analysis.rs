@@ -60,10 +60,7 @@ impl AnalysisReport {
     /// "The result is a sequence of distances between peaks" — R–R
     /// intervals in samples.
     pub fn rr_intervals(&self) -> Vec<f64> {
-        self.r_peaks
-            .windows(2)
-            .map(|w| w[1].apex().t - w[0].apex().t)
-            .collect()
+        self.r_peaks.windows(2).map(|w| w[1].apex().t - w[0].apex().t).collect()
     }
 
     /// Intervals rounded to integer buckets for the inverted-file index.
@@ -148,12 +145,7 @@ pub fn min_r_flank_slope(report: &AnalysisReport) -> f64 {
     report
         .r_peaks
         .iter()
-        .flat_map(|r| {
-            [
-                r.rising.derivative(0.0).abs(),
-                r.descending.derivative(0.0).abs(),
-            ]
-        })
+        .flat_map(|r| [r.rising.derivative(0.0).abs(), r.descending.derivative(0.0).abs()])
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -198,11 +190,7 @@ mod tests {
         // segments... about a factor of 12 reduction in space."
         let report = analyze(&synthesize(EcgSpec::default()), 10.0).unwrap();
         let c = report.series.compression();
-        assert!(
-            (8..=26).contains(&c.segments),
-            "{} segments",
-            c.segments
-        );
+        assert!((8..=26).contains(&c.segments), "{} segments", c.segments);
         assert!(c.ratio() > 4.0, "ratio {}", c.ratio());
     }
 
@@ -245,7 +233,8 @@ mod tests {
     #[test]
     fn rr_variability_separates_regular_from_irregular() {
         // Regular rhythm: near-zero variability.
-        let regular = analyze(&synthesize(EcgSpec { n: 1500, ..EcgSpec::default() }), 10.0).unwrap();
+        let regular =
+            analyze(&synthesize(EcgSpec { n: 1500, ..EcgSpec::default() }), 10.0).unwrap();
         let v_reg = rr_variability(&regular).unwrap();
         assert!(v_reg < 0.02, "regular CV {v_reg}");
         // Heavy jitter: clearly higher variability.

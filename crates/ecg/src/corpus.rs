@@ -26,10 +26,7 @@ impl EcgCorpus {
 
     /// The analysis of a given id.
     pub fn report(&self, id: u64) -> Option<&AnalysisReport> {
-        self.entries
-            .iter()
-            .find(|(eid, _, _)| *eid == id)
-            .map(|(_, _, r)| r)
+        self.entries.iter().find(|(eid, _, _)| *eid == id).map(|(_, _, r)| r)
     }
 }
 

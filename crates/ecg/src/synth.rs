@@ -50,9 +50,9 @@ impl Default for EcgSpec {
 /// the paper's breaking tolerance ε=10 — on their real ECG plots (Fig. 9)
 /// P/T are barely visible and absorbed by the flat segments.
 const WAVES: [(f64, f64, f64); 3] = [
-    (-34.0, 7.0, 0.06), // P
+    (-34.0, 7.0, 0.06),  // P
     (-12.0, 2.5, -0.05), // Q
-    (42.0, 10.0, 0.07), // T
+    (42.0, 10.0, 0.07),  // T
 ];
 
 /// QRS spike geometry: a digitized R wave at this sample rate is essentially

@@ -180,20 +180,18 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     fn insert_rec(&mut self, node: usize, key: K, value: V) -> InsertOutcome<K, V> {
         match &mut self.nodes[node] {
-            Node::Leaf { keys, values, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => InsertOutcome::Replaced(std::mem::replace(&mut values[i], value)),
-                    Err(i) => {
-                        keys.insert(i, key);
-                        values.insert(i, value);
-                        if keys.len() > self.order {
-                            self.split_leaf(node)
-                        } else {
-                            InsertOutcome::Inserted
-                        }
+            Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
+                Ok(i) => InsertOutcome::Replaced(std::mem::replace(&mut values[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > self.order {
+                        self.split_leaf(node)
+                    } else {
+                        InsertOutcome::Inserted
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| k <= &key);
                 let child = children[idx];

@@ -100,11 +100,8 @@ impl InvertedIndex {
 
     /// Distinct sequence ids with any posting in `[key ± tolerance]`.
     pub fn matching_sequences(&self, key: i64, tolerance: i64) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .lookup_range(key, tolerance)
-            .into_iter()
-            .map(|p| p.sequence)
-            .collect();
+        let mut ids: Vec<u64> =
+            self.lookup_range(key, tolerance).into_iter().map(|p| p.sequence).collect();
         ids.sort_unstable();
         ids.dedup();
         ids

@@ -210,11 +210,11 @@ mod tests {
     #[test]
     fn goalpost_full_match() {
         let idx = index_with(&[
-            (1, "uudd"),       // one peak
-            (2, "uuddfuudd"),  // two peaks
-            (3, "udfudfud"),   // three peaks
-            (4, "fudfduf"),    // u d f d u f: not two clean peaks
-            (5, "fuddfudf"),   // two peaks with flats
+            (1, "uudd"),      // one peak
+            (2, "uuddfuudd"), // two peaks
+            (3, "udfudfud"),  // three peaks
+            (4, "fudfduf"),   // u d f d u f: not two clean peaks
+            (5, "fuddfudf"),  // two peaks with flats
         ]);
         let re = Regex::parse("f* u+ d+ f* u+ d+ f*", &ab()).unwrap();
         let mut hits = idx.full_matches(&re);

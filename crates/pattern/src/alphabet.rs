@@ -46,16 +46,12 @@ impl Alphabet {
 
     /// Encodes a string of symbol characters into ids.
     pub fn encode(&self, text: &str) -> Result<Vec<u8>> {
-        text.chars()
-            .map(|ch| self.id_of(ch).ok_or(Error::UnknownSymbol { ch }))
-            .collect()
+        text.chars().map(|ch| self.id_of(ch).ok_or(Error::UnknownSymbol { ch })).collect()
     }
 
     /// Decodes ids back into a string (ids must be valid).
     pub fn decode(&self, ids: &[u8]) -> Result<String> {
-        ids.iter()
-            .map(|&id| self.char_of(id).ok_or(Error::UnknownSymbol { ch: '?' }))
-            .collect()
+        ids.iter().map(|&id| self.char_of(id).ok_or(Error::UnknownSymbol { ch: '?' })).collect()
     }
 }
 

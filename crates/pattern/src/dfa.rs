@@ -145,10 +145,7 @@ impl Dfa {
     /// "positions of the first point" view the paper's index uses.
     pub fn match_starts(&self, input: &[u8]) -> Vec<usize> {
         (0..input.len())
-            .filter(|&i| {
-                self.longest_match_at(input, i)
-                    .is_some_and(|m| !m.is_empty())
-            })
+            .filter(|&i| self.longest_match_at(input, i).is_some_and(|m| !m.is_empty()))
             .collect()
     }
 }

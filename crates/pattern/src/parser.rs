@@ -181,10 +181,7 @@ mod tests {
     #[test]
     fn parses_symbols_and_concat() {
         let r = Regex::parse("ud", &ab()).unwrap();
-        assert_eq!(
-            *r.ast(),
-            Ast::Concat(Box::new(Ast::Symbol(0)), Box::new(Ast::Symbol(1)))
-        );
+        assert_eq!(*r.ast(), Ast::Concat(Box::new(Ast::Symbol(0)), Box::new(Ast::Symbol(1))));
     }
 
     #[test]
@@ -199,10 +196,7 @@ mod tests {
         let r = Regex::parse("ud*", &ab()).unwrap();
         assert_eq!(
             *r.ast(),
-            Ast::Concat(
-                Box::new(Ast::Symbol(0)),
-                Box::new(Ast::Star(Box::new(Ast::Symbol(1))))
-            )
+            Ast::Concat(Box::new(Ast::Symbol(0)), Box::new(Ast::Star(Box::new(Ast::Symbol(1)))))
         );
     }
 
@@ -235,14 +229,8 @@ mod tests {
 
     #[test]
     fn error_positions() {
-        assert!(matches!(
-            Regex::parse("u(d", &ab()),
-            Err(Error::Syntax { .. })
-        ));
-        assert!(matches!(
-            Regex::parse("uz", &ab()),
-            Err(Error::Syntax { position: 1, .. })
-        ));
+        assert!(matches!(Regex::parse("u(d", &ab()), Err(Error::Syntax { .. })));
+        assert!(matches!(Regex::parse("uz", &ab()), Err(Error::Syntax { position: 1, .. })));
         assert!(matches!(Regex::parse("|u", &ab()), Err(Error::Syntax { .. })));
         assert!(matches!(Regex::parse("u)", &ab()), Err(Error::Syntax { .. })));
     }

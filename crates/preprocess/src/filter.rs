@@ -31,11 +31,8 @@ pub fn median_filter(seq: &Sequence, half: usize) -> Sequence {
         window.extend(pts[lo..hi].iter().map(|p| p.v));
         window.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         let m = window.len();
-        let med = if m % 2 == 1 {
-            window[m / 2]
-        } else {
-            0.5 * (window[m / 2 - 1] + window[m / 2])
-        };
+        let med =
+            if m % 2 == 1 { window[m / 2] } else { 0.5 * (window[m / 2 - 1] + window[m / 2]) };
         out.push(med);
     }
     rebuild(seq, out)

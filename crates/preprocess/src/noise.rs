@@ -8,8 +8,7 @@ use saq_sequence::{generators::gaussian, Sequence};
 /// Adds i.i.d. Gaussian noise of standard deviation `sigma`.
 pub fn add_gaussian_noise(seq: &Sequence, sigma: f64, seed: u64) -> Sequence {
     let mut rng = StdRng::seed_from_u64(seed);
-    seq.map_values(|v| v + sigma * gaussian(&mut rng))
-        .expect("noise stays finite")
+    seq.map_values(|v| v + sigma * gaussian(&mut rng)).expect("noise stays finite")
 }
 
 /// Replaces a fraction `rate` of samples with `value + spike` where spike is

@@ -23,12 +23,8 @@ impl Wavelet {
         const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
         const H: [f64; 2] = [SQRT2_INV, SQRT2_INV];
         // Daubechies-4 coefficients.
-        const D4: [f64; 4] = [
-            0.482962913144690,
-            0.836516303737469,
-            0.224143868041857,
-            -0.129409522550921,
-        ];
+        const D4: [f64; 4] =
+            [0.482962913144690, 0.836516303737469, 0.224143868041857, -0.129409522550921];
         match self {
             Wavelet::Haar => &H,
             Wavelet::Daubechies4 => &D4,
@@ -141,10 +137,7 @@ impl WaveletCompression {
             coeffs[i] = v;
         }
         let padded = idwt(&coeffs, self.wavelet);
-        let values: Vec<f64> = padded[..self.original_len]
-            .iter()
-            .map(|v| v + self.mean)
-            .collect();
+        let values: Vec<f64> = padded[..self.original_len].iter().map(|v| v + self.mean).collect();
         Sequence::from_values(self.t0, self.dt, &values)
             .expect("reconstruction yields finite values")
     }
@@ -169,10 +162,7 @@ pub fn threshold_compress(seq: &Sequence, wavelet: Wavelet, keep: usize) -> Wave
     let coeffs = dwt(&padded, wavelet);
     let mut order: Vec<usize> = (0..padded_len).collect();
     order.sort_by(|&a, &b| {
-        coeffs[b]
-            .abs()
-            .partial_cmp(&coeffs[a].abs())
-            .expect("finite coefficients")
+        coeffs[b].abs().partial_cmp(&coeffs[a].abs()).expect("finite coefficients")
     });
     let kept = keep.min(padded_len);
     let mut coefficients: Vec<(usize, f64)> =
@@ -182,15 +172,7 @@ pub fn threshold_compress(seq: &Sequence, wavelet: Wavelet, keep: usize) -> Wave
         [only] => (only.t, 1.0),
         pts => (pts[0].t, pts[1].t - pts[0].t),
     };
-    WaveletCompression {
-        wavelet,
-        padded_len,
-        original_len: n,
-        coefficients,
-        mean,
-        t0,
-        dt,
-    }
+    WaveletCompression { wavelet, padded_len, original_len: n, coefficients, mean, t0, dt }
 }
 
 #[cfg(test)]

@@ -46,10 +46,9 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::TooShort { required, actual } => write!(
-                f,
-                "sequence too short: operation requires {required} points, got {actual}"
-            ),
+            Error::TooShort { required, actual } => {
+                write!(f, "sequence too short: operation requires {required} points, got {actual}")
+            }
             Error::NonMonotonicTime { index } => {
                 write!(f, "timestamps must be strictly increasing (violated at index {index})")
             }
@@ -60,7 +59,9 @@ impl fmt::Display for Error {
                 write!(f, "time {t} outside sequence span [{start}, {end}]")
             }
             Error::Empty => write!(f, "empty sequence"),
-            Error::Parse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Error::Parse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -292,10 +292,7 @@ mod tests {
 
     #[test]
     fn peaks_count_matches_centers() {
-        let spec = PeaksSpec {
-            centers: vec![4.0, 12.0, 20.0],
-            ..PeaksSpec::default()
-        };
+        let spec = PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() };
         let s = peaks(spec);
         // Count strict local maxima above baseline + amplitude/2.
         let vals = s.values();

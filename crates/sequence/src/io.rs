@@ -33,10 +33,9 @@ pub fn read_csv<R: Read>(input: R) -> Result<Sequence> {
         }
         let mut parts = trimmed.splitn(2, ',');
         let t_str = parts.next().unwrap_or("");
-        let v_str = parts.next().ok_or_else(|| Error::Parse {
-            line: lineno + 1,
-            message: "expected `t,v`".into(),
-        })?;
+        let v_str = parts
+            .next()
+            .ok_or_else(|| Error::Parse { line: lineno + 1, message: "expected `t,v`".into() })?;
         let t: f64 = t_str.trim().parse().map_err(|e| Error::Parse {
             line: lineno + 1,
             message: format!("bad t `{t_str}`: {e}"),

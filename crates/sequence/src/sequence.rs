@@ -39,11 +39,8 @@ impl Sequence {
     /// dependent.
     pub fn from_values(t0: f64, dt: f64, values: &[f64]) -> Result<Self> {
         assert!(dt > 0.0, "sampling interval must be positive");
-        let points = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| Point::new(t0 + i as f64 * dt, v))
-            .collect();
+        let points =
+            values.iter().enumerate().map(|(i, &v)| Point::new(t0 + i as f64 * dt, v)).collect();
         Sequence::new(points)
     }
 
@@ -120,7 +117,10 @@ impl Sequence {
     /// sequence. Index slicing (not time slicing); see [`Sequence::window_by_time`].
     pub fn slice(&self, lo: usize, hi: usize) -> Result<Sequence> {
         if lo >= hi || hi > self.points.len() {
-            return Err(Error::TooShort { required: hi.saturating_sub(lo).max(1), actual: self.points.len() });
+            return Err(Error::TooShort {
+                required: hi.saturating_sub(lo).max(1),
+                actual: self.points.len(),
+            });
         }
         // Invariants hold on any contiguous sub-range.
         Ok(Sequence { points: self.points[lo..hi].to_vec() })
@@ -128,12 +128,7 @@ impl Sequence {
 
     /// Points whose timestamps fall in `[t_lo, t_hi]`.
     pub fn window_by_time(&self, t_lo: f64, t_hi: f64) -> Sequence {
-        let points = self
-            .points
-            .iter()
-            .filter(|p| p.t >= t_lo && p.t <= t_hi)
-            .copied()
-            .collect();
+        let points = self.points.iter().filter(|p| p.t >= t_lo && p.t <= t_hi).copied().collect();
         Sequence { points }
     }
 
@@ -141,22 +136,14 @@ impl Sequence {
     ///
     /// Returns an error if `f` produces a non-finite value.
     pub fn map_values<F: FnMut(f64) -> f64>(&self, mut f: F) -> Result<Sequence> {
-        let points: Vec<Point> = self
-            .points
-            .iter()
-            .map(|p| Point::new(p.t, f(p.v)))
-            .collect();
+        let points: Vec<Point> = self.points.iter().map(|p| Point::new(p.t, f(p.v))).collect();
         Sequence::new(points)
     }
 
     /// Applies `f` to every timestamp, keeping values. The mapping must be
     /// strictly increasing; this is re-validated.
     pub fn map_times<F: FnMut(f64) -> f64>(&self, mut f: F) -> Result<Sequence> {
-        let points: Vec<Point> = self
-            .points
-            .iter()
-            .map(|p| Point::new(f(p.t), p.v))
-            .collect();
+        let points: Vec<Point> = self.points.iter().map(|p| Point::new(f(p.t), p.v)).collect();
         Sequence::new(points)
     }
 

@@ -90,9 +90,7 @@ pub fn autocorrelation(values: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = (0..n - lag)
-        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
-        .sum();
+    let num: f64 = (0..n - lag).map(|i| (values[i] - mean) * (values[i + lag] - mean)).sum();
     num / denom
 }
 
@@ -116,10 +114,7 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices differ in length (caller bug).
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff requires equally long slices");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -127,10 +122,7 @@ mod tests {
     use super::*;
 
     fn pts(vals: &[f64]) -> Vec<Point> {
-        vals.iter()
-            .enumerate()
-            .map(|(i, &v)| Point::new(i as f64, v))
-            .collect()
+        vals.iter().enumerate().map(|(i, &v)| Point::new(i as f64, v)).collect()
     }
 
     #[test]
@@ -164,10 +156,8 @@ mod tests {
     fn covariance_of_perfect_line() {
         // v = 2t  => cov(t,v) = 2 * var(t)
         let p = pts(&[0.0, 2.0, 4.0, 6.0]);
-        let var_t = SummaryStats::of(
-            &p.iter().map(|q| Point::new(q.t, q.t)).collect::<Vec<_>>(),
-        )
-        .variance;
+        let var_t =
+            SummaryStats::of(&p.iter().map(|q| Point::new(q.t, q.t)).collect::<Vec<_>>()).variance;
         assert!((covariance_tv(&p) - 2.0 * var_t).abs() < 1e-12);
     }
 

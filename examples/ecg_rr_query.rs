@@ -39,10 +39,7 @@ fn main() {
 
     // Build the Fig. 10 inverted file over a small library of ECGs.
     let corpus = EcgCorpus {
-        entries: vec![
-            (1, top.clone(), top_report),
-            (2, bottom.clone(), bottom_report),
-        ],
+        entries: vec![(1, top.clone(), top_report), (2, bottom.clone(), bottom_report)],
     };
     let index = build_rr_index(&corpus);
 

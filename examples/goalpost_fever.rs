@@ -79,11 +79,9 @@ fn main() {
     }
 
     // The generalized approximate query: shape, not values.
-    let outcome = evaluate(
-        &store,
-        &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
-    )
-    .unwrap();
+    let outcome =
+        evaluate(&store, &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() })
+            .unwrap();
 
     println!("goal-post fever query `0* 1+ (-1)+ 0* 1+ (-1)+ 0*`\n");
     println!("patient                      | true peaks | matched");

@@ -26,13 +26,7 @@ fn main() {
     let series = FunctionSeries::build(&log, &ranges, &RegressionFitter).unwrap();
     println!("\nsegment | span (h)      | regression line");
     for (i, seg) in series.segments().iter().enumerate() {
-        println!(
-            "{:>7} | [{:>4.1}, {:>4.1}] | {}",
-            i,
-            seg.start.t,
-            seg.end.t,
-            seg.curve.formula()
-        );
+        println!("{:>7} | [{:>4.1}, {:>4.1}] | {}", i, seg.start.t, seg.end.t, seg.curve.formula());
     }
 
     // 3. Compression accounting (§5.2).
@@ -52,10 +46,8 @@ fn main() {
     // 5. Store it and ask the goal-post fever query.
     let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
     let id = store.insert(&log).unwrap();
-    let outcome = evaluate(
-        &store,
-        &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
-    )
-    .unwrap();
+    let outcome =
+        evaluate(&store, &QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() })
+            .unwrap();
     println!("\ngoal-post query exact matches: {:?} (our log is id {id})", outcome.exact);
 }

@@ -13,20 +13,17 @@ fn main() {
     // A year of daily closes for a handful of tickers (synthetic walks with
     // different drifts/volatilities).
     let tickers = [
-        ("UPUP", stock_series(250, 80.0, 0.8, 0.35, 11)),  // strong uptrend
+        ("UPUP", stock_series(250, 80.0, 0.8, 0.35, 11)), // strong uptrend
         ("DIPS", stock_series(250, 120.0, 1.4, -0.25, 22)), // decline
-        ("CHOP", stock_series(250, 100.0, 2.2, 0.0, 33)),  // volatile, flat
-        ("SLOW", stock_series(250, 60.0, 0.5, 0.05, 44)),  // quiet drift
+        ("CHOP", stock_series(250, 100.0, 2.2, 0.0, 33)), // volatile, flat
+        ("SLOW", stock_series(250, 60.0, 0.5, 0.05, 44)), // quiet drift
     ];
 
     // Smooth a little before breaking (the paper's pre-breaking filtering),
     // then ingest with a tolerance scaled to price units.
     let pipeline = Pipeline::new().then(Stage::MovingAverage(2));
-    let mut store = SequenceStore::new(StoreConfig {
-        epsilon: 4.0,
-        ..StoreConfig::default()
-    })
-    .unwrap();
+    let mut store =
+        SequenceStore::new(StoreConfig { epsilon: 4.0, ..StoreConfig::default() }).unwrap();
 
     let mut ids = Vec::new();
     for (name, series) in &tickers {
@@ -49,17 +46,18 @@ fn main() {
     println!("\nrally-then-correction occurrences (`1+ (-1)+` over trend slopes):");
     for hit in store.pattern_index().scan(&rally_dip) {
         let name = ids.iter().find(|(id, _)| *id == hit.sequence).unwrap().1;
-        println!("  {name}: {} occurrence(s) starting at segment(s) {:?}", hit.positions.len(), hit.positions);
+        println!(
+            "  {name}: {} occurrence(s) starting at segment(s) {:?}",
+            hit.positions.len(),
+            hit.positions
+        );
     }
 
     // "Sustained uptrend": the whole (smoothed) chart is rises and flats only.
     let uptrend = parse_slope_pattern("(1|0)+").unwrap();
     let uptrend_ids = store.pattern_index().full_matches(&uptrend);
-    let names: Vec<&str> = ids
-        .iter()
-        .filter(|(id, _)| uptrend_ids.contains(id))
-        .map(|(_, n)| *n)
-        .collect();
+    let names: Vec<&str> =
+        ids.iter().filter(|(id, _)| uptrend_ids.contains(id)).map(|(_, n)| *n).collect();
     println!("\nsustained uptrends (`(1|0)+` full-chart match): {names:?}");
 
     // Show the raw head of one series for flavour.

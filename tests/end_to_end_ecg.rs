@@ -2,9 +2,9 @@
 //! break at ε=10, build the peaks table, index R–R intervals in the
 //! inverted file, and answer interval queries.
 
+use saq::ecg::analyze;
 use saq::ecg::corpus::{build_corpus, build_rr_index, rr_query};
 use saq::ecg::synth::{synthesize, EcgSpec};
-use saq::ecg::analyze;
 
 #[test]
 fn corpus_rr_queries_are_selective_and_complete() {

@@ -28,10 +28,8 @@ fn ward_query_full_pipeline() {
     }
     // ... and confounders.
     let one = pipeline.apply(&peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }));
-    let three = pipeline.apply(&peaks(PeaksSpec {
-        centers: vec![5.0, 12.0, 19.0],
-        ..PeaksSpec::default()
-    }));
+    let three = pipeline
+        .apply(&peaks(PeaksSpec { centers: vec![5.0, 12.0, 19.0], ..PeaksSpec::default() }));
     let id_one = store.insert(&one).unwrap();
     let id_three = store.insert(&three).unwrap();
 
@@ -63,14 +61,10 @@ fn query_closed_under_feature_preserving_transforms() {
 fn approximate_tier_orders_by_deviation() {
     let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
     let two = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
-    let one = store
-        .insert(&peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }))
-        .unwrap();
+    let one =
+        store.insert(&peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() })).unwrap();
     let four = store
-        .insert(&peaks(PeaksSpec {
-            centers: vec![3.0, 9.0, 15.0, 21.0],
-            ..PeaksSpec::default()
-        }))
+        .insert(&peaks(PeaksSpec { centers: vec![3.0, 9.0, 15.0, 21.0], ..PeaksSpec::default() }))
         .unwrap();
 
     let out = evaluate(&store, &QuerySpec::PeakCount { count: 2, tolerance: 2 }).unwrap();

@@ -8,16 +8,11 @@ use saq::pattern::{Ast, Regex};
 use std::collections::BTreeMap;
 
 fn arb_ast(alphabet_size: u8) -> impl Strategy<Value = Ast> {
-    let leaf = prop_oneof![
-        Just(Ast::Epsilon),
-        (0..alphabet_size).prop_map(Ast::Symbol),
-    ];
+    let leaf = prop_oneof![Just(Ast::Epsilon), (0..alphabet_size).prop_map(Ast::Symbol),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ast::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ast::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
             inner.clone().prop_map(|a| Ast::Plus(Box::new(a))),
             inner.prop_map(|a| Ast::Optional(Box::new(a))),

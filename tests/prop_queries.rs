@@ -14,14 +14,10 @@ fn arb_corpus() -> impl Strategy<Value = Vec<(Sequence, usize)>> {
     prop::collection::vec(
         (0usize..=4, 0u64..1000).prop_map(|(k, seed)| {
             // Well-separated centers over 24h.
-            let centers: Vec<f64> = (0..k).map(|i| 3.0 + i as f64 * (18.0 / (k as f64).max(4.0))).collect();
-            let seq = peaks(PeaksSpec {
-                centers,
-                width: 0.9,
-                noise: 0.0,
-                seed,
-                ..PeaksSpec::default()
-            });
+            let centers: Vec<f64> =
+                (0..k).map(|i| 3.0 + i as f64 * (18.0 / (k as f64).max(4.0))).collect();
+            let seq =
+                peaks(PeaksSpec { centers, width: 0.9, noise: 0.0, seed, ..PeaksSpec::default() });
             (seq, k)
         }),
         1..8,

@@ -1,0 +1,86 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size interval for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Generates a `Vec` whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_spans_the_range() {
+        let strat = vec(0u8..10, 2..6usize);
+        let mut rng = TestRng::from_name("vec-tests");
+        let mut lens = [0usize; 8];
+        for _ in 0..400 {
+            let v = strat.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            lens[v.len()] += 1;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(lens[2] > 0 && lens[3] > 0 && lens[4] > 0 && lens[5] > 0);
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let strat = vec(vec(0u8..3, 0..12usize), 1..8usize);
+        let mut rng = TestRng::from_name("nested-vec");
+        for _ in 0..100 {
+            let vv = strat.sample(&mut rng);
+            assert!((1..8).contains(&vv.len()));
+            for v in vv {
+                assert!(v.len() < 12);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*`/`prop_assume!`, range and tuple
+//! strategies, `prop::collection::vec`, `Just`, `prop_oneof!`, `prop_map`,
+//! and `prop_recursive`. Cases are sampled from a deterministic per-test
+//! RNG; there is **no shrinking** — a failure reports the sampled inputs
+//! via `Debug` in the panic message instead of minimizing them. Swap back
+//! to the real crate when a registry is available.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The public prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias so `prop::collection::vec(...)` works, as with the
+    /// real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!({$crate::test_runner::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+/// Internal: expands each test fn inside a [`proptest!`] block.
+#[macro_export]
+macro_rules! __proptest_items {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr}
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome
+            });
+        }
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test; on failure the current case
+/// is reported (with the formatted message) instead of unwinding mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (it does not count towards `cases`) when the
+/// sampled inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

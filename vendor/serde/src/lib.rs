@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! keeps `#[derive(Serialize, Deserialize)]` annotations compiling without
+//! providing a real data model. The traits are markers with blanket impls
+//! (every type "is serializable"), and the derives expand to nothing.
+//! Nothing in the workspace currently performs serde-based serialization —
+//! persistence uses hand-written text formats (`saq-core::persist`). Swap
+//! back to the real crate when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//! The companion `serde` stand-in gives the traits blanket impls, so types
+//! still satisfy `Serialize`/`Deserialize` bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
