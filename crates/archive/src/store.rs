@@ -19,12 +19,36 @@ pub struct ArchiveStore {
     medium: Medium,
     sequences: HashMap<u64, Sequence>,
     elapsed: Mutex<f64>,
+    /// Real seconds slept per simulated second on each fetch (0 = never
+    /// sleep). See [`ArchiveStore::set_realtime_scale`].
+    realtime_scale: f64,
 }
 
 impl ArchiveStore {
     /// An empty archive on the given medium.
     pub fn new(medium: Medium) -> ArchiveStore {
-        ArchiveStore { medium, sequences: HashMap::new(), elapsed: Mutex::new(0.0) }
+        ArchiveStore {
+            medium,
+            sequences: HashMap::new(),
+            elapsed: Mutex::new(0.0),
+            realtime_scale: 0.0,
+        }
+    }
+
+    /// Makes fetches *really* block for `scale` wall-clock seconds per
+    /// simulated second (0, the default, never sleeps). Concurrent fetches
+    /// block independently, so overlapping them — as the sharded batch
+    /// engine does — hides archive latency the way overlapping real tape or
+    /// jukebox requests would. Experiments use small scales (e.g. `1e-4`)
+    /// to keep runs short while preserving the latency shape.
+    pub fn set_realtime_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale >= 0.0, "realtime scale must be finite and >= 0");
+        self.realtime_scale = scale;
+    }
+
+    /// The configured wall-clock seconds per simulated second.
+    pub fn realtime_scale(&self) -> f64 {
+        self.realtime_scale
     }
 
     /// Archives a raw sequence (writing is done off the query path and not
@@ -43,11 +67,33 @@ impl ArchiveStore {
         self.sequences.is_empty()
     }
 
-    /// Fetches a raw sequence, accruing simulated seek + transfer time.
+    /// All archived ids, sorted — the canonical enumeration order that the
+    /// batch engine's shard partitioning relies on.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sequences.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Direct access to an archived sequence *without* touching the
+    /// simulated medium — for tests and introspection only. Query paths
+    /// (including the batch engine) must go through
+    /// [`ArchiveStore::fetch`] so access costs are accounted.
+    pub fn get(&self, id: u64) -> Option<&Sequence> {
+        self.sequences.get(&id)
+    }
+
+    /// Fetches a raw sequence, accruing simulated seek + transfer time (and
+    /// really sleeping when a realtime scale is configured).
     pub fn fetch(&self, id: u64) -> Option<(&Sequence, AccessCost)> {
         let seq = self.sequences.get(&id)?;
         let cost = self.medium.access(seq.len() as u64 * BYTES_PER_POINT);
         *self.elapsed.lock() += cost.total();
+        if self.realtime_scale > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                cost.total() * self.realtime_scale,
+            ));
+        }
         Some((seq, cost))
     }
 
@@ -100,6 +146,12 @@ impl TieredStore {
     /// The raw archive.
     pub fn archive(&self) -> &ArchiveStore {
         &self.archive
+    }
+
+    /// Mutable access to the raw archive (e.g. to configure realtime
+    /// latency emulation before a batch run).
+    pub fn archive_mut(&mut self) -> &mut ArchiveStore {
+        &mut self.archive
     }
 
     /// Answers a generalized approximate query from local representations,
@@ -203,6 +255,46 @@ mod tests {
         assert!(drill < full, "drill {drill} full {full}");
         // 5 of 10 sequences -> roughly half the cost.
         assert!((drill / full - 0.5).abs() < 0.1, "ratio {}", drill / full);
+    }
+
+    #[test]
+    fn ids_sorted_and_get_is_free() {
+        let mut a = ArchiveStore::new(Medium::local_disk());
+        for id in [9u64, 2, 5] {
+            a.put(id, goalpost(GoalpostSpec::default()));
+        }
+        assert_eq!(a.ids(), vec![2, 5, 9]);
+        assert!(a.get(5).is_some());
+        assert!(a.get(1).is_none());
+        assert_eq!(a.elapsed_seconds(), 0.0, "get() must not touch the medium");
+    }
+
+    #[test]
+    fn realtime_scale_sleeps_on_fetch() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.realtime_scale(), 0.0);
+        // Memory access costs ~1e-7 simulated seconds; a large scale makes
+        // the sleep observable without slowing the suite.
+        a.set_realtime_scale(2.0e5);
+        let t = std::time::Instant::now();
+        a.fetch(1).unwrap();
+        assert!(t.elapsed().as_secs_f64() >= 0.015, "fetch must really block");
+    }
+
+    #[test]
+    #[should_panic(expected = "realtime scale")]
+    fn negative_realtime_scale_rejected() {
+        ArchiveStore::new(Medium::memory()).set_realtime_scale(-1.0);
+    }
+
+    #[test]
+    fn archive_mut_exposes_the_raw_tier() {
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::remote_tape())
+                .unwrap();
+        t.archive_mut().set_realtime_scale(0.0);
+        assert_eq!(t.archive().realtime_scale(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Benchmarks of the sharded batch engine: cold vs warm cache, worker-pool
+//! vs single-pass sequential execution (no latency emulation — pure CPU;
+//! see `exp_engine_scaling` for the latency-overlap wall-clock study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_archive::{ArchiveStore, Medium};
+use saq_core::query::QuerySpec;
+use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
+use saq_sequence::generators::{goalpost, random_walk, GoalpostSpec};
+
+fn archive(n: u64) -> ArchiveStore {
+    let mut archive = ArchiveStore::new(Medium::memory());
+    for id in 0..n {
+        if id % 2 == 0 {
+            archive.put(
+                id,
+                goalpost(GoalpostSpec { seed: id, noise: 0.1, ..GoalpostSpec::default() }),
+            );
+        } else {
+            archive.put(id, random_walk(256, 0.0, 0.1, id));
+        }
+    }
+    archive
+}
+
+fn batch() -> Vec<BatchQuery> {
+    vec![
+        BatchQuery::Feature(QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() }),
+        BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 1 }),
+        BatchQuery::Feature(QuerySpec::HasSteepPeak { steepness: 1.5, slack: 0.2 }),
+        BatchQuery::ValueBand { query: goalpost(GoalpostSpec::default()), delta: 1.0, slack: 1.0 },
+    ]
+}
+
+fn engine(workers: usize, capacity: usize) -> QueryEngine {
+    QueryEngine::new(EngineConfig {
+        workers,
+        shards: workers * 4,
+        cache_capacity: capacity,
+        ..EngineConfig::default()
+    })
+    .unwrap()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let store = archive(64);
+    let queries = batch();
+
+    let mut group = c.benchmark_group("engine");
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("cold-batch", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                // A fresh engine per iteration keeps the cache cold.
+                engine(workers, 64).run(&store, &queries).unwrap()
+            });
+        });
+    }
+
+    let warm = engine(4, 64);
+    warm.run(&store, &queries).unwrap();
+    group.bench_function("warm-batch-4w", |b| {
+        b.iter(|| warm.run(&store, &queries).unwrap());
+    });
+
+    let sequential = engine(1, 64);
+    group.bench_function("sequential-oracle", |b| {
+        b.iter(|| sequential.run_sequential(&store, &queries).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -12,6 +12,18 @@
 
 use saq_sequence::Sequence;
 
+/// Reads a workload-size knob from the environment (CI smoke-runs cap the
+/// heavy experiments via `SAQ_EXP_*`; binaries with scalable workloads
+/// should size them through these helpers rather than hard-coding).
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// As [`env_usize`] for floating-point knobs.
+pub fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("==============================================================");
@@ -105,7 +117,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(123.4), "123");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(3.14881), "3.15");
         assert_eq!(fnum(0.1234), "0.123");
     }
 

@@ -30,7 +30,27 @@ pub use offline::{
 };
 pub use online::{OnlineBreaker, WindowedPolynomialBreaker};
 
-use saq_sequence::Sequence;
+use saq_sequence::{Point, Sequence};
+
+/// Relative slack absorbed into every deviation-vs-ε comparison: fitting a
+/// curve through a window accumulates rounding residue proportional to the
+/// data's magnitude (a least-squares line through constant data carries
+/// ~1e-13 of it), so a strict `> ε` check at ε = 0 would split perfectly
+/// representable data. 1e-12 of the window's magnitude sits above that
+/// residue (regression-tested up to magnitude 1e6 and degree 3) while
+/// staying far too small to erode a user-chosen ε.
+pub(crate) const RELATIVE_EPSILON: f64 = 1e-12;
+
+/// The effective tolerance for a window whose values reach magnitude
+/// `scale`: ε plus the relative floating-point slack.
+pub(crate) fn effective_epsilon(epsilon: f64, scale: f64) -> f64 {
+    epsilon + RELATIVE_EPSILON * scale
+}
+
+/// The magnitude of a window's values (for [`effective_epsilon`]).
+pub(crate) fn value_scale(points: &[Point]) -> f64 {
+    points.iter().map(|p| p.v.abs()).fold(0.0, f64::max)
+}
 
 /// A breaking algorithm: partitions a sequence into contiguous inclusive
 /// index ranges.

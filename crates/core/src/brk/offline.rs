@@ -16,7 +16,7 @@
 //! continuity between segments, and steps (a)–(c) decide which side owns the
 //! breakpoint (the paper's adjustment, §5.1).
 
-use super::Breaker;
+use super::{effective_epsilon, value_scale, Breaker};
 use saq_curves::{max_deviation, Curve, CurveFitter};
 use saq_curves::{BezierFitter, EndpointInterpolator, RegressionFitter};
 use saq_sequence::{Point, Sequence};
@@ -110,7 +110,7 @@ impl<F: CurveFitter> OfflineBreaker<F> {
             }
         };
         let dev = max_deviation(&curve, run).expect("non-empty run");
-        if dev.value <= self.epsilon {
+        if dev.value <= effective_epsilon(self.epsilon, value_scale(run)) {
             out.push((lo, hi));
             return;
         }
@@ -164,12 +164,15 @@ impl<F: CurveFitter> OfflineBreaker<F> {
         pts: &[Point],
         mut ranges: Vec<(usize, usize)>,
     ) -> Vec<(usize, usize)> {
-        let dev_of = |lo: usize, hi: usize| -> f64 {
+        // Deviation of a merged run, pre-compared against that run's own
+        // effective tolerance: `Some(dev)` only when the merge fits.
+        let fit_of = |lo: usize, hi: usize| -> Option<f64> {
             let run = &pts[lo..=hi];
-            match self.fitter.fit(run) {
+            let dev = match self.fitter.fit(run) {
                 Ok(c) => max_deviation(&c, run).map(|d| d.value).unwrap_or(f64::INFINITY),
                 Err(_) => f64::INFINITY,
-            }
+            };
+            (dev <= effective_epsilon(self.epsilon, value_scale(run))).then_some(dev)
         };
         let mut changed = true;
         while changed {
@@ -181,11 +184,10 @@ impl<F: CurveFitter> OfflineBreaker<F> {
                     i += 1;
                     continue;
                 }
-                let left = (i > 0).then(|| dev_of(ranges[i - 1].0, hi));
-                let right = (i + 1 < ranges.len()).then(|| dev_of(lo, ranges[i + 1].1));
-                let take_left =
-                    left.is_some_and(|d| d <= self.epsilon) && (right.is_none() || left <= right);
-                let take_right = !take_left && right.is_some_and(|d| d <= self.epsilon);
+                let left = (i > 0).then(|| fit_of(ranges[i - 1].0, hi)).flatten();
+                let right = (i + 1 < ranges.len()).then(|| fit_of(lo, ranges[i + 1].1)).flatten();
+                let take_left = left.is_some() && (right.is_none() || left <= right);
+                let take_right = !take_left && right.is_some();
                 if take_left {
                     ranges[i - 1].1 = hi;
                     ranges.remove(i);
@@ -211,7 +213,8 @@ impl<F: CurveFitter> OfflineBreaker<F> {
         let fits = |lo: usize, hi: usize| -> bool {
             let run = &pts[lo..=hi];
             match self.fitter.fit(run) {
-                Ok(c) => max_deviation(&c, run).is_some_and(|d| d.value <= self.epsilon),
+                Ok(c) => max_deviation(&c, run)
+                    .is_some_and(|d| d.value <= effective_epsilon(self.epsilon, value_scale(run))),
                 Err(_) => false,
             }
         };
@@ -464,6 +467,22 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn negative_epsilon_rejected() {
         let _ = LinearInterpolationBreaker::new(-1.0);
+    }
+
+    /// ε = 0 with the ε-relative comparison: regression fits through
+    /// exactly-linear data carry rounding residue but must not split it,
+    /// at any magnitude.
+    #[test]
+    fn zero_epsilon_keeps_exactly_linear_data_whole() {
+        for (slope, intercept) in [(0.0, 42.0), (2.5, 1.0e6)] {
+            let s = seq(&(0..50).map(|i| slope * i as f64 + intercept).collect::<Vec<_>>());
+            assert_eq!(
+                LinearRegressionBreaker::new(0.0).break_ranges(&s),
+                vec![(0, 49)],
+                "slope {slope} intercept {intercept}"
+            );
+            assert_eq!(LinearInterpolationBreaker::new(0.0).break_ranges(&s), vec![(0, 49)]);
+        }
     }
 
     #[test]

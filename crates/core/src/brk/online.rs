@@ -9,7 +9,7 @@
 //! paper notes online algorithms' "obvious deficiency is possible lack of
 //! accuracy".
 
-use super::Breaker;
+use super::{effective_epsilon, Breaker};
 use saq_sequence::{Point, Sequence};
 
 /// Streaming sliding-window breaker with incremental regression.
@@ -97,22 +97,26 @@ impl Breaker for OnlineBreaker {
         let mut start = 0usize;
         let mut fit = RunningFit::default();
         fit.push(pts[0]);
+        let mut scale = pts[0].v.abs();
 
         for (i, &p) in pts.iter().enumerate().skip(1) {
             // Tentatively extend the window.
             let mut candidate = fit;
             candidate.push(p);
             let window_len = i - start + 1;
-            let over = candidate.residual(p) > self.epsilon
-                || worst_residual(&candidate, &pts[start..=i]) > self.epsilon;
+            let tolerance = effective_epsilon(self.epsilon, scale.max(p.v.abs()));
+            let over = candidate.residual(p) > tolerance
+                || worst_residual(&candidate, &pts[start..=i]) > tolerance;
             if over && window_len > self.min_segment {
                 // Close the current segment before p.
                 ranges.push((start, i - 1));
                 start = i;
                 fit = RunningFit::default();
                 fit.push(p);
+                scale = p.v.abs();
             } else {
                 fit = candidate;
+                scale = scale.max(p.v.abs());
             }
         }
         ranges.push((start, n - 1));
@@ -182,8 +186,9 @@ impl Breaker for WindowedPolynomialBreaker {
             if window_len <= self.degree + 1 {
                 continue; // exactly fittable, cannot deviate
             }
+            let tolerance = effective_epsilon(self.epsilon, super::value_scale(window));
             let over = match Polynomial::fit(window, self.degree) {
-                Ok(poly) => max_deviation(&poly, window).is_some_and(|d| d.value > self.epsilon),
+                Ok(poly) => max_deviation(&poly, window).is_some_and(|d| d.value > tolerance),
                 Err(_) => false, // degenerate window: keep growing
             };
             if over && window_len > self.min_segment {
@@ -406,13 +411,37 @@ mod tests {
     }
 
     /// A constant sequence never deviates from its running fit: both online
-    /// breakers keep it whole at any tolerance.
+    /// breakers keep it whole at any tolerance — including ε = 0, where the
+    /// ε-relative comparison absorbs the fits' rounding residue.
     #[test]
     fn constant_sequence_is_one_segment() {
         let s = seq(&[7.5; 64]);
         assert_eq!(OnlineBreaker::new(0.0).break_ranges(&s), vec![(0, 63)]);
-        // The polynomial fit carries ~1e-13 of rounding residue, so give it
-        // a tolerance that is zero for every practical purpose.
-        assert_eq!(WindowedPolynomialBreaker::new(1, 1e-9).break_ranges(&s), vec![(0, 63)]);
+        assert_eq!(WindowedPolynomialBreaker::new(1, 0.0).break_ranges(&s), vec![(0, 63)]);
+    }
+
+    /// Regression (ROADMAP ε = 0 follow-up): the windowed polynomial fit
+    /// carries ~1e-13 of least-squares residue, which used to split
+    /// constant data at ε = 0. Deviation checks are now ε-relative, so
+    /// exactly representable data stays whole at any degree and magnitude,
+    /// while genuine structure still breaks.
+    #[test]
+    fn zero_epsilon_does_not_split_representable_data() {
+        for magnitude in [1.0, 98.6, 1.0e6] {
+            let s = seq(&[magnitude; 50]);
+            for degree in 0..=3 {
+                assert_eq!(
+                    WindowedPolynomialBreaker::new(degree, 0.0).break_ranges(&s),
+                    vec![(0, 49)],
+                    "constant {magnitude} split at degree {degree}"
+                );
+            }
+        }
+        // A clean ramp is exactly a degree-1 polynomial.
+        let ramp = seq(&(0..50).map(|i| 3.0 * i as f64 + 100.0).collect::<Vec<_>>());
+        assert_eq!(WindowedPolynomialBreaker::new(1, 0.0).break_ranges(&ramp), vec![(0, 49)]);
+        // A step is not: ε = 0 must still break it.
+        let step: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 2.0 }).collect();
+        assert!(WindowedPolynomialBreaker::new(1, 0.0).break_ranges(&seq(&step)).len() > 1);
     }
 }

@@ -61,7 +61,7 @@ pub use features::{Peak, PeakTable};
 pub use lang::{parse_query, run_query, ParsedQuery};
 pub use multi::{Family, MultiSeries};
 pub use persist::{load_series, read_series, save_series, write_series};
-pub use query::{ApproximateMatch, QueryOutcome, QuerySpec};
+pub use query::{ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec, SequenceMatch};
 pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
-pub use store::{SequenceStore, SharedStore, StoreConfig};
+pub use store::{SequenceStore, SharedStore, StoreConfig, StoredEntry};
 pub use transform::Transform;

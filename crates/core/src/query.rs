@@ -8,7 +8,7 @@
 
 use crate::alphabet::parse_slope_pattern;
 use crate::error::Result;
-use crate::store::SequenceStore;
+use crate::store::{SequenceStore, StoredEntry};
 
 /// A generalized approximate query.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +84,93 @@ impl QueryOutcome {
     }
 }
 
+/// How a single stored sequence relates to a query's answer set `S`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SequenceMatch {
+    /// A member of the exact answer set.
+    Exact,
+    /// Within the approximation tolerance, at the given deviation.
+    Approximate(f64),
+}
+
+/// A query prepared for repeated per-sequence evaluation: the shape
+/// pattern, if any, is compiled to a DFA once so matching a sequence is a
+/// linear scan of its symbol string.
+///
+/// [`PreparedQuery::matches`] is the per-sequence semantics that both the
+/// store-level [`evaluate`] and the batch engine's sharded executor agree
+/// on; index-assisted paths (pattern index, inverted interval file) are
+/// accelerations of exactly this predicate.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    spec: QuerySpec,
+    dfa: Option<saq_pattern::Dfa>,
+}
+
+impl PreparedQuery {
+    /// Prepares a query, compiling its pattern when it has one. Fails on
+    /// unparsable patterns.
+    pub fn new(spec: &QuerySpec) -> Result<PreparedQuery> {
+        let dfa = match spec {
+            QuerySpec::Shape { pattern } => Some(parse_slope_pattern(pattern)?.compile()),
+            _ => None,
+        };
+        Ok(PreparedQuery { spec: spec.clone(), dfa })
+    }
+
+    /// The underlying query.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Evaluates one stored entry: `None` means no match, otherwise exact
+    /// membership or an approximate match with its deviation.
+    pub fn matches(&self, entry: &StoredEntry) -> Option<SequenceMatch> {
+        match &self.spec {
+            QuerySpec::Shape { .. } => {
+                let dfa = self.dfa.as_ref().expect("prepared shape query holds a DFA");
+                dfa.is_match(&entry.symbols).then_some(SequenceMatch::Exact)
+            }
+            QuerySpec::PeakCount { count, tolerance } => {
+                let dev = entry.peaks.len().abs_diff(*count);
+                if dev == 0 {
+                    Some(SequenceMatch::Exact)
+                } else if dev <= *tolerance {
+                    Some(SequenceMatch::Approximate(dev as f64))
+                } else {
+                    None
+                }
+            }
+            QuerySpec::PeakInterval { interval, epsilon } => {
+                // Mirrors the inverted-file path: postings arrive in
+                // position order, an id is exact if *any* in-band interval
+                // hits the target dead-on, and otherwise its deviation is
+                // the first in-band interval's.
+                let mut first_in_band = None;
+                let mut exact = false;
+                for bucket in entry.peaks.interval_buckets() {
+                    let dev = (bucket - interval).abs();
+                    if dev <= *epsilon {
+                        exact |= dev == 0;
+                        first_in_band.get_or_insert(dev);
+                    }
+                }
+                if exact {
+                    Some(SequenceMatch::Exact)
+                } else {
+                    first_in_band.map(|dev| SequenceMatch::Approximate(dev as f64))
+                }
+            }
+            QuerySpec::MinPeakSteepness { steepness, slack } => {
+                steepness_match(entry, *steepness, *slack, f64::min, f64::INFINITY)
+            }
+            QuerySpec::HasSteepPeak { steepness, slack } => {
+                steepness_match(entry, *steepness, *slack, f64::max, f64::NEG_INFINITY)
+            }
+        }
+    }
+}
+
 /// Evaluates a query against a store.
 pub fn evaluate(store: &SequenceStore, query: &QuerySpec) -> Result<QueryOutcome> {
     match query {
@@ -92,20 +179,6 @@ pub fn evaluate(store: &SequenceStore, query: &QuerySpec) -> Result<QueryOutcome
             let mut exact = store.pattern_index().full_matches(&regex);
             exact.sort_unstable();
             Ok(QueryOutcome { exact, approximate: Vec::new() })
-        }
-        QuerySpec::PeakCount { count, tolerance } => {
-            let mut outcome = QueryOutcome::default();
-            for id in store.ids() {
-                let peaks = store.get(id)?.peaks.len();
-                let dev = peaks.abs_diff(*count);
-                if dev == 0 {
-                    outcome.exact.push(id);
-                } else if dev <= *tolerance {
-                    outcome.approximate.push(ApproximateMatch { id, deviation: dev as f64 });
-                }
-            }
-            sort_outcome(&mut outcome);
-            Ok(outcome)
         }
         QuerySpec::PeakInterval { interval, epsilon } => {
             let mut outcome = QueryOutcome::default();
@@ -131,46 +204,61 @@ pub fn evaluate(store: &SequenceStore, query: &QuerySpec) -> Result<QueryOutcome
             sort_outcome(&mut outcome);
             Ok(outcome)
         }
-        QuerySpec::MinPeakSteepness { steepness, slack } => {
-            steepness_query(store, *steepness, *slack, f64::min, f64::INFINITY)
-        }
-        QuerySpec::HasSteepPeak { steepness, slack } => {
-            steepness_query(store, *steepness, *slack, f64::max, f64::NEG_INFINITY)
+        QuerySpec::PeakCount { .. }
+        | QuerySpec::MinPeakSteepness { .. }
+        | QuerySpec::HasSteepPeak { .. } => {
+            // Plain scans share the per-sequence predicate verbatim.
+            let prepared = PreparedQuery::new(query)?;
+            let mut outcome = QueryOutcome::default();
+            for id in store.ids() {
+                match prepared.matches(store.get(id)?) {
+                    Some(SequenceMatch::Exact) => outcome.exact.push(id),
+                    Some(SequenceMatch::Approximate(deviation)) => {
+                        outcome.approximate.push(ApproximateMatch { id, deviation })
+                    }
+                    None => {}
+                }
+            }
+            sort_outcome(&mut outcome);
+            Ok(outcome)
         }
     }
 }
 
 /// Shared body of the two steepness dimensions: `fold`/`init` select the
 /// universal (min over peaks) or existential (max over peaks) reading.
-fn steepness_query(
-    store: &SequenceStore,
+fn steepness_match(
+    entry: &StoredEntry,
     steepness: f64,
     slack: f64,
     fold: fn(f64, f64) -> f64,
     init: f64,
-) -> Result<QueryOutcome> {
-    let mut outcome = QueryOutcome::default();
-    for id in store.ids() {
-        let entry = store.get(id)?;
-        if entry.peaks.is_empty() {
-            continue;
-        }
-        let measure = entry.peaks.peaks.iter().map(|p| p.steepness()).fold(init, fold);
-        if measure >= steepness {
-            outcome.exact.push(id);
-        } else if measure >= steepness * (1.0 - slack) {
-            outcome.approximate.push(ApproximateMatch { id, deviation: steepness - measure });
-        }
+) -> Option<SequenceMatch> {
+    if entry.peaks.is_empty() {
+        return None;
     }
-    sort_outcome(&mut outcome);
-    Ok(outcome)
+    let measure = entry.peaks.peaks.iter().map(|p| p.steepness()).fold(init, fold);
+    if measure >= steepness {
+        Some(SequenceMatch::Exact)
+    } else if measure >= steepness * (1.0 - slack) {
+        Some(SequenceMatch::Approximate(steepness - measure))
+    } else {
+        None
+    }
+}
+
+/// Sorts approximate matches into the canonical result order — increasing
+/// deviation, then id. The one definition shared by the store evaluator and
+/// the batch engine's merge, so "identical outcomes" cannot drift.
+pub fn sort_approximate_matches(matches: &mut [ApproximateMatch]) {
+    matches.sort_by(|a, b| {
+        a.deviation.partial_cmp(&b.deviation).expect("finite deviations").then(a.id.cmp(&b.id))
+    });
 }
 
 fn sort_outcome(outcome: &mut QueryOutcome) {
     outcome.exact.sort_unstable();
-    outcome.approximate.sort_by(|a, b| {
-        a.deviation.partial_cmp(&b.deviation).expect("finite deviations").then(a.id.cmp(&b.id))
-    });
+    sort_approximate_matches(&mut outcome.approximate);
 }
 
 #[cfg(test)]

@@ -47,6 +47,33 @@ pub struct StoredEntry {
     pub raw: Option<Sequence>,
 }
 
+impl StoredEntry {
+    /// Runs the full ingestion pipeline on one sequence: break → represent
+    /// (regression lines) → quantize slopes → extract peaks. This is the
+    /// single source of truth shared by [`SequenceStore::insert`] and the
+    /// batch engine's on-demand feature computation, so a sequence always
+    /// yields the same representation regardless of which path touched it.
+    pub fn compute(seq: &Sequence, config: &StoreConfig) -> Result<StoredEntry> {
+        if seq.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        let breaker = LinearInterpolationBreaker::new(config.epsilon);
+        let ranges = breaker.break_ranges(seq);
+        let series = LinearSeries::build(seq, &ranges, &RegressionFitter)?;
+        // Single-sample segments have no defined slope; their Flat symbol
+        // would split e.g. a `u+ d+` peak at its apex, so they are dropped
+        // from the indexed symbol string.
+        let symbols: Vec<u8> = series_symbols(&series, config.theta)
+            .into_iter()
+            .zip(series.segments())
+            .filter(|(sym, seg)| !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat))
+            .map(|(sym, _)| sym.id())
+            .collect();
+        let peaks = PeakTable::extract(&series, config.theta);
+        Ok(StoredEntry { series, symbols, peaks, raw: config.keep_raw.then(|| seq.clone()) })
+    }
+}
+
 /// A store of sequence representations with the paper's two indexes.
 #[derive(Debug)]
 pub struct SequenceStore {
@@ -89,33 +116,14 @@ impl SequenceStore {
     /// Ingests a sequence: break → represent (regression lines) → quantize
     /// slopes → extract peaks → index. Returns the assigned id.
     pub fn insert(&mut self, seq: &Sequence) -> Result<u64> {
-        if seq.is_empty() {
-            return Err(Error::EmptyInput);
-        }
-        let breaker = LinearInterpolationBreaker::new(self.config.epsilon);
-        let ranges = breaker.break_ranges(seq);
-        let series = LinearSeries::build(seq, &ranges, &RegressionFitter)?;
-        // Single-sample segments have no defined slope; their Flat symbol
-        // would split e.g. a `u+ d+` peak at its apex, so they are dropped
-        // from the indexed symbol string.
-        let symbols: Vec<u8> = series_symbols(&series, self.config.theta)
-            .into_iter()
-            .zip(series.segments())
-            .filter(|(sym, seg)| !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat))
-            .map(|(sym, _)| sym.id())
-            .collect();
-        let peaks = PeakTable::extract(&series, self.config.theta);
-
+        let entry = StoredEntry::compute(seq, &self.config)?;
         let id = self.next_id;
         self.next_id += 1;
-        self.pattern_index.insert(id, symbols.clone());
-        for (pos, bucket) in peaks.interval_buckets().into_iter().enumerate() {
+        self.pattern_index.insert(id, entry.symbols.clone());
+        for (pos, bucket) in entry.peaks.interval_buckets().into_iter().enumerate() {
             self.interval_index.add(bucket, id, pos as u32);
         }
-        self.entries.insert(
-            id,
-            StoredEntry { series, symbols, peaks, raw: self.config.keep_raw.then(|| seq.clone()) },
-        );
+        self.entries.insert(id, entry);
         Ok(id)
     }
 

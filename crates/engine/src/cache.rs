@@ -1,0 +1,280 @@
+//! A bounded LRU cache for per-sequence break/feature results.
+//!
+//! Breaking and representing an archived sequence is the expensive step of
+//! a batch query (the fetch pays simulated archive latency, the pipeline
+//! pays real CPU). The engine keys this cache by sequence id so repeated
+//! queries — and later batches over the same archive — skip both costs.
+//! Eviction is strict least-recently-used with O(1) operations via an
+//! intrusive doubly-linked list over a slot arena.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// Hit/miss/eviction counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required recomputation.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from sequence id to a cached
+/// value. Not internally synchronized; the engine wraps it in a mutex.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics on zero capacity (caller bug).
+    pub fn new(capacity: usize) -> LruCache<V> {
+        assert!(capacity > 0, "cache capacity must be >= 1");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        match self.map.get(&key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(self.slots[slot].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot { key, value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Keys from most to least recently used (test/introspection helper).
+    pub fn keys_mru(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key);
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = LruCache::new(4);
+        assert!(c.is_empty());
+        c.insert(7, "seven");
+        assert_eq!(c.get(7), Some("seven"));
+        assert_eq!(c.get(8), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        for k in 1..=3 {
+            c.insert(k, k);
+        }
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1), Some(1));
+        c.insert(4, 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), None, "LRU entry evicted");
+        assert_eq!(c.get(1), Some(1));
+        assert_eq!(c.get(3), Some(3));
+        assert_eq!(c.get(4), Some(4));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2"); // refresh: 2 is now LRU
+        c.insert(3, "c");
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some("a2"));
+        assert_eq!(c.get(3), Some("c"));
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_newest() {
+        let mut c = LruCache::new(1);
+        for k in 0..10 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(9), Some(9));
+        assert_eq!(c.stats().evictions, 9);
+    }
+
+    #[test]
+    fn mru_order_tracks_access_pattern() {
+        let mut c = LruCache::new(4);
+        for k in [1u64, 2, 3, 4] {
+            c.insert(k, ());
+        }
+        assert_eq!(c.keys_mru(), vec![4, 3, 2, 1]);
+        c.get(2);
+        assert_eq!(c.keys_mru(), vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction_is_consistent() {
+        // Drive enough churn that freed slots are recycled.
+        let mut c = LruCache::new(5);
+        for k in 0..100u64 {
+            c.insert(k, k * 10);
+            if k >= 5 {
+                assert_eq!(c.len(), 5);
+            }
+        }
+        for k in 95..100 {
+            assert_eq!(c.get(k), Some(k * 10));
+        }
+        assert_eq!(c.stats().evictions, 95);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(1, ());
+        c.get(1);
+        c.get(2);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<()>::new(0);
+    }
+}

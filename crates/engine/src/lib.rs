@@ -1,0 +1,527 @@
+//! # saq-engine
+//!
+//! A sharded, multi-threaded **batch query executor** over the raw
+//! [`ArchiveStore`]. The paper's architecture answers queries from local
+//! compact representations; this crate covers the complementary heavy-
+//! traffic workload: a *batch* of generalized approximate queries (shape,
+//! peak features, value bands) pushed down to a large archive whose
+//! per-sequence representations are computed on demand.
+//!
+//! The execution model:
+//!
+//! 1. **Shard** — archived ids (sorted) are split into contiguous,
+//!    near-equal shards ([`shard::plan`]).
+//! 2. **Execute** — a fixed pool of worker threads claims shards from a
+//!    shared counter; each worker fetches every sequence of its shard once,
+//!    runs the whole query batch against it, and emits per-query partial
+//!    results. Fetches pay the archive's (simulated, optionally real-time
+//!    emulated) access latency, so workers overlap archive waits the way
+//!    parallel tape or jukebox requests would.
+//! 3. **Cache** — per-sequence break/feature results ([`StoredEntry`]) go
+//!    through a bounded LRU ([`cache::LruCache`]); repeated queries over
+//!    the same archive skip both the fetch and the recomputation.
+//! 4. **Merge** — per-shard hits concatenate in shard order (exact hits
+//!    stay globally id-sorted because shards are contiguous runs of the
+//!    sorted id space); approximate hits re-sort by `(deviation, id)`.
+//!    The outcome is byte-identical to the sequential path regardless of
+//!    worker count or scheduling.
+//!
+//! ```
+//! use saq_archive::{ArchiveStore, Medium};
+//! use saq_core::query::QuerySpec;
+//! use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
+//! use saq_sequence::generators::{goalpost, GoalpostSpec};
+//!
+//! let mut archive = ArchiveStore::new(Medium::local_disk());
+//! for id in 0..8 {
+//!     archive.put(id, goalpost(GoalpostSpec { seed: id, ..GoalpostSpec::default() }));
+//! }
+//! let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+//! let out = engine
+//!     .run(&archive, &[BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })])
+//!     .unwrap();
+//! assert_eq!(out[0].exact.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod shard;
+
+use cache::{CacheStats, LruCache};
+use parking_lot::Mutex;
+use saq_archive::ArchiveStore;
+use saq_baseline::max_pointwise_distance;
+use saq_core::query::{
+    sort_approximate_matches, ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec,
+    SequenceMatch,
+};
+use saq_core::store::{StoreConfig, StoredEntry};
+use saq_core::{Error, Result};
+use saq_sequence::Sequence;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tuning of the batch executor.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Fixed worker-pool size (≥ 1). One worker degenerates to the
+    /// sequential path over the same code.
+    pub workers: usize,
+    /// Number of shards the id space is split into (≥ 1). More shards than
+    /// workers keeps the pool busy when shard costs are skewed.
+    pub shards: usize,
+    /// Capacity (entries) of the per-sequence feature LRU cache.
+    pub cache_capacity: usize,
+    /// Ingestion parameters (ε, θ) used when representing an archived
+    /// sequence. Raw copies are always retained in cached entries — band
+    /// queries need them — regardless of `store.keep_raw`.
+    pub store: StoreConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 4, shards: 16, cache_capacity: 1024, store: StoreConfig::default() }
+    }
+}
+
+/// One query of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchQuery {
+    /// A generalized approximate feature query (shape, peak count, peak
+    /// interval, steepness), with the store-level semantics of
+    /// [`saq_core::query::evaluate`].
+    Feature(QuerySpec),
+    /// The value-based comparator (Fig. 1): a stored sequence matches
+    /// exactly when every sample lies within the ±δ envelope of `query`,
+    /// and approximately when it lies within ±δ·(1 + `slack`) (deviation =
+    /// distance − δ). Length mismatches never match.
+    ValueBand {
+        /// The envelope's center sequence.
+        query: Sequence,
+        /// Envelope half-width δ (≥ 0).
+        delta: f64,
+        /// Fractional widening for the approximate tier (≥ 0; 0 = exact
+        /// Fig. 1 semantics).
+        slack: f64,
+    },
+}
+
+/// A query compiled for repeated per-sequence evaluation.
+enum Prepared {
+    Feature(PreparedQuery),
+    Band { query: Sequence, delta: f64, slack: f64 },
+}
+
+impl Prepared {
+    fn new(query: &BatchQuery) -> Result<Prepared> {
+        match query {
+            BatchQuery::Feature(spec) => Ok(Prepared::Feature(PreparedQuery::new(spec)?)),
+            BatchQuery::ValueBand { query, delta, slack } => {
+                if !(delta.is_finite() && *delta >= 0.0) {
+                    return Err(Error::BadConfig("band delta must be finite and >= 0".into()));
+                }
+                if !(slack.is_finite() && *slack >= 0.0) {
+                    return Err(Error::BadConfig("band slack must be finite and >= 0".into()));
+                }
+                if query.is_empty() {
+                    return Err(Error::EmptyInput);
+                }
+                Ok(Prepared::Band { query: query.clone(), delta: *delta, slack: *slack })
+            }
+        }
+    }
+
+    fn matches(&self, entry: &StoredEntry) -> Option<SequenceMatch> {
+        match self {
+            Prepared::Feature(prepared) => prepared.matches(entry),
+            Prepared::Band { query, delta, slack } => {
+                let raw = entry.raw.as_ref()?;
+                let distance = max_pointwise_distance(query, raw)?;
+                if distance <= *delta {
+                    Some(SequenceMatch::Exact)
+                } else if distance <= *delta * (1.0 + *slack) {
+                    Some(SequenceMatch::Approximate(distance - *delta))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The sharded parallel batch query engine. Cheap to keep alive: the
+/// feature cache persists across [`QueryEngine::run`] calls, so a warm
+/// engine answers repeated batches without re-touching the archive.
+///
+/// The cache is keyed by **sequence id only** — it cannot see that an id
+/// now names different data. After overwriting an archived sequence
+/// ([`ArchiveStore::put`] replaces silently), or before pointing a warm
+/// engine at a *different* archive with overlapping ids, call
+/// [`QueryEngine::clear_cache`] or results will reflect the stale cached
+/// features.
+#[derive(Debug)]
+pub struct QueryEngine {
+    config: EngineConfig,
+    cache: Mutex<LruCache<Arc<StoredEntry>>>,
+}
+
+impl QueryEngine {
+    /// Builds an engine; fails on a degenerate configuration.
+    pub fn new(config: EngineConfig) -> Result<QueryEngine> {
+        if config.workers == 0 {
+            return Err(Error::BadConfig("engine needs at least one worker".into()));
+        }
+        if config.shards == 0 {
+            return Err(Error::BadConfig("engine needs at least one shard".into()));
+        }
+        if config.cache_capacity == 0 {
+            return Err(Error::BadConfig("feature cache needs capacity >= 1".into()));
+        }
+        // Validate ε/θ the same way the store does.
+        saq_core::store::SequenceStore::new(config.store)?;
+        Ok(QueryEngine { config, cache: Mutex::new(LruCache::new(config.cache_capacity)) })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Counters of the per-sequence feature cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Drops every cached feature entry (counters reset too). Required
+    /// after archived sequences are replaced in place, or when reusing a
+    /// warm engine against a different archive with overlapping ids.
+    pub fn clear_cache(&self) {
+        *self.cache.lock() = LruCache::new(self.config.cache_capacity);
+    }
+
+    /// Runs a batch of queries over every archived sequence using the
+    /// worker pool; returns one outcome per query, in query order.
+    ///
+    /// Results are identical — same hits, same order — to
+    /// [`QueryEngine::run_sequential`] for any worker/shard configuration.
+    pub fn run(&self, archive: &ArchiveStore, queries: &[BatchQuery]) -> Result<Vec<QueryOutcome>> {
+        let prepared: Vec<Prepared> = queries.iter().map(Prepared::new).collect::<Result<_>>()?;
+        let ids = archive.ids();
+        let shards = shard::plan(ids.len(), self.config.shards);
+        if shards.is_empty() || prepared.is_empty() {
+            return Ok(vec![QueryOutcome::default(); queries.len()]);
+        }
+
+        let slots: Vec<Mutex<Option<Vec<QueryOutcome>>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let next_shard = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<Error>> = Mutex::new(None);
+        let workers = self.config.workers.min(shards.len());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if s >= shards.len() || abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match self.eval_shard(archive, &ids[shards[s].clone()], &prepared) {
+                        Ok(partials) => *slots[s].lock() = Some(partials),
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            first_error.lock().get_or_insert(e);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let shard_partials: Vec<Vec<QueryOutcome>> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every shard completed"))
+            .collect();
+        Ok(merge(shard_partials, queries.len()))
+    }
+
+    /// The single-threaded reference path: one pass over the sorted ids, no
+    /// sharding, no cache. The oracle that `run` is property-tested
+    /// against.
+    pub fn run_sequential(
+        &self,
+        archive: &ArchiveStore,
+        queries: &[BatchQuery],
+    ) -> Result<Vec<QueryOutcome>> {
+        let prepared: Vec<Prepared> = queries.iter().map(Prepared::new).collect::<Result<_>>()?;
+        let ids = archive.ids();
+        let partials = self.eval_ids_uncached(archive, &ids, &prepared)?;
+        Ok(merge(vec![partials], queries.len()))
+    }
+
+    /// Evaluates every query against every id of one shard, through the
+    /// feature cache.
+    fn eval_shard(
+        &self,
+        archive: &ArchiveStore,
+        ids: &[u64],
+        prepared: &[Prepared],
+    ) -> Result<Vec<QueryOutcome>> {
+        let mut partials = vec![QueryOutcome::default(); prepared.len()];
+        for &id in ids {
+            let entry = self.entry_for(archive, id)?;
+            record(&entry, id, prepared, &mut partials);
+        }
+        Ok(partials)
+    }
+
+    /// As [`QueryEngine::eval_shard`] but recomputing every entry — the
+    /// sequential oracle must not share state with the path under test.
+    fn eval_ids_uncached(
+        &self,
+        archive: &ArchiveStore,
+        ids: &[u64],
+        prepared: &[Prepared],
+    ) -> Result<Vec<QueryOutcome>> {
+        let mut partials = vec![QueryOutcome::default(); prepared.len()];
+        for &id in ids {
+            let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+            let entry = StoredEntry::compute(seq, &self.ingest_config())?;
+            record(&entry, id, prepared, &mut partials);
+        }
+        Ok(partials)
+    }
+
+    /// The cached fetch → break → represent pipeline for one sequence.
+    fn entry_for(&self, archive: &ArchiveStore, id: u64) -> Result<Arc<StoredEntry>> {
+        if let Some(entry) = self.cache.lock().get(id) {
+            return Ok(entry);
+        }
+        let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+        let entry = Arc::new(StoredEntry::compute(seq, &self.ingest_config())?);
+        self.cache.lock().insert(id, entry.clone());
+        Ok(entry)
+    }
+
+    /// The store config with raw retention forced on (band queries need the
+    /// raw samples).
+    fn ingest_config(&self) -> StoreConfig {
+        StoreConfig { keep_raw: true, ..self.config.store }
+    }
+}
+
+/// Records one entry's verdicts for every query into the per-shard partial
+/// outcomes (hits stay in id order within a shard).
+fn record(entry: &StoredEntry, id: u64, prepared: &[Prepared], partials: &mut [QueryOutcome]) {
+    for (q, prep) in prepared.iter().enumerate() {
+        match prep.matches(entry) {
+            Some(SequenceMatch::Exact) => partials[q].exact.push(id),
+            Some(SequenceMatch::Approximate(deviation)) => {
+                partials[q].approximate.push(ApproximateMatch { id, deviation })
+            }
+            None => {}
+        }
+    }
+}
+
+/// Merges per-shard partial outcomes (in shard order) into final outcomes
+/// with the store-level ordering: exact ids ascending, approximate by
+/// `(deviation, id)`.
+fn merge(shard_partials: Vec<Vec<QueryOutcome>>, queries: usize) -> Vec<QueryOutcome> {
+    let mut out = vec![QueryOutcome::default(); queries];
+    for partials in shard_partials {
+        debug_assert_eq!(partials.len(), queries);
+        for (outcome, partial) in out.iter_mut().zip(partials) {
+            // Shards are contiguous runs of the sorted id space, so plain
+            // concatenation keeps `exact` globally sorted.
+            outcome.exact.extend(partial.exact);
+            outcome.approximate.extend(partial.approximate);
+        }
+    }
+    for outcome in &mut out {
+        debug_assert!(outcome.exact.windows(2).all(|w| w[0] < w[1]));
+        sort_approximate_matches(&mut outcome.approximate);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_archive::Medium;
+    use saq_sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+
+    fn mixed_archive(n: u64) -> ArchiveStore {
+        let mut archive = ArchiveStore::new(Medium::memory());
+        for id in 0..n {
+            let seq = match id % 3 {
+                0 => goalpost(GoalpostSpec { seed: id, noise: 0.1, ..GoalpostSpec::default() }),
+                1 => peaks(PeaksSpec {
+                    centers: vec![5.0, 12.0, 19.0],
+                    seed: id,
+                    noise: 0.1,
+                    ..PeaksSpec::default()
+                }),
+                _ => random_walk(64, 0.0, 0.2, id),
+            };
+            archive.put(id, seq);
+        }
+        archive
+    }
+
+    fn batch() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::Feature(QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() }),
+            BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 1 }),
+            BatchQuery::Feature(QuerySpec::PeakInterval { interval: 7, epsilon: 2 }),
+            BatchQuery::Feature(QuerySpec::HasSteepPeak { steepness: 1.5, slack: 0.3 }),
+            BatchQuery::ValueBand {
+                query: goalpost(GoalpostSpec::default()),
+                delta: 1.0,
+                slack: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn parallel_equals_sequential_across_worker_counts() {
+        let archive = mixed_archive(30);
+        let reference = QueryEngine::new(EngineConfig::default())
+            .unwrap()
+            .run_sequential(&archive, &batch())
+            .unwrap();
+        for workers in [1, 2, 4, 8] {
+            for shards in [1, 3, 16, 64] {
+                let engine =
+                    QueryEngine::new(EngineConfig { workers, shards, ..EngineConfig::default() })
+                        .unwrap();
+                let out = engine.run(&archive, &batch()).unwrap();
+                assert_eq!(out, reference, "workers={workers} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_finds_the_goalposts() {
+        let archive = mixed_archive(30);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let out = engine.run(&archive, &batch()).unwrap();
+        // Ids 0, 3, 6, ... are goalposts: two peaks each.
+        let twos = &out[1];
+        for id in (0..30).step_by(3) {
+            assert!(twos.all_ids().contains(&id), "goalpost {id} missing: {twos:?}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_batches() {
+        let archive = mixed_archive(12);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let first = engine.run(&archive, &batch()).unwrap();
+        let cold = engine.cache_stats();
+        assert_eq!(cold.misses, 12, "one miss per sequence");
+        archive.reset_clock();
+        let second = engine.run(&archive, &batch()).unwrap();
+        let warm = engine.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(warm.misses, cold.misses, "warm run recomputes nothing");
+        assert_eq!(warm.hits, cold.hits + 12);
+        assert_eq!(archive.elapsed_seconds(), 0.0, "warm run never touches the archive");
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        let archive = mixed_archive(20);
+        let engine = QueryEngine::new(EngineConfig {
+            cache_capacity: 2,
+            workers: 4,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let reference = engine.run_sequential(&archive, &batch()).unwrap();
+        assert_eq!(engine.run(&archive, &batch()).unwrap(), reference);
+        assert!(engine.cache_stats().evictions > 0, "capacity 2 must evict");
+    }
+
+    #[test]
+    fn clear_cache_picks_up_replaced_sequences() {
+        let mut archive = ArchiveStore::new(Medium::memory());
+        archive.put(1, goalpost(GoalpostSpec::default()));
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
+        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1]);
+
+        // Replace id 1 with a one-peak sequence: the id-keyed cache cannot
+        // notice, so the warm answer is stale by design…
+        archive.put(1, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }));
+        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1], "stale hit");
+
+        // …until the cache is cleared.
+        engine.clear_cache();
+        assert!(engine.run(&archive, &two_peaks).unwrap()[0].exact.is_empty());
+        assert_eq!(engine.cache_stats().misses, 1, "clear also resets counters");
+    }
+
+    #[test]
+    fn empty_archive_and_empty_batch() {
+        let archive = ArchiveStore::new(Medium::memory());
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let out = engine.run(&archive, &batch()).unwrap();
+        assert_eq!(out.len(), batch().len());
+        assert!(out.iter().all(|o| o.exact.is_empty() && o.approximate.is_empty()));
+        let none = engine.run(&mixed_archive(3), &[]).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        for config in [
+            EngineConfig { workers: 0, ..EngineConfig::default() },
+            EngineConfig { shards: 0, ..EngineConfig::default() },
+            EngineConfig { cache_capacity: 0, ..EngineConfig::default() },
+            EngineConfig {
+                store: StoreConfig { epsilon: f64::NAN, ..StoreConfig::default() },
+                ..EngineConfig::default()
+            },
+        ] {
+            assert!(QueryEngine::new(config).is_err(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn bad_queries_rejected() {
+        let archive = mixed_archive(3);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let bad_pattern = BatchQuery::Feature(QuerySpec::Shape { pattern: "((".into() });
+        assert!(engine.run(&archive, &[bad_pattern]).is_err());
+        let bad_band = BatchQuery::ValueBand {
+            query: goalpost(GoalpostSpec::default()),
+            delta: -1.0,
+            slack: 0.0,
+        };
+        assert!(engine.run(&archive, &[bad_band]).is_err());
+    }
+
+    #[test]
+    fn band_query_value_semantics() {
+        let mut archive = ArchiveStore::new(Medium::memory());
+        let center = goalpost(GoalpostSpec::default());
+        archive.put(1, center.clone());
+        // Same shape, amplitude-shifted beyond δ but within δ·(1+slack).
+        archive.put(2, goalpost(GoalpostSpec { baseline: 98.7, ..GoalpostSpec::default() }));
+        // A different length never matches on values.
+        archive.put(3, random_walk(10, 0.0, 0.1, 9));
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let out = engine
+            .run(&archive, &[BatchQuery::ValueBand { query: center, delta: 0.5, slack: 1.0 }])
+            .unwrap();
+        assert_eq!(out[0].exact, vec![1]);
+        let approx_ids: Vec<u64> = out[0].approximate.iter().map(|m| m.id).collect();
+        assert_eq!(approx_ids, vec![2]);
+        assert!(!out[0].all_ids().contains(&3));
+    }
+}

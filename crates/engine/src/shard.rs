@@ -1,0 +1,82 @@
+//! Shard planning: contiguous, near-equal partitions of the archive's
+//! sorted id space.
+//!
+//! Shards are contiguous runs of the *sorted* id list, so concatenating
+//! per-shard exact hits in shard order yields a globally id-sorted result
+//! with no re-sort — the property the merge step relies on for stable,
+//! scheduling-independent output.
+
+use std::ops::Range;
+
+/// Splits `n` items into at most `shards` contiguous ranges of near-equal
+/// size (sizes differ by at most one, larger chunks first). Empty ranges
+/// are never produced; fewer than `shards` ranges are returned when there
+/// are fewer items than shards.
+pub fn plan(n: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards >= 1, "shard count must be >= 1");
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(n);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(n: usize, shards: usize) -> Vec<usize> {
+        plan(n, shards).iter().map(|r| r.len()).collect()
+    }
+
+    #[test]
+    fn covers_everything_in_order() {
+        for n in [1usize, 2, 7, 16, 100, 257] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let ranges = plan(n, shards);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous from 0");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers [0, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn near_equal_sizes() {
+        assert_eq!(sizes(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(sizes(9, 3), vec![3, 3, 3]);
+        assert_eq!(sizes(5, 8), vec![1, 1, 1, 1, 1], "never more shards than items");
+        for n in [11usize, 64, 99] {
+            for shards in [2usize, 5, 7] {
+                let s = sizes(n, shards);
+                let (min, max) = (s.iter().min().unwrap(), s.iter().max().unwrap());
+                assert!(max - min <= 1, "{n}/{shards}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        assert!(plan(0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let _ = plan(10, 0);
+    }
+}

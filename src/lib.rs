@@ -20,6 +20,7 @@
 //! | [`ecg`] | `saq-ecg` | ECG synthesis and R–R interval workloads |
 //! | [`baseline`] | `saq-baseline` | value-band and DFT/F-index comparators |
 //! | [`archive`] | `saq-archive` | simulated archival storage tiers |
+//! | [`engine`] | `saq-engine` | sharded parallel batch queries over the archive |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use saq_baseline as baseline;
 pub use saq_core as core;
 pub use saq_curves as curves;
 pub use saq_ecg as ecg;
+pub use saq_engine as engine;
 pub use saq_index as index;
 pub use saq_pattern as pattern;
 pub use saq_preprocess as preprocess;

@@ -1,0 +1,153 @@
+//! Equivalence of the sharded parallel batch engine with the sequential
+//! query paths: for every query type, `saq-engine` with multiple workers
+//! must return byte-identical result sets (same hits, same order) as both
+//! its own single-pass sequential oracle and the store-level
+//! `saq::core::query::evaluate`.
+
+use proptest::prelude::*;
+use saq::archive::{ArchiveStore, Medium};
+use saq::core::query::{evaluate, QuerySpec};
+use saq::core::store::{SequenceStore, StoreConfig};
+use saq::engine::{BatchQuery, EngineConfig, QueryEngine};
+use saq::sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+use saq::sequence::Sequence;
+
+/// Builds the same corpus into a representation store (ids assigned by the
+/// store) and a raw archive (same ids), so both query paths see identical
+/// id → sequence mappings.
+fn ingest(corpus: &[Sequence]) -> (SequenceStore, ArchiveStore) {
+    let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+    let mut archive = ArchiveStore::new(Medium::memory());
+    for seq in corpus {
+        let id = store.insert(seq).unwrap();
+        archive.put(id, seq.clone());
+    }
+    (store, archive)
+}
+
+fn mixed_sequence(kind: u64, seed: u64) -> Sequence {
+    match kind % 4 {
+        0 => goalpost(GoalpostSpec { seed, noise: 0.15, ..GoalpostSpec::default() }),
+        1 => peaks(PeaksSpec {
+            centers: vec![4.0, 11.0, 19.0],
+            seed,
+            noise: 0.1,
+            ..PeaksSpec::default()
+        }),
+        2 => peaks(PeaksSpec { centers: vec![12.0], seed, noise: 0.2, ..PeaksSpec::default() }),
+        _ => random_walk(49, 0.0, 0.3, seed),
+    }
+}
+
+fn feature_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
+        QuerySpec::PeakCount { count: 2, tolerance: 1 },
+        QuerySpec::PeakInterval { interval: 7, epsilon: 2 },
+        QuerySpec::MinPeakSteepness { steepness: 1.0, slack: 0.4 },
+        QuerySpec::HasSteepPeak { steepness: 1.5, slack: 0.2 },
+    ]
+}
+
+/// The acceptance gate: a ≥200-sequence archive, every query type, four
+/// workers — identical hits in identical order on every path.
+#[test]
+fn four_workers_match_sequential_paths_on_200_sequences() {
+    let corpus: Vec<Sequence> = (0..200).map(|i| mixed_sequence(i, 1000 + i)).collect();
+    let (store, archive) = ingest(&corpus);
+
+    let engine =
+        QueryEngine::new(EngineConfig { workers: 4, shards: 16, ..EngineConfig::default() })
+            .unwrap();
+    let mut batch: Vec<BatchQuery> =
+        feature_queries().into_iter().map(BatchQuery::Feature).collect();
+    batch.push(BatchQuery::ValueBand {
+        query: goalpost(GoalpostSpec::default()),
+        delta: 1.0,
+        slack: 1.0,
+    });
+
+    let parallel = engine.run(&archive, &batch).unwrap();
+    let sequential = engine.run_sequential(&archive, &batch).unwrap();
+    assert_eq!(parallel, sequential, "parallel vs sequential oracle");
+
+    // Feature queries also agree with the store-level (index-assisted)
+    // evaluator, hit for hit and byte for byte.
+    for (spec, outcome) in feature_queries().iter().zip(&parallel) {
+        let store_outcome = evaluate(&store, spec).unwrap();
+        assert_eq!(outcome, &store_outcome, "engine vs store for {spec:?}");
+    }
+
+    // Sanity: the corpus is a quarter goalposts; the shape query finds a
+    // healthy share of them.
+    assert!(parallel[0].exact.len() >= 20, "only {} goalposts", parallel[0].exact.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized corpora and query parameters: the engine agrees with the
+    /// store evaluator for every feature query type.
+    #[test]
+    fn engine_matches_store_evaluator(
+        seeds in prop::collection::vec((0u64..4, 0u64..10_000), 10..40),
+        count in 0usize..4,
+        tolerance in 0usize..3,
+        interval in 3i64..15,
+        epsilon in 0i64..3,
+        workers in 1usize..6,
+        shards in 1usize..24,
+    ) {
+        let corpus: Vec<Sequence> =
+            seeds.iter().map(|&(kind, seed)| mixed_sequence(kind, seed)).collect();
+        let (store, archive) = ingest(&corpus);
+        let engine = QueryEngine::new(EngineConfig {
+            workers,
+            shards,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let specs = [
+            QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
+            QuerySpec::PeakCount { count, tolerance },
+            QuerySpec::PeakInterval { interval, epsilon },
+            QuerySpec::MinPeakSteepness { steepness: 1.0, slack: 0.3 },
+            QuerySpec::HasSteepPeak { steepness: 1.2, slack: 0.3 },
+        ];
+        let batch: Vec<BatchQuery> = specs.iter().cloned().map(BatchQuery::Feature).collect();
+        let outcomes = engine.run(&archive, &batch).unwrap();
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            prop_assert_eq!(outcome, &evaluate(&store, spec).unwrap(), "{:?}", spec);
+        }
+    }
+
+    /// Value-band batches: parallel result identical to the sequential
+    /// oracle for any worker/shard split and band parameters.
+    #[test]
+    fn band_queries_parallel_equals_sequential(
+        seeds in prop::collection::vec((0u64..4, 0u64..10_000), 5..30),
+        delta in 0.0f64..3.0,
+        slack in 0.0f64..2.0,
+        workers in 1usize..6,
+        shards in 1usize..24,
+    ) {
+        let corpus: Vec<Sequence> =
+            seeds.iter().map(|&(kind, seed)| mixed_sequence(kind, seed)).collect();
+        let (_, archive) = ingest(&corpus);
+        let engine = QueryEngine::new(EngineConfig {
+            workers,
+            shards,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let batch = vec![BatchQuery::ValueBand {
+            query: goalpost(GoalpostSpec::default()),
+            delta,
+            slack,
+        }];
+        prop_assert_eq!(
+            engine.run(&archive, &batch).unwrap(),
+            engine.run_sequential(&archive, &batch).unwrap()
+        );
+    }
+}

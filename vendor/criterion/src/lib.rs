@@ -15,14 +15,9 @@ use std::time::{Duration, Instant};
 const MEASURE_BUDGET: Duration = Duration::from_millis(40);
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

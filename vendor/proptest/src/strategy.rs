@@ -303,6 +303,7 @@ mod tests {
     fn recursive_strategy_terminates_and_varies_depth() {
         #[derive(Debug, Clone)]
         enum Tree {
+            #[allow(dead_code)] // the payload exercises Clone/Debug through the strategy
             Leaf(u8),
             Node(Box<Tree>, Box<Tree>),
         }

@@ -147,7 +147,7 @@ mod tests {
         let mut n = 0u32;
         run_cases(&ProptestConfig::with_cases(8), "flaky_assume", |_rng| {
             n += 1;
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 Err(TestCaseError::Reject("every other"))
             } else {
                 Ok(())
