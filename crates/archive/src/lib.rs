@@ -16,8 +16,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod medium;
 mod store;
 
+pub use engine::ArchiveScanEngine;
 pub use medium::{AccessCost, Medium};
 pub use store::{ArchiveStore, TieredStore};

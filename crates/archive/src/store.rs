@@ -22,7 +22,14 @@ pub struct ArchiveStore {
     /// Real seconds slept per simulated second on each fetch (0 = never
     /// sleep). See [`ArchiveStore::set_realtime_scale`].
     realtime_scale: f64,
+    /// Process-unique identity of this archive instance.
+    instance: u64,
+    /// Bumped on every content mutation; see [`ArchiveStore::generation`].
+    generation: u64,
 }
+
+/// Source of process-unique [`ArchiveStore::instance_id`]s.
+static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl ArchiveStore {
     /// An empty archive on the given medium.
@@ -32,7 +39,25 @@ impl ArchiveStore {
             sequences: HashMap::new(),
             elapsed: Mutex::new(0.0),
             realtime_scale: 0.0,
+            instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            generation: 0,
         }
+    }
+
+    /// A process-unique identifier of this archive instance. Together with
+    /// [`ArchiveStore::generation`] it forms a staleness stamp: caches
+    /// keyed by sequence id (like the batch engine's feature cache) store
+    /// the `(instance_id, generation)` pair they were filled under and
+    /// self-invalidate when either part changes.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    /// A counter bumped by every content mutation ([`ArchiveStore::put`],
+    /// and conservatively [`TieredStore::archive_mut`]). Equal generation
+    /// ⇒ unchanged content, so derived per-sequence state is still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Makes fetches *really* block for `scale` wall-clock seconds per
@@ -52,8 +77,10 @@ impl ArchiveStore {
     }
 
     /// Archives a raw sequence (writing is done off the query path and not
-    /// accounted).
+    /// accounted). Replaces silently; the generation counter records that
+    /// the id space changed so id-keyed caches can self-invalidate.
     pub fn put(&mut self, id: u64, seq: Sequence) {
+        self.generation += 1;
         self.sequences.insert(id, seq);
     }
 
@@ -149,8 +176,11 @@ impl TieredStore {
     }
 
     /// Mutable access to the raw archive (e.g. to configure realtime
-    /// latency emulation before a batch run).
+    /// latency emulation before a batch run). Conservatively bumps the
+    /// archive's generation — the borrow allows arbitrary mutation, so
+    /// id-keyed caches must assume content may have changed.
     pub fn archive_mut(&mut self) -> &mut ArchiveStore {
+        self.archive.generation += 1;
         &mut self.archive
     }
 
@@ -286,6 +316,29 @@ mod tests {
     #[should_panic(expected = "realtime scale")]
     fn negative_realtime_scale_rejected() {
         ArchiveStore::new(Medium::memory()).set_realtime_scale(-1.0);
+    }
+
+    #[test]
+    fn generation_tracks_mutations_and_instances_differ() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        let b = ArchiveStore::new(Medium::memory());
+        assert_ne!(a.instance_id(), b.instance_id());
+        assert_eq!(a.generation(), 0);
+        a.put(1, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.generation(), 1);
+        a.put(1, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.generation(), 2, "replacement counts as a mutation");
+        // Reads don't bump.
+        let _ = a.fetch(1);
+        let _ = a.get(1);
+        let _ = a.ids();
+        assert_eq!(a.generation(), 2);
+
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::memory()).unwrap();
+        let g = t.archive().generation();
+        let _ = t.archive_mut();
+        assert_eq!(t.archive().generation(), g + 1, "archive_mut is a conservative mutation");
     }
 
     #[test]

@@ -9,11 +9,10 @@ use saq_sequence::Sequence;
 ///
 /// Returns `None` when lengths differ (value-based matching is undefined
 /// then — precisely the weakness §2 exposes for dilated sequences).
+/// Delegates to [`Sequence::linf_distance`], the shared definition also
+/// used by the query algebra's `ValueBand` leaf.
 pub fn max_pointwise_distance(a: &Sequence, b: &Sequence) -> Option<f64> {
-    if a.len() != b.len() {
-        return None;
-    }
-    Some(a.points().iter().zip(b.points()).map(|(p, q)| (p.v - q.v).abs()).fold(0.0, f64::max))
+    a.linf_distance(b)
 }
 
 /// Euclidean (L2) distance between two equally long sequences.

@@ -1,0 +1,1468 @@
+//! A composable query algebra over sequence representations, with a
+//! planner that pushes indexable leaves into the `saq-index` structures.
+//!
+//! The paper's generalized approximate queries ([`QuerySpec`]) each name a
+//! single feature dimension. Real workloads compose them: *"goal-post
+//! shaped **and** inter-peak interval 8 ± 2, but **not** in the January
+//! batch, give me the 10 closest"*. This module turns the closed
+//! [`QuerySpec`] enum into leaves of an expression tree:
+//!
+//! * [`QueryExpr`] — the algebra: [`Pred`] leaves (feature specs, value
+//!   bands, id ranges) combined with `And` / `Or` / `Not` / `Limit` /
+//!   `TopK`.
+//! * [`Planner`] — normalizes an expression, chooses an [`AccessPath`] per
+//!   leaf (pattern index, inverted interval file, id filter, or scan) and
+//!   emits a [`PhysicalPlan`].
+//! * [`execute_plan`] — the one executor shared by every engine; data
+//!   access is abstracted behind [`LeafSource`], so the sequential store
+//!   engine, the sequential archive engine, and the sharded batch engine
+//!   all produce **id-identical** outcomes by construction.
+//! * [`QueryEngine`] — the trait the engines implement;
+//!   [`QueryEngine::evaluate`] keeps the old one-spec-at-a-time API alive
+//!   by lowering to a single-leaf expression.
+//!
+//! ## Semantics
+//!
+//! Every subexpression evaluates to a [`MatchSet`]: per sequence id, a
+//! [`MatchTier`] holding a deviation and an exact/approximate flag.
+//! Combination follows §2.2's per-dimension metrics (and the conjunctive
+//! query language of [`crate::lang`]):
+//!
+//! * `And` — a sequence matches iff it matches every operand; deviations
+//!   **add** across dimensions, and the result is exact iff every operand
+//!   is exact.
+//! * `Or` — a sequence matches iff it matches any operand; an exact match
+//!   in any operand wins, otherwise the **smallest** deviation is kept.
+//! * `Not` — exactly the sequences (of the candidate universe) that do
+//!   not match the operand at all; approximate matches of the operand
+//!   count as matches, so they are excluded too.
+//! * `Limit(n)` — the first `n` results in canonical result order (exact
+//!   ids ascending, then approximate by `(deviation, id)`).
+//! * `TopK(k)` — the `k` results with the smallest deviations (exact
+//!   matches rank as deviation 0).
+//!
+//! `Limit` and `TopK` are **pipeline breakers**: their operand is always
+//! evaluated against the full universe (never against an enclosing
+//! conjunction's narrowed candidates), so their meaning is independent of
+//! the access paths the planner picks.
+//!
+//! ## Example
+//!
+//! ```
+//! use saq_core::algebra::{QueryEngine, QueryExpr, StoreEngine};
+//! use saq_core::store::{SequenceStore, StoreConfig};
+//! use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+//!
+//! let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+//! let fever = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
+//! let single = store
+//!     .insert(&peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }))
+//!     .unwrap();
+//!
+//! // Goal-post shape AND an inter-peak interval near 10 hours.
+//! let expr = QueryExpr::shape("0* 1+ (-1)+ 0* 1+ (-1)+ 0*")
+//!     .and(QueryExpr::peak_interval(10, 2));
+//! let (outcome, stats) = StoreEngine::new(&store).execute_with_stats(&expr).unwrap();
+//! assert_eq!(outcome.exact, vec![fever]);
+//! assert!(!outcome.all_ids().contains(&single));
+//! // Both leaves were served by indexes: no stored entry was scanned.
+//! assert_eq!(stats.entries_scanned, 0);
+//! ```
+
+use crate::error::{Error, Result};
+use crate::query::{
+    sort_approximate_matches, ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec,
+    SequenceMatch,
+};
+use crate::store::{SequenceStore, StoredEntry};
+use saq_sequence::Sequence;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Predicates (leaves)
+// ---------------------------------------------------------------------------
+
+/// A leaf predicate of the algebra: one per-sequence test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// A generalized approximate feature query (shape, peak count, peak
+    /// interval, steepness) with the semantics of
+    /// [`crate::query::PreparedQuery::matches`].
+    Feature(QuerySpec),
+    /// The value-based comparator (the paper's Fig. 1): a stored sequence
+    /// matches exactly when every sample lies within the ±`delta` envelope
+    /// of `query`, and approximately when it lies within
+    /// ±`delta`·(1 + `slack`); the deviation is `distance − delta`. Length
+    /// mismatches never match, and neither do entries whose raw samples
+    /// were not retained (`keep_raw: false`).
+    ValueBand {
+        /// The envelope's center sequence.
+        query: Sequence,
+        /// Envelope half-width δ (finite, ≥ 0).
+        delta: f64,
+        /// Fractional widening of the approximate tier (finite, ≥ 0).
+        slack: f64,
+    },
+    /// An inclusive id range `lo..=hi` — the provenance/partition leaf.
+    /// Never touches a stored entry, so it is always index-grade.
+    IdRange {
+        /// Smallest matching id.
+        lo: u64,
+        /// Largest matching id.
+        hi: u64,
+    },
+}
+
+/// A [`Pred`] validated and compiled for repeated per-sequence evaluation
+/// (shape patterns are parsed and compiled to a DFA once).
+#[derive(Debug, Clone)]
+pub struct PreparedPred {
+    pred: Pred,
+    feature: Option<PreparedQuery>,
+    /// Shape leaves only: the pattern parsed once, compiled once. The
+    /// regex drives the pattern index's pruned full scan, the DFA both
+    /// the index's candidate-restricted path and the scan path.
+    shape: Option<(saq_pattern::Regex, saq_pattern::Dfa)>,
+}
+
+impl PreparedPred {
+    /// Validates and compiles a predicate. Fails on unparsable patterns,
+    /// non-finite or negative band parameters, empty band queries, and
+    /// inverted id ranges.
+    pub fn new(pred: &Pred) -> Result<PreparedPred> {
+        let (feature, shape) = match pred {
+            Pred::Feature(QuerySpec::Shape { pattern }) => {
+                let regex = crate::alphabet::parse_slope_pattern(pattern)?;
+                let dfa = regex.compile();
+                (None, Some((regex, dfa)))
+            }
+            Pred::Feature(spec) => (Some(PreparedQuery::new(spec)?), None),
+            Pred::ValueBand { query, delta, slack } => {
+                if !(delta.is_finite() && *delta >= 0.0) {
+                    return Err(Error::BadConfig("band delta must be finite and >= 0".into()));
+                }
+                if !(slack.is_finite() && *slack >= 0.0) {
+                    return Err(Error::BadConfig("band slack must be finite and >= 0".into()));
+                }
+                if query.is_empty() {
+                    return Err(Error::EmptyInput);
+                }
+                (None, None)
+            }
+            Pred::IdRange { lo, hi } => {
+                if lo > hi {
+                    return Err(Error::BadConfig(format!("inverted id range {lo}..={hi}")));
+                }
+                (None, None)
+            }
+        };
+        Ok(PreparedPred { pred: pred.clone(), feature, shape })
+    }
+
+    /// The underlying predicate.
+    pub fn pred(&self) -> &Pred {
+        &self.pred
+    }
+
+    /// Whether evaluating this predicate requires the stored entry
+    /// (`false` for [`Pred::IdRange`], which tests the id alone).
+    pub fn needs_entry(&self) -> bool {
+        !matches!(self.pred, Pred::IdRange { .. })
+    }
+
+    /// Evaluates one sequence. `entry` may be `None` only when
+    /// [`PreparedPred::needs_entry`] is false.
+    ///
+    /// # Panics
+    /// Panics if the predicate needs an entry and none is supplied.
+    pub fn matches(&self, id: u64, entry: Option<&StoredEntry>) -> Option<SequenceMatch> {
+        match &self.pred {
+            Pred::Feature(QuerySpec::Shape { .. }) => {
+                let entry = entry.expect("shape predicate needs a stored entry");
+                let (_, dfa) = self.shape.as_ref().expect("prepared shape leaf holds a DFA");
+                dfa.is_match(&entry.symbols).then_some(SequenceMatch::Exact)
+            }
+            Pred::Feature(_) => {
+                let entry = entry.expect("feature predicate needs a stored entry");
+                self.feature.as_ref().expect("prepared feature query").matches(entry)
+            }
+            Pred::ValueBand { query, delta, slack } => {
+                let entry = entry.expect("band predicate needs a stored entry");
+                let raw = entry.raw.as_ref()?;
+                let distance = query.linf_distance(raw)?;
+                if distance <= *delta {
+                    Some(SequenceMatch::Exact)
+                } else if distance <= *delta * (1.0 + *slack) {
+                    Some(SequenceMatch::Approximate(distance - *delta))
+                } else {
+                    None
+                }
+            }
+            Pred::IdRange { lo, hi } => (*lo..=*hi).contains(&id).then_some(SequenceMatch::Exact),
+        }
+    }
+
+    /// The compiled slope-pattern regex of a shape leaf, if any.
+    fn regex(&self) -> Option<&saq_pattern::Regex> {
+        self.shape.as_ref().map(|(regex, _)| regex)
+    }
+
+    /// The compiled DFA of a shape leaf, if any.
+    fn dfa(&self) -> Option<&saq_pattern::Dfa> {
+        self.shape.as_ref().map(|(_, dfa)| dfa)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The algebra
+// ---------------------------------------------------------------------------
+
+/// A composable query expression: [`Pred`] leaves under `And` / `Or` /
+/// `Not` / `Limit` / `TopK` nodes. Build leaves with the constructors
+/// ([`QueryExpr::shape`], [`QueryExpr::peak_count`], …) and combine them
+/// with the chaining methods:
+///
+/// ```
+/// use saq_core::algebra::QueryExpr;
+///
+/// let expr = QueryExpr::peak_count(2, 1)
+///     .and(QueryExpr::peak_interval(8, 2))
+///     .and(QueryExpr::id_range(0, 999).negate())
+///     .top_k(10);
+/// assert_eq!(format!("{expr:?}").is_empty(), false);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// A leaf predicate.
+    Leaf(Pred),
+    /// Conjunction: all operands must match; deviations add.
+    And(Vec<QueryExpr>),
+    /// Disjunction: any operand may match; the best tier wins.
+    Or(Vec<QueryExpr>),
+    /// Complement within the candidate universe.
+    Not(Box<QueryExpr>),
+    /// First `n` results in canonical result order.
+    Limit(Box<QueryExpr>, usize),
+    /// `k` results with the smallest deviations (exact = 0).
+    TopK(Box<QueryExpr>, usize),
+}
+
+impl QueryExpr {
+    /// A feature-query leaf.
+    pub fn feature(spec: QuerySpec) -> QueryExpr {
+        QueryExpr::Leaf(Pred::Feature(spec))
+    }
+
+    /// A shape leaf: the whole slope string must match `pattern` (either
+    /// `u/d/f` or the paper's `1/-1/0` notation).
+    pub fn shape(pattern: impl Into<String>) -> QueryExpr {
+        QueryExpr::feature(QuerySpec::Shape { pattern: pattern.into() })
+    }
+
+    /// A peak-count leaf (`count` peaks ± `tolerance`).
+    pub fn peak_count(count: usize, tolerance: usize) -> QueryExpr {
+        QueryExpr::feature(QuerySpec::PeakCount { count, tolerance })
+    }
+
+    /// An inter-peak-interval leaf (`interval` ± `epsilon`).
+    pub fn peak_interval(interval: i64, epsilon: i64) -> QueryExpr {
+        QueryExpr::feature(QuerySpec::PeakInterval { interval, epsilon })
+    }
+
+    /// A universal steepness leaf: every peak's flanks at least this steep.
+    pub fn min_steepness(steepness: f64, slack: f64) -> QueryExpr {
+        QueryExpr::feature(QuerySpec::MinPeakSteepness { steepness, slack })
+    }
+
+    /// An existential steepness leaf: some peak's flanks at least this steep.
+    pub fn has_steep_peak(steepness: f64, slack: f64) -> QueryExpr {
+        QueryExpr::feature(QuerySpec::HasSteepPeak { steepness, slack })
+    }
+
+    /// A value-band leaf (Fig. 1 semantics with an approximate tier).
+    pub fn value_band(query: Sequence, delta: f64, slack: f64) -> QueryExpr {
+        QueryExpr::Leaf(Pred::ValueBand { query, delta, slack })
+    }
+
+    /// An inclusive id-range leaf.
+    pub fn id_range(lo: u64, hi: u64) -> QueryExpr {
+        QueryExpr::Leaf(Pred::IdRange { lo, hi })
+    }
+
+    /// Conjunction with another expression.
+    pub fn and(self, other: QueryExpr) -> QueryExpr {
+        match self {
+            QueryExpr::And(mut children) => {
+                children.push(other);
+                QueryExpr::And(children)
+            }
+            first => QueryExpr::And(vec![first, other]),
+        }
+    }
+
+    /// Disjunction with another expression.
+    pub fn or(self, other: QueryExpr) -> QueryExpr {
+        match self {
+            QueryExpr::Or(mut children) => {
+                children.push(other);
+                QueryExpr::Or(children)
+            }
+            first => QueryExpr::Or(vec![first, other]),
+        }
+    }
+
+    /// Complement of this expression (also available as `!expr`).
+    pub fn negate(self) -> QueryExpr {
+        QueryExpr::Not(Box::new(self))
+    }
+
+    /// Keeps the first `n` results in canonical result order.
+    pub fn limit(self, n: usize) -> QueryExpr {
+        QueryExpr::Limit(Box::new(self), n)
+    }
+
+    /// Keeps the `k` results with the smallest deviations.
+    pub fn top_k(self, k: usize) -> QueryExpr {
+        QueryExpr::TopK(Box::new(self), k)
+    }
+}
+
+impl std::ops::Not for QueryExpr {
+    type Output = QueryExpr;
+
+    fn not(self) -> QueryExpr {
+        self.negate()
+    }
+}
+
+impl From<QuerySpec> for QueryExpr {
+    /// Lowers a classic one-spec query to a single-leaf expression.
+    fn from(spec: QuerySpec) -> QueryExpr {
+        QueryExpr::feature(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Match sets (the evaluation domain)
+// ---------------------------------------------------------------------------
+
+/// How one sequence matched a subexpression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchTier {
+    /// Accumulated deviation across feature dimensions (0 for exact).
+    pub deviation: f64,
+    /// Whether any contributing dimension was approximate.
+    pub approximate: bool,
+}
+
+impl MatchTier {
+    /// The exact tier (deviation 0).
+    pub fn exact() -> MatchTier {
+        MatchTier { deviation: 0.0, approximate: false }
+    }
+
+    /// Converts a per-sequence verdict.
+    pub fn from_match(m: SequenceMatch) -> MatchTier {
+        match m {
+            SequenceMatch::Exact => MatchTier::exact(),
+            SequenceMatch::Approximate(deviation) => MatchTier { deviation, approximate: true },
+        }
+    }
+}
+
+/// The value of a subexpression: matched ids with their tiers, id-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatchSet {
+    map: BTreeMap<u64, MatchTier>,
+}
+
+impl MatchSet {
+    /// The empty set.
+    pub fn new() -> MatchSet {
+        MatchSet::default()
+    }
+
+    /// A set of exact matches.
+    pub fn from_exact(ids: impl IntoIterator<Item = u64>) -> MatchSet {
+        MatchSet { map: ids.into_iter().map(|id| (id, MatchTier::exact())).collect() }
+    }
+
+    /// Adds (or replaces) one id's tier.
+    pub fn insert(&mut self, id: u64, tier: MatchTier) {
+        self.map.insert(id, tier);
+    }
+
+    /// Number of matched ids.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The tier of one id, if it matched.
+    pub fn get(&self, id: u64) -> Option<MatchTier> {
+        self.map.get(&id).copied()
+    }
+
+    /// Matched ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Conjunction: ids present in both; deviations add, approximate if
+    /// either side is.
+    pub fn and(self, other: &MatchSet) -> MatchSet {
+        let map = self
+            .map
+            .into_iter()
+            .filter_map(|(id, a)| {
+                other.map.get(&id).map(|b| {
+                    (
+                        id,
+                        MatchTier {
+                            deviation: a.deviation + b.deviation,
+                            approximate: a.approximate || b.approximate,
+                        },
+                    )
+                })
+            })
+            .collect();
+        MatchSet { map }
+    }
+
+    /// Disjunction: union of ids; an exact tier wins, otherwise the
+    /// smaller deviation.
+    pub fn or(mut self, other: MatchSet) -> MatchSet {
+        for (id, b) in other.map {
+            match self.map.entry(id) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(b);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let a = *e.get();
+                    let best = if !a.approximate || !b.approximate {
+                        MatchTier::exact()
+                    } else {
+                        MatchTier { deviation: a.deviation.min(b.deviation), approximate: true }
+                    };
+                    e.insert(best);
+                }
+            }
+        }
+        self
+    }
+
+    /// Complement: ids of `base` (sorted) absent from `self`, all exact.
+    pub fn complement_within(&self, base: &[u64]) -> MatchSet {
+        MatchSet::from_exact(base.iter().copied().filter(|id| !self.map.contains_key(id)))
+    }
+
+    /// Keeps only ids present in the sorted candidate list.
+    pub fn restrict(mut self, candidates: &[u64]) -> MatchSet {
+        self.map.retain(|id, _| candidates.binary_search(id).is_ok());
+        self
+    }
+
+    /// The first `n` results in canonical order (exact ids ascending, then
+    /// approximate by `(deviation, id)`).
+    pub fn truncate_first(self, n: usize) -> MatchSet {
+        let (exact, approx) = self.split_tiers();
+        MatchSet { map: exact.into_iter().chain(approx).take(n).collect() }
+    }
+
+    /// The `k` entries with the smallest deviations; exact matches rank as
+    /// deviation 0 and win ties, then smaller ids.
+    pub fn truncate_top_k(self, k: usize) -> MatchSet {
+        let mut all: Vec<(u64, MatchTier)> = self.map.into_iter().collect();
+        all.sort_by(|a, b| {
+            a.1.deviation
+                .partial_cmp(&b.1.deviation)
+                .expect("finite deviations")
+                .then(a.1.approximate.cmp(&b.1.approximate))
+                .then(a.0.cmp(&b.0))
+        });
+        MatchSet { map: all.into_iter().take(k).collect() }
+    }
+
+    /// Converts to the classic outcome: exact ids ascending, approximate
+    /// matches by `(deviation, id)`.
+    pub fn into_outcome(self) -> QueryOutcome {
+        let (exact, approx) = self.split_tiers();
+        let mut approximate: Vec<ApproximateMatch> = approx
+            .into_iter()
+            .map(|(id, tier)| ApproximateMatch { id, deviation: tier.deviation })
+            .collect();
+        sort_approximate_matches(&mut approximate);
+        QueryOutcome { exact: exact.into_iter().map(|(id, _)| id).collect(), approximate }
+    }
+
+    /// Splits into (exact, approximate) lists — exact in id order,
+    /// approximate sorted by `(deviation, id)`.
+    #[allow(clippy::type_complexity)]
+    fn split_tiers(self) -> (Vec<(u64, MatchTier)>, Vec<(u64, MatchTier)>) {
+        let (approx, exact): (Vec<_>, Vec<_>) =
+            self.map.into_iter().partition(|(_, tier)| tier.approximate);
+        let mut approx = approx;
+        approx.sort_by(|a, b| {
+            a.1.deviation
+                .partial_cmp(&b.1.deviation)
+                .expect("finite deviations")
+                .then(a.0.cmp(&b.0))
+        });
+        (exact, approx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// Which index structures an execution backend can serve leaves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexCaps {
+    /// The slope-pattern index (§4.4) is available for shape leaves.
+    pub pattern: bool,
+    /// The inverted interval file (Fig. 10) is available for
+    /// peak-interval leaves.
+    pub interval: bool,
+}
+
+impl IndexCaps {
+    /// Every index available (the [`SequenceStore`] backends).
+    pub fn all() -> IndexCaps {
+        IndexCaps { pattern: true, interval: true }
+    }
+
+    /// No indexes (raw-archive backends): every entry leaf scans.
+    pub fn none() -> IndexCaps {
+        IndexCaps { pattern: false, interval: false }
+    }
+}
+
+/// The access path the planner chose for one leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Serve a shape leaf from the slope-pattern index.
+    PatternIndex,
+    /// Serve a peak-interval leaf from the inverted interval file
+    /// (B+tree range lookup; no entry is touched).
+    IntervalIndex,
+    /// Serve an id-range leaf by id arithmetic alone.
+    IdFilter,
+    /// Evaluate the predicate against every candidate entry.
+    Scan,
+}
+
+impl AccessPath {
+    fn label(self) -> &'static str {
+        match self {
+            AccessPath::PatternIndex => "pattern-index",
+            AccessPath::IntervalIndex => "interval-index",
+            AccessPath::IdFilter => "id-filter",
+            AccessPath::Scan => "scan",
+        }
+    }
+}
+
+/// One node of a [`PhysicalPlan`], mirroring the normalized expression.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// A leaf with its chosen access path. `ix` numbers leaves
+    /// left-to-right across the whole plan.
+    Leaf {
+        /// Position of this leaf in [`PhysicalPlan::leaves`] order.
+        ix: usize,
+        /// The compiled predicate.
+        pred: PreparedPred,
+        /// The chosen access path.
+        path: AccessPath,
+    },
+    /// Conjunction. `children` keeps the normalized operand order (which
+    /// fixes how deviations accumulate); `exec_order` is the planner's
+    /// evaluation order — index-served leaves first so later operands
+    /// evaluate over narrowed candidates.
+    And {
+        /// Operands in normalized order.
+        children: Vec<PlanNode>,
+        /// Indices into `children` in evaluation order.
+        exec_order: Vec<usize>,
+    },
+    /// Disjunction (operands evaluate independently).
+    Or(Vec<PlanNode>),
+    /// Complement within the enclosing candidate universe.
+    Not(Box<PlanNode>),
+    /// Canonical-order truncation (pipeline breaker).
+    Limit(Box<PlanNode>, usize),
+    /// Deviation-ranked truncation (pipeline breaker).
+    TopK(Box<PlanNode>, usize),
+}
+
+/// An executable plan: the normalized expression with per-leaf access
+/// paths, conjunction evaluation order, and an optional id-bounds hint.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    root: PlanNode,
+    leaf_count: usize,
+    id_bounds: Option<(u64, u64)>,
+}
+
+impl PhysicalPlan {
+    /// The root node.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// Number of leaves (leaf `ix` ranges over `0..leaf_count`).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// If `Some((lo, hi))`, every leaf may be evaluated over just the ids
+    /// in `lo..=hi` without changing the outcome (derived from root-level
+    /// conjunctive [`Pred::IdRange`] leaves; only emitted for plans free
+    /// of `Limit`/`TopK`, whose operands must see the full universe).
+    /// `lo > hi` means the result is provably empty.
+    pub fn id_bounds(&self) -> Option<(u64, u64)> {
+        self.id_bounds
+    }
+
+    /// The leaves in `ix` order.
+    pub fn leaves(&self) -> Vec<&PlanNode> {
+        fn collect<'p>(node: &'p PlanNode, out: &mut Vec<&'p PlanNode>) {
+            match node {
+                PlanNode::Leaf { .. } => out.push(node),
+                PlanNode::And { children, .. } | PlanNode::Or(children) => {
+                    children.iter().for_each(|c| collect(c, out));
+                }
+                PlanNode::Not(c) | PlanNode::Limit(c, _) | PlanNode::TopK(c, _) => {
+                    collect(c, out);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.leaf_count);
+        collect(&self.root, &mut out);
+        out.sort_by_key(|n| match n {
+            PlanNode::Leaf { ix, .. } => *ix,
+            _ => unreachable!("collect only gathers leaves"),
+        });
+        out
+    }
+
+    /// A human-readable rendering of the plan tree.
+    pub fn explain(&self) -> String {
+        fn describe(pred: &Pred) -> String {
+            match pred {
+                Pred::Feature(spec) => format!("{spec:?}"),
+                Pred::ValueBand { delta, slack, .. } => {
+                    format!("ValueBand {{ delta: {delta}, slack: {slack} }}")
+                }
+                Pred::IdRange { lo, hi } => format!("IdRange {lo}..={hi}"),
+            }
+        }
+        fn go(node: &PlanNode, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match node {
+                PlanNode::Leaf { ix, pred, path } => {
+                    let _ =
+                        writeln!(out, "{pad}#{ix} {} via {}", describe(pred.pred()), path.label());
+                }
+                PlanNode::And { children, exec_order } => {
+                    let _ = writeln!(out, "{pad}And (exec order {exec_order:?})");
+                    children.iter().for_each(|c| go(c, depth + 1, out));
+                }
+                PlanNode::Or(children) => {
+                    let _ = writeln!(out, "{pad}Or");
+                    children.iter().for_each(|c| go(c, depth + 1, out));
+                }
+                PlanNode::Not(c) => {
+                    let _ = writeln!(out, "{pad}Not");
+                    go(c, depth + 1, out);
+                }
+                PlanNode::Limit(c, n) => {
+                    let _ = writeln!(out, "{pad}Limit {n}");
+                    go(c, depth + 1, out);
+                }
+                PlanNode::TopK(c, k) => {
+                    let _ = writeln!(out, "{pad}TopK {k}");
+                    go(c, depth + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        if let Some((lo, hi)) = self.id_bounds {
+            let _ = writeln!(out, "id bounds: {lo}..={hi}");
+        }
+        go(&self.root, 0, &mut out);
+        out
+    }
+}
+
+/// Chooses access paths for a normalized [`QueryExpr`], producing a
+/// [`PhysicalPlan`] for [`execute_plan`].
+///
+/// ```
+/// use saq_core::algebra::{IndexCaps, Planner, QueryExpr};
+///
+/// let expr = QueryExpr::shape("1+ (-1)+").and(QueryExpr::peak_count(1, 0));
+/// let plan = Planner::new(IndexCaps::all()).plan(&expr).unwrap();
+/// assert_eq!(plan.leaf_count(), 2);
+/// assert!(plan.explain().contains("pattern-index"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    caps: IndexCaps,
+}
+
+impl Planner {
+    /// A planner for a backend with the given index capabilities.
+    pub fn new(caps: IndexCaps) -> Planner {
+        Planner { caps }
+    }
+
+    /// The capabilities this planner plans for.
+    pub fn caps(&self) -> IndexCaps {
+        self.caps
+    }
+
+    /// Rewrites an expression into normal form: nested `And`/`Or` nodes
+    /// are flattened (preserving operand order, so left-to-right deviation
+    /// accumulation is unchanged) and single-operand `And`/`Or` unwrap.
+    /// Double negation is **not** eliminated — `Not` flattens tiers (its
+    /// result is all-exact), so `¬¬x` keeps `x`'s ids but deliberately
+    /// forgets its deviations. Normalization is capability-independent, so
+    /// every backend evaluates the same shape — which is what keeps
+    /// accumulated deviations bit-identical across engines.
+    pub fn normalize(expr: &QueryExpr) -> QueryExpr {
+        match expr {
+            QueryExpr::Leaf(p) => QueryExpr::Leaf(p.clone()),
+            QueryExpr::And(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for child in children {
+                    match Planner::normalize(child) {
+                        QueryExpr::And(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("one element")
+                } else {
+                    QueryExpr::And(flat)
+                }
+            }
+            QueryExpr::Or(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for child in children {
+                    match Planner::normalize(child) {
+                        QueryExpr::Or(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("one element")
+                } else {
+                    QueryExpr::Or(flat)
+                }
+            }
+            QueryExpr::Not(child) => QueryExpr::Not(Box::new(Planner::normalize(child))),
+            QueryExpr::Limit(child, n) => QueryExpr::Limit(Box::new(Planner::normalize(child)), *n),
+            QueryExpr::TopK(child, k) => QueryExpr::TopK(Box::new(Planner::normalize(child)), *k),
+        }
+    }
+
+    /// Normalizes, validates, compiles leaves, and assigns access paths.
+    pub fn plan(&self, expr: &QueryExpr) -> Result<PhysicalPlan> {
+        let norm = Planner::normalize(expr);
+        let mut next_ix = 0;
+        let root = self.plan_node(&norm, &mut next_ix)?;
+        let id_bounds = if contains_pipeline_breaker(&norm) { None } else { root_id_bounds(&norm) };
+        Ok(PhysicalPlan { root, leaf_count: next_ix, id_bounds })
+    }
+
+    fn plan_node(&self, expr: &QueryExpr, next_ix: &mut usize) -> Result<PlanNode> {
+        match expr {
+            QueryExpr::Leaf(pred) => {
+                let prepared = PreparedPred::new(pred)?;
+                let path = self.leaf_path(pred);
+                let ix = *next_ix;
+                *next_ix += 1;
+                Ok(PlanNode::Leaf { ix, pred: prepared, path })
+            }
+            QueryExpr::And(children) => {
+                if children.is_empty() {
+                    return Err(Error::BadConfig("`And` needs at least one operand".into()));
+                }
+                let planned: Vec<PlanNode> =
+                    children.iter().map(|c| self.plan_node(c, next_ix)).collect::<Result<_>>()?;
+                let mut exec_order: Vec<usize> = (0..planned.len()).collect();
+                exec_order.sort_by_key(|&i| exec_rank(&planned[i]));
+                Ok(PlanNode::And { children: planned, exec_order })
+            }
+            QueryExpr::Or(children) => {
+                if children.is_empty() {
+                    return Err(Error::BadConfig("`Or` needs at least one operand".into()));
+                }
+                let planned =
+                    children.iter().map(|c| self.plan_node(c, next_ix)).collect::<Result<_>>()?;
+                Ok(PlanNode::Or(planned))
+            }
+            QueryExpr::Not(child) => Ok(PlanNode::Not(Box::new(self.plan_node(child, next_ix)?))),
+            QueryExpr::Limit(child, n) => {
+                Ok(PlanNode::Limit(Box::new(self.plan_node(child, next_ix)?), *n))
+            }
+            QueryExpr::TopK(child, k) => {
+                Ok(PlanNode::TopK(Box::new(self.plan_node(child, next_ix)?), *k))
+            }
+        }
+    }
+
+    fn leaf_path(&self, pred: &Pred) -> AccessPath {
+        match pred {
+            Pred::IdRange { .. } => AccessPath::IdFilter,
+            Pred::Feature(QuerySpec::Shape { .. }) if self.caps.pattern => AccessPath::PatternIndex,
+            Pred::Feature(QuerySpec::PeakInterval { .. }) if self.caps.interval => {
+                AccessPath::IntervalIndex
+            }
+            _ => AccessPath::Scan,
+        }
+    }
+}
+
+/// Evaluation priority inside a conjunction: cheap, selective access paths
+/// first so the expensive ones see narrowed candidates.
+fn exec_rank(node: &PlanNode) -> usize {
+    match node {
+        PlanNode::Leaf { path: AccessPath::IdFilter, .. } => 0,
+        PlanNode::Leaf { path: AccessPath::PatternIndex | AccessPath::IntervalIndex, .. } => 1,
+        PlanNode::Leaf { path: AccessPath::Scan, .. } => 2,
+        PlanNode::And { .. } | PlanNode::Or(_) => 3,
+        PlanNode::Not(_) => 4,
+        PlanNode::Limit(..) | PlanNode::TopK(..) => 5,
+    }
+}
+
+fn contains_pipeline_breaker(expr: &QueryExpr) -> bool {
+    match expr {
+        QueryExpr::Leaf(_) => false,
+        QueryExpr::And(cs) | QueryExpr::Or(cs) => cs.iter().any(contains_pipeline_breaker),
+        QueryExpr::Not(c) => contains_pipeline_breaker(c),
+        QueryExpr::Limit(..) | QueryExpr::TopK(..) => true,
+    }
+}
+
+/// Intersection of the root-level conjunctive id-range leaves, if any.
+fn root_id_bounds(norm: &QueryExpr) -> Option<(u64, u64)> {
+    let conjuncts: &[QueryExpr] = match norm {
+        QueryExpr::And(children) => children,
+        leaf @ QueryExpr::Leaf(Pred::IdRange { .. }) => std::slice::from_ref(leaf),
+        _ => return None,
+    };
+    let mut bounds: Option<(u64, u64)> = None;
+    for c in conjuncts {
+        if let QueryExpr::Leaf(Pred::IdRange { lo, hi }) = c {
+            bounds = Some(match bounds {
+                None => (*lo, *hi),
+                Some((blo, bhi)) => ((*lo).max(blo), (*hi).min(bhi)),
+            });
+        }
+    }
+    bounds
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Counters of one plan execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Size of the candidate universe the plan ran over.
+    pub universe: u64,
+    /// Number of (leaf, entry) predicate evaluations that touched a
+    /// materialized entry — the "full-sequence scans" the planner's index
+    /// pushdown exists to avoid.
+    pub entries_scanned: u64,
+    /// Leaf evaluations served by an index (pattern, interval, id filter).
+    pub index_leaves: u64,
+    /// Leaf evaluations that fell back to scanning entries.
+    pub scan_leaves: u64,
+}
+
+/// Data access abstraction behind [`execute_plan`]: a backend supplies the
+/// candidate universe and evaluates single leaves, while the shared
+/// executor owns all composition semantics.
+pub trait LeafSource {
+    /// The sorted id universe of this backend.
+    fn universe(&mut self) -> Result<Vec<u64>>;
+
+    /// Evaluates leaf `ix` over `candidates` (`None` = whole universe).
+    /// Implementations must return a subset of the candidates.
+    fn eval_leaf(
+        &mut self,
+        ix: usize,
+        pred: &PreparedPred,
+        path: AccessPath,
+        candidates: Option<&[u64]>,
+        stats: &mut ExecStats,
+    ) -> Result<MatchSet>;
+}
+
+/// Executes a plan against a backend. This is the single composition
+/// engine every backend shares: conjunctions narrow candidates in the
+/// planner's `exec_order` but accumulate deviations in normalized operand
+/// order, disjunctions union, negation complements within the enclosing
+/// candidates, and `Limit`/`TopK` evaluate their operand unrestricted.
+pub fn execute_plan<S: LeafSource>(
+    plan: &PhysicalPlan,
+    source: &mut S,
+) -> Result<(QueryOutcome, ExecStats)> {
+    let universe = source.universe()?;
+    let mut stats = ExecStats { universe: universe.len() as u64, ..ExecStats::default() };
+    let set = exec_node(plan.root(), source, &universe, None, &mut stats)?;
+    Ok((set.into_outcome(), stats))
+}
+
+fn exec_node<S: LeafSource>(
+    node: &PlanNode,
+    source: &mut S,
+    universe: &[u64],
+    candidates: Option<&[u64]>,
+    stats: &mut ExecStats,
+) -> Result<MatchSet> {
+    match node {
+        PlanNode::Leaf { ix, pred, path } => source.eval_leaf(*ix, pred, *path, candidates, stats),
+        PlanNode::And { children, exec_order } => {
+            let mut results: Vec<Option<MatchSet>> = vec![None; children.len()];
+            let mut narrowed: Option<Vec<u64>> = candidates.map(<[u64]>::to_vec);
+            for &i in exec_order {
+                let r = exec_node(&children[i], source, universe, narrowed.as_deref(), stats)?;
+                let empty = r.is_empty();
+                narrowed = Some(r.ids());
+                results[i] = Some(r);
+                if empty {
+                    break;
+                }
+            }
+            // A short-circuited conjunction is empty by definition.
+            if results.iter().any(Option::is_none) {
+                return Ok(MatchSet::new());
+            }
+            let mut it = results.into_iter().map(|r| r.expect("all children evaluated"));
+            let first = it.next().expect("`And` has operands");
+            Ok(it.fold(first, |acc, r| acc.and(&r)))
+        }
+        PlanNode::Or(children) => {
+            let mut acc = MatchSet::new();
+            for child in children {
+                acc = acc.or(exec_node(child, source, universe, candidates, stats)?);
+            }
+            Ok(acc)
+        }
+        PlanNode::Not(child) => {
+            let base = candidates.unwrap_or(universe);
+            let matched = exec_node(child, source, universe, Some(base), stats)?;
+            Ok(matched.complement_within(base))
+        }
+        PlanNode::Limit(child, n) => {
+            let full = exec_node(child, source, universe, None, stats)?.truncate_first(*n);
+            Ok(match candidates {
+                Some(c) => full.restrict(c),
+                None => full,
+            })
+        }
+        PlanNode::TopK(child, k) => {
+            let full = exec_node(child, source, universe, None, stats)?.truncate_top_k(*k);
+            Ok(match candidates {
+                Some(c) => full.restrict(c),
+                None => full,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine trait
+// ---------------------------------------------------------------------------
+
+/// A query engine: executes composed [`QueryExpr`]s over some backing
+/// store. Implemented by [`StoreEngine`] (sequential, index pushdown over
+/// a [`SequenceStore`]), `saq_archive::ArchiveScanEngine` (sequential over
+/// the raw archive), and `saq_engine::QueryEngine::bind` (sharded parallel
+/// over the raw archive). All implementations return identical outcomes
+/// for the same data, with one precondition: [`Pred::ValueBand`] leaves
+/// need raw samples, and a [`SequenceStore`] built with `keep_raw: false`
+/// retains none — its band leaves match nothing, while the archive-backed
+/// engines (which always keep raw copies) still match. Keep raw retention
+/// on (the default) wherever band leaves must agree across engines.
+pub trait QueryEngine {
+    /// Executes an expression, returning the outcome and execution
+    /// counters.
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)>;
+
+    /// Executes an expression.
+    fn execute(&self, expr: &QueryExpr) -> Result<QueryOutcome> {
+        Ok(self.execute_with_stats(expr)?.0)
+    }
+
+    /// Back-compat entry point: evaluates a classic single-spec query by
+    /// lowering it to a single-leaf expression.
+    fn evaluate(&self, spec: &QuerySpec) -> Result<QueryOutcome> {
+        self.execute(&QueryExpr::from(spec.clone()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sequential store engine
+// ---------------------------------------------------------------------------
+
+/// The sequential, planner-backed engine over a [`SequenceStore`]: shape
+/// leaves are served by the slope-pattern index, peak-interval leaves by
+/// the inverted interval file (without touching any entry), id ranges by
+/// id arithmetic, and only the remaining leaves scan entries — over
+/// candidates narrowed by the leaves that ran before them.
+///
+/// ```
+/// use saq_core::algebra::{QueryEngine, QueryExpr, StoreEngine};
+/// use saq_core::store::SequenceStore;
+/// use saq_sequence::generators::{goalpost, GoalpostSpec};
+///
+/// let mut store = SequenceStore::default();
+/// let id = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
+/// let engine = StoreEngine::new(&store);
+/// let outcome = engine.execute(&QueryExpr::peak_count(2, 0)).unwrap();
+/// assert_eq!(outcome.exact, vec![id]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEngine<'a> {
+    store: &'a SequenceStore,
+    planner: Planner,
+}
+
+impl<'a> StoreEngine<'a> {
+    /// An engine over `store` with every index capability enabled.
+    pub fn new(store: &'a SequenceStore) -> StoreEngine<'a> {
+        StoreEngine { store, planner: Planner::new(IndexCaps::all()) }
+    }
+
+    /// An engine with explicit capabilities — [`IndexCaps::none`] forces
+    /// every leaf onto the scan path (the baseline the pushdown
+    /// experiments compare against).
+    pub fn with_caps(store: &'a SequenceStore, caps: IndexCaps) -> StoreEngine<'a> {
+        StoreEngine { store, planner: Planner::new(caps) }
+    }
+
+    /// Plans an expression with this engine's capabilities.
+    pub fn plan(&self, expr: &QueryExpr) -> Result<PhysicalPlan> {
+        self.planner.plan(expr)
+    }
+
+    /// Executes a previously built plan.
+    pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<(QueryOutcome, ExecStats)> {
+        execute_plan(plan, &mut StoreSource { store: self.store })
+    }
+}
+
+impl QueryEngine for StoreEngine<'_> {
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let plan = self.plan(expr)?;
+        self.run_plan(&plan)
+    }
+}
+
+struct StoreSource<'a> {
+    store: &'a SequenceStore,
+}
+
+impl LeafSource for StoreSource<'_> {
+    fn universe(&mut self) -> Result<Vec<u64>> {
+        Ok(self.store.ids())
+    }
+
+    fn eval_leaf(
+        &mut self,
+        _ix: usize,
+        pred: &PreparedPred,
+        path: AccessPath,
+        candidates: Option<&[u64]>,
+        stats: &mut ExecStats,
+    ) -> Result<MatchSet> {
+        match path {
+            AccessPath::IdFilter => {
+                stats.index_leaves += 1;
+                let Pred::IdRange { lo, hi } = *pred.pred() else {
+                    return Err(Error::BadConfig("id-filter path on a non-id-range leaf".into()));
+                };
+                let ids = match candidates {
+                    Some(c) => c.to_vec(),
+                    None => self.store.ids(),
+                };
+                Ok(MatchSet::from_exact(ids.into_iter().filter(|id| (lo..=hi).contains(id))))
+            }
+            AccessPath::PatternIndex => {
+                stats.index_leaves += 1;
+                let dfa = pred.dfa().ok_or_else(|| {
+                    Error::BadConfig("pattern-index path on a non-shape leaf".into())
+                })?;
+                let hits = match candidates {
+                    Some(c) => self.store.pattern_index().full_matches_among(dfa, c),
+                    None => {
+                        let regex = pred.regex().expect("shape leaf holds its regex");
+                        let mut v = self.store.pattern_index().full_matches(regex);
+                        v.sort_unstable();
+                        v
+                    }
+                };
+                Ok(MatchSet::from_exact(hits))
+            }
+            AccessPath::IntervalIndex => {
+                stats.index_leaves += 1;
+                let Pred::Feature(QuerySpec::PeakInterval { interval, epsilon }) = *pred.pred()
+                else {
+                    return Err(Error::BadConfig(
+                        "interval-index path on a non-interval leaf".into(),
+                    ));
+                };
+                let mut set = MatchSet::new();
+                // Postings arrive sorted by (sequence, position): the first
+                // posting of a sequence is its first in-band interval, and
+                // any posting at the exact key makes the match exact —
+                // precisely `PreparedQuery::matches`, served from the index.
+                let mut current: Option<(u64, i64, bool)> = None;
+                for (key, posting) in self.store.interval_index().range_with_keys(interval, epsilon)
+                {
+                    let dev = (key - interval).abs();
+                    match &mut current {
+                        Some((id, _, exact)) if *id == posting.sequence => {
+                            *exact |= dev == 0;
+                        }
+                        _ => {
+                            if let Some(done) = current.take() {
+                                set.insert(done.0, interval_tier(done));
+                            }
+                            current = Some((posting.sequence, dev, dev == 0));
+                        }
+                    }
+                }
+                if let Some(done) = current.take() {
+                    set.insert(done.0, interval_tier(done));
+                }
+                Ok(match candidates {
+                    Some(c) => set.restrict(c),
+                    None => set,
+                })
+            }
+            AccessPath::Scan => {
+                stats.scan_leaves += 1;
+                let ids = match candidates {
+                    Some(c) => c.to_vec(),
+                    None => self.store.ids(),
+                };
+                let mut set = MatchSet::new();
+                for id in ids {
+                    let entry = self.store.get(id)?;
+                    stats.entries_scanned += 1;
+                    if let Some(m) = pred.matches(id, Some(entry)) {
+                        set.insert(id, MatchTier::from_match(m));
+                    }
+                }
+                Ok(set)
+            }
+        }
+    }
+}
+
+/// Tier of one sequence's interval-index result: `(id, first in-band
+/// deviation, any exact hit)`.
+fn interval_tier((_, first_dev, exact): (u64, i64, bool)) -> MatchTier {
+    if exact {
+        MatchTier::exact()
+    } else {
+        MatchTier { deviation: first_dev as f64, approximate: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    /// One 1-peak, two 2-peak (goalpost), one 3-peak sequence.
+    fn corpus() -> (SequenceStore, Vec<u64>) {
+        let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+        let mut ids = Vec::new();
+        let one = peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() });
+        let two_a = goalpost(GoalpostSpec::default());
+        let two_b = goalpost(GoalpostSpec { peak1: 6.0, peak2: 16.0, ..GoalpostSpec::default() });
+        let three = peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() });
+        for s in [&one, &two_a, &two_b, &three] {
+            ids.push(store.insert(s).unwrap());
+        }
+        (store, ids)
+    }
+
+    const GOALPOST: &str = "0* 1+ (-1)+ 0* 1+ (-1)+ 0*";
+
+    #[test]
+    fn normalize_flattens_but_keeps_double_negation() {
+        let expr = QueryExpr::peak_count(1, 0)
+            .and(QueryExpr::peak_count(2, 0).and(QueryExpr::peak_count(3, 0)))
+            .and(QueryExpr::peak_count(4, 0).negate().negate());
+        let norm = Planner::normalize(&expr);
+        match norm {
+            QueryExpr::And(children) => {
+                assert_eq!(children.len(), 4);
+                assert_eq!(
+                    children.iter().filter(|c| matches!(c, QueryExpr::Leaf(_))).count(),
+                    3,
+                    "the double negation must survive (`Not` flattens tiers): {children:?}"
+                );
+                assert!(
+                    matches!(&children[3], QueryExpr::Not(inner) if matches!(**inner, QueryExpr::Not(_)))
+                );
+            }
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        // Single-operand composites unwrap.
+        let single = Planner::normalize(&QueryExpr::And(vec![QueryExpr::peak_count(1, 0)]));
+        assert!(matches!(single, QueryExpr::Leaf(_)));
+    }
+
+    #[test]
+    fn double_negation_keeps_ids_but_flattens_tiers() {
+        let (store, ids) = corpus();
+        let expr = QueryExpr::peak_count(2, 1);
+        let plain = StoreEngine::new(&store).execute(&expr.clone()).unwrap();
+        let double = StoreEngine::new(&store).execute(&expr.negate().negate()).unwrap();
+        assert_eq!(double.exact, ids, "¬¬x keeps x's ids, all exact");
+        assert!(double.approximate.is_empty());
+        assert!(!plain.approximate.is_empty(), "x itself has approximate tiers");
+    }
+
+    #[test]
+    fn planner_assigns_paths_by_capability() {
+        let expr = QueryExpr::shape(GOALPOST)
+            .and(QueryExpr::peak_interval(8, 2))
+            .and(QueryExpr::peak_count(2, 0))
+            .and(QueryExpr::id_range(0, 10));
+        let indexed = Planner::new(IndexCaps::all()).plan(&expr).unwrap();
+        let explain = indexed.explain();
+        assert!(explain.contains("pattern-index"), "{explain}");
+        assert!(explain.contains("interval-index"), "{explain}");
+        assert!(explain.contains("id-filter"), "{explain}");
+        assert!(explain.contains("via scan"), "{explain}");
+        assert_eq!(indexed.leaf_count(), 4);
+        assert_eq!(indexed.id_bounds(), Some((0, 10)));
+
+        let scanned = Planner::new(IndexCaps::none()).plan(&expr).unwrap();
+        assert!(!scanned.explain().contains("pattern-index"));
+        assert!(!scanned.explain().contains("interval-index"));
+        // Id filters stay index-grade even without indexes.
+        assert!(scanned.explain().contains("id-filter"));
+    }
+
+    #[test]
+    fn exec_order_puts_indexes_before_scans() {
+        let expr = QueryExpr::peak_count(2, 0)
+            .and(QueryExpr::shape(GOALPOST))
+            .and(QueryExpr::id_range(0, 100));
+        let plan = Planner::new(IndexCaps::all()).plan(&expr).unwrap();
+        match plan.root() {
+            PlanNode::And { exec_order, .. } => {
+                // id filter (leaf 2) first, pattern index (leaf 1) next,
+                // the scan leaf (leaf 0) last.
+                assert_eq!(exec_order, &vec![2, 1, 0]);
+            }
+            other => panic!("expected And root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_bounds_require_breaker_free_plans() {
+        let bounded = QueryExpr::id_range(5, 20).and(QueryExpr::peak_count(2, 0));
+        assert_eq!(
+            Planner::new(IndexCaps::all()).plan(&bounded).unwrap().id_bounds(),
+            Some((5, 20))
+        );
+        let broken = bounded.clone().limit(3);
+        assert_eq!(Planner::new(IndexCaps::all()).plan(&broken).unwrap().id_bounds(), None);
+        let two = QueryExpr::id_range(5, 20).and(QueryExpr::id_range(10, 30));
+        assert_eq!(Planner::new(IndexCaps::all()).plan(&two).unwrap().id_bounds(), Some((10, 20)));
+    }
+
+    #[test]
+    fn and_intersects_and_sums_deviations() {
+        let (store, ids) = corpus();
+        // peaks=2 tol 1 AND interval=8 tol 1: the 3-peak sequence matches
+        // both, deviating by 1 in count and 0 in interval.
+        let expr = QueryExpr::peak_count(2, 1).and(QueryExpr::peak_interval(8, 1));
+        let out = StoreEngine::new(&store).execute(&expr).unwrap();
+        let m = out.approximate.iter().find(|m| m.id == ids[3]).expect("3-peak approx");
+        assert_eq!(m.deviation, 1.0);
+        assert!(!out.exact.contains(&ids[0]), "1-peak has no interval");
+    }
+
+    #[test]
+    fn or_keeps_best_tier() {
+        let (store, ids) = corpus();
+        // 1 peak exactly OR 2 peaks ± 1: the single-peak sequence is exact
+        // via the left operand even though the right matches approximately.
+        let expr = QueryExpr::peak_count(1, 0).or(QueryExpr::peak_count(2, 1));
+        let out = StoreEngine::new(&store).execute(&expr).unwrap();
+        assert!(out.exact.contains(&ids[0]));
+        assert!(out.exact.contains(&ids[1]));
+        assert!(!out.approximate.iter().any(|m| m.id == ids[0]));
+    }
+
+    #[test]
+    fn not_excludes_approximate_matches_too() {
+        let (store, ids) = corpus();
+        let expr = QueryExpr::peak_count(2, 1).negate();
+        let out = StoreEngine::new(&store).execute(&expr).unwrap();
+        // Everything matches peaks=2 tol 1 here, so the complement is empty.
+        assert!(out.exact.is_empty(), "{out:?}");
+        let strict = QueryExpr::peak_count(2, 0).negate();
+        let out = StoreEngine::new(&store).execute(&strict).unwrap();
+        assert_eq!(out.exact, vec![ids[0], ids[3]]);
+        assert!(out.approximate.is_empty());
+    }
+
+    #[test]
+    fn limit_and_top_k_truncate() {
+        let (store, ids) = corpus();
+        let all = QueryExpr::peak_count(2, 1);
+        let limited = StoreEngine::new(&store).execute(&all.clone().limit(2)).unwrap();
+        // Canonical order: the two exact goalposts come first.
+        assert_eq!(limited.exact, vec![ids[1], ids[2]]);
+        assert!(limited.approximate.is_empty());
+        let top3 = StoreEngine::new(&store).execute(&all.top_k(3)).unwrap();
+        assert_eq!(top3.exact.len() + top3.approximate.len(), 3);
+        assert_eq!(top3.exact, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn id_range_restricts_and_stays_index_grade() {
+        let (store, ids) = corpus();
+        let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(ids[2], u64::MAX));
+        let (out, stats) = StoreEngine::new(&store).execute_with_stats(&expr).unwrap();
+        assert_eq!(out.exact, vec![ids[2]]);
+        // The scan leaf only saw the two candidates past ids[2].
+        assert_eq!(stats.entries_scanned, 2);
+    }
+
+    #[test]
+    fn index_pushdown_scans_fewer_entries() {
+        let (store, _) = corpus();
+        let expr = QueryExpr::shape(GOALPOST).and(QueryExpr::peak_count(2, 0));
+        let (indexed_out, indexed) = StoreEngine::new(&store).execute_with_stats(&expr).unwrap();
+        let (scanned_out, scanned) =
+            StoreEngine::with_caps(&store, IndexCaps::none()).execute_with_stats(&expr).unwrap();
+        assert_eq!(indexed_out, scanned_out, "pushdown must not change results");
+        assert!(
+            indexed.entries_scanned < scanned.entries_scanned,
+            "indexed {indexed:?} vs scanned {scanned:?}"
+        );
+        assert_eq!(indexed.index_leaves, 1);
+        assert_eq!(scanned.index_leaves, 0);
+    }
+
+    #[test]
+    fn interval_leaf_needs_no_entries() {
+        let (store, ids) = corpus();
+        let (out, stats) =
+            StoreEngine::new(&store).execute_with_stats(&QueryExpr::peak_interval(8, 2)).unwrap();
+        assert!(out.all_ids().contains(&ids[3]), "{out:?}");
+        assert_eq!(stats.entries_scanned, 0);
+        // And it agrees with the scan path exactly.
+        let (scan_out, _) = StoreEngine::with_caps(&store, IndexCaps::none())
+            .execute_with_stats(&QueryExpr::peak_interval(8, 2))
+            .unwrap();
+        assert_eq!(out, scan_out);
+    }
+
+    #[test]
+    fn value_band_leaf_matches_fig1_semantics() {
+        let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+        let center = goalpost(GoalpostSpec::default());
+        let a = store.insert(&center).unwrap();
+        let b = store
+            .insert(&goalpost(GoalpostSpec { baseline: 98.7, ..GoalpostSpec::default() }))
+            .unwrap();
+        let out =
+            StoreEngine::new(&store).execute(&QueryExpr::value_band(center, 0.5, 1.0)).unwrap();
+        assert_eq!(out.exact, vec![a]);
+        assert_eq!(out.approximate.iter().map(|m| m.id).collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn evaluate_shim_matches_execute() {
+        let (store, _) = corpus();
+        let engine = StoreEngine::new(&store);
+        for spec in [
+            QuerySpec::Shape { pattern: GOALPOST.into() },
+            QuerySpec::PeakCount { count: 2, tolerance: 1 },
+            QuerySpec::PeakInterval { interval: 8, epsilon: 2 },
+            QuerySpec::MinPeakSteepness { steepness: 0.5, slack: 0.2 },
+            QuerySpec::HasSteepPeak { steepness: 1.0, slack: 0.2 },
+        ] {
+            let via_trait = engine.evaluate(&spec).unwrap();
+            let via_expr = engine.execute(&QueryExpr::from(spec.clone())).unwrap();
+            assert_eq!(via_trait, via_expr, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_expressions_error() {
+        let (store, _) = corpus();
+        let engine = StoreEngine::new(&store);
+        assert!(engine.execute(&QueryExpr::shape("((")).is_err());
+        assert!(engine.execute(&QueryExpr::And(vec![])).is_err());
+        assert!(engine.execute(&QueryExpr::Or(vec![])).is_err());
+        assert!(engine
+            .execute(&QueryExpr::value_band(goalpost(GoalpostSpec::default()), -1.0, 0.0))
+            .is_err());
+        assert!(engine.execute(&QueryExpr::id_range(10, 2)).is_err());
+    }
+
+    #[test]
+    fn empty_store_is_empty_everywhere() {
+        let store = SequenceStore::default();
+        let engine = StoreEngine::new(&store);
+        let expr = QueryExpr::peak_count(1, 0).negate().or(QueryExpr::id_range(0, 9));
+        let (out, stats) = engine.execute_with_stats(&expr).unwrap();
+        assert!(out.exact.is_empty() && out.approximate.is_empty());
+        assert_eq!(stats.universe, 0);
+    }
+
+    #[test]
+    fn match_set_algebra() {
+        let mut a = MatchSet::from_exact([1, 2]);
+        a.insert(3, MatchTier { deviation: 2.0, approximate: true });
+        let mut b = MatchSet::from_exact([2]);
+        b.insert(3, MatchTier { deviation: 1.0, approximate: true });
+        b.insert(4, MatchTier::exact());
+
+        let and = a.clone().and(&b);
+        assert_eq!(and.ids(), vec![2, 3]);
+        assert_eq!(and.get(3), Some(MatchTier { deviation: 3.0, approximate: true }));
+
+        let or = a.clone().or(b);
+        assert_eq!(or.ids(), vec![1, 2, 3, 4]);
+        assert_eq!(or.get(3), Some(MatchTier { deviation: 1.0, approximate: true }));
+
+        let not = a.complement_within(&[1, 2, 3, 4, 5]);
+        assert_eq!(not.ids(), vec![4, 5]);
+
+        let first = a.clone().truncate_first(2);
+        assert_eq!(first.ids(), vec![1, 2], "exact matches come first");
+        assert_eq!(a.clone().truncate_top_k(1).ids(), vec![1]);
+        assert_eq!(a.clone().restrict(&[2, 3]).ids(), vec![2, 3]);
+
+        let outcome = a.into_outcome();
+        assert_eq!(outcome.exact, vec![1, 2]);
+        assert_eq!(outcome.approximate, vec![ApproximateMatch { id: 3, deviation: 2.0 }]);
+    }
+}

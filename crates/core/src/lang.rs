@@ -24,8 +24,9 @@
 //! total deviation is the sum across dimensions — each dimension carries
 //! its own metric, per §2.2).
 
+use crate::algebra::{QueryExpr, StoreEngine};
 use crate::error::{Error, Result};
-use crate::query::{evaluate, ApproximateMatch, QueryOutcome, QuerySpec};
+use crate::query::{ApproximateMatch, QueryOutcome, QuerySpec};
 use crate::store::SequenceStore;
 use std::collections::HashMap;
 
@@ -39,6 +40,14 @@ impl ParsedQuery {
     /// The parsed clauses, in source order.
     pub fn clauses(&self) -> &[QuerySpec] {
         &self.clauses
+    }
+
+    /// Lowers the clauses to a conjunctive algebra expression (a single
+    /// clause becomes a bare leaf).
+    pub fn into_expr(self) -> QueryExpr {
+        let mut leaves = self.clauses.into_iter().map(QueryExpr::feature);
+        let first = leaves.next().expect("parser rejects empty queries");
+        leaves.fold(first, QueryExpr::and)
     }
 }
 
@@ -58,13 +67,14 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery> {
 }
 
 /// Parses and evaluates a conjunctive query against a store.
+///
+/// Clauses lower to a conjunctive [`QueryExpr`] executed by the
+/// planner-backed [`StoreEngine`], so shape and interval clauses are
+/// served by the store's indexes and the remaining clauses only scan the
+/// already-narrowed candidates.
 pub fn run_query(store: &SequenceStore, text: &str) -> Result<QueryOutcome> {
-    let parsed = parse_query(text)?;
-    let mut per_clause = Vec::with_capacity(parsed.clauses.len());
-    for clause in &parsed.clauses {
-        per_clause.push(evaluate(store, clause)?);
-    }
-    Ok(conjoin(&per_clause))
+    use crate::algebra::QueryEngine as _;
+    StoreEngine::new(store).execute(&parse_query(text)?.into_expr())
 }
 
 /// Combines per-clause outcomes conjunctively.

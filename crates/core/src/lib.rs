@@ -23,6 +23,11 @@
 //!    transformations that generalized approximate queries are closed under.
 //! 6. **Queries** ([`query`], [`store`]) — the query engine over a store of
 //!    representations with slope-pattern and inverted-file indexes.
+//! 7. **Algebra** ([`algebra`]) — the composable query algebra
+//!    ([`QueryExpr`]: `And`/`Or`/`Not`/`Limit`/`TopK` over predicate
+//!    leaves), the [`Planner`] that pushes indexable leaves into
+//!    `saq-index` structures, and the [`QueryEngine`] trait shared by the
+//!    sequential and sharded execution backends.
 //!
 //! ## Quick start
 //!
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod algebra;
 pub mod alphabet;
 pub mod brk;
 mod error;
@@ -54,6 +60,10 @@ pub mod repr;
 pub mod store;
 pub mod transform;
 
+pub use algebra::{
+    AccessPath, ExecStats, IndexCaps, MatchSet, MatchTier, PhysicalPlan, Planner, Pred,
+    PreparedPred, QueryEngine, QueryExpr, StoreEngine,
+};
 pub use alphabet::{slope_alphabet, SlopeSymbol};
 pub use brk::Breaker;
 pub use error::{Error, Result};

@@ -172,57 +172,15 @@ impl PreparedQuery {
 }
 
 /// Evaluates a query against a store.
+///
+/// Since the query-algebra redesign this is a thin back-compat shim: the
+/// spec is lowered to a single-leaf [`crate::algebra::QueryExpr`] and run
+/// through the planner-backed [`crate::algebra::StoreEngine`], which
+/// serves shape leaves from the pattern index and interval leaves from the
+/// inverted file exactly as this function always did.
 pub fn evaluate(store: &SequenceStore, query: &QuerySpec) -> Result<QueryOutcome> {
-    match query {
-        QuerySpec::Shape { pattern } => {
-            let regex = parse_slope_pattern(pattern)?;
-            let mut exact = store.pattern_index().full_matches(&regex);
-            exact.sort_unstable();
-            Ok(QueryOutcome { exact, approximate: Vec::new() })
-        }
-        QuerySpec::PeakInterval { interval, epsilon } => {
-            let mut outcome = QueryOutcome::default();
-            // Exact: bucket == interval; approximate: within ±ε.
-            for posting in store.interval_index().lookup_range(*interval, *epsilon) {
-                let id = posting.sequence;
-                let entry = store.get(id)?;
-                let buckets = entry.peaks.interval_buckets();
-                let bucket = buckets[posting.position as usize];
-                let dev = (bucket - interval).abs();
-                if dev == 0 {
-                    if !outcome.exact.contains(&id) {
-                        outcome.exact.push(id);
-                    }
-                } else if !outcome.approximate.iter().any(|m| m.id == id)
-                    && !outcome.exact.contains(&id)
-                {
-                    outcome.approximate.push(ApproximateMatch { id, deviation: dev as f64 });
-                }
-            }
-            // An id may first appear as approximate and later prove exact.
-            outcome.approximate.retain(|m| !outcome.exact.contains(&m.id));
-            sort_outcome(&mut outcome);
-            Ok(outcome)
-        }
-        QuerySpec::PeakCount { .. }
-        | QuerySpec::MinPeakSteepness { .. }
-        | QuerySpec::HasSteepPeak { .. } => {
-            // Plain scans share the per-sequence predicate verbatim.
-            let prepared = PreparedQuery::new(query)?;
-            let mut outcome = QueryOutcome::default();
-            for id in store.ids() {
-                match prepared.matches(store.get(id)?) {
-                    Some(SequenceMatch::Exact) => outcome.exact.push(id),
-                    Some(SequenceMatch::Approximate(deviation)) => {
-                        outcome.approximate.push(ApproximateMatch { id, deviation })
-                    }
-                    None => {}
-                }
-            }
-            sort_outcome(&mut outcome);
-            Ok(outcome)
-        }
-    }
+    use crate::algebra::QueryEngine as _;
+    crate::algebra::StoreEngine::new(store).evaluate(query)
 }
 
 /// Shared body of the two steepness dimensions: `fold`/`init` select the
@@ -256,16 +214,16 @@ pub fn sort_approximate_matches(matches: &mut [ApproximateMatch]) {
     });
 }
 
-fn sort_outcome(outcome: &mut QueryOutcome) {
-    outcome.exact.sort_unstable();
-    sort_approximate_matches(&mut outcome.approximate);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::store::StoreConfig;
     use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    fn sort_outcome(outcome: &mut QueryOutcome) {
+        outcome.exact.sort_unstable();
+        sort_approximate_matches(&mut outcome.approximate);
+    }
 
     /// Store with one 1-peak, two 2-peak, one 3-peak sequences.
     fn corpus() -> (SequenceStore, Vec<u64>) {

@@ -3,31 +3,37 @@
 //! A sharded, multi-threaded **batch query executor** over the raw
 //! [`ArchiveStore`]. The paper's architecture answers queries from local
 //! compact representations; this crate covers the complementary heavy-
-//! traffic workload: a *batch* of generalized approximate queries (shape,
-//! peak features, value bands) pushed down to a large archive whose
-//! per-sequence representations are computed on demand.
+//! traffic workload: generalized approximate queries — single specs,
+//! batches, or whole [`QueryExpr`] trees — pushed down to a large archive
+//! whose per-sequence representations are computed on demand.
 //!
 //! The execution model:
 //!
-//! 1. **Shard** — archived ids (sorted) are split into contiguous,
+//! 1. **Plan** — an expression is normalized and planned by the shared
+//!    [`saq_core::algebra::Planner`]; conjunctive id-range leaves prune
+//!    the candidate universe before any shard is formed.
+//! 2. **Shard** — candidate ids (sorted) are split into contiguous,
 //!    near-equal shards ([`shard::plan`]).
-//! 2. **Execute** — a fixed pool of worker threads claims shards from a
+//! 3. **Execute** — a fixed pool of worker threads claims shards from a
 //!    shared counter; each worker fetches every sequence of its shard once,
-//!    runs the whole query batch against it, and emits per-query partial
+//!    evaluates every leaf predicate against it, and emits per-leaf partial
 //!    results. Fetches pay the archive's (simulated, optionally real-time
 //!    emulated) access latency, so workers overlap archive waits the way
-//!    parallel tape or jukebox requests would.
-//! 3. **Cache** — per-sequence break/feature results ([`StoredEntry`]) go
-//!    through a bounded LRU ([`cache::LruCache`]); repeated queries over
-//!    the same archive skip both the fetch and the recomputation.
-//! 4. **Merge** — per-shard hits concatenate in shard order (exact hits
-//!    stay globally id-sorted because shards are contiguous runs of the
-//!    sorted id space); approximate hits re-sort by `(deviation, id)`.
-//!    The outcome is byte-identical to the sequential path regardless of
-//!    worker count or scheduling.
+//!    parallel tape or jukebox requests would; each worker also keeps its
+//!    own simulated clock, so [`QueryEngine::last_run_report`] exposes the
+//!    batch's simulated *makespan* alongside the serial total.
+//! 4. **Cache** — per-sequence break/feature results ([`StoredEntry`]) go
+//!    through a bounded LRU ([`cache::LruCache`]) stamped with the
+//!    archive's `(instance, generation)`; the cache self-invalidates when
+//!    the archive's content changes.
+//! 5. **Merge & combine** — per-shard hits merge id-sorted per leaf, and
+//!    the shared [`saq_core::algebra::execute_plan`] composes leaves into
+//!    the final outcome — byte-identical to the sequential engines for any
+//!    worker/shard count.
 //!
 //! ```
 //! use saq_archive::{ArchiveStore, Medium};
+//! use saq_core::algebra::{QueryEngine as _, QueryExpr};
 //! use saq_core::query::QuerySpec;
 //! use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
 //! use saq_sequence::generators::{goalpost, GoalpostSpec};
@@ -37,26 +43,32 @@
 //!     archive.put(id, goalpost(GoalpostSpec { seed: id, ..GoalpostSpec::default() }));
 //! }
 //! let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+//! // Classic batch API…
 //! let out = engine
 //!     .run(&archive, &[BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })])
 //!     .unwrap();
 //! assert_eq!(out[0].exact.len(), 8);
+//! // …and the composable algebra, fanned out over the same worker pool.
+//! let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(0, 3));
+//! assert_eq!(engine.bind(&archive).execute(&expr).unwrap().exact, vec![0, 1, 2, 3]);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod report;
 pub mod shard;
 
 use cache::{CacheStats, LruCache};
 use parking_lot::Mutex;
+use report::RunReport;
 use saq_archive::ArchiveStore;
-use saq_baseline::max_pointwise_distance;
-use saq_core::query::{
-    sort_approximate_matches, ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec,
-    SequenceMatch,
+use saq_core::algebra::{
+    execute_plan, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet, MatchTier, PlanNode,
+    Planner, Pred, PreparedPred, QueryExpr,
 };
+use saq_core::query::{QueryOutcome, QuerySpec};
 use saq_core::store::{StoreConfig, StoredEntry};
 use saq_core::{Error, Result};
 use saq_sequence::Sequence;
@@ -108,63 +120,49 @@ pub enum BatchQuery {
     },
 }
 
-/// A query compiled for repeated per-sequence evaluation.
-enum Prepared {
-    Feature(PreparedQuery),
-    Band { query: Sequence, delta: f64, slack: f64 },
-}
-
-impl Prepared {
-    fn new(query: &BatchQuery) -> Result<Prepared> {
-        match query {
-            BatchQuery::Feature(spec) => Ok(Prepared::Feature(PreparedQuery::new(spec)?)),
-            BatchQuery::ValueBand { query, delta, slack } => {
-                if !(delta.is_finite() && *delta >= 0.0) {
-                    return Err(Error::BadConfig("band delta must be finite and >= 0".into()));
-                }
-                if !(slack.is_finite() && *slack >= 0.0) {
-                    return Err(Error::BadConfig("band slack must be finite and >= 0".into()));
-                }
-                if query.is_empty() {
-                    return Err(Error::EmptyInput);
-                }
-                Ok(Prepared::Band { query: query.clone(), delta: *delta, slack: *slack })
-            }
-        }
-    }
-
-    fn matches(&self, entry: &StoredEntry) -> Option<SequenceMatch> {
+impl BatchQuery {
+    /// Lowers to the algebra's leaf predicate — batch queries are exactly
+    /// single-leaf expressions.
+    pub fn to_pred(&self) -> Pred {
         match self {
-            Prepared::Feature(prepared) => prepared.matches(entry),
-            Prepared::Band { query, delta, slack } => {
-                let raw = entry.raw.as_ref()?;
-                let distance = max_pointwise_distance(query, raw)?;
-                if distance <= *delta {
-                    Some(SequenceMatch::Exact)
-                } else if distance <= *delta * (1.0 + *slack) {
-                    Some(SequenceMatch::Approximate(distance - *delta))
-                } else {
-                    None
-                }
+            BatchQuery::Feature(spec) => Pred::Feature(spec.clone()),
+            BatchQuery::ValueBand { query, delta, slack } => {
+                Pred::ValueBand { query: query.clone(), delta: *delta, slack: *slack }
             }
         }
     }
 }
 
 /// The sharded parallel batch query engine. Cheap to keep alive: the
-/// feature cache persists across [`QueryEngine::run`] calls, so a warm
-/// engine answers repeated batches without re-touching the archive.
+/// feature cache persists across runs, so a warm engine answers repeated
+/// batches without re-touching the archive.
 ///
-/// The cache is keyed by **sequence id only** — it cannot see that an id
-/// now names different data. After overwriting an archived sequence
-/// ([`ArchiveStore::put`] replaces silently), or before pointing a warm
-/// engine at a *different* archive with overlapping ids, call
-/// [`QueryEngine::clear_cache`] or results will reflect the stale cached
-/// features.
+/// The cache is keyed by sequence id and stamped with the archive's
+/// `(instance, generation)` pair: overwriting an archived sequence
+/// ([`ArchiveStore::put`]) or pointing the engine at a different archive
+/// bumps or changes the stamp, and the next run drops the stale entries
+/// automatically. Each run captures its stamp up front and touches the
+/// cache only while it still carries that stamp, so even concurrent runs
+/// against *different* archives stay correct — the superseded run just
+/// stops caching. [`QueryEngine::clear_cache`] remains for explicit
+/// resets (it also zeroes the hit/miss counters).
 #[derive(Debug)]
 pub struct QueryEngine {
     config: EngineConfig,
-    cache: Mutex<LruCache<Arc<StoredEntry>>>,
+    cache: Mutex<StampedCache>,
+    /// Per-worker simulated clocks of the most recent run.
+    last_run: Mutex<RunReport>,
+}
+
+/// The id-keyed feature cache together with the archive stamp it was
+/// filled under, behind one lock so every access atomically answers "does
+/// this cache belong to my archive snapshot".
+#[derive(Debug)]
+struct StampedCache {
+    /// `(instance_id, generation)` of the archive the entries belong to;
+    /// `None` until the first run.
+    stamp: Option<(u64, u64)>,
+    lru: LruCache<Arc<StoredEntry>>,
 }
 
 impl QueryEngine {
@@ -181,7 +179,14 @@ impl QueryEngine {
         }
         // Validate ε/θ the same way the store does.
         saq_core::store::SequenceStore::new(config.store)?;
-        Ok(QueryEngine { config, cache: Mutex::new(LruCache::new(config.cache_capacity)) })
+        Ok(QueryEngine {
+            config,
+            cache: Mutex::new(StampedCache {
+                stamp: None,
+                lru: LruCache::new(config.cache_capacity),
+            }),
+            last_run: Mutex::new(RunReport::default()),
+        })
     }
 
     /// The active configuration.
@@ -191,14 +196,28 @@ impl QueryEngine {
 
     /// Counters of the per-sequence feature cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.lock().lru.stats()
     }
 
-    /// Drops every cached feature entry (counters reset too). Required
-    /// after archived sequences are replaced in place, or when reusing a
-    /// warm engine against a different archive with overlapping ids.
+    /// Drops every cached feature entry (counters reset too). Staleness is
+    /// handled automatically via the archive's generation stamp; this
+    /// remains for explicit resets (e.g. reclaiming memory).
     pub fn clear_cache(&self) {
-        *self.cache.lock() = LruCache::new(self.config.cache_capacity);
+        self.cache.lock().lru = LruCache::new(self.config.cache_capacity);
+    }
+
+    /// Per-worker simulated clocks of the most recent [`QueryEngine::run`]
+    /// or [`BoundEngine`] execution: the simulated makespan of a parallel
+    /// batch versus the serial total.
+    pub fn last_run_report(&self) -> RunReport {
+        self.last_run.lock().clone()
+    }
+
+    /// Binds the engine to an archive as a composable-query backend
+    /// implementing [`saq_core::algebra::QueryEngine`]: plans fan out
+    /// across this engine's worker pool and feature cache.
+    pub fn bind<'e>(&'e self, archive: &'e ArchiveStore) -> BoundEngine<'e> {
+        BoundEngine { engine: self, archive }
     }
 
     /// Runs a batch of queries over every archived sequence using the
@@ -207,29 +226,86 @@ impl QueryEngine {
     /// Results are identical — same hits, same order — to
     /// [`QueryEngine::run_sequential`] for any worker/shard configuration.
     pub fn run(&self, archive: &ArchiveStore, queries: &[BatchQuery]) -> Result<Vec<QueryOutcome>> {
-        let prepared: Vec<Prepared> = queries.iter().map(Prepared::new).collect::<Result<_>>()?;
+        let preds: Vec<PreparedPred> =
+            queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
+        let stamp = self.ensure_fresh(archive);
         let ids = archive.ids();
-        let shards = shard::plan(ids.len(), self.config.shards);
-        if shards.is_empty() || prepared.is_empty() {
-            return Ok(vec![QueryOutcome::default(); queries.len()]);
-        }
+        let (sets, clocks) = self.eval_leaves(archive, &ids, &preds, stamp)?;
+        *self.last_run.lock() = clocks;
+        Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
+    }
 
-        let slots: Vec<Mutex<Option<Vec<QueryOutcome>>>> =
+    /// The single-threaded reference path: one pass over the sorted ids, no
+    /// sharding, no cache. The oracle that `run` is property-tested
+    /// against.
+    pub fn run_sequential(
+        &self,
+        archive: &ArchiveStore,
+        queries: &[BatchQuery],
+    ) -> Result<Vec<QueryOutcome>> {
+        let preds: Vec<PreparedPred> =
+            queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
+        let ids = archive.ids();
+        let mut sets = vec![MatchSet::new(); preds.len()];
+        for &id in &ids {
+            let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+            let entry = StoredEntry::compute(seq, &self.ingest_config())?;
+            record(Some(&entry), id, &preds, &mut sets);
+        }
+        Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
+    }
+
+    /// Drops the cache when the archive's `(instance, generation)` stamp
+    /// no longer matches the one the cache was filled under; returns the
+    /// current stamp for the run to carry (cache reads and fills are only
+    /// honored while the cache still carries the run's stamp).
+    fn ensure_fresh(&self, archive: &ArchiveStore) -> (u64, u64) {
+        let current = (archive.instance_id(), archive.generation());
+        let mut cache = self.cache.lock();
+        if cache.stamp != Some(current) {
+            if cache.stamp.is_some() {
+                cache.lru = LruCache::new(self.config.cache_capacity);
+            }
+            cache.stamp = Some(current);
+        }
+        current
+    }
+
+    /// Evaluates every leaf predicate against every candidate id using the
+    /// sharded worker pool; returns one id-sorted [`MatchSet`] per leaf
+    /// plus the per-worker simulated clocks.
+    fn eval_leaves(
+        &self,
+        archive: &ArchiveStore,
+        ids: &[u64],
+        preds: &[PreparedPred],
+        stamp: (u64, u64),
+    ) -> Result<(Vec<MatchSet>, RunReport)> {
+        let shards = shard::plan(ids.len(), self.config.shards);
+        if shards.is_empty() || preds.is_empty() {
+            return Ok((vec![MatchSet::new(); preds.len()], RunReport::new(0)));
+        }
+        let workers = self.config.workers.min(shards.len());
+
+        let slots: Vec<Mutex<Option<ShardPartials>>> =
             shards.iter().map(|_| Mutex::new(None)).collect();
+        let clocks: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
         let next_shard = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<Error>> = Mutex::new(None);
-        let workers = self.config.workers.min(shards.len());
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for clock in &clocks {
                 scope.spawn(|| loop {
                     let s = next_shard.fetch_add(1, Ordering::Relaxed);
                     if s >= shards.len() || abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    match self.eval_shard(archive, &ids[shards[s].clone()], &prepared) {
-                        Ok(partials) => *slots[s].lock() = Some(partials),
+                    match self.eval_shard(archive, &ids[shards[s].clone()], preds, stamp) {
+                        Ok((partials, sim_seconds)) => {
+                            *slots[s].lock() = Some(partials);
+                            *clock.lock() += sim_seconds;
+                        }
                         Err(e) => {
                             abort.store(true, Ordering::Relaxed);
                             first_error.lock().get_or_insert(e);
@@ -242,69 +318,75 @@ impl QueryEngine {
         if let Some(e) = first_error.into_inner() {
             return Err(e);
         }
-        let shard_partials: Vec<Vec<QueryOutcome>> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every shard completed"))
-            .collect();
-        Ok(merge(shard_partials, queries.len()))
+        let mut sets = vec![MatchSet::new(); preds.len()];
+        for slot in slots {
+            let partials = slot.into_inner().expect("every shard completed");
+            debug_assert_eq!(partials.len(), preds.len());
+            for (set, partial) in sets.iter_mut().zip(partials) {
+                for (id, tier) in partial {
+                    set.insert(id, tier);
+                }
+            }
+        }
+        let report = RunReport {
+            per_worker_sim_seconds: clocks.into_iter().map(Mutex::into_inner).collect(),
+        };
+        Ok((sets, report))
     }
 
-    /// The single-threaded reference path: one pass over the sorted ids, no
-    /// sharding, no cache. The oracle that `run` is property-tested
-    /// against.
-    pub fn run_sequential(
-        &self,
-        archive: &ArchiveStore,
-        queries: &[BatchQuery],
-    ) -> Result<Vec<QueryOutcome>> {
-        let prepared: Vec<Prepared> = queries.iter().map(Prepared::new).collect::<Result<_>>()?;
-        let ids = archive.ids();
-        let partials = self.eval_ids_uncached(archive, &ids, &prepared)?;
-        Ok(merge(vec![partials], queries.len()))
-    }
-
-    /// Evaluates every query against every id of one shard, through the
-    /// feature cache.
+    /// Evaluates every leaf against every id of one shard through the
+    /// feature cache; returns per-leaf hits plus the simulated seconds
+    /// this shard's fetches cost.
     fn eval_shard(
         &self,
         archive: &ArchiveStore,
         ids: &[u64],
-        prepared: &[Prepared],
-    ) -> Result<Vec<QueryOutcome>> {
-        let mut partials = vec![QueryOutcome::default(); prepared.len()];
+        preds: &[PreparedPred],
+        stamp: (u64, u64),
+    ) -> Result<(ShardPartials, f64)> {
+        let needs_entry = preds.iter().any(PreparedPred::needs_entry);
+        let mut partials = vec![Vec::new(); preds.len()];
+        let mut sim_seconds = 0.0;
         for &id in ids {
-            let entry = self.entry_for(archive, id)?;
-            record(&entry, id, prepared, &mut partials);
+            let entry = if needs_entry {
+                let (entry, cost) = self.entry_for(archive, id, stamp)?;
+                sim_seconds += cost;
+                Some(entry)
+            } else {
+                None
+            };
+            record_partial(entry.as_deref(), id, preds, &mut partials);
         }
-        Ok(partials)
+        Ok((partials, sim_seconds))
     }
 
-    /// As [`QueryEngine::eval_shard`] but recomputing every entry — the
-    /// sequential oracle must not share state with the path under test.
-    fn eval_ids_uncached(
+    /// The cached fetch → break → represent pipeline for one sequence;
+    /// also returns the simulated seconds the fetch cost (0 on a hit).
+    /// The cache is consulted and filled only while it still carries this
+    /// run's `stamp` — if a concurrent run re-stamped it for a different
+    /// archive, this run computes fresh entries and leaves the cache to
+    /// its new owner.
+    fn entry_for(
         &self,
         archive: &ArchiveStore,
-        ids: &[u64],
-        prepared: &[Prepared],
-    ) -> Result<Vec<QueryOutcome>> {
-        let mut partials = vec![QueryOutcome::default(); prepared.len()];
-        for &id in ids {
-            let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
-            let entry = StoredEntry::compute(seq, &self.ingest_config())?;
-            record(&entry, id, prepared, &mut partials);
+        id: u64,
+        stamp: (u64, u64),
+    ) -> Result<(Arc<StoredEntry>, f64)> {
+        {
+            let mut cache = self.cache.lock();
+            if cache.stamp == Some(stamp) {
+                if let Some(entry) = cache.lru.get(id) {
+                    return Ok((entry, 0.0));
+                }
+            }
         }
-        Ok(partials)
-    }
-
-    /// The cached fetch → break → represent pipeline for one sequence.
-    fn entry_for(&self, archive: &ArchiveStore, id: u64) -> Result<Arc<StoredEntry>> {
-        if let Some(entry) = self.cache.lock().get(id) {
-            return Ok(entry);
-        }
-        let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+        let (seq, cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
         let entry = Arc::new(StoredEntry::compute(seq, &self.ingest_config())?);
-        self.cache.lock().insert(id, entry.clone());
-        Ok(entry)
+        let mut cache = self.cache.lock();
+        if cache.stamp == Some(stamp) {
+            cache.lru.insert(id, entry.clone());
+        }
+        Ok((entry, cost.total()))
     }
 
     /// The store config with raw retention forced on (band queries need the
@@ -314,45 +396,123 @@ impl QueryEngine {
     }
 }
 
-/// Records one entry's verdicts for every query into the per-shard partial
-/// outcomes (hits stay in id order within a shard).
-fn record(entry: &StoredEntry, id: u64, prepared: &[Prepared], partials: &mut [QueryOutcome]) {
-    for (q, prep) in prepared.iter().enumerate() {
-        match prep.matches(entry) {
-            Some(SequenceMatch::Exact) => partials[q].exact.push(id),
-            Some(SequenceMatch::Approximate(deviation)) => {
-                partials[q].approximate.push(ApproximateMatch { id, deviation })
-            }
-            None => {}
+/// Per-leaf hit lists of one shard (id order within the shard).
+type ShardPartials = Vec<Vec<(u64, MatchTier)>>;
+
+/// Records one entry's verdicts for every leaf into per-leaf match sets.
+fn record(entry: Option<&StoredEntry>, id: u64, preds: &[PreparedPred], sets: &mut [MatchSet]) {
+    for (set, pred) in sets.iter_mut().zip(preds) {
+        if let Some(m) = pred.matches(id, entry) {
+            set.insert(id, MatchTier::from_match(m));
         }
     }
 }
 
-/// Merges per-shard partial outcomes (in shard order) into final outcomes
-/// with the store-level ordering: exact ids ascending, approximate by
-/// `(deviation, id)`.
-fn merge(shard_partials: Vec<Vec<QueryOutcome>>, queries: usize) -> Vec<QueryOutcome> {
-    let mut out = vec![QueryOutcome::default(); queries];
-    for partials in shard_partials {
-        debug_assert_eq!(partials.len(), queries);
-        for (outcome, partial) in out.iter_mut().zip(partials) {
-            // Shards are contiguous runs of the sorted id space, so plain
-            // concatenation keeps `exact` globally sorted.
-            outcome.exact.extend(partial.exact);
-            outcome.approximate.extend(partial.approximate);
+/// As [`record`] but into per-shard partial hit lists (id order within a
+/// shard).
+fn record_partial(
+    entry: Option<&StoredEntry>,
+    id: u64,
+    preds: &[PreparedPred],
+    partials: &mut [Vec<(u64, MatchTier)>],
+) {
+    for (partial, pred) in partials.iter_mut().zip(preds) {
+        if let Some(m) = pred.matches(id, entry) {
+            partial.push((id, MatchTier::from_match(m)));
         }
     }
-    for outcome in &mut out {
-        debug_assert!(outcome.exact.windows(2).all(|w| w[0] < w[1]));
-        sort_approximate_matches(&mut outcome.approximate);
+}
+
+/// A [`QueryEngine`] bound to one archive: the sharded implementation of
+/// the algebra's engine trait. Leaves of a planned expression are
+/// evaluated in a single pass of the worker pool (one fetch per candidate
+/// sequence regardless of leaf count), then composed by the shared plan
+/// executor — so outcomes are id-identical to the sequential engines.
+///
+/// ```
+/// use saq_archive::{ArchiveStore, Medium};
+/// use saq_core::algebra::{QueryEngine as _, QueryExpr};
+/// use saq_engine::{EngineConfig, QueryEngine};
+/// use saq_sequence::generators::{goalpost, GoalpostSpec};
+///
+/// let mut archive = ArchiveStore::new(Medium::memory());
+/// archive.put(1, goalpost(GoalpostSpec::default()));
+/// let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+/// let bound = engine.bind(&archive);
+/// let out = bound.execute(&QueryExpr::peak_count(2, 0).negate()).unwrap();
+/// assert!(out.exact.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct BoundEngine<'e> {
+    engine: &'e QueryEngine,
+    archive: &'e ArchiveStore,
+}
+
+impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let plan = Planner::new(IndexCaps::none()).plan(expr)?;
+        let stamp = self.engine.ensure_fresh(self.archive);
+        let all_ids = self.archive.ids();
+        let universe: Vec<u64> = match plan.id_bounds() {
+            Some((lo, hi)) => all_ids.into_iter().filter(|id| (lo..=hi).contains(id)).collect(),
+            None => all_ids,
+        };
+        let preds: Vec<PreparedPred> = plan
+            .leaves()
+            .into_iter()
+            .map(|node| match node {
+                PlanNode::Leaf { pred, .. } => pred.clone(),
+                _ => unreachable!("leaves() yields only leaves"),
+            })
+            .collect();
+        let entry_leaves = preds.iter().filter(|p| p.needs_entry()).count();
+        let (sets, clocks) = self.engine.eval_leaves(self.archive, &universe, &preds, stamp)?;
+        *self.engine.last_run.lock() = clocks;
+        let mut source = PrecomputedSource { universe: &universe, sets };
+        let (outcome, mut stats) = execute_plan(&plan, &mut source)?;
+        // The sharded pass evaluated every entry-needing leaf against every
+        // candidate, whatever composition later kept.
+        stats.entries_scanned = universe.len() as u64 * entry_leaves as u64;
+        Ok((outcome, stats))
     }
-    out
+}
+
+/// [`LeafSource`] over leaf results the worker pool already produced.
+struct PrecomputedSource<'u> {
+    universe: &'u [u64],
+    sets: Vec<MatchSet>,
+}
+
+impl LeafSource for PrecomputedSource<'_> {
+    fn universe(&mut self) -> Result<Vec<u64>> {
+        Ok(self.universe.to_vec())
+    }
+
+    fn eval_leaf(
+        &mut self,
+        ix: usize,
+        _pred: &PreparedPred,
+        path: AccessPath,
+        candidates: Option<&[u64]>,
+        stats: &mut ExecStats,
+    ) -> Result<MatchSet> {
+        match path {
+            AccessPath::IdFilter => stats.index_leaves += 1,
+            _ => stats.scan_leaves += 1,
+        }
+        let set = self.sets[ix].clone();
+        Ok(match candidates {
+            Some(c) => set.restrict(c),
+            None => set,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saq_archive::Medium;
+    use saq_core::algebra::QueryEngine as _;
     use saq_sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
 
     fn mixed_archive(n: u64) -> ArchiveStore {
@@ -431,6 +591,11 @@ mod tests {
         assert_eq!(warm.misses, cold.misses, "warm run recomputes nothing");
         assert_eq!(warm.hits, cold.hits + 12);
         assert_eq!(archive.elapsed_seconds(), 0.0, "warm run never touches the archive");
+        assert_eq!(
+            engine.last_run_report().sim_total_seconds(),
+            0.0,
+            "warm per-worker clocks stay idle"
+        );
     }
 
     #[test]
@@ -448,22 +613,57 @@ mod tests {
     }
 
     #[test]
-    fn clear_cache_picks_up_replaced_sequences() {
+    fn generation_stamp_invalidates_replaced_sequences() {
         let mut archive = ArchiveStore::new(Medium::memory());
         archive.put(1, goalpost(GoalpostSpec::default()));
         let engine = QueryEngine::new(EngineConfig::default()).unwrap();
         let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
         assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1]);
 
-        // Replace id 1 with a one-peak sequence: the id-keyed cache cannot
-        // notice, so the warm answer is stale by design…
+        // Replace id 1 with a one-peak sequence: the put bumps the
+        // archive's generation, so the warm engine drops its stale entry
+        // on the next run — no clear_cache() call needed.
         archive.put(1, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }));
-        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1], "stale hit");
-
-        // …until the cache is cleared.
-        engine.clear_cache();
         assert!(engine.run(&archive, &two_peaks).unwrap()[0].exact.is_empty());
-        assert_eq!(engine.cache_stats().misses, 1, "clear also resets counters");
+        assert_eq!(engine.cache_stats().misses, 1, "stamp change also resets counters");
+    }
+
+    #[test]
+    fn stale_stamped_access_bypasses_the_cache_but_stays_correct() {
+        // Simulates a run that captured its stamp before a concurrent run
+        // re-stamped the cache for a different archive: the stale run must
+        // compute from its own archive and must not pollute the cache.
+        let mut a1 = ArchiveStore::new(Medium::memory());
+        a1.put(1, goalpost(GoalpostSpec::default())); // two peaks
+        let mut a2 = ArchiveStore::new(Medium::memory());
+        a2.put(1, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() })); // one peak
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let stale_stamp = engine.ensure_fresh(&a1);
+
+        let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
+        assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty(), "a2's id 1 has 1 peak");
+
+        // The stale-stamped path sees a1's real data, not a2's cache…
+        let (entry, _) = engine.entry_for(&a1, 1, stale_stamp).unwrap();
+        assert_eq!(entry.peaks.len(), 2, "computed from a1, not served from a2's cache");
+        // …and did not overwrite a2's cached entry.
+        assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty());
+        assert_eq!(engine.cache_stats().misses, 1, "a2's entry stayed cached throughout");
+    }
+
+    #[test]
+    fn switching_archives_invalidates_too() {
+        let a = mixed_archive(3);
+        let mut b = ArchiveStore::new(Medium::memory());
+        // Same id, different content.
+        b.put(0, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }));
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
+        assert!(engine.run(&a, &two_peaks).unwrap()[0].exact.contains(&0), "id 0 is a goalpost");
+        assert!(
+            !engine.run(&b, &two_peaks).unwrap()[0].exact.contains(&0),
+            "other archive's id 0 has one peak"
+        );
     }
 
     #[test]
@@ -523,5 +723,57 @@ mod tests {
         let approx_ids: Vec<u64> = out[0].approximate.iter().map(|m| m.id).collect();
         assert_eq!(approx_ids, vec![2]);
         assert!(!out[0].all_ids().contains(&3));
+    }
+
+    #[test]
+    fn bound_engine_composes_and_prunes_by_id_range() {
+        let archive = mixed_archive(30);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let bound = engine.bind(&archive);
+        // Goalposts within ids 0..=14 only.
+        let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(0, 14));
+        let (out, stats) = bound.execute_with_stats(&expr).unwrap();
+        assert!(out.exact.iter().all(|id| *id <= 14));
+        assert!(out.exact.contains(&0));
+        assert_eq!(stats.universe, 15, "id bounds prune the candidate universe");
+        assert_eq!(stats.entries_scanned, 15, "one entry-leaf evaluation per candidate");
+    }
+
+    #[test]
+    fn bound_engine_matches_batch_api_on_single_leaves() {
+        let archive = mixed_archive(24);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        for query in batch() {
+            let via_run = engine.run(&archive, std::slice::from_ref(&query)).unwrap().remove(0);
+            let via_expr =
+                engine.bind(&archive).execute(&QueryExpr::Leaf(query.to_pred())).unwrap();
+            assert_eq!(via_run, via_expr, "{query:?}");
+        }
+    }
+
+    #[test]
+    fn per_worker_clocks_show_overlap() {
+        let archive = mixed_archive(32);
+        // Memory fetches cost ~nothing simulated and finish instantly, so
+        // one worker would drain every shard before the rest spawn. Use the
+        // disk cost model with real blocking (~0.8 ms per fetch) so the
+        // pool genuinely interleaves and the per-worker clocks spread.
+        let mut disk = ArchiveStore::new(Medium::local_disk());
+        for id in archive.ids() {
+            disk.put(id, archive.get(id).unwrap().clone());
+        }
+        disk.set_realtime_scale(0.1);
+        let engine =
+            QueryEngine::new(EngineConfig { workers: 4, shards: 8, ..EngineConfig::default() })
+                .unwrap();
+        engine.run(&disk, &batch()).unwrap();
+        let report = engine.last_run_report();
+        assert_eq!(report.workers(), 4);
+        let total = report.sim_total_seconds();
+        let makespan = report.sim_makespan_seconds();
+        assert!(total > 0.0);
+        assert!(makespan > 0.0 && makespan < total, "workers overlap: {report:?}");
+        assert!((total - disk.elapsed_seconds()).abs() < 1e-9, "clocks account every fetch");
+        assert!(report.sim_speedup() > 1.5, "4 workers should overlap: {report:?}");
     }
 }

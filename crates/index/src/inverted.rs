@@ -70,8 +70,10 @@ impl InvertedIndex {
     /// the paper's approximate query `n ± ε` handled "as regular range
     /// queries". Results are deduplicated and sorted.
     pub fn lookup_range(&self, key: i64, tolerance: i64) -> Vec<Posting> {
-        let lo = key - tolerance;
-        let hi = key + tolerance;
+        // Saturate so extreme tolerances mean "unbounded" instead of
+        // overflowing (a negative tolerance still yields an empty range).
+        let lo = key.saturating_sub(tolerance);
+        let hi = key.saturating_add(tolerance);
         let mut out: Vec<Posting> = self
             .tree
             .range(&lo, &hi)
@@ -80,6 +82,26 @@ impl InvertedIndex {
             .collect();
         out.sort();
         out.dedup();
+        out
+    }
+
+    /// All postings with bucket key in `[key - tolerance, key + tolerance]`,
+    /// each paired with the bucket key it was found under. Unlike
+    /// [`InvertedIndex::lookup_range`] this keeps enough information to
+    /// answer an approximate interval query entirely from the index (the
+    /// deviation of a posting is `|bucket key − target|`), so the planner
+    /// can serve interval leaves without touching any stored entry.
+    /// Results are sorted by `(sequence, position, key)`.
+    pub fn range_with_keys(&self, key: i64, tolerance: i64) -> Vec<(i64, Posting)> {
+        let lo = key.saturating_sub(tolerance);
+        let hi = key.saturating_add(tolerance);
+        let mut out: Vec<(i64, Posting)> = self
+            .tree
+            .range(&lo, &hi)
+            .into_iter()
+            .flat_map(|(k, list)| list.iter().map(move |p| (*k, *p)))
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -184,6 +206,26 @@ mod tests {
     }
 
     #[test]
+    fn range_with_keys_reports_bucket_keys() {
+        let mut idx = InvertedIndex::new();
+        idx.add(10, 1, 1);
+        idx.add(12, 1, 0);
+        idx.add(14, 2, 0);
+        idx.add(99, 3, 0);
+        let r = idx.range_with_keys(12, 2);
+        assert_eq!(
+            r,
+            vec![
+                (12, Posting { sequence: 1, position: 0 }),
+                (10, Posting { sequence: 1, position: 1 }),
+                (14, Posting { sequence: 2, position: 0 }),
+            ]
+        );
+        // Deviations are recoverable without touching the sequences.
+        assert_eq!(r.iter().map(|(k, _)| (k - 12).abs()).collect::<Vec<_>>(), vec![0, 2, 2]);
+    }
+
+    #[test]
     fn remove_sequence_strips_all_postings() {
         let mut idx = InvertedIndex::new();
         idx.add(10, 1, 0);
@@ -193,6 +235,17 @@ mod tests {
         assert_eq!(idx.posting_count(), 1);
         assert!(idx.matching_sequences(11, 2) == vec![2]);
         assert_eq!(idx.remove_sequence(1), 0);
+    }
+
+    #[test]
+    fn extreme_tolerances_saturate_instead_of_overflowing() {
+        let mut idx = InvertedIndex::new();
+        idx.add(10, 1, 0);
+        idx.add(-7, 2, 0);
+        assert_eq!(idx.lookup_range(5, i64::MAX).len(), 2, "unbounded range sees everything");
+        assert_eq!(idx.range_with_keys(5, i64::MAX).len(), 2);
+        assert!(idx.lookup_range(i64::MIN, 3).is_empty());
+        assert!(idx.lookup_range(5, -1).is_empty(), "negative tolerance is an empty range");
     }
 
     #[test]

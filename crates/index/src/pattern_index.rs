@@ -96,6 +96,20 @@ impl PatternIndex {
             .collect()
     }
 
+    /// As [`PatternIndex::full_matches`] but restricted to a candidate id
+    /// set, with the pattern already compiled: only the candidates' symbol
+    /// strings are run through the DFA. This is the access path a planner
+    /// takes when an earlier predicate has already narrowed the candidates
+    /// below the index's own document count. Unknown ids are skipped;
+    /// results keep the candidates' order.
+    pub fn full_matches_among(&self, dfa: &Dfa, candidates: &[u64]) -> Vec<u64> {
+        candidates
+            .iter()
+            .filter(|id| self.ids.get(id).is_some_and(|&slot| dfa.is_match(&self.docs[slot].1)))
+            .copied()
+            .collect()
+    }
+
     /// Per-sequence start positions of every (possibly overlapping)
     /// occurrence of the pattern.
     pub fn scan(&self, regex: &Regex) -> Vec<PatternHit> {
@@ -220,6 +234,22 @@ mod tests {
         let mut hits = idx.full_matches(&re);
         hits.sort_unstable();
         assert_eq!(hits, vec![2, 5]);
+    }
+
+    #[test]
+    fn full_matches_among_respects_candidates() {
+        let idx = index_with(&[(1, "uudd"), (2, "uuddfuudd"), (3, "udfudfud"), (5, "fuddfudf")]);
+        let re = Regex::parse("f* u+ d+ f* u+ d+ f*", &ab()).unwrap();
+        let dfa = re.compile();
+        assert_eq!(idx.full_matches_among(&dfa, &[1, 2, 3]), vec![2]);
+        assert_eq!(idx.full_matches_among(&dfa, &[5, 2]), vec![5, 2], "keeps candidate order");
+        assert_eq!(idx.full_matches_among(&dfa, &[42]), Vec::<u64>::new(), "unknown ids skipped");
+        // Restricted and unrestricted paths agree on the full id set.
+        let mut all = idx.full_matches_among(&dfa, &[1, 2, 3, 5]);
+        all.sort_unstable();
+        let mut full = idx.full_matches(&re);
+        full.sort_unstable();
+        assert_eq!(all, full);
     }
 
     #[test]

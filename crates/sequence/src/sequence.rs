@@ -113,6 +113,24 @@ impl Sequence {
         self.points.iter()
     }
 
+    /// Maximum pointwise (L∞) distance of the values of two equally long
+    /// sequences; `None` when the lengths differ. This is the one
+    /// definition of the value-band distance (the paper's Fig. 1) shared
+    /// by the baseline comparators and the query algebra's `ValueBand`
+    /// leaf, so the two can never drift apart.
+    pub fn linf_distance(&self, other: &Sequence) -> Option<f64> {
+        if self.len() != other.len() {
+            return None;
+        }
+        Some(
+            self.points
+                .iter()
+                .zip(&other.points)
+                .map(|(p, q)| (p.v - q.v).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
     /// A sub-sequence view over point indices `[lo, hi)` copied into a new
     /// sequence. Index slicing (not time slicing); see [`Sequence::window_by_time`].
     pub fn slice(&self, lo: usize, hi: usize) -> Result<Sequence> {

@@ -16,7 +16,7 @@
 //! | [`preprocess`] | `saq-preprocess` | filtering, normalization, wavelets |
 //! | [`pattern`] | `saq-pattern` | regex engine over slope alphabets |
 //! | [`index`] | `saq-index` | B+tree, inverted file, pattern index |
-//! | [`core`] | `saq-core` | breaking, representation, features, queries |
+//! | [`core`] | `saq-core` | breaking, representation, features, queries, query algebra + planner |
 //! | [`ecg`] | `saq-ecg` | ECG synthesis and R–R interval workloads |
 //! | [`baseline`] | `saq-baseline` | value-band and DFT/F-index comparators |
 //! | [`archive`] | `saq-archive` | simulated archival storage tiers |
@@ -36,6 +36,11 @@
 //! }).unwrap();
 //! assert_eq!(out.exact, vec![id]);
 //! ```
+//!
+//! Queries compose: see [`core::algebra`] for the `And`/`Or`/`Not`/
+//! `Limit`/`TopK` expression algebra, the planner that pushes indexable
+//! leaves into [`index`] structures, and the `QueryEngine` trait shared
+//! by the sequential and sharded execution backends.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
