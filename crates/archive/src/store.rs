@@ -4,13 +4,19 @@ use crate::medium::{AccessCost, Medium};
 use parking_lot::Mutex;
 use saq_core::{QueryOutcome, QuerySpec, Result, SequenceStore, StoreConfig};
 use saq_sequence::Sequence;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes per raw sample: a timestamp and a value, both `f64`.
 const BYTES_PER_POINT: u64 = 16;
 
 /// Bytes per stored representation parameter.
 const BYTES_PER_PARAM: u64 = 8;
+
+/// How many mutations the dirty-id log retains. Older deltas are forgotten
+/// and [`ArchiveStore::changed_since`] answers `None` (callers fall back
+/// to full invalidation), so the log stays O(1) memory per archive.
+const MUTATION_LOG_CAP: usize = 4096;
 
 /// Raw sequences living on a (simulated) slow medium. Every fetch accrues
 /// simulated latency.
@@ -26,6 +32,12 @@ pub struct ArchiveStore {
     instance: u64,
     /// Bumped on every content mutation; see [`ArchiveStore::generation`].
     generation: u64,
+    /// Recent mutations as `(generation, id)`; `None` ids are wildcard
+    /// entries ("anything may have changed"). Drives
+    /// [`ArchiveStore::changed_since`].
+    mutation_log: VecDeque<(u64, Option<u64>)>,
+    /// Number of [`ArchiveStore::fetch`] calls that found their sequence.
+    fetches: AtomicU64,
 }
 
 /// Source of process-unique [`ArchiveStore::instance_id`]s.
@@ -39,8 +51,10 @@ impl ArchiveStore {
             sequences: HashMap::new(),
             elapsed: Mutex::new(0.0),
             realtime_scale: 0.0,
-            instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             generation: 0,
+            mutation_log: VecDeque::new(),
+            fetches: AtomicU64::new(0),
         }
     }
 
@@ -77,11 +91,69 @@ impl ArchiveStore {
     }
 
     /// Archives a raw sequence (writing is done off the query path and not
-    /// accounted). Replaces silently; the generation counter records that
-    /// the id space changed so id-keyed caches can self-invalidate.
+    /// accounted). Replaces silently; the generation counter and the
+    /// mutation log record that this id changed, so id-keyed caches can
+    /// self-invalidate — incrementally, via
+    /// [`ArchiveStore::changed_since`].
     pub fn put(&mut self, id: u64, seq: Sequence) {
-        self.generation += 1;
+        self.record_mutation(Some(id));
         self.sequences.insert(id, seq);
+    }
+
+    /// Marks the whole archive as potentially changed (a wildcard
+    /// mutation): the generation bumps and every generation delta crossing
+    /// this point reports "unknown" so caches fall back to full
+    /// invalidation. Used when mutable access is handed out without
+    /// tracking what it touched.
+    pub fn mark_all_changed(&mut self) {
+        self.record_mutation(None);
+    }
+
+    /// Appends one mutation to the bounded log, bumping the generation.
+    fn record_mutation(&mut self, id: Option<u64>) {
+        self.generation += 1;
+        if self.mutation_log.len() == MUTATION_LOG_CAP {
+            self.mutation_log.pop_front();
+        }
+        self.mutation_log.push_back((self.generation, id));
+    }
+
+    /// The ids mutated after `generation` (deduplicated, ascending), or
+    /// `None` when the delta is unknown — the generation lies outside the
+    /// retained log, is from the future, or a wildcard mutation
+    /// ([`ArchiveStore::mark_all_changed`]) happened in between. `None`
+    /// means "assume everything changed".
+    ///
+    /// This is the incremental-maintenance contract behind the batch
+    /// engine's dirty-id cache invalidation: a cache stamped with an older
+    /// generation re-fetches exactly these ids instead of dropping
+    /// everything.
+    pub fn changed_since(&self, generation: u64) -> Option<Vec<u64>> {
+        if generation > self.generation {
+            return None;
+        }
+        if generation == self.generation {
+            return Some(Vec::new());
+        }
+        // The log must reach back to the first mutation after `generation`.
+        if self.mutation_log.front().is_none_or(|&(g, _)| g > generation + 1) {
+            return None;
+        }
+        let mut ids = Vec::new();
+        for &(g, id) in &self.mutation_log {
+            if g > generation {
+                ids.push(id?);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+
+    /// Number of successful fetches so far (incremental-mode experiments
+    /// assert re-runs touch only dirty ids through this counter).
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
     }
 
     /// Number of archived sequences.
@@ -114,6 +186,7 @@ impl ArchiveStore {
     /// really sleeping when a realtime scale is configured).
     pub fn fetch(&self, id: u64) -> Option<(&Sequence, AccessCost)> {
         let seq = self.sequences.get(&id)?;
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         let cost = self.medium.access(seq.len() as u64 * BYTES_PER_POINT);
         *self.elapsed.lock() += cost.total();
         if self.realtime_scale > 0.0 {
@@ -176,11 +249,12 @@ impl TieredStore {
     }
 
     /// Mutable access to the raw archive (e.g. to configure realtime
-    /// latency emulation before a batch run). Conservatively bumps the
-    /// archive's generation — the borrow allows arbitrary mutation, so
-    /// id-keyed caches must assume content may have changed.
+    /// latency emulation before a batch run). Conservatively records a
+    /// wildcard mutation — the borrow allows arbitrary changes, so
+    /// id-keyed caches must assume any content may have changed (their
+    /// incremental dirty-id path reports "unknown" across this point).
     pub fn archive_mut(&mut self) -> &mut ArchiveStore {
-        self.archive.generation += 1;
+        self.archive.mark_all_changed();
         &mut self.archive
     }
 
@@ -339,6 +413,64 @@ mod tests {
         let g = t.archive().generation();
         let _ = t.archive_mut();
         assert_eq!(t.archive().generation(), g + 1, "archive_mut is a conservative mutation");
+    }
+
+    #[test]
+    fn changed_since_reports_exact_dirty_ids() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(3, goalpost(GoalpostSpec::default()));
+        a.put(1, goalpost(GoalpostSpec::default()));
+        let g = a.generation();
+        assert_eq!(a.changed_since(g), Some(vec![]), "no mutation since g");
+        a.put(7, goalpost(GoalpostSpec::default()));
+        a.put(1, goalpost(GoalpostSpec::default()));
+        a.put(7, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.changed_since(g), Some(vec![1, 7]), "deduplicated, ascending");
+        assert_eq!(a.changed_since(0), Some(vec![1, 3, 7]), "full history retained");
+        assert_eq!(a.changed_since(a.generation() + 1), None, "future generations are unknown");
+    }
+
+    #[test]
+    fn wildcard_mutations_poison_the_delta() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        let g = a.generation();
+        a.mark_all_changed();
+        a.put(2, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.changed_since(g), None, "a wildcard in the delta means unknown");
+        assert_eq!(a.changed_since(a.generation()), Some(vec![]));
+
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::memory()).unwrap();
+        let g = t.archive().generation();
+        let _ = t.archive_mut();
+        assert_eq!(t.archive().changed_since(g), None, "archive_mut is a wildcard");
+    }
+
+    #[test]
+    fn overflowing_the_mutation_log_degrades_to_unknown() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(0, goalpost(GoalpostSpec::default()));
+        let g = a.generation();
+        for i in 0..(super::MUTATION_LOG_CAP as u64 + 4) {
+            a.put(i % 16, goalpost(GoalpostSpec::default()));
+        }
+        assert_eq!(a.changed_since(g), None, "delta fell off the bounded log");
+        // Recent deltas still resolve.
+        let recent = a.generation();
+        a.put(99, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.changed_since(recent), Some(vec![99]));
+    }
+
+    #[test]
+    fn fetch_count_tracks_successful_fetches() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        assert_eq!(a.fetch_count(), 0);
+        let _ = a.fetch(1);
+        let _ = a.fetch(1);
+        let _ = a.fetch(99);
+        assert_eq!(a.fetch_count(), 2, "misses don't count");
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   `TopK`.
 //! * [`Planner`] — normalizes an expression, chooses an [`AccessPath`] per
 //!   leaf (pattern index, inverted interval file, id filter, or scan) and
-//!   emits a [`PhysicalPlan`].
+//!   emits a [`PhysicalPlan`]. Given a [`PlanStats`] snapshot of the
+//!   backend's index statistics ([`Planner::with_stats`]), it annotates
+//!   leaves with cardinality estimates and orders conjunctions by them —
+//!   most selective first within each access-path cost class — and serves
+//!   `Or`s of index-grade operands as index unions.
 //! * [`execute_plan`] — the one executor shared by every engine; data
 //!   access is abstracted behind [`LeafSource`], so the sequential store
 //!   engine, the sequential archive engine, and the sharded batch engine
@@ -203,13 +207,15 @@ impl PreparedPred {
         }
     }
 
-    /// The compiled slope-pattern regex of a shape leaf, if any.
-    fn regex(&self) -> Option<&saq_pattern::Regex> {
+    /// The compiled slope-pattern regex of a shape leaf, if any. Backends
+    /// that keep their own pattern indexes (the store engine, the sharded
+    /// engine's shard-local indexes) drive pruned index scans with it.
+    pub fn regex(&self) -> Option<&saq_pattern::Regex> {
         self.shape.as_ref().map(|(regex, _)| regex)
     }
 
     /// The compiled DFA of a shape leaf, if any.
-    fn dfa(&self) -> Option<&saq_pattern::Dfa> {
+    pub fn dfa(&self) -> Option<&saq_pattern::Dfa> {
         self.shape.as_ref().map(|(_, dfa)| dfa)
     }
 }
@@ -413,6 +419,11 @@ impl MatchSet {
         self.map.keys().copied().collect()
     }
 
+    /// Iterates `(id, tier)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, MatchTier)> + '_ {
+        self.map.iter().map(|(&id, &tier)| (id, tier))
+    }
+
     /// Conjunction: ids present in both; deviations add, approximate if
     /// either side is.
     pub fn and(self, other: &MatchSet) -> MatchSet {
@@ -568,6 +579,62 @@ impl AccessPath {
     }
 }
 
+/// Statistics a backend hands the [`Planner`] so it can estimate leaf
+/// cardinalities: the candidate universe, its id span, and a snapshot of
+/// the backend's [`saq_index::IndexStats`] (posting-list sizes, per-symbol
+/// prefix counts, interval and peak-count histograms). All estimates are
+/// advisory — they steer conjunction evaluation order, never results.
+#[derive(Debug, Clone, Default)]
+pub struct PlanStats {
+    /// Number of ids in the candidate universe.
+    pub universe: u64,
+    /// Smallest and largest id, when the universe is non-empty.
+    pub id_span: Option<(u64, u64)>,
+    /// Index statistics, when the backend maintains indexes.
+    pub index: Option<saq_index::IndexStats>,
+}
+
+impl PlanStats {
+    /// Snapshots a [`SequenceStore`]'s statistics.
+    pub fn from_store(store: &SequenceStore) -> PlanStats {
+        let ids = store.ids();
+        PlanStats {
+            universe: ids.len() as u64,
+            id_span: ids.first().copied().zip(ids.last().copied()),
+            index: Some(store.index_stats()),
+        }
+    }
+
+    /// Estimated number of matching sequences for one leaf, `None` when no
+    /// statistic covers the predicate (steepness and value-band leaves).
+    pub fn estimate_leaf(&self, pred: &PreparedPred) -> Option<u64> {
+        match pred.pred() {
+            Pred::IdRange { lo, hi } => {
+                let (slo, shi) = self.id_span?;
+                let (olo, ohi) = ((*lo).max(slo), (*hi).min(shi));
+                if olo > ohi {
+                    return Some(0);
+                }
+                // Assume ids spread uniformly over the span.
+                let span = (shi - slo) as u128 + 1;
+                let overlap = (ohi - olo) as u128 + 1;
+                Some(((self.universe as u128 * overlap / span) as u64).min(self.universe))
+            }
+            Pred::Feature(QuerySpec::Shape { .. }) => {
+                let stats = self.index.as_ref()?;
+                Some(stats.pattern.estimate_full_matches(pred.regex()?.ast()))
+            }
+            Pred::Feature(QuerySpec::PeakInterval { interval, epsilon }) => {
+                Some(self.index.as_ref()?.interval.estimate_matches(*interval, *epsilon))
+            }
+            Pred::Feature(QuerySpec::PeakCount { count, tolerance }) => {
+                Some(self.index.as_ref()?.estimate_peak_count(*count, *tolerance))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// One node of a [`PhysicalPlan`], mirroring the normalized expression.
 #[derive(Debug, Clone)]
 pub enum PlanNode {
@@ -576,15 +643,20 @@ pub enum PlanNode {
     Leaf {
         /// Position of this leaf in [`PhysicalPlan::leaves`] order.
         ix: usize,
-        /// The compiled predicate.
-        pred: PreparedPred,
+        /// The compiled predicate (boxed: leaves dominate plan trees and
+        /// the compiled state is much larger than the structural nodes).
+        pred: Box<PreparedPred>,
         /// The chosen access path.
         path: AccessPath,
+        /// Estimated matching-sequence cardinality, when the planner had
+        /// statistics covering this predicate.
+        est: Option<u64>,
     },
     /// Conjunction. `children` keeps the normalized operand order (which
     /// fixes how deviations accumulate); `exec_order` is the planner's
-    /// evaluation order — index-served leaves first so later operands
-    /// evaluate over narrowed candidates.
+    /// evaluation order — cheap access paths first, ties broken by
+    /// estimated cardinality — so later operands evaluate over narrowed
+    /// candidates.
     And {
         /// Operands in normalized order.
         children: Vec<PlanNode>,
@@ -666,12 +738,21 @@ impl PhysicalPlan {
         fn go(node: &PlanNode, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             match node {
-                PlanNode::Leaf { ix, pred, path } => {
-                    let _ =
-                        writeln!(out, "{pad}#{ix} {} via {}", describe(pred.pred()), path.label());
+                PlanNode::Leaf { ix, pred, path, est } => {
+                    let est = est.map(|e| format!(" ~{e}")).unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "{pad}#{ix} {} via {}{est}",
+                        describe(pred.pred()),
+                        path.label()
+                    );
                 }
                 PlanNode::And { children, exec_order } => {
                     let _ = writeln!(out, "{pad}And (exec order {exec_order:?})");
+                    children.iter().for_each(|c| go(c, depth + 1, out));
+                }
+                PlanNode::Or(children) if children.iter().all(|c| cost_class(c) <= 1) => {
+                    let _ = writeln!(out, "{pad}Or (index union)");
                     children.iter().for_each(|c| go(c, depth + 1, out));
                 }
                 PlanNode::Or(children) => {
@@ -704,6 +785,15 @@ impl PhysicalPlan {
 /// Chooses access paths for a normalized [`QueryExpr`], producing a
 /// [`PhysicalPlan`] for [`execute_plan`].
 ///
+/// Conjunction evaluation order is cost-based: children are grouped by
+/// access-path cost class (id filters, then index-served nodes — including
+/// `Or`s whose operands are all index-grade, the *index-union* path — then
+/// scans, then composites), and ordered **within** each class by the
+/// cardinality estimates a [`PlanStats`] snapshot provides
+/// ([`Planner::with_stats`]). Without statistics the planner falls back to
+/// the static class order alone. Ordering never changes results — only how
+/// fast candidate sets narrow.
+///
 /// ```
 /// use saq_core::algebra::{IndexCaps, Planner, QueryExpr};
 ///
@@ -712,20 +802,33 @@ impl PhysicalPlan {
 /// assert_eq!(plan.leaf_count(), 2);
 /// assert!(plan.explain().contains("pattern-index"));
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Planner {
     caps: IndexCaps,
+    stats: Option<PlanStats>,
 }
 
 impl Planner {
-    /// A planner for a backend with the given index capabilities.
+    /// A statistics-free planner for a backend with the given index
+    /// capabilities (conjunctions are ordered by access-path class only).
     pub fn new(caps: IndexCaps) -> Planner {
-        Planner { caps }
+        Planner { caps, stats: None }
+    }
+
+    /// A planner with a statistics snapshot: leaves are annotated with
+    /// cardinality estimates and conjunctions are cost-ordered by them.
+    pub fn with_stats(caps: IndexCaps, stats: PlanStats) -> Planner {
+        Planner { caps, stats: Some(stats) }
     }
 
     /// The capabilities this planner plans for.
     pub fn caps(&self) -> IndexCaps {
         self.caps
+    }
+
+    /// The statistics snapshot, if one was provided.
+    pub fn stats(&self) -> Option<&PlanStats> {
+        self.stats.as_ref()
     }
 
     /// Rewrites an expression into normal form: nested `And`/`Or` nodes
@@ -787,9 +890,10 @@ impl Planner {
             QueryExpr::Leaf(pred) => {
                 let prepared = PreparedPred::new(pred)?;
                 let path = self.leaf_path(pred);
+                let est = self.stats.as_ref().and_then(|s| s.estimate_leaf(&prepared));
                 let ix = *next_ix;
                 *next_ix += 1;
-                Ok(PlanNode::Leaf { ix, pred: prepared, path })
+                Ok(PlanNode::Leaf { ix, pred: Box::new(prepared), path, est })
             }
             QueryExpr::And(children) => {
                 if children.is_empty() {
@@ -797,8 +901,15 @@ impl Planner {
                 }
                 let planned: Vec<PlanNode> =
                     children.iter().map(|c| self.plan_node(c, next_ix)).collect::<Result<_>>()?;
+                let universe = self.stats.as_ref().map(|s| s.universe);
                 let mut exec_order: Vec<usize> = (0..planned.len()).collect();
-                exec_order.sort_by_key(|&i| exec_rank(&planned[i]));
+                // Cheap access paths first; within a class, the smallest
+                // estimated result first (unknown estimates last), so every
+                // later operand sees the tightest candidates we can prove.
+                exec_order.sort_by_key(|&i| {
+                    let node = &planned[i];
+                    (cost_class(node), estimate_node(node, universe).unwrap_or(u64::MAX))
+                });
                 Ok(PlanNode::And { children: planned, exec_order })
             }
             QueryExpr::Or(children) => {
@@ -831,16 +942,57 @@ impl Planner {
     }
 }
 
-/// Evaluation priority inside a conjunction: cheap, selective access paths
-/// first so the expensive ones see narrowed candidates.
-fn exec_rank(node: &PlanNode) -> usize {
+/// Evaluation cost class inside a conjunction: cheap access paths first so
+/// the expensive ones see narrowed candidates. An `Or` whose operands are
+/// all index-grade is itself index-grade — the *index-union* path: the
+/// whole disjunction is answered by unioning index lookups, so it runs
+/// with the index leaves instead of waiting (and instead of its operands
+/// being evaluated over a wide candidate set).
+fn cost_class(node: &PlanNode) -> usize {
     match node {
         PlanNode::Leaf { path: AccessPath::IdFilter, .. } => 0,
         PlanNode::Leaf { path: AccessPath::PatternIndex | AccessPath::IntervalIndex, .. } => 1,
+        PlanNode::Or(children) if children.iter().all(|c| cost_class(c) <= 1) => 1,
         PlanNode::Leaf { path: AccessPath::Scan, .. } => 2,
         PlanNode::And { .. } | PlanNode::Or(_) => 3,
         PlanNode::Not(_) => 4,
         PlanNode::Limit(..) | PlanNode::TopK(..) => 5,
+    }
+}
+
+/// Estimated result cardinality of a plan subtree, from the leaves'
+/// statistics annotations: conjunctions take the tightest child bound,
+/// disjunctions sum (capped by the universe), negations complement, and
+/// the truncating nodes cap at `n`. `None` when nothing is known.
+fn estimate_node(node: &PlanNode, universe: Option<u64>) -> Option<u64> {
+    match node {
+        PlanNode::Leaf { est, .. } => *est,
+        PlanNode::And { children, .. } => {
+            children.iter().filter_map(|c| estimate_node(c, universe)).min()
+        }
+        PlanNode::Or(children) => {
+            let mut sum: u64 = 0;
+            for child in children {
+                sum = sum.saturating_add(estimate_node(child, universe)?);
+            }
+            Some(universe.map_or(sum, |u| sum.min(u)))
+        }
+        PlanNode::Not(child) => Some(universe?.saturating_sub(estimate_node(child, universe)?)),
+        PlanNode::Limit(child, n) | PlanNode::TopK(child, n) => {
+            Some(estimate_node(child, universe).map_or(*n as u64, |e| e.min(*n as u64)))
+        }
+    }
+}
+
+/// Whether the expression contains a conjunction with two or more
+/// operands — the only shape whose plan changes under cardinality
+/// estimates, and therefore the only one worth a statistics snapshot.
+fn has_wide_and(expr: &QueryExpr) -> bool {
+    match expr {
+        QueryExpr::Leaf(_) => false,
+        QueryExpr::And(children) => children.len() >= 2 || children.iter().any(has_wide_and),
+        QueryExpr::Or(children) => children.iter().any(has_wide_and),
+        QueryExpr::Not(c) | QueryExpr::Limit(c, _) | QueryExpr::TopK(c, _) => has_wide_and(c),
     }
 }
 
@@ -933,7 +1085,9 @@ fn exec_node<S: LeafSource>(
     stats: &mut ExecStats,
 ) -> Result<MatchSet> {
     match node {
-        PlanNode::Leaf { ix, pred, path } => source.eval_leaf(*ix, pred, *path, candidates, stats),
+        PlanNode::Leaf { ix, pred, path, .. } => {
+            source.eval_leaf(*ix, pred, *path, candidates, stats)
+        }
         PlanNode::And { children, exec_order } => {
             let mut results: Vec<Option<MatchSet>> = vec![None; children.len()];
             let mut narrowed: Option<Vec<u64>> = candidates.map(<[u64]>::to_vec);
@@ -1038,25 +1192,40 @@ pub trait QueryEngine {
 #[derive(Debug, Clone, Copy)]
 pub struct StoreEngine<'a> {
     store: &'a SequenceStore,
-    planner: Planner,
+    caps: IndexCaps,
+    use_stats: bool,
 }
 
 impl<'a> StoreEngine<'a> {
-    /// An engine over `store` with every index capability enabled.
+    /// An engine over `store` with every index capability enabled and
+    /// statistics-driven planning: plans whose conjunctions have
+    /// something to order are cost-ordered by a fresh snapshot of the
+    /// store's cardinality estimates. The snapshot is taken lazily, per
+    /// plan — single-leaf expressions (the classic
+    /// [`QueryEngine::evaluate`] path) never pay for it.
     pub fn new(store: &'a SequenceStore) -> StoreEngine<'a> {
-        StoreEngine { store, planner: Planner::new(IndexCaps::all()) }
+        StoreEngine { store, caps: IndexCaps::all(), use_stats: true }
     }
 
-    /// An engine with explicit capabilities — [`IndexCaps::none`] forces
-    /// every leaf onto the scan path (the baseline the pushdown
+    /// A statistics-free engine with explicit capabilities — conjunctions
+    /// keep the static class order, and [`IndexCaps::none`] forces every
+    /// leaf onto the scan path (the baselines the pushdown and selectivity
     /// experiments compare against).
     pub fn with_caps(store: &'a SequenceStore, caps: IndexCaps) -> StoreEngine<'a> {
-        StoreEngine { store, planner: Planner::new(caps) }
+        StoreEngine { store, caps, use_stats: false }
     }
 
-    /// Plans an expression with this engine's capabilities.
+    /// Plans an expression with this engine's capabilities. Statistics
+    /// are snapshotted (O(store size)) only when the expression contains
+    /// a multi-operand conjunction — the one place estimates change the
+    /// plan.
     pub fn plan(&self, expr: &QueryExpr) -> Result<PhysicalPlan> {
-        self.planner.plan(expr)
+        let planner = if self.use_stats && has_wide_and(expr) {
+            Planner::with_stats(self.caps, PlanStats::from_store(self.store))
+        } else {
+            Planner::new(self.caps)
+        };
+        planner.plan(expr)
     }
 
     /// Executes a previously built plan.
@@ -1125,30 +1294,7 @@ impl LeafSource for StoreSource<'_> {
                         "interval-index path on a non-interval leaf".into(),
                     ));
                 };
-                let mut set = MatchSet::new();
-                // Postings arrive sorted by (sequence, position): the first
-                // posting of a sequence is its first in-band interval, and
-                // any posting at the exact key makes the match exact —
-                // precisely `PreparedQuery::matches`, served from the index.
-                let mut current: Option<(u64, i64, bool)> = None;
-                for (key, posting) in self.store.interval_index().range_with_keys(interval, epsilon)
-                {
-                    let dev = (key - interval).abs();
-                    match &mut current {
-                        Some((id, _, exact)) if *id == posting.sequence => {
-                            *exact |= dev == 0;
-                        }
-                        _ => {
-                            if let Some(done) = current.take() {
-                                set.insert(done.0, interval_tier(done));
-                            }
-                            current = Some((posting.sequence, dev, dev == 0));
-                        }
-                    }
-                }
-                if let Some(done) = current.take() {
-                    set.insert(done.0, interval_tier(done));
-                }
+                let set = interval_index_match_set(self.store.interval_index(), interval, epsilon);
                 Ok(match candidates {
                     Some(c) => set.restrict(c),
                     None => set,
@@ -1172,6 +1318,41 @@ impl LeafSource for StoreSource<'_> {
             }
         }
     }
+}
+
+/// Serves a peak-interval leaf entirely from an inverted interval file:
+/// postings arrive sorted by `(sequence, position)`, so the first posting
+/// of a sequence is its first in-band interval, and any posting at the
+/// exact key makes the match exact — precisely
+/// [`crate::query::PreparedQuery::matches`]'s interval semantics, without
+/// touching any stored entry. Shared by the store engine's
+/// [`AccessPath::IntervalIndex`] path and the sharded engine's shard-local
+/// indexes.
+pub fn interval_index_match_set(
+    index: &saq_index::InvertedIndex,
+    interval: i64,
+    epsilon: i64,
+) -> MatchSet {
+    let mut set = MatchSet::new();
+    let mut current: Option<(u64, i64, bool)> = None;
+    for (key, posting) in index.range_with_keys(interval, epsilon) {
+        let dev = (key - interval).abs();
+        match &mut current {
+            Some((id, _, exact)) if *id == posting.sequence => {
+                *exact |= dev == 0;
+            }
+            _ => {
+                if let Some(done) = current.take() {
+                    set.insert(done.0, interval_tier(done));
+                }
+                current = Some((posting.sequence, dev, dev == 0));
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        set.insert(done.0, interval_tier(done));
+    }
+    set
 }
 
 /// Tier of one sequence's interval-index result: `(id, first in-band
@@ -1278,6 +1459,116 @@ mod tests {
             }
             other => panic!("expected And root, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_order_scan_leaves_by_estimated_selectivity() {
+        // A skewed ward: many single-peak logs, few goalposts.
+        let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+        for i in 0..12u64 {
+            let seq = if i % 6 == 0 {
+                goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() })
+            } else {
+                peaks(PeaksSpec { centers: vec![12.0], seed: i, ..PeaksSpec::default() })
+            };
+            store.insert(&seq).unwrap();
+        }
+        // Declaration order is pessimal: the unselective steepness leaf
+        // (no statistics) first, the selective peak-count leaf second.
+        let expr = QueryExpr::min_steepness(0.05, 0.0).and(QueryExpr::peak_count(2, 0));
+
+        let stat_free = Planner::new(IndexCaps::all()).plan(&expr).unwrap();
+        match stat_free.root() {
+            PlanNode::And { exec_order, .. } => assert_eq!(exec_order, &vec![0, 1]),
+            other => panic!("expected And root, got {other:?}"),
+        }
+
+        let engine = StoreEngine::new(&store);
+        let informed = engine.plan(&expr).unwrap();
+        match informed.root() {
+            PlanNode::And { children, exec_order } => {
+                assert_eq!(exec_order, &vec![1, 0], "peak-count estimate flips the order");
+                match &children[1] {
+                    PlanNode::Leaf { est, .. } => assert_eq!(*est, Some(2)),
+                    other => panic!("expected leaf, got {other:?}"),
+                }
+            }
+            other => panic!("expected And root, got {other:?}"),
+        }
+        assert!(informed.explain().contains("via scan ~2"), "{}", informed.explain());
+
+        // The flipped order scans fewer entries and returns the same ids.
+        let (cost_out, cost_stats) = engine.execute_with_stats(&expr).unwrap();
+        let (static_out, static_stats) =
+            StoreEngine::with_caps(&store, IndexCaps::all()).execute_with_stats(&expr).unwrap();
+        assert_eq!(cost_out, static_out);
+        assert!(
+            cost_stats.entries_scanned < static_stats.entries_scanned,
+            "cost {cost_stats:?} vs static {static_stats:?}"
+        );
+    }
+
+    #[test]
+    fn leaf_estimates_cover_every_statistic() {
+        let (store, ids) = corpus();
+        let stats = PlanStats::from_store(&store);
+        let est = |expr: &QueryExpr| {
+            let QueryExpr::Leaf(pred) = expr else { panic!("leaf expected") };
+            stats.estimate_leaf(&PreparedPred::new(pred).unwrap())
+        };
+        // Two goalposts out of four sequences.
+        assert_eq!(est(&QueryExpr::peak_count(2, 0)), Some(2));
+        assert_eq!(est(&QueryExpr::peak_count(0, 9)), Some(4));
+        // Shape estimate is an upper bound from symbol statistics.
+        let shape = est(&QueryExpr::shape(GOALPOST)).unwrap();
+        assert!((2..=4).contains(&shape), "{shape}");
+        // Interval estimate comes from the histogram.
+        assert!(est(&QueryExpr::peak_interval(8, 2)).unwrap() >= 1);
+        assert_eq!(est(&QueryExpr::peak_interval(999, 0)), Some(0));
+        // Id ranges interpolate over the span.
+        assert_eq!(est(&QueryExpr::id_range(ids[0], ids[3])), Some(4));
+        assert_eq!(est(&QueryExpr::id_range(500, 900)), Some(0));
+        // No statistic covers steepness or value bands.
+        assert_eq!(est(&QueryExpr::min_steepness(1.0, 0.0)), None);
+        // An empty store estimates nothing (no id span).
+        let empty = PlanStats::from_store(&SequenceStore::default());
+        assert_eq!(empty.universe, 0);
+        assert_eq!(
+            empty.estimate_leaf(&PreparedPred::new(&Pred::IdRange { lo: 0, hi: 9 }).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn or_of_indexable_leaves_takes_the_index_union_path() {
+        let (store, _) = corpus();
+        // (shape OR interval) AND steepness-scan: the disjunction is pure
+        // index work, so it must run before the scan leaf and the scan
+        // leaf must only see the union's survivors.
+        let union = QueryExpr::shape(GOALPOST).or(QueryExpr::peak_interval(8, 1));
+        let expr = QueryExpr::min_steepness(0.05, 0.0).and(union.clone());
+        let engine = StoreEngine::new(&store);
+        let plan = engine.plan(&expr).unwrap();
+        assert!(plan.explain().contains("Or (index union)"), "{}", plan.explain());
+        match plan.root() {
+            PlanNode::And { exec_order, .. } => {
+                assert_eq!(exec_order, &vec![1, 0], "index union runs before the scan leaf");
+            }
+            other => panic!("expected And root, got {other:?}"),
+        }
+        let (out, stats) = engine.execute_with_stats(&expr).unwrap();
+        let union_size = engine.execute(&union).unwrap().all_ids().len();
+        assert_eq!(
+            stats.entries_scanned, union_size as u64,
+            "scan leaf saw only the union's candidates"
+        );
+        // A mixed Or (scan operand) is not index-grade.
+        let mixed = QueryExpr::shape(GOALPOST).or(QueryExpr::min_steepness(0.1, 0.0));
+        let mixed_plan = engine.plan(&QueryExpr::peak_count(2, 0).and(mixed)).unwrap();
+        assert!(!mixed_plan.explain().contains("index union"), "{}", mixed_plan.explain());
+        // Identical results to the scan-only baseline.
+        let baseline = StoreEngine::with_caps(&store, IndexCaps::none()).execute(&expr).unwrap();
+        assert_eq!(out, baseline);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod store;
 pub mod transform;
 
 pub use algebra::{
-    AccessPath, ExecStats, IndexCaps, MatchSet, MatchTier, PhysicalPlan, Planner, Pred,
+    AccessPath, ExecStats, IndexCaps, MatchSet, MatchTier, PhysicalPlan, PlanStats, Planner, Pred,
     PreparedPred, QueryEngine, QueryExpr, StoreEngine,
 };
 pub use alphabet::{slope_alphabet, SlopeSymbol};

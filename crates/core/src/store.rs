@@ -13,6 +13,7 @@ use crate::features::PeakTable;
 use crate::repr::LinearSeries;
 use parking_lot::RwLock;
 use saq_curves::{Line, RegressionFitter};
+use saq_index::{IndexDoc, IndexSet, IndexStats, SequenceIndex as _};
 use saq_sequence::Sequence;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -74,14 +75,17 @@ impl StoredEntry {
     }
 }
 
-/// A store of sequence representations with the paper's two indexes.
+/// A store of sequence representations with the paper's two indexes,
+/// maintained as one [`IndexSet`]: every mutation — [`SequenceStore::insert`],
+/// [`SequenceStore::remove`], [`SequenceStore::reinsert`] — routes through
+/// the set's incremental insert/remove, so the indexes can never drift
+/// from the entry map.
 #[derive(Debug)]
 pub struct SequenceStore {
     config: StoreConfig,
     next_id: u64,
     entries: HashMap<u64, StoredEntry>,
-    pattern_index: saq_index::PatternIndex,
-    interval_index: saq_index::InvertedIndex,
+    indexes: IndexSet,
 }
 
 impl Default for SequenceStore {
@@ -99,13 +103,7 @@ impl SequenceStore {
         if !(config.theta.is_finite() && config.theta >= 0.0) {
             return Err(Error::BadConfig("theta must be finite and >= 0".into()));
         }
-        Ok(SequenceStore {
-            config,
-            next_id: 1,
-            entries: HashMap::new(),
-            pattern_index: saq_index::PatternIndex::new(),
-            interval_index: saq_index::InvertedIndex::new(),
-        })
+        Ok(SequenceStore { config, next_id: 1, entries: HashMap::new(), indexes: IndexSet::new() })
     }
 
     /// The active configuration.
@@ -119,12 +117,45 @@ impl SequenceStore {
         let entry = StoredEntry::compute(seq, &self.config)?;
         let id = self.next_id;
         self.next_id += 1;
-        self.pattern_index.insert(id, entry.symbols.clone());
-        for (pos, bucket) in entry.peaks.interval_buckets().into_iter().enumerate() {
-            self.interval_index.add(bucket, id, pos as u32);
-        }
+        self.index_entry(id, &entry);
         self.entries.insert(id, entry);
         Ok(id)
+    }
+
+    /// Removes a stored sequence, unindexing it everywhere; returns the
+    /// evicted entry. Ids are never reused.
+    pub fn remove(&mut self, id: u64) -> Result<StoredEntry> {
+        let entry = self.entries.remove(&id).ok_or(Error::UnknownSequence { id })?;
+        self.indexes.remove_doc(id);
+        Ok(entry)
+    }
+
+    /// Replaces the sequence stored under an existing id, re-running the
+    /// ingestion pipeline and incrementally swapping its index postings.
+    /// Fails (leaving the store untouched) on unknown ids — fresh data
+    /// goes through [`SequenceStore::insert`].
+    pub fn reinsert(&mut self, id: u64, seq: &Sequence) -> Result<()> {
+        if !self.entries.contains_key(&id) {
+            return Err(Error::UnknownSequence { id });
+        }
+        let entry = StoredEntry::compute(seq, &self.config)?;
+        self.index_entry(id, &entry);
+        self.entries.insert(id, entry);
+        Ok(())
+    }
+
+    /// Routes one entry's index mutation through the [`IndexSet`] (an
+    /// upsert: old postings of `id`, if any, are dropped first).
+    fn index_entry(&mut self, id: u64, entry: &StoredEntry) {
+        let buckets = entry.peaks.interval_buckets();
+        self.indexes.insert_doc(
+            id,
+            &IndexDoc {
+                symbols: &entry.symbols,
+                interval_buckets: &buckets,
+                peak_count: entry.peaks.len(),
+            },
+        );
     }
 
     /// Number of stored sequences.
@@ -151,12 +182,24 @@ impl SequenceStore {
 
     /// The slope-pattern index (§4.4).
     pub fn pattern_index(&self) -> &saq_index::PatternIndex {
-        &self.pattern_index
+        self.indexes.pattern()
     }
 
     /// The inverted-file interval index (Fig. 10).
     pub fn interval_index(&self) -> &saq_index::InvertedIndex {
-        &self.interval_index
+        self.indexes.interval()
+    }
+
+    /// The unified index layer over the stored representations.
+    pub fn index_set(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// Snapshots the per-index statistics (posting-list sizes, per-symbol
+    /// prefix counts, interval and peak-count histograms) that drive the
+    /// planner's cardinality estimates.
+    pub fn index_stats(&self) -> IndexStats {
+        self.indexes.stats()
     }
 
     /// Aggregate compression across all stored representations.
@@ -190,6 +233,16 @@ impl SharedStore {
     /// Ingests a sequence under the write lock.
     pub fn insert(&self, seq: &Sequence) -> Result<u64> {
         self.inner.write().insert(seq)
+    }
+
+    /// Removes a sequence under the write lock.
+    pub fn remove(&self, id: u64) -> Result<StoredEntry> {
+        self.inner.write().remove(id)
+    }
+
+    /// Replaces a sequence under the write lock.
+    pub fn reinsert(&self, id: u64, seq: &Sequence) -> Result<()> {
+        self.inner.write().reinsert(id, seq)
     }
 
     /// Runs a closure with read access.
@@ -254,6 +307,58 @@ mod tests {
         // Two intervals of ~8h each.
         let hits = s.interval_index().matching_sequences(8, 2);
         assert_eq!(hits, vec![id]);
+    }
+
+    #[test]
+    fn remove_unindexes_everywhere() {
+        let mut s = store();
+        let two = goalpost(GoalpostSpec::default());
+        let three = peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() });
+        let a = s.insert(&two).unwrap();
+        let b = s.insert(&three).unwrap();
+        assert_eq!(s.interval_index().matching_sequences(8, 1), vec![b]);
+        let evicted = s.remove(b).unwrap();
+        assert_eq!(evicted.peaks.len(), 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(b).is_err());
+        assert!(s.pattern_index().symbols_of(b).is_none());
+        assert!(s.interval_index().matching_sequences(8, 1).is_empty());
+        assert!(s.remove(b).is_err(), "double remove errors");
+        // The survivor is untouched.
+        assert!(s.pattern_index().symbols_of(a).is_some());
+        // Ids are never reused.
+        let c = s.insert(&two).unwrap();
+        assert!(c > b);
+    }
+
+    #[test]
+    fn reinsert_swaps_representation_and_postings() {
+        let mut s = store();
+        let id = s.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        assert_eq!(s.get(id).unwrap().peaks.len(), 2);
+        let three = peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() });
+        s.reinsert(id, &three).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(id).unwrap().peaks.len(), 3);
+        assert_eq!(s.interval_index().matching_sequences(8, 2), vec![id]);
+        assert_eq!(s.index_stats().estimate_peak_count(2, 0), 0, "old histogram slot vacated");
+        assert!(s.reinsert(999, &three).is_err(), "reinsert needs an existing id");
+        // A failed recompute leaves the store untouched.
+        let empty = Sequence::new(vec![]).unwrap();
+        assert!(s.reinsert(id, &empty).is_err());
+        assert_eq!(s.get(id).unwrap().peaks.len(), 3);
+    }
+
+    #[test]
+    fn index_stats_follow_mutations() {
+        let mut s = store();
+        let a = s.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        let stats = s.index_stats();
+        assert_eq!(stats.pattern.docs, 1);
+        assert_eq!(stats.estimate_peak_count(2, 0), 1);
+        assert!(stats.interval.postings >= 1);
+        s.remove(a).unwrap();
+        assert_eq!(s.index_stats(), saq_index::IndexStats::default());
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Fraction of lookups answered from the cache (0 when none were made).
+    /// Fraction of lookups answered from the cache. Guarded against the
+    /// zero-lookup case: a fresh (or never-consulted) cache reports 0.0
+    /// rather than dividing by zero into NaN.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -31,6 +33,14 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates another counter set (per-worker stats roll up into
+    /// run-level totals with this).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -110,14 +120,15 @@ impl<V: Clone> LruCache<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used entry
-    /// when the cache is full.
-    pub fn insert(&mut self, key: u64, value: V) {
+    /// when the cache is full; returns whether an eviction happened.
+    pub fn insert(&mut self, key: u64, value: V) -> bool {
         if let Some(&slot) = self.map.get(&key) {
             self.slots[slot].value = value;
             self.detach(slot);
             self.attach_front(slot);
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.map.len() == self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "full cache has a tail");
@@ -125,6 +136,7 @@ impl<V: Clone> LruCache<V> {
             self.map.remove(&self.slots[victim].key);
             self.free.push(victim);
             self.stats.evictions += 1;
+            evicted = true;
         }
         let slot = match self.free.pop() {
             Some(i) => {
@@ -138,6 +150,22 @@ impl<V: Clone> LruCache<V> {
         };
         self.map.insert(key, slot);
         self.attach_front(slot);
+        evicted
+    }
+
+    /// Drops one entry (the *targeted* invalidation behind incremental
+    /// cache maintenance — dirty ids are removed, clean entries survive);
+    /// returns whether it was cached. Not counted as an eviction: the
+    /// entry didn't lose a capacity race, its data changed.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.map.remove(&key) {
+            Some(slot) => {
+                self.detach(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Keys from most to least recently used (test/introspection helper).
@@ -260,6 +288,46 @@ mod tests {
             assert_eq!(c.get(k), Some(k * 10));
         }
         assert_eq!(c.stats().evictions, 95);
+    }
+
+    #[test]
+    fn remove_targets_one_entry() {
+        let mut c = LruCache::new(3);
+        for k in 1u64..=3 {
+            c.insert(k, k);
+        }
+        assert!(c.remove(2));
+        assert!(!c.remove(2), "already gone");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys_mru(), vec![3, 1]);
+        assert_eq!(c.stats().evictions, 0, "removal is not an eviction");
+        // The freed slot is reusable and the list stays consistent.
+        c.insert(4, 4);
+        c.insert(5, 5);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 1, "capacity eviction still works");
+        // Removing head and tail keeps the links sane.
+        let head = c.keys_mru()[0];
+        let tail = *c.keys_mru().last().unwrap();
+        assert!(c.remove(head));
+        assert!(c.remove(tail));
+        assert_eq!(c.keys_mru().len(), 1);
+    }
+
+    #[test]
+    fn insert_reports_evictions() {
+        let mut c = LruCache::new(2);
+        assert!(!c.insert(1, ()));
+        assert!(!c.insert(1, ()), "refresh never evicts");
+        assert!(!c.insert(2, ()));
+        assert!(c.insert(3, ()), "capacity overflow evicts");
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = CacheStats { hits: 1, misses: 2, evictions: 0 };
+        a.merge(CacheStats { hits: 4, misses: 1, evictions: 3 });
+        assert_eq!(a, CacheStats { hits: 5, misses: 3, evictions: 3 });
     }
 
     #[test]

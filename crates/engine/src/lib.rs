@@ -15,17 +15,23 @@
 //! 2. **Shard** — candidate ids (sorted) are split into contiguous,
 //!    near-equal shards ([`shard::plan`]).
 //! 3. **Execute** — a fixed pool of worker threads claims shards from a
-//!    shared counter; each worker fetches every sequence of its shard once,
-//!    evaluates every leaf predicate against it, and emits per-leaf partial
-//!    results. Fetches pay the archive's (simulated, optionally real-time
-//!    emulated) access latency, so workers overlap archive waits the way
-//!    parallel tape or jukebox requests would; each worker also keeps its
-//!    own simulated clock, so [`QueryEngine::last_run_report`] exposes the
-//!    batch's simulated *makespan* alongside the serial total.
+//!    shared counter; each worker fetches every sequence of its shard once
+//!    and emits per-leaf partial results. Shape and interval leaves are
+//!    not evaluated entry by entry: the worker builds **shard-local**
+//!    pattern/interval indexes ([`saq_index::IndexSet`]) over the shard's
+//!    cached entries and serves those leaves from them. Fetches pay the
+//!    archive's (simulated, optionally real-time emulated) access latency,
+//!    so workers overlap archive waits the way parallel tape or jukebox
+//!    requests would; each worker also keeps its own simulated clock and
+//!    cache counters, so [`QueryEngine::last_run_report`] exposes the
+//!    batch's simulated *makespan* and per-worker cache stats alongside
+//!    the serial total.
 //! 4. **Cache** — per-sequence break/feature results ([`StoredEntry`]) go
 //!    through a bounded LRU ([`cache::LruCache`]) stamped with the
-//!    archive's `(instance, generation)`; the cache self-invalidates when
-//!    the archive's content changes.
+//!    archive's `(instance, generation)`. Invalidation is *incremental*:
+//!    when the archive can name the ids mutated since the cache's stamp
+//!    ([`ArchiveStore::changed_since`]), only those dirty entries drop, so
+//!    re-running a batch after `k` puts re-fetches exactly `k` sequences.
 //! 5. **Merge & combine** — per-shard hits merge id-sorted per leaf, and
 //!    the shared [`saq_core::algebra::execute_plan`] composes leaves into
 //!    the final outcome — byte-identical to the sequential engines for any
@@ -65,14 +71,15 @@ use parking_lot::Mutex;
 use report::RunReport;
 use saq_archive::ArchiveStore;
 use saq_core::algebra::{
-    execute_plan, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet, MatchTier, PlanNode,
-    Planner, Pred, PreparedPred, QueryExpr,
+    execute_plan, interval_index_match_set, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet,
+    MatchTier, PlanNode, Planner, Pred, PreparedPred, QueryExpr,
 };
 use saq_core::query::{QueryOutcome, QuerySpec};
 use saq_core::store::{StoreConfig, StoredEntry};
 use saq_core::{Error, Result};
+use saq_index::{IndexDoc, IndexSet, SequenceIndex as _};
 use saq_sequence::Sequence;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tuning of the batch executor.
@@ -230,8 +237,8 @@ impl QueryEngine {
             queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
         let stamp = self.ensure_fresh(archive);
         let ids = archive.ids();
-        let (sets, clocks) = self.eval_leaves(archive, &ids, &preds, stamp)?;
-        *self.last_run.lock() = clocks;
+        let (sets, report, _) = self.eval_leaves(archive, &ids, &preds, stamp)?;
+        *self.last_run.lock() = report;
         Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
     }
 
@@ -255,56 +262,85 @@ impl QueryEngine {
         Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
     }
 
-    /// Drops the cache when the archive's `(instance, generation)` stamp
-    /// no longer matches the one the cache was filled under; returns the
-    /// current stamp for the run to carry (cache reads and fills are only
-    /// honored while the cache still carries the run's stamp).
+    /// Re-stamps the cache for the archive's current `(instance,
+    /// generation)` pair and returns that stamp for the run to carry
+    /// (cache reads and fills are only honored while the cache still
+    /// carries the run's stamp).
+    ///
+    /// Invalidation is **incremental** whenever possible: if the cache was
+    /// filled under an older generation of the *same* archive and the
+    /// archive can name the ids mutated in between
+    /// ([`ArchiveStore::changed_since`]), exactly those dirty entries are
+    /// dropped and every clean entry survives — a re-run after `k` puts
+    /// re-fetches only the `k` dirty ids. Only when the delta is unknown
+    /// (different archive, wildcard mutation, or a delta older than the
+    /// archive's bounded mutation log) does the whole cache reset.
     fn ensure_fresh(&self, archive: &ArchiveStore) -> (u64, u64) {
         let current = (archive.instance_id(), archive.generation());
         let mut cache = self.cache.lock();
-        if cache.stamp != Some(current) {
-            if cache.stamp.is_some() {
-                cache.lru = LruCache::new(self.config.cache_capacity);
+        match cache.stamp {
+            Some(stamp) if stamp == current => {}
+            Some((instance, generation)) if instance == current.0 => {
+                match archive.changed_since(generation) {
+                    Some(dirty) => {
+                        for id in dirty {
+                            cache.lru.remove(id);
+                        }
+                    }
+                    None => cache.lru = LruCache::new(self.config.cache_capacity),
+                }
+                cache.stamp = Some(current);
             }
-            cache.stamp = Some(current);
+            Some(_) => {
+                cache.lru = LruCache::new(self.config.cache_capacity);
+                cache.stamp = Some(current);
+            }
+            None => cache.stamp = Some(current),
         }
         current
     }
 
     /// Evaluates every leaf predicate against every candidate id using the
-    /// sharded worker pool; returns one id-sorted [`MatchSet`] per leaf
-    /// plus the per-worker simulated clocks.
+    /// sharded worker pool; returns one id-sorted [`MatchSet`] per leaf,
+    /// the per-worker report (simulated clocks + cache counters), and the
+    /// number of per-entry predicate evaluations the run performed (leaves
+    /// served by the shard-local indexes contribute none).
     fn eval_leaves(
         &self,
         archive: &ArchiveStore,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
-    ) -> Result<(Vec<MatchSet>, RunReport)> {
+    ) -> Result<(Vec<MatchSet>, RunReport, u64)> {
         let shards = shard::plan(ids.len(), self.config.shards);
         if shards.is_empty() || preds.is_empty() {
-            return Ok((vec![MatchSet::new(); preds.len()], RunReport::new(0)));
+            return Ok((vec![MatchSet::new(); preds.len()], RunReport::new(0), 0));
         }
         let workers = self.config.workers.min(shards.len());
 
         let slots: Vec<Mutex<Option<ShardPartials>>> =
             shards.iter().map(|_| Mutex::new(None)).collect();
-        let clocks: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
+        let logs: Vec<Mutex<(f64, CacheStats)>> =
+            (0..workers).map(|_| Mutex::new((0.0, CacheStats::default()))).collect();
+        let entry_evals = AtomicU64::new(0);
         let next_shard = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
         std::thread::scope(|scope| {
-            for clock in &clocks {
+            for log in &logs {
                 scope.spawn(|| loop {
                     let s = next_shard.fetch_add(1, Ordering::Relaxed);
                     if s >= shards.len() || abort.load(Ordering::Relaxed) {
                         return;
                     }
                     match self.eval_shard(archive, &ids[shards[s].clone()], preds, stamp) {
-                        Ok((partials, sim_seconds)) => {
-                            *slots[s].lock() = Some(partials);
-                            *clock.lock() += sim_seconds;
+                        Ok(eval) => {
+                            *slots[s].lock() = Some(eval.partials);
+                            let mut log = log.lock();
+                            log.0 += eval.sim_seconds;
+                            log.1.merge(eval.cache);
+                            entry_evals.fetch_add(eval.entry_evals, Ordering::Relaxed);
                         }
                         Err(e) => {
                             abort.store(true, Ordering::Relaxed);
@@ -328,40 +364,106 @@ impl QueryEngine {
                 }
             }
         }
-        let report = RunReport {
-            per_worker_sim_seconds: clocks.into_iter().map(Mutex::into_inner).collect(),
-        };
-        Ok((sets, report))
+        let (per_worker_sim_seconds, per_worker_cache) =
+            logs.into_iter().map(Mutex::into_inner).unzip();
+        let report = RunReport { per_worker_sim_seconds, per_worker_cache };
+        Ok((sets, report, entry_evals.into_inner()))
     }
 
     /// Evaluates every leaf against every id of one shard through the
-    /// feature cache; returns per-leaf hits plus the simulated seconds
-    /// this shard's fetches cost.
+    /// feature cache.
+    ///
+    /// Shape and interval leaves are not evaluated entry by entry:
+    /// the worker builds a **shard-local** [`IndexSet`] over the shard's
+    /// (LRU-cached) entries and serves those leaves from it — shape leaves
+    /// by a required-symbol-pruned pattern-index scan, interval leaves by
+    /// a B+tree range lookup — so they stop scanning every cached entry.
+    /// Only the remaining leaves (peak count, steepness, value bands) pay
+    /// a per-entry evaluation, counted in
+    /// [`ShardEval::entry_evals`].
     fn eval_shard(
         &self,
         archive: &ArchiveStore,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
-    ) -> Result<(ShardPartials, f64)> {
+    ) -> Result<ShardEval> {
+        let serves: Vec<LeafServe> = preds.iter().map(LeafServe::of).collect();
         let needs_entry = preds.iter().any(PreparedPred::needs_entry);
-        let mut partials = vec![Vec::new(); preds.len()];
-        let mut sim_seconds = 0.0;
+        let build_index = serves.iter().any(LeafServe::is_index);
+        let mut shard_index = build_index.then(IndexSet::new);
+        let mut eval = ShardEval {
+            partials: vec![Vec::new(); preds.len()],
+            sim_seconds: 0.0,
+            cache: CacheStats::default(),
+            entry_evals: 0,
+        };
         for &id in ids {
             let entry = if needs_entry {
-                let (entry, cost) = self.entry_for(archive, id, stamp)?;
-                sim_seconds += cost;
+                let (entry, cost, cache) = self.entry_for(archive, id, stamp)?;
+                eval.sim_seconds += cost;
+                eval.cache.merge(cache);
                 Some(entry)
             } else {
                 None
             };
-            record_partial(entry.as_deref(), id, preds, &mut partials);
+            if let (Some(index), Some(entry)) = (shard_index.as_mut(), entry.as_deref()) {
+                let buckets = entry.peaks.interval_buckets();
+                index.insert_doc(
+                    id,
+                    &IndexDoc {
+                        symbols: &entry.symbols,
+                        interval_buckets: &buckets,
+                        peak_count: entry.peaks.len(),
+                    },
+                );
+            }
+            for ((partial, pred), serve) in eval.partials.iter_mut().zip(preds).zip(&serves) {
+                match serve {
+                    LeafServe::IdOnly => {
+                        if let Some(m) = pred.matches(id, None) {
+                            partial.push((id, MatchTier::from_match(m)));
+                        }
+                    }
+                    LeafServe::EntryScan => {
+                        eval.entry_evals += 1;
+                        if let Some(m) = pred.matches(id, entry.as_deref()) {
+                            partial.push((id, MatchTier::from_match(m)));
+                        }
+                    }
+                    LeafServe::PatternIndex | LeafServe::IntervalIndex => {}
+                }
+            }
         }
-        Ok((partials, sim_seconds))
+        if let Some(index) = &shard_index {
+            for ((partial, pred), serve) in eval.partials.iter_mut().zip(preds).zip(&serves) {
+                match serve {
+                    LeafServe::PatternIndex => {
+                        let regex = pred.regex().expect("shape leaf holds its regex");
+                        let mut hits = index.pattern().full_matches(regex);
+                        hits.sort_unstable();
+                        *partial = hits.into_iter().map(|id| (id, MatchTier::exact())).collect();
+                    }
+                    LeafServe::IntervalIndex => {
+                        let Pred::Feature(QuerySpec::PeakInterval { interval, epsilon }) =
+                            *pred.pred()
+                        else {
+                            unreachable!("interval serve implies an interval leaf");
+                        };
+                        *partial = interval_index_match_set(index.interval(), interval, epsilon)
+                            .iter()
+                            .collect();
+                    }
+                    LeafServe::IdOnly | LeafServe::EntryScan => {}
+                }
+            }
+        }
+        Ok(eval)
     }
 
     /// The cached fetch → break → represent pipeline for one sequence;
-    /// also returns the simulated seconds the fetch cost (0 on a hit).
+    /// also returns the simulated seconds the fetch cost (0 on a hit) and
+    /// this lookup's cache counters (for per-worker accounting).
     /// The cache is consulted and filled only while it still carries this
     /// run's `stamp` — if a concurrent run re-stamped it for a different
     /// archive, this run computes fresh entries and leaves the cache to
@@ -371,22 +473,23 @@ impl QueryEngine {
         archive: &ArchiveStore,
         id: u64,
         stamp: (u64, u64),
-    ) -> Result<(Arc<StoredEntry>, f64)> {
+    ) -> Result<(Arc<StoredEntry>, f64, CacheStats)> {
         {
             let mut cache = self.cache.lock();
             if cache.stamp == Some(stamp) {
                 if let Some(entry) = cache.lru.get(id) {
-                    return Ok((entry, 0.0));
+                    return Ok((entry, 0.0, CacheStats { hits: 1, ..CacheStats::default() }));
                 }
             }
         }
         let (seq, cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
         let entry = Arc::new(StoredEntry::compute(seq, &self.ingest_config())?);
+        let mut delta = CacheStats { misses: 1, ..CacheStats::default() };
         let mut cache = self.cache.lock();
-        if cache.stamp == Some(stamp) {
-            cache.lru.insert(id, entry.clone());
+        if cache.stamp == Some(stamp) && cache.lru.insert(id, entry.clone()) {
+            delta.evictions = 1;
         }
-        Ok((entry, cost.total()))
+        Ok((entry, cost.total(), delta))
     }
 
     /// The store config with raw retention forced on (band queries need the
@@ -399,26 +502,50 @@ impl QueryEngine {
 /// Per-leaf hit lists of one shard (id order within the shard).
 type ShardPartials = Vec<Vec<(u64, MatchTier)>>;
 
+/// Everything one shard's evaluation produced.
+struct ShardEval {
+    partials: ShardPartials,
+    /// Simulated archive seconds this shard's fetches cost.
+    sim_seconds: f64,
+    /// Cache counters observed while materializing this shard's entries.
+    cache: CacheStats,
+    /// Per-entry predicate evaluations (scan-served leaves only).
+    entry_evals: u64,
+}
+
+/// How the sharded pass serves one leaf predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeafServe {
+    /// Id arithmetic alone — no entry, no index.
+    IdOnly,
+    /// Shard-local slope-pattern index (pruned full-match scan).
+    PatternIndex,
+    /// Shard-local inverted interval file (B+tree range lookup).
+    IntervalIndex,
+    /// Per-entry predicate evaluation.
+    EntryScan,
+}
+
+impl LeafServe {
+    fn of(pred: &PreparedPred) -> LeafServe {
+        match pred.pred() {
+            Pred::IdRange { .. } => LeafServe::IdOnly,
+            Pred::Feature(QuerySpec::Shape { .. }) => LeafServe::PatternIndex,
+            Pred::Feature(QuerySpec::PeakInterval { .. }) => LeafServe::IntervalIndex,
+            _ => LeafServe::EntryScan,
+        }
+    }
+
+    fn is_index(&self) -> bool {
+        matches!(self, LeafServe::PatternIndex | LeafServe::IntervalIndex)
+    }
+}
+
 /// Records one entry's verdicts for every leaf into per-leaf match sets.
 fn record(entry: Option<&StoredEntry>, id: u64, preds: &[PreparedPred], sets: &mut [MatchSet]) {
     for (set, pred) in sets.iter_mut().zip(preds) {
         if let Some(m) = pred.matches(id, entry) {
             set.insert(id, MatchTier::from_match(m));
-        }
-    }
-}
-
-/// As [`record`] but into per-shard partial hit lists (id order within a
-/// shard).
-fn record_partial(
-    entry: Option<&StoredEntry>,
-    id: u64,
-    preds: &[PreparedPred],
-    partials: &mut [Vec<(u64, MatchTier)>],
-) {
-    for (partial, pred) in partials.iter_mut().zip(preds) {
-        if let Some(m) = pred.matches(id, entry) {
-            partial.push((id, MatchTier::from_match(m)));
         }
     }
 }
@@ -450,7 +577,10 @@ pub struct BoundEngine<'e> {
 
 impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
     fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
-        let plan = Planner::new(IndexCaps::none()).plan(expr)?;
+        // The engine claims full index capability: shape and interval
+        // leaves are served by the workers' shard-local indexes rather
+        // than the (nonexistent) global indexes of a raw archive.
+        let plan = Planner::new(IndexCaps::all()).plan(expr)?;
         let stamp = self.engine.ensure_fresh(self.archive);
         let all_ids = self.archive.ids();
         let universe: Vec<u64> = match plan.id_bounds() {
@@ -461,18 +591,19 @@ impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
             .leaves()
             .into_iter()
             .map(|node| match node {
-                PlanNode::Leaf { pred, .. } => pred.clone(),
+                PlanNode::Leaf { pred, .. } => pred.as_ref().clone(),
                 _ => unreachable!("leaves() yields only leaves"),
             })
             .collect();
-        let entry_leaves = preds.iter().filter(|p| p.needs_entry()).count();
-        let (sets, clocks) = self.engine.eval_leaves(self.archive, &universe, &preds, stamp)?;
-        *self.engine.last_run.lock() = clocks;
+        let (sets, report, entry_evals) =
+            self.engine.eval_leaves(self.archive, &universe, &preds, stamp)?;
+        *self.engine.last_run.lock() = report;
         let mut source = PrecomputedSource { universe: &universe, sets };
         let (outcome, mut stats) = execute_plan(&plan, &mut source)?;
-        // The sharded pass evaluated every entry-needing leaf against every
-        // candidate, whatever composition later kept.
-        stats.entries_scanned = universe.len() as u64 * entry_leaves as u64;
+        // The sharded pass already evaluated every leaf, whatever
+        // composition later kept: report the per-entry evaluations it
+        // actually performed (index-served leaves perform none).
+        stats.entries_scanned = entry_evals;
         Ok((outcome, stats))
     }
 }
@@ -497,8 +628,10 @@ impl LeafSource for PrecomputedSource<'_> {
         stats: &mut ExecStats,
     ) -> Result<MatchSet> {
         match path {
-            AccessPath::IdFilter => stats.index_leaves += 1,
-            _ => stats.scan_leaves += 1,
+            AccessPath::IdFilter | AccessPath::PatternIndex | AccessPath::IntervalIndex => {
+                stats.index_leaves += 1;
+            }
+            AccessPath::Scan => stats.scan_leaves += 1,
         }
         let set = self.sets[ix].clone();
         Ok(match candidates {
@@ -616,16 +749,71 @@ mod tests {
     fn generation_stamp_invalidates_replaced_sequences() {
         let mut archive = ArchiveStore::new(Medium::memory());
         archive.put(1, goalpost(GoalpostSpec::default()));
+        archive.put(2, goalpost(GoalpostSpec::default()));
         let engine = QueryEngine::new(EngineConfig::default()).unwrap();
         let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
-        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1]);
+        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![1, 2]);
 
         // Replace id 1 with a one-peak sequence: the put bumps the
-        // archive's generation, so the warm engine drops its stale entry
-        // on the next run — no clear_cache() call needed.
+        // archive's generation and logs the dirty id, so the warm engine
+        // drops exactly that entry on the next run — id 2 stays cached.
         archive.put(1, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }));
-        assert!(engine.run(&archive, &two_peaks).unwrap()[0].exact.is_empty());
-        assert_eq!(engine.cache_stats().misses, 1, "stamp change also resets counters");
+        assert_eq!(engine.run(&archive, &two_peaks).unwrap()[0].exact, vec![2]);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 3, "two cold misses + the one dirty id");
+        assert_eq!(stats.hits, 1, "the clean entry survived the re-stamp");
+    }
+
+    #[test]
+    fn incremental_rerun_touches_only_dirty_ids() {
+        let mut archive = mixed_archive(20);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let reference = |a: &ArchiveStore| {
+            QueryEngine::new(EngineConfig::default()).unwrap().run_sequential(a, &batch()).unwrap()
+        };
+        engine.run(&archive, &batch()).unwrap();
+        assert_eq!(archive.fetch_count(), 20, "cold run fetches everything");
+
+        // k = 3 puts: one brand-new id, two replacements.
+        archive.put(100, goalpost(GoalpostSpec { seed: 100, ..GoalpostSpec::default() }));
+        archive.put(4, peaks(PeaksSpec { centers: vec![12.0], seed: 4, ..PeaksSpec::default() }));
+        archive.put(7, random_walk(64, 0.0, 0.2, 77));
+        let before = archive.fetch_count();
+        let out = engine.run(&archive, &batch()).unwrap();
+        assert_eq!(
+            archive.fetch_count() - before,
+            3,
+            "incremental re-run fetches exactly the k dirty ids"
+        );
+        assert_eq!(out, reference(&archive), "incremental results match a cold engine");
+        assert_eq!(engine.last_run_report().cache_totals().misses, 3);
+
+        // A wildcard mutation degrades to full invalidation — correct,
+        // just not incremental.
+        archive.mark_all_changed();
+        let before = archive.fetch_count();
+        let out = engine.run(&archive, &batch()).unwrap();
+        assert_eq!(archive.fetch_count() - before, 21, "unknown delta refetches everything");
+        assert_eq!(out, reference(&archive));
+    }
+
+    #[test]
+    fn shard_local_indexes_serve_shape_and_interval_leaves() {
+        use saq_core::algebra::QueryEngine as _;
+        let archive = mixed_archive(30);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let expr =
+            QueryExpr::shape("0* 1+ (-1)+ 0* 1+ (-1)+ 0*").and(QueryExpr::peak_interval(10, 3));
+        let (out, stats) = engine.bind(&archive).execute_with_stats(&expr).unwrap();
+        assert_eq!(stats.entries_scanned, 0, "both leaves served by shard-local indexes");
+        assert_eq!(stats.index_leaves, 2);
+        assert_eq!(stats.scan_leaves, 0);
+        assert!(!out.all_ids().is_empty(), "{out:?}");
+        // A scan leaf in the mix pays per-entry evaluations; the index
+        // leaves still don't.
+        let mixed = expr.and(QueryExpr::min_steepness(0.1, 0.0));
+        let (_, stats) = engine.bind(&archive).execute_with_stats(&mixed).unwrap();
+        assert_eq!(stats.entries_scanned, 30, "one evaluation per candidate for the scan leaf");
     }
 
     #[test]
@@ -644,7 +832,7 @@ mod tests {
         assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty(), "a2's id 1 has 1 peak");
 
         // The stale-stamped path sees a1's real data, not a2's cache…
-        let (entry, _) = engine.entry_for(&a1, 1, stale_stamp).unwrap();
+        let (entry, _, _) = engine.entry_for(&a1, 1, stale_stamp).unwrap();
         assert_eq!(entry.peaks.len(), 2, "computed from a1, not served from a2's cache");
         // …and did not overwrite a2's cached entry.
         assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty());

@@ -1,0 +1,238 @@
+//! The unified index layer: one abstraction owning *incremental*
+//! maintenance of every index kept over stored sequence representations.
+//!
+//! Stores used to push insertions into each index by hand and had no
+//! removal story at all. [`SequenceIndex`] is the maintenance contract —
+//! insert a document, remove a document, report how many are indexed — and
+//! [`IndexSet`] is the concrete bundle the paper's architecture calls for:
+//! the slope-pattern index (§4.4) and the inverted interval file (§5.2,
+//! Fig. 10) maintained together, plus the peak-count histogram that only
+//! the set (not either member) can keep consistent across removals.
+
+use crate::inverted::InvertedIndex;
+use crate::pattern_index::PatternIndex;
+use crate::stats::IndexStats;
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything the index layer needs to know about one stored sequence
+/// representation. Borrowed views — the caller keeps ownership of the
+/// entry the fields come from.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexDoc<'a> {
+    /// θ-quantized slope symbol ids (the pattern index's document).
+    pub symbols: &'a [u8],
+    /// Inter-peak interval buckets in position order (the inverted file's
+    /// postings for this sequence).
+    pub interval_buckets: &'a [i64],
+    /// Number of peaks (drives the peak-count histogram).
+    pub peak_count: usize,
+}
+
+/// Incremental index maintenance: the one mutation surface every index —
+/// and the [`IndexSet`] bundling them — exposes to a store.
+///
+/// `insert_doc` is an upsert: indexing an id that is already present
+/// replaces its old postings atomically (remove + insert), so callers
+/// never have to track whether an id is new.
+pub trait SequenceIndex {
+    /// Inserts (or replaces) the document of a sequence.
+    fn insert_doc(&mut self, id: u64, doc: &IndexDoc<'_>);
+
+    /// Removes every trace of a sequence; returns whether it was indexed.
+    fn remove_doc(&mut self, id: u64) -> bool;
+
+    /// Number of indexed documents.
+    fn doc_count(&self) -> usize;
+
+    /// Whether nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.doc_count() == 0
+    }
+}
+
+impl SequenceIndex for PatternIndex {
+    fn insert_doc(&mut self, id: u64, doc: &IndexDoc<'_>) {
+        self.insert(id, doc.symbols.to_vec());
+    }
+
+    fn remove_doc(&mut self, id: u64) -> bool {
+        self.remove(id)
+    }
+
+    fn doc_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl SequenceIndex for InvertedIndex {
+    fn insert_doc(&mut self, id: u64, doc: &IndexDoc<'_>) {
+        self.insert_sequence(id, doc.interval_buckets);
+    }
+
+    fn remove_doc(&mut self, id: u64) -> bool {
+        self.remove_sequence(id) > 0
+    }
+
+    fn doc_count(&self) -> usize {
+        self.sequence_count()
+    }
+}
+
+/// The store's full index complement, maintained as one unit: pattern
+/// index + inverted interval file + peak-count histogram. All mutation
+/// goes through [`SequenceIndex::insert_doc`] / [`SequenceIndex::remove_doc`],
+/// which keeps every member consistent under arbitrary insert/remove
+/// interleavings (property-tested against a from-scratch rebuild oracle
+/// in `tests/prop_store_maintenance.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct IndexSet {
+    pattern: PatternIndex,
+    interval: InvertedIndex,
+    /// peak count → number of indexed documents with that many peaks.
+    peak_counts: BTreeMap<usize, u64>,
+    /// id → its indexed peak count (needed to decrement the histogram on
+    /// removal; neither member index remembers it).
+    docs: HashMap<u64, usize>,
+}
+
+impl IndexSet {
+    /// An empty index set.
+    pub fn new() -> IndexSet {
+        IndexSet::default()
+    }
+
+    /// The slope-pattern index (§4.4).
+    pub fn pattern(&self) -> &PatternIndex {
+        &self.pattern
+    }
+
+    /// The inverted interval file (Fig. 10).
+    pub fn interval(&self) -> &InvertedIndex {
+        &self.interval
+    }
+
+    /// The live peak-count histogram.
+    pub fn peak_count_histogram(&self) -> &BTreeMap<usize, u64> {
+        &self.peak_counts
+    }
+
+    /// Snapshots every member's statistics for planning.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            pattern: self.pattern.stats(),
+            interval: self.interval.stats(),
+            peak_counts: self.peak_counts.clone(),
+        }
+    }
+}
+
+impl SequenceIndex for IndexSet {
+    fn insert_doc(&mut self, id: u64, doc: &IndexDoc<'_>) {
+        self.remove_doc(id);
+        self.pattern.insert_doc(id, doc);
+        self.interval.insert_doc(id, doc);
+        *self.peak_counts.entry(doc.peak_count).or_insert(0) += 1;
+        self.docs.insert(id, doc.peak_count);
+    }
+
+    fn remove_doc(&mut self, id: u64) -> bool {
+        let Some(peaks) = self.docs.remove(&id) else {
+            return false;
+        };
+        self.pattern.remove_doc(id);
+        self.interval.remove_doc(id);
+        if let Some(n) = self.peak_counts.get_mut(&peaks) {
+            *n -= 1;
+            if *n == 0 {
+                self.peak_counts.remove(&peaks);
+            }
+        }
+        true
+    }
+
+    fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_pattern::{Alphabet, Regex};
+
+    fn ab() -> Alphabet {
+        Alphabet::new(&['u', 'd', 'f']).unwrap()
+    }
+
+    fn doc<'a>(symbols: &'a [u8], buckets: &'a [i64], peaks: usize) -> IndexDoc<'a> {
+        IndexDoc { symbols, interval_buckets: buckets, peak_count: peaks }
+    }
+
+    #[test]
+    fn insert_populates_every_member() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let syms = ab.encode("uudd").unwrap();
+        set.insert_doc(1, &doc(&syms, &[], 1));
+        let syms2 = ab.encode("uddfud").unwrap();
+        set.insert_doc(2, &doc(&syms2, &[8], 2));
+        assert_eq!(set.doc_count(), 2);
+        assert_eq!(set.pattern().len(), 2);
+        assert_eq!(set.interval().sequence_count(), 1, "id 1 has no intervals");
+        assert_eq!(set.peak_count_histogram().get(&1), Some(&1));
+        assert_eq!(set.peak_count_histogram().get(&2), Some(&1));
+        let re = Regex::parse("u+ d+", &ab).unwrap();
+        assert_eq!(set.pattern().full_matches(&re), vec![1]);
+        assert_eq!(set.interval().matching_sequences(8, 0), vec![2]);
+    }
+
+    #[test]
+    fn remove_strips_every_member() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let syms = ab.encode("ud").unwrap();
+        set.insert_doc(5, &doc(&syms, &[10, 12], 3));
+        assert!(set.remove_doc(5));
+        assert!(set.is_empty());
+        assert_eq!(set.pattern().len(), 0);
+        assert_eq!(set.interval().posting_count(), 0);
+        assert!(set.peak_count_histogram().is_empty());
+        assert!(!set.remove_doc(5), "second removal is a no-op");
+    }
+
+    #[test]
+    fn insert_is_an_upsert() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let syms = ab.encode("uudd").unwrap();
+        set.insert_doc(1, &doc(&syms, &[9], 2));
+        let new_syms = ab.encode("ff").unwrap();
+        set.insert_doc(1, &doc(&new_syms, &[], 0));
+        assert_eq!(set.doc_count(), 1);
+        assert_eq!(set.pattern().symbols_of(1).unwrap(), new_syms.as_slice());
+        assert_eq!(set.interval().posting_count(), 0, "old postings dropped");
+        assert_eq!(set.peak_count_histogram().get(&2), None);
+        assert_eq!(set.peak_count_histogram().get(&0), Some(&1));
+    }
+
+    #[test]
+    fn stats_reflect_live_state() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let a = ab.encode("uudd").unwrap();
+        let b = ab.encode("fud").unwrap();
+        set.insert_doc(1, &doc(&a, &[8, 9], 3));
+        set.insert_doc(2, &doc(&b, &[8], 2));
+        let stats = set.stats();
+        assert_eq!(stats.pattern.docs, 2);
+        assert_eq!(stats.pattern.prefixes.get(&0), Some(&1), "one doc starts with u");
+        assert_eq!(stats.interval.postings, 3);
+        assert_eq!(stats.interval.histogram.get(&8), Some(&2));
+        assert_eq!(stats.estimate_peak_count(2, 1), 2);
+        set.remove_doc(1);
+        let stats = set.stats();
+        assert_eq!(stats.pattern.docs, 1);
+        assert_eq!(stats.interval.postings, 1);
+        assert_eq!(stats.estimate_peak_count(3, 0), 0);
+    }
+}

@@ -11,6 +11,8 @@
 //! it".
 
 use crate::bplus::BPlusTree;
+use crate::stats::IntervalStats;
+use std::collections::HashMap;
 
 /// A pointer from a bucket into a stored sequence representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -26,29 +28,55 @@ pub struct Posting {
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     tree: BPlusTree<i64, Vec<Posting>>,
+    /// Bucket keys holding postings of each sequence — incremental
+    /// bookkeeping so sequence counts and removals touch only the
+    /// sequence's own buckets instead of walking the whole tree.
+    seq_postings: HashMap<u64, Vec<i64>>,
 }
 
 impl InvertedIndex {
     /// An empty index.
     pub fn new() -> Self {
-        InvertedIndex { tree: BPlusTree::new() }
+        InvertedIndex::default()
     }
 
     /// Adds an occurrence of `key` in the given sequence at `position`.
     pub fn add(&mut self, key: i64, sequence: u64, position: u32) {
         let posting = Posting { sequence, position };
-        match self.tree.get_mut(&key) {
+        let inserted = match self.tree.get_mut(&key) {
             Some(list) => {
                 // Keep sorted; ignore exact duplicates.
                 match list.binary_search(&posting) {
-                    Ok(_) => {}
-                    Err(i) => list.insert(i, posting),
+                    Ok(_) => false,
+                    Err(i) => {
+                        list.insert(i, posting);
+                        true
+                    }
                 }
             }
             None => {
                 self.tree.insert(key, vec![posting]);
+                true
             }
+        };
+        if inserted {
+            self.seq_postings.entry(sequence).or_default().push(key);
         }
+    }
+
+    /// Replaces every posting of a sequence with the given interval
+    /// buckets, one posting per position — the incremental-maintenance
+    /// entry point (`remove_sequence` + `add` per bucket).
+    pub fn insert_sequence(&mut self, sequence: u64, buckets: &[i64]) {
+        self.remove_sequence(sequence);
+        for (pos, &bucket) in buckets.iter().enumerate() {
+            self.add(bucket, sequence, pos as u32);
+        }
+    }
+
+    /// Number of distinct sequences with at least one posting.
+    pub fn sequence_count(&self) -> usize {
+        self.seq_postings.len()
     }
 
     /// Number of distinct bucket keys.
@@ -106,18 +134,50 @@ impl InvertedIndex {
     }
 
     /// Removes every posting of a sequence (e.g. when a representation is
-    /// re-ingested); returns how many postings were dropped.
+    /// re-ingested); returns how many postings were dropped. Cost is
+    /// proportional to the sequence's own postings, not the index size:
+    /// the per-sequence bucket-key bookkeeping names exactly the buckets
+    /// to touch.
     pub fn remove_sequence(&mut self, sequence: u64) -> usize {
+        let Some(mut keys) = self.seq_postings.remove(&sequence) else {
+            return 0;
+        };
+        keys.sort_unstable();
+        keys.dedup();
         let mut dropped = 0;
-        let keys: Vec<i64> = self.tree.iter().into_iter().map(|(k, _)| *k).collect();
         for key in keys {
             if let Some(list) = self.tree.get_mut(&key) {
                 let before = list.len();
                 list.retain(|p| p.sequence != sequence);
                 dropped += before - list.len();
+                if list.is_empty() {
+                    self.tree.remove(&key);
+                }
             }
         }
         dropped
+    }
+
+    /// Every bucket with its posting list, in key order — the full index
+    /// contents (rebuild oracles and introspection).
+    pub fn entries(&self) -> Vec<(i64, Vec<Posting>)> {
+        self.tree.iter().into_iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    /// Snapshots the interval histogram and posting totals for planning.
+    pub fn stats(&self) -> IntervalStats {
+        let mut postings = 0;
+        let mut histogram = std::collections::BTreeMap::new();
+        for (&key, list) in self.tree.iter() {
+            postings += list.len() as u64;
+            histogram.insert(key, list.len() as u64);
+        }
+        IntervalStats {
+            sequences: self.seq_postings.len() as u64,
+            buckets: self.tree.len() as u64,
+            postings,
+            histogram,
+        }
     }
 
     /// Distinct sequence ids with any posting in `[key ± tolerance]`.
@@ -235,6 +295,63 @@ mod tests {
         assert_eq!(idx.posting_count(), 1);
         assert!(idx.matching_sequences(11, 2) == vec![2]);
         assert_eq!(idx.remove_sequence(1), 0);
+    }
+
+    #[test]
+    fn insert_sequence_replaces_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_sequence(1, &[8, 9, 8]);
+        idx.insert_sequence(2, &[20]);
+        assert_eq!(idx.sequence_count(), 2);
+        assert_eq!(idx.posting_count(), 4);
+        // Re-ingesting replaces, never accumulates.
+        idx.insert_sequence(1, &[30]);
+        assert_eq!(idx.posting_count(), 2);
+        assert_eq!(idx.matching_sequences(8, 1), Vec::<u64>::new());
+        assert_eq!(idx.matching_sequences(30, 0), vec![1]);
+        // Empty buckets fully unindex a sequence.
+        idx.insert_sequence(2, &[]);
+        assert_eq!(idx.sequence_count(), 1);
+    }
+
+    #[test]
+    fn entries_dump_matches_contents() {
+        let mut idx = InvertedIndex::new();
+        idx.add(12, 2, 0);
+        idx.add(10, 1, 0);
+        idx.add(10, 1, 1);
+        let entries = idx.entries();
+        assert_eq!(
+            entries,
+            vec![
+                (
+                    10,
+                    vec![
+                        Posting { sequence: 1, position: 0 },
+                        Posting { sequence: 1, position: 1 }
+                    ]
+                ),
+                (12, vec![Posting { sequence: 2, position: 0 }]),
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_histogram_tracks_buckets() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_sequence(1, &[8, 8, 9]);
+        idx.insert_sequence(2, &[9]);
+        let stats = idx.stats();
+        assert_eq!(stats.sequences, 2);
+        assert_eq!(stats.buckets, 2);
+        assert_eq!(stats.postings, 4);
+        assert_eq!(stats.histogram.get(&8), Some(&2));
+        assert_eq!(stats.histogram.get(&9), Some(&2));
+        assert_eq!(stats.estimate_matches(9, 0), 2);
+        idx.remove_sequence(1);
+        let stats = idx.stats();
+        assert_eq!(stats.sequences, 1);
+        assert_eq!(stats.histogram.get(&8), None, "emptied buckets drop out");
     }
 
     #[test]

@@ -9,15 +9,23 @@
 //!   `(sequence id, position)` pairs,
 //! * [`PatternIndex`] — the slope-sign pattern index of §4.4, answering
 //!   "positions of the first point of all stored sequences matching a
-//!   pattern" with a DFA scan over stored symbol strings.
+//!   pattern" with a DFA scan over stored symbol strings,
+//! * [`IndexSet`] — the unified maintenance layer: every index a store
+//!   keeps, mutated together through the [`SequenceIndex`] trait
+//!   (incremental insert *and* remove), with per-index statistics
+//!   ([`IndexStats`]) snapshotted for selectivity-driven planning.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bplus;
+pub mod index_set;
 pub mod inverted;
 pub mod pattern_index;
+pub mod stats;
 
 pub use bplus::BPlusTree;
+pub use index_set::{IndexDoc, IndexSet, SequenceIndex};
 pub use inverted::{InvertedIndex, Posting};
 pub use pattern_index::{PatternHit, PatternIndex};
+pub use stats::{IndexStats, IntervalStats, PatternStats};

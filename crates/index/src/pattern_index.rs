@@ -9,7 +9,8 @@
 //! symbol that every match must contain are skipped without running the
 //! DFA.
 
-use saq_pattern::{Ast, Dfa, Regex};
+use crate::stats::{required_symbols, PatternStats};
+use saq_pattern::{Dfa, Regex};
 use std::collections::HashMap;
 
 /// A per-sequence pattern-match result.
@@ -55,6 +56,62 @@ impl PatternIndex {
                 self.ids.insert(sequence, slot);
             }
         }
+    }
+
+    /// Removes a sequence's symbol string; returns whether it was indexed.
+    /// The vacated doc slot is back-filled by the last document, and only
+    /// the occurrence lists of the two affected documents' symbols are
+    /// patched — cost is proportional to those documents, not the index.
+    pub fn remove(&mut self, sequence: u64) -> bool {
+        let Some(slot) = self.ids.remove(&sequence) else {
+            return false;
+        };
+        let (_, removed_symbols) = self.docs.swap_remove(slot);
+        // Drop the vacated slot from the removed doc's symbol lists.
+        for sym in distinct_symbols(&removed_symbols) {
+            if let Some(list) = self.contains.get_mut(&sym) {
+                if let Ok(i) = list.binary_search(&slot) {
+                    list.remove(i);
+                }
+                if list.is_empty() {
+                    self.contains.remove(&sym);
+                }
+            }
+        }
+        // Re-address the back-filled doc: it moved from the old last slot
+        // (the largest slot number, so the tail of each sorted list) to
+        // the vacated one.
+        if slot < self.docs.len() {
+            let last = self.docs.len();
+            let (moved_id, moved_symbols) = &self.docs[slot];
+            self.ids.insert(*moved_id, slot);
+            for sym in distinct_symbols(moved_symbols) {
+                if let Some(list) = self.contains.get_mut(&sym) {
+                    if let Ok(i) = list.binary_search(&last) {
+                        list.remove(i);
+                    }
+                    if let Err(i) = list.binary_search(&slot) {
+                        list.insert(i, slot);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Snapshots per-symbol document and prefix counts for planning.
+    pub fn stats(&self) -> PatternStats {
+        let containing =
+            self.contains.iter().map(|(&sym, list)| (sym, list.len() as u64)).collect();
+        let mut prefixes = std::collections::BTreeMap::new();
+        let mut empty_docs = 0;
+        for (_, symbols) in &self.docs {
+            match symbols.first() {
+                Some(&first) => *prefixes.entry(first).or_insert(0) += 1,
+                None => empty_docs += 1,
+            }
+        }
+        PatternStats { docs: self.docs.len() as u64, empty_docs, containing, prefixes }
     }
 
     fn rebuild_contains(&mut self) {
@@ -170,36 +227,15 @@ impl PatternIndex {
     }
 }
 
-/// Symbols that *every* string in the pattern's language must contain —
-/// a sound filter for candidate pruning.
-fn required_symbols(ast: &Ast) -> Vec<u8> {
-    fn go(ast: &Ast) -> Vec<u8> {
-        match ast {
-            Ast::Epsilon => Vec::new(),
-            Ast::Symbol(s) => vec![*s],
-            Ast::Concat(a, b) => {
-                let mut out = go(a);
-                for s in go(b) {
-                    if !out.contains(&s) {
-                        out.push(s);
-                    }
-                }
-                out
-            }
-            Ast::Alt(a, b) => {
-                // Only symbols required by *both* branches are required.
-                let left = go(a);
-                let right = go(b);
-                left.into_iter().filter(|s| right.contains(s)).collect()
-            }
-            // Zero repetitions allowed: nothing is required.
-            Ast::Star(_) | Ast::Optional(_) => Vec::new(),
-            Ast::Plus(a) => go(a),
+/// The distinct symbols of one document (slope alphabets are tiny, so a
+/// linear-scan set is cheapest).
+fn distinct_symbols(symbols: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &s in symbols {
+        if !out.contains(&s) {
+            out.push(s);
         }
     }
-    let mut out = go(ast);
-    out.sort_unstable();
-    out.dedup();
     out
 }
 
@@ -291,6 +327,38 @@ mod tests {
         assert_eq!(idx.scan(&re).len(), 1);
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.symbols_of(1).unwrap(), &[1, 1]);
+    }
+
+    #[test]
+    fn remove_unindexes_and_backfills_slots() {
+        let ab = ab();
+        let mut idx = index_with(&[(1, "uudd"), (2, "ffff"), (3, "udud")]);
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1), "second removal is a no-op");
+        assert_eq!(idx.len(), 2);
+        assert!(idx.symbols_of(1).is_none());
+        // The back-filled slot still answers queries for the moved doc.
+        assert_eq!(idx.symbols_of(3).unwrap(), ab.encode("udud").unwrap().as_slice());
+        let re = Regex::parse("(u d)+", &ab).unwrap();
+        assert_eq!(idx.full_matches(&re), vec![3]);
+        let re_f = Regex::parse("f+", &ab).unwrap();
+        assert_eq!(idx.full_matches(&re_f), vec![2]);
+    }
+
+    #[test]
+    fn stats_count_docs_prefixes_and_containment() {
+        let mut idx = index_with(&[(1, "uudd"), (2, "ffff"), (3, "dud")]);
+        idx.insert(4, Vec::new());
+        let stats = idx.stats();
+        assert_eq!(stats.docs, 4);
+        assert_eq!(stats.empty_docs, 1);
+        assert_eq!(stats.containing.get(&0), Some(&2), "u in docs 1 and 3");
+        assert_eq!(stats.containing.get(&2), Some(&1), "f only in doc 2");
+        assert_eq!(stats.prefixes.get(&0), Some(&1));
+        assert_eq!(stats.prefixes.get(&1), Some(&1));
+        assert_eq!(stats.prefixes.get(&2), Some(&1));
+        idx.remove(2);
+        assert_eq!(idx.stats().containing.get(&2), None);
     }
 
     #[test]

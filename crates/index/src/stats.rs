@@ -1,0 +1,242 @@
+//! Per-index statistics for selectivity estimation.
+//!
+//! Each index structure can snapshot the distribution of what it stores —
+//! posting-list sizes, per-symbol document/prefix counts, interval
+//! histograms — into a cheap, detachable [`IndexStats`] value. A query
+//! planner consumes the snapshot to estimate how many sequences a leaf
+//! predicate will match *before* choosing an evaluation order, without
+//! holding a borrow on the live indexes.
+//!
+//! Estimates are upper bounds on the true cardinality wherever the
+//! underlying filter is sound (required-symbol containment, first-symbol
+//! prefixes, posting counts per bucket); they are estimates, not answers —
+//! executing the plan still produces exact results.
+
+use saq_pattern::Ast;
+use std::collections::BTreeMap;
+
+/// Statistics of a [`crate::PatternIndex`]: document counts per symbol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Number of indexed documents (symbol strings).
+    pub docs: u64,
+    /// Documents with an empty symbol string.
+    pub empty_docs: u64,
+    /// Per symbol: number of documents containing it at least once.
+    pub containing: BTreeMap<u8, u64>,
+    /// Per symbol: number of documents whose string *starts* with it.
+    pub prefixes: BTreeMap<u8, u64>,
+}
+
+impl PatternStats {
+    /// Estimated number of documents whose whole string matches the
+    /// pattern: the tightest of the containment bounds (every match must
+    /// contain every required symbol) and the prefix bound (every
+    /// non-empty match must start with one of the language's possible
+    /// first symbols).
+    pub fn estimate_full_matches(&self, ast: &Ast) -> u64 {
+        let mut est = self.docs;
+        for sym in required_symbols(ast) {
+            est = est.min(self.containing.get(&sym).copied().unwrap_or(0));
+        }
+        let (firsts, nullable) = first_symbols(ast);
+        let prefix_bound: u64 =
+            firsts.iter().map(|s| self.prefixes.get(s).copied().unwrap_or(0)).sum::<u64>()
+                + if nullable { self.empty_docs } else { 0 };
+        est.min(prefix_bound)
+    }
+}
+
+/// Statistics of a [`crate::InvertedIndex`]: the interval histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Number of distinct sequences with at least one posting.
+    pub sequences: u64,
+    /// Number of distinct bucket keys.
+    pub buckets: u64,
+    /// Total postings across all buckets.
+    pub postings: u64,
+    /// Posting-list size per bucket key — the interval histogram.
+    pub histogram: BTreeMap<i64, u64>,
+}
+
+impl IntervalStats {
+    /// Total postings with bucket key in `[key - tolerance, key + tolerance]`.
+    pub fn postings_in(&self, key: i64, tolerance: i64) -> u64 {
+        if tolerance < 0 {
+            return 0;
+        }
+        let lo = key.saturating_sub(tolerance);
+        let hi = key.saturating_add(tolerance);
+        self.histogram.range(lo..=hi).map(|(_, n)| n).sum()
+    }
+
+    /// Estimated number of distinct sequences with a posting in
+    /// `[key ± tolerance]`: the in-range posting count, capped by the
+    /// number of indexed sequences (a sound upper bound — each matching
+    /// sequence contributes at least one in-range posting).
+    pub fn estimate_matches(&self, key: i64, tolerance: i64) -> u64 {
+        self.postings_in(key, tolerance).min(self.sequences)
+    }
+}
+
+/// The combined statistics snapshot of an [`crate::IndexSet`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Slope-pattern index statistics.
+    pub pattern: PatternStats,
+    /// Inverted interval-file statistics.
+    pub interval: IntervalStats,
+    /// Histogram of per-document peak counts (maintained by the
+    /// [`crate::IndexSet`], not by either member index).
+    pub peak_counts: BTreeMap<usize, u64>,
+}
+
+impl IndexStats {
+    /// Estimated number of documents with `count ± tolerance` peaks.
+    pub fn estimate_peak_count(&self, count: usize, tolerance: usize) -> u64 {
+        let lo = count.saturating_sub(tolerance);
+        let hi = count.saturating_add(tolerance);
+        self.peak_counts.range(lo..=hi).map(|(_, n)| n).sum()
+    }
+}
+
+/// Symbols that *every* string in the pattern's language must contain — a
+/// sound containment filter (shared with the pattern index's candidate
+/// pruning).
+pub(crate) fn required_symbols(ast: &Ast) -> Vec<u8> {
+    fn go(ast: &Ast) -> Vec<u8> {
+        match ast {
+            Ast::Epsilon => Vec::new(),
+            Ast::Symbol(s) => vec![*s],
+            Ast::Concat(a, b) => {
+                let mut out = go(a);
+                for s in go(b) {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+                out
+            }
+            Ast::Alt(a, b) => {
+                // Only symbols required by *both* branches are required.
+                let left = go(a);
+                let right = go(b);
+                left.into_iter().filter(|s| right.contains(s)).collect()
+            }
+            // Zero repetitions allowed: nothing is required.
+            Ast::Star(_) | Ast::Optional(_) => Vec::new(),
+            Ast::Plus(a) => go(a),
+        }
+    }
+    let mut out = go(ast);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The possible first symbols of the pattern's language, plus whether the
+/// language accepts the empty string (standard FIRST/nullable computation).
+fn first_symbols(ast: &Ast) -> (Vec<u8>, bool) {
+    fn merge(into: &mut Vec<u8>, from: Vec<u8>) {
+        for s in from {
+            if !into.contains(&s) {
+                into.push(s);
+            }
+        }
+    }
+    fn go(ast: &Ast) -> (Vec<u8>, bool) {
+        match ast {
+            Ast::Epsilon => (Vec::new(), true),
+            Ast::Symbol(s) => (vec![*s], false),
+            Ast::Concat(a, b) => {
+                let (mut fa, na) = go(a);
+                let (fb, nb) = go(b);
+                if na {
+                    merge(&mut fa, fb);
+                }
+                (fa, na && nb)
+            }
+            Ast::Alt(a, b) => {
+                let (mut fa, na) = go(a);
+                let (fb, nb) = go(b);
+                merge(&mut fa, fb);
+                (fa, na || nb)
+            }
+            Ast::Star(a) | Ast::Optional(a) => (go(a).0, true),
+            Ast::Plus(a) => go(a),
+        }
+    }
+    let (mut firsts, nullable) = go(ast);
+    firsts.sort_unstable();
+    (firsts, nullable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_pattern::{Alphabet, Regex};
+
+    fn ast(pattern: &str) -> Ast {
+        let ab = Alphabet::new(&['u', 'd', 'f']).unwrap();
+        Regex::parse(pattern, &ab).unwrap().ast().clone()
+    }
+
+    #[test]
+    fn first_symbols_and_nullability() {
+        let (firsts, nullable) = first_symbols(&ast("u+ d+"));
+        assert_eq!(firsts, vec![0]);
+        assert!(!nullable);
+        let (firsts, nullable) = first_symbols(&ast("f* u d"));
+        assert_eq!(firsts, vec![0, 2], "f* may be empty, so u is also a first");
+        assert!(!nullable);
+        let (_, nullable) = first_symbols(&ast("u*"));
+        assert!(nullable);
+    }
+
+    #[test]
+    fn pattern_estimates_bound_by_containment_and_prefix() {
+        let stats = PatternStats {
+            docs: 10,
+            empty_docs: 0,
+            containing: [(0u8, 6u64), (1, 4), (2, 9)].into_iter().collect(),
+            prefixes: [(0u8, 2u64), (1, 3), (2, 5)].into_iter().collect(),
+        };
+        // `u+ d+`: containment bound min(6, 4) = 4, prefix bound (starts
+        // with u) = 2 — the prefix bound is tighter.
+        assert_eq!(stats.estimate_full_matches(&ast("u+ d+")), 2);
+        // `f* u+ d+`: first symbols {f, u} → 5 + 2 = 7; containment 4 wins.
+        assert_eq!(stats.estimate_full_matches(&ast("f* u+ d+")), 4);
+        // A symbol nothing contains.
+        let mut no_d = stats.clone();
+        no_d.containing.remove(&1);
+        assert_eq!(no_d.estimate_full_matches(&ast("d")), 0);
+    }
+
+    #[test]
+    fn interval_estimates_cap_at_sequence_count() {
+        let stats = IntervalStats {
+            sequences: 3,
+            buckets: 3,
+            postings: 12,
+            histogram: [(8i64, 5u64), (9, 4), (20, 3)].into_iter().collect(),
+        };
+        assert_eq!(stats.postings_in(8, 1), 9);
+        assert_eq!(stats.estimate_matches(8, 1), 3, "capped by distinct sequences");
+        assert_eq!(stats.estimate_matches(20, 0), 3);
+        assert_eq!(stats.estimate_matches(40, 2), 0);
+        assert_eq!(stats.postings_in(8, -1), 0, "negative tolerance is empty");
+    }
+
+    #[test]
+    fn peak_count_histogram_sums_range() {
+        let stats = IndexStats {
+            peak_counts: [(1usize, 7u64), (2, 2), (3, 1)].into_iter().collect(),
+            ..IndexStats::default()
+        };
+        assert_eq!(stats.estimate_peak_count(2, 0), 2);
+        assert_eq!(stats.estimate_peak_count(2, 1), 10);
+        assert_eq!(stats.estimate_peak_count(0, 0), 0);
+        assert_eq!(stats.estimate_peak_count(0, 5), 10);
+    }
+}

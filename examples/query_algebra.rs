@@ -44,7 +44,12 @@ fn main() {
         .and(QueryExpr::id_range(21, 30).negate())
         .top_k(5);
 
-    // What the planner will do with it on an index-capable store.
+    // What the planner will do with it on an index-capable store. The
+    // `~N` after each access path is the leaf's estimated cardinality,
+    // drawn from the store's index statistics (symbol prefix counts, the
+    // interval histogram, the id span): the planner orders conjunctions
+    // by these estimates so the most selective operands narrow the
+    // candidates first.
     let engine = StoreEngine::new(&store);
     println!("physical plan:\n{}", engine.plan(&expr).unwrap().explain());
 
@@ -86,6 +91,14 @@ fn main() {
         report.sim_makespan_seconds(),
         report.sim_total_seconds(),
         report.sim_speedup(),
+        report.workers()
+    );
+    let cache = report.cache_totals();
+    println!(
+        "feature cache this run: {} hits / {} misses ({:.0}% hit rate) across {} workers",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
         report.workers()
     );
 }
