@@ -816,7 +816,24 @@ impl Planner {
     }
 
     /// A planner with a statistics snapshot: leaves are annotated with
-    /// cardinality estimates and conjunctions are cost-ordered by them.
+    /// cardinality estimates (shown as `~N` in
+    /// [`PhysicalPlan::explain`]) and conjunctions are cost-ordered by
+    /// them — most selective first within each access-path cost class.
+    ///
+    /// ```
+    /// use saq_core::algebra::{IndexCaps, PlanStats, Planner, QueryExpr};
+    /// use saq_core::store::SequenceStore;
+    /// use saq_sequence::generators::{goalpost, GoalpostSpec};
+    ///
+    /// let mut store = SequenceStore::default();
+    /// store.insert(&goalpost(GoalpostSpec::default())).unwrap();
+    ///
+    /// let planner = Planner::with_stats(IndexCaps::all(), PlanStats::from_store(&store));
+    /// let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::min_steepness(0.1, 0.0));
+    /// let explain = planner.plan(&expr).unwrap().explain();
+    /// // The peak-count leaf carries its histogram estimate (one goalpost).
+    /// assert!(explain.contains("~1"), "{explain}");
+    /// ```
     pub fn with_stats(caps: IndexCaps, stats: PlanStats) -> Planner {
         Planner { caps, stats: Some(stats) }
     }
@@ -1165,6 +1182,32 @@ pub trait QueryEngine {
     /// lowering it to a single-leaf expression.
     fn evaluate(&self, spec: &QuerySpec) -> Result<QueryOutcome> {
         self.execute(&QueryExpr::from(spec.clone()))
+    }
+
+    /// Parses a SAQL query ([`crate::lang::saql`]) and executes it. Every
+    /// engine accepts the textual language through this one entry point;
+    /// parse errors surface as [`Error::BadConfig`] with a caret
+    /// diagnostic rendered into the message.
+    ///
+    /// ```
+    /// use saq_core::algebra::{QueryEngine as _, StoreEngine};
+    /// use saq_core::store::SequenceStore;
+    /// use saq_sequence::generators::{goalpost, GoalpostSpec};
+    ///
+    /// let mut store = SequenceStore::default();
+    /// let id = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
+    /// let out = StoreEngine::new(&store)
+    ///     .execute_saql("peaks = 2 and interval = 10 tol 3")
+    ///     .unwrap();
+    /// assert_eq!(out.exact, vec![id]);
+    /// ```
+    fn execute_saql(&self, text: &str) -> Result<QueryOutcome> {
+        self.execute(&crate::lang::saql::parse(text)?)
+    }
+
+    /// As [`QueryEngine::execute_saql`], returning execution counters too.
+    fn execute_saql_with_stats(&self, text: &str) -> Result<(QueryOutcome, ExecStats)> {
+        self.execute_with_stats(&crate::lang::saql::parse(text)?)
     }
 }
 

@@ -1,11 +1,19 @@
-//! A small textual query language for generalized approximate queries —
-//! the paper's §6 future work ("Define a query language that supports
-//! generalized approximate queries"), in the constraint-per-dimension
-//! style it sketches: the user states the shape and per-dimension error
-//! tolerances.
+//! Textual query languages over the paper's generalized approximate
+//! queries — the §6 future work ("Define a query language that supports
+//! generalized approximate queries").
 //!
-//! Grammar (case-insensitive keywords, `#`-comments, clauses joined by
-//! `and`):
+//! Two entry points share one grammar and one parser:
+//!
+//! * [`saql`] — **SAQL**, the full algebra: `and`/`or`/`not` with
+//!   precedence and parentheses, `limit`/`topk` truncations, id ranges,
+//!   value bands, and the feature clauses below. See `docs/SAQL.md`.
+//! * [`parse_query`] / [`run_query`] — the original clause language, kept
+//!   as a compatibility shim over SAQL's conjunctive feature subset:
+//!   clauses joined by `and`, in the constraint-per-dimension style the
+//!   paper sketches (the user states the shape and per-dimension error
+//!   tolerances).
+//!
+//! Clause grammar (case-insensitive keywords, `#`-comments):
 //!
 //! ```text
 //! query     := clause ('and' clause)*
@@ -24,7 +32,9 @@
 //! total deviation is the sum across dimensions — each dimension carries
 //! its own metric, per §2.2).
 
-use crate::algebra::{QueryExpr, StoreEngine};
+pub mod saql;
+
+use crate::algebra::{Pred, QueryExpr, StoreEngine};
 use crate::error::{Error, Result};
 use crate::query::{ApproximateMatch, QueryOutcome, QuerySpec};
 use crate::store::SequenceStore;
@@ -51,19 +61,36 @@ impl ParsedQuery {
     }
 }
 
-/// Parses the textual language into clauses.
+/// Parses the textual clause language into clauses.
+///
+/// This is a shim over the SAQL parser ([`saql::parse`]) restricted to its
+/// original subset: a conjunction of feature clauses. Queries that use the
+/// wider algebra — `or`, `not`, parentheses, `limit`/`topk`, `id`/`band`
+/// leaves — parse fine as SAQL but are rejected here with a pointer to
+/// [`saql::parse`], which returns the full [`QueryExpr`].
 pub fn parse_query(text: &str) -> Result<ParsedQuery> {
-    let tokens = tokenize(text)?;
-    if tokens.is_empty() {
-        return Err(Error::BadConfig("empty query".into()));
-    }
-    let mut parser = Parser { tokens, pos: 0 };
-    let mut clauses = vec![parser.clause()?];
-    while !parser.at_end() {
-        parser.expect_keyword("and")?;
-        clauses.push(parser.clause()?);
-    }
+    let expr = saql::parse(text)?;
+    let clauses = conjunctive_feature_clauses(&expr).ok_or_else(|| {
+        Error::BadConfig(
+            "parse_query covers the conjunctive clause subset (feature clauses joined by \
+             `and`); use lang::saql::parse for the full algebra"
+                .into(),
+        )
+    })?;
     Ok(ParsedQuery { clauses })
+}
+
+/// Extracts the clause list when `expr` is a flat conjunction of feature
+/// leaves (or a single feature leaf); `None` for anything wider.
+fn conjunctive_feature_clauses(expr: &QueryExpr) -> Option<Vec<QuerySpec>> {
+    let feature = |child: &QueryExpr| match child {
+        QueryExpr::Leaf(Pred::Feature(spec)) => Some(spec.clone()),
+        _ => None,
+    };
+    match expr {
+        QueryExpr::And(children) => children.iter().map(feature).collect(),
+        leaf => Some(vec![feature(leaf)?]),
+    }
 }
 
 /// Parses and evaluates a conjunctive query against a store.
@@ -113,180 +140,6 @@ pub fn conjoin(outcomes: &[QueryOutcome]) -> QueryOutcome {
         a.deviation.partial_cmp(&b.deviation).expect("finite deviations").then(a.id.cmp(&b.id))
     });
     QueryOutcome { exact, approximate }
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Token {
-    Word(String),
-    Str(String),
-    Number(f64),
-    Eq,
-    Ge,
-}
-
-fn tokenize(text: &str) -> Result<Vec<Token>> {
-    let mut out = Vec::new();
-    let chars: Vec<char> = text.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c.is_whitespace() {
-            i += 1;
-        } else if c == '#' {
-            while i < chars.len() && chars[i] != '\n' {
-                i += 1;
-            }
-        } else if c == '"' {
-            let start = i + 1;
-            let mut j = start;
-            while j < chars.len() && chars[j] != '"' {
-                j += 1;
-            }
-            if j >= chars.len() {
-                return Err(Error::BadConfig("unterminated string literal".into()));
-            }
-            out.push(Token::Str(chars[start..j].iter().collect()));
-            i = j + 1;
-        } else if c == '=' {
-            out.push(Token::Eq);
-            i += 1;
-        } else if c == '>' && chars.get(i + 1) == Some(&'=') {
-            out.push(Token::Ge);
-            i += 2;
-        } else if c.is_ascii_digit() || c == '-' || c == '.' {
-            let start = i;
-            i += 1;
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
-                i += 1;
-            }
-            let s: String = chars[start..i].iter().collect();
-            let v: f64 = s.parse().map_err(|_| Error::BadConfig(format!("bad number `{s}`")))?;
-            out.push(Token::Number(v));
-        } else if c.is_alphabetic() {
-            let start = i;
-            while i < chars.len() && chars[i].is_alphanumeric() {
-                i += 1;
-            }
-            out.push(Token::Word(chars[start..i].iter().collect::<String>().to_lowercase()));
-        } else {
-            return Err(Error::BadConfig(format!("unexpected character `{c}`")));
-        }
-    }
-    Ok(out)
-}
-
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
-}
-
-impl Parser {
-    fn at_end(&self) -> bool {
-        self.pos >= self.tokens.len()
-    }
-
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
-    }
-
-    fn next(&mut self) -> Result<&Token> {
-        let t = self
-            .tokens
-            .get(self.pos)
-            .ok_or_else(|| Error::BadConfig("unexpected end of query".into()))?;
-        self.pos += 1;
-        Ok(t)
-    }
-
-    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
-        match self.next()? {
-            Token::Word(w) if w == kw => Ok(()),
-            other => Err(Error::BadConfig(format!("expected `{kw}`, got {other:?}"))),
-        }
-    }
-
-    fn expect_number(&mut self) -> Result<f64> {
-        match self.next()? {
-            Token::Number(v) => Ok(*v),
-            other => Err(Error::BadConfig(format!("expected a number, got {other:?}"))),
-        }
-    }
-
-    fn optional_number_after(&mut self, kw: &str) -> Result<Option<f64>> {
-        if matches!(self.peek(), Some(Token::Word(w)) if w == kw) {
-            self.pos += 1;
-            Ok(Some(self.expect_number()?))
-        } else {
-            Ok(None)
-        }
-    }
-
-    fn clause(&mut self) -> Result<QuerySpec> {
-        let head = match self.next()? {
-            Token::Word(w) => w.clone(),
-            other => return Err(Error::BadConfig(format!("expected a clause, got {other:?}"))),
-        };
-        match head.as_str() {
-            "shape" => match self.next()? {
-                Token::Str(s) => Ok(QuerySpec::Shape { pattern: s.clone() }),
-                other => Err(Error::BadConfig(format!(
-                    "`shape` expects a quoted pattern, got {other:?}"
-                ))),
-            },
-            "peaks" => {
-                self.expect_eq()?;
-                let count = self.expect_count()?;
-                let tol = self.optional_number_after("tol")?.unwrap_or(0.0);
-                Ok(QuerySpec::PeakCount { count, tolerance: tol as usize })
-            }
-            "interval" => {
-                self.expect_eq()?;
-                let interval = self.expect_number()?;
-                let tol = self.optional_number_after("tol")?.unwrap_or(0.0);
-                Ok(QuerySpec::PeakInterval {
-                    interval: interval.round() as i64,
-                    epsilon: tol.round() as i64,
-                })
-            }
-            "steepness" => {
-                let mode = match self.next()? {
-                    Token::Word(w) if w == "all" || w == "any" => w.clone(),
-                    other => {
-                        return Err(Error::BadConfig(format!(
-                            "`steepness` expects `all` or `any`, got {other:?}"
-                        )))
-                    }
-                };
-                match self.next()? {
-                    Token::Ge => {}
-                    other => return Err(Error::BadConfig(format!("expected `>=`, got {other:?}"))),
-                }
-                let steepness = self.expect_number()?;
-                let slack = self.optional_number_after("slack")?.unwrap_or(0.0);
-                if mode == "all" {
-                    Ok(QuerySpec::MinPeakSteepness { steepness, slack })
-                } else {
-                    Ok(QuerySpec::HasSteepPeak { steepness, slack })
-                }
-            }
-            other => Err(Error::BadConfig(format!("unknown clause `{other}`"))),
-        }
-    }
-
-    fn expect_eq(&mut self) -> Result<()> {
-        match self.next()? {
-            Token::Eq => Ok(()),
-            other => Err(Error::BadConfig(format!("expected `=`, got {other:?}"))),
-        }
-    }
-
-    fn expect_count(&mut self) -> Result<usize> {
-        let v = self.expect_number()?;
-        if v < 0.0 || v.fract() != 0.0 {
-            return Err(Error::BadConfig(format!("expected a non-negative integer, got {v}")));
-        }
-        Ok(v as usize)
-    }
 }
 
 #[cfg(test)]
@@ -343,6 +196,17 @@ mod tests {
         ] {
             let err = parse_query(text).unwrap_err().to_string();
             assert!(err.contains(needle), "`{text}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn full_algebra_queries_are_deferred_to_saql() {
+        // These parse as SAQL but exceed the clause subset.
+        for text in ["peaks = 1 or peaks = 2", "not peaks = 2", "peaks = 2 limit 3", "id in [0..9]"]
+        {
+            let err = parse_query(text).unwrap_err().to_string();
+            assert!(err.contains("saql"), "`{text}` -> `{err}`");
+            assert!(saql::parse(text).is_ok(), "`{text}` must still be valid SAQL");
         }
     }
 

@@ -28,6 +28,9 @@
 //!    leaves), the [`Planner`] that pushes indexable leaves into
 //!    `saq-index` structures, and the [`QueryEngine`] trait shared by the
 //!    sequential and sharded execution backends.
+//! 8. **Languages** ([`lang`]) — SAQL ([`lang::saql`]), the textual
+//!    surface for the full algebra (grammar in `docs/SAQL.md`), and the
+//!    original conjunctive clause language as a shim over its subset.
 //!
 //! ## Quick start
 //!
@@ -68,6 +71,7 @@ pub use alphabet::{slope_alphabet, SlopeSymbol};
 pub use brk::Breaker;
 pub use error::{Error, Result};
 pub use features::{Peak, PeakTable};
+pub use lang::saql::{parse as parse_saql, parse_and_plan, print as print_saql, SaqlError, Span};
 pub use lang::{parse_query, run_query, ParsedQuery};
 pub use multi::{Family, MultiSeries};
 pub use persist::{load_series, read_series, save_series, write_series};

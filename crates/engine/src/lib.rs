@@ -222,7 +222,27 @@ impl QueryEngine {
 
     /// Binds the engine to an archive as a composable-query backend
     /// implementing [`saq_core::algebra::QueryEngine`]: plans fan out
-    /// across this engine's worker pool and feature cache.
+    /// across this engine's worker pool and feature cache. The trait also
+    /// brings the textual entry point, so SAQL queries run sharded:
+    ///
+    /// ```
+    /// use saq_archive::{ArchiveStore, Medium};
+    /// use saq_core::algebra::{QueryEngine as _, QueryExpr};
+    /// use saq_engine::{EngineConfig, QueryEngine};
+    /// use saq_sequence::generators::{goalpost, GoalpostSpec};
+    ///
+    /// let mut archive = ArchiveStore::new(Medium::memory());
+    /// for id in 0..6 {
+    ///     archive.put(id, goalpost(GoalpostSpec { seed: id, ..GoalpostSpec::default() }));
+    /// }
+    /// let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+    /// let bound = engine.bind(&archive);
+    /// let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(2, 4));
+    /// assert_eq!(bound.execute(&expr).unwrap().exact, vec![2, 3, 4]);
+    /// // Same query, as SAQL text.
+    /// let out = bound.execute_saql("peaks = 2 and id in [2..4]").unwrap();
+    /// assert_eq!(out.exact, vec![2, 3, 4]);
+    /// ```
     pub fn bind<'e>(&'e self, archive: &'e ArchiveStore) -> BoundEngine<'e> {
         BoundEngine { engine: self, archive }
     }

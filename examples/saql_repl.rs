@@ -1,0 +1,141 @@
+//! An explain-driven SAQL REPL: type a query against a small demo ward,
+//! see the physical plan the statistics-backed planner chose (access
+//! paths + `~N` cardinality estimates) next to the results it produces.
+//!
+//! Run with `cargo run --example saql_repl`. A few demo queries run on
+//! startup (so non-interactive runs — CI — still exercise the loop), then
+//! lines are read from stdin until EOF or `:quit`. `:help` lists the
+//! commands, `docs/SAQL.md` documents the grammar.
+
+use saq::core::algebra::{ExecStats, StoreEngine};
+use saq::core::lang::saql;
+use saq::core::query::QueryOutcome;
+use saq::core::store::{SequenceStore, StoreConfig};
+use saq::sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+use std::io::BufRead as _;
+
+const HELP: &str = "\
+SAQL quick reference (full grammar: docs/SAQL.md)
+  shape \"0* 1+ (-1)+ 0*\"            slope pattern (both notations)
+  peaks = 2 tol 1                     peak count ± tolerance
+  interval = 10 tol 3                 inter-peak interval ± tolerance
+  steepness all >= 2.0 slack 0.25     every flank this steep (any = some)
+  id in [0..9]                        id partition
+  band [0:98.6, 1:99.5] delta 0.5     value envelope around a sequence
+combine with:  and, or, not, ( ), limit n, topk k
+commands:      :help   :corpus   :quit";
+
+fn main() {
+    let (store, kinds) = ward();
+    let engine = StoreEngine::new(&store);
+    println!("SAQL REPL — {} sequences loaded. :help for syntax, :quit to leave.", kinds.len());
+
+    // Demo queries first: they show the explain-next-to-results format and
+    // keep this example meaningful when stdin is closed (CI).
+    for text in [
+        "shape \"0* 1+ (-1)+ 0* 1+ (-1)+ 0*\" and interval = 10 tol 3 topk 5",
+        "peaks = 3 or peaks = 1 and not id in [12..23]",
+        "steepness any >= 0.8 slack 0.25 limit 4",
+    ] {
+        println!("\nsaql> {text}");
+        run_line(&engine, text);
+    }
+
+    println!();
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("saql> ");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => break,
+        };
+        let text = line.trim();
+        match text {
+            "" => continue,
+            ":quit" | ":q" | ":exit" => break,
+            ":help" | ":h" | "?" => println!("{HELP}"),
+            ":corpus" => {
+                for (id, kind) in &kinds {
+                    println!("  #{id:<3} {kind}");
+                }
+            }
+            _ if text.starts_with(':') => println!("unknown command `{text}` — try :help"),
+            _ => run_line(&engine, text),
+        }
+    }
+}
+
+/// Parses one query; on success prints the plan's `explain` and the
+/// outcome, on failure the caret diagnostic.
+fn run_line(engine: &StoreEngine<'_>, text: &str) {
+    let expr = match saql::parse_spanned(text) {
+        Ok(expr) => expr,
+        Err(err) => {
+            println!("{}", err.render(text));
+            return;
+        }
+    };
+    let plan = match engine.plan(&expr) {
+        Ok(plan) => plan,
+        Err(err) => {
+            println!("plan error: {err}");
+            return;
+        }
+    };
+    print!("── plan ────────────────────────────────\n{}", plan.explain());
+    match engine.run_plan(&plan) {
+        Ok((outcome, stats)) => print_outcome(&outcome, &stats),
+        Err(err) => println!("execution error: {err}"),
+    }
+}
+
+fn print_outcome(outcome: &QueryOutcome, stats: &ExecStats) {
+    println!("── result ──────────────────────────────");
+    println!("  exact       ({}): {:?}", outcome.exact.len(), outcome.exact);
+    let approx: Vec<String> =
+        outcome.approximate.iter().map(|m| format!("#{}±{:.2}", m.id, m.deviation)).collect();
+    println!("  approximate ({}): [{}]", approx.len(), approx.join(", "));
+    println!(
+        "  ({} candidates, {} entries scanned, {} index-served / {} scan leaves)",
+        stats.universe, stats.entries_scanned, stats.index_leaves, stats.scan_leaves
+    );
+}
+
+/// A 24-patient demo ward: goalpost fevers, triple spikes, single spikes,
+/// wandering baselines.
+fn ward() -> (SequenceStore, Vec<(u64, &'static str)>) {
+    let mut store = SequenceStore::new(StoreConfig::default()).unwrap();
+    let mut kinds = Vec::new();
+    for i in 0..24u64 {
+        let (seq, kind) = match i % 4 {
+            0 => (
+                goalpost(GoalpostSpec { seed: i, noise: 0.12, ..GoalpostSpec::default() }),
+                "goalpost fever (2 peaks ~10h apart)",
+            ),
+            1 => (
+                peaks(PeaksSpec {
+                    centers: vec![5.0, 12.0, 19.0],
+                    seed: i,
+                    noise: 0.1,
+                    ..PeaksSpec::default()
+                }),
+                "triple spike",
+            ),
+            2 => (
+                peaks(PeaksSpec {
+                    centers: vec![12.0],
+                    seed: i,
+                    noise: 0.2,
+                    ..PeaksSpec::default()
+                }),
+                "single spike",
+            ),
+            _ => (random_walk(49, 0.0, 0.25, i), "wandering baseline"),
+        };
+        let id = store.insert(&seq).unwrap();
+        kinds.push((id, kind));
+    }
+    (store, kinds)
+}

@@ -1,0 +1,50 @@
+//! Keeps `docs/SAQL.md` honest: every fenced code block tagged `saql` in
+//! the grammar document must parse, and must round-trip through the
+//! unparser. Run by the CI docs job (and plain `cargo test`).
+
+use saq::core::lang::saql;
+
+const DOC: &str = include_str!("../docs/SAQL.md");
+
+/// Extracts the contents of every ```saql fenced block.
+fn saql_blocks(doc: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        let fence = line.trim_start();
+        match &mut current {
+            None if fence.trim_end() == "```saql" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if fence.starts_with("```") {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```saql block in docs/SAQL.md");
+    blocks
+}
+
+#[test]
+fn every_saql_block_in_the_docs_parses_and_round_trips() {
+    let blocks = saql_blocks(DOC);
+    assert!(
+        blocks.len() >= 7,
+        "docs/SAQL.md should keep its worked examples (found {})",
+        blocks.len()
+    );
+    for block in &blocks {
+        let expr = saql::parse(block)
+            .unwrap_or_else(|e| panic!("docs/SAQL.md block failed to parse:\n{block}\n{e}"));
+        let printed = expr.to_saql().expect("documented queries are printable");
+        assert_eq!(
+            saql::parse(&printed).expect("printed form re-parses"),
+            expr,
+            "docs/SAQL.md block does not round-trip:\n{block}"
+        );
+    }
+}
