@@ -8,7 +8,7 @@
 //! id-range leaves are index-grade. For the sharded parallel counterpart
 //! see `saq_engine::QueryEngine::bind`.
 
-use crate::store::ArchiveStore;
+use crate::store::{ArchiveSnapshot, ArchiveStore};
 use saq_core::algebra::{
     execute_plan, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet, MatchTier, Planner, Pred,
     PreparedPred, QueryEngine, QueryExpr,
@@ -36,32 +36,58 @@ use std::rc::Rc;
 /// ```
 #[derive(Debug)]
 pub struct ArchiveScanEngine<'a> {
-    archive: &'a ArchiveStore,
+    target: ScanTarget<'a>,
     config: StoreConfig,
+}
+
+/// What an execution reads: a live archive (each run captures a fresh
+/// snapshot) or one pinned generation (every run reads the same state).
+#[derive(Debug)]
+enum ScanTarget<'a> {
+    Live(&'a ArchiveStore),
+    Pinned(ArchiveSnapshot),
 }
 
 impl<'a> ArchiveScanEngine<'a> {
     /// An engine over `archive`, representing sequences with the given
     /// ingestion parameters (raw retention is forced on — value-band
-    /// leaves need the raw samples).
+    /// leaves need the raw samples). Each execution captures a snapshot up
+    /// front and runs entirely against it, so a query racing a writer sees
+    /// one consistent generation.
     pub fn new(archive: &'a ArchiveStore, config: StoreConfig) -> ArchiveScanEngine<'a> {
-        ArchiveScanEngine { archive, config: StoreConfig { keep_raw: true, ..config } }
+        ArchiveScanEngine {
+            target: ScanTarget::Live(archive),
+            config: StoreConfig { keep_raw: true, ..config },
+        }
+    }
+
+    /// An engine pinned to one [`ArchiveSnapshot`]: every execution reads
+    /// that generation, no matter how far the live archive has moved on.
+    pub fn pinned(snapshot: ArchiveSnapshot, config: StoreConfig) -> ArchiveScanEngine<'static> {
+        ArchiveScanEngine {
+            target: ScanTarget::Pinned(snapshot),
+            config: StoreConfig { keep_raw: true, ..config },
+        }
     }
 }
 
 impl QueryEngine for ArchiveScanEngine<'_> {
     fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let snap = match &self.target {
+            ScanTarget::Live(archive) => archive.snapshot(),
+            ScanTarget::Pinned(snapshot) => snapshot.clone(),
+        };
         let plan = Planner::new(IndexCaps::none()).plan(expr)?;
-        let mut source =
-            ScanSource { archive: self.archive, config: self.config, entries: HashMap::new() };
+        let mut source = ScanSource { snap: &snap, config: self.config, entries: HashMap::new() };
         execute_plan(&plan, &mut source)
     }
 }
 
-/// Leaf evaluation by archive scan, memoizing each sequence's computed
-/// entry so a multi-leaf expression fetches and represents it once.
+/// Leaf evaluation by scanning one pinned archive generation, memoizing
+/// each sequence's computed entry so a multi-leaf expression fetches and
+/// represents it once.
 struct ScanSource<'a> {
-    archive: &'a ArchiveStore,
+    snap: &'a ArchiveSnapshot,
     config: StoreConfig,
     entries: HashMap<u64, Rc<StoredEntry>>,
 }
@@ -71,7 +97,7 @@ impl ScanSource<'_> {
         if let Some(entry) = self.entries.get(&id) {
             return Ok(entry.clone());
         }
-        let (seq, _cost) = self.archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+        let (seq, _cost) = self.snap.fetch(id).ok_or(Error::UnknownSequence { id })?;
         let entry = Rc::new(StoredEntry::compute(seq, &self.config)?);
         self.entries.insert(id, entry.clone());
         Ok(entry)
@@ -80,7 +106,7 @@ impl ScanSource<'_> {
 
 impl LeafSource for ScanSource<'_> {
     fn universe(&mut self) -> Result<Vec<u64>> {
-        Ok(self.archive.ids())
+        Ok(self.snap.ids().to_vec())
     }
 
     fn eval_leaf(
@@ -93,7 +119,7 @@ impl LeafSource for ScanSource<'_> {
     ) -> Result<MatchSet> {
         let ids = match candidates {
             Some(c) => c.to_vec(),
-            None => self.archive.ids(),
+            None => self.snap.ids().to_vec(),
         };
         if path == AccessPath::IdFilter {
             stats.index_leaves += 1;

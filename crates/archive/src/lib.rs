@@ -22,4 +22,4 @@ mod store;
 
 pub use engine::ArchiveScanEngine;
 pub use medium::{AccessCost, Medium};
-pub use store::{ArchiveStore, TieredStore};
+pub use store::{ArchiveSnapshot, ArchiveSnapshotProbe, ArchiveStore, TieredStore};

@@ -1,11 +1,18 @@
 //! Archive and tiered stores with simulated access accounting.
+//!
+//! The archive is snapshot-isolated: its contents live in an immutable
+//! [`ArchiveState`] behind an `Arc` swap, writers install a new state
+//! (clone-on-write of only the touched bucket) and readers pin the one
+//! they captured — see [`ArchiveStore::snapshot`].
 
 use crate::medium::{AccessCost, Medium};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use saq_core::{QueryOutcome, QuerySpec, Result, SequenceStore, StoreConfig};
+use saq_index::ShardedCowMap;
 use saq_sequence::Sequence;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 /// Bytes per raw sample: a timestamp and a value, both `f64`.
 const BYTES_PER_POINT: u64 = 16;
@@ -20,24 +27,133 @@ const MUTATION_LOG_CAP: usize = 4096;
 
 /// Raw sequences living on a (simulated) slow medium. Every fetch accrues
 /// simulated latency.
-#[derive(Debug)]
+///
+/// An `ArchiveStore` is a cheap *handle*: cloning it yields another handle
+/// to the same archive (same contents, same clocks and counters, same
+/// generation line), which is how a writer thread and reader threads share
+/// one archive without external locking. Mutators keep `&mut self`
+/// signatures to mark intent, but mutations are visible through every
+/// handle. Readers that need a stable view take an [`ArchiveSnapshot`].
+#[derive(Debug, Clone)]
 pub struct ArchiveStore {
+    shared: Arc<ArchiveShared>,
+}
+
+/// State shared by every handle (and snapshot) of one archive.
+#[derive(Debug)]
+struct ArchiveShared {
     medium: Medium,
-    sequences: HashMap<u64, Sequence>,
-    elapsed: Mutex<f64>,
-    /// Real seconds slept per simulated second on each fetch (0 = never
-    /// sleep). See [`ArchiveStore::set_realtime_scale`].
-    realtime_scale: f64,
     /// Process-unique identity of this archive instance.
     instance: u64,
-    /// Bumped on every content mutation; see [`ArchiveStore::generation`].
-    generation: u64,
-    /// Recent mutations as `(generation, id)`; `None` ids are wildcard
-    /// entries ("anything may have changed"). Drives
-    /// [`ArchiveStore::changed_since`].
-    mutation_log: VecDeque<(u64, Option<u64>)>,
+    /// Simulated seconds accrued by fetches.
+    elapsed: Mutex<f64>,
+    /// Real seconds slept per simulated second on each fetch, as `f64`
+    /// bits (0 = never sleep). See [`ArchiveStore::set_realtime_scale`].
+    realtime_scale_bits: AtomicU64,
     /// Number of [`ArchiveStore::fetch`] calls that found their sequence.
     fetches: AtomicU64,
+    /// The current immutable contents. Writers install a new `Arc` under
+    /// the write lock; readers briefly hold the read lock only to clone
+    /// the `Arc` out.
+    state: RwLock<Arc<ArchiveState>>,
+    /// Recent mutations; drives [`ArchiveStore::changed_since`].
+    log: Mutex<MutationLog>,
+}
+
+/// One immutable generation of archive contents. Never mutated once
+/// published — writers build a successor (sharing every untouched bucket)
+/// and swap it in.
+#[derive(Debug)]
+struct ArchiveState {
+    /// The generation this state was installed at.
+    generation: u64,
+    sequences: ShardedCowMap<Sequence>,
+    /// Sorted ids, computed lazily once per generation.
+    ids: OnceLock<Vec<u64>>,
+}
+
+impl ArchiveState {
+    fn sorted_ids(&self) -> &[u64] {
+        self.ids.get_or_init(|| self.sequences.sorted_ids())
+    }
+}
+
+/// The bounded recent-mutation log. Entries cover contiguous generation
+/// ranges: a run of mutations to the *same* id coalesces into one entry
+/// (`first..=last`) instead of consuming one slot per put, so single-id
+/// churn can never evict other ids' deltas (`None` ids are wildcard
+/// entries — "anything may have changed").
+#[derive(Debug, Default)]
+struct MutationLog {
+    entries: VecDeque<LogEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    /// First and last generation this entry covers (inclusive).
+    first: u64,
+    last: u64,
+    /// The mutated id, or `None` for a wildcard mutation.
+    id: Option<u64>,
+}
+
+impl MutationLog {
+    /// Records the mutation that produced `generation`.
+    fn record(&mut self, generation: u64, id: Option<u64>) {
+        if let Some(tail) = self.entries.back_mut() {
+            if tail.id == id {
+                // Coalesce: extend the tail's covered range rather than
+                // spending a slot per repeated mutation of one id.
+                tail.last = generation;
+                return;
+            }
+        }
+        if self.entries.len() == MUTATION_LOG_CAP {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(LogEntry { first: generation, last: generation, id });
+    }
+
+    /// The ids mutated in the generation range `(from, to]` (deduplicated,
+    /// ascending), or `None` when the delta is unknown — the range reaches
+    /// outside the retained log, lies in the future, or contains a
+    /// wildcard mutation.
+    fn changed_between(&self, from: u64, to: u64) -> Option<Vec<u64>> {
+        if from > to {
+            return None;
+        }
+        if from == to {
+            return Some(Vec::new());
+        }
+        // The log must reach back to the first mutation after `from`.
+        if self.entries.front().is_none_or(|e| e.first > from + 1) {
+            return None;
+        }
+        let mut ids = Vec::new();
+        for entry in &self.entries {
+            if entry.last > from && entry.first <= to {
+                ids.push(entry.id?);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+}
+
+impl ArchiveShared {
+    /// Accounts one successful fetch of `points` raw samples against the
+    /// simulated clock (really sleeping when a realtime scale is set).
+    fn account_fetch(&self, points: u64) -> AccessCost {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        let cost = self.medium.access(points * BYTES_PER_POINT);
+        *self.elapsed.lock() += cost.total();
+        let scale = f64::from_bits(self.realtime_scale_bits.load(Ordering::Relaxed));
+        if scale > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(cost.total() * scale));
+        }
+        cost
+    }
 }
 
 /// Source of process-unique [`ArchiveStore::instance_id`]s.
@@ -47,14 +163,19 @@ impl ArchiveStore {
     /// An empty archive on the given medium.
     pub fn new(medium: Medium) -> ArchiveStore {
         ArchiveStore {
-            medium,
-            sequences: HashMap::new(),
-            elapsed: Mutex::new(0.0),
-            realtime_scale: 0.0,
-            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
-            generation: 0,
-            mutation_log: VecDeque::new(),
-            fetches: AtomicU64::new(0),
+            shared: Arc::new(ArchiveShared {
+                medium,
+                instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+                elapsed: Mutex::new(0.0),
+                realtime_scale_bits: AtomicU64::new(0.0f64.to_bits()),
+                fetches: AtomicU64::new(0),
+                state: RwLock::new(Arc::new(ArchiveState {
+                    generation: 0,
+                    sequences: ShardedCowMap::new(),
+                    ids: OnceLock::new(),
+                })),
+                log: Mutex::new(MutationLog::default()),
+            }),
         }
     }
 
@@ -62,16 +183,27 @@ impl ArchiveStore {
     /// [`ArchiveStore::generation`] it forms a staleness stamp: caches
     /// keyed by sequence id (like the batch engine's feature cache) store
     /// the `(instance_id, generation)` pair they were filled under and
-    /// self-invalidate when either part changes.
+    /// self-invalidate when either part changes. Handle clones share the
+    /// instance; only [`ArchiveStore::new`] mints a fresh one.
     pub fn instance_id(&self) -> u64 {
-        self.instance
+        self.shared.instance
     }
 
     /// A counter bumped by every content mutation ([`ArchiveStore::put`],
-    /// and conservatively [`TieredStore::archive_mut`]). Equal generation
-    /// ⇒ unchanged content, so derived per-sequence state is still valid.
+    /// [`ArchiveStore::remove`], and conservatively
+    /// [`TieredStore::archive_mut`]). Equal generation ⇒ unchanged
+    /// content, so derived per-sequence state is still valid.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.shared.state.read().generation
+    }
+
+    /// Captures the current contents as an immutable [`ArchiveSnapshot`]
+    /// pinned to `(instance_id, generation)`: a couple of `Arc` clones, no
+    /// copying. Mutations through any handle never affect a captured
+    /// snapshot; the snapshot keeps superseded buckets alive until the
+    /// last reference drops.
+    pub fn snapshot(&self) -> ArchiveSnapshot {
+        ArchiveSnapshot { state: self.shared.state.read().clone(), shared: self.shared.clone() }
     }
 
     /// Makes fetches *really* block for `scale` wall-clock seconds per
@@ -82,12 +214,24 @@ impl ArchiveStore {
     /// to keep runs short while preserving the latency shape.
     pub fn set_realtime_scale(&mut self, scale: f64) {
         assert!(scale.is_finite() && scale >= 0.0, "realtime scale must be finite and >= 0");
-        self.realtime_scale = scale;
+        self.shared.realtime_scale_bits.store(scale.to_bits(), Ordering::Relaxed);
     }
 
     /// The configured wall-clock seconds per simulated second.
     pub fn realtime_scale(&self) -> f64 {
-        self.realtime_scale
+        f64::from_bits(self.shared.realtime_scale_bits.load(Ordering::Relaxed))
+    }
+
+    /// Installs a new state built from the current one by `f`, logging the
+    /// mutation as `id`. The write lock serializes writers; readers are
+    /// never blocked for longer than the `Arc` swap.
+    fn mutate(&mut self, id: Option<u64>, f: impl FnOnce(&mut ShardedCowMap<Sequence>)) {
+        let mut state = self.shared.state.write();
+        let mut sequences = state.sequences.clone();
+        f(&mut sequences);
+        let generation = state.generation + 1;
+        self.shared.log.lock().record(generation, id);
+        *state = Arc::new(ArchiveState { generation, sequences, ids: OnceLock::new() });
     }
 
     /// Archives a raw sequence (writing is done off the query path and not
@@ -96,8 +240,20 @@ impl ArchiveStore {
     /// self-invalidate — incrementally, via
     /// [`ArchiveStore::changed_since`].
     pub fn put(&mut self, id: u64, seq: Sequence) {
-        self.record_mutation(Some(id));
-        self.sequences.insert(id, seq);
+        self.mutate(Some(id), |sequences| {
+            sequences.insert(id, seq);
+        });
+    }
+
+    /// Removes an archived sequence (a tracked mutation, like
+    /// [`ArchiveStore::put`]); returns it if it was present. Snapshots
+    /// captured earlier still see it.
+    pub fn remove(&mut self, id: u64) -> Option<Arc<Sequence>> {
+        let mut removed = None;
+        self.mutate(Some(id), |sequences| {
+            removed = sequences.remove(id);
+        });
+        removed
     }
 
     /// Marks the whole archive as potentially changed (a wildcard
@@ -106,16 +262,7 @@ impl ArchiveStore {
     /// invalidation. Used when mutable access is handed out without
     /// tracking what it touched.
     pub fn mark_all_changed(&mut self) {
-        self.record_mutation(None);
-    }
-
-    /// Appends one mutation to the bounded log, bumping the generation.
-    fn record_mutation(&mut self, id: Option<u64>) {
-        self.generation += 1;
-        if self.mutation_log.len() == MUTATION_LOG_CAP {
-            self.mutation_log.pop_front();
-        }
-        self.mutation_log.push_back((self.generation, id));
+        self.mutate(None, |_| {});
     }
 
     /// The ids mutated after `generation` (deduplicated, ascending), or
@@ -129,82 +276,148 @@ impl ArchiveStore {
     /// generation re-fetches exactly these ids instead of dropping
     /// everything.
     pub fn changed_since(&self, generation: u64) -> Option<Vec<u64>> {
-        if generation > self.generation {
-            return None;
-        }
-        if generation == self.generation {
-            return Some(Vec::new());
-        }
-        // The log must reach back to the first mutation after `generation`.
-        if self.mutation_log.front().is_none_or(|&(g, _)| g > generation + 1) {
-            return None;
-        }
-        let mut ids = Vec::new();
-        for &(g, id) in &self.mutation_log {
-            if g > generation {
-                ids.push(id?);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        Some(ids)
+        self.snapshot().changed_since(generation)
     }
 
     /// Number of successful fetches so far (incremental-mode experiments
-    /// assert re-runs touch only dirty ids through this counter).
+    /// assert re-runs touch only dirty ids through this counter). Shared
+    /// across handles and snapshots.
     pub fn fetch_count(&self) -> u64 {
-        self.fetches.load(Ordering::Relaxed)
+        self.shared.fetches.load(Ordering::Relaxed)
     }
 
     /// Number of archived sequences.
     pub fn len(&self) -> usize {
-        self.sequences.len()
+        self.shared.state.read().sequences.len()
     }
 
     /// Whether the archive is empty.
     pub fn is_empty(&self) -> bool {
-        self.sequences.is_empty()
+        self.len() == 0
     }
 
     /// All archived ids, sorted — the canonical enumeration order that the
     /// batch engine's shard partitioning relies on.
     pub fn ids(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.sequences.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.snapshot().ids().to_vec()
     }
 
     /// Direct access to an archived sequence *without* touching the
     /// simulated medium — for tests and introspection only. Query paths
     /// (including the batch engine) must go through
     /// [`ArchiveStore::fetch`] so access costs are accounted.
-    pub fn get(&self, id: u64) -> Option<&Sequence> {
-        self.sequences.get(&id)
+    pub fn get(&self, id: u64) -> Option<Arc<Sequence>> {
+        self.shared.state.read().sequences.get_arc(id)
     }
 
     /// Fetches a raw sequence, accruing simulated seek + transfer time (and
-    /// really sleeping when a realtime scale is configured).
-    pub fn fetch(&self, id: u64) -> Option<(&Sequence, AccessCost)> {
-        let seq = self.sequences.get(&id)?;
-        self.fetches.fetch_add(1, Ordering::Relaxed);
-        let cost = self.medium.access(seq.len() as u64 * BYTES_PER_POINT);
-        *self.elapsed.lock() += cost.total();
-        if self.realtime_scale > 0.0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(
-                cost.total() * self.realtime_scale,
-            ));
-        }
+    /// really sleeping when a realtime scale is configured). Reads the
+    /// current generation; pinned readers fetch through
+    /// [`ArchiveSnapshot::fetch`] instead.
+    pub fn fetch(&self, id: u64) -> Option<(Arc<Sequence>, AccessCost)> {
+        let seq = self.get(id)?;
+        let cost = self.shared.account_fetch(seq.len() as u64);
         Some((seq, cost))
     }
 
     /// Total simulated seconds accrued by fetches so far.
     pub fn elapsed_seconds(&self) -> f64 {
-        *self.elapsed.lock()
+        *self.shared.elapsed.lock()
     }
 
     /// Resets the simulated clock.
     pub fn reset_clock(&self) {
-        *self.elapsed.lock() = 0.0;
+        *self.shared.elapsed.lock() = 0.0;
+    }
+}
+
+/// An immutable view of one archive generation, captured by
+/// [`ArchiveStore::snapshot`]. Contents ([`ArchiveSnapshot::ids`],
+/// [`ArchiveSnapshot::get`], [`ArchiveSnapshot::fetch`]) are pinned to the
+/// captured `(instance_id, generation)` forever; accounting (the
+/// simulated clock, the fetch counter) and the realtime scale stay shared
+/// with the live archive, since they model the physical medium rather
+/// than the contents.
+///
+/// Cloning a snapshot is two `Arc` clones; dropping the last clone of a
+/// superseded generation frees whatever buckets later generations don't
+/// share.
+#[derive(Debug, Clone)]
+pub struct ArchiveSnapshot {
+    shared: Arc<ArchiveShared>,
+    state: Arc<ArchiveState>,
+}
+
+impl ArchiveSnapshot {
+    /// The instance id of the archive this snapshot came from.
+    pub fn instance_id(&self) -> u64 {
+        self.shared.instance
+    }
+
+    /// The generation this snapshot is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.state.generation
+    }
+
+    /// Number of sequences visible at the pinned generation.
+    pub fn len(&self) -> usize {
+        self.state.sequences.len()
+    }
+
+    /// Whether the snapshot holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.state.sequences.is_empty()
+    }
+
+    /// All ids at the pinned generation, sorted (computed once per
+    /// generation and shared by every snapshot of it).
+    pub fn ids(&self) -> &[u64] {
+        self.state.sorted_ids()
+    }
+
+    /// Borrows a sequence without touching the simulated medium — the
+    /// snapshot-pinned counterpart of [`ArchiveStore::get`].
+    pub fn get(&self, id: u64) -> Option<&Sequence> {
+        self.state.sequences.get(id)
+    }
+
+    /// Fetches a sequence at the pinned generation, accruing simulated
+    /// cost on the *shared* clock (and really sleeping when a realtime
+    /// scale is configured) — the snapshot-pinned counterpart of
+    /// [`ArchiveStore::fetch`].
+    pub fn fetch(&self, id: u64) -> Option<(&Sequence, AccessCost)> {
+        let seq = self.state.sequences.get(id)?;
+        let cost = self.shared.account_fetch(seq.len() as u64);
+        Some((seq, cost))
+    }
+
+    /// The ids mutated after `generation` *up to this snapshot's pinned
+    /// generation* (deduplicated, ascending), or `None` when the delta is
+    /// unknown — see [`ArchiveStore::changed_since`]. Mutations newer than
+    /// the snapshot are invisible, like the contents.
+    pub fn changed_since(&self, generation: u64) -> Option<Vec<u64>> {
+        self.shared.log.lock().changed_between(generation, self.state.generation)
+    }
+
+    /// A weak handle answering whether this snapshot's pinned state is
+    /// still reachable — used by lifecycle tests to assert superseded
+    /// generations are actually freed once their last snapshot drops.
+    pub fn probe(&self) -> ArchiveSnapshotProbe {
+        ArchiveSnapshotProbe { state: Arc::downgrade(&self.state) }
+    }
+}
+
+/// See [`ArchiveSnapshot::probe`]. Holding a probe keeps nothing alive.
+#[derive(Debug, Clone)]
+pub struct ArchiveSnapshotProbe {
+    state: Weak<ArchiveState>,
+}
+
+impl ArchiveSnapshotProbe {
+    /// Whether the probed generation's state is still allocated (pinned by
+    /// some snapshot, or still the archive's current generation).
+    pub fn is_live(&self) -> bool {
+        self.state.upgrade().is_some()
     }
 }
 
@@ -256,6 +469,19 @@ impl TieredStore {
     pub fn archive_mut(&mut self) -> &mut ArchiveStore {
         self.archive.mark_all_changed();
         &mut self.archive
+    }
+
+    /// Replaces the sequence stored under an existing id in *both* tiers —
+    /// the tracked-mutation alternative to going through
+    /// [`TieredStore::archive_mut`]: the mutation log records exactly
+    /// `id`, so id-keyed caches (the batch engine's LRU) re-fetch one
+    /// sequence instead of falling back to full invalidation. Fails
+    /// (leaving both tiers untouched) on unknown ids or unrepresentable
+    /// sequences.
+    pub fn with_archive_put(&mut self, id: u64, seq: &Sequence) -> Result<()> {
+        self.local.reinsert(id, seq)?;
+        self.archive.put(id, seq.clone());
+        Ok(())
     }
 
     /// Answers a generalized approximate query from local representations,
@@ -463,6 +689,107 @@ mod tests {
     }
 
     #[test]
+    fn repeated_same_id_puts_never_evict_other_deltas() {
+        // Regression: k puts of one id used to consume k slots of the
+        // bounded log, pushing unrelated ids' deltas off the front and
+        // needlessly degrading changed_since to None.
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        a.put(2, goalpost(GoalpostSpec::default()));
+        for _ in 0..(2 * super::MUTATION_LOG_CAP as u64) {
+            a.put(7, goalpost(GoalpostSpec::default()));
+        }
+        assert_eq!(a.changed_since(2), Some(vec![7]), "the churned id coalesces into one entry");
+        assert_eq!(a.changed_since(0), Some(vec![1, 2, 7]), "other ids' deltas survive the churn");
+        assert_eq!(a.changed_since(1), Some(vec![2, 7]));
+    }
+
+    #[test]
+    fn handle_clones_share_one_archive() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        let b = a.clone();
+        a.put(4, goalpost(GoalpostSpec::default()));
+        assert_eq!(b.instance_id(), a.instance_id());
+        assert_eq!(b.generation(), 1, "mutations are visible through every handle");
+        assert_eq!(b.ids(), vec![4]);
+        let _ = b.fetch(4);
+        assert_eq!(a.fetch_count(), 1, "counters are shared too");
+    }
+
+    #[test]
+    fn snapshot_pins_contents_under_writes() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec { seed: 1, ..GoalpostSpec::default() }));
+        a.put(2, goalpost(GoalpostSpec { seed: 2, ..GoalpostSpec::default() }));
+        let snap = a.snapshot();
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.instance_id(), a.instance_id());
+
+        let replacement = peaks(PeaksSpec { centers: vec![6.0, 12.0, 18.0], ..Default::default() });
+        a.put(1, replacement.clone());
+        a.put(9, goalpost(GoalpostSpec::default()));
+        a.remove(2);
+
+        // The live archive moved on...
+        assert_eq!(a.generation(), 5);
+        assert_eq!(a.ids(), vec![1, 9]);
+        assert_eq!(a.get(1).unwrap().len(), replacement.len());
+        // ...but the snapshot still reads generation 2 wholesale.
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.ids(), &[1, 2]);
+        assert_eq!(snap.get(1).unwrap().len(), 49, "pre-replacement sequence");
+        assert!(snap.get(2).is_some(), "removed id still visible");
+        assert!(snap.get(9).is_none(), "later insert invisible");
+        let (seq, _cost) = snap.fetch(2).unwrap();
+        assert_eq!(seq.len(), 49);
+        assert_eq!(a.fetch_count(), 1, "snapshot fetches account on the shared counter");
+    }
+
+    #[test]
+    fn snapshot_changed_since_is_relative_to_its_generation() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        let g1 = a.generation();
+        a.put(2, goalpost(GoalpostSpec::default()));
+        let snap = a.snapshot();
+        a.put(3, goalpost(GoalpostSpec::default()));
+        assert_eq!(snap.changed_since(g1), Some(vec![2]), "the later put(3) is invisible");
+        assert_eq!(snap.changed_since(snap.generation()), Some(vec![]));
+        assert_eq!(a.changed_since(g1), Some(vec![2, 3]));
+        assert_eq!(snap.changed_since(a.generation()), None, "future of the snapshot is unknown");
+    }
+
+    #[test]
+    fn remove_is_a_tracked_mutation() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(5, goalpost(GoalpostSpec::default()));
+        let g = a.generation();
+        assert!(a.remove(5).is_some());
+        assert_eq!(a.generation(), g + 1);
+        assert_eq!(a.changed_since(g), Some(vec![5]));
+        assert!(a.is_empty());
+        assert!(a.remove(5).is_none(), "double remove finds nothing");
+        assert_eq!(a.generation(), g + 2, "but still counts as a mutation");
+    }
+
+    #[test]
+    fn dropping_the_last_snapshot_frees_superseded_state() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        a.put(1, goalpost(GoalpostSpec::default()));
+        let snap = a.snapshot();
+        let probe = snap.probe();
+        let snap2 = snap.clone();
+        a.put(1, goalpost(GoalpostSpec { seed: 9, ..GoalpostSpec::default() }));
+        assert!(probe.is_live(), "snapshots pin the superseded generation");
+        drop(snap);
+        assert!(probe.is_live(), "still pinned by the second snapshot");
+        drop(snap2);
+        assert!(!probe.is_live(), "last reference gone — generation freed");
+        // The current generation is unaffected.
+        assert_eq!(a.ids(), vec![1]);
+    }
+
+    #[test]
     fn fetch_count_tracks_successful_fetches() {
         let mut a = ArchiveStore::new(Medium::memory());
         a.put(1, goalpost(GoalpostSpec::default()));
@@ -471,6 +798,23 @@ mod tests {
         let _ = a.fetch(1);
         let _ = a.fetch(99);
         assert_eq!(a.fetch_count(), 2, "misses don't count");
+    }
+
+    #[test]
+    fn with_archive_put_tracks_the_exact_dirty_id() {
+        let mut t =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::memory()).unwrap();
+        let a = t.insert(&goalpost(GoalpostSpec::default())).unwrap();
+        let b = t.insert(&goalpost(GoalpostSpec { seed: 7, ..GoalpostSpec::default() })).unwrap();
+        let g = t.archive().generation();
+        let three = peaks(PeaksSpec { centers: vec![4.0, 12.0, 20.0], ..PeaksSpec::default() });
+        t.with_archive_put(a, &three).unwrap();
+        assert_eq!(t.archive().changed_since(g), Some(vec![a]), "exact dirty id, not a wildcard");
+        assert_eq!(t.local().get(a).unwrap().peaks.len(), 3, "local tier re-represented too");
+        assert_eq!(t.archive().get(a).unwrap().len(), three.len());
+        assert!(t.with_archive_put(999, &three).is_err(), "unknown ids are rejected");
+        assert_eq!(t.archive().changed_since(g), Some(vec![a]), "failed call mutated nothing");
+        assert_eq!(t.local().get(b).unwrap().peaks.len(), 2, "other ids untouched");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * `SAQ_EXP_REALTIME_SCALE` — real seconds slept per simulated second
 //!   (default 0.25 against the local-disk model ⇒ ~2 ms per fetch;
 //!   0 disables sleeping and the speedup assertion with it)
+//! * `SAQ_EXP_MIN_SPEEDUP` — asserted speedup floor (default 1.5; CI
+//!   runners with noisy neighbours set a safer bound)
 
 use saq_archive::{ArchiveStore, Medium};
 use saq_bench::{banner, env_f64, env_usize, fnum};
@@ -124,23 +126,32 @@ fn main() {
         fnum(archive.elapsed_seconds() / cold_times.len() as f64)
     );
 
+    // The strict 1.5x default is right for a quiet local machine; shared
+    // CI runners can set SAQ_EXP_MIN_SPEEDUP to a safer bound.
+    let min_speedup = env_f64("SAQ_EXP_MIN_SPEEDUP", 1.5);
     let mut speedup4 = cold_times[0] / cold_times[2].max(1e-12);
     println!("4-worker speedup: {speedup4:.2}x");
     if realtime_scale > 0.0 && sequences >= 32 {
-        if speedup4 <= 1.5 {
+        if speedup4 <= min_speedup {
             // A shared runner can stretch one timing sample; re-measure the
             // two cold batches back to back before declaring a regression.
             println!("(below threshold — re-measuring once)");
             speedup4 = measure_cold(&archive, &queries, 1) / measure_cold(&archive, &queries, 4);
             println!("re-measured 4-worker speedup: {speedup4:.2}x");
         }
-        assert!(speedup4 > 1.5, "expected >1.5x speedup at 4 workers, measured {speedup4:.2}x");
-        println!("PASS: >1.5x wall-clock speedup at 4 workers");
+        assert!(
+            speedup4 > min_speedup,
+            "expected >{min_speedup}x speedup at 4 workers, measured {speedup4:.2}x"
+        );
+        println!("PASS: >{min_speedup}x wall-clock speedup at 4 workers");
         // The simulated clocks tell the same story without wall-clock
         // noise: with real blocking the pool genuinely interleaves, so the
         // 4-worker makespan is well below the serial fetch total.
         let sim = sim_speedup4.expect("4-worker row ran");
-        assert!(sim > 1.5, "expected >1.5x simulated makespan speedup, measured {sim:.2}x");
+        assert!(
+            sim > min_speedup,
+            "expected >{min_speedup}x simulated makespan speedup, measured {sim:.2}x"
+        );
         println!("PASS: {sim:.2}x simulated (makespan) speedup at 4 workers");
     } else {
         println!("(speedup assertion skipped: latency emulation off or corpus too small)");

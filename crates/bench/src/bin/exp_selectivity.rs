@@ -30,7 +30,7 @@
 //! incremental re-run cost of exactly `k` fetches.
 
 use saq_archive::{ArchiveStore, Medium};
-use saq_bench::{banner, env_usize};
+use saq_bench::{banner, env_f64, env_usize};
 use saq_core::algebra::{IndexCaps, QueryEngine, QueryExpr, StoreEngine};
 use saq_core::store::{SequenceStore, StoreConfig};
 use saq_engine::{BatchQuery, EngineConfig, QueryEngine as ShardedEngine};
@@ -119,13 +119,18 @@ fn main() {
         engine.last_run_report().cache_totals()
     );
 
+    // Strict 1.5x by default; CI can relax via SAQ_EXP_MIN_SPEEDUP.
+    let min_ratio = env_f64("SAQ_EXP_MIN_SPEEDUP", 1.5);
     assert!(
-        ratio >= 1.5,
-        "expected >=1.5x fewer evaluations with cost ordering, measured {ratio:.2}x \
+        ratio >= min_ratio,
+        "expected >={min_ratio}x fewer evaluations with cost ordering, measured {ratio:.2}x \
          ({} vs {})",
         cost.entries_scanned,
         stat.entries_scanned
     );
     assert_eq!(dirty_fetches, k, "incremental re-run must touch only the dirty ids");
-    println!("PASS: >=1.5x fewer full-sequence evaluations; incremental re-run touched {k} ids");
+    println!(
+        "PASS: >={min_ratio}x fewer full-sequence evaluations; \
+         incremental re-run touched {k} ids"
+    );
 }

@@ -78,7 +78,7 @@ use crate::query::{
     sort_approximate_matches, ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec,
     SequenceMatch,
 };
-use crate::store::{SequenceStore, StoredEntry};
+use crate::store::{SequenceStore, StoreSnapshot, StoredEntry};
 use saq_sequence::Sequence;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -602,6 +602,17 @@ impl PlanStats {
             universe: ids.len() as u64,
             id_span: ids.first().copied().zip(ids.last().copied()),
             index: Some(store.index_stats()),
+        }
+    }
+
+    /// Statistics of a pinned [`StoreSnapshot`] — byte-identical for the
+    /// lifetime of the snapshot no matter what the live store does.
+    pub fn from_snapshot(snap: &StoreSnapshot) -> PlanStats {
+        let ids = snap.ids();
+        PlanStats {
+            universe: ids.len() as u64,
+            id_span: ids.first().copied().zip(ids.last().copied()),
+            index: Some(snap.index_stats()),
         }
     }
 
@@ -1263,34 +1274,58 @@ impl<'a> StoreEngine<'a> {
     /// a multi-operand conjunction — the one place estimates change the
     /// plan.
     pub fn plan(&self, expr: &QueryExpr) -> Result<PhysicalPlan> {
-        let planner = if self.use_stats && has_wide_and(expr) {
-            Planner::with_stats(self.caps, PlanStats::from_store(self.store))
-        } else {
-            Planner::new(self.caps)
-        };
-        planner.plan(expr)
+        self.planner_for(expr, &self.store.snapshot()).plan(expr)
     }
 
-    /// Executes a previously built plan.
+    fn planner_for(&self, expr: &QueryExpr, snap: &StoreSnapshot) -> Planner {
+        if self.use_stats && has_wide_and(expr) {
+            Planner::with_stats(self.caps, PlanStats::from_snapshot(snap))
+        } else {
+            Planner::new(self.caps)
+        }
+    }
+
+    /// Executes a previously built plan (over a snapshot taken now).
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<(QueryOutcome, ExecStats)> {
-        execute_plan(plan, &mut StoreSource { store: self.store })
+        let snap = self.store.snapshot();
+        execute_plan(plan, &mut SnapshotSource { snap: &snap })
     }
 }
 
 impl QueryEngine for StoreEngine<'_> {
+    /// Captures one [`StoreSnapshot`] up front; planner statistics and
+    /// every leaf evaluation read that snapshot, so the whole run is
+    /// pinned to a single `(instance, generation)`.
     fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
-        let plan = self.plan(expr)?;
-        self.run_plan(&plan)
+        let snap = self.store.snapshot();
+        let plan = self.planner_for(expr, &snap).plan(expr)?;
+        execute_plan(&plan, &mut SnapshotSource { snap: &snap })
     }
 }
 
-struct StoreSource<'a> {
-    store: &'a SequenceStore,
+/// A pinned snapshot is itself a full engine: planning and leaf
+/// evaluation both read the snapshot's generation, which makes it the
+/// natural engine for concurrent readers — take a snapshot, query it any
+/// number of times, drop it.
+impl QueryEngine for StoreSnapshot {
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let planner = if has_wide_and(expr) {
+            Planner::with_stats(IndexCaps::all(), PlanStats::from_snapshot(self))
+        } else {
+            Planner::new(IndexCaps::all())
+        };
+        let plan = planner.plan(expr)?;
+        execute_plan(&plan, &mut SnapshotSource { snap: self })
+    }
 }
 
-impl LeafSource for StoreSource<'_> {
+struct SnapshotSource<'a> {
+    snap: &'a StoreSnapshot,
+}
+
+impl LeafSource for SnapshotSource<'_> {
     fn universe(&mut self) -> Result<Vec<u64>> {
-        Ok(self.store.ids())
+        Ok(self.snap.ids())
     }
 
     fn eval_leaf(
@@ -1309,7 +1344,7 @@ impl LeafSource for StoreSource<'_> {
                 };
                 let ids = match candidates {
                     Some(c) => c.to_vec(),
-                    None => self.store.ids(),
+                    None => self.snap.ids(),
                 };
                 Ok(MatchSet::from_exact(ids.into_iter().filter(|id| (lo..=hi).contains(id))))
             }
@@ -1319,10 +1354,10 @@ impl LeafSource for StoreSource<'_> {
                     Error::BadConfig("pattern-index path on a non-shape leaf".into())
                 })?;
                 let hits = match candidates {
-                    Some(c) => self.store.pattern_index().full_matches_among(dfa, c),
+                    Some(c) => self.snap.pattern_index().full_matches_among(dfa, c),
                     None => {
                         let regex = pred.regex().expect("shape leaf holds its regex");
-                        let mut v = self.store.pattern_index().full_matches(regex);
+                        let mut v = self.snap.pattern_index().full_matches(regex);
                         v.sort_unstable();
                         v
                     }
@@ -1337,7 +1372,7 @@ impl LeafSource for StoreSource<'_> {
                         "interval-index path on a non-interval leaf".into(),
                     ));
                 };
-                let set = interval_index_match_set(self.store.interval_index(), interval, epsilon);
+                let set = interval_index_match_set(self.snap.interval_index(), interval, epsilon);
                 Ok(match candidates {
                     Some(c) => set.restrict(c),
                     None => set,
@@ -1347,11 +1382,11 @@ impl LeafSource for StoreSource<'_> {
                 stats.scan_leaves += 1;
                 let ids = match candidates {
                     Some(c) => c.to_vec(),
-                    None => self.store.ids(),
+                    None => self.snap.ids(),
                 };
                 let mut set = MatchSet::new();
                 for id in ids {
-                    let entry = self.store.get(id)?;
+                    let entry = self.snap.get(id)?;
                     stats.entries_scanned += 1;
                     if let Some(m) = pred.matches(id, Some(entry)) {
                         set.insert(id, MatchTier::from_match(m));

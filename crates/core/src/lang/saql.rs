@@ -601,10 +601,21 @@ impl Parser {
                     return Err(SaqlError::new("`id` expects `in [lo..hi]`", span));
                 }
                 self.expect(Tok::LBracket, "`[`")?;
+                let lo_span = self.peek_with_span().map_or(self.eof_span(), |(_, s)| s);
                 let lo = self.uint("a lower id bound")?;
                 self.expect(Tok::DotDot, "`..`")?;
+                let hi_span = self.peek_with_span().map_or(self.eof_span(), |(_, s)| s);
                 let hi = self.uint("an upper id bound")?;
                 self.expect(Tok::RBracket, "`]`")?;
+                if lo > hi {
+                    return Err(SaqlError::new(
+                        format!(
+                            "reversed id range: lower bound {lo} exceeds upper bound {hi} \
+                             (did you mean `[{hi}..{lo}]`?)"
+                        ),
+                        Span::new(lo_span.start, hi_span.end),
+                    ));
+                }
                 Ok(QueryExpr::id_range(lo, hi))
             }
             "band" => self.band(),
@@ -652,11 +663,13 @@ impl Parser {
     fn uint(&mut self, what: &str) -> PResult<u64> {
         let (tok, span) = self.next(what)?;
         match tok {
-            Tok::Number(raw) => raw.parse::<u64>().map_err(|_| {
-                SaqlError::new(
-                    format!("expected a non-negative integer for {what}, got `{raw}`"),
-                    span,
-                )
+            Tok::Number(raw) => raw.parse::<u64>().map_err(|e| {
+                let msg = if *e.kind() == std::num::IntErrorKind::PosOverflow {
+                    format!("integer `{raw}` for {what} exceeds the maximum ({})", u64::MAX)
+                } else {
+                    format!("expected a non-negative integer for {what}, got `{raw}`")
+                };
+                SaqlError::new(msg, span)
             }),
             other => Err(SaqlError::new(
                 format!("expected {what} (a non-negative integer), got {}", other.describe()),
@@ -668,8 +681,19 @@ impl Parser {
     fn int(&mut self, what: &str) -> PResult<i64> {
         let (tok, span) = self.next(what)?;
         match tok {
-            Tok::Number(raw) => raw.parse::<i64>().map_err(|_| {
-                SaqlError::new(format!("expected an integer for {what}, got `{raw}`"), span)
+            Tok::Number(raw) => raw.parse::<i64>().map_err(|e| {
+                let msg = match e.kind() {
+                    std::num::IntErrorKind::PosOverflow | std::num::IntErrorKind::NegOverflow => {
+                        format!(
+                            "integer `{raw}` for {what} is outside the supported range \
+                             ({}..={})",
+                            i64::MIN,
+                            i64::MAX
+                        )
+                    }
+                    _ => format!("expected an integer for {what}, got `{raw}`"),
+                };
+                SaqlError::new(msg, span)
             }),
             other => Err(SaqlError::new(
                 format!("expected {what} (an integer), got {}", other.describe()),
@@ -988,6 +1012,10 @@ mod tests {
             (r#"shape "unterminated"#, "unterminated string"),
             ("bogus = 1", "unknown clause `bogus`"),
             ("peaks = 2 peaks = 3", "expected `and`, `or`, `limit`, `topk`"),
+            ("id in [9..5]", "reversed id range: lower bound 9 exceeds upper bound 5"),
+            ("id in [18446744073709551616..5]", "exceeds the maximum (18446744073709551615)"),
+            ("peaks = 99999999999999999999", "exceeds the maximum"),
+            ("interval = 99999999999999999999", "outside the supported range"),
         ] {
             let err = parse_spanned(text).unwrap_err();
             assert!(err.message().contains(needle), "`{text}` -> `{}`", err.message());
@@ -1011,6 +1039,28 @@ mod tests {
         let rendered = err.render(text);
         assert!(rendered.contains("| and bogus = 1"), "{rendered}");
         assert!(rendered.lines().last().unwrap().contains("^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn numeric_edge_cases_point_at_the_literal() {
+        // A reversed range underlines the whole `lo..hi` region and
+        // suggests the swapped form.
+        let text = "id in [9..5]";
+        let err = parse_spanned(text).unwrap_err();
+        let rendered = err.render(text);
+        assert!(rendered.contains("did you mean `[5..9]`?"), "{rendered}");
+        assert_eq!(rendered.lines().last().unwrap(), "  |        ^^^^", "{rendered}");
+
+        // An oversized literal underlines exactly that literal; equal
+        // bounds and the extremes stay accepted.
+        let text = "id in [0..18446744073709551616]";
+        let err = parse_spanned(text).unwrap_err();
+        assert_eq!(&text[err.span().start..err.span().end], "18446744073709551616");
+        assert_eq!(parse("id in [7..7]").unwrap(), QueryExpr::id_range(7, 7));
+        assert_eq!(
+            parse("id in [0..18446744073709551615]").unwrap(),
+            QueryExpr::id_range(0, u64::MAX)
+        );
     }
 
     #[test]

@@ -77,5 +77,5 @@ pub use multi::{Family, MultiSeries};
 pub use persist::{load_series, read_series, save_series, write_series};
 pub use query::{ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec, SequenceMatch};
 pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
-pub use store::{SequenceStore, SharedStore, StoreConfig, StoredEntry};
+pub use store::{SequenceStore, SharedStore, StoreConfig, StoreSnapshot, StoredEntry};
 pub use transform::Transform;

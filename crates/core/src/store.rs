@@ -13,10 +13,14 @@ use crate::features::PeakTable;
 use crate::repr::LinearSeries;
 use parking_lot::RwLock;
 use saq_curves::{Line, RegressionFitter};
-use saq_index::{IndexDoc, IndexSet, IndexStats, SequenceIndex as _};
+use saq_index::{IndexDoc, IndexSet, IndexSetProbe, IndexStats, SequenceIndex as _, ShardedCowMap};
 use saq_sequence::Sequence;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Distinguishes stores within a process so a `(instance, generation)`
+/// pair never collides across two different stores.
+static NEXT_STORE_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 /// Configuration of the ingestion pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -80,11 +84,19 @@ impl StoredEntry {
 /// [`SequenceStore::remove`], [`SequenceStore::reinsert`] — routes through
 /// the set's incremental insert/remove, so the indexes can never drift
 /// from the entry map.
+///
+/// Both the entry map and the index set are clone-on-write, and every
+/// mutation advances a generation counter, so [`SequenceStore::snapshot`]
+/// is cheap (a few `Arc` clones) and hands out a [`StoreSnapshot`] —
+/// an immutable view pinned to `(instance, generation)` that later
+/// writes can never tear.
 #[derive(Debug)]
 pub struct SequenceStore {
     config: StoreConfig,
     next_id: u64,
-    entries: HashMap<u64, StoredEntry>,
+    instance: u64,
+    generation: u64,
+    entries: ShardedCowMap<StoredEntry>,
     indexes: IndexSet,
 }
 
@@ -103,12 +115,46 @@ impl SequenceStore {
         if !(config.theta.is_finite() && config.theta >= 0.0) {
             return Err(Error::BadConfig("theta must be finite and >= 0".into()));
         }
-        Ok(SequenceStore { config, next_id: 1, entries: HashMap::new(), indexes: IndexSet::new() })
+        Ok(SequenceStore {
+            config,
+            next_id: 1,
+            instance: NEXT_STORE_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            generation: 0,
+            entries: ShardedCowMap::new(),
+            indexes: IndexSet::new(),
+        })
     }
 
     /// The active configuration.
     pub fn config(&self) -> StoreConfig {
         self.config
+    }
+
+    /// A process-unique id for this store, so `(instance, generation)`
+    /// identifies a snapshot globally.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    /// The mutation counter: bumped by every successful
+    /// [`SequenceStore::insert`] / [`SequenceStore::remove`] /
+    /// [`SequenceStore::reinsert`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// An immutable view of the store pinned to the current
+    /// `(instance, generation)`: a few `Arc` clones, no entry or index
+    /// copying. Later mutations clone-on-write only what they touch; the
+    /// snapshot keeps the superseded structures alive until dropped.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            config: self.config,
+            instance: self.instance,
+            generation: self.generation,
+            entries: self.entries.clone(),
+            indexes: self.indexes.clone(),
+        }
     }
 
     /// Ingests a sequence: break → represent (regression lines) → quantize
@@ -119,15 +165,18 @@ impl SequenceStore {
         self.next_id += 1;
         self.index_entry(id, &entry);
         self.entries.insert(id, entry);
+        self.generation += 1;
         Ok(id)
     }
 
     /// Removes a stored sequence, unindexing it everywhere; returns the
     /// evicted entry. Ids are never reused.
     pub fn remove(&mut self, id: u64) -> Result<StoredEntry> {
-        let entry = self.entries.remove(&id).ok_or(Error::UnknownSequence { id })?;
+        let entry = self.entries.remove(id).ok_or(Error::UnknownSequence { id })?;
         self.indexes.remove_doc(id);
-        Ok(entry)
+        self.generation += 1;
+        // Snapshots may still share the entry; clone only in that case.
+        Ok(Arc::try_unwrap(entry).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Replaces the sequence stored under an existing id, re-running the
@@ -135,12 +184,13 @@ impl SequenceStore {
     /// Fails (leaving the store untouched) on unknown ids — fresh data
     /// goes through [`SequenceStore::insert`].
     pub fn reinsert(&mut self, id: u64, seq: &Sequence) -> Result<()> {
-        if !self.entries.contains_key(&id) {
+        if !self.entries.contains(id) {
             return Err(Error::UnknownSequence { id });
         }
         let entry = StoredEntry::compute(seq, &self.config)?;
         self.index_entry(id, &entry);
         self.entries.insert(id, entry);
+        self.generation += 1;
         Ok(())
     }
 
@@ -170,14 +220,12 @@ impl SequenceStore {
 
     /// The stored entry for an id.
     pub fn get(&self, id: u64) -> Result<&StoredEntry> {
-        self.entries.get(&id).ok_or(Error::UnknownSequence { id })
+        self.entries.get(id).ok_or(Error::UnknownSequence { id })
     }
 
-    /// All stored ids (unordered).
+    /// All stored ids, ascending.
     pub fn ids(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.entries.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.entries.sorted_ids()
     }
 
     /// The slope-pattern index (§4.4).
@@ -207,13 +255,96 @@ impl SequenceStore {
         let mut original = 0;
         let mut segments = 0;
         let mut parameters = 0;
-        for e in self.entries.values() {
+        for (_, e) in self.entries.iter() {
             let r = e.series.compression();
             original += r.original_points;
             segments += r.segments;
             parameters += r.parameters;
         }
         crate::repr::CompressionReport { original_points: original, segments, parameters }
+    }
+}
+
+/// An immutable view of a [`SequenceStore`] pinned to the
+/// `(instance, generation)` it was taken at. Entries, indexes, and
+/// statistics all read the pinned state, no matter what the live store
+/// does afterwards — this is what makes lock-free readers under live
+/// writers sound: a query evaluated against a snapshot can never observe
+/// a torn mutation.
+///
+/// Snapshots are cheap to take ([`SequenceStore::snapshot`]) and to clone
+/// (shared storage), and implement the full query surface: the algebra's
+/// `QueryEngine` is implemented directly on `StoreSnapshot`.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    config: StoreConfig,
+    instance: u64,
+    generation: u64,
+    entries: ShardedCowMap<StoredEntry>,
+    indexes: IndexSet,
+}
+
+impl StoreSnapshot {
+    /// The configuration of the store this snapshot came from.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The instance id of the originating store.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    /// The generation this snapshot is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of sequences visible at the pinned generation.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entry for an id at the pinned generation.
+    pub fn get(&self, id: u64) -> Result<&StoredEntry> {
+        self.entries.get(id).ok_or(Error::UnknownSequence { id })
+    }
+
+    /// All ids visible at the pinned generation, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.sorted_ids()
+    }
+
+    /// The slope-pattern index at the pinned generation.
+    pub fn pattern_index(&self) -> &saq_index::PatternIndex {
+        self.indexes.pattern()
+    }
+
+    /// The inverted-file interval index at the pinned generation.
+    pub fn interval_index(&self) -> &saq_index::InvertedIndex {
+        self.indexes.interval()
+    }
+
+    /// The unified index layer at the pinned generation.
+    pub fn index_set(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// Per-index statistics at the pinned generation (byte-identical no
+    /// matter how far the live store has moved on).
+    pub fn index_stats(&self) -> IndexStats {
+        self.indexes.stats()
+    }
+
+    /// A weak handle answering whether this snapshot's index structures
+    /// are still reachable anywhere (see [`IndexSet::probe`]).
+    pub fn index_probe(&self) -> IndexSetProbe {
+        self.indexes.probe()
     }
 }
 
@@ -248,6 +379,13 @@ impl SharedStore {
     /// Runs a closure with read access.
     pub fn read<R>(&self, f: impl FnOnce(&SequenceStore) -> R) -> R {
         f(&self.inner.read())
+    }
+
+    /// Captures an immutable snapshot under a brief read lock; the
+    /// returned view needs no locking at all and is unaffected by writes
+    /// that land after it.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.inner.read().snapshot()
     }
 }
 

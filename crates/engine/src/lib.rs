@@ -7,7 +7,10 @@
 //! batches, or whole [`QueryExpr`] trees — pushed down to a large archive
 //! whose per-sequence representations are computed on demand.
 //!
-//! The execution model:
+//! The execution model (every run first captures an [`ArchiveSnapshot`] —
+//! or reuses one via [`QueryEngine::run_snapshot`] /
+//! [`QueryEngine::bind_snapshot`] — and reads that pinned generation
+//! end-to-end, so concurrent writers never tear a batch):
 //!
 //! 1. **Plan** — an expression is normalized and planned by the shared
 //!    [`saq_core::algebra::Planner`]; conjunctive id-range leaves prune
@@ -29,9 +32,11 @@
 //! 4. **Cache** — per-sequence break/feature results ([`StoredEntry`]) go
 //!    through a bounded LRU ([`cache::LruCache`]) stamped with the
 //!    archive's `(instance, generation)`. Invalidation is *incremental*:
-//!    when the archive can name the ids mutated since the cache's stamp
-//!    ([`ArchiveStore::changed_since`]), only those dirty entries drop, so
-//!    re-running a batch after `k` puts re-fetches exactly `k` sequences.
+//!    when the pinned snapshot can name the ids mutated since the cache's
+//!    stamp ([`ArchiveSnapshot::changed_since`]), only those dirty entries
+//!    drop, so re-running a batch after `k` puts re-fetches exactly `k`
+//!    sequences. Stamping is forward-only: a run pinned to an older
+//!    generation reads through without regressing a warmer cache.
 //! 5. **Merge & combine** — per-shard hits merge id-sorted per leaf, and
 //!    the shared [`saq_core::algebra::execute_plan`] composes leaves into
 //!    the final outcome — byte-identical to the sequential engines for any
@@ -69,7 +74,7 @@ pub mod shard;
 use cache::{CacheStats, LruCache};
 use parking_lot::Mutex;
 use report::RunReport;
-use saq_archive::ArchiveStore;
+use saq_archive::{ArchiveSnapshot, ArchiveStore};
 use saq_core::algebra::{
     execute_plan, interval_index_match_set, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet,
     MatchTier, PlanNode, Planner, Pred, PreparedPred, QueryExpr,
@@ -244,27 +249,49 @@ impl QueryEngine {
     /// assert_eq!(out.exact, vec![2, 3, 4]);
     /// ```
     pub fn bind<'e>(&'e self, archive: &'e ArchiveStore) -> BoundEngine<'e> {
-        BoundEngine { engine: self, archive }
+        BoundEngine { engine: self, target: BoundTarget::Live(archive) }
+    }
+
+    /// As [`QueryEngine::bind`], but pinned to one [`ArchiveSnapshot`]:
+    /// every execution reads that generation, no matter how far the live
+    /// archive has moved on. This is the engine concurrent readers use —
+    /// capture a snapshot, bind it, query without any locking.
+    pub fn bind_snapshot(&self, snapshot: ArchiveSnapshot) -> BoundEngine<'_> {
+        BoundEngine { engine: self, target: BoundTarget::Pinned(snapshot) }
     }
 
     /// Runs a batch of queries over every archived sequence using the
-    /// worker pool; returns one outcome per query, in query order.
+    /// worker pool; returns one outcome per query, in query order. The
+    /// run captures a snapshot of the archive up front and is pinned to it
+    /// end-to-end — a writer mutating the archive mid-run cannot tear the
+    /// results.
     ///
     /// Results are identical — same hits, same order — to
     /// [`QueryEngine::run_sequential`] for any worker/shard configuration.
     pub fn run(&self, archive: &ArchiveStore, queries: &[BatchQuery]) -> Result<Vec<QueryOutcome>> {
+        self.run_snapshot(&archive.snapshot(), queries)
+    }
+
+    /// As [`QueryEngine::run`], over an already-captured snapshot: planner
+    /// input, leaf evaluation, and the feature cache's
+    /// `(instance, generation)` stamp all read the pinned generation.
+    pub fn run_snapshot(
+        &self,
+        snapshot: &ArchiveSnapshot,
+        queries: &[BatchQuery],
+    ) -> Result<Vec<QueryOutcome>> {
         let preds: Vec<PreparedPred> =
             queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
-        let stamp = self.ensure_fresh(archive);
-        let ids = archive.ids();
-        let (sets, report, _) = self.eval_leaves(archive, &ids, &preds, stamp)?;
+        let stamp = self.ensure_fresh(snapshot);
+        let ids = snapshot.ids().to_vec();
+        let (sets, report, _) = self.eval_leaves(snapshot, &ids, &preds, stamp)?;
         *self.last_run.lock() = report;
         Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
     }
 
-    /// The single-threaded reference path: one pass over the sorted ids, no
-    /// sharding, no cache. The oracle that `run` is property-tested
-    /// against.
+    /// The single-threaded reference path: one pass over the sorted ids of
+    /// a fresh snapshot, no sharding, no cache. The oracle that `run` is
+    /// property-tested against.
     pub fn run_sequential(
         &self,
         archive: &ArchiveStore,
@@ -272,36 +299,47 @@ impl QueryEngine {
     ) -> Result<Vec<QueryOutcome>> {
         let preds: Vec<PreparedPred> =
             queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
-        let ids = archive.ids();
+        let snapshot = archive.snapshot();
         let mut sets = vec![MatchSet::new(); preds.len()];
-        for &id in &ids {
-            let (seq, _cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+        for &id in snapshot.ids() {
+            let (seq, _cost) = snapshot.fetch(id).ok_or(Error::UnknownSequence { id })?;
             let entry = StoredEntry::compute(seq, &self.ingest_config())?;
             record(Some(&entry), id, &preds, &mut sets);
         }
         Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
     }
 
-    /// Re-stamps the cache for the archive's current `(instance,
-    /// generation)` pair and returns that stamp for the run to carry
-    /// (cache reads and fills are only honored while the cache still
-    /// carries the run's stamp).
+    /// Re-stamps the cache for the run's pinned `(instance, generation)`
+    /// pair and returns that stamp for the run to carry (cache reads and
+    /// fills are only honored while the cache still carries the run's
+    /// stamp).
     ///
     /// Invalidation is **incremental** whenever possible: if the cache was
     /// filled under an older generation of the *same* archive and the
-    /// archive can name the ids mutated in between
-    /// ([`ArchiveStore::changed_since`]), exactly those dirty entries are
-    /// dropped and every clean entry survives — a re-run after `k` puts
-    /// re-fetches only the `k` dirty ids. Only when the delta is unknown
-    /// (different archive, wildcard mutation, or a delta older than the
-    /// archive's bounded mutation log) does the whole cache reset.
-    fn ensure_fresh(&self, archive: &ArchiveStore) -> (u64, u64) {
-        let current = (archive.instance_id(), archive.generation());
+    /// snapshot can name the ids mutated in between
+    /// ([`ArchiveSnapshot::changed_since`]), exactly those dirty entries
+    /// are dropped and every clean entry survives — a re-run after `k`
+    /// puts re-fetches only the `k` dirty ids. Only when the delta is
+    /// unknown (different archive, wildcard mutation, or a delta older
+    /// than the archive's bounded mutation log) does the whole cache
+    /// reset.
+    ///
+    /// The stamp only ever moves *forward*: a run pinned to an older
+    /// snapshot than the cache's stamp (same instance) leaves the warm
+    /// cache to its newer owner and simply bypasses it — the per-access
+    /// stamp check in [`QueryEngine::entry_for`] keeps the pinned run from
+    /// reading entries of the wrong generation.
+    fn ensure_fresh(&self, snapshot: &ArchiveSnapshot) -> (u64, u64) {
+        let current = (snapshot.instance_id(), snapshot.generation());
         let mut cache = self.cache.lock();
         match cache.stamp {
             Some(stamp) if stamp == current => {}
+            Some((instance, generation)) if instance == current.0 && generation > current.1 => {
+                // The cache already belongs to a newer generation of this
+                // archive; don't regress it for an old-pinned run.
+            }
             Some((instance, generation)) if instance == current.0 => {
-                match archive.changed_since(generation) {
+                match snapshot.changed_since(generation) {
                     Some(dirty) => {
                         for id in dirty {
                             cache.lru.remove(id);
@@ -327,7 +365,7 @@ impl QueryEngine {
     /// served by the shard-local indexes contribute none).
     fn eval_leaves(
         &self,
-        archive: &ArchiveStore,
+        snapshot: &ArchiveSnapshot,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
@@ -354,7 +392,7 @@ impl QueryEngine {
                     if s >= shards.len() || abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    match self.eval_shard(archive, &ids[shards[s].clone()], preds, stamp) {
+                    match self.eval_shard(snapshot, &ids[shards[s].clone()], preds, stamp) {
                         Ok(eval) => {
                             *slots[s].lock() = Some(eval.partials);
                             let mut log = log.lock();
@@ -403,7 +441,7 @@ impl QueryEngine {
     /// [`ShardEval::entry_evals`].
     fn eval_shard(
         &self,
-        archive: &ArchiveStore,
+        snapshot: &ArchiveSnapshot,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
@@ -420,7 +458,7 @@ impl QueryEngine {
         };
         for &id in ids {
             let entry = if needs_entry {
-                let (entry, cost, cache) = self.entry_for(archive, id, stamp)?;
+                let (entry, cost, cache) = self.entry_for(snapshot, id, stamp)?;
                 eval.sim_seconds += cost;
                 eval.cache.merge(cache);
                 Some(entry)
@@ -490,7 +528,7 @@ impl QueryEngine {
     /// its new owner.
     fn entry_for(
         &self,
-        archive: &ArchiveStore,
+        snapshot: &ArchiveSnapshot,
         id: u64,
         stamp: (u64, u64),
     ) -> Result<(Arc<StoredEntry>, f64, CacheStats)> {
@@ -502,7 +540,7 @@ impl QueryEngine {
                 }
             }
         }
-        let (seq, cost) = archive.fetch(id).ok_or(Error::UnknownSequence { id })?;
+        let (seq, cost) = snapshot.fetch(id).ok_or(Error::UnknownSequence { id })?;
         let entry = Arc::new(StoredEntry::compute(seq, &self.ingest_config())?);
         let mut delta = CacheStats { misses: 1, ..CacheStats::default() };
         let mut cache = self.cache.lock();
@@ -592,20 +630,36 @@ fn record(entry: Option<&StoredEntry>, id: u64, preds: &[PreparedPred], sets: &m
 #[derive(Debug)]
 pub struct BoundEngine<'e> {
     engine: &'e QueryEngine,
-    archive: &'e ArchiveStore,
+    target: BoundTarget<'e>,
+}
+
+/// What a [`BoundEngine`] execution reads: a live archive (each run
+/// captures a fresh snapshot) or one pinned generation.
+#[derive(Debug)]
+enum BoundTarget<'e> {
+    Live(&'e ArchiveStore),
+    Pinned(ArchiveSnapshot),
 }
 
 impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
+    /// Captures (or reuses) a snapshot up front; the planner's universe,
+    /// every shard's leaf evaluation, and the feature cache stamp all read
+    /// that pinned generation.
     fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let snapshot = match &self.target {
+            BoundTarget::Live(archive) => archive.snapshot(),
+            BoundTarget::Pinned(snapshot) => snapshot.clone(),
+        };
         // The engine claims full index capability: shape and interval
         // leaves are served by the workers' shard-local indexes rather
         // than the (nonexistent) global indexes of a raw archive.
         let plan = Planner::new(IndexCaps::all()).plan(expr)?;
-        let stamp = self.engine.ensure_fresh(self.archive);
-        let all_ids = self.archive.ids();
+        let stamp = self.engine.ensure_fresh(&snapshot);
         let universe: Vec<u64> = match plan.id_bounds() {
-            Some((lo, hi)) => all_ids.into_iter().filter(|id| (lo..=hi).contains(id)).collect(),
-            None => all_ids,
+            Some((lo, hi)) => {
+                snapshot.ids().iter().copied().filter(|id| (lo..=hi).contains(id)).collect()
+            }
+            None => snapshot.ids().to_vec(),
         };
         let preds: Vec<PreparedPred> = plan
             .leaves()
@@ -616,7 +670,7 @@ impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
             })
             .collect();
         let (sets, report, entry_evals) =
-            self.engine.eval_leaves(self.archive, &universe, &preds, stamp)?;
+            self.engine.eval_leaves(&snapshot, &universe, &preds, stamp)?;
         *self.engine.last_run.lock() = report;
         let mut source = PrecomputedSource { universe: &universe, sets };
         let (outcome, mut stats) = execute_plan(&plan, &mut source)?;
@@ -818,6 +872,58 @@ mod tests {
     }
 
     #[test]
+    fn tiered_with_archive_put_keeps_reruns_incremental() {
+        use saq_archive::TieredStore;
+        use saq_core::store::StoreConfig;
+        let mut tiered =
+            TieredStore::new(StoreConfig::default(), Medium::memory(), Medium::memory()).unwrap();
+        for i in 0..12 {
+            tiered.insert(&goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() })).unwrap();
+        }
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        engine.run(tiered.archive(), &batch()).unwrap();
+        let before = tiered.archive().fetch_count();
+
+        // The tracked-mutation path records exactly the touched id…
+        let id = tiered.local().ids()[3];
+        tiered
+            .with_archive_put(id, &peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() }))
+            .unwrap();
+        engine.run(tiered.archive(), &batch()).unwrap();
+        assert_eq!(
+            tiered.archive().fetch_count() - before,
+            1,
+            "re-run after with_archive_put fetches only the touched id"
+        );
+
+        // …whereas the wildcard borrow degrades to full invalidation.
+        tiered.archive_mut();
+        let before = tiered.archive().fetch_count();
+        engine.run(tiered.archive(), &batch()).unwrap();
+        assert_eq!(tiered.archive().fetch_count() - before, 12);
+    }
+
+    #[test]
+    fn pinned_runs_read_their_generation_while_the_archive_moves_on() {
+        let mut archive = mixed_archive(6);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let snap = archive.snapshot();
+        let expected = engine.run(&archive, &batch()).unwrap();
+        let expr = QueryExpr::peak_count(2, 1).or(QueryExpr::peak_interval(10, 3));
+        let expr_expected = engine.bind(&archive).execute(&expr).unwrap();
+
+        // The writer removes and rewrites sequences after the pin.
+        archive.remove(0);
+        archive.put(1, random_walk(64, 0.0, 0.2, 99));
+        archive.put(50, goalpost(GoalpostSpec { seed: 50, ..GoalpostSpec::default() }));
+        assert_ne!(engine.run(&archive, &batch()).unwrap(), expected, "live results moved on");
+
+        // Pinned runs — batch and algebra alike — still see the old state.
+        assert_eq!(engine.run_snapshot(&snap, &batch()).unwrap(), expected);
+        assert_eq!(engine.bind_snapshot(snap).execute(&expr).unwrap(), expr_expected);
+    }
+
+    #[test]
     fn shard_local_indexes_serve_shape_and_interval_leaves() {
         use saq_core::algebra::QueryEngine as _;
         let archive = mixed_archive(30);
@@ -846,13 +952,14 @@ mod tests {
         let mut a2 = ArchiveStore::new(Medium::memory());
         a2.put(1, peaks(PeaksSpec { centers: vec![12.0], ..PeaksSpec::default() })); // one peak
         let engine = QueryEngine::new(EngineConfig::default()).unwrap();
-        let stale_stamp = engine.ensure_fresh(&a1);
+        let snap1 = a1.snapshot();
+        let stale_stamp = engine.ensure_fresh(&snap1);
 
         let two_peaks = vec![BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })];
         assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty(), "a2's id 1 has 1 peak");
 
         // The stale-stamped path sees a1's real data, not a2's cache…
-        let (entry, _, _) = engine.entry_for(&a1, 1, stale_stamp).unwrap();
+        let (entry, _, _) = engine.entry_for(&snap1, 1, stale_stamp).unwrap();
         assert_eq!(entry.peaks.len(), 2, "computed from a1, not served from a2's cache");
         // …and did not overwrite a2's cached entry.
         assert!(engine.run(&a2, &two_peaks).unwrap()[0].exact.is_empty());
@@ -968,7 +1075,7 @@ mod tests {
         // pool genuinely interleaves and the per-worker clocks spread.
         let mut disk = ArchiveStore::new(Medium::local_disk());
         for id in archive.ids() {
-            disk.put(id, archive.get(id).unwrap().clone());
+            disk.put(id, archive.get(id).unwrap().as_ref().clone());
         }
         disk.set_realtime_scale(0.1);
         let engine =

@@ -1,0 +1,193 @@
+//! Clone-on-write containers backing snapshot-isolated stores.
+//!
+//! A store that hands out immutable snapshots cannot mutate a plain
+//! `HashMap` in place: every snapshot would either deep-copy the whole
+//! map (O(n) per write) or observe the writer's changes. [`ShardedCowMap`]
+//! is the middle ground — the id space is split across a fixed number of
+//! buckets, each an `Arc<HashMap>`, so cloning the map is `BUCKETS` cheap
+//! `Arc` clones and a write copies only the one bucket it touches
+//! (`Arc::make_mut`). Snapshots that share the other buckets keep sharing
+//! them, which bounds per-generation memory to O(n / BUCKETS) instead of
+//! O(n) under single-id churn.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Number of independently-shared buckets. A power of two so the bucket
+/// of an id is a mask; 64 keeps the per-write copy small (1/64th of the
+/// map) without making the empty map's footprint noticeable.
+const BUCKETS: usize = 64;
+
+/// One independently-shared bucket: values behind `Arc`, so even a
+/// copied bucket shares the untouched values themselves.
+type Bucket<V> = Arc<HashMap<u64, Arc<V>>>;
+
+/// A `u64`-keyed map whose clones share storage, copying only the bucket
+/// a write lands in.
+#[derive(Debug)]
+pub struct ShardedCowMap<V> {
+    buckets: Box<[Bucket<V>]>,
+    len: usize,
+}
+
+impl<V> Clone for ShardedCowMap<V> {
+    fn clone(&self) -> Self {
+        ShardedCowMap { buckets: self.buckets.clone(), len: self.len }
+    }
+}
+
+impl<V> Default for ShardedCowMap<V> {
+    fn default() -> Self {
+        ShardedCowMap::new()
+    }
+}
+
+impl<V> ShardedCowMap<V> {
+    /// An empty map.
+    pub fn new() -> ShardedCowMap<V> {
+        let buckets = (0..BUCKETS).map(|_| Arc::new(HashMap::new())).collect();
+        ShardedCowMap { buckets, len: 0 }
+    }
+
+    fn bucket(id: u64) -> usize {
+        (id % BUCKETS as u64) as usize
+    }
+
+    /// Inserts (or replaces) a value, copying only the touched bucket.
+    /// Returns the previous value under the id, if any.
+    pub fn insert(&mut self, id: u64, value: V) -> Option<Arc<V>> {
+        self.insert_arc(id, Arc::new(value))
+    }
+
+    /// [`ShardedCowMap::insert`] for a value already behind an `Arc`.
+    pub fn insert_arc(&mut self, id: u64, value: Arc<V>) -> Option<Arc<V>> {
+        let bucket = Arc::make_mut(&mut self.buckets[Self::bucket(id)]);
+        let old = bucket.insert(id, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a value, copying only the touched bucket.
+    pub fn remove(&mut self, id: u64) -> Option<Arc<V>> {
+        let slot = &mut self.buckets[Self::bucket(id)];
+        if !slot.contains_key(&id) {
+            // Don't unshare a bucket (or copy it at all) for a miss.
+            return None;
+        }
+        let old = Arc::make_mut(slot).remove(&id);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Borrows the value under an id.
+    pub fn get(&self, id: u64) -> Option<&V> {
+        self.buckets[Self::bucket(id)].get(&id).map(|v| &**v)
+    }
+
+    /// The shared handle to the value under an id.
+    pub fn get_arc(&self, id: u64) -> Option<Arc<V>> {
+        self.buckets[Self::bucket(id)].get(&id).cloned()
+    }
+
+    /// Whether the id is present.
+    pub fn contains(&self, id: u64) -> bool {
+        self.buckets[Self::bucket(id)].contains_key(&id)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(id, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.buckets.iter().flat_map(|b| b.iter().map(|(&id, v)| (id, &**v)))
+    }
+
+    /// All ids, ascending.
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.buckets.iter().flat_map(|b| b.keys().copied()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether any bucket's storage is shared with `other` (diagnostic —
+    /// used by tests asserting clone-on-write actually shares).
+    pub fn shares_storage_with(&self, other: &ShardedCowMap<V>) -> bool {
+        self.buckets.iter().zip(other.buckets.iter()).any(|(a, b)| Arc::ptr_eq(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = ShardedCowMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, "a"), None);
+        assert_eq!(m.insert(7 + BUCKETS as u64, "b"), None, "same bucket, distinct id");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(7), Some(&"a"));
+        assert!(m.contains(7 + BUCKETS as u64));
+        assert_eq!(m.insert(7, "a2").as_deref(), Some(&"a"), "replace returns the old value");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(7).as_deref(), Some(&"a2"));
+        assert_eq!(m.remove(7), None, "double remove is a no-op");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.sorted_ids(), vec![7 + BUCKETS as u64]);
+    }
+
+    #[test]
+    fn clones_are_isolated_from_later_writes() {
+        let mut m = ShardedCowMap::new();
+        for id in 0..200u64 {
+            m.insert(id, id * 10);
+        }
+        let snap = m.clone();
+        m.insert(3, 999);
+        m.remove(4);
+        assert_eq!(snap.get(3), Some(&30), "snapshot keeps the old value");
+        assert_eq!(snap.get(4), Some(&40), "snapshot keeps the removed entry");
+        assert_eq!(snap.len(), 200);
+        assert_eq!(m.get(3), Some(&999));
+        assert_eq!(m.len(), 199);
+    }
+
+    #[test]
+    fn writes_copy_only_the_touched_bucket() {
+        let mut m = ShardedCowMap::new();
+        for id in 0..200u64 {
+            m.insert(id, id);
+        }
+        let snap = m.clone();
+        m.insert(3, 999);
+        // Bucket 3 diverged; the other 63 buckets are still shared.
+        let shared =
+            m.buckets.iter().zip(snap.buckets.iter()).filter(|(a, b)| Arc::ptr_eq(a, b)).count();
+        assert_eq!(shared, BUCKETS - 1);
+        assert!(m.shares_storage_with(&snap));
+    }
+
+    #[test]
+    fn untouched_values_stay_shared_across_a_bucket_copy() {
+        let mut m: ShardedCowMap<Vec<u8>> = ShardedCowMap::new();
+        m.insert(1, vec![1]);
+        m.insert(1 + BUCKETS as u64, vec![2]);
+        let snap = m.clone();
+        m.insert(1, vec![9]); // copies bucket 1, which also holds 1+BUCKETS
+        let a = m.get_arc(1 + BUCKETS as u64).unwrap();
+        let b = snap.get_arc(1 + BUCKETS as u64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "the copied bucket still shares untouched values");
+    }
+}

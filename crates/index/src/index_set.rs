@@ -13,6 +13,7 @@ use crate::inverted::InvertedIndex;
 use crate::pattern_index::PatternIndex;
 use crate::stats::IndexStats;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Weak};
 
 /// Everything the index layer needs to know about one stored sequence
 /// representation. Borrowed views — the caller keeps ownership of the
@@ -84,15 +85,21 @@ impl SequenceIndex for InvertedIndex {
 /// which keeps every member consistent under arbitrary insert/remove
 /// interleavings (property-tested against a from-scratch rebuild oracle
 /// in `tests/prop_store_maintenance.rs`).
+///
+/// Every member lives behind an `Arc`, so cloning an `IndexSet` (how a
+/// store snapshot captures the index layer) is four pointer copies, and a
+/// mutation deep-copies only the members it touches (`Arc::make_mut`) —
+/// snapshots taken earlier keep reading the superseded structures until
+/// the last one drops.
 #[derive(Debug, Clone, Default)]
 pub struct IndexSet {
-    pattern: PatternIndex,
-    interval: InvertedIndex,
+    pattern: Arc<PatternIndex>,
+    interval: Arc<InvertedIndex>,
     /// peak count → number of indexed documents with that many peaks.
-    peak_counts: BTreeMap<usize, u64>,
+    peak_counts: Arc<BTreeMap<usize, u64>>,
     /// id → its indexed peak count (needed to decrement the histogram on
     /// removal; neither member index remembers it).
-    docs: HashMap<u64, usize>,
+    docs: Arc<HashMap<u64, usize>>,
 }
 
 impl IndexSet {
@@ -121,30 +128,60 @@ impl IndexSet {
         IndexStats {
             pattern: self.pattern.stats(),
             interval: self.interval.stats(),
-            peak_counts: self.peak_counts.clone(),
+            peak_counts: (*self.peak_counts).clone(),
         }
+    }
+
+    /// A weak handle to this set's member structures, answering whether
+    /// they are still reachable from *any* clone. Used by snapshot
+    /// lifecycle tests to assert that dropping the last snapshot actually
+    /// frees superseded index structures.
+    pub fn probe(&self) -> IndexSetProbe {
+        IndexSetProbe {
+            pattern: Arc::downgrade(&self.pattern),
+            interval: Arc::downgrade(&self.interval),
+        }
+    }
+}
+
+/// See [`IndexSet::probe`]. Holding a probe does not keep anything alive.
+#[derive(Debug, Clone)]
+pub struct IndexSetProbe {
+    pattern: Weak<PatternIndex>,
+    interval: Weak<InvertedIndex>,
+}
+
+impl IndexSetProbe {
+    /// Whether the probed structures are still reachable from some
+    /// `IndexSet` clone (a mutated clone counts only if the mutation left
+    /// that member shared).
+    pub fn is_live(&self) -> bool {
+        self.pattern.upgrade().is_some() || self.interval.upgrade().is_some()
     }
 }
 
 impl SequenceIndex for IndexSet {
     fn insert_doc(&mut self, id: u64, doc: &IndexDoc<'_>) {
         self.remove_doc(id);
-        self.pattern.insert_doc(id, doc);
-        self.interval.insert_doc(id, doc);
-        *self.peak_counts.entry(doc.peak_count).or_insert(0) += 1;
-        self.docs.insert(id, doc.peak_count);
+        Arc::make_mut(&mut self.pattern).insert_doc(id, doc);
+        Arc::make_mut(&mut self.interval).insert_doc(id, doc);
+        *Arc::make_mut(&mut self.peak_counts).entry(doc.peak_count).or_insert(0) += 1;
+        Arc::make_mut(&mut self.docs).insert(id, doc.peak_count);
     }
 
     fn remove_doc(&mut self, id: u64) -> bool {
-        let Some(peaks) = self.docs.remove(&id) else {
+        if !self.docs.contains_key(&id) {
+            // Don't unshare any member for a miss.
             return false;
-        };
-        self.pattern.remove_doc(id);
-        self.interval.remove_doc(id);
-        if let Some(n) = self.peak_counts.get_mut(&peaks) {
+        }
+        let peaks = Arc::make_mut(&mut self.docs).remove(&id).expect("presence checked above");
+        Arc::make_mut(&mut self.pattern).remove_doc(id);
+        Arc::make_mut(&mut self.interval).remove_doc(id);
+        let histogram = Arc::make_mut(&mut self.peak_counts);
+        if let Some(n) = histogram.get_mut(&peaks) {
             *n -= 1;
             if *n == 0 {
-                self.peak_counts.remove(&peaks);
+                histogram.remove(&peaks);
             }
         }
         true
@@ -213,6 +250,39 @@ mod tests {
         assert_eq!(set.interval().posting_count(), 0, "old postings dropped");
         assert_eq!(set.peak_count_histogram().get(&2), None);
         assert_eq!(set.peak_count_histogram().get(&0), Some(&1));
+    }
+
+    #[test]
+    fn clones_share_members_until_mutated() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let syms = ab.encode("uudd").unwrap();
+        set.insert_doc(1, &doc(&syms, &[8], 2));
+        let snap = set.clone();
+        assert!(std::sync::Arc::ptr_eq(&set.pattern, &snap.pattern), "clone shares storage");
+        let syms2 = ab.encode("ff").unwrap();
+        set.insert_doc(2, &doc(&syms2, &[], 0));
+        assert!(!std::sync::Arc::ptr_eq(&set.pattern, &snap.pattern), "mutation unshares");
+        // The snapshot still sees the pre-mutation state.
+        assert_eq!(snap.doc_count(), 1);
+        assert_eq!(snap.pattern().len(), 1);
+        assert_eq!(snap.peak_count_histogram().get(&0), None);
+        assert_eq!(set.doc_count(), 2);
+    }
+
+    #[test]
+    fn probe_reports_superseded_members_freed() {
+        let ab = ab();
+        let mut set = IndexSet::new();
+        let syms = ab.encode("ud").unwrap();
+        set.insert_doc(1, &doc(&syms, &[], 1));
+        let snap = set.clone();
+        let probe = snap.probe();
+        set.insert_doc(2, &doc(&syms, &[], 1)); // unshares every member
+        assert!(probe.is_live(), "the snapshot still pins the old structures");
+        drop(snap);
+        assert!(!probe.is_live(), "dropping the last snapshot frees them");
+        assert_eq!(set.doc_count(), 2, "the live set is unaffected");
     }
 
     #[test]

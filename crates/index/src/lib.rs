@@ -19,13 +19,15 @@
 #![forbid(unsafe_code)]
 
 pub mod bplus;
+pub mod cow;
 pub mod index_set;
 pub mod inverted;
 pub mod pattern_index;
 pub mod stats;
 
 pub use bplus::BPlusTree;
-pub use index_set::{IndexDoc, IndexSet, SequenceIndex};
+pub use cow::ShardedCowMap;
+pub use index_set::{IndexDoc, IndexSet, IndexSetProbe, SequenceIndex};
 pub use inverted::{InvertedIndex, Posting};
 pub use pattern_index::{PatternHit, PatternIndex};
 pub use stats::{IndexStats, IntervalStats, PatternStats};
