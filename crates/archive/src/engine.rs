@@ -13,6 +13,7 @@ use saq_core::algebra::{
     execute_plan, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet, MatchTier, Planner, Pred,
     PreparedPred, QueryEngine, QueryExpr,
 };
+use saq_core::request::{QueryRequest, QueryResponse, SnapshotRef};
 use saq_core::store::{StoreConfig, StoredEntry};
 use saq_core::{Error, QueryOutcome, Result};
 use std::collections::HashMap;
@@ -71,15 +72,51 @@ impl<'a> ArchiveScanEngine<'a> {
     }
 }
 
-impl QueryEngine for ArchiveScanEngine<'_> {
-    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
-        let snap = match &self.target {
+impl ArchiveScanEngine<'_> {
+    fn capture(&self) -> ArchiveSnapshot {
+        match &self.target {
             ScanTarget::Live(archive) => archive.snapshot(),
             ScanTarget::Pinned(snapshot) => snapshot.clone(),
-        };
+        }
+    }
+}
+
+impl QueryEngine for ArchiveScanEngine<'_> {
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let snap = self.capture();
         let plan = Planner::new(IndexCaps::none()).plan(expr)?;
         let mut source = ScanSource { snap: &snap, config: self.config, entries: HashMap::new() };
         execute_plan(&plan, &mut source)
+    }
+
+    /// One snapshot, captured before the pin check, serves planning,
+    /// explain, and every fetch of the request.
+    fn request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let snap = self.capture();
+        let current = SnapshotRef::new(snap.instance_id(), snap.generation());
+        req.verify_pin(Some(current))?;
+        let expr = req.resolve()?;
+        let plan = Planner::new(IndexCaps::none()).plan(&expr)?;
+        let explain = req.want_explain.then(|| plan.explain());
+        let mut source = ScanSource { snap: &snap, config: self.config, entries: HashMap::new() };
+        let (outcome, stats) = execute_plan(&plan, &mut source)?;
+        Ok(QueryResponse {
+            outcome,
+            stats: req.want_stats.then_some(stats),
+            explain,
+            snapshot: Some(current),
+        })
+    }
+
+    /// No index structures exist over a raw archive, so the rendering
+    /// shows every entry leaf on the scan path.
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        Ok(Planner::new(IndexCaps::none()).plan(expr)?.explain())
+    }
+
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        let snap = self.capture();
+        Some(SnapshotRef::new(snap.instance_id(), snap.generation()))
     }
 }
 

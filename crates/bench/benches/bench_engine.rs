@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use saq_archive::{ArchiveStore, Medium};
+use saq_core::algebra::QueryExpr;
 use saq_core::query::QuerySpec;
+use saq_core::{QueryOutcome, QueryRequest};
 use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
 use saq_sequence::generators::{goalpost, random_walk, GoalpostSpec};
 
@@ -42,6 +44,22 @@ fn engine(workers: usize, capacity: usize) -> QueryEngine {
     .unwrap()
 }
 
+/// One coalesced wave through the unified request API.
+fn run_wave(
+    engine: &QueryEngine,
+    store: &ArchiveStore,
+    queries: &[BatchQuery],
+) -> Vec<QueryOutcome> {
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    engine
+        .run_requests(&store.snapshot(), &requests)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap().outcome)
+        .collect()
+}
+
 fn bench_engine(c: &mut Criterion) {
     let store = archive(64);
     let queries = batch();
@@ -51,15 +69,15 @@ fn bench_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold-batch", workers), &workers, |b, &workers| {
             b.iter(|| {
                 // A fresh engine per iteration keeps the cache cold.
-                engine(workers, 64).run(&store, &queries).unwrap()
+                run_wave(&engine(workers, 64), &store, &queries)
             });
         });
     }
 
     let warm = engine(4, 64);
-    warm.run(&store, &queries).unwrap();
+    run_wave(&warm, &store, &queries);
     group.bench_function("warm-batch-4w", |b| {
-        b.iter(|| warm.run(&store, &queries).unwrap());
+        b.iter(|| run_wave(&warm, &store, &queries));
     });
 
     let sequential = engine(1, 64);

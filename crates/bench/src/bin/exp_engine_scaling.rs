@@ -21,7 +21,9 @@
 
 use saq_archive::{ArchiveStore, Medium};
 use saq_bench::{banner, env_f64, env_usize, fnum};
+use saq_core::algebra::QueryExpr;
 use saq_core::query::QuerySpec;
+use saq_core::{QueryOutcome, QueryRequest};
 use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
 use saq_sequence::generators::{goalpost, random_walk, seismic_burst, GoalpostSpec};
 use std::time::Instant;
@@ -86,7 +88,7 @@ fn main() {
         .unwrap();
 
         let t = Instant::now();
-        let cold_out = engine.run(&archive, &queries).unwrap();
+        let cold_out = run_wave(&engine, &archive, &queries);
         let cold = t.elapsed().as_secs_f64();
         // Per-worker simulated clocks of the cold batch: the makespan is
         // what the batch costs when workers overlap archive waits, the
@@ -97,7 +99,7 @@ fn main() {
         }
 
         let t = Instant::now();
-        let warm_out = engine.run(&archive, &queries).unwrap();
+        let warm_out = run_wave(&engine, &archive, &queries);
         let warm = t.elapsed().as_secs_f64();
 
         assert_eq!(cold_out, warm_out, "cache must not change results");
@@ -158,6 +160,23 @@ fn main() {
     }
 }
 
+/// Runs `queries` as one coalesced wave through the unified request API,
+/// so the experiment exercises the path every entry point now routes to.
+fn run_wave(
+    engine: &QueryEngine,
+    archive: &ArchiveStore,
+    queries: &[BatchQuery],
+) -> Vec<QueryOutcome> {
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    engine
+        .run_requests(&archive.snapshot(), &requests)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap().outcome)
+        .collect()
+}
+
 /// Cold-cache wall-clock seconds for one batch at the given worker count.
 fn measure_cold(archive: &ArchiveStore, queries: &[BatchQuery], workers: usize) -> f64 {
     let engine = QueryEngine::new(EngineConfig {
@@ -168,6 +187,6 @@ fn measure_cold(archive: &ArchiveStore, queries: &[BatchQuery], workers: usize) 
     })
     .unwrap();
     let t = Instant::now();
-    engine.run(archive, queries).unwrap();
+    run_wave(&engine, archive, queries);
     t.elapsed().as_secs_f64().max(1e-12)
 }

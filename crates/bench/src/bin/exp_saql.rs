@@ -23,6 +23,7 @@ use saq_core::algebra::{PlanStats, Planner, QueryEngine as _, QueryExpr, StoreEn
 use saq_core::lang::saql;
 use saq_core::store::{SequenceStore, StoreConfig};
 use saq_core::IndexCaps;
+use saq_core::QueryRequest;
 use saq_sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
 use saq_sequence::Sequence;
 use std::time::Instant;
@@ -55,7 +56,8 @@ fn main() {
     let sample = exprs.len().min(24);
     for (expr, text) in exprs.iter().zip(&texts).take(sample) {
         let direct = engine.execute(expr).expect("generated exprs execute");
-        let via_text = engine.execute_saql(text).expect("SAQL path executes");
+        let via_text =
+            engine.request(&QueryRequest::saql(text)).expect("SAQL path executes").outcome;
         assert_eq!(direct, via_text, "textual path must match the constructed tree: `{text}`");
     }
 

@@ -33,6 +33,7 @@ use saq_archive::{ArchiveStore, Medium};
 use saq_bench::{banner, env_f64, env_usize};
 use saq_core::algebra::{IndexCaps, QueryEngine, QueryExpr, StoreEngine};
 use saq_core::store::{SequenceStore, StoreConfig};
+use saq_core::QueryRequest;
 use saq_engine::{BatchQuery, EngineConfig, QueryEngine as ShardedEngine};
 use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
 use saq_sequence::Sequence;
@@ -54,6 +55,16 @@ fn skewed_ward(n: usize) -> Vec<Sequence> {
             }
         })
         .collect()
+}
+
+/// One coalesced wave through the unified request API; outcomes are
+/// dropped — the experiment reads the archive's fetch counters instead.
+fn run_wave(engine: &ShardedEngine, archive: &ArchiveStore, queries: &[BatchQuery]) {
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    for resp in engine.run_requests(&archive.snapshot(), &requests).unwrap() {
+        resp.unwrap();
+    }
 }
 
 fn main() {
@@ -105,13 +116,13 @@ fn main() {
     .unwrap();
     let two_peaks =
         vec![BatchQuery::Feature(saq_core::QuerySpec::PeakCount { count: 2, tolerance: 0 })];
-    engine.run(&archive, &two_peaks).unwrap();
+    run_wave(&engine, &archive, &two_peaks);
     let cold_fetches = archive.fetch_count();
     let k = 5u64;
     for i in 0..k {
         archive.put(i, goalpost(GoalpostSpec { seed: 1000 + i, ..GoalpostSpec::default() }));
     }
-    engine.run(&archive, &two_peaks).unwrap();
+    run_wave(&engine, &archive, &two_peaks);
     let dirty_fetches = archive.fetch_count() - cold_fetches;
     println!(
         "incremental re-run after {k} puts: {dirty_fetches} fetches \

@@ -78,6 +78,7 @@ use crate::query::{
     sort_approximate_matches, ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec,
     SequenceMatch,
 };
+use crate::request::{QueryRequest, QueryResponse, SnapshotRef};
 use crate::store::{SequenceStore, StoreSnapshot, StoredEntry};
 use saq_sequence::Sequence;
 use std::collections::BTreeMap;
@@ -1184,6 +1185,58 @@ pub trait QueryEngine {
     /// counters.
     fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)>;
 
+    /// The unified entry point: answers one [`QueryRequest`] — SAQL text
+    /// or a built expression, optionally pinned to a snapshot, with stats
+    /// and explain on demand. Every engine (and the `saqd` server)
+    /// answers through this method; the older per-shape entry points are
+    /// deprecated shims over it.
+    ///
+    /// The default implementation composes [`QueryRequest::resolve`],
+    /// [`QueryRequest::verify_pin`] against [`QueryEngine::snapshot_ref`],
+    /// [`QueryEngine::explain`], and
+    /// [`QueryEngine::execute_with_stats`]. Engines over *live* mutable
+    /// backing override it to capture one snapshot up front so the pin
+    /// check, the plan, and every leaf evaluation read the same
+    /// generation.
+    ///
+    /// ```
+    /// use saq_core::algebra::{QueryEngine as _, StoreEngine};
+    /// use saq_core::request::QueryRequest;
+    /// use saq_core::store::SequenceStore;
+    /// use saq_sequence::generators::{goalpost, GoalpostSpec};
+    ///
+    /// let mut store = SequenceStore::default();
+    /// let id = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
+    /// let resp = StoreEngine::new(&store)
+    ///     .request(&QueryRequest::saql("peaks = 2 and interval = 10 tol 3").with_stats())
+    ///     .unwrap();
+    /// assert_eq!(resp.outcome.exact, vec![id]);
+    /// assert!(resp.stats.unwrap().universe >= 1);
+    /// ```
+    fn request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let expr = req.resolve()?;
+        let snapshot = self.snapshot_ref();
+        req.verify_pin(snapshot)?;
+        let explain = if req.want_explain { Some(self.explain(&expr)?) } else { None };
+        let (outcome, stats) = self.execute_with_stats(&expr)?;
+        Ok(QueryResponse { outcome, stats: req.want_stats.then_some(stats), explain, snapshot })
+    }
+
+    /// Renders the physical plan this engine would run for `expr` (the
+    /// REPL's and the server's `explain:` output). The default plans with
+    /// every index capability; engines with fewer capabilities override
+    /// to show what they would actually do.
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        Ok(Planner::new(IndexCaps::all()).plan(expr)?.explain())
+    }
+
+    /// The `(instance, generation)` this engine currently serves, when it
+    /// can name one. Engines over anonymous data return `None`, which
+    /// rejects pinned requests.
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        None
+    }
+
     /// Executes an expression.
     fn execute(&self, expr: &QueryExpr) -> Result<QueryOutcome> {
         Ok(self.execute_with_stats(expr)?.0)
@@ -1191,34 +1244,24 @@ pub trait QueryEngine {
 
     /// Back-compat entry point: evaluates a classic single-spec query by
     /// lowering it to a single-leaf expression.
+    #[deprecated(note = "use `request` with `QueryRequest::expr`")]
     fn evaluate(&self, spec: &QuerySpec) -> Result<QueryOutcome> {
-        self.execute(&QueryExpr::from(spec.clone()))
+        Ok(self.request(&QueryRequest::expr(QueryExpr::from(spec.clone())))?.outcome)
     }
 
-    /// Parses a SAQL query ([`crate::lang::saql`]) and executes it. Every
-    /// engine accepts the textual language through this one entry point;
-    /// parse errors surface as [`Error::BadConfig`] with a caret
-    /// diagnostic rendered into the message.
-    ///
-    /// ```
-    /// use saq_core::algebra::{QueryEngine as _, StoreEngine};
-    /// use saq_core::store::SequenceStore;
-    /// use saq_sequence::generators::{goalpost, GoalpostSpec};
-    ///
-    /// let mut store = SequenceStore::default();
-    /// let id = store.insert(&goalpost(GoalpostSpec::default())).unwrap();
-    /// let out = StoreEngine::new(&store)
-    ///     .execute_saql("peaks = 2 and interval = 10 tol 3")
-    ///     .unwrap();
-    /// assert_eq!(out.exact, vec![id]);
-    /// ```
+    /// Parses a SAQL query ([`crate::lang::saql`]) and executes it; parse
+    /// errors surface as [`Error::Saql`] with the caret diagnostic
+    /// intact.
+    #[deprecated(note = "use `request` with `QueryRequest::saql`")]
     fn execute_saql(&self, text: &str) -> Result<QueryOutcome> {
-        self.execute(&crate::lang::saql::parse(text)?)
+        Ok(self.request(&QueryRequest::saql(text))?.outcome)
     }
 
-    /// As [`QueryEngine::execute_saql`], returning execution counters too.
+    /// As `execute_saql`, returning execution counters too.
+    #[deprecated(note = "use `request` with `QueryRequest::saql(..).with_stats()`")]
     fn execute_saql_with_stats(&self, text: &str) -> Result<(QueryOutcome, ExecStats)> {
-        self.execute_with_stats(&crate::lang::saql::parse(text)?)
+        let resp = self.request(&QueryRequest::saql(text).with_stats())?;
+        Ok((resp.outcome, resp.stats.expect("stats were requested")))
     }
 }
 
@@ -1301,6 +1344,35 @@ impl QueryEngine for StoreEngine<'_> {
         let plan = self.planner_for(expr, &snap).plan(expr)?;
         execute_plan(&plan, &mut SnapshotSource { snap: &snap })
     }
+
+    /// One snapshot, captured before the pin check, serves planning,
+    /// explain, and every leaf evaluation of the request.
+    fn request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let snap = self.store.snapshot();
+        let current = SnapshotRef::new(snap.instance_id(), snap.generation());
+        req.verify_pin(Some(current))?;
+        let expr = req.resolve()?;
+        let plan = self.planner_for(&expr, &snap).plan(&expr)?;
+        let explain = req.want_explain.then(|| plan.explain());
+        let (outcome, stats) = execute_plan(&plan, &mut SnapshotSource { snap: &snap })?;
+        Ok(QueryResponse {
+            outcome,
+            stats: req.want_stats.then_some(stats),
+            explain,
+            snapshot: Some(current),
+        })
+    }
+
+    /// Explains with this engine's capabilities and statistics choice —
+    /// exactly the plan [`StoreEngine::request`] would run.
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        Ok(self.plan(expr)?.explain())
+    }
+
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        let snap = self.store.snapshot();
+        Some(SnapshotRef::new(snap.instance_id(), snap.generation()))
+    }
 }
 
 /// A pinned snapshot is itself a full engine: planning and leaf
@@ -1316,6 +1388,21 @@ impl QueryEngine for StoreSnapshot {
         };
         let plan = planner.plan(expr)?;
         execute_plan(&plan, &mut SnapshotSource { snap: self })
+    }
+
+    /// Explains with the same statistics choice execution uses, so the
+    /// rendering matches the plan that actually runs.
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        let planner = if has_wide_and(expr) {
+            Planner::with_stats(IndexCaps::all(), PlanStats::from_snapshot(self))
+        } else {
+            Planner::new(IndexCaps::all())
+        };
+        Ok(planner.plan(expr)?.explain())
+    }
+
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        Some(SnapshotRef::new(self.instance_id(), self.generation()))
     }
 }
 
@@ -1766,7 +1853,9 @@ mod tests {
         assert_eq!(out.approximate.iter().map(|m| m.id).collect::<Vec<_>>(), vec![b]);
     }
 
+    // The deprecated shim must stay byte-identical to the unified path.
     #[test]
+    #[allow(deprecated)]
     fn evaluate_shim_matches_execute() {
         let (store, _) = corpus();
         let engine = StoreEngine::new(&store);

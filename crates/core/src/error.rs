@@ -1,6 +1,16 @@
+use crate::lang::saql::SaqlError;
+use crate::request::SnapshotRef;
 use std::fmt;
 
-/// Errors from breaking, representation and querying.
+/// Errors from breaking, representation, querying, and serving.
+///
+/// One enum covers the whole stack so every layer — engines, the SAQL
+/// parser, and the `saqd` wire protocol — reports failures through a
+/// single type. Each variant has a stable numeric [`Error::code`] that
+/// survives a trip over the network: a server serializes `code` +
+/// [`Display`](fmt::Display) text, and the client rebuilds an
+/// [`Error::Remote`] carrying both, so no diagnostic detail (including
+/// SAQL caret renderings) is flattened into ad-hoc strings along the way.
 #[derive(Debug)]
 pub enum Error {
     /// An underlying sequence operation failed.
@@ -18,6 +28,58 @@ pub enum Error {
     EmptyInput,
     /// A configuration value was invalid.
     BadConfig(String),
+    /// A SAQL query failed to parse. Keeps the structured diagnostic and
+    /// the original query text, so `Display` renders the caret underline
+    /// exactly as the REPL shows it.
+    Saql {
+        /// The structured parse diagnostic (message + span).
+        error: SaqlError,
+        /// The query text the span points into.
+        query: String,
+    },
+    /// A request pinned to one snapshot reached an engine positioned at
+    /// another — the optimistic-concurrency failure a client retries
+    /// against a fresh pin.
+    SnapshotMismatch {
+        /// The snapshot the request demanded.
+        requested: SnapshotRef,
+        /// The snapshot the engine is actually serving.
+        current: SnapshotRef,
+    },
+    /// A malformed wire-protocol frame or payload.
+    Protocol(String),
+    /// A socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// An error reported by a remote `saqd` server: the original error's
+    /// stable code plus its full rendered message.
+    Remote {
+        /// The remote error's [`Error::code`].
+        code: u16,
+        /// The remote error's rendered `Display` text.
+        message: String,
+    },
+}
+
+impl Error {
+    /// The stable numeric code for this error, as carried by the `saqd`
+    /// wire protocol. Codes identify the *kind* of failure and never
+    /// change meaning across releases; [`Error::Remote`] reports the code
+    /// of the server-side error it wraps.
+    pub fn code(&self) -> u16 {
+        match self {
+            Error::Sequence(_) => 1,
+            Error::Curve(_) => 2,
+            Error::Pattern(_) => 3,
+            Error::UnknownSequence { .. } => 4,
+            Error::EmptyInput => 5,
+            Error::BadConfig(_) => 6,
+            Error::Saql { .. } => 7,
+            Error::SnapshotMismatch { .. } => 8,
+            Error::Protocol(_) => 9,
+            Error::Io(_) => 10,
+            Error::Remote { code, .. } => *code,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -29,6 +91,13 @@ impl fmt::Display for Error {
             Error::UnknownSequence { id } => write!(f, "unknown sequence id {id}"),
             Error::EmptyInput => write!(f, "empty input sequence"),
             Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            Error::Saql { error, query } => write!(f, "{}", error.render(query)),
+            Error::SnapshotMismatch { requested, current } => {
+                write!(f, "snapshot mismatch: request pinned {requested}, engine is at {current}")
+            }
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
         }
     }
 }
@@ -39,6 +108,7 @@ impl std::error::Error for Error {
             Error::Sequence(e) => Some(e),
             Error::Curve(e) => Some(e),
             Error::Pattern(e) => Some(e),
+            Error::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +132,12 @@ impl From<saq_pattern::Error> for Error {
     }
 }
 
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -77,5 +153,56 @@ mod tests {
         assert!(e.to_string().contains("pattern"));
         assert!(std::error::Error::source(&Error::EmptyInput).is_none());
         assert!(Error::UnknownSequence { id: 7 }.to_string().contains('7'));
+        let e: Error = std::io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let samples = [
+            (Error::Sequence(saq_sequence::Error::TooShort { required: 2, actual: 0 }), 1),
+            (Error::Curve(saq_curves::Error::SingularSystem), 2),
+            (Error::Pattern(saq_pattern::Error::UnknownSymbol { ch: 'x' }), 3),
+            (Error::UnknownSequence { id: 7 }, 4),
+            (Error::EmptyInput, 5),
+            (Error::BadConfig("x".into()), 6),
+            (
+                Error::SnapshotMismatch {
+                    requested: SnapshotRef::new(1, 2),
+                    current: SnapshotRef::new(1, 3),
+                },
+                8,
+            ),
+            (Error::Protocol("short frame".into()), 9),
+            (Error::Io(std::io::Error::other("x")), 10),
+        ];
+        for (err, code) in samples {
+            assert_eq!(err.code(), code, "{err}");
+        }
+        // A remote error relays the embedded server-side code untouched.
+        assert_eq!(Error::Remote { code: 7, message: "x".into() }.code(), 7);
+    }
+
+    #[test]
+    fn saql_display_preserves_the_caret_diagnostic() {
+        let text = "peaks 2";
+        let Err(e) = crate::lang::saql::parse(text) else {
+            panic!("`peaks 2` must not parse");
+        };
+        assert_eq!(e.code(), 7);
+        let shown = e.to_string();
+        assert!(shown.contains('^'), "caret underline survives Display: {shown}");
+        assert!(shown.contains("peaks 2"), "offending line survives Display: {shown}");
+    }
+
+    #[test]
+    fn snapshot_mismatch_names_both_generations() {
+        let e = Error::SnapshotMismatch {
+            requested: SnapshotRef::new(9, 4),
+            current: SnapshotRef::new(9, 6),
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("9.4") && shown.contains("9.6"), "{shown}");
     }
 }

@@ -60,6 +60,7 @@ pub mod multi;
 pub mod persist;
 pub mod query;
 pub mod repr;
+pub mod request;
 pub mod store;
 pub mod transform;
 
@@ -77,5 +78,6 @@ pub use multi::{Family, MultiSeries};
 pub use persist::{load_series, read_series, save_series, write_series};
 pub use query::{ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec, SequenceMatch};
 pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
+pub use request::{QueryBody, QueryRequest, QueryResponse, SnapshotRef};
 pub use store::{SequenceStore, SharedStore, StoreConfig, StoreSnapshot, StoredEntry};
 pub use transform::Transform;

@@ -179,8 +179,9 @@ impl PreparedQuery {
 /// serves shape leaves from the pattern index and interval leaves from the
 /// inverted file exactly as this function always did.
 pub fn evaluate(store: &SequenceStore, query: &QuerySpec) -> Result<QueryOutcome> {
-    use crate::algebra::QueryEngine as _;
-    crate::algebra::StoreEngine::new(store).evaluate(query)
+    use crate::algebra::{QueryEngine as _, QueryExpr};
+    let req = crate::request::QueryRequest::expr(QueryExpr::from(query.clone()));
+    Ok(crate::algebra::StoreEngine::new(store).request(&req)?.outcome)
 }
 
 /// Shared body of the two steepness dimensions: `fold`/`init` select the

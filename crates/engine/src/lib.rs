@@ -45,8 +45,8 @@
 //! ```
 //! use saq_archive::{ArchiveStore, Medium};
 //! use saq_core::algebra::{QueryEngine as _, QueryExpr};
-//! use saq_core::query::QuerySpec;
-//! use saq_engine::{BatchQuery, EngineConfig, QueryEngine};
+//! use saq_core::request::QueryRequest;
+//! use saq_engine::{EngineConfig, QueryEngine};
 //! use saq_sequence::generators::{goalpost, GoalpostSpec};
 //!
 //! let mut archive = ArchiveStore::new(Medium::local_disk());
@@ -54,12 +54,16 @@
 //!     archive.put(id, goalpost(GoalpostSpec { seed: id, ..GoalpostSpec::default() }));
 //! }
 //! let engine = QueryEngine::new(EngineConfig::default()).unwrap();
-//! // Classic batch API…
-//! let out = engine
-//!     .run(&archive, &[BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })])
-//!     .unwrap();
-//! assert_eq!(out[0].exact.len(), 8);
-//! // …and the composable algebra, fanned out over the same worker pool.
+//! // A coalesced wave: every request's leaves evaluated in one sharded
+//! // pass pinned to one snapshot.
+//! let wave = [
+//!     QueryRequest::saql("peaks = 2"),
+//!     QueryRequest::saql("peaks = 2 and id in [0..3]").with_stats(),
+//! ];
+//! let responses = engine.run_requests(&archive.snapshot(), &wave).unwrap();
+//! assert_eq!(responses[0].as_ref().unwrap().outcome.exact.len(), 8);
+//! assert_eq!(responses[1].as_ref().unwrap().outcome.exact, vec![0, 1, 2, 3]);
+//! // The same pool also answers one expression at a time.
 //! let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(0, 3));
 //! assert_eq!(engine.bind(&archive).execute(&expr).unwrap().exact, vec![0, 1, 2, 3]);
 //! ```
@@ -77,9 +81,10 @@ use report::RunReport;
 use saq_archive::{ArchiveSnapshot, ArchiveStore};
 use saq_core::algebra::{
     execute_plan, interval_index_match_set, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet,
-    MatchTier, PlanNode, Planner, Pred, PreparedPred, QueryExpr,
+    MatchTier, PhysicalPlan, PlanNode, Planner, Pred, PreparedPred, QueryExpr,
 };
 use saq_core::query::{QueryOutcome, QuerySpec};
+use saq_core::request::{QueryRequest, QueryResponse, SnapshotRef};
 use saq_core::store::{StoreConfig, StoredEntry};
 use saq_core::{Error, Result};
 use saq_index::{IndexDoc, IndexSet, SequenceIndex as _};
@@ -244,9 +249,10 @@ impl QueryEngine {
     /// let bound = engine.bind(&archive);
     /// let expr = QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(2, 4));
     /// assert_eq!(bound.execute(&expr).unwrap().exact, vec![2, 3, 4]);
-    /// // Same query, as SAQL text.
-    /// let out = bound.execute_saql("peaks = 2 and id in [2..4]").unwrap();
-    /// assert_eq!(out.exact, vec![2, 3, 4]);
+    /// // Same query, as a SAQL request.
+    /// use saq_core::request::QueryRequest;
+    /// let resp = bound.request(&QueryRequest::saql("peaks = 2 and id in [2..4]")).unwrap();
+    /// assert_eq!(resp.outcome.exact, vec![2, 3, 4]);
     /// ```
     pub fn bind<'e>(&'e self, archive: &'e ArchiveStore) -> BoundEngine<'e> {
         BoundEngine { engine: self, target: BoundTarget::Live(archive) }
@@ -260,6 +266,106 @@ impl QueryEngine {
         BoundEngine { engine: self, target: BoundTarget::Pinned(snapshot) }
     }
 
+    /// Answers a **coalesced wave** of requests against one pinned
+    /// snapshot: every request is planned, the distinct leaf predicates
+    /// across the whole wave are evaluated in a *single* sharded pass of
+    /// the worker pool (one fetch per candidate sequence for the entire
+    /// wave, shared leaf results for identical predicates), and each
+    /// request's plan is then composed from the shared results. This is
+    /// the entry point the `saqd` server feeds — the ROADMAP's "one
+    /// snapshot per coalesced batch wave".
+    ///
+    /// Returns one `Result` per request, in request order: a bad query
+    /// (SAQL parse failure, invalid predicate, snapshot-pin mismatch)
+    /// fails *that* request without poisoning the rest of the wave. Only
+    /// wave-level failures — an archive id vanishing mid-evaluation — fail
+    /// the whole call.
+    pub fn run_requests(
+        &self,
+        snapshot: &ArchiveSnapshot,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<Result<QueryResponse>>> {
+        let current = SnapshotRef::new(snapshot.instance_id(), snapshot.generation());
+        let ids = snapshot.ids();
+        let planner = Planner::new(IndexCaps::all());
+        let mut slots: Vec<PreparedPred> = Vec::new();
+        let prepped: Vec<Result<PreppedRequest>> = requests
+            .iter()
+            .map(|req| {
+                req.verify_pin(Some(current))?;
+                let expr = req.resolve()?;
+                let plan = planner.plan(&expr)?;
+                let universe: Vec<u64> = match plan.id_bounds() {
+                    Some((lo, hi)) => {
+                        ids.iter().copied().filter(|id| (lo..=hi).contains(id)).collect()
+                    }
+                    None => ids.to_vec(),
+                };
+                // Identical predicates across the wave share one slot —
+                // and therefore one evaluation — in the sharded pass.
+                let leaf_slots = plan
+                    .leaves()
+                    .into_iter()
+                    .map(|node| {
+                        let PlanNode::Leaf { pred, .. } = node else {
+                            unreachable!("leaves() yields only leaves")
+                        };
+                        slots.iter().position(|p| p.pred() == pred.pred()).unwrap_or_else(|| {
+                            slots.push(pred.as_ref().clone());
+                            slots.len() - 1
+                        })
+                    })
+                    .collect();
+                Ok(PreppedRequest { plan, universe, leaf_slots })
+            })
+            .collect();
+
+        // The wave's evaluation universe: the union of the (id-bounds
+        // pruned) per-request universes. Any unbounded request widens it
+        // to every archived id.
+        let union: Vec<u64> =
+            if prepped.iter().flatten().any(|prep| prep.universe.len() == ids.len()) {
+                ids.to_vec()
+            } else {
+                let mut merged: Vec<u64> =
+                    prepped.iter().flatten().flat_map(|p| p.universe.iter().copied()).collect();
+                merged.sort_unstable();
+                merged.dedup();
+                merged
+            };
+
+        let stamp = self.ensure_fresh(snapshot);
+        let (sets, report, leaf_evals) = self.eval_leaves(snapshot, &union, &slots, stamp)?;
+        *self.last_run.lock() = report;
+
+        Ok(requests
+            .iter()
+            .zip(prepped)
+            .map(|(req, prep)| {
+                let prep = prep?;
+                let explain = req.want_explain.then(|| prep.plan.explain());
+                let mut source = WaveSource {
+                    universe: &prep.universe,
+                    leaf_slots: &prep.leaf_slots,
+                    sets: &sets,
+                };
+                let (outcome, mut stats) = execute_plan(&prep.plan, &mut source)?;
+                // The sharded pass evaluated this request's scan leaves
+                // over the whole wave universe; report the per-entry
+                // evaluations performed on its behalf (index-served
+                // leaves perform none, shared leaves are counted once
+                // per request they serve).
+                stats.entries_scanned = prep.leaf_slots.iter().map(|&s| leaf_evals[s]).sum();
+                Ok(QueryResponse {
+                    outcome,
+                    stats: req.want_stats.then_some(stats),
+                    explain,
+                    snapshot: Some(current),
+                })
+            })
+            .collect())
+    }
+
     /// Runs a batch of queries over every archived sequence using the
     /// worker pool; returns one outcome per query, in query order. The
     /// run captures a snapshot of the archive up front and is pinned to it
@@ -268,25 +374,38 @@ impl QueryEngine {
     ///
     /// Results are identical — same hits, same order — to
     /// [`QueryEngine::run_sequential`] for any worker/shard configuration.
+    #[deprecated(note = "use `run_requests` with `QueryRequest`s")]
     pub fn run(&self, archive: &ArchiveStore, queries: &[BatchQuery]) -> Result<Vec<QueryOutcome>> {
-        self.run_snapshot(&archive.snapshot(), queries)
+        self.batch_outcomes(&archive.snapshot(), queries)
     }
 
-    /// As [`QueryEngine::run`], over an already-captured snapshot: planner
-    /// input, leaf evaluation, and the feature cache's
-    /// `(instance, generation)` stamp all read the pinned generation.
+    /// As `run`, over an already-captured snapshot: planner input, leaf
+    /// evaluation, and the feature cache's `(instance, generation)` stamp
+    /// all read the pinned generation.
+    #[deprecated(note = "use `run_requests` with `QueryRequest`s")]
     pub fn run_snapshot(
         &self,
         snapshot: &ArchiveSnapshot,
         queries: &[BatchQuery],
     ) -> Result<Vec<QueryOutcome>> {
-        let preds: Vec<PreparedPred> =
-            queries.iter().map(|q| PreparedPred::new(&q.to_pred())).collect::<Result<_>>()?;
-        let stamp = self.ensure_fresh(snapshot);
-        let ids = snapshot.ids().to_vec();
-        let (sets, report, _) = self.eval_leaves(snapshot, &ids, &preds, stamp)?;
-        *self.last_run.lock() = report;
-        Ok(sets.into_iter().map(MatchSet::into_outcome).collect())
+        self.batch_outcomes(snapshot, queries)
+    }
+
+    /// Shared body of the deprecated batch shims: lower each
+    /// [`BatchQuery`] to a single-leaf request and run them as one wave —
+    /// the same code path (and therefore byte-identical results) as the
+    /// unified API.
+    fn batch_outcomes(
+        &self,
+        snapshot: &ArchiveSnapshot,
+        queries: &[BatchQuery],
+    ) -> Result<Vec<QueryOutcome>> {
+        let requests: Vec<QueryRequest> =
+            queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+        self.run_requests(snapshot, &requests)?
+            .into_iter()
+            .map(|r| r.map(|resp| resp.outcome))
+            .collect()
     }
 
     /// The single-threaded reference path: one pass over the sorted ids of
@@ -361,18 +480,22 @@ impl QueryEngine {
     /// Evaluates every leaf predicate against every candidate id using the
     /// sharded worker pool; returns one id-sorted [`MatchSet`] per leaf,
     /// the per-worker report (simulated clocks + cache counters), and the
-    /// number of per-entry predicate evaluations the run performed (leaves
-    /// served by the shard-local indexes contribute none).
+    /// number of per-entry predicate evaluations performed *per leaf*
+    /// (leaves served by the shard-local indexes contribute none).
     fn eval_leaves(
         &self,
         snapshot: &ArchiveSnapshot,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
-    ) -> Result<(Vec<MatchSet>, RunReport, u64)> {
+    ) -> Result<(Vec<MatchSet>, RunReport, Vec<u64>)> {
         let shards = shard::plan(ids.len(), self.config.shards);
         if shards.is_empty() || preds.is_empty() {
-            return Ok((vec![MatchSet::new(); preds.len()], RunReport::new(0), 0));
+            return Ok((
+                vec![MatchSet::new(); preds.len()],
+                RunReport::new(0),
+                vec![0; preds.len()],
+            ));
         }
         let workers = self.config.workers.min(shards.len());
 
@@ -380,7 +503,7 @@ impl QueryEngine {
             shards.iter().map(|_| Mutex::new(None)).collect();
         let logs: Vec<Mutex<(f64, CacheStats)>> =
             (0..workers).map(|_| Mutex::new((0.0, CacheStats::default()))).collect();
-        let entry_evals = AtomicU64::new(0);
+        let leaf_evals: Vec<AtomicU64> = preds.iter().map(|_| AtomicU64::new(0)).collect();
         let next_shard = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<Error>> = Mutex::new(None);
@@ -398,7 +521,9 @@ impl QueryEngine {
                             let mut log = log.lock();
                             log.0 += eval.sim_seconds;
                             log.1.merge(eval.cache);
-                            entry_evals.fetch_add(eval.entry_evals, Ordering::Relaxed);
+                            for (total, n) in leaf_evals.iter().zip(&eval.leaf_evals) {
+                                total.fetch_add(*n, Ordering::Relaxed);
+                            }
                         }
                         Err(e) => {
                             abort.store(true, Ordering::Relaxed);
@@ -425,7 +550,7 @@ impl QueryEngine {
         let (per_worker_sim_seconds, per_worker_cache) =
             logs.into_iter().map(Mutex::into_inner).unzip();
         let report = RunReport { per_worker_sim_seconds, per_worker_cache };
-        Ok((sets, report, entry_evals.into_inner()))
+        Ok((sets, report, leaf_evals.into_iter().map(AtomicU64::into_inner).collect()))
     }
 
     /// Evaluates every leaf against every id of one shard through the
@@ -437,8 +562,8 @@ impl QueryEngine {
     /// by a required-symbol-pruned pattern-index scan, interval leaves by
     /// a B+tree range lookup — so they stop scanning every cached entry.
     /// Only the remaining leaves (peak count, steepness, value bands) pay
-    /// a per-entry evaluation, counted in
-    /// [`ShardEval::entry_evals`].
+    /// a per-entry evaluation, counted per leaf in
+    /// [`ShardEval::leaf_evals`].
     fn eval_shard(
         &self,
         snapshot: &ArchiveSnapshot,
@@ -454,7 +579,7 @@ impl QueryEngine {
             partials: vec![Vec::new(); preds.len()],
             sim_seconds: 0.0,
             cache: CacheStats::default(),
-            entry_evals: 0,
+            leaf_evals: vec![0; preds.len()],
         };
         for &id in ids {
             let entry = if needs_entry {
@@ -476,7 +601,10 @@ impl QueryEngine {
                     },
                 );
             }
-            for ((partial, pred), serve) in eval.partials.iter_mut().zip(preds).zip(&serves) {
+            let evals = &mut eval.leaf_evals;
+            for (ix, ((partial, pred), serve)) in
+                eval.partials.iter_mut().zip(preds).zip(&serves).enumerate()
+            {
                 match serve {
                     LeafServe::IdOnly => {
                         if let Some(m) = pred.matches(id, None) {
@@ -484,7 +612,7 @@ impl QueryEngine {
                         }
                     }
                     LeafServe::EntryScan => {
-                        eval.entry_evals += 1;
+                        evals[ix] += 1;
                         if let Some(m) = pred.matches(id, entry.as_deref()) {
                             partial.push((id, MatchTier::from_match(m)));
                         }
@@ -567,8 +695,9 @@ struct ShardEval {
     sim_seconds: f64,
     /// Cache counters observed while materializing this shard's entries.
     cache: CacheStats,
-    /// Per-entry predicate evaluations (scan-served leaves only).
-    entry_evals: u64,
+    /// Per-entry predicate evaluations, per leaf (scan-served leaves
+    /// only; index-served leaves stay 0).
+    leaf_evals: Vec<u64>,
 }
 
 /// How the sharded pass serves one leaf predicate.
@@ -641,54 +770,74 @@ enum BoundTarget<'e> {
     Pinned(ArchiveSnapshot),
 }
 
-impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
-    /// Captures (or reuses) a snapshot up front; the planner's universe,
-    /// every shard's leaf evaluation, and the feature cache stamp all read
-    /// that pinned generation.
-    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
-        let snapshot = match &self.target {
+impl BoundEngine<'_> {
+    fn capture(&self) -> ArchiveSnapshot {
+        match &self.target {
             BoundTarget::Live(archive) => archive.snapshot(),
             BoundTarget::Pinned(snapshot) => snapshot.clone(),
-        };
-        // The engine claims full index capability: shape and interval
-        // leaves are served by the workers' shard-local indexes rather
-        // than the (nonexistent) global indexes of a raw archive.
-        let plan = Planner::new(IndexCaps::all()).plan(expr)?;
-        let stamp = self.engine.ensure_fresh(&snapshot);
-        let universe: Vec<u64> = match plan.id_bounds() {
-            Some((lo, hi)) => {
-                snapshot.ids().iter().copied().filter(|id| (lo..=hi).contains(id)).collect()
-            }
-            None => snapshot.ids().to_vec(),
-        };
-        let preds: Vec<PreparedPred> = plan
-            .leaves()
-            .into_iter()
-            .map(|node| match node {
-                PlanNode::Leaf { pred, .. } => pred.as_ref().clone(),
-                _ => unreachable!("leaves() yields only leaves"),
-            })
-            .collect();
-        let (sets, report, entry_evals) =
-            self.engine.eval_leaves(&snapshot, &universe, &preds, stamp)?;
-        *self.engine.last_run.lock() = report;
-        let mut source = PrecomputedSource { universe: &universe, sets };
-        let (outcome, mut stats) = execute_plan(&plan, &mut source)?;
-        // The sharded pass already evaluated every leaf, whatever
-        // composition later kept: report the per-entry evaluations it
-        // actually performed (index-served leaves perform none).
-        stats.entries_scanned = entry_evals;
-        Ok((outcome, stats))
+        }
+    }
+
+    fn one_request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let snapshot = self.capture();
+        self.engine
+            .run_requests(&snapshot, std::slice::from_ref(req))?
+            .pop()
+            .expect("one response per request")
     }
 }
 
-/// [`LeafSource`] over leaf results the worker pool already produced.
-struct PrecomputedSource<'u> {
-    universe: &'u [u64],
-    sets: Vec<MatchSet>,
+impl saq_core::algebra::QueryEngine for BoundEngine<'_> {
+    /// A single-request wave of [`QueryEngine::run_requests`]: the
+    /// planner's universe, every shard's leaf evaluation, and the feature
+    /// cache stamp all read one pinned generation.
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let resp = self.one_request(&QueryRequest::expr(expr.clone()).with_stats())?;
+        Ok((resp.outcome, resp.stats.expect("stats were requested")))
+    }
+
+    fn request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        self.one_request(req)
+    }
+
+    /// The engine claims full index capability — shape and interval
+    /// leaves are served by the workers' shard-local indexes rather than
+    /// the (nonexistent) global indexes of a raw archive — so the default
+    /// all-caps rendering is exactly the plan a request runs.
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        Ok(Planner::new(IndexCaps::all()).plan(expr)?.explain())
+    }
+
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        let snapshot = self.capture();
+        Some(SnapshotRef::new(snapshot.instance_id(), snapshot.generation()))
+    }
 }
 
-impl LeafSource for PrecomputedSource<'_> {
+/// One request of a wave, planned and mapped onto the wave's shared leaf
+/// slots.
+struct PreppedRequest {
+    plan: PhysicalPlan,
+    /// This request's candidate universe (the snapshot's sorted ids,
+    /// pruned by the plan's id bounds).
+    universe: Vec<u64>,
+    /// For each plan leaf (by leaf `ix`), the wave-global predicate slot
+    /// whose evaluated [`MatchSet`] serves it.
+    leaf_slots: Vec<usize>,
+}
+
+/// [`LeafSource`] over the leaf results a wave's sharded pass already
+/// produced. Leaves were evaluated over the wave's *union* universe, so
+/// every lookup is restricted to this request's own universe (or the
+/// narrower candidate list the plan's conjunction ordering supplies) —
+/// `Not` and unconstrained leaves must never see another request's ids.
+struct WaveSource<'a> {
+    universe: &'a [u64],
+    leaf_slots: &'a [usize],
+    sets: &'a [MatchSet],
+}
+
+impl LeafSource for WaveSource<'_> {
     fn universe(&mut self) -> Result<Vec<u64>> {
         Ok(self.universe.to_vec())
     }
@@ -707,15 +856,17 @@ impl LeafSource for PrecomputedSource<'_> {
             }
             AccessPath::Scan => stats.scan_leaves += 1,
         }
-        let set = self.sets[ix].clone();
-        Ok(match candidates {
-            Some(c) => set.restrict(c),
-            None => set,
-        })
+        let set = self.sets[self.leaf_slots[ix]].clone();
+        Ok(set.restrict(candidates.unwrap_or(self.universe)))
     }
 }
 
+// The classic `run`/`run_snapshot` shims are deprecated but must keep
+// working byte-identically — these tests deliberately keep exercising
+// them (they now route through `run_requests`, so every cache and
+// invalidation test below covers the unified path too).
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use saq_archive::Medium;
@@ -1064,6 +1215,145 @@ mod tests {
                 engine.bind(&archive).execute(&QueryExpr::Leaf(query.to_pred())).unwrap();
             assert_eq!(via_run, via_expr, "{query:?}");
         }
+    }
+
+    #[test]
+    fn wave_matches_one_at_a_time_execution() {
+        let archive = mixed_archive(24);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let wave = [
+            QueryRequest::saql("peaks = 2 tol 1 and interval = 7 tol 2").with_stats(),
+            QueryRequest::saql("shape \"0* 1+ (-1)+ 0* 1+ (-1)+ 0*\" or peaks = 3"),
+            QueryRequest::expr(QueryExpr::peak_count(2, 0).and(QueryExpr::id_range(0, 9)))
+                .with_explain(),
+            QueryRequest::saql("not steepness any >= 1.0 slack 0.2"),
+        ];
+        let responses = engine.run_requests(&archive.snapshot(), &wave).unwrap();
+        assert_eq!(responses.len(), wave.len());
+        for (req, resp) in wave.iter().zip(&responses) {
+            let resp = resp.as_ref().unwrap();
+            let solo = engine.bind(&archive).request(req).unwrap();
+            assert_eq!(resp.outcome, solo.outcome, "{req:?}");
+            assert_eq!(resp.snapshot, solo.snapshot);
+            assert_eq!(resp.explain, solo.explain);
+        }
+        assert!(responses[0].as_ref().unwrap().stats.is_some());
+        assert!(responses[1].as_ref().unwrap().stats.is_none());
+        assert!(responses[2].as_ref().unwrap().explain.as_ref().unwrap().contains("And"));
+    }
+
+    #[test]
+    fn wave_amortizes_fetches_and_dedups_shared_leaves() {
+        let n = 24;
+        let archive = mixed_archive(n);
+        // Capacity below the corpus size: serial one-at-a-time execution
+        // thrashes the LRU, a coalesced wave fetches each id once.
+        let config = EngineConfig { cache_capacity: n as usize / 4, ..EngineConfig::default() };
+        let queries = [
+            "steepness all >= 0.2 slack 0.1",
+            "peaks = 2 tol 1",
+            "steepness any >= 1.0 slack 0.2",
+            "steepness all >= 0.2 slack 0.1 and peaks = 2 tol 1",
+        ];
+
+        let serial_engine = QueryEngine::new(config).unwrap();
+        let before = archive.fetch_count();
+        let mut serial_outcomes = Vec::new();
+        for q in &queries {
+            let resp = serial_engine.bind(&archive).request(&QueryRequest::saql(*q)).unwrap();
+            serial_outcomes.push(resp.outcome);
+        }
+        let serial_fetches = archive.fetch_count() - before;
+
+        let wave_engine = QueryEngine::new(config).unwrap();
+        let wave: Vec<QueryRequest> =
+            queries.iter().map(|q| QueryRequest::saql(*q).with_stats()).collect();
+        let before = archive.fetch_count();
+        let responses = wave_engine.run_requests(&archive.snapshot(), &wave).unwrap();
+        let wave_fetches = archive.fetch_count() - before;
+
+        for (resp, solo) in responses.iter().zip(&serial_outcomes) {
+            assert_eq!(&resp.as_ref().unwrap().outcome, solo);
+        }
+        assert_eq!(wave_fetches, n, "a wave fetches each sequence exactly once");
+        assert!(
+            serial_fetches >= 3 * wave_fetches,
+            "serial thrashes the small LRU: {serial_fetches} vs {wave_fetches}"
+        );
+        // Shared leaves across the wave: queries 0 and 3 share one
+        // steepness predicate, 1 and 3 one peak-count predicate — 6 plan
+        // leaves, 3 distinct slots, each evaluated once over n entries.
+        let per_request: Vec<u64> =
+            responses.iter().map(|r| r.as_ref().unwrap().stats.unwrap().entries_scanned).collect();
+        assert_eq!(per_request, vec![n, n, n, 2 * n], "per-leaf counts, shared slots");
+    }
+
+    #[test]
+    fn wave_isolates_per_request_failures() {
+        let archive = mixed_archive(6);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let snapshot = archive.snapshot();
+        let current = SnapshotRef::new(snapshot.instance_id(), snapshot.generation());
+        let stale = SnapshotRef::new(current.instance, current.generation + 1);
+        let wave = [
+            QueryRequest::saql("peaks = 2 tol 1"),
+            QueryRequest::saql("peaks 2"), // parse error
+            QueryRequest::saql("peaks = 2").pinned(stale), // pin mismatch
+            QueryRequest::saql("shape \"((\""), // invalid pattern
+            QueryRequest::saql("peaks = 3").pinned(current), // matching pin
+        ];
+        let responses = engine.run_requests(&snapshot, &wave).unwrap();
+        assert!(responses[0].is_ok());
+        assert_eq!(responses[1].as_ref().unwrap_err().code(), 7, "SAQL parse error");
+        assert_eq!(responses[2].as_ref().unwrap_err().code(), 8, "snapshot mismatch");
+        assert_eq!(responses[3].as_ref().unwrap_err().code(), 3, "pattern error");
+        let pinned = responses[4].as_ref().unwrap();
+        assert_eq!(pinned.snapshot, Some(current));
+        assert_eq!(
+            responses[0].as_ref().unwrap().outcome,
+            engine.bind(&archive).execute(&QueryExpr::peak_count(2, 1)).unwrap(),
+            "failures elsewhere in the wave don't disturb good requests"
+        );
+    }
+
+    #[test]
+    fn wave_not_and_bounds_respect_each_requests_universe() {
+        // The wave's leaves evaluate over the *union* universe; a `Not`
+        // (or an unconstrained leaf) of a narrower request must still see
+        // only that request's ids.
+        let archive = mixed_archive(20);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let narrow =
+            QueryRequest::expr(QueryExpr::peak_count(2, 0).negate().and(QueryExpr::id_range(5, 9)));
+        let wide = QueryRequest::saql("peaks = 2 tol 1");
+        let responses = engine.run_requests(&archive.snapshot(), &[narrow.clone(), wide]).unwrap();
+        let in_wave = responses[0].as_ref().unwrap();
+        let solo = engine.bind(&archive).request(&narrow).unwrap();
+        assert_eq!(in_wave.outcome, solo.outcome);
+        assert!(in_wave.outcome.all_ids().iter().all(|id| (5..=9).contains(id)));
+    }
+
+    #[test]
+    fn batch_shims_stay_byte_identical_to_the_unified_path() {
+        let archive = mixed_archive(18);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let snapshot = archive.snapshot();
+        let via_run = engine.run(&archive, &batch()).unwrap();
+        let via_run_snapshot = engine.run_snapshot(&snapshot, &batch()).unwrap();
+        let via_requests: Vec<QueryOutcome> = engine
+            .run_requests(
+                &snapshot,
+                &batch()
+                    .iter()
+                    .map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred())))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap().outcome)
+            .collect();
+        assert_eq!(via_run, via_requests);
+        assert_eq!(via_run_snapshot, via_requests);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! `saqd` — the SAQL network daemon.
+//!
+//! Serves a demo ward (the same mixed corpus as the REPL: goalpost
+//! fevers, spike trains, wandering baselines) over SAQP/1 until a client
+//! sends `SHUTDOWN`. Point the REPL at it:
+//!
+//! ```text
+//! cargo run --bin saqd -- --addr 127.0.0.1:4747 &
+//! cargo run --example saql_repl -- --connect 127.0.0.1:4747
+//! ```
+//!
+//! Flags: `--addr HOST:PORT` (default 127.0.0.1:4747, port 0 picks a free
+//! one), `--sequences N` corpus size (default 64), `--max-wave N` and
+//! `--window-ms MS` coalescing knobs, `--workers N` engine pool size.
+
+use saq_archive::{ArchiveStore, Medium};
+use saq_engine::EngineConfig;
+use saq_sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+use saq_server::{Saqd, SaqdConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut config = SaqdConfig { addr: "127.0.0.1:4747".into(), ..SaqdConfig::default() };
+    let mut sequences = 64u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--sequences" => sequences = parse(&flag, &value()),
+            "--max-wave" => config.max_wave = parse(&flag, &value()),
+            "--window-ms" => config.wave_window = Duration::from_millis(parse(&flag, &value())),
+            "--workers" => {
+                config.engine = EngineConfig { workers: parse(&flag, &value()), ..config.engine }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: saqd [--addr HOST:PORT] [--sequences N] [--max-wave N] \
+                     [--window-ms MS] [--workers N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` — try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut archive = ArchiveStore::new(Medium::memory());
+    for i in 0..sequences {
+        let seq = match i % 4 {
+            0 => goalpost(GoalpostSpec { seed: i, noise: 0.12, ..GoalpostSpec::default() }),
+            1 => peaks(PeaksSpec {
+                centers: vec![5.0, 12.0, 19.0],
+                seed: i,
+                noise: 0.1,
+                ..PeaksSpec::default()
+            }),
+            2 => peaks(PeaksSpec {
+                centers: vec![12.0],
+                seed: i,
+                noise: 0.2,
+                ..PeaksSpec::default()
+            }),
+            _ => random_walk(49, 0.0, 0.25, i),
+        };
+        archive.put(i, seq);
+    }
+
+    let max_wave = config.max_wave;
+    let window = config.wave_window;
+    let server = match Saqd::spawn(archive, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("saqd failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "saqd listening on {} — {sequences} sequences, waves ≤ {max_wave} within {:?}",
+        server.addr(),
+        window
+    );
+    println!("connect with: cargo run --example saql_repl -- --connect {}", server.addr());
+
+    // Serve until a client sends SHUTDOWN; the handle's join-based
+    // shutdown below then reaps the acceptor and dispatcher.
+    server.shutdown_when_asked();
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("bad value `{value}` for {flag}");
+        std::process::exit(2);
+    })
+}

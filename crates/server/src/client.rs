@@ -1,0 +1,196 @@
+//! The client half of SAQP/1: a blocking [`SaqClient`] plus
+//! [`RemoteEngine`], which puts a remote `saqd` behind the same
+//! `QueryEngine` trait as every in-process engine — the REPL's
+//! `--connect` mode and any embedding code stay engine-agnostic.
+
+use crate::protocol::{read_frame, write_frame, Verb, WireRequest, WireResponse};
+use parking_lot::Mutex;
+use saq_core::algebra::{ExecStats, QueryEngine, QueryExpr};
+use saq_core::{Error, QueryOutcome, QueryRequest, QueryResponse, Result, SnapshotRef};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Server counters as reported by the `STATS` verb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Queries executed (successfully or not).
+    pub queries: u64,
+    /// Dispatch waves run.
+    pub waves: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Largest wave coalesced so far.
+    pub max_wave: u64,
+    /// The snapshot the server was at when it answered.
+    pub snapshot: Option<SnapshotRef>,
+}
+
+impl ServerStats {
+    /// Realized coalescing: queries per dispatch wave (1.0 = no
+    /// amortization, N = perfect N-way waves).
+    pub fn queries_per_wave(&self) -> f64 {
+        if self.waves == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.waves as f64
+    }
+}
+
+/// A blocking SAQP/1 client over one TCP connection (= one session).
+#[derive(Debug)]
+pub struct SaqClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    last_wave: u64,
+}
+
+impl SaqClient {
+    /// Connects to a running `saqd`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<SaqClient> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(SaqClient { reader, writer, last_wave: 0 })
+    }
+
+    fn round_trip(&mut self, request: &WireRequest) -> Result<WireResponse> {
+        write_frame(&mut self.writer, &request.render())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
+        WireResponse::parse(&payload)
+    }
+
+    /// Runs one query; an `ERR` reply becomes the [`Error::Remote`] it
+    /// carries, code and caret diagnostics intact.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
+        let reply = self.round_trip(&WireRequest::from_request(req)?)?;
+        self.last_wave = reply.wave();
+        reply.to_response()
+    }
+
+    /// The size of the coalesced wave that served the last successful
+    /// [`SaqClient::query`] (0 before the first one).
+    pub fn last_wave(&self) -> u64 {
+        self.last_wave
+    }
+
+    /// Liveness probe; returns the snapshot the server is serving.
+    pub fn ping(&mut self) -> Result<SnapshotRef> {
+        let reply = self.round_trip(&WireRequest::new(Verb::Ping))?;
+        expect_snapshot(&reply)
+    }
+
+    /// Pins this session to the server's current snapshot and returns
+    /// it; subsequent queries refuse to run against any other generation
+    /// (code 8) until [`SaqClient::unpin`].
+    pub fn pin(&mut self) -> Result<SnapshotRef> {
+        let reply = self.round_trip(&WireRequest::new(Verb::Pin))?;
+        expect_snapshot(&reply)
+    }
+
+    /// Pins this session to an explicit snapshot ref (one learned from a
+    /// previous response, possibly on another connection).
+    pub fn pin_at(&mut self, snapshot: SnapshotRef) -> Result<SnapshotRef> {
+        let mut request = WireRequest::new(Verb::Pin);
+        request.headers.push(("snapshot".into(), snapshot.to_string()));
+        let reply = self.round_trip(&request)?;
+        expect_snapshot(&reply)
+    }
+
+    /// Drops this session's pin.
+    pub fn unpin(&mut self) -> Result<()> {
+        let reply = self.round_trip(&WireRequest::new(Verb::Unpin))?;
+        if reply.ok {
+            Ok(())
+        } else {
+            Err(reply.to_error())
+        }
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        let reply = self.round_trip(&WireRequest::new(Verb::Stats))?;
+        if !reply.ok {
+            return Err(reply.to_error());
+        }
+        let count = |key: &str| reply.header(key).and_then(|v| v.parse().ok()).unwrap_or(0);
+        Ok(ServerStats {
+            connections: count("connections"),
+            queries: count("queries"),
+            waves: count("waves"),
+            errors: count("errors"),
+            max_wave: count("max-wave"),
+            snapshot: reply.header("snapshot").map(str::parse).transpose()?,
+        })
+    }
+
+    /// Asks the server to stop accepting connections and drain.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        let reply = self.round_trip(&WireRequest::new(Verb::Shutdown))?;
+        if reply.ok {
+            Ok(())
+        } else {
+            Err(reply.to_error())
+        }
+    }
+}
+
+fn expect_snapshot(reply: &WireResponse) -> Result<SnapshotRef> {
+    if !reply.ok {
+        return Err(reply.to_error());
+    }
+    reply
+        .header("snapshot")
+        .ok_or_else(|| Error::Protocol("reply is missing the snapshot header".into()))?
+        .parse()
+}
+
+/// A remote `saqd` behind the [`QueryEngine`] trait: `request`,
+/// `explain`, and the deprecated shims all answer over the wire, so code
+/// written against the trait runs unchanged against a server.
+///
+/// The trait takes `&self`, so the single connection sits behind a mutex;
+/// callers wanting parallel in-flight queries should open one
+/// [`SaqClient`] (or `RemoteEngine`) per thread — which is also what
+/// gives the server's dispatcher waves to coalesce.
+#[derive(Debug)]
+pub struct RemoteEngine {
+    client: Mutex<SaqClient>,
+}
+
+impl RemoteEngine {
+    /// Connects to a running `saqd`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteEngine> {
+        Ok(RemoteEngine { client: Mutex::new(SaqClient::connect(addr)?) })
+    }
+
+    /// Wraps an already-connected client.
+    pub fn new(client: SaqClient) -> RemoteEngine {
+        RemoteEngine { client: Mutex::new(client) }
+    }
+}
+
+impl QueryEngine for RemoteEngine {
+    fn execute_with_stats(&self, expr: &QueryExpr) -> Result<(QueryOutcome, ExecStats)> {
+        let resp = self.request(&QueryRequest::expr(expr.clone()).with_stats())?;
+        let stats = resp
+            .stats
+            .ok_or_else(|| Error::Protocol("server reply is missing requested stats".into()))?;
+        Ok((resp.outcome, stats))
+    }
+
+    fn request(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        self.client.lock().query(req)
+    }
+
+    fn explain(&self, expr: &QueryExpr) -> Result<String> {
+        let resp = self.request(&QueryRequest::expr(expr.clone()).with_explain())?;
+        resp.explain
+            .ok_or_else(|| Error::Protocol("server reply is missing requested explain".into()))
+    }
+
+    fn snapshot_ref(&self) -> Option<SnapshotRef> {
+        self.client.lock().ping().ok()
+    }
+}

@@ -1,0 +1,469 @@
+//! # saq-server — `saqd`, a networked SAQL server with batch coalescing
+//!
+//! The paper's setting is many analysts posing approximate queries over
+//! one large archive of sequences. This crate puts the sharded engine
+//! behind a socket so those analysts can be actual concurrent clients:
+//! `saqd` listens on TCP, speaks the hand-framed [`protocol`] (SAQL text
+//! in, results/explain/stats out), and — the part that makes a shared
+//! server worth having — **coalesces concurrent queries into engine
+//! waves**.
+//!
+//! ## One snapshot per coalesced wave
+//!
+//! Every connection gets its own reader thread, but queries do not run
+//! where they arrive: connection threads enqueue jobs to a single
+//! dispatcher, which drains whatever has accumulated (up to
+//! [`SaqdConfig::max_wave`], waiting at most [`SaqdConfig::wave_window`]
+//! for stragglers), captures **one archive snapshot**, and hands the
+//! whole wave to `saq_engine`'s `run_requests`. The engine dedups shared
+//! leaves across the wave and makes a single sharded pass over the
+//! archive, so N clients asking related questions cost one scan's worth
+//! of fetches instead of N — and every answer in the wave is
+//! snapshot-consistent with every other. Per-request failures (a SAQL
+//! typo, a stale pin) come back to their own client; the rest of the
+//! wave is unaffected.
+//!
+//! ## Sessions and pins
+//!
+//! A connection is a session. `PIN` records the current snapshot ref and
+//! stamps it on subsequent queries; once a writer moves the archive on,
+//! those queries refuse with [`saq_core::Error::SnapshotMismatch`]'s stable code
+//! rather than silently answering from newer data. `UNPIN` returns the
+//! session to read-latest.
+//!
+//! ```
+//! use saq_archive::{ArchiveStore, Medium};
+//! use saq_sequence::generators::{goalpost, GoalpostSpec};
+//! use saq_server::{SaqClient, Saqd, SaqdConfig};
+//!
+//! let mut archive = ArchiveStore::new(Medium::memory());
+//! archive.put(7, goalpost(GoalpostSpec::default()));
+//! let server = Saqd::spawn(archive, SaqdConfig::default()).unwrap();
+//! let mut client = SaqClient::connect(server.addr()).unwrap();
+//! let resp = client.query(&saq_core::QueryRequest::saql("peaks = 2")).unwrap();
+//! assert_eq!(resp.outcome.exact, vec![7]);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+
+pub use client::{RemoteEngine, SaqClient, ServerStats};
+
+use protocol::{read_frame, write_frame, Verb, WireRequest, WireResponse};
+use saq_archive::ArchiveStore;
+use saq_core::{QueryRequest, QueryResponse, Result, SnapshotRef};
+use saq_engine::{EngineConfig, QueryEngine};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for one `saqd` instance.
+#[derive(Debug, Clone)]
+pub struct SaqdConfig {
+    /// Listen address; port 0 picks a free port (see [`Saqd::addr`]).
+    pub addr: String,
+    /// Most queries one dispatch wave may coalesce.
+    pub max_wave: usize,
+    /// How long the dispatcher holds an open wave for stragglers after
+    /// the first query arrives. Zero disables coalescing (every query is
+    /// its own wave) — the serial baseline the load experiment compares
+    /// against.
+    pub wave_window: Duration,
+    /// Configuration for the sharded engine the dispatcher drives.
+    pub engine: EngineConfig,
+}
+
+impl Default for SaqdConfig {
+    fn default() -> Self {
+        SaqdConfig {
+            addr: "127.0.0.1:0".into(),
+            max_wave: 16,
+            wave_window: Duration::from_millis(2),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Monotonic counters a running server maintains; snapshot them through
+/// [`Saqd::metrics`] or the `STATS` verb.
+#[derive(Debug, Default)]
+struct Metrics {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    waves: AtomicU64,
+    errors: AtomicU64,
+    max_wave: AtomicU64,
+}
+
+/// A point-in-time copy of a server's [`Saqd::metrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Queries executed (successfully or not).
+    pub queries: u64,
+    /// Dispatch waves run; `queries / waves` is the realized coalescing.
+    pub waves: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Largest wave coalesced so far.
+    pub max_wave: u64,
+}
+
+impl Metrics {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            max_wave: self.max_wave.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One unit of dispatcher work.
+enum Job {
+    /// A query from some connection; the answer (or the error's
+    /// wire-ready `(code, message)`) goes back through `reply`, tagged
+    /// with the size of the wave that served it.
+    Query { req: QueryRequest, reply: SyncSender<(StdResult, u64)> },
+    /// Stop the dispatch loop.
+    Shutdown,
+}
+
+/// A result whose error half is already wire-shaped: `Error` is not
+/// `Clone`, and a wave-level failure must fan out to every member.
+type StdResult = std::result::Result<QueryResponse, (u16, String)>;
+
+/// A running `saqd` server: an acceptor, one reader thread per
+/// connection, and the single coalescing dispatcher. Dropping the handle
+/// without calling [`Saqd::shutdown`] leaves the threads serving until
+/// process exit.
+#[derive(Debug)]
+pub struct Saqd {
+    addr: SocketAddr,
+    jobs: Sender<Job>,
+    stopping: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    acceptor: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Saqd {
+    /// Binds, spawns the acceptor and dispatcher, and returns once the
+    /// server is reachable. The server reads through its own handle onto
+    /// the shared `archive`; keep another handle to keep writing.
+    pub fn spawn(archive: ArchiveStore, config: SaqdConfig) -> Result<Saqd> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = QueryEngine::new(config.engine)?;
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let stopping = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Metrics::default());
+
+        let dispatcher = {
+            let archive = archive.clone();
+            let metrics = metrics.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                dispatch_loop(&engine, &archive, &config, &jobs_rx, &metrics)
+            })
+        };
+
+        let acceptor = {
+            let jobs = jobs_tx.clone();
+            let stopping = stopping.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let session = Session {
+                        jobs: jobs.clone(),
+                        stopping: stopping.clone(),
+                        metrics: metrics.clone(),
+                        archive: archive.clone(),
+                        pin: None,
+                    };
+                    std::thread::spawn(move || session.serve(stream));
+                }
+            })
+        };
+
+        Ok(Saqd { addr, jobs: jobs_tx, stopping, metrics, acceptor, dispatcher })
+    }
+
+    /// The address the server is listening on (with the real port when
+    /// the config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Blocks until some client's `SHUTDOWN` verb stops the dispatcher,
+    /// then joins the threads — the `saqd` binary's serve-forever loop.
+    pub fn shutdown_when_asked(self) {
+        let _ = self.dispatcher.join();
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+    }
+
+    /// Stops accepting, drains the dispatcher, and joins both threads.
+    /// Open sessions see a "server is stopping" error on their next
+    /// query and are left to disconnect on their own.
+    pub fn shutdown(self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = self.jobs.send(Job::Shutdown);
+        // The acceptor is parked in accept(); a throwaway connection
+        // unblocks it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        let _ = self.dispatcher.join();
+    }
+}
+
+/// The wave loop: take one job, hold the wave open for the configured
+/// window (or until full), then run the whole wave against **one**
+/// archive snapshot.
+fn dispatch_loop(
+    engine: &QueryEngine,
+    archive: &ArchiveStore,
+    config: &SaqdConfig,
+    jobs: &Receiver<Job>,
+    metrics: &Metrics,
+) {
+    loop {
+        let first = match jobs.recv() {
+            Ok(Job::Query { req, reply }) => (req, reply),
+            Ok(Job::Shutdown) | Err(_) => return,
+        };
+        let mut wave = vec![first];
+        let deadline = Instant::now() + config.wave_window;
+        let mut stop_after = false;
+        while wave.len() < config.max_wave.max(1) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match jobs.recv_timeout(left) {
+                Ok(Job::Query { req, reply }) => wave.push((req, reply)),
+                Ok(Job::Shutdown) => {
+                    stop_after = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    stop_after = true;
+                    break;
+                }
+            }
+        }
+
+        let size = wave.len() as u64;
+        metrics.waves.fetch_add(1, Ordering::Relaxed);
+        metrics.queries.fetch_add(size, Ordering::Relaxed);
+        metrics.max_wave.fetch_max(size, Ordering::Relaxed);
+
+        let snapshot = archive.snapshot();
+        let requests: Vec<QueryRequest> = wave.iter().map(|(req, _)| req.clone()).collect();
+        match engine.run_requests(&snapshot, &requests) {
+            Ok(results) => {
+                for ((_, reply), result) in wave.into_iter().zip(results) {
+                    let result = result.map_err(|e| {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        (e.code(), e.to_string())
+                    });
+                    let _ = reply.send((result, size));
+                }
+            }
+            Err(e) => {
+                // A wave-level failure (not attributable to one request)
+                // fans out to every member with the same code + message.
+                let code = e.code();
+                let message = e.to_string();
+                metrics.errors.fetch_add(size, Ordering::Relaxed);
+                for (_, reply) in wave {
+                    let _ = reply.send((Err((code, message.clone())), size));
+                }
+            }
+        }
+        if stop_after {
+            return;
+        }
+    }
+}
+
+/// Per-connection state: the reader thread's view of one session.
+struct Session {
+    jobs: Sender<Job>,
+    stopping: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    archive: ArchiveStore,
+    pin: Option<SnapshotRef>,
+}
+
+impl Session {
+    fn serve(mut self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(payload)) => payload,
+                Ok(None) | Err(_) => return,
+            };
+            let response = match WireRequest::parse(&payload) {
+                Ok(request) => self.respond(&request),
+                Err(e) => WireResponse::err(e.code(), &e.to_string()),
+            };
+            if write_frame(&mut writer, &response.render()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// The snapshot ref the archive is currently at.
+    fn current(&self) -> SnapshotRef {
+        SnapshotRef::new(self.archive.instance_id(), self.archive.generation())
+    }
+
+    fn respond(&mut self, request: &WireRequest) -> WireResponse {
+        match request.verb {
+            Verb::Query => match request.to_request(self.pin) {
+                Ok(req) => self.run_query(req),
+                Err(e) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    WireResponse::err(e.code(), &e.to_string())
+                }
+            },
+            Verb::Ping => WireResponse::ok().with("snapshot", self.current()),
+            Verb::Stats => {
+                let m = self.metrics.snapshot();
+                WireResponse::ok()
+                    .with("connections", m.connections)
+                    .with("queries", m.queries)
+                    .with("waves", m.waves)
+                    .with("errors", m.errors)
+                    .with("max-wave", m.max_wave)
+                    .with("snapshot", self.current())
+            }
+            Verb::Pin => {
+                let pin = match request.header("snapshot").map(str::parse::<SnapshotRef>) {
+                    Some(Ok(explicit)) => explicit,
+                    Some(Err(e)) => return WireResponse::err(e.code(), &e.to_string()),
+                    None => self.current(),
+                };
+                self.pin = Some(pin);
+                WireResponse::ok().with("snapshot", pin)
+            }
+            Verb::Unpin => {
+                self.pin = None;
+                WireResponse::ok()
+            }
+            Verb::Shutdown => {
+                self.stopping.store(true, Ordering::SeqCst);
+                let _ = self.jobs.send(Job::Shutdown);
+                WireResponse::ok()
+            }
+        }
+    }
+
+    fn run_query(&self, req: QueryRequest) -> WireResponse {
+        if self.stopping.load(Ordering::SeqCst) {
+            return WireResponse::err(9, "protocol error: server is stopping");
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        if self.jobs.send(Job::Query { req, reply: reply_tx }).is_err() {
+            return WireResponse::err(9, "protocol error: server is stopping");
+        }
+        match reply_rx.recv() {
+            Ok((Ok(resp), wave)) => WireResponse::from_response(&resp, wave),
+            Ok((Err((code, message)), _)) => WireResponse::err(code, &message),
+            Err(_) => WireResponse::err(9, "protocol error: server is stopping"),
+        }
+    }
+}
+
+/// Convenience re-export: the error type everything in this crate
+/// returns.
+pub use saq_core::Error as ServerError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_sequence::generators::{goalpost, peaks, GoalpostSpec, PeaksSpec};
+
+    fn demo_archive() -> ArchiveStore {
+        let mut archive = ArchiveStore::new(saq_archive::Medium::memory());
+        for i in 0..8u64 {
+            let seq = match i % 2 {
+                0 => goalpost(GoalpostSpec { seed: i, noise: 0.1, ..GoalpostSpec::default() }),
+                _ => peaks(PeaksSpec {
+                    centers: vec![12.0],
+                    seed: i,
+                    noise: 0.1,
+                    ..PeaksSpec::default()
+                }),
+            };
+            archive.put(i, seq);
+        }
+        archive
+    }
+
+    #[test]
+    fn serves_queries_stats_and_pins_over_a_real_socket() {
+        let archive = demo_archive();
+        let server = Saqd::spawn(archive.clone(), SaqdConfig::default()).unwrap();
+        let mut client = SaqClient::connect(server.addr()).unwrap();
+
+        let resp = client.query(&QueryRequest::saql("peaks = 2").with_stats()).unwrap();
+        assert_eq!(resp.outcome.exact, vec![0, 2, 4, 6]);
+        assert!(resp.stats.unwrap().universe == 8);
+        let snap = resp.snapshot.unwrap();
+        assert_eq!(client.ping().unwrap(), snap);
+
+        // Pin, advance the archive through a second handle, and watch the
+        // pinned session refuse while an unpinned query reads the new data.
+        assert_eq!(client.pin().unwrap(), snap);
+        let mut writer = archive.clone();
+        writer.put(100, goalpost(GoalpostSpec { seed: 99, ..GoalpostSpec::default() }));
+        let err = client.query(&QueryRequest::saql("peaks = 2")).unwrap_err();
+        assert_eq!(err.code(), 8, "pinned session refuses the moved archive: {err}");
+        client.unpin().unwrap();
+        let resp = client.query(&QueryRequest::saql("peaks = 2")).unwrap();
+        assert_eq!(resp.outcome.exact, vec![0, 2, 4, 6, 100]);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.errors, 1);
+        assert!(stats.connections >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn saql_errors_reach_the_client_with_carets() {
+        let server = Saqd::spawn(demo_archive(), SaqdConfig::default()).unwrap();
+        let mut client = SaqClient::connect(server.addr()).unwrap();
+        let err = client.query(&QueryRequest::saql("peaks == 2")).unwrap_err();
+        assert_eq!(err.code(), 7, "{err}");
+        assert!(err.to_string().contains('^'), "caret survives the wire: {err}");
+        server.shutdown();
+    }
+}

@@ -5,9 +5,11 @@
 //!
 //! Run with `cargo run --example archive_latency`.
 
-use saq::archive::{Medium, TieredStore};
+use saq::archive::{ArchiveStore, Medium, TieredStore};
+use saq::core::algebra::QueryExpr;
 use saq::core::query::QuerySpec;
 use saq::core::store::StoreConfig;
+use saq::core::{QueryOutcome, QueryRequest};
 use saq::engine::{BatchQuery, EngineConfig, QueryEngine};
 use saq::sequence::generators::{random_walk, seismic_burst};
 use saq::sequence::Sequence;
@@ -23,6 +25,22 @@ fn station_data() -> Vec<Sequence> {
         }
     }
     traces
+}
+
+/// Runs `batch` as one coalesced wave through the unified request API.
+fn run_wave(
+    engine: &QueryEngine,
+    archive: &ArchiveStore,
+    batch: &[BatchQuery],
+) -> Vec<QueryOutcome> {
+    let requests: Vec<QueryRequest> =
+        batch.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    engine
+        .run_requests(&archive.snapshot(), &requests)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap().outcome)
+        .collect()
 }
 
 fn main() {
@@ -90,14 +108,14 @@ fn main() {
         BatchQuery::Feature(QuerySpec::PeakCount { count: 1, tolerance: 1 }),
     ];
     tiered.archive().reset_clock();
-    let outcomes = engine.run(tiered.archive(), &batch).unwrap();
+    let outcomes = run_wave(&engine, tiered.archive(), &batch);
     assert_eq!(
         outcomes[0].exact, outcome.exact,
         "engine over raw archive agrees with the local representation query"
     );
     let cold_cost = tiered.archive().elapsed_seconds();
     tiered.archive().reset_clock();
-    let again = engine.run(tiered.archive(), &batch).unwrap();
+    let again = run_wave(&engine, tiered.archive(), &batch);
     assert_eq!(again, outcomes);
     println!(
         "\nbatch engine over the raw archive: first batch pays {:.0} simulated seconds (one fetch per trace),",

@@ -6,12 +6,20 @@
 //! startup (so non-interactive runs — CI — still exercise the loop), then
 //! lines are read from stdin until EOF or `:quit`. `:help` lists the
 //! commands, `docs/SAQL.md` documents the grammar.
+//!
+//! With `--connect HOST:PORT` the REPL becomes a `saqd` client: the same
+//! queries travel the SAQP/1 wire, the server's plan rendering and
+//! execution counters come back in the response, and the result box is
+//! rendered by exactly the same code as the local path. Start a server
+//! with `cargo run --bin saqd` (see `docs/SERVER.md`).
 
 use saq::core::algebra::{ExecStats, StoreEngine};
 use saq::core::lang::saql;
 use saq::core::query::QueryOutcome;
 use saq::core::store::{SequenceStore, StoreConfig};
+use saq::core::QueryRequest;
 use saq::sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+use saq::server::SaqClient;
 use std::io::BufRead as _;
 
 const HELP: &str = "\
@@ -25,10 +33,48 @@ SAQL quick reference (full grammar: docs/SAQL.md)
 combine with:  and, or, not, ( ), limit n, topk k
 commands:      :help   :corpus   :quit";
 
+/// Where queries go: the in-process demo ward, or a `saqd` server over
+/// SAQP/1. Both print through the same plan/result boxes.
+enum Backend<'a> {
+    Local(StoreEngine<'a>),
+    Remote(SaqClient),
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let connect = match args.next().as_deref() {
+        Some("--connect") => Some(args.next().unwrap_or_else(|| {
+            eprintln!("usage: saql_repl [--connect HOST:PORT]");
+            std::process::exit(2);
+        })),
+        Some(other) => {
+            eprintln!("unknown flag `{other}` — usage: saql_repl [--connect HOST:PORT]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
     let (store, kinds) = ward();
-    let engine = StoreEngine::new(&store);
-    println!("SAQL REPL — {} sequences loaded. :help for syntax, :quit to leave.", kinds.len());
+    let mut backend = match &connect {
+        Some(addr) => match SaqClient::connect(addr.as_str()) {
+            Ok(mut client) => {
+                let snapshot = client.ping().expect("server answers PING");
+                println!("SAQL REPL — connected to saqd at {addr} (snapshot {snapshot}).");
+                Backend::Remote(client)
+            }
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            println!(
+                "SAQL REPL — {} sequences loaded. :help for syntax, :quit to leave.",
+                kinds.len()
+            );
+            Backend::Local(StoreEngine::new(&store))
+        }
+    };
 
     // Demo queries first: they show the explain-next-to-results format and
     // keep this example meaningful when stdin is closed (CI).
@@ -38,7 +84,7 @@ fn main() {
         "steepness any >= 0.8 slack 0.25 limit 4",
     ] {
         println!("\nsaql> {text}");
-        run_line(&engine, text);
+        run_line(&mut backend, text);
     }
 
     println!();
@@ -56,20 +102,45 @@ fn main() {
             "" => continue,
             ":quit" | ":q" | ":exit" => break,
             ":help" | ":h" | "?" => println!("{HELP}"),
-            ":corpus" => {
-                for (id, kind) in &kinds {
-                    println!("  #{id:<3} {kind}");
+            ":corpus" => match &backend {
+                Backend::Local(_) => {
+                    for (id, kind) in &kinds {
+                        println!("  #{id:<3} {kind}");
+                    }
                 }
-            }
+                Backend::Remote(_) => println!("(remote session — the corpus lives on the server)"),
+            },
             _ if text.starts_with(':') => println!("unknown command `{text}` — try :help"),
-            _ => run_line(&engine, text),
+            _ => run_line(&mut backend, text),
         }
     }
 }
 
-/// Parses one query; on success prints the plan's `explain` and the
-/// outcome, on failure the caret diagnostic.
-fn run_line(engine: &StoreEngine<'_>, text: &str) {
+/// Runs one query through whichever backend, printing the plan and the
+/// outcome — or the caret diagnostic, which the wire preserves verbatim.
+fn run_line(backend: &mut Backend<'_>, text: &str) {
+    match backend {
+        Backend::Local(engine) => run_local(engine, text),
+        Backend::Remote(client) => {
+            let req = QueryRequest::saql(text).with_stats().with_explain();
+            match client.query(&req) {
+                Ok(resp) => {
+                    print!(
+                        "── plan (wave of {}) ───────────────────\n{}",
+                        client.last_wave(),
+                        resp.explain.as_deref().unwrap_or("")
+                    );
+                    print_outcome(&resp.outcome, &resp.stats.unwrap_or_default());
+                }
+                Err(err) => println!("{err}"),
+            }
+        }
+    }
+}
+
+/// The local path parses up front (caret diagnostics without a round
+/// trip) and reuses one plan for explain and execution.
+fn run_local(engine: &StoreEngine<'_>, text: &str) {
     let expr = match saql::parse_spanned(text) {
         Ok(expr) => expr,
         Err(err) => {

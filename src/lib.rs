@@ -21,6 +21,7 @@
 //! | [`baseline`] | `saq-baseline` | value-band and DFT/F-index comparators |
 //! | [`archive`] | `saq-archive` | simulated archival storage tiers |
 //! | [`engine`] | `saq-engine` | sharded parallel batch queries over the archive |
+//! | [`server`] | `saq-server` | `saqd`: networked SAQL service with batch coalescing |
 //!
 //! ## Quickstart
 //!
@@ -55,3 +56,4 @@ pub use saq_index as index;
 pub use saq_pattern as pattern;
 pub use saq_preprocess as preprocess;
 pub use saq_sequence as sequence;
+pub use saq_server as server;

@@ -6,8 +6,10 @@
 
 use proptest::prelude::*;
 use saq::archive::{ArchiveStore, Medium};
-use saq::core::query::{evaluate, QuerySpec};
+use saq::core::algebra::QueryExpr;
+use saq::core::query::{evaluate, QueryOutcome, QuerySpec};
 use saq::core::store::{SequenceStore, StoreConfig};
+use saq::core::QueryRequest;
 use saq::engine::{BatchQuery, EngineConfig, QueryEngine};
 use saq::sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
 use saq::sequence::Sequence;
@@ -39,6 +41,23 @@ fn mixed_sequence(kind: u64, seed: u64) -> Sequence {
     }
 }
 
+/// Runs `queries` as one coalesced wave through the unified request API,
+/// so the oracle suites cover the path every entry point now routes to.
+fn run_wave(
+    engine: &QueryEngine,
+    archive: &ArchiveStore,
+    queries: &[BatchQuery],
+) -> Vec<QueryOutcome> {
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    engine
+        .run_requests(&archive.snapshot(), &requests)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap().outcome)
+        .collect()
+}
+
 fn feature_queries() -> Vec<QuerySpec> {
     vec![
         QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() },
@@ -67,7 +86,7 @@ fn four_workers_match_sequential_paths_on_200_sequences() {
         slack: 1.0,
     });
 
-    let parallel = engine.run(&archive, &batch).unwrap();
+    let parallel = run_wave(&engine, &archive, &batch);
     let sequential = engine.run_sequential(&archive, &batch).unwrap();
     assert_eq!(parallel, sequential, "parallel vs sequential oracle");
 
@@ -115,7 +134,7 @@ proptest! {
             QuerySpec::HasSteepPeak { steepness: 1.2, slack: 0.3 },
         ];
         let batch: Vec<BatchQuery> = specs.iter().cloned().map(BatchQuery::Feature).collect();
-        let outcomes = engine.run(&archive, &batch).unwrap();
+        let outcomes = run_wave(&engine, &archive, &batch);
         for (spec, outcome) in specs.iter().zip(&outcomes) {
             prop_assert_eq!(outcome, &evaluate(&store, spec).unwrap(), "{:?}", spec);
         }
@@ -146,7 +165,7 @@ proptest! {
             slack,
         }];
         prop_assert_eq!(
-            engine.run(&archive, &batch).unwrap(),
+            run_wave(&engine, &archive, &batch),
             engine.run_sequential(&archive, &batch).unwrap()
         );
     }

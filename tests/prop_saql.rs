@@ -16,6 +16,7 @@ use common::{assert_all_engines_match, expr_strategy, ingest, mixed_sequence, or
 use proptest::prelude::*;
 use saq::core::algebra::{IndexCaps, PlanStats, Planner, QueryEngine, QueryExpr, StoreEngine};
 use saq::core::lang::saql;
+use saq::core::QueryRequest;
 use saq::sequence::Sequence;
 
 /// Deterministic gate: compound expressions covering every node type
@@ -89,7 +90,8 @@ proptest! {
             seeds.iter().map(|&(kind, seed)| mixed_sequence(kind, seed)).collect();
         let (store, archive) = ingest(&corpus);
         assert_all_engines_match(&back, &store, &archive, &[(workers, shards)])?;
-        let via_text = StoreEngine::new(&store).execute_saql(&text).unwrap();
-        prop_assert_eq!(&via_text, &oracle(&expr, &store), "execute_saql vs oracle: `{}`", text);
+        let via_text =
+            StoreEngine::new(&store).request(&QueryRequest::saql(&text)).unwrap().outcome;
+        prop_assert_eq!(&via_text, &oracle(&expr, &store), "SAQL request vs oracle: `{}`", text);
     }
 }

@@ -19,6 +19,7 @@ use saq::archive::{ArchiveScanEngine, ArchiveSnapshot, ArchiveStore, Medium};
 use saq::core::algebra::{Planner, QueryEngine as _, QueryExpr};
 use saq::core::query::QueryOutcome;
 use saq::core::store::{SequenceStore, SharedStore, StoreConfig, StoreSnapshot, StoredEntry};
+use saq::core::QueryRequest;
 use saq::engine::{BatchQuery, EngineConfig, QueryEngine as ShardedEngine};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +49,18 @@ fn store_oracle(snap: &StoreSnapshot, expr: &QueryExpr) -> QueryOutcome {
     let refs: BTreeMap<u64, &StoredEntry> =
         ids.iter().map(|&id| (id, snap.get(id).unwrap())).collect();
     to_outcome(naive_eval(&Planner::normalize(expr), &ids, &refs))
+}
+
+/// Runs `queries` as one coalesced wave over a pinned snapshot through
+/// the unified request API.
+fn run_wave(
+    engine: &ShardedEngine,
+    snap: &ArchiveSnapshot,
+    queries: &[BatchQuery],
+) -> Vec<QueryOutcome> {
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|q| QueryRequest::expr(QueryExpr::Leaf(q.to_pred()))).collect();
+    engine.run_requests(snap, &requests).unwrap().into_iter().map(|r| r.unwrap().outcome).collect()
 }
 
 /// One writer mutation: `(slot, kind, seed)` — slot picks the id, kind
@@ -144,7 +157,7 @@ proptest! {
                             // generations in between) must not drift.
                             assert_eq!(bound.execute(expr).unwrap(), expected, "rerun @{generation}");
                         }
-                        let outs = engine.run_snapshot(&snap, queries).unwrap();
+                        let outs = run_wave(&engine, &snap, queries);
                         for (q, out) in queries.iter().zip(&outs) {
                             let expected = archive_oracle(&snap, &QueryExpr::Leaf(q.to_pred()));
                             assert_eq!(out, &expected, "batch @{generation}");
@@ -293,7 +306,7 @@ fn rerun_after_k_puts_fetches_exactly_k_sequences() {
     }
     let engine = ShardedEngine::new(EngineConfig::default()).unwrap();
     let queries = batch();
-    engine.run_snapshot(&archive.snapshot(), &queries).unwrap();
+    run_wave(&engine, &archive.snapshot(), &queries);
     assert_eq!(archive.fetch_count(), 16, "cold run fetches the whole archive");
 
     for k in [1u64, 3, 5] {
@@ -303,7 +316,7 @@ fn rerun_after_k_puts_fetches_exactly_k_sequences() {
         }
         let before = archive.fetch_count();
         let snap = archive.snapshot();
-        let outs = engine.run_snapshot(&snap, &queries).unwrap();
+        let outs = run_wave(&engine, &snap, &queries);
         assert_eq!(archive.fetch_count() - before, k, "exactly the {k} dirty ids re-fetched");
         for (q, out) in queries.iter().zip(&outs) {
             assert_eq!(out, &archive_oracle(&snap, &QueryExpr::Leaf(q.to_pred())));

@@ -1,0 +1,247 @@
+//! End-to-end `saqd` coverage over real sockets: N concurrent clients,
+//! one coalesced dispatch wave, snapshot-pinned sessions racing a live
+//! writer, and the wire protocol's stable error codes.
+//!
+//! Determinism: the coalescing assertions use `max_wave = N` plus a wave
+//! window far wider than thread-startup jitter, so the dispatcher
+//! provably holds the wave open until all N in-flight queries join it —
+//! the test never depends on lucky timing.
+
+use saq::archive::{ArchiveScanEngine, ArchiveStore, Medium};
+use saq::core::algebra::QueryEngine as _;
+use saq::core::store::StoreConfig;
+use saq::core::QueryRequest;
+use saq::engine::EngineConfig;
+use saq::sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
+use saq::server::protocol::{read_frame, write_frame};
+use saq::server::{SaqClient, Saqd, SaqdConfig};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A mixed 24-sequence archive: goalposts, spike trains, random walks.
+fn corpus() -> ArchiveStore {
+    let mut archive = ArchiveStore::new(Medium::memory());
+    for i in 0..24u64 {
+        let seq = match i % 4 {
+            0 => goalpost(GoalpostSpec { seed: i, noise: 0.12, ..GoalpostSpec::default() }),
+            1 => peaks(PeaksSpec {
+                centers: vec![5.0, 12.0, 19.0],
+                seed: i,
+                noise: 0.1,
+                ..PeaksSpec::default()
+            }),
+            2 => peaks(PeaksSpec {
+                centers: vec![12.0],
+                seed: i,
+                noise: 0.2,
+                ..PeaksSpec::default()
+            }),
+            _ => random_walk(49, 0.0, 0.25, i),
+        };
+        archive.put(i, seq);
+    }
+    archive
+}
+
+/// Six scan-heavy queries, one per client: distinct predicates, so the
+/// wave shares fetches (one pass over the archive) without sharing leaf
+/// results.
+const QUERIES: [&str; 6] = [
+    "steepness all >= 0.15 slack 0.1",
+    "steepness all >= 0.2 slack 0.1",
+    "steepness any >= 0.8 slack 0.2",
+    "peaks = 2 tol 1",
+    "peaks = 1 tol 0 and steepness any >= 0.3 slack 0.2",
+    "not peaks = 3 tol 0",
+];
+
+/// An engine whose feature cache holds a quarter of the archive: serial
+/// queries thrash it (every pass refetches everything), which is exactly
+/// the workload wave coalescing exists to amortize.
+fn thrashing_engine(archive_len: usize) -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 4,
+        cache_capacity: archive_len / 4,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn one_coalesced_wave_answers_all_clients_with_fewer_fetches_than_serial() {
+    let archive = corpus();
+    let n_clients = QUERIES.len();
+    let n_seqs = archive.len() as u64;
+
+    // Phase 1 — coalesced: all clients fire inside one wide-open wave.
+    let server = Saqd::spawn(
+        archive.clone(),
+        SaqdConfig {
+            max_wave: n_clients,
+            wave_window: Duration::from_secs(5),
+            engine: thrashing_engine(archive.len()),
+            ..SaqdConfig::default()
+        },
+    )
+    .unwrap();
+    let fetches_before = archive.fetch_count();
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let handles: Vec<_> = QUERIES
+        .iter()
+        .map(|&text| {
+            let addr = server.addr();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = SaqClient::connect(addr).unwrap();
+                barrier.wait();
+                let resp = client.query(&QueryRequest::saql(text).with_stats()).unwrap();
+                (text, resp, client.last_wave())
+            })
+        })
+        .collect();
+    let answers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wave_fetches = archive.fetch_count() - fetches_before;
+
+    // Every client was served by the same full wave, off one snapshot.
+    let snapshot = answers[0].1.snapshot.unwrap();
+    for (text, resp, wave) in &answers {
+        assert_eq!(*wave, n_clients as u64, "`{text}` missed the wave");
+        assert_eq!(resp.snapshot.unwrap(), snapshot, "`{text}` ran off another snapshot");
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.waves, 1, "one dispatch wave for the whole burst");
+    assert_eq!(metrics.queries, n_clients as u64);
+    assert_eq!(metrics.max_wave, n_clients as u64);
+    assert_eq!(wave_fetches, n_seqs, "the wave pays one fetch per archived sequence");
+
+    // Per-snapshot oracle: the sequential scan engine, pinned to the
+    // snapshot the server reported, must agree hit for hit.
+    let oracle = ArchiveScanEngine::pinned(archive.snapshot(), StoreConfig::default());
+    for (text, resp, _) in &answers {
+        let expected = oracle.request(&QueryRequest::saql(*text)).unwrap();
+        assert_eq!(resp.outcome, expected.outcome, "oracle disagrees on `{text}`");
+    }
+    server.shutdown();
+
+    // Phase 2 — serial: a zero-width window turns coalescing off, and the
+    // same six queries each pay their own thrashed pass over the archive.
+    let serial = Saqd::spawn(
+        archive.clone(),
+        SaqdConfig {
+            max_wave: n_clients,
+            wave_window: Duration::ZERO,
+            engine: thrashing_engine(archive.len()),
+            ..SaqdConfig::default()
+        },
+    )
+    .unwrap();
+    let fetches_before = archive.fetch_count();
+    let mut client = SaqClient::connect(serial.addr()).unwrap();
+    for text in QUERIES {
+        let resp = client.query(&QueryRequest::saql(text)).unwrap();
+        assert_eq!(client.last_wave(), 1, "zero window must not coalesce");
+        let expected = oracle.request(&QueryRequest::saql(text)).unwrap();
+        assert_eq!(resp.outcome, expected.outcome, "serial result drifted on `{text}`");
+    }
+    let serial_fetches = archive.fetch_count() - fetches_before;
+    assert_eq!(serial.metrics().waves, n_clients as u64);
+    assert!(
+        serial_fetches >= 3 * wave_fetches,
+        "coalescing should amortize fetches: serial {serial_fetches} vs wave {wave_fetches}"
+    );
+    serial.shutdown();
+}
+
+#[test]
+fn pinned_sessions_refuse_a_moved_archive_over_the_wire() {
+    let archive = corpus();
+    let server = Saqd::spawn(archive.clone(), SaqdConfig::default()).unwrap();
+    let mut client = SaqClient::connect(server.addr()).unwrap();
+
+    let pinned_at = client.pin().unwrap();
+    let before = client.query(&QueryRequest::saql("peaks = 2 tol 0")).unwrap();
+    assert_eq!(before.snapshot.unwrap(), pinned_at);
+
+    // A writer advances the archive through its own handle mid-session.
+    let mut writer = archive.clone();
+    writer.put(1000, goalpost(GoalpostSpec { seed: 424_242, ..GoalpostSpec::default() }));
+
+    let err = client.query(&QueryRequest::saql("peaks = 2 tol 0")).unwrap_err();
+    assert_eq!(err.code(), 8, "stale pin must refuse, not answer: {err}");
+    assert!(err.to_string().contains("snapshot mismatch"), "{err}");
+
+    // Unpinned, the same session reads the new generation; an explicit
+    // per-request pin at the stale ref still refuses.
+    client.unpin().unwrap();
+    let after = client.query(&QueryRequest::saql("peaks = 2 tol 0")).unwrap();
+    assert!(after.outcome.exact.contains(&1000), "unpinned reads the writer's insert");
+    let err = client.query(&QueryRequest::saql("peaks = 2 tol 0").pinned(pinned_at)).unwrap_err();
+    assert_eq!(err.code(), 8, "{err}");
+
+    // pin_at re-pins across sessions: a new connection pinned to the
+    // current ref keeps answering it.
+    let current = after.snapshot.unwrap();
+    let mut other = SaqClient::connect(server.addr()).unwrap();
+    assert_eq!(other.pin_at(current).unwrap(), current);
+    assert_eq!(other.query(&QueryRequest::saql("peaks = 2 tol 0")).unwrap().outcome, after.outcome);
+    server.shutdown();
+}
+
+#[test]
+fn wire_errors_carry_stable_codes_and_caret_diagnostics() {
+    let server = Saqd::spawn(corpus(), SaqdConfig::default()).unwrap();
+
+    // SAQL typos come back as code 7 with the caret rendering intact.
+    let mut client = SaqClient::connect(server.addr()).unwrap();
+    let err = client.query(&QueryRequest::saql("peaks == 2")).unwrap_err();
+    assert_eq!(err.code(), 7);
+    assert!(err.to_string().contains('^'), "caret diagnostic lost: {err}");
+
+    // Unknown verbs and malformed payloads are protocol errors (code 9),
+    // spoken raw so the framing itself is exercised.
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for garbage in ["BOGUS SAQP/1\n\nhello", "no verb line here"] {
+        write_frame(&mut writer, garbage).unwrap();
+        let reply = read_frame(&mut reader).unwrap().unwrap();
+        let first = reply.lines().next().unwrap();
+        assert_eq!(first, "ERR SAQP/1", "raw reply: {reply}");
+        assert!(reply.contains("code: 9"), "raw reply: {reply}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn remote_engine_answers_like_local_engines_through_the_trait() {
+    use saq::core::algebra::QueryExpr;
+    use saq::server::RemoteEngine;
+
+    let archive = corpus();
+    let server = Saqd::spawn(archive.clone(), SaqdConfig::default()).unwrap();
+    let remote = RemoteEngine::connect(server.addr()).unwrap();
+    let local = ArchiveScanEngine::new(&archive, StoreConfig::default());
+
+    let exprs = [
+        QueryExpr::peak_count(2, 1).and(QueryExpr::min_steepness(0.2, 0.1)),
+        QueryExpr::peak_count(1, 0).or(QueryExpr::peak_count(3, 0)).top_k(4),
+        QueryExpr::peak_count(2, 0).negate(),
+    ];
+    for expr in &exprs {
+        assert_eq!(
+            remote.execute(expr).unwrap(),
+            local.execute(expr).unwrap(),
+            "remote vs local on {expr:?}"
+        );
+    }
+    // The unified request surface carries stats and explain across the
+    // wire; the snapshot ref matches what PING reports.
+    let resp =
+        remote.request(&QueryRequest::expr(exprs[0].clone()).with_stats().with_explain()).unwrap();
+    assert!(resp.stats.unwrap().entries_scanned > 0);
+    assert!(resp.explain.unwrap().contains("And"));
+    assert_eq!(resp.snapshot, remote.snapshot_ref());
+    server.shutdown();
+}
