@@ -16,10 +16,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 mod engine;
 mod medium;
 mod store;
 
+pub use durability::{compute_doc, decode_sequence, encode_sequence, ColdDocs, DurabilityConfig};
 pub use engine::ArchiveScanEngine;
 pub use medium::{AccessCost, Medium};
 pub use store::{ArchiveSnapshot, ArchiveSnapshotProbe, ArchiveStore, TieredStore};

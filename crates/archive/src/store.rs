@@ -5,9 +5,12 @@
 //! (clone-on-write of only the touched bucket) and readers pin the one
 //! they captured — see [`ArchiveStore::snapshot`].
 
+use crate::durability::{self, ColdDocs, DurabilityConfig, DurableHandle};
 use crate::medium::{AccessCost, Medium};
 use parking_lot::{Mutex, RwLock};
 use saq_core::{QueryOutcome, QuerySpec, Result, SequenceStore, StoreConfig};
+use saq_durable::{Backend, DurableConfig, DurableStore, WalRecord};
+use saq_index::cold::SegmentIndexSet;
 use saq_index::ShardedCowMap;
 use saq_sequence::Sequence;
 use std::collections::VecDeque;
@@ -58,6 +61,10 @@ struct ArchiveShared {
     state: RwLock<Arc<ArchiveState>>,
     /// Recent mutations; drives [`ArchiveStore::changed_since`].
     log: Mutex<MutationLog>,
+    /// The durable half, when this archive was opened from storage:
+    /// the WAL/segment store plus the current cold-document pager.
+    /// `None` for purely in-memory archives ([`ArchiveStore::new`]).
+    durable: Option<Arc<DurableHandle>>,
 }
 
 /// One immutable generation of archive contents. Never mutated once
@@ -175,8 +182,73 @@ impl ArchiveStore {
                     ids: OnceLock::new(),
                 })),
                 log: Mutex::new(MutationLog::default()),
+                durable: None,
             }),
         }
+    }
+
+    /// Opens (or creates) a durable archive in a directory: every
+    /// mutation is written ahead to a WAL, compactions fold contents
+    /// into immutable B-tree segments, and reopening recovers the exact
+    /// pre-shutdown `(instance_id, generation)` and contents. See
+    /// `docs/STORAGE.md` for the on-disk formats.
+    pub fn open(
+        path: impl Into<std::path::PathBuf>,
+        medium: Medium,
+        config: DurabilityConfig,
+    ) -> Result<ArchiveStore> {
+        durability::open_dir(path, medium, config)
+    }
+
+    /// As [`ArchiveStore::open`], over any [`Backend`] — tests and
+    /// benchmarks use [`saq_durable::MemoryBackend`] to exercise the full
+    /// durability protocol without a filesystem.
+    pub fn open_backend(
+        backend: Arc<dyn Backend>,
+        medium: Medium,
+        config: DurabilityConfig,
+    ) -> Result<ArchiveStore> {
+        let durable_config = DurableConfig { compact_after: config.compact_after };
+        let (store, recovered) = DurableStore::open(backend, durable_config, || {
+            NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+        })
+        .map_err(saq_core::Error::from)?;
+        // A recovered instance must stay process-unique: push the minting
+        // counter past it so no in-memory archive can collide.
+        NEXT_INSTANCE.fetch_max(recovered.instance + 1, Ordering::Relaxed);
+
+        let mut sequences = ShardedCowMap::new();
+        for (id, payload) in &recovered.entries {
+            let seq = durability::decode_sequence(payload).map_err(saq_core::Error::from)?;
+            sequences.insert(*id, seq);
+        }
+        let mut log = MutationLog::default();
+        for (generation, id) in &recovered.mutations {
+            log.record(*generation, *id);
+        }
+        let cold = recovered
+            .docs
+            .map(|pager| Arc::new(durability::seed_cold(pager, &recovered.mutations)));
+        Ok(ArchiveStore {
+            shared: Arc::new(ArchiveShared {
+                medium,
+                instance: recovered.instance,
+                elapsed: Mutex::new(0.0),
+                realtime_scale_bits: AtomicU64::new(0.0f64.to_bits()),
+                fetches: AtomicU64::new(0),
+                state: RwLock::new(Arc::new(ArchiveState {
+                    generation: recovered.generation,
+                    sequences,
+                    ids: OnceLock::new(),
+                })),
+                log: Mutex::new(log),
+                durable: Some(Arc::new(DurableHandle {
+                    store: Mutex::new(store),
+                    config,
+                    cold: RwLock::new(cold),
+                })),
+            }),
+        })
     }
 
     /// A process-unique identifier of this archive instance. Together with
@@ -203,7 +275,12 @@ impl ArchiveStore {
     /// snapshot; the snapshot keeps superseded buckets alive until the
     /// last reference drops.
     pub fn snapshot(&self) -> ArchiveSnapshot {
-        ArchiveSnapshot { state: self.shared.state.read().clone(), shared: self.shared.clone() }
+        let state = self.shared.state.read().clone();
+        // Captured under the state read lock's shadow: writers mark
+        // cold documents dirty *before* publishing their state, so the
+        // pair (state, cold) here is never optimistic about freshness.
+        let cold = self.shared.durable.as_ref().and_then(|d| d.cold.read().clone());
+        ArchiveSnapshot { state, shared: self.shared.clone(), cold }
     }
 
     /// Makes fetches *really* block for `scale` wall-clock seconds per
@@ -225,13 +302,39 @@ impl ArchiveStore {
     /// Installs a new state built from the current one by `f`, logging the
     /// mutation as `id`. The write lock serializes writers; readers are
     /// never blocked for longer than the `Arc` swap.
-    fn mutate(&mut self, id: Option<u64>, f: impl FnOnce(&mut ShardedCowMap<Sequence>)) {
+    ///
+    /// Durable archives write the mutation ahead to the WAL first (`seq`
+    /// is the payload for puts), under the durable lock — always taken
+    /// *before* the state lock, the same order compaction uses. A WAL
+    /// append failure leaves the in-memory state untouched.
+    fn mutate(
+        &mut self,
+        id: Option<u64>,
+        seq: Option<&Sequence>,
+        f: impl FnOnce(&mut ShardedCowMap<Sequence>),
+    ) -> Result<()> {
+        let durable = self.shared.durable.clone();
+        let mut wal = durable.as_ref().map(|d| d.store.lock());
         let mut state = self.shared.state.write();
+        let generation = state.generation + 1;
+        if let Some(wal) = wal.as_mut() {
+            let record = WalRecord { generation, op: durability::wal_op(id, seq) };
+            wal.append(&record).map_err(saq_core::Error::from)?;
+        }
+        if let Some(durable) = &durable {
+            durable.mark(id);
+        }
         let mut sequences = state.sequences.clone();
         f(&mut sequences);
-        let generation = state.generation + 1;
         self.shared.log.lock().record(generation, id);
         *state = Arc::new(ArchiveState { generation, sequences, ids: OnceLock::new() });
+        drop(state);
+        let compact_now = wal.as_ref().is_some_and(|w| w.should_compact());
+        drop(wal);
+        if compact_now {
+            self.compact()?;
+        }
+        Ok(())
     }
 
     /// Archives a raw sequence (writing is done off the query path and not
@@ -239,21 +342,44 @@ impl ArchiveStore {
     /// mutation log record that this id changed, so id-keyed caches can
     /// self-invalidate — incrementally, via
     /// [`ArchiveStore::changed_since`].
+    ///
+    /// # Panics
+    ///
+    /// On a durable archive, panics if the write-ahead append fails —
+    /// an acknowledged write the log doesn't hold would break the
+    /// recovery contract. Use [`ArchiveStore::try_put`] to handle
+    /// storage failures gracefully.
     pub fn put(&mut self, id: u64, seq: Sequence) {
-        self.mutate(Some(id), |sequences| {
-            sequences.insert(id, seq);
-        });
+        self.try_put(id, seq).expect("durable archive write failed");
+    }
+
+    /// As [`ArchiveStore::put`], surfacing storage failures instead of
+    /// panicking.
+    pub fn try_put(&mut self, id: u64, seq: Sequence) -> Result<()> {
+        self.mutate(Some(id), Some(&seq), |sequences| {
+            sequences.insert(id, seq.clone());
+        })
     }
 
     /// Removes an archived sequence (a tracked mutation, like
     /// [`ArchiveStore::put`]); returns it if it was present. Snapshots
     /// captured earlier still see it.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ArchiveStore::put`], panics if the write-ahead append
+    /// fails; [`ArchiveStore::try_remove`] is the fallible form.
     pub fn remove(&mut self, id: u64) -> Option<Arc<Sequence>> {
+        self.try_remove(id).expect("durable archive write failed")
+    }
+
+    /// As [`ArchiveStore::remove`], surfacing storage failures.
+    pub fn try_remove(&mut self, id: u64) -> Result<Option<Arc<Sequence>>> {
         let mut removed = None;
-        self.mutate(Some(id), |sequences| {
+        self.mutate(Some(id), None, |sequences| {
             removed = sequences.remove(id);
-        });
-        removed
+        })?;
+        Ok(removed)
     }
 
     /// Marks the whole archive as potentially changed (a wildcard
@@ -261,8 +387,70 @@ impl ArchiveStore {
     /// this point reports "unknown" so caches fall back to full
     /// invalidation. Used when mutable access is handed out without
     /// tracking what it touched.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ArchiveStore::put`], panics if the write-ahead append fails.
     pub fn mark_all_changed(&mut self) {
-        self.mutate(None, |_| {});
+        self.mutate(None, None, |_| {}).expect("durable archive write failed");
+    }
+
+    /// Whether this archive persists its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.shared.durable.is_some()
+    }
+
+    /// Folds the current contents into a fresh durable segment set
+    /// (entries plus, when configured, precomputed index documents),
+    /// commits the manifest, and truncates the WAL. A no-op on
+    /// non-durable archives. Writers are blocked for the duration;
+    /// readers and snapshots are not.
+    pub fn compact(&mut self) -> Result<()> {
+        let Some(durable) = self.shared.durable.clone() else { return Ok(()) };
+        // Durable lock first (the invariant order), so no writer can
+        // append between the state we capture and the WAL truncation.
+        let mut store = durable.store.lock();
+        let state = self.shared.state.read().clone();
+        let docs_config = durable.config.index_docs.as_ref();
+        let (entries, docs) = durability::compaction_payload(
+            state.sorted_ids(),
+            |id| state.sequences.get_arc(id),
+            docs_config,
+        );
+        let spec = match (&docs, docs_config) {
+            (Some(docs), Some(config)) => Some(saq_durable::DocsSpec {
+                epsilon_bits: config.epsilon.to_bits(),
+                theta_bits: config.theta.to_bits(),
+                docs,
+            }),
+            _ => None,
+        };
+        let pager =
+            store.compact(state.generation, &entries, spec).map_err(saq_core::Error::from)?;
+        *durable.cold.write() = pager.map(|p| Arc::new(ColdDocs::new(p)));
+        Ok(())
+    }
+
+    /// The cold-document pager persisted by the last compaction, if this
+    /// archive is durable and one exists. Prefer
+    /// [`ArchiveSnapshot::cold_docs`] on query paths — it is captured
+    /// coherently with the snapshot's contents.
+    pub fn cold_docs(&self) -> Option<Arc<ColdDocs>> {
+        self.shared.durable.as_ref().and_then(|d| d.cold.read().clone())
+    }
+
+    /// A lazily-hydrating index set over the persisted cold documents:
+    /// documents page in from the durable segment on demand instead of
+    /// being recomputed from raw sequences. `None` when the archive is
+    /// not durable or no compaction has written documents yet.
+    pub fn cold_index_set(&self) -> Option<SegmentIndexSet> {
+        self.cold_docs().map(|cold| SegmentIndexSet::new(cold))
+    }
+
+    /// WAL records accumulated since the last compaction (0 for
+    /// non-durable archives) — observability for compaction policy.
+    pub fn wal_records(&self) -> u64 {
+        self.shared.durable.as_ref().map_or(0, |d| d.store.lock().wal_records())
     }
 
     /// The ids mutated after `generation` (deduplicated, ascending), or
@@ -346,6 +534,11 @@ impl ArchiveStore {
 pub struct ArchiveSnapshot {
     shared: Arc<ArchiveShared>,
     state: Arc<ArchiveState>,
+    /// The cold-document pager current when this snapshot was captured
+    /// (durable archives only). Its dirty tracking is shared and only
+    /// grows, so it can refuse ids needlessly but never serve stale
+    /// documents for this snapshot's generation.
+    cold: Option<Arc<ColdDocs>>,
 }
 
 impl ArchiveSnapshot {
@@ -397,6 +590,14 @@ impl ArchiveSnapshot {
     /// the snapshot are invisible, like the contents.
     pub fn changed_since(&self, generation: u64) -> Option<Vec<u64>> {
         self.shared.log.lock().changed_between(generation, self.state.generation)
+    }
+
+    /// The cold-document pager coherent with this snapshot's contents,
+    /// when the archive is durable and has compacted documents. Query
+    /// engines use it to serve index-only leaves without fetching and
+    /// recomputing entries after a cold open.
+    pub fn cold_docs(&self) -> Option<&Arc<ColdDocs>> {
+        self.cold.as_ref()
     }
 
     /// A weak handle answering whether this snapshot's pinned state is
@@ -837,5 +1038,116 @@ mod tests {
         let id = t.insert(&goalpost(GoalpostSpec::default())).unwrap();
         assert!(t.local().get(id).unwrap().raw.is_none());
         assert_eq!(t.archive().len(), 1);
+    }
+
+    #[test]
+    fn durable_archive_round_trips_across_reopen() {
+        use saq_durable::MemoryBackend;
+        let backend = MemoryBackend::new();
+        let arc_backend: Arc<dyn saq_durable::Backend> = Arc::new(backend.clone());
+        let (instance, generation);
+        {
+            let mut a = ArchiveStore::open_backend(
+                Arc::clone(&arc_backend),
+                Medium::memory(),
+                DurabilityConfig::default(),
+            )
+            .unwrap();
+            assert!(a.is_durable());
+            assert!(a.is_empty());
+            for i in 0..6u64 {
+                a.put(i, goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() }));
+            }
+            a.remove(4);
+            instance = a.instance_id();
+            generation = a.generation();
+            assert_eq!(generation, 7);
+        }
+        let a =
+            ArchiveStore::open_backend(arc_backend, Medium::memory(), DurabilityConfig::default())
+                .unwrap();
+        assert_eq!(a.instance_id(), instance, "instance survives restart");
+        assert_eq!(a.generation(), generation, "generation survives restart");
+        assert_eq!(a.ids(), vec![0, 1, 2, 3, 5]);
+        for i in [0u64, 1, 2, 3, 5] {
+            let expect = goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() });
+            assert_eq!(a.get(i).unwrap().points(), expect.points(), "sequence {i} bit-exact");
+        }
+        // The recovered mutation log still answers incremental deltas.
+        assert_eq!(a.changed_since(generation), Some(vec![]));
+        assert_eq!(a.changed_since(5), Some(vec![4, 5]));
+        // A fresh in-memory archive can never reuse the recovered instance.
+        assert_ne!(ArchiveStore::new(Medium::memory()).instance_id(), instance);
+    }
+
+    #[test]
+    fn compaction_persists_cold_docs_and_mutations_dirty_them() {
+        use saq_index::cold::DocPager as _;
+        let backend: Arc<dyn saq_durable::Backend> = Arc::new(saq_durable::MemoryBackend::new());
+        let mut a = ArchiveStore::open_backend(
+            Arc::clone(&backend),
+            Medium::memory(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        for i in 0..8u64 {
+            a.put(i, goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() }));
+        }
+        assert!(a.cold_docs().is_none(), "no docs before the first compaction");
+        a.compact().unwrap();
+        let cold = a.cold_docs().expect("compaction persists docs");
+        assert!(cold.matches_config(&StoreConfig::default()));
+        assert_eq!(cold.base_generation(), 8);
+        assert_eq!(cold.ids().len(), 8);
+        assert!(cold.doc(3).is_some());
+
+        // Mutating an id dirties its document; snapshots share the view.
+        let snap = a.snapshot();
+        a.put(3, peaks(PeaksSpec { centers: vec![9.0], ..PeaksSpec::default() }));
+        assert!(cold.doc(3).is_none(), "mutated id refused");
+        assert!(cold.doc(2).is_some(), "others still served");
+        assert_eq!(snap.cold_docs().unwrap().dirty_count(), 1);
+
+        // A wildcard poisons the pager outright.
+        a.mark_all_changed();
+        assert!(cold.doc(2).is_none());
+        assert!(cold.ids().is_empty());
+
+        // Recompacting installs a fresh, clean pager at the new base.
+        a.compact().unwrap();
+        let fresh = a.cold_docs().unwrap();
+        assert_eq!(fresh.base_generation(), a.generation());
+        assert!(fresh.doc(3).is_some());
+
+        // Reopening recovers the pager straight from the manifest.
+        drop(a);
+        let a = ArchiveStore::open_backend(backend, Medium::memory(), DurabilityConfig::default())
+            .unwrap();
+        let recovered = a.cold_docs().unwrap();
+        assert_eq!(recovered.base_generation(), a.generation());
+        assert_eq!(recovered.ids().len(), 8);
+        let mut set = a.cold_index_set().unwrap();
+        assert!(set.hydrate_all().is_empty());
+        use saq_index::SequenceIndex as _;
+        assert_eq!(set.warm().doc_count(), 8);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_wal_growth() {
+        let backend: Arc<dyn saq_durable::Backend> = Arc::new(saq_durable::MemoryBackend::new());
+        let mut a = ArchiveStore::open_backend(
+            backend,
+            Medium::memory(),
+            DurabilityConfig { compact_after: 5, index_docs: None },
+        )
+        .unwrap();
+        for i in 0..5u64 {
+            a.put(i, goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() }));
+        }
+        assert_eq!(a.wal_records(), 0, "hitting the threshold compacts and empties the WAL");
+        a.put(9, goalpost(GoalpostSpec { seed: 9, ..GoalpostSpec::default() }));
+        assert_eq!(a.wal_records(), 1);
+        assert!(a.cold_docs().is_none(), "index_docs: None persists entries only");
+        assert_eq!(a.len(), 6);
     }
 }

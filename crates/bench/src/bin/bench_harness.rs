@@ -1,0 +1,109 @@
+//! The versioned benchmark harness: runs every sibling `exp_*`/`fig*`/
+//! `table*` experiment binary, re-measures the recovery numbers
+//! in-process, and writes a dated `BENCH_<date>.json` so performance
+//! history is checked in next to the code it measures.
+//!
+//! Usage: `cargo run --release -p saq-bench --bin bench_harness [out.json]`
+//!
+//! Env: `SAQ_BENCH_SMOKE=1` skips re-spawning the experiment binaries
+//! (CI's experiments job already runs each one; the harness then only
+//! records the recovery measurements). `SAQ_BENCH_DATE=YYYY-MM-DD` pins
+//! the file name and stamp for reproducible output.
+
+use saq_bench::recovery::{bench_date, measure_recovery};
+use saq_bench::{env_usize, fnum};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let date = bench_date();
+    let out_path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{date}.json")));
+    let smoke = std::env::var("SAQ_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let rounds = env_usize("SAQ_EXP_ROUNDS", 3).max(1);
+
+    // The recovery numbers the storage engine is benchmarked on.
+    let sizes = [64usize, env_usize("SAQ_EXP_RECOVERY_SEQUENCES", 512)];
+    let mut recovery_json = Vec::new();
+    for &n in &sizes {
+        let r = measure_recovery(n, rounds);
+        println!(
+            "recovery n={n}: cold {} ms, warm {} ms, replay {} rec/s, {} lookup pages",
+            fnum(r.cold_open_seconds * 1e3),
+            fnum(r.warm_open_seconds * 1e3),
+            fnum(r.replay_records_per_sec),
+            r.point_lookup_pages
+        );
+        recovery_json.push(format!(
+            "    {{\"sequences\": {}, \"wal_bytes\": {}, \"cold_open_seconds\": {:.6}, \
+             \"warm_open_seconds\": {:.6}, \"replay_records_per_sec\": {:.1}, \
+             \"replay_mib_per_sec\": {:.3}, \"point_lookup_pages\": {}}}",
+            r.sequences,
+            r.wal_bytes,
+            r.cold_open_seconds,
+            r.warm_open_seconds,
+            r.replay_records_per_sec,
+            r.replay_mib_per_sec,
+            r.point_lookup_pages
+        ));
+    }
+
+    // Every sibling experiment binary, timed end to end. They live next
+    // to this harness in the target directory.
+    let mut experiments = Vec::new();
+    if !smoke {
+        let exe = std::env::current_exe().expect("own path");
+        let dir = exe.parent().expect("target dir");
+        let mut bins: Vec<_> = std::fs::read_dir(dir)
+            .expect("target dir listable")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.extension().is_none()
+                    && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                        (n.starts_with("exp_") || n.starts_with("fig") || n.starts_with("table"))
+                            && n != "bench_harness"
+                    })
+            })
+            .collect();
+        bins.sort();
+        for bin in bins {
+            let name = bin.file_name().unwrap().to_string_lossy().into_owned();
+            let t = Instant::now();
+            let status = std::process::Command::new(&bin)
+                .stdout(std::process::Stdio::null())
+                .status()
+                .map(|s| s.success())
+                .unwrap_or(false);
+            let seconds = t.elapsed().as_secs_f64();
+            println!("{name}: {} in {}s", if status { "ok" } else { "FAILED" }, fnum(seconds));
+            experiments.push((name, status, seconds));
+            assert!(status, "every experiment binary must run to completion");
+        }
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"date\": \"{date}\",").unwrap();
+    writeln!(json, "  \"version\": 1,").unwrap();
+    writeln!(json, "  \"recovery\": [").unwrap();
+    writeln!(json, "{}", recovery_json.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"experiments\": [").unwrap();
+    let rows: Vec<String> = experiments
+        .iter()
+        .map(|(name, ok, seconds)| {
+            format!("    {{\"bin\": \"{name}\", \"ok\": {ok}, \"seconds\": {seconds:.3}}}")
+        })
+        .collect();
+    writeln!(json, "{}", rows.join(",\n")).unwrap();
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("harness output writable");
+    println!("wrote {}", out_path.display());
+}

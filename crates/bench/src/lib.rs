@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod recovery;
+
 use saq_sequence::Sequence;
 
 /// Reads a workload-size knob from the environment (CI smoke-runs cap the

@@ -1,0 +1,166 @@
+//! Recovery measurements for the durable storage engine (`exp_recovery`
+//! and the `bench_harness` JSON): WAL replay throughput, cold-open
+//! (replay the log) vs warm-open (compacted segments only) latency, and
+//! the segment reader's O(depth) point-lookup paging.
+
+use saq_archive::{ArchiveStore, DurabilityConfig, Medium};
+use saq_core::store::StoreConfig;
+use saq_durable::wal::WAL_KEY;
+use saq_durable::{Backend, MemoryBackend};
+use saq_sequence::generators::{goalpost, GoalpostSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything one recovery experiment measures.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Archived sequences (= WAL records before compaction).
+    pub sequences: usize,
+    /// Bytes of write-ahead log replayed by the cold open.
+    pub wal_bytes: u64,
+    /// Open latency with the whole history still in the WAL.
+    pub cold_open_seconds: f64,
+    /// Open latency after compaction folded the WAL into segments.
+    pub warm_open_seconds: f64,
+    /// Cold-open recovery throughput, WAL records per second (the whole
+    /// open — replay plus store setup — divided into the record count).
+    pub replay_records_per_sec: f64,
+    /// Cold-open recovery throughput, MiB of WAL per second.
+    pub replay_mib_per_sec: f64,
+    /// Segment pages fetched by one cold-document point lookup.
+    pub point_lookup_pages: u64,
+    /// Cold documents available after the warm open (all of them).
+    pub cold_docs: usize,
+}
+
+/// Times `f` over `rounds` runs and returns the best (the criterion
+/// stand-in discipline: minimum over repeats suppresses scheduler noise).
+pub fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(rounds > 0, "best_of needs at least one round");
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let value = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    (best, last.expect("rounds > 0"))
+}
+
+/// Builds a `sequences`-strong durable archive in memory and measures
+/// recovery both ways: cold (open replays every WAL record) and warm
+/// (open reads the compacted segment set), plus segment paging.
+pub fn measure_recovery(sequences: usize, rounds: usize) -> RecoveryReport {
+    let config = DurabilityConfig { compact_after: 0, index_docs: Some(StoreConfig::default()) };
+    let backend = Arc::new(MemoryBackend::new());
+    let mut archive = ArchiveStore::open_backend(
+        backend.clone() as Arc<dyn Backend>,
+        Medium::memory(),
+        config.clone(),
+    )
+    .expect("fresh backend opens");
+    for id in 0..sequences as u64 {
+        archive.put(id, goalpost(GoalpostSpec { seed: id, noise: 0.1, ..Default::default() }));
+    }
+    drop(archive);
+    let wal_bytes =
+        backend.get(WAL_KEY).expect("wal readable").map(|b| b.len() as u64).unwrap_or(0);
+
+    // Cold open: every record replays. Fork per round so each open sees
+    // identical bytes.
+    let (cold_open_seconds, _) = best_of(rounds, || {
+        let fork = Arc::new(backend.fork()) as Arc<dyn Backend>;
+        let archive = ArchiveStore::open_backend(fork, Medium::memory(), config.clone())
+            .expect("cold reopen succeeds");
+        assert_eq!(archive.ids().len(), sequences, "cold open recovered everything");
+    });
+
+    // Warm open: compaction folds the log into segments first.
+    let mut archive = ArchiveStore::open_backend(
+        backend.clone() as Arc<dyn Backend>,
+        Medium::memory(),
+        config.clone(),
+    )
+    .expect("reopen for compaction");
+    archive.compact().expect("compaction succeeds");
+    drop(archive);
+    let (warm_open_seconds, (point_lookup_pages, cold_docs)) = best_of(rounds, || {
+        let archive = ArchiveStore::open_backend(
+            backend.clone() as Arc<dyn Backend>,
+            Medium::memory(),
+            config.clone(),
+        )
+        .expect("warm reopen succeeds");
+        assert_eq!(archive.ids().len(), sequences, "warm open recovered everything");
+        let cold = archive.cold_docs().expect("compaction persisted documents");
+        use saq_index::DocPager as _;
+        let before = cold.pages_read();
+        cold.doc(sequences as u64 / 2).expect("point lookup serves");
+        (cold.pages_read() - before, cold.ids().len())
+    });
+
+    let replay = cold_open_seconds.max(1e-9);
+    RecoveryReport {
+        sequences,
+        wal_bytes,
+        cold_open_seconds,
+        warm_open_seconds,
+        replay_records_per_sec: sequences as f64 / replay,
+        replay_mib_per_sec: wal_bytes as f64 / (1024.0 * 1024.0) / replay,
+        point_lookup_pages,
+        cold_docs,
+    }
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), without a calendar dependency:
+/// the classic civil-from-days conversion. `SAQ_BENCH_DATE` overrides it
+/// for reproducible harness output.
+pub fn bench_date() -> String {
+    if let Ok(date) = std::env::var("SAQ_BENCH_DATE") {
+        return date;
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's `civil_from_days`: days since 1970-01-01 → (y, m, d).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_hits_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+    }
+
+    #[test]
+    fn recovery_measures_a_tiny_store() {
+        let report = measure_recovery(8, 1);
+        assert_eq!(report.sequences, 8);
+        assert!(report.wal_bytes > 0);
+        assert!(report.cold_open_seconds > 0.0 && report.warm_open_seconds > 0.0);
+        assert_eq!(report.cold_docs, 8);
+        assert!(report.point_lookup_pages >= 1);
+    }
+}

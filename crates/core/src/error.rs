@@ -50,6 +50,8 @@ pub enum Error {
     Protocol(String),
     /// A socket or filesystem operation failed.
     Io(std::io::Error),
+    /// The durable storage layer failed or found corrupt bytes.
+    Storage(saq_durable::Error),
     /// An error reported by a remote `saqd` server: the original error's
     /// stable code plus its full rendered message.
     Remote {
@@ -77,6 +79,7 @@ impl Error {
             Error::SnapshotMismatch { .. } => 8,
             Error::Protocol(_) => 9,
             Error::Io(_) => 10,
+            Error::Storage(_) => 11,
             Error::Remote { code, .. } => *code,
         }
     }
@@ -97,6 +100,7 @@ impl fmt::Display for Error {
             }
             Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
             Error::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
         }
     }
@@ -109,6 +113,7 @@ impl std::error::Error for Error {
             Error::Curve(e) => Some(e),
             Error::Pattern(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -138,6 +143,17 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<saq_durable::Error> for Error {
+    fn from(e: saq_durable::Error) -> Self {
+        // Host I/O failures keep their existing code; only validation
+        // failures (corruption, bad keys) are storage errors proper.
+        match e {
+            saq_durable::Error::Io(io) => Error::Io(io),
+            other => Error::Storage(other),
+        }
+    }
+}
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -156,6 +172,14 @@ mod tests {
         let e: Error = std::io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("boom"));
+        // Durable-layer io failures collapse into the io code; true
+        // corruption keeps its own.
+        let e: Error = saq_durable::Error::Io(std::io::Error::other("spindle")).into();
+        assert_eq!(e.code(), 10);
+        let e: Error = saq_durable::Error::corrupt("torn wal").into();
+        assert_eq!(e.code(), 11);
+        assert!(e.to_string().contains("torn wal"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]
@@ -176,6 +200,7 @@ mod tests {
             ),
             (Error::Protocol("short frame".into()), 9),
             (Error::Io(std::io::Error::other("x")), 10),
+            (Error::Storage(saq_durable::Error::corrupt("bad crc")), 11),
         ];
         for (err, code) in samples {
             assert_eq!(err.code(), code, "{err}");

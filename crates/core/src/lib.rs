@@ -75,7 +75,7 @@ pub use features::{Peak, PeakTable};
 pub use lang::saql::{parse as parse_saql, parse_and_plan, print as print_saql, SaqlError, Span};
 pub use lang::{parse_query, run_query, ParsedQuery};
 pub use multi::{Family, MultiSeries};
-pub use persist::{load_series, read_series, save_series, write_series};
+pub use persist::{load_series, read_series, save_series, write_series, write_series_text};
 pub use query::{ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec, SequenceMatch};
 pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
 pub use request::{QueryBody, QueryRequest, QueryResponse, SnapshotRef};

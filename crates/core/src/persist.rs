@@ -2,29 +2,71 @@
 //!
 //! The paper's premise is that representations are "significantly more
 //! space efficient than the original" and therefore *storable locally*;
-//! this module gives [`LinearSeries`] a compact, human-auditable text form
-//! (one segment per line) so representations survive process restarts and
-//! can be shipped between sites without the raw data.
+//! this module lets a [`LinearSeries`] survive process restarts and ship
+//! between sites without the raw data.
 //!
-//! Format (version-tagged, `#`-comments tolerated):
+//! Two formats are understood:
 //!
-//! ```text
-//! saq-linear-series v1 <original_len> <segment_count>
-//! <start_index> <end_index> <start_t> <start_v> <end_t> <end_v> <slope> <intercept>
-//! ...
-//! ```
+//! * **v2 (binary, default)** — a thin shim over the durable storage
+//!   codec ([`saq_durable::codec`]): one CRC-checksummed, length-prefixed
+//!   frame whose body is `"SAQ2"` + original length + segment records in
+//!   little-endian with IEEE-754 bit-exact floats. Corruption anywhere is
+//!   detected by the checksum instead of silently mangling coefficients.
+//! * **v1 (text, legacy)** — the original human-auditable form, one
+//!   segment per line, still written by [`write_series_text`]:
+//!
+//!   ```text
+//!   saq-linear-series v1 <original_len> <segment_count>
+//!   <start_index> <end_index> <start_t> <start_v> <end_t> <end_v> <slope> <intercept>
+//!   ...
+//!   ```
+//!
+//! [`read_series`] sniffs the leading bytes and accepts either, so files
+//! written before the durable engine existed keep loading; re-saving
+//! migrates them to v2.
 
 use crate::error::{Error, Result};
 use crate::repr::{FunctionSeries, LinearSeries, Segment};
 use saq_curves::Line;
+use saq_durable::codec::{self, Cursor};
 use saq_sequence::Point;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &str = "saq-linear-series v1";
+const MAGIC_V2: &[u8; 4] = b"SAQ2";
 
-/// Writes a linear series in the v1 text format.
+/// Writes a linear series in the v2 binary format (one checksummed
+/// frame over the durable codec).
 pub fn write_series<W: Write>(series: &LinearSeries, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    w.write_all(&encode_series(series)).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Encodes a linear series as v2 bytes (the exact content
+/// [`write_series`] emits).
+pub fn encode_series(series: &LinearSeries) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + 12 + series.segment_count() * 64);
+    body.extend_from_slice(MAGIC_V2);
+    codec::put_u64(&mut body, series.original_len() as u64);
+    codec::put_u32(&mut body, series.segment_count() as u32);
+    for seg in series.segments() {
+        codec::put_u64(&mut body, seg.start_index as u64);
+        codec::put_u64(&mut body, seg.end_index as u64);
+        codec::put_f64(&mut body, seg.start.t);
+        codec::put_f64(&mut body, seg.start.v);
+        codec::put_f64(&mut body, seg.end.t);
+        codec::put_f64(&mut body, seg.end.v);
+        codec::put_f64(&mut body, seg.curve.slope);
+        codec::put_f64(&mut body, seg.curve.intercept);
+    }
+    codec::frame(&body)
+}
+
+/// Writes a linear series in the legacy v1 text format (one segment per
+/// line, `#`-comments tolerated on read).
+pub fn write_series_text<W: Write>(series: &LinearSeries, out: W) -> Result<()> {
     let mut w = BufWriter::new(out);
     writeln!(w, "{MAGIC} {} {}", series.original_len(), series.segment_count()).map_err(io_err)?;
     for seg in series.segments() {
@@ -45,8 +87,66 @@ pub fn write_series<W: Write>(series: &LinearSeries, out: W) -> Result<()> {
     w.flush().map_err(io_err)
 }
 
-/// Reads a linear series from the v1 text format.
+/// Reads a linear series, sniffing the format: the v1 text magic (even
+/// after leading blank/comment lines) selects the legacy parser,
+/// anything else is decoded as a v2 frame.
 pub fn read_series<R: Read>(input: R) -> Result<LinearSeries> {
+    let mut bytes = Vec::new();
+    BufReader::new(input).read_to_end(&mut bytes).map_err(io_err)?;
+    if looks_like_text(&bytes) {
+        read_series_text(bytes.as_slice())
+    } else {
+        decode_series(&bytes)
+    }
+}
+
+/// Decodes v2 bytes back into a series.
+pub fn decode_series(bytes: &[u8]) -> Result<LinearSeries> {
+    let body = codec::read_single_frame(bytes, "linear series file")?;
+    let mut c = Cursor::new(body, "linear series");
+    let magic = [c.get_u8()?, c.get_u8()?, c.get_u8()?, c.get_u8()?];
+    if &magic != MAGIC_V2 {
+        return Err(Error::Storage(saq_durable::Error::corrupt(
+            "linear series: bad v2 magic".to_string(),
+        )));
+    }
+    let original_len = c.get_u64()? as usize;
+    let segment_count = c.get_u32()? as usize;
+    let mut segments = Vec::with_capacity(segment_count.min(body.len() / 64 + 1));
+    for _ in 0..segment_count {
+        let start_index = c.get_u64()? as usize;
+        let end_index = c.get_u64()? as usize;
+        let start = Point::new(c.get_f64()?, c.get_f64()?);
+        let end = Point::new(c.get_f64()?, c.get_f64()?);
+        let curve = Line::new(c.get_f64()?, c.get_f64()?);
+        segments.push(Segment { start_index, end_index, start, end, curve });
+    }
+    c.finish()?;
+    FunctionSeries::from_segments(segments, original_len)
+}
+
+/// Whether the file starts (after blank/comment lines) with the v1 text
+/// header.
+fn looks_like_text(bytes: &[u8]) -> bool {
+    let mut rest = bytes;
+    loop {
+        let line_end = rest.iter().position(|&b| b == b'\n').map_or(rest.len(), |i| i + 1);
+        let (line, tail) = rest.split_at(line_end);
+        let trimmed = line.iter().position(|b| !b.is_ascii_whitespace()).map(|i| &line[i..]);
+        match trimmed {
+            None => {}
+            Some(line) if line.starts_with(b"#") => {}
+            Some(line) => return line.starts_with(MAGIC.as_bytes()),
+        }
+        if tail.is_empty() {
+            return false;
+        }
+        rest = tail;
+    }
+}
+
+/// Reads the legacy v1 text format.
+pub fn read_series_text<R: Read>(input: R) -> Result<LinearSeries> {
     let reader = BufReader::new(input);
     let mut lines = reader.lines().enumerate().filter_map(|(no, l)| match l {
         Ok(text) => {
@@ -98,13 +198,13 @@ pub fn read_series<R: Read>(input: R) -> Result<LinearSeries> {
     FunctionSeries::from_segments(segments, original_len)
 }
 
-/// Saves to a file path.
+/// Saves to a file path (v2 binary).
 pub fn save_series<P: AsRef<Path>>(series: &LinearSeries, path: P) -> Result<()> {
     let file = std::fs::File::create(path).map_err(io_err)?;
     write_series(series, file)
 }
 
-/// Loads from a file path.
+/// Loads from a file path (either format).
 pub fn load_series<P: AsRef<Path>>(path: P) -> Result<LinearSeries> {
     let file = std::fs::File::open(path).map_err(io_err)?;
     read_series(file)
@@ -158,12 +258,26 @@ mod tests {
     }
 
     #[test]
+    fn legacy_text_files_still_load() {
+        let series = sample_series();
+        let mut buf = Vec::new();
+        write_series_text(&series, &mut buf).unwrap();
+        // The sniffing reader migrates v1 transparently...
+        let back = read_series(buf.as_slice()).unwrap();
+        assert_eq!(series, back);
+        // ...bit-exactly enough that re-saving as v2 round-trips.
+        let v2 = encode_series(&back);
+        assert_eq!(decode_series(&v2).unwrap(), back);
+    }
+
+    #[test]
     fn comments_and_blanks_tolerated() {
         let series = sample_series();
         let mut buf = Vec::new();
-        write_series(&series, &mut buf).unwrap();
+        write_series_text(&series, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let with_comments = text.replacen('\n', "\n# a comment\n\n", 1);
+        let with_comments =
+            format!("# preamble\n\n{}", text.replacen('\n', "\n# a comment\n\n", 1));
         let back = read_series(with_comments.as_bytes()).unwrap();
         assert_eq!(series, back);
     }
@@ -182,6 +296,24 @@ mod tests {
         // Trailing junk.
         let text = format!("{MAGIC} 49 1\n0 5 0 1 5 2 0.2 1 99\n");
         assert!(read_series(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn v2_corruption_is_caught_by_the_checksum() {
+        let series = sample_series();
+        let clean = encode_series(&series);
+        // Every single-byte flip anywhere in the frame is detected.
+        for at in [0, 4, 8, 9, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x40;
+            assert!(read_series(bytes.as_slice()).is_err(), "flip at {at} accepted");
+        }
+        // Truncation too.
+        assert!(read_series(&clean[..clean.len() - 3]).is_err());
+        // And a valid frame with the wrong inner magic.
+        let mut body = clean[8..].to_vec();
+        body[0] = b'X';
+        assert!(read_series(codec::frame(&body).as_slice()).is_err());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Hand-rolled binary encoding: byte cursors, CRC-32, and the one frame
+//! shape every durable structure shares.
+//!
+//! The vendored serde derives are no-ops, so every on-disk structure in
+//! this crate is encoded by hand through the helpers here. All integers
+//! are little-endian. Variable-length byte strings carry a `u32` length
+//! prefix. Floats travel as their IEEE-754 bit patterns.
+//!
+//! # The frame
+//!
+//! Every self-delimiting unit on disk — a WAL record, a segment page,
+//! the manifest — is wrapped in the same frame:
+//!
+//! ```text
+//! [len: u32le] [crc: u32le] [body: len bytes]
+//! ```
+//!
+//! `len` counts only the body; `crc` is CRC-32 (IEEE, reflected — the
+//! zlib/Ethernet polynomial) over the body. A reader walks frames by
+//! length and can classify any prefix of a byte string as a clean end,
+//! a torn tail (too few bytes for the promised frame: the classic
+//! crash-mid-append shape), or corruption (a CRC mismatch or an insane
+//! length). Lengths above [`MAX_FRAME`] are treated as corruption rather
+//! than attempted, so a damaged length prefix can never drive a
+//! multi-gigabyte allocation.
+
+use crate::error::{Error, Result};
+
+/// Upper bound on a single frame body (64 MiB). Real bodies are pages
+/// or records, orders of magnitude smaller; anything larger is a
+/// corrupt length prefix.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes of framing overhead per frame (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+// --- CRC-32 -----------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the zlib `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- writing ----------------------------------------------------------
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string (`u32` length, then bytes).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Wraps a body in the standard `[len][crc][body]` frame.
+pub fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(body));
+    out.extend_from_slice(body);
+    out
+}
+
+// --- reading ----------------------------------------------------------
+
+/// A bounds-checked cursor over a byte slice. Every `get_*` returns
+/// [`Error::Corrupt`] on underflow instead of panicking, so decoders
+/// built on it reject truncated bodies gracefully.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `bytes`; `what` names the structure for error text.
+    pub fn new(bytes: &'a [u8], what: &'a str) -> Self {
+        Cursor { bytes, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(Error::corrupt(format!(
+                "{}: truncated body (wanted {n} bytes at offset {}, have {})",
+                self.what,
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// How many bytes remain unread.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fails unless the cursor consumed the whole body — decoders call
+    /// this last so trailing garbage is rejected, not ignored.
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(Error::corrupt(format!(
+                "{}: {} trailing bytes after body",
+                self.what,
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of reading one frame at an offset.
+#[derive(Debug)]
+pub enum FrameRead<'a> {
+    /// A validated frame: its body, and the offset just past it.
+    Record {
+        /// The frame body (CRC already verified).
+        body: &'a [u8],
+        /// Offset of the byte after this frame.
+        next: u64,
+    },
+    /// The offset sits exactly at the end of the bytes: a clean end.
+    End,
+    /// Too few bytes remain for the promised frame — the torn tail a
+    /// crash mid-append leaves behind.
+    Torn,
+    /// The frame failed validation (CRC mismatch or insane length).
+    Corrupt {
+        /// What failed, for diagnostics.
+        reason: String,
+    },
+}
+
+/// Reads the frame starting at `offset` in `bytes`.
+pub fn read_frame(bytes: &[u8], offset: u64) -> FrameRead<'_> {
+    let offset = offset as usize;
+    if offset == bytes.len() {
+        return FrameRead::End;
+    }
+    if bytes.len() - offset < FRAME_HEADER {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return FrameRead::Corrupt {
+            reason: format!("frame length {len} at offset {offset} exceeds MAX_FRAME"),
+        };
+    }
+    if bytes.len() - offset - FRAME_HEADER < len {
+        return FrameRead::Torn;
+    }
+    let body = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+    let actual = crc32(body);
+    if actual != crc {
+        return FrameRead::Corrupt {
+            reason: format!(
+                "crc mismatch at offset {offset}: stored {crc:#010x}, computed {actual:#010x}"
+            ),
+        };
+    }
+    FrameRead::Record { body, next: (offset + FRAME_HEADER + len) as u64 }
+}
+
+/// Decodes a byte string that must be exactly one valid frame (used for
+/// point values like the manifest, where torn tails are not expected).
+pub fn read_single_frame<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8]> {
+    match read_frame(bytes, 0) {
+        FrameRead::Record { body, next } if next as usize == bytes.len() => Ok(body),
+        FrameRead::Record { .. } => {
+            Err(Error::corrupt(format!("{what}: trailing bytes after frame")))
+        }
+        FrameRead::End => Err(Error::corrupt(format!("{what}: empty"))),
+        FrameRead::Torn => Err(Error::corrupt(format!("{what}: truncated frame"))),
+        FrameRead::Corrupt { reason } => Err(Error::corrupt(format!("{what}: {reason}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn cursor_round_trips_and_rejects_underflow() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_f64(&mut buf, -0.5);
+        put_bytes(&mut buf, b"abc");
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.get_u32().unwrap(), 7);
+        assert_eq!(c.get_u64().unwrap(), u64::MAX);
+        assert_eq!(c.get_f64().unwrap(), -0.5);
+        assert_eq!(c.get_bytes().unwrap(), b"abc");
+        c.finish().unwrap();
+
+        let mut c = Cursor::new(&buf[..3], "short");
+        assert!(c.get_u32().unwrap_err().to_string().contains("short"));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut c = Cursor::new(&[1, 2, 3, 4, 5], "tail");
+        c.get_u32().unwrap();
+        assert!(c.finish().unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn frames_walk_and_classify() {
+        let mut log = frame(b"first");
+        log.extend_from_slice(&frame(b"second"));
+        let FrameRead::Record { body, next } = read_frame(&log, 0) else { panic!("record") };
+        assert_eq!(body, b"first");
+        let FrameRead::Record { body, next } = read_frame(&log, next) else { panic!("record") };
+        assert_eq!(body, b"second");
+        assert!(matches!(read_frame(&log, next), FrameRead::End));
+
+        // Torn tail: drop the last byte.
+        let torn = &log[..log.len() - 1];
+        let FrameRead::Record { next, .. } = read_frame(torn, 0) else { panic!("record") };
+        assert!(matches!(read_frame(torn, next), FrameRead::Torn));
+
+        // Corrupt body: flip a byte inside the first frame's body.
+        let mut bad = log.clone();
+        bad[FRAME_HEADER] ^= 0x40;
+        assert!(matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }));
+
+        // Insane length prefix never allocates.
+        let mut huge = frame(b"x");
+        huge[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(read_frame(&huge, 0), FrameRead::Corrupt { .. }));
+    }
+
+    #[test]
+    fn single_frame_reader_is_strict() {
+        let good = frame(b"manifest");
+        assert_eq!(read_single_frame(&good, "m").unwrap(), b"manifest");
+        let mut two = good.clone();
+        two.extend_from_slice(&frame(b"extra"));
+        assert!(read_single_frame(&two, "m").is_err());
+        assert!(read_single_frame(&good[..5], "m").is_err());
+        assert!(read_single_frame(&[], "m").is_err());
+    }
+}

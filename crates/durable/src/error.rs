@@ -1,0 +1,78 @@
+//! Failures of the storage layer.
+//!
+//! Two things go wrong in a storage engine: the host I/O fails, or the
+//! bytes on disk are not what we wrote. Everything else — missing keys,
+//! malformed key names — is a programming error at the call site and
+//! gets its own variant so callers can tell the difference.
+
+use std::fmt;
+
+/// An error from the durable storage layer.
+#[derive(Debug)]
+pub enum Error {
+    /// The underlying backend I/O failed (filesystem, in rehearsals the
+    /// in-memory map never produces this).
+    Io(std::io::Error),
+    /// Stored bytes failed validation: a CRC mismatch, an impossible
+    /// length prefix, or a structurally truncated payload. The context
+    /// names the key and offset so operators can find the damage.
+    Corrupt {
+        /// Human-readable description of what failed validation where.
+        context: String,
+    },
+    /// A key was rejected before reaching the backend (empty, or using
+    /// characters outside `[a-z0-9._-]`). Keys are layer-internal names,
+    /// so this indicates a bug, not bad user data.
+    InvalidKey(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "storage io error: {e}"),
+            Error::Corrupt { context } => write!(f, "corrupt storage: {context}"),
+            Error::InvalidKey(key) => write!(f, "invalid storage key {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Builds a [`Error::Corrupt`] with formatted context.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        Error::Corrupt { context: context.into() }
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = Error::from(std::io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::corrupt("wal: bad crc at offset 12");
+        assert!(e.to_string().contains("offset 12"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(Error::InvalidKey("../etc".into()).to_string().contains("../etc"));
+    }
+}

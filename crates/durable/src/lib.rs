@@ -1,0 +1,38 @@
+//! Durable storage for the SAQ stack: a write-ahead log plus immutable
+//! B-tree segments behind a pluggable [`Backend`] trait.
+//!
+//! The paper's premise is *archival* of large sequence collections, so
+//! the store that serves them has to outlive the process. This crate is
+//! the layer under `saq-archive` that makes that true, and it is
+//! deliberately ignorant of sequences: it stores `(u64 id, bytes)`
+//! entries, replays `(generation, id)` mutation histories, and leaves
+//! every payload encoding to its callers. That keeps it a leaf crate —
+//! plain `std`, no workspace dependencies — that the core, index, and
+//! archive layers can all build on without cycles.
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`backend`] | byte-string KV trait; in-memory and directory-backed impls |
+//! | [`codec`] | hand-rolled binary helpers and the CRC-framed record shape |
+//! | [`wal`] | append-only write-ahead log of mutation records |
+//! | [`segment`] | immutable B-tree segments: eager leaves, draft interiors |
+//! | [`store`] | manifest, recovery protocol, and the WAL→segment compactor |
+//!
+//! See `docs/STORAGE.md` for the on-disk formats and the recovery
+//! protocol, both verified against this crate by `tests/docs_storage.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod codec;
+pub mod error;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use backend::{Backend, FileBackend, MemoryBackend};
+pub use error::{Error, Result};
+pub use segment::{SegmentBuilder, SegmentMeta, SegmentReader};
+pub use store::{DocsReader, DocsSpec, DurableConfig, DurableStore, Recovered};
+pub use wal::{WalOp, WalRecord};

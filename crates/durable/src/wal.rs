@@ -1,0 +1,246 @@
+//! The append-only write-ahead log.
+//!
+//! Every mutation is appended to the `"wal"` key as one framed record
+//! (see [`crate::codec`]) *before* it is applied in memory. A record
+//! carries the mutation kind, the generation it created, and — for
+//! puts — the full encoded payload, so replay alone reconstructs both
+//! the store contents and the coalescing mutation-log history
+//! (`(generation, id)` pairs) the archive layer uses for
+//! `changed_since`.
+//!
+//! # Record body layout
+//!
+//! ```text
+//! [kind: u8] [generation: u64le] [id: u64le] [payload: u32le len + bytes]
+//! ```
+//!
+//! `kind` is 1 = put, 2 = remove, 3 = wildcard (an id-less whole-store
+//! invalidation, e.g. a clock rescale). `id` is 0 and `payload` empty
+//! for wildcard records; `payload` is empty for removes.
+//!
+//! # Reading back
+//!
+//! [`read_wal_bytes`] walks frames until the bytes end cleanly, tear
+//! (crash mid-append), or fail CRC. The torn/corrupt tail is *reported*,
+//! not returned: recovery keeps the clean prefix, truncates the log to
+//! it, and continues — a damaged suffix can never propagate. Generation
+//! monotonicity is enforced one level up, where the manifest's base
+//! generation is known.
+
+use crate::codec::{self, Cursor, FrameRead};
+use crate::error::{Error, Result};
+
+/// The backend key the log lives under.
+pub const WAL_KEY: &str = "wal";
+
+const KIND_PUT: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_WILDCARD: u8 = 3;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or replace the entry at `id` with `payload` bytes.
+    Put {
+        /// The entry id.
+        id: u64,
+        /// The encoded entry (opaque to this layer).
+        payload: Vec<u8>,
+    },
+    /// Remove the entry at `id`.
+    Remove {
+        /// The entry id.
+        id: u64,
+    },
+    /// An id-less whole-store mutation (every entry may have changed).
+    Wildcard,
+}
+
+impl WalOp {
+    /// The id this op touches, or `None` for [`WalOp::Wildcard`] — the
+    /// same shape the archive's coalescing mutation log records.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            WalOp::Put { id, .. } | WalOp::Remove { id } => Some(*id),
+            WalOp::Wildcard => None,
+        }
+    }
+}
+
+/// One WAL record: the generation a mutation created, and the op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The store generation after this mutation applied.
+    pub generation: u64,
+    /// The mutation itself.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    /// Encodes this record as one framed byte string ready to append.
+    pub fn encode(&self) -> Vec<u8> {
+        codec::frame(&self.encode_body())
+    }
+
+    /// Encodes just the frame body (kind, generation, id, payload).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let (kind, id, payload): (u8, u64, &[u8]) = match &self.op {
+            WalOp::Put { id, payload } => (KIND_PUT, *id, payload),
+            WalOp::Remove { id } => (KIND_REMOVE, *id, &[]),
+            WalOp::Wildcard => (KIND_WILDCARD, 0, &[]),
+        };
+        body.push(kind);
+        codec::put_u64(&mut body, self.generation);
+        codec::put_u64(&mut body, id);
+        codec::put_bytes(&mut body, payload);
+        body
+    }
+
+    /// Decodes a frame body produced by [`WalRecord::encode_body`].
+    pub fn decode_body(body: &[u8]) -> Result<WalRecord> {
+        let mut c = Cursor::new(body, "wal record");
+        let kind = c.get_u8()?;
+        let generation = c.get_u64()?;
+        let id = c.get_u64()?;
+        let payload = c.get_bytes()?.to_vec();
+        c.finish()?;
+        let op = match kind {
+            KIND_PUT => WalOp::Put { id, payload },
+            KIND_REMOVE if payload.is_empty() => WalOp::Remove { id },
+            KIND_WILDCARD if payload.is_empty() && id == 0 => WalOp::Wildcard,
+            _ => {
+                return Err(Error::corrupt(format!(
+                    "wal record: bad kind {kind} (id {id}, {} payload bytes)",
+                    payload.len()
+                )))
+            }
+        };
+        Ok(WalRecord { generation, op })
+    }
+}
+
+/// Everything learned from one pass over the log bytes.
+#[derive(Debug)]
+pub struct WalReadback {
+    /// The decoded records of the clean prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// `ends[i]` is the byte offset just past record `i` — the kill
+    /// points a crash can truncate the log to.
+    pub ends: Vec<u64>,
+    /// Length of the clean prefix; recovery truncates the log here.
+    pub clean_len: u64,
+    /// True when bytes past the clean prefix were discarded (a torn
+    /// final record or a CRC/length failure).
+    pub tail_discarded: bool,
+}
+
+/// Walks the whole log, returning the clean prefix and whether a
+/// damaged tail was discarded. Never fails: damage ends the walk.
+pub fn read_wal_bytes(bytes: &[u8]) -> WalReadback {
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
+    let mut offset = 0u64;
+    let mut tail_discarded = false;
+    loop {
+        match codec::read_frame(bytes, offset) {
+            FrameRead::End => break,
+            FrameRead::Torn | FrameRead::Corrupt { .. } => {
+                tail_discarded = true;
+                break;
+            }
+            FrameRead::Record { body, next } => match WalRecord::decode_body(body) {
+                Ok(record) => {
+                    records.push(record);
+                    ends.push(next);
+                    offset = next;
+                }
+                Err(_) => {
+                    // A frame whose CRC passes but whose body doesn't
+                    // decode is corruption all the same: stop here.
+                    tail_discarded = true;
+                    break;
+                }
+            },
+        }
+    }
+    WalReadback { records, ends, clean_len: offset, tail_discarded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WalRecord> {
+        vec![
+            WalRecord { generation: 1, op: WalOp::Put { id: 7, payload: b"seven".to_vec() } },
+            WalRecord { generation: 2, op: WalOp::Remove { id: 7 } },
+            WalRecord { generation: 3, op: WalOp::Wildcard },
+            WalRecord { generation: 4, op: WalOp::Put { id: 9, payload: vec![] } },
+        ]
+    }
+
+    fn log_bytes(records: &[WalRecord]) -> Vec<u8> {
+        records.iter().flat_map(|r| r.encode()).collect()
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for record in sample() {
+            let body = record.encode_body();
+            assert_eq!(WalRecord::decode_body(&body).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn clean_log_reads_back_fully() {
+        let records = sample();
+        let bytes = log_bytes(&records);
+        let back = read_wal_bytes(&bytes);
+        assert_eq!(back.records, records);
+        assert_eq!(back.clean_len, bytes.len() as u64);
+        assert_eq!(back.ends.len(), records.len());
+        assert_eq!(*back.ends.last().unwrap(), bytes.len() as u64);
+        assert!(!back.tail_discarded);
+        assert!(read_wal_bytes(&[]).records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_every_truncation_point() {
+        let records = sample();
+        let bytes = log_bytes(&records);
+        let full = read_wal_bytes(&bytes);
+        for cut in 0..bytes.len() as u64 {
+            let back = read_wal_bytes(&bytes[..cut as usize]);
+            // The clean prefix is exactly the records wholly before the cut.
+            let expect = full.ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(back.records.len(), expect, "cut at {cut}");
+            assert_eq!(back.records[..], records[..expect]);
+            assert_eq!(back.tail_discarded, back.clean_len < cut, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_ends_the_walk_at_the_damaged_record() {
+        let records = sample();
+        let bytes = log_bytes(&records);
+        let full = read_wal_bytes(&bytes);
+        // Flip one byte inside the third record's body.
+        let mut bad = bytes.clone();
+        let third_start = full.ends[1] as usize;
+        bad[third_start + codec::FRAME_HEADER] ^= 0xFF;
+        let back = read_wal_bytes(&bad);
+        assert_eq!(back.records[..], records[..2]);
+        assert!(back.tail_discarded);
+        assert_eq!(back.clean_len, full.ends[1]);
+    }
+
+    #[test]
+    fn valid_frame_with_undecodable_body_is_corruption() {
+        let mut bytes = log_bytes(&sample()[..1]);
+        bytes.extend_from_slice(&codec::frame(b"not a wal record"));
+        let back = read_wal_bytes(&bytes);
+        assert_eq!(back.records.len(), 1);
+        assert!(back.tail_discarded);
+    }
+}

@@ -87,7 +87,7 @@ use saq_core::query::{QueryOutcome, QuerySpec};
 use saq_core::request::{QueryRequest, QueryResponse, SnapshotRef};
 use saq_core::store::{StoreConfig, StoredEntry};
 use saq_core::{Error, Result};
-use saq_index::{IndexDoc, IndexSet, SequenceIndex as _};
+use saq_index::{DocPager as _, IndexDoc, IndexSet, SequenceIndex as _};
 use saq_sequence::Sequence;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -564,6 +564,15 @@ impl QueryEngine {
     /// Only the remaining leaves (peak count, steepness, value bands) pay
     /// a per-entry evaluation, counted per leaf in
     /// [`ShardEval::leaf_evals`].
+    ///
+    /// When no leaf scans entries, the shard-local index is fed from the
+    /// archive's **cold documents** ([`ArchiveSnapshot::cold_docs`])
+    /// where available — documents persisted by the last compaction under
+    /// the same representation parameters page in from the durable
+    /// segment instead of re-running fetch → break → represent per id.
+    /// Ids the pager refuses (mutated since compaction, or simply absent)
+    /// fall back to the full pipeline, so results never depend on cold
+    /// coverage.
     fn eval_shard(
         &self,
         snapshot: &ArchiveSnapshot,
@@ -572,8 +581,13 @@ impl QueryEngine {
         stamp: (u64, u64),
     ) -> Result<ShardEval> {
         let serves: Vec<LeafServe> = preds.iter().map(LeafServe::of).collect();
-        let needs_entry = preds.iter().any(PreparedPred::needs_entry);
+        let needs_scan = serves.iter().any(|s| matches!(s, LeafServe::EntryScan));
         let build_index = serves.iter().any(LeafServe::is_index);
+        let cold = if build_index && !needs_scan {
+            snapshot.cold_docs().filter(|c| c.matches_config(&self.ingest_config())).cloned()
+        } else {
+            None
+        };
         let mut shard_index = build_index.then(IndexSet::new);
         let mut eval = ShardEval {
             partials: vec![Vec::new(); preds.len()],
@@ -582,7 +596,7 @@ impl QueryEngine {
             leaf_evals: vec![0; preds.len()],
         };
         for &id in ids {
-            let entry = if needs_entry {
+            let entry = if needs_scan {
                 let (entry, cost, cache) = self.entry_for(snapshot, id, stamp)?;
                 eval.sim_seconds += cost;
                 eval.cache.merge(cache);
@@ -590,16 +604,19 @@ impl QueryEngine {
             } else {
                 None
             };
-            if let (Some(index), Some(entry)) = (shard_index.as_mut(), entry.as_deref()) {
-                let buckets = entry.peaks.interval_buckets();
-                index.insert_doc(
-                    id,
-                    &IndexDoc {
-                        symbols: &entry.symbols,
-                        interval_buckets: &buckets,
-                        peak_count: entry.peaks.len(),
+            if let Some(index) = shard_index.as_mut() {
+                match entry.as_deref() {
+                    Some(entry) => insert_entry_doc(index, id, entry),
+                    None => match cold.as_ref().and_then(|c| c.doc(id)) {
+                        Some(doc) => index.insert_doc(id, &doc.as_doc()),
+                        None => {
+                            let (entry, cost, cache) = self.entry_for(snapshot, id, stamp)?;
+                            eval.sim_seconds += cost;
+                            eval.cache.merge(cache);
+                            insert_entry_doc(index, id, &entry);
+                        }
                     },
-                );
+                }
             }
             let evals = &mut eval.leaf_evals;
             for (ix, ((partial, pred), serve)) in
@@ -687,6 +704,19 @@ impl QueryEngine {
 
 /// Per-leaf hit lists of one shard (id order within the shard).
 type ShardPartials = Vec<Vec<(u64, MatchTier)>>;
+
+/// Indexes one materialized entry into a shard-local index set.
+fn insert_entry_doc(index: &mut IndexSet, id: u64, entry: &StoredEntry) {
+    let buckets = entry.peaks.interval_buckets();
+    index.insert_doc(
+        id,
+        &IndexDoc {
+            symbols: &entry.symbols,
+            interval_buckets: &buckets,
+            peak_count: entry.peaks.len(),
+        },
+    );
+}
 
 /// Everything one shard's evaluation produced.
 struct ShardEval {
@@ -954,6 +984,48 @@ mod tests {
             0.0,
             "warm per-worker clocks stay idle"
         );
+    }
+
+    #[test]
+    fn cold_documents_serve_index_leaves_without_fetching() {
+        use saq_archive::DurabilityConfig;
+        use saq_durable::{Backend, MemoryBackend};
+        let backend: Arc<dyn Backend> = Arc::new(MemoryBackend::new());
+        let config =
+            DurabilityConfig { compact_after: 0, index_docs: Some(StoreConfig::default()) };
+        let mut archive = ArchiveStore::open_backend(backend, Medium::memory(), config).unwrap();
+        let template = mixed_archive(12);
+        for &id in template.ids().iter() {
+            archive.put(id, template.snapshot().fetch(id).unwrap().0.clone());
+        }
+        archive.compact().unwrap();
+        let index_batch = vec![
+            BatchQuery::Feature(QuerySpec::Shape { pattern: "0* 1+ (-1)+ 0* 1+ (-1)+ 0*".into() }),
+            BatchQuery::Feature(QuerySpec::PeakInterval { interval: 7, epsilon: 2 }),
+        ];
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let reference = engine.run_sequential(&template, &index_batch).unwrap();
+        let before = archive.fetch_count();
+        let out = engine.run(&archive, &index_batch).unwrap();
+        assert_eq!(out, reference, "cold-served results match recomputing everything");
+        assert_eq!(
+            archive.fetch_count(),
+            before,
+            "an index-only batch pages cold documents and fetches no sequences"
+        );
+        // A mutated id is refused by the pager and falls back to the full
+        // fetch → break → represent pipeline; everything else stays cold.
+        archive.put(3, random_walk(64, 0.0, 0.2, 99));
+        let before = archive.fetch_count();
+        let out = engine.run(&archive, &index_batch).unwrap();
+        assert_eq!(archive.fetch_count() - before, 1, "only the dirtied id pays a fetch");
+        assert_eq!(out, engine.run_sequential(&archive, &index_batch).unwrap());
+        // Entry-scan leaves force the pipeline regardless of cold docs.
+        let before = archive.fetch_count();
+        engine
+            .run(&archive, &[BatchQuery::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 })])
+            .unwrap();
+        assert!(archive.fetch_count() > before, "scan leaves still fetch");
     }
 
     #[test]

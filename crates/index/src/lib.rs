@@ -13,12 +13,16 @@
 //! * [`IndexSet`] — the unified maintenance layer: every index a store
 //!   keeps, mutated together through the [`SequenceIndex`] trait
 //!   (incremental insert *and* remove), with per-index statistics
-//!   ([`IndexStats`]) snapshotted for selectivity-driven planning.
+//!   ([`IndexStats`]) snapshotted for selectivity-driven planning,
+//! * [`SegmentIndexSet`] — the cold-start form: documents page in from a
+//!   durable segment ([`DocPager`]) on demand instead of being recomputed
+//!   from raw sequences at open.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bplus;
+pub mod cold;
 pub mod cow;
 pub mod index_set;
 pub mod inverted;
@@ -26,6 +30,7 @@ pub mod pattern_index;
 pub mod stats;
 
 pub use bplus::BPlusTree;
+pub use cold::{DocPager, OwnedDoc, SegmentIndexSet};
 pub use cow::ShardedCowMap;
 pub use index_set::{IndexDoc, IndexSet, IndexSetProbe, SequenceIndex};
 pub use inverted::{InvertedIndex, Posting};

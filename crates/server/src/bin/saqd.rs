@@ -11,9 +11,12 @@
 //!
 //! Flags: `--addr HOST:PORT` (default 127.0.0.1:4747, port 0 picks a free
 //! one), `--sequences N` corpus size (default 64), `--max-wave N` and
-//! `--window-ms MS` coalescing knobs, `--workers N` engine pool size.
+//! `--window-ms MS` coalescing knobs, `--workers N` engine pool size,
+//! `--data-dir PATH` durable storage (WAL + segments; the demo corpus is
+//! seeded only into an *empty* directory — a restart recovers whatever
+//! the last run stored instead).
 
-use saq_archive::{ArchiveStore, Medium};
+use saq_archive::{ArchiveStore, DurabilityConfig, Medium};
 use saq_engine::EngineConfig;
 use saq_sequence::generators::{goalpost, peaks, random_walk, GoalpostSpec, PeaksSpec};
 use saq_server::{Saqd, SaqdConfig};
@@ -22,6 +25,7 @@ use std::time::Duration;
 fn main() {
     let mut config = SaqdConfig { addr: "127.0.0.1:4747".into(), ..SaqdConfig::default() };
     let mut sequences = 64u64;
+    let mut data_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -32,6 +36,7 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => config.addr = value(),
+            "--data-dir" => data_dir = Some(value().into()),
             "--sequences" => sequences = parse(&flag, &value()),
             "--max-wave" => config.max_wave = parse(&flag, &value()),
             "--window-ms" => config.wave_window = Duration::from_millis(parse(&flag, &value())),
@@ -40,8 +45,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: saqd [--addr HOST:PORT] [--sequences N] [--max-wave N] \
-                     [--window-ms MS] [--workers N]"
+                    "usage: saqd [--addr HOST:PORT] [--data-dir PATH] [--sequences N] \
+                     [--max-wave N] [--window-ms MS] [--workers N]"
                 );
                 return;
             }
@@ -52,8 +57,25 @@ fn main() {
         }
     }
 
-    let mut archive = ArchiveStore::new(Medium::memory());
-    for i in 0..sequences {
+    let mut archive = match &data_dir {
+        Some(dir) => {
+            match ArchiveStore::open(dir.clone(), Medium::memory(), DurabilityConfig::default()) {
+                Ok(archive) => archive,
+                Err(e) => {
+                    eprintln!("saqd failed to open {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => ArchiveStore::new(Medium::memory()),
+    };
+    let recovered = archive.ids().len() as u64;
+    if recovered > 0 {
+        // A restart serves what the last run stored; never overwrite it
+        // with demo data.
+        sequences = recovered;
+    }
+    for i in 0..if recovered > 0 { 0 } else { sequences } {
         let seq = match i % 4 {
             0 => goalpost(GoalpostSpec { seed: i, noise: 0.12, ..GoalpostSpec::default() }),
             1 => peaks(PeaksSpec {
@@ -83,8 +105,13 @@ fn main() {
         }
     };
     println!(
-        "saqd listening on {} — {sequences} sequences, waves ≤ {max_wave} within {:?}",
+        "saqd listening on {} — {sequences} sequences{}, waves ≤ {max_wave} within {:?}",
         server.addr(),
+        match (&data_dir, recovered) {
+            (Some(dir), 0) => format!(" (seeded into {})", dir.display()),
+            (Some(dir), _) => format!(" (recovered from {})", dir.display()),
+            (None, _) => String::new(),
+        },
         window
     );
     println!("connect with: cargo run --example saql_repl -- --connect {}", server.addr());

@@ -19,7 +19,8 @@
 //! | [`core`] | `saq-core` | breaking, representation, features, queries, query algebra + planner |
 //! | [`ecg`] | `saq-ecg` | ECG synthesis and R–R interval workloads |
 //! | [`baseline`] | `saq-baseline` | value-band and DFT/F-index comparators |
-//! | [`archive`] | `saq-archive` | simulated archival storage tiers |
+//! | [`durable`] | `saq-durable` | write-ahead log + immutable B-tree segments behind a `Backend` trait |
+//! | [`archive`] | `saq-archive` | simulated archival storage tiers, durably backed |
 //! | [`engine`] | `saq-engine` | sharded parallel batch queries over the archive |
 //! | [`server`] | `saq-server` | `saqd`: networked SAQL service with batch coalescing |
 //!
@@ -50,6 +51,7 @@ pub use saq_archive as archive;
 pub use saq_baseline as baseline;
 pub use saq_core as core;
 pub use saq_curves as curves;
+pub use saq_durable as durable;
 pub use saq_ecg as ecg;
 pub use saq_engine as engine;
 pub use saq_index as index;

@@ -1,0 +1,283 @@
+//! Crash-consistency of the durable archive: the kill-point harness.
+//!
+//! A mutation script runs against a durable archive on a
+//! [`MemoryBackend`]; the test then simulates every crash the storage
+//! contract promises to survive — the write-ahead log truncated at
+//! **every record boundary**, torn mid-record, and corrupted by a bit
+//! flip at random offsets — by forking the backend's bytes and
+//! reopening. Every reopen must recover a **consistent prefix**: the
+//! exact archive contents at the generation of the last surviving WAL
+//! record (or the compaction base when nothing survives), never a blend,
+//! never a torn value. A second reopen of the same bytes must agree with
+//! the first (recovery truncates the damaged tail, so it is idempotent).
+//!
+//! `SAQ_PROP_DURABLE_CASES` raises the proptest case count (the CI
+//! durability-stress job sets it).
+
+mod common;
+
+use common::mixed_sequence;
+use proptest::prelude::*;
+use saq::archive::{ArchiveScanEngine, ArchiveStore, DurabilityConfig, Medium};
+use saq::core::algebra::{QueryEngine as _, QueryExpr};
+use saq::core::store::StoreConfig;
+use saq::durable::wal::{read_wal_bytes, WAL_KEY};
+use saq::durable::{Backend, MemoryBackend};
+use saq::engine::{EngineConfig, QueryEngine as ShardedEngine};
+use saq::sequence::Point;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One scripted mutation against the durable archive.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Put { kind: u64, seed: u64, id: u64 },
+    Remove { id: u64 },
+    Wildcard,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Two put arms bias the unweighted union toward puts.
+    prop_oneof![
+        (0u64..4, 0u64..1000, 0u64..10).prop_map(|(kind, seed, id)| Op::Put { kind, seed, id }),
+        (0u64..4, 500u64..1500, 0u64..10).prop_map(|(kind, seed, id)| Op::Put { kind, seed, id }),
+        (0u64..10).prop_map(|id| Op::Remove { id }),
+        Just(Op::Wildcard),
+        Just(Op::Compact),
+    ]
+}
+
+/// The oracle: archive contents (as raw points) after each generation,
+/// plus the base generation of the last compaction.
+struct Oracle {
+    /// `states[g]` = contents at generation `g` (index 0 = empty).
+    states: Vec<BTreeMap<u64, Vec<Point>>>,
+    base_generation: u64,
+}
+
+/// Runs `ops` through a durable archive (manual compaction only) while
+/// recording the oracle state at every generation.
+fn run_script(ops: &[Op]) -> (ArchiveStore, Arc<MemoryBackend>, Oracle) {
+    let backend = Arc::new(MemoryBackend::new());
+    let config = DurabilityConfig { compact_after: 0, index_docs: None };
+    let mut archive =
+        ArchiveStore::open_backend(backend.clone() as Arc<dyn Backend>, Medium::memory(), config)
+            .unwrap();
+    let mut oracle =
+        Oracle { states: vec![BTreeMap::new()], base_generation: archive.generation() };
+    for &op in ops {
+        let mut next = oracle.states.last().unwrap().clone();
+        match op {
+            Op::Put { kind, seed, id } => {
+                let seq = mixed_sequence(kind, seed);
+                next.insert(id, seq.points().to_vec());
+                archive.put(id, seq);
+            }
+            Op::Remove { id } => {
+                next.remove(&id);
+                archive.remove(id);
+            }
+            Op::Wildcard => archive.mark_all_changed(),
+            Op::Compact => {
+                archive.compact().unwrap();
+                oracle.base_generation = archive.generation();
+                continue; // not a mutation: no generation bump
+            }
+        }
+        oracle.states.push(next);
+        assert_eq!(archive.generation() as usize + 1, oracle.states.len());
+    }
+    (archive, backend, oracle)
+}
+
+/// Reopens `backend` and asserts the recovered archive is exactly the
+/// oracle state at `expect_generation`.
+fn assert_recovers_to(backend: Arc<MemoryBackend>, oracle: &Oracle, expect_generation: u64) {
+    let reopened = ArchiveStore::open_backend(
+        backend.clone() as Arc<dyn Backend>,
+        Medium::memory(),
+        DurabilityConfig { compact_after: 0, index_docs: None },
+    )
+    .unwrap();
+    let expected = &oracle.states[expect_generation as usize];
+    assert_eq!(
+        reopened.generation(),
+        expect_generation,
+        "recovery must land on the last surviving record's generation"
+    );
+    let ids: Vec<u64> = expected.keys().copied().collect();
+    assert_eq!(reopened.ids(), ids, "recovered id set is the consistent prefix's");
+    let snapshot = reopened.snapshot();
+    for (id, points) in expected {
+        let (seq, _) = snapshot.fetch(*id).expect("recovered id fetches");
+        assert_eq!(seq.points(), points.as_slice(), "id {id} recovered bit-exactly");
+    }
+    drop(reopened);
+
+    // Recovery truncated the damage, so a second recovery of the same
+    // bytes sees a clean log and lands in the same place.
+    let again = ArchiveStore::open_backend(
+        backend as Arc<dyn Backend>,
+        Medium::memory(),
+        DurabilityConfig { compact_after: 0, index_docs: None },
+    )
+    .unwrap();
+    assert_eq!(again.generation(), expect_generation, "recovery is idempotent");
+    assert_eq!(again.ids(), ids);
+}
+
+/// The generation recovery must land on when the log is cut at byte
+/// `cut`: the last record wholly inside the prefix, else the base.
+fn generation_at_cut(ends: &[u64], generations: &[u64], base: u64, cut: u64) -> u64 {
+    ends.iter()
+        .zip(generations)
+        .filter(|(end, _)| **end <= cut)
+        .map(|(_, g)| *g)
+        .next_back()
+        .unwrap_or(base)
+}
+
+/// Exhaustive kill points on a fixed script: truncation at every record
+/// boundary, one byte short of every boundary (torn), and one byte into
+/// every record — plus a corrupting flip inside every record.
+#[test]
+fn every_wal_boundary_recovers_a_consistent_prefix() {
+    let ops: Vec<Op> = (0..7)
+        .map(|i| match i {
+            3 => Op::Remove { id: 1 },
+            5 => Op::Wildcard,
+            _ => Op::Put { kind: i, seed: 31 * i + 7, id: i % 4 },
+        })
+        .collect();
+    let (archive, backend, oracle) = run_script(&ops);
+    drop(archive);
+
+    let wal = backend.get(WAL_KEY).unwrap().unwrap_or_default();
+    let readback = read_wal_bytes(&wal);
+    assert!(!readback.tail_discarded, "the live log is clean");
+    assert_eq!(readback.records.len(), ops.len(), "one record per mutation");
+    let generations: Vec<u64> = readback.records.iter().map(|r| r.generation).collect();
+
+    let mut boundaries: Vec<u64> = vec![0];
+    boundaries.extend(&readback.ends);
+    for &cut in &boundaries {
+        // A crash that lost everything past this boundary.
+        let fork = Arc::new(backend.fork());
+        fork.truncate(WAL_KEY, cut).unwrap();
+        let expect = generation_at_cut(&readback.ends, &generations, oracle.base_generation, cut);
+        assert_recovers_to(fork, &oracle, expect);
+
+        for torn in [cut.saturating_sub(1), cut + 1] {
+            if torn == 0 || torn >= wal.len() as u64 {
+                continue;
+            }
+            // A crash mid-record: the torn record is discarded whole.
+            let fork = Arc::new(backend.fork());
+            fork.truncate(WAL_KEY, torn).unwrap();
+            let expect =
+                generation_at_cut(&readback.ends, &generations, oracle.base_generation, torn);
+            assert_recovers_to(fork, &oracle, expect);
+        }
+    }
+
+    // A flipped byte anywhere in a record kills that record and its
+    // suffix, keeping the records before it.
+    for (i, &end) in readback.ends.iter().enumerate() {
+        let start = if i == 0 { 0 } else { readback.ends[i - 1] };
+        for offset in [start, (start + end) / 2, end - 1] {
+            let fork = Arc::new(backend.fork());
+            fork.poke(WAL_KEY, offset, wal[offset as usize] ^ 0x5A);
+            let expect = if i == 0 { oracle.base_generation } else { generations[i - 1] };
+            assert_recovers_to(fork, &oracle, expect);
+        }
+    }
+}
+
+/// Reopening a compacted store reproduces byte-identical query results
+/// at the same pinned generation across the scan and sharded engines.
+#[test]
+fn reopened_store_answers_queries_byte_identically() {
+    let ops: Vec<Op> = (0..9)
+        .map(|i| Op::Put { kind: i, seed: 100 + i, id: i })
+        .chain([Op::Compact, Op::Put { kind: 1, seed: 999, id: 2 }])
+        .collect();
+    let (archive, backend, _) = run_script(&ops);
+    let exprs = [
+        QueryExpr::shape(common::GOALPOST),
+        QueryExpr::peak_count(2, 1).or(QueryExpr::peak_interval(10, 3)),
+        QueryExpr::min_steepness(0.6, 0.2).and(QueryExpr::id_range(0, 6)),
+    ];
+    let pinned = (archive.instance_id(), archive.generation());
+    let reference: Vec<_> = {
+        let scan = ArchiveScanEngine::new(&archive, StoreConfig::default());
+        exprs.iter().map(|e| scan.execute(e).unwrap()).collect()
+    };
+    drop(archive);
+
+    let reopened = ArchiveStore::open_backend(
+        backend as Arc<dyn Backend>,
+        Medium::memory(),
+        DurabilityConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        (reopened.instance_id(), reopened.generation()),
+        pinned,
+        "recovery reproduces the exact pre-shutdown stamp"
+    );
+    let scan = ArchiveScanEngine::new(&reopened, StoreConfig::default());
+    let sharded = ShardedEngine::new(EngineConfig::default()).unwrap();
+    let bound = sharded.bind(&reopened);
+    for (expr, expected) in exprs.iter().zip(&reference) {
+        assert_eq!(&scan.execute(expr).unwrap(), expected, "scan engine differs after reopen");
+        assert_eq!(&bound.execute(expr).unwrap(), expected, "sharded engine differs after reopen");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        env_usize("SAQ_PROP_DURABLE_CASES", 8) as u32
+    ))]
+
+    /// Random scripts (with interleaved compactions), random crash
+    /// offsets: recovery is always the consistent prefix the surviving
+    /// log bytes name, for truncation and for corruption alike.
+    #[test]
+    fn random_crashes_recover_consistent_prefixes(
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+        cuts in proptest::collection::vec((0u64..u64::MAX, 0u8..2), 1..8),
+    ) {
+        let (archive, backend, oracle) = run_script(&ops);
+        drop(archive);
+        let wal = backend.get(WAL_KEY).unwrap().unwrap_or_default();
+        let readback = read_wal_bytes(&wal);
+        let generations: Vec<u64> = readback.records.iter().map(|r| r.generation).collect();
+
+        for &(raw, corrupt) in &cuts {
+            if wal.is_empty() {
+                break;
+            }
+            let offset = raw % wal.len() as u64;
+            let fork = Arc::new(backend.fork());
+            let expect = if corrupt == 1 {
+                // Flip a byte: the record containing `offset` dies.
+                fork.poke(WAL_KEY, offset, wal[offset as usize] ^ 0x5A);
+                let survivors = readback.ends.iter().filter(|end| **end <= offset).count();
+                if survivors == 0 {
+                    oracle.base_generation
+                } else {
+                    generations[survivors - 1]
+                }
+            } else {
+                fork.truncate(WAL_KEY, offset).unwrap();
+                generation_at_cut(&readback.ends, &generations, oracle.base_generation, offset)
+            };
+            assert_recovers_to(fork, &oracle, expect);
+        }
+    }
+}
