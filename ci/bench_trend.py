@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Bench-trend gate: diff a freshly generated bench_harness snapshot
+against the checked-in previous one and fail on a >25% regression in
+WAL replay throughput (per corpus size) or any kernel's measured
+speedup over its scalar baseline. Sections missing from the previous
+snapshot (older schema) are skipped, so the gate tightens as the
+trajectory grows. Set SAQ_BENCH_ALLOW_REGRESSION=1 to record a known
+slowdown instead of failing (e.g. a deliberate trade-off, or a noisy
+shared runner).
+
+Usage: bench_trend.py <previous.json> <fresh.json>
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 0.25
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    prev_path, now_path = sys.argv[1], sys.argv[2]
+    with open(prev_path) as f:
+        prev = json.load(f)
+    with open(now_path) as f:
+        now = json.load(f)
+
+    failures = []
+
+    prev_recovery = {r["sequences"]: r for r in prev.get("recovery", [])}
+    for r in now.get("recovery", []):
+        p = prev_recovery.get(r["sequences"])
+        if p is None:
+            continue
+        old, new = p["replay_records_per_sec"], r["replay_records_per_sec"]
+        if new < old * (1 - TOLERANCE):
+            failures.append(
+                f"replay_records_per_sec (n={r['sequences']}): {old:.0f} -> {new:.0f} rec/s"
+            )
+
+    prev_kernels = {k["name"]: k for k in prev.get("kernels", [])}
+    for k in now.get("kernels", []):
+        p = prev_kernels.get(k["name"])
+        if p is None:
+            continue
+        if k["speedup"] < p["speedup"] * (1 - TOLERANCE):
+            failures.append(
+                f"kernel {k['name']}: speedup {p['speedup']:.2f}x -> {k['speedup']:.2f}x"
+            )
+
+    if failures:
+        print(f"bench-trend regressions (>{TOLERANCE:.0%} vs {prev_path}):")
+        for f in failures:
+            print(f"  {f}")
+        if os.environ.get("SAQ_BENCH_ALLOW_REGRESSION") == "1":
+            print("SAQ_BENCH_ALLOW_REGRESSION=1 set; recording the regression and continuing")
+            return 0
+        print("set SAQ_BENCH_ALLOW_REGRESSION=1 to override a known slowdown")
+        return 1
+
+    print(f"bench-trend: no regressions vs {prev_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -361,6 +361,69 @@ impl ArchiveStore {
         })
     }
 
+    /// Archives a batch of sequences under a single lock acquisition.
+    /// On a durable archive the whole group is written ahead as one
+    /// framed append — one fsync covers the batch (group commit) —
+    /// before any in-memory state changes. Each record still consumes
+    /// its own generation and is logged individually, so
+    /// [`ArchiveStore::changed_since`] deltas stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ArchiveStore::put`], panics if the write-ahead append
+    /// fails; [`ArchiveStore::try_put_batch`] is the fallible form.
+    pub fn put_batch(&mut self, items: Vec<(u64, Sequence)>) {
+        self.try_put_batch(items).expect("durable archive write failed");
+    }
+
+    /// As [`ArchiveStore::put_batch`], surfacing storage failures. A
+    /// failed group append leaves the in-memory state untouched — none
+    /// of the batch is applied.
+    pub fn try_put_batch(&mut self, items: Vec<(u64, Sequence)>) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        // Same locking order as `mutate` and `compact`: durable handle
+        // first, then the archive state lock.
+        let durable = self.shared.durable.clone();
+        let mut wal = durable.as_ref().map(|d| d.store.lock());
+        let mut state = self.shared.state.write();
+        let base = state.generation;
+        if let Some(wal) = wal.as_mut() {
+            let records: Vec<WalRecord> = items
+                .iter()
+                .zip(1u64..)
+                .map(|((id, seq), off)| WalRecord {
+                    generation: base + off,
+                    op: durability::wal_op(Some(*id), Some(seq)),
+                })
+                .collect();
+            wal.append_batch(&records).map_err(saq_core::Error::from)?;
+        }
+        if let Some(durable) = &durable {
+            for (id, _) in &items {
+                durable.mark(Some(*id));
+            }
+        }
+        let generation = base + items.len() as u64;
+        let mut sequences = state.sequences.clone();
+        {
+            let mut log = self.shared.log.lock();
+            for (off, (id, seq)) in (1u64..).zip(items) {
+                log.record(base + off, Some(id));
+                sequences.insert(id, seq);
+            }
+        }
+        *state = Arc::new(ArchiveState { generation, sequences, ids: OnceLock::new() });
+        drop(state);
+        let compact_now = wal.as_ref().is_some_and(|w| w.should_compact());
+        drop(wal);
+        if compact_now {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
     /// Removes an archived sequence (a tracked mutation, like
     /// [`ArchiveStore::put`]); returns it if it was present. Snapshots
     /// captured earlier still see it.
@@ -1078,6 +1141,40 @@ mod tests {
         assert_eq!(a.changed_since(5), Some(vec![4, 5]));
         // A fresh in-memory archive can never reuse the recovered instance.
         assert_ne!(ArchiveStore::new(Medium::memory()).instance_id(), instance);
+    }
+
+    #[test]
+    fn put_batch_group_commits_with_exact_generations() {
+        let backend: Arc<dyn saq_durable::Backend> = Arc::new(saq_durable::MemoryBackend::new());
+        let mut a = ArchiveStore::open_backend(
+            Arc::clone(&backend),
+            Medium::memory(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        a.put(0, goalpost(GoalpostSpec::default()));
+        let g = a.generation();
+        let batch: Vec<(u64, Sequence)> = (1..5u64)
+            .map(|i| (i, goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() })))
+            .collect();
+        a.put_batch(batch);
+        a.put_batch(Vec::new());
+        assert_eq!(a.generation(), g + 4, "one generation per batched record");
+        assert_eq!(a.wal_records(), 5);
+        assert_eq!(a.changed_since(g), Some(vec![1, 2, 3, 4]), "deltas stay exact");
+        assert_eq!(a.ids(), vec![0, 1, 2, 3, 4]);
+
+        // Recovery replays the group exactly as individual appends would.
+        drop(a);
+        let a = ArchiveStore::open_backend(backend, Medium::memory(), DurabilityConfig::default())
+            .unwrap();
+        assert_eq!(a.generation(), g + 4);
+        assert_eq!(a.ids(), vec![0, 1, 2, 3, 4]);
+        for i in 1..5u64 {
+            let expect = goalpost(GoalpostSpec { seed: i, ..GoalpostSpec::default() });
+            assert_eq!(a.get(i).unwrap().points(), expect.points(), "sequence {i} bit-exact");
+        }
+        assert_eq!(a.changed_since(g), Some(vec![1, 2, 3, 4]));
     }
 
     #[test]

@@ -45,16 +45,24 @@ impl Complex {
 }
 
 /// Naive DFT: `X[k] = Σ_j x[j]·e^{-2πi jk/n}`. Any length.
+///
+/// The twiddle factors `e^{-2πi m/n}` take only `n` distinct values
+/// (`jk mod n` indexes them), so they are tabulated once up front — the
+/// inner loop is then a branch-free multiply-accumulate over the table
+/// instead of an `O(n²)` stream of `sin`/`cos` calls.
 pub fn naive_dft(x: &[f64]) -> Vec<Complex> {
     let n = x.len();
+    let twiddle: Vec<Complex> =
+        (0..n).map(|m| Complex::from_angle(-std::f64::consts::TAU * m as f64 / n as f64)).collect();
     let mut out = Vec::with_capacity(n);
     for k in 0..n {
-        let mut acc = Complex::default();
+        let (mut re, mut im) = (0.0f64, 0.0f64);
         for (j, &v) in x.iter().enumerate() {
-            let theta = -std::f64::consts::TAU * (j * k) as f64 / n as f64;
-            acc = acc.add(Complex::from_angle(theta).mul(Complex::new(v, 0.0)));
+            let w = twiddle[(j * k) % n];
+            re += v * w.re;
+            im += v * w.im;
         }
-        out.push(acc);
+        out.push(Complex::new(re, im));
     }
     out
 }
@@ -76,19 +84,25 @@ pub fn fft(x: &[f64]) -> Vec<Complex> {
             data.swap(i, j);
         }
     }
-    // Butterflies.
+    // Butterflies. The half-size root table is computed once per stage
+    // (`log n` tables totalling `n-1` entries), replacing the serial
+    // `w = w·w_len` recurrence: the inner loop loses its cross-iteration
+    // dependency — free to pipeline and vectorize — and each twiddle
+    // comes straight from `sin`/`cos` instead of `len/2` accumulated
+    // rounding steps.
+    let mut roots = Vec::with_capacity(n / 2);
     let mut len = 2;
     while len <= n {
         let ang = -std::f64::consts::TAU / len as f64;
-        let wlen = Complex::from_angle(ang);
+        roots.clear();
+        roots.extend((0..len / 2).map(|m| Complex::from_angle(ang * m as f64)));
         for start in (0..n).step_by(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            for off in 0..len / 2 {
-                let a = data[start + off];
-                let b = data[start + off + len / 2].mul(w);
-                data[start + off] = a.add(b);
-                data[start + off + len / 2] = a.sub(b);
-                w = w.mul(wlen);
+            let (lo, hi) = data[start..start + len].split_at_mut(len / 2);
+            for ((a, b), w) in lo.iter_mut().zip(hi.iter_mut()).zip(&roots) {
+                let t = b.mul(*w);
+                let u = *a;
+                *a = u.add(t);
+                *b = u.sub(t);
             }
         }
         len *= 2;

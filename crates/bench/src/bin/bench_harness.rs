@@ -10,6 +10,8 @@
 //! records the recovery measurements). `SAQ_BENCH_DATE=YYYY-MM-DD` pins
 //! the file name and stamp for reproducible output.
 
+use saq_bench::kernels::measure_kernels;
+use saq_bench::planner::measure_adaptive;
 use saq_bench::recovery::{bench_date, measure_recovery};
 use saq_bench::{env_usize, fnum};
 use std::fmt::Write as _;
@@ -37,17 +39,59 @@ fn main() {
             fnum(r.replay_records_per_sec),
             r.point_lookup_pages
         );
+        println!(
+            "  ingest n={n}: {} rec/s per-record, {} rec/s group-commit",
+            fnum(r.put_records_per_sec),
+            fnum(r.group_commit_records_per_sec)
+        );
         recovery_json.push(format!(
             "    {{\"sequences\": {}, \"wal_bytes\": {}, \"cold_open_seconds\": {:.6}, \
              \"warm_open_seconds\": {:.6}, \"replay_records_per_sec\": {:.1}, \
-             \"replay_mib_per_sec\": {:.3}, \"point_lookup_pages\": {}}}",
+             \"replay_mib_per_sec\": {:.3}, \"point_lookup_pages\": {}, \
+             \"put_records_per_sec\": {:.1}, \"group_commit_records_per_sec\": {:.1}}}",
             r.sequences,
             r.wal_bytes,
             r.cold_open_seconds,
             r.warm_open_seconds,
             r.replay_records_per_sec,
             r.replay_mib_per_sec,
-            r.point_lookup_pages
+            r.point_lookup_pages,
+            r.put_records_per_sec,
+            r.group_commit_records_per_sec
+        ));
+    }
+
+    // Mid-batch re-planning: adaptive vs static full-sequence
+    // evaluation counts on the misranked ward.
+    let planner = measure_adaptive(env_usize("SAQ_EXP_SEQUENCES", 600).max(40), 16);
+    println!(
+        "planner: static {} evals, adaptive {} evals ({:.2}x win)",
+        planner.static_entry_evals, planner.adaptive_entry_evals, planner.speedup
+    );
+    let planner_json = format!(
+        "    {{\"sequences\": {}, \"shards\": {}, \"static_entry_evals\": {}, \
+         \"adaptive_entry_evals\": {}, \"speedup\": {:.3}}}",
+        planner.sequences,
+        planner.shards,
+        planner.static_entry_evals,
+        planner.adaptive_entry_evals,
+        planner.speedup
+    );
+
+    // Columnar kernels vs their scalar formulations.
+    let mut kernels_json = Vec::new();
+    for k in measure_kernels(rounds) {
+        println!(
+            "kernel {}: scalar {}s, kernel {}s ({:.2}x)",
+            k.name,
+            fnum(k.scalar_seconds),
+            fnum(k.kernel_seconds),
+            k.speedup
+        );
+        kernels_json.push(format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"scalar_seconds\": {:.6}, \
+             \"kernel_seconds\": {:.6}, \"speedup\": {:.3}}}",
+            k.name, k.n, k.scalar_seconds, k.kernel_seconds, k.speedup
         ));
     }
 
@@ -92,6 +136,12 @@ fn main() {
     writeln!(json, "  \"version\": 1,").unwrap();
     writeln!(json, "  \"recovery\": [").unwrap();
     writeln!(json, "{}", recovery_json.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"planner\": [").unwrap();
+    writeln!(json, "{planner_json}").unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"kernels\": [").unwrap();
+    writeln!(json, "{}", kernels_json.join(",\n")).unwrap();
     writeln!(json, "  ],").unwrap();
     writeln!(json, "  \"experiments\": [").unwrap();
     let rows: Vec<String> = experiments

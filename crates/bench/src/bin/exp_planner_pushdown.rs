@@ -79,7 +79,7 @@ fn main() {
 
     println!("plan      | entry scans | index leaves | scan leaves | exact | approx");
     for (name, stats, out) in
-        [("pushdown", pushdown, &pushdown_out), ("scan-only", scan, &scan_out)]
+        [("pushdown", &pushdown, &pushdown_out), ("scan-only", &scan, &scan_out)]
     {
         println!(
             "{name:<9} | {:>11} | {:>12} | {:>11} | {:>5} | {:>6}",

@@ -95,7 +95,7 @@ fn main() {
     assert_eq!(cost_out, static_out, "ordering must not change results");
 
     println!("plan         | entry evals | exact | approx");
-    for (name, stats, out) in [("cost-ordered", cost, &cost_out), ("static", stat, &static_out)] {
+    for (name, stats, out) in [("cost-ordered", &cost, &cost_out), ("static", &stat, &static_out)] {
         println!(
             "{name:<12} | {:>11} | {:>5} | {:>6}",
             stats.entries_scanned,

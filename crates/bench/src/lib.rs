@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod kernels;
+pub mod planner;
 pub mod recovery;
 
 use saq_sequence::Sequence;

@@ -31,7 +31,16 @@ pub struct RecoveryReport {
     pub point_lookup_pages: u64,
     /// Cold documents available after the warm open (all of them).
     pub cold_docs: usize,
+    /// Ingest throughput with one WAL append (one fsync on file
+    /// backends) per record.
+    pub put_records_per_sec: f64,
+    /// Ingest throughput with `put_batch` group commit: one framed
+    /// append per batch of [`GROUP_COMMIT_BATCH`].
+    pub group_commit_records_per_sec: f64,
 }
+
+/// Records per group in the group-commit ingest measurement.
+pub const GROUP_COMMIT_BATCH: usize = 64;
 
 /// Times `f` over `rounds` runs and returns the best (the criterion
 /// stand-in discipline: minimum over repeats suppresses scheduler noise).
@@ -100,6 +109,36 @@ pub fn measure_recovery(sequences: usize, rounds: usize) -> RecoveryReport {
         (cold.pages_read() - before, cold.ids().len())
     });
 
+    // Ingest throughput: record-at-a-time puts vs group commit, each
+    // into a fresh backend so WAL length starts equal. The corpus is
+    // pre-generated — the clock sees only the write path.
+    let corpus: Vec<(u64, saq_sequence::Sequence)> = (0..sequences as u64)
+        .map(|id| (id, goalpost(GoalpostSpec { seed: id, noise: 0.1, ..Default::default() })))
+        .collect();
+    let ingest_config = DurabilityConfig { compact_after: 0, index_docs: None };
+    let fresh = |config: &DurabilityConfig| {
+        ArchiveStore::open_backend(
+            Arc::new(MemoryBackend::new()) as Arc<dyn Backend>,
+            Medium::memory(),
+            config.clone(),
+        )
+        .expect("fresh backend opens")
+    };
+    let (put_seconds, _) = best_of(rounds, || {
+        let mut archive = fresh(&ingest_config);
+        for (id, seq) in &corpus {
+            archive.put(*id, seq.clone());
+        }
+        archive.generation()
+    });
+    let (batch_seconds, _) = best_of(rounds, || {
+        let mut archive = fresh(&ingest_config);
+        for chunk in corpus.chunks(GROUP_COMMIT_BATCH) {
+            archive.put_batch(chunk.to_vec());
+        }
+        archive.generation()
+    });
+
     let replay = cold_open_seconds.max(1e-9);
     RecoveryReport {
         sequences,
@@ -110,6 +149,8 @@ pub fn measure_recovery(sequences: usize, rounds: usize) -> RecoveryReport {
         replay_mib_per_sec: wal_bytes as f64 / (1024.0 * 1024.0) / replay,
         point_lookup_pages,
         cold_docs,
+        put_records_per_sec: sequences as f64 / put_seconds.max(1e-9),
+        group_commit_records_per_sec: sequences as f64 / batch_seconds.max(1e-9),
     }
 }
 
@@ -162,5 +203,7 @@ mod tests {
         assert!(report.cold_open_seconds > 0.0 && report.warm_open_seconds > 0.0);
         assert_eq!(report.cold_docs, 8);
         assert!(report.point_lookup_pages >= 1);
+        assert!(report.put_records_per_sec > 0.0);
+        assert!(report.group_commit_records_per_sec > 0.0);
     }
 }

@@ -593,6 +593,50 @@ pub struct PlanStats {
     pub id_span: Option<(u64, u64)>,
     /// Index statistics, when the backend maintains indexes.
     pub index: Option<saq_index::IndexStats>,
+    /// Cardinalities observed by past executions, keyed by predicate
+    /// shape ([`pred_shape_key`]). [`PlanStats::estimate_leaf`] consults
+    /// this first, so a refined planner orders conjunctions by what
+    /// execution actually saw instead of the static index estimates.
+    pub observed: std::collections::BTreeMap<String, u64>,
+}
+
+/// The adaptive planner's key for one predicate: two leaves share a key
+/// exactly when they test the same thing, so an observed cardinality
+/// recorded for one applies to the other. Float parameters key by their
+/// bit pattern; value-band centers by their sample count and endpoint
+/// bits (cheap, and distinct centers of equal length are rare enough
+/// that a collision only costs a misordered conjunction, never a wrong
+/// result).
+pub fn pred_shape_key(pred: &Pred) -> String {
+    match pred {
+        Pred::Feature(QuerySpec::Shape { pattern }) => format!("shape:{pattern}"),
+        Pred::Feature(QuerySpec::PeakCount { count, tolerance }) => {
+            format!("peaks:{count}:{tolerance}")
+        }
+        Pred::Feature(QuerySpec::PeakInterval { interval, epsilon }) => {
+            format!("interval:{interval}:{epsilon}")
+        }
+        Pred::Feature(QuerySpec::MinPeakSteepness { steepness, slack }) => {
+            format!("steep-all:{:016x}:{:016x}", steepness.to_bits(), slack.to_bits())
+        }
+        Pred::Feature(QuerySpec::HasSteepPeak { steepness, slack }) => {
+            format!("steep-any:{:016x}:{:016x}", steepness.to_bits(), slack.to_bits())
+        }
+        Pred::ValueBand { query, delta, slack } => {
+            let points = query.points();
+            let (first, last) = match (points.first(), points.last()) {
+                (Some(a), Some(b)) => (a.v.to_bits(), b.v.to_bits()),
+                _ => (0, 0),
+            };
+            format!(
+                "band:{}:{:016x}:{:016x}:{first:016x}:{last:016x}",
+                points.len(),
+                delta.to_bits(),
+                slack.to_bits()
+            )
+        }
+        Pred::IdRange { lo, hi } => format!("id:{lo}:{hi}"),
+    }
 }
 
 impl PlanStats {
@@ -603,6 +647,7 @@ impl PlanStats {
             universe: ids.len() as u64,
             id_span: ids.first().copied().zip(ids.last().copied()),
             index: Some(store.index_stats()),
+            observed: Default::default(),
         }
     }
 
@@ -614,12 +659,59 @@ impl PlanStats {
             universe: ids.len() as u64,
             id_span: ids.first().copied().zip(ids.last().copied()),
             index: Some(snap.index_stats()),
+            observed: Default::default(),
         }
     }
 
+    /// Records one observed cardinality for a predicate shape. Future
+    /// [`PlanStats::estimate_leaf`] calls for an identically shaped
+    /// predicate return it instead of the static index estimate.
+    pub fn observe(&mut self, pred: &Pred, count: u64) {
+        self.observed.insert(pred_shape_key(pred), count);
+    }
+
+    /// Folds one execution's per-leaf observed cardinalities
+    /// ([`ExecStats::observed`]) back into these statistics, keyed by
+    /// predicate shape, overwriting the static estimates. Re-planning
+    /// with the refined statistics is ordering-only: estimates steer
+    /// conjunction evaluation order, never results. Returns how many
+    /// leaves contributed an observation.
+    pub fn refine(&mut self, stats: &ExecStats, plan: &PhysicalPlan) -> usize {
+        let mut refined = 0;
+        for leaf in plan.leaves() {
+            let PlanNode::Leaf { ix, pred, .. } = leaf else { continue };
+            if let Some(count) = stats.observed_for(*ix) {
+                self.observe(pred.pred(), count);
+                refined += 1;
+            }
+        }
+        refined
+    }
+
+    /// Whether any evaluated leaf's observed cardinality diverges from
+    /// its estimate by more than `factor` (both sides smoothed by +1, so
+    /// a zero estimate against a handful of observed matches counts as
+    /// divergence and vice versa). Leaves without estimates diverge when
+    /// their observation differs from the pessimistic assumption (the
+    /// whole universe) by the factor — an unestimated leaf that turns
+    /// out highly selective is exactly the signal worth re-planning on.
+    pub fn diverged(&self, stats: &ExecStats, plan: &PhysicalPlan, factor: f64) -> bool {
+        plan.leaves().iter().any(|leaf| {
+            let PlanNode::Leaf { ix, est, .. } = leaf else { return false };
+            let Some(observed) = stats.observed_for(*ix) else { return false };
+            let expected = est.unwrap_or(self.universe);
+            let (hi, lo) = (expected.max(observed) + 1, expected.min(observed) + 1);
+            hi as f64 > factor * lo as f64
+        })
+    }
+
     /// Estimated number of matching sequences for one leaf, `None` when no
-    /// statistic covers the predicate (steepness and value-band leaves).
+    /// statistic covers the predicate (steepness and value-band leaves
+    /// without a recorded observation).
     pub fn estimate_leaf(&self, pred: &PreparedPred) -> Option<u64> {
+        if let Some(&observed) = self.observed.get(&pred_shape_key(pred.pred())) {
+            return Some(observed);
+        }
         match pred.pred() {
             Pred::IdRange { lo, hi } => {
                 let (slo, shi) = self.id_span?;
@@ -738,6 +830,15 @@ impl PhysicalPlan {
 
     /// A human-readable rendering of the plan tree.
     pub fn explain(&self) -> String {
+        self.explain_with(None)
+    }
+
+    /// As [`PhysicalPlan::explain`], annotating each evaluated leaf's
+    /// line with the cardinality execution actually observed:
+    /// `~N (observed M)` (just `(observed M)` for leaves without an
+    /// estimate). The REPL and `saqd` render explain through this after
+    /// running the plan, so the estimate and reality sit side by side.
+    pub fn explain_with(&self, observed: Option<&ExecStats>) -> String {
         fn describe(pred: &Pred) -> String {
             match pred {
                 Pred::Feature(spec) => format!("{spec:?}"),
@@ -747,11 +848,17 @@ impl PhysicalPlan {
                 Pred::IdRange { lo, hi } => format!("IdRange {lo}..={hi}"),
             }
         }
-        fn go(node: &PlanNode, depth: usize, out: &mut String) {
+        fn go(node: &PlanNode, depth: usize, out: &mut String, observed: Option<&ExecStats>) {
             let pad = "  ".repeat(depth);
             match node {
                 PlanNode::Leaf { ix, pred, path, est } => {
-                    let est = est.map(|e| format!(" ~{e}")).unwrap_or_default();
+                    let seen = observed.and_then(|s| s.observed_for(*ix));
+                    let est = match (est, seen) {
+                        (Some(e), Some(m)) => format!(" ~{e} (observed {m})"),
+                        (Some(e), None) => format!(" ~{e}"),
+                        (None, Some(m)) => format!(" (observed {m})"),
+                        (None, None) => String::new(),
+                    };
                     let _ = writeln!(
                         out,
                         "{pad}#{ix} {} via {}{est}",
@@ -761,27 +868,27 @@ impl PhysicalPlan {
                 }
                 PlanNode::And { children, exec_order } => {
                     let _ = writeln!(out, "{pad}And (exec order {exec_order:?})");
-                    children.iter().for_each(|c| go(c, depth + 1, out));
+                    children.iter().for_each(|c| go(c, depth + 1, out, observed));
                 }
                 PlanNode::Or(children) if children.iter().all(|c| cost_class(c) <= 1) => {
                     let _ = writeln!(out, "{pad}Or (index union)");
-                    children.iter().for_each(|c| go(c, depth + 1, out));
+                    children.iter().for_each(|c| go(c, depth + 1, out, observed));
                 }
                 PlanNode::Or(children) => {
                     let _ = writeln!(out, "{pad}Or");
-                    children.iter().for_each(|c| go(c, depth + 1, out));
+                    children.iter().for_each(|c| go(c, depth + 1, out, observed));
                 }
                 PlanNode::Not(c) => {
                     let _ = writeln!(out, "{pad}Not");
-                    go(c, depth + 1, out);
+                    go(c, depth + 1, out, observed);
                 }
                 PlanNode::Limit(c, n) => {
                     let _ = writeln!(out, "{pad}Limit {n}");
-                    go(c, depth + 1, out);
+                    go(c, depth + 1, out, observed);
                 }
                 PlanNode::TopK(c, k) => {
                     let _ = writeln!(out, "{pad}TopK {k}");
-                    go(c, depth + 1, out);
+                    go(c, depth + 1, out, observed);
                 }
             }
         }
@@ -789,7 +896,7 @@ impl PhysicalPlan {
         if let Some((lo, hi)) = self.id_bounds {
             let _ = writeln!(out, "id bounds: {lo}..={hi}");
         }
-        go(&self.root, 0, &mut out);
+        go(&self.root, 0, &mut out, observed);
         out
     }
 }
@@ -1058,7 +1165,7 @@ fn root_id_bounds(norm: &QueryExpr) -> Option<(u64, u64)> {
 // ---------------------------------------------------------------------------
 
 /// Counters of one plan execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Size of the candidate universe the plan ran over.
     pub universe: u64,
@@ -1070,6 +1177,28 @@ pub struct ExecStats {
     pub index_leaves: u64,
     /// Leaf evaluations that fell back to scanning entries.
     pub scan_leaves: u64,
+    /// Per-leaf observed cardinalities, indexed by leaf `ix`: how many
+    /// ids the leaf's [`MatchSet`] held (restricted to the candidates it
+    /// was evaluated over). `None` for leaves a short-circuited
+    /// conjunction never evaluated. Feeds [`PlanStats::refine`] and the
+    /// `~N (observed M)` explain annotation.
+    pub observed: Vec<Option<u64>>,
+}
+
+impl ExecStats {
+    /// Records leaf `ix`'s observed cardinality (the last evaluation of a
+    /// leaf wins), growing the vector on demand.
+    pub fn record_observed(&mut self, ix: usize, count: u64) {
+        if self.observed.len() <= ix {
+            self.observed.resize(ix + 1, None);
+        }
+        self.observed[ix] = Some(count);
+    }
+
+    /// The observed cardinality of leaf `ix`, when it was evaluated.
+    pub fn observed_for(&self, ix: usize) -> Option<u64> {
+        self.observed.get(ix).copied().flatten()
+    }
 }
 
 /// Data access abstraction behind [`execute_plan`]: a backend supplies the
@@ -1101,7 +1230,11 @@ pub fn execute_plan<S: LeafSource>(
     source: &mut S,
 ) -> Result<(QueryOutcome, ExecStats)> {
     let universe = source.universe()?;
-    let mut stats = ExecStats { universe: universe.len() as u64, ..ExecStats::default() };
+    let mut stats = ExecStats {
+        universe: universe.len() as u64,
+        observed: vec![None; plan.leaf_count()],
+        ..ExecStats::default()
+    };
     let set = exec_node(plan.root(), source, &universe, None, &mut stats)?;
     Ok((set.into_outcome(), stats))
 }
@@ -1115,7 +1248,9 @@ fn exec_node<S: LeafSource>(
 ) -> Result<MatchSet> {
     match node {
         PlanNode::Leaf { ix, pred, path, .. } => {
-            source.eval_leaf(*ix, pred, *path, candidates, stats)
+            let set = source.eval_leaf(*ix, pred, *path, candidates, stats)?;
+            stats.record_observed(*ix, set.len() as u64);
+            Ok(set)
         }
         PlanNode::And { children, exec_order } => {
             let mut results: Vec<Option<MatchSet>> = vec![None; children.len()];
@@ -1353,8 +1488,9 @@ impl QueryEngine for StoreEngine<'_> {
         req.verify_pin(Some(current))?;
         let expr = req.resolve()?;
         let plan = self.planner_for(&expr, &snap).plan(&expr)?;
-        let explain = req.want_explain.then(|| plan.explain());
         let (outcome, stats) = execute_plan(&plan, &mut SnapshotSource { snap: &snap })?;
+        // Rendered after execution so each leaf carries what it observed.
+        let explain = req.want_explain.then(|| plan.explain_with(Some(&stats)));
         Ok(QueryResponse {
             outcome,
             stats: req.want_stats.then_some(stats),
@@ -1551,6 +1687,65 @@ mod tests {
     }
 
     const GOALPOST: &str = "0* 1+ (-1)+ 0* 1+ (-1)+ 0*";
+
+    #[test]
+    fn refine_keys_observations_by_predicate_shape() {
+        let (store, _) = corpus();
+        let engine = StoreEngine::new(&store);
+        // Observe each predicate on its own so the counts are over the
+        // whole universe (inside a conjunction, later leaves see only
+        // the survivors of earlier ones).
+        let wide_plan = engine.plan(&QueryExpr::peak_count(2, 2)).unwrap();
+        let (_, wide_exec) = engine.run_plan(&wide_plan).unwrap();
+        let two_plan = engine.plan(&QueryExpr::peak_count(2, 0)).unwrap();
+        let (_, two_exec) = engine.run_plan(&two_plan).unwrap();
+
+        let mut stats = PlanStats::from_store(&store);
+        assert_eq!(stats.refine(&wide_exec, &wide_plan), 1, "one observed leaf per plan");
+        assert_eq!(stats.refine(&two_exec, &two_plan), 1, "one observed leaf per plan");
+
+        // Observations key by shape: the exact predicates re-surface
+        // their counts, a different tolerance is a different key.
+        let wide = Pred::Feature(QuerySpec::PeakCount { count: 2, tolerance: 2 });
+        let two = Pred::Feature(QuerySpec::PeakCount { count: 2, tolerance: 0 });
+        let near_two = Pred::Feature(QuerySpec::PeakCount { count: 2, tolerance: 1 });
+        assert_eq!(stats.observed.get(&pred_shape_key(&wide)), Some(&4));
+        assert_eq!(stats.observed.get(&pred_shape_key(&two)), Some(&2));
+        assert_eq!(stats.observed.get(&pred_shape_key(&near_two)), None);
+
+        // Re-planning with the refined statistics is ordering-only and
+        // runs the observed-selective leaf first — despite pessimal
+        // declaration order and no index to consult.
+        let expr = QueryExpr::peak_count(2, 2).and(QueryExpr::peak_count(2, 0));
+        let replanned = Planner::with_stats(IndexCaps::none(), stats).plan(&expr).unwrap();
+        match replanned.root() {
+            PlanNode::And { exec_order, .. } => {
+                assert_eq!(exec_order, &vec![1, 0], "exact count (2 observed) before wide (4)");
+            }
+            other => panic!("expected And root, got {other:?}"),
+        }
+        let (base, _) = engine.run_plan(&engine.plan(&expr).unwrap()).unwrap();
+        let (reordered, _) = engine.run_plan(&replanned).unwrap();
+        assert_eq!(base, reordered, "refined ordering must not change results");
+    }
+
+    #[test]
+    fn divergence_compares_observations_against_estimates() {
+        let (store, _) = corpus();
+        let stats = PlanStats::from_store(&store);
+        // A scan leaf carries no estimate, so the pessimistic assumption
+        // is the whole universe (4).
+        let plan =
+            Planner::new(IndexCaps::none()).plan(&QueryExpr::min_steepness(0.0, 0.5)).unwrap();
+        let mut exec = ExecStats::default();
+        exec.record_observed(0, 0);
+        assert!(stats.diverged(&exec, &plan, 2.0), "0 observed vs universe 4 diverges at 2x");
+        let mut exec = ExecStats::default();
+        exec.record_observed(0, 3);
+        assert!(!stats.diverged(&exec, &plan, 2.0), "3 observed vs universe 4 is within 2x");
+        // A leaf that was never evaluated (short-circuited) is no signal.
+        assert!(!stats.diverged(&ExecStats::default(), &plan, 2.0));
+    }
 
     #[test]
     fn normalize_flattens_but_keeps_double_negation() {

@@ -93,6 +93,45 @@ impl Prefix {
         }
         (cvv - ctv * ctv / ctt).max(0.0)
     }
+
+    /// Writes `best[i] + a + b · sse(i, j-1)` for every split point
+    /// `i in 0..j` into `out`: the DP recurrence's inner loop as one
+    /// sweep over the contiguous prefix-sum slices, branch-light enough
+    /// to autovectorize. Same arithmetic and operation order as
+    /// [`Prefix::sse`], so every cost is bit-identical to the scalar
+    /// formulation.
+    fn fill_costs(&self, j: usize, a: f64, b: f64, best: &[f64], out: &mut [f64]) {
+        let (stj, svj, sttj, stvj, svvj) =
+            (self.st[j], self.sv[j], self.stt[j], self.stv[j], self.svv[j]);
+        let it = out
+            .iter_mut()
+            .zip(best)
+            .zip(&self.st[..j])
+            .zip(&self.sv[..j])
+            .zip(&self.stt[..j])
+            .zip(&self.stv[..j])
+            .zip(&self.svv[..j])
+            .enumerate();
+        for (i, ((((((out, &prior), &sti), &svi), &stti), &stvi), &svvi)) in it {
+            let n = (j - i) as f64;
+            let st = stj - sti;
+            let sv = svj - svi;
+            let stt = sttj - stti;
+            let stv = stvj - stvi;
+            let svv = svvj - svvi;
+            let ctt = stt - st * st / n;
+            let ctv = stv - st * sv / n;
+            let cvv = svv - sv * sv / n;
+            let sse = if n < 2.0 {
+                0.0
+            } else if ctt.abs() < 1e-12 {
+                cvv.max(0.0)
+            } else {
+                (cvv - ctv * ctv / ctt).max(0.0)
+            };
+            *out = prior + a + b * sse;
+        }
+    }
 }
 
 impl Breaker for DynamicProgrammingBreaker {
@@ -105,15 +144,23 @@ impl Breaker for DynamicProgrammingBreaker {
         // best[j] = minimal cost of segmenting the first j points; j in 0..=n.
         let mut best = vec![f64::INFINITY; n + 1];
         let mut back = vec![0usize; n + 1];
+        let mut cost = vec![0.0f64; n];
         best[0] = 0.0;
         for j in 1..=n {
-            for i in 0..j {
-                let cost = best[i] + self.segment_cost + self.error_weight * prefix.sse(i, j - 1);
-                if cost < best[j] {
-                    best[j] = cost;
-                    back[j] = i;
+            // Two passes: a vectorizable sweep filling every candidate
+            // cost, then a scalar argmin where the first strict minimum
+            // wins — the same tie rule as the fused loop, over
+            // bit-identical costs.
+            prefix.fill_costs(j, self.segment_cost, self.error_weight, &best[..j], &mut cost[..j]);
+            let (mut best_cost, mut best_split) = (f64::INFINITY, 0);
+            for (i, &c) in cost[..j].iter().enumerate() {
+                if c < best_cost {
+                    best_cost = c;
+                    best_split = i;
                 }
             }
+            best[j] = best_cost;
+            back[j] = best_split;
         }
         // Reconstruct ranges.
         let mut ranges = Vec::new();

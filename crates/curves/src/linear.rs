@@ -49,11 +49,36 @@ impl Line {
             return Err(Error::TooFewPoints { required: 2, actual: n });
         }
         let nf = n as f64;
-        let mt = points.iter().map(|p| p.t).sum::<f64>() / nf;
-        let mv = points.iter().map(|p| p.v).sum::<f64>() / nf;
-        let mut stt = 0.0;
-        let mut stv = 0.0;
-        for p in points {
+        // Both reduction passes run as chunked multi-accumulator sums
+        // with no cross-iteration dependency, so they autovectorize;
+        // each lane's partial combines once at the end.
+        const LANES: usize = 4;
+        let mut sums = [[0.0f64; LANES]; 2];
+        let mut chunks = points.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            for lane in 0..LANES {
+                sums[0][lane] += chunk[lane].t;
+                sums[1][lane] += chunk[lane].v;
+            }
+        }
+        let (mut st, mut sv) = (sums[0].iter().sum::<f64>(), sums[1].iter().sum::<f64>());
+        for p in chunks.remainder() {
+            st += p.t;
+            sv += p.v;
+        }
+        let (mt, mv) = (st / nf, sv / nf);
+
+        let mut moments = [[0.0f64; LANES]; 2];
+        let mut chunks = points.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            for lane in 0..LANES {
+                let dt = chunk[lane].t - mt;
+                moments[0][lane] += dt * dt;
+                moments[1][lane] += dt * (chunk[lane].v - mv);
+            }
+        }
+        let (mut stt, mut stv) = (moments[0].iter().sum::<f64>(), moments[1].iter().sum::<f64>());
+        for p in chunks.remainder() {
             let dt = p.t - mt;
             stt += dt * dt;
             stv += dt * (p.v - mv);

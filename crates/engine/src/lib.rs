@@ -81,7 +81,7 @@ use report::RunReport;
 use saq_archive::{ArchiveSnapshot, ArchiveStore};
 use saq_core::algebra::{
     execute_plan, interval_index_match_set, AccessPath, ExecStats, IndexCaps, LeafSource, MatchSet,
-    MatchTier, PhysicalPlan, PlanNode, Planner, Pred, PreparedPred, QueryExpr,
+    MatchTier, PhysicalPlan, PlanNode, PlanStats, Planner, Pred, PreparedPred, QueryExpr,
 };
 use saq_core::query::{QueryOutcome, QuerySpec};
 use saq_core::request::{QueryRequest, QueryResponse, SnapshotRef};
@@ -107,11 +107,26 @@ pub struct EngineConfig {
     /// sequence. Raw copies are always retained in cached entries — band
     /// queries need them — regardless of `store.keep_raw`.
     pub store: StoreConfig,
+    /// Adaptive re-planning between shard waves: when a wave's scan
+    /// order can matter (two or more entry-scanned predicates, at least
+    /// one of them skippable under a conjunctive guard), the pool first
+    /// evaluates an *observation wave* of shards, folds the observed
+    /// per-predicate selectivities back into the planner statistics
+    /// ([`saq_core::algebra::PlanStats::refine`]), and re-plans the scan
+    /// order for the remaining shards when observation diverges from the
+    /// estimates. Ordering-only: outcomes are byte-identical either way.
+    pub adaptive: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 4, shards: 16, cache_capacity: 1024, store: StoreConfig::default() }
+        EngineConfig {
+            workers: 4,
+            shards: 16,
+            cache_capacity: 1024,
+            store: StoreConfig::default(),
+            adaptive: true,
+        }
     }
 }
 
@@ -335,7 +350,9 @@ impl QueryEngine {
             };
 
         let stamp = self.ensure_fresh(snapshot);
-        let (sets, report, leaf_evals) = self.eval_leaves(snapshot, &union, &slots, stamp)?;
+        let adapt = wave_adaptivity(&slots, &prepped, &union, self.config.adaptive);
+        let (sets, report, leaf_evals) =
+            self.eval_leaves(snapshot, &union, &slots, stamp, &adapt)?;
         *self.last_run.lock() = report;
 
         Ok(requests
@@ -343,7 +360,6 @@ impl QueryEngine {
             .zip(prepped)
             .map(|(req, prep)| {
                 let prep = prep?;
-                let explain = req.want_explain.then(|| prep.plan.explain());
                 let mut source = WaveSource {
                     universe: &prep.universe,
                     leaf_slots: &prep.leaf_slots,
@@ -356,6 +372,9 @@ impl QueryEngine {
                 // leaves perform none, shared leaves are counted once
                 // per request they serve).
                 stats.entries_scanned = prep.leaf_slots.iter().map(|&s| leaf_evals[s]).sum();
+                // Rendered after execution so each leaf line carries the
+                // cardinality it was observed to resolve to.
+                let explain = req.want_explain.then(|| prep.plan.explain_with(Some(&stats)));
                 Ok(QueryResponse {
                     outcome,
                     stats: req.want_stats.then_some(stats),
@@ -481,13 +500,23 @@ impl QueryEngine {
     /// sharded worker pool; returns one id-sorted [`MatchSet`] per leaf,
     /// the per-worker report (simulated clocks + cache counters), and the
     /// number of per-entry predicate evaluations performed *per leaf*
-    /// (leaves served by the shard-local indexes contribute none).
+    /// (leaves served by the shard-local indexes contribute none, and
+    /// evaluations skipped under a conjunctive guard are not counted).
+    ///
+    /// When the wave's scan order can matter (`adapt.replan` is set), the
+    /// shards run as two barrier-separated waves: an **observation wave**
+    /// over a fraction of the shards, whose per-slot selectivities are
+    /// folded back into the planner statistics
+    /// ([`PlanStats::refine`]) to re-derive the scan order the
+    /// remaining shards run under. Ordering-only: which ids each slot
+    /// matches is unchanged, so outcomes are byte-identical.
     fn eval_leaves(
         &self,
         snapshot: &ArchiveSnapshot,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
+        adapt: &WaveAdaptivity,
     ) -> Result<(Vec<MatchSet>, RunReport, Vec<u64>)> {
         let shards = shard::plan(ids.len(), self.config.shards);
         if shards.is_empty() || preds.is_empty() {
@@ -498,24 +527,103 @@ impl QueryEngine {
             ));
         }
         let workers = self.config.workers.min(shards.len());
-
-        let slots: Vec<Mutex<Option<ShardPartials>>> =
-            shards.iter().map(|_| Mutex::new(None)).collect();
         let logs: Vec<Mutex<(f64, CacheStats)>> =
             (0..workers).map(|_| Mutex::new((0.0, CacheStats::default()))).collect();
         let leaf_evals: Vec<AtomicU64> = preds.iter().map(|_| AtomicU64::new(0)).collect();
+
+        // Observation wave size: enough shards to see real selectivities,
+        // small enough that most of the batch still benefits from the
+        // refined order.
+        let observe = match &adapt.replan {
+            Some(_) if shards.len() >= 2 => (shards.len() / 8).max(1),
+            _ => shards.len(),
+        };
+        let mut order = adapt.order.clone();
+        let policy = ScanPolicy { order: &order, guards: &adapt.guards };
+        let first = self.eval_wave(
+            snapshot,
+            ids,
+            &shards[..observe],
+            preds,
+            stamp,
+            policy,
+            &logs,
+            &leaf_evals,
+        )?;
+        let rest = if observe < shards.len() {
+            if let Some(replan) = &adapt.replan {
+                let matched: Vec<u64> = (0..preds.len())
+                    .map(|slot| first.iter().map(|p| p[slot].len() as u64).sum())
+                    .collect();
+                let evaluated: Vec<u64> =
+                    leaf_evals.iter().map(|n| n.load(Ordering::Relaxed)).collect();
+                if let Some(refined) =
+                    replan.refined_order(ids.len() as u64, &matched, &evaluated, preds)
+                {
+                    order = refined;
+                }
+            }
+            let policy = ScanPolicy { order: &order, guards: &adapt.guards };
+            self.eval_wave(
+                snapshot,
+                ids,
+                &shards[observe..],
+                preds,
+                stamp,
+                policy,
+                &logs,
+                &leaf_evals,
+            )?
+        } else {
+            Vec::new()
+        };
+
+        let mut sets = vec![MatchSet::new(); preds.len()];
+        for partials in first.into_iter().chain(rest) {
+            debug_assert_eq!(partials.len(), preds.len());
+            for (set, partial) in sets.iter_mut().zip(partials) {
+                for (id, tier) in partial {
+                    set.insert(id, tier);
+                }
+            }
+        }
+        let (per_worker_sim_seconds, per_worker_cache) =
+            logs.into_iter().map(Mutex::into_inner).unzip();
+        let report = RunReport { per_worker_sim_seconds, per_worker_cache };
+        Ok((sets, report, leaf_evals.into_iter().map(AtomicU64::into_inner).collect()))
+    }
+
+    /// Runs one wave of shards through the worker pool under one scan
+    /// policy, returning the per-shard partials in shard order. Worker
+    /// clocks, cache counters, and per-leaf evaluation totals accumulate
+    /// into the caller's `logs`/`leaf_evals` across waves, so the run
+    /// report spans the whole batch.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_wave(
+        &self,
+        snapshot: &ArchiveSnapshot,
+        ids: &[u64],
+        shards: &[std::ops::Range<usize>],
+        preds: &[PreparedPred],
+        stamp: (u64, u64),
+        policy: ScanPolicy<'_>,
+        logs: &[Mutex<(f64, CacheStats)>],
+        leaf_evals: &[AtomicU64],
+    ) -> Result<Vec<ShardPartials>> {
+        let slots: Vec<Mutex<Option<ShardPartials>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
         let next_shard = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
         std::thread::scope(|scope| {
-            for log in &logs {
+            for log in logs {
                 scope.spawn(|| loop {
                     let s = next_shard.fetch_add(1, Ordering::Relaxed);
                     if s >= shards.len() || abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    match self.eval_shard(snapshot, &ids[shards[s].clone()], preds, stamp) {
+                    match self.eval_shard(snapshot, &ids[shards[s].clone()], preds, stamp, policy) {
                         Ok(eval) => {
                             *slots[s].lock() = Some(eval.partials);
                             let mut log = log.lock();
@@ -537,20 +645,10 @@ impl QueryEngine {
         if let Some(e) = first_error.into_inner() {
             return Err(e);
         }
-        let mut sets = vec![MatchSet::new(); preds.len()];
-        for slot in slots {
-            let partials = slot.into_inner().expect("every shard completed");
-            debug_assert_eq!(partials.len(), preds.len());
-            for (set, partial) in sets.iter_mut().zip(partials) {
-                for (id, tier) in partial {
-                    set.insert(id, tier);
-                }
-            }
-        }
-        let (per_worker_sim_seconds, per_worker_cache) =
-            logs.into_iter().map(Mutex::into_inner).unzip();
-        let report = RunReport { per_worker_sim_seconds, per_worker_cache };
-        Ok((sets, report, leaf_evals.into_iter().map(AtomicU64::into_inner).collect()))
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every shard completed"))
+            .collect())
     }
 
     /// Evaluates every leaf against every id of one shard through the
@@ -573,12 +671,20 @@ impl QueryEngine {
     /// Ids the pager refuses (mutated since compaction, or simply absent)
     /// fall back to the full pipeline, so results never depend on cold
     /// coverage.
+    ///
+    /// The scan policy orders the per-id slot evaluations and names each
+    /// slot's conjunctive guards: when a guard evaluated earlier for the
+    /// same id already *rejected* it, the slot's evaluation is skipped —
+    /// every request using the slot also intersects with that guard, so
+    /// the id cannot reach any outcome the slot feeds. Skips never elide
+    /// the entry fetch itself, only the predicate evaluation.
     fn eval_shard(
         &self,
         snapshot: &ArchiveSnapshot,
         ids: &[u64],
         preds: &[PreparedPred],
         stamp: (u64, u64),
+        policy: ScanPolicy<'_>,
     ) -> Result<ShardEval> {
         let serves: Vec<LeafServe> = preds.iter().map(LeafServe::of).collect();
         let needs_scan = serves.iter().any(|s| matches!(s, LeafServe::EntryScan));
@@ -595,6 +701,9 @@ impl QueryEngine {
             cache: CacheStats::default(),
             leaf_evals: vec![0; preds.len()],
         };
+        // Per-id verdicts for this shard's scan loop: NotEvaluated also
+        // covers skipped slots, so a skipped slot never guards another.
+        let mut verdicts = vec![Verdict::NotEvaluated; preds.len()];
         for &id in ids {
             let entry = if needs_scan {
                 let (entry, cost, cache) = self.entry_for(snapshot, id, stamp)?;
@@ -618,21 +727,30 @@ impl QueryEngine {
                     },
                 }
             }
-            let evals = &mut eval.leaf_evals;
-            for (ix, ((partial, pred), serve)) in
-                eval.partials.iter_mut().zip(preds).zip(&serves).enumerate()
-            {
-                match serve {
+            verdicts.fill(Verdict::NotEvaluated);
+            for &ix in policy.order {
+                match serves[ix] {
                     LeafServe::IdOnly => {
-                        if let Some(m) = pred.matches(id, None) {
-                            partial.push((id, MatchTier::from_match(m)));
-                        }
+                        verdicts[ix] = match preds[ix].matches(id, None) {
+                            Some(m) => {
+                                eval.partials[ix].push((id, MatchTier::from_match(m)));
+                                Verdict::Matched
+                            }
+                            None => Verdict::Rejected,
+                        };
                     }
                     LeafServe::EntryScan => {
-                        evals[ix] += 1;
-                        if let Some(m) = pred.matches(id, entry.as_deref()) {
-                            partial.push((id, MatchTier::from_match(m)));
+                        if policy.guards[ix].iter().any(|&g| verdicts[g] == Verdict::Rejected) {
+                            continue;
                         }
+                        eval.leaf_evals[ix] += 1;
+                        verdicts[ix] = match preds[ix].matches(id, entry.as_deref()) {
+                            Some(m) => {
+                                eval.partials[ix].push((id, MatchTier::from_match(m)));
+                                Verdict::Matched
+                            }
+                            None => Verdict::Rejected,
+                        };
                     }
                     LeafServe::PatternIndex | LeafServe::IntervalIndex => {}
                 }
@@ -756,6 +874,206 @@ impl LeafServe {
     fn is_index(&self) -> bool {
         matches!(self, LeafServe::PatternIndex | LeafServe::IntervalIndex)
     }
+
+    fn is_per_id(&self) -> bool {
+        matches!(self, LeafServe::IdOnly | LeafServe::EntryScan)
+    }
+}
+
+/// One id's verdict for one slot within a shard's scan loop.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Not reached yet, index-served, or skipped under a guard.
+    NotEvaluated,
+    Rejected,
+    Matched,
+}
+
+/// The scan policy one wave runs under: the order the per-id loop walks
+/// the slots in, and each slot's conjunctive guards.
+#[derive(Clone, Copy)]
+struct ScanPolicy<'a> {
+    order: &'a [usize],
+    guards: &'a [Vec<usize>],
+}
+
+/// The wave-level adaptive-execution context `run_requests` derives from
+/// the prepped plans before any shard runs.
+struct WaveAdaptivity {
+    /// Slot indices in initial evaluation order: id filters first, then
+    /// scans by estimated cardinality (the slot conjunction's
+    /// `exec_order`), index-served slots wherever they fall (their loop
+    /// arm is a no-op).
+    order: Vec<usize>,
+    /// Per slot: the guard slots — per-id-served slots that are a direct
+    /// conjunct sibling of this slot's root `And` in **every** request
+    /// using it. An id a guard rejected is excluded from every outcome
+    /// this slot can feed, so its evaluation may be skipped.
+    guards: Vec<Vec<usize>>,
+    /// Present when between-wave re-planning could change the order:
+    /// two or more entry-scanned slots, at least one skippable under an
+    /// entry-scanned guard.
+    replan: Option<ReplanCtx>,
+}
+
+/// Between-wave re-planning inputs: a conjunction over every slot
+/// predicate (leaf `ix` == slot index) planned under the wave's initial
+/// statistics, plus those statistics for [`PlanStats::refine`].
+struct ReplanCtx {
+    expr: QueryExpr,
+    plan: PhysicalPlan,
+    stats: PlanStats,
+}
+
+/// Observation must exceed estimate (or vice versa) by this factor —
+/// after +1 smoothing on both sides — before a batch re-plans its scan
+/// order mid-wave.
+const DIVERGENCE_FACTOR: f64 = 2.0;
+
+impl ReplanCtx {
+    /// Extrapolates the observation wave's per-slot hit rates to the full
+    /// universe, and — when observation diverges from the estimates past
+    /// [`DIVERGENCE_FACTOR`] — folds them into the statistics via
+    /// [`PlanStats::refine`] and re-plans the slot conjunction. Returns
+    /// the refined slot order, or `None` to keep the current one.
+    fn refined_order(
+        &self,
+        universe: u64,
+        matched: &[u64],
+        evaluated: &[u64],
+        preds: &[PreparedPred],
+    ) -> Option<Vec<usize>> {
+        let mut exec =
+            ExecStats { universe, observed: vec![None; preds.len()], ..ExecStats::default() };
+        for (slot, pred) in preds.iter().enumerate() {
+            if LeafServe::of(pred) != LeafServe::EntryScan || evaluated[slot] == 0 {
+                continue;
+            }
+            let rate = matched[slot] as f64 / evaluated[slot] as f64;
+            exec.record_observed(slot, (rate * universe as f64).round() as u64);
+        }
+        if !self.stats.diverged(&exec, &self.plan, DIVERGENCE_FACTOR) {
+            return None;
+        }
+        let mut stats = self.stats.clone();
+        stats.refine(&exec, &self.plan);
+        let plan = Planner::with_stats(IndexCaps::all(), stats).plan(&self.expr).ok()?;
+        match plan.root() {
+            PlanNode::And { exec_order, .. } if exec_order.len() == preds.len() => {
+                Some(exec_order.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Collects the slots that appear under a pipeline breaker
+/// (`Limit`/`TopK`) anywhere in a request's plan. A breaker's truncation
+/// can turn one id's absence into a *different* id's presence, so these
+/// slots must never skip an evaluation.
+fn breaker_slots(
+    node: &PlanNode,
+    leaf_slots: &[usize],
+    under: bool,
+    out: &mut std::collections::BTreeSet<usize>,
+) {
+    match node {
+        PlanNode::Leaf { ix, .. } => {
+            if under {
+                out.insert(leaf_slots[*ix]);
+            }
+        }
+        PlanNode::And { children, .. } | PlanNode::Or(children) => {
+            children.iter().for_each(|c| breaker_slots(c, leaf_slots, under, out));
+        }
+        PlanNode::Not(child) => breaker_slots(child, leaf_slots, under, out),
+        PlanNode::Limit(child, _) | PlanNode::TopK(child, _) => {
+            breaker_slots(child, leaf_slots, true, out);
+        }
+    }
+}
+
+/// Derives the wave's scan order, conjunctive guards, and (when the
+/// order can matter) the between-wave re-planning context.
+///
+/// A guard is sound only if it holds in **every** request that shares
+/// the slot: the guard sets are the intersection, over each request
+/// using a slot, of the per-id-served leaf slots sitting as direct
+/// children of that request's root `And` — and a request whose root is
+/// not an `And`, or that reads the slot under a pipeline breaker,
+/// contributes the empty set. Skipping an id the guard rejected is then
+/// outcome-preserving: the final conjunction intersects with the guard's
+/// match set, which excludes that id, in every consuming request.
+fn wave_adaptivity(
+    slots: &[PreparedPred],
+    prepped: &[Result<PreppedRequest>],
+    union: &[u64],
+    adaptive: bool,
+) -> WaveAdaptivity {
+    use std::collections::BTreeSet;
+    let serves: Vec<LeafServe> = slots.iter().map(LeafServe::of).collect();
+    let mut guards: Vec<Option<BTreeSet<usize>>> = vec![None; slots.len()];
+    for prep in prepped.iter().flatten() {
+        let conjuncts: BTreeSet<usize> = match prep.plan.root() {
+            PlanNode::And { children, .. } => children
+                .iter()
+                .filter_map(|child| match child {
+                    PlanNode::Leaf { ix, .. } => Some(prep.leaf_slots[*ix]),
+                    _ => None,
+                })
+                .filter(|&s| serves[s].is_per_id())
+                .collect(),
+            _ => BTreeSet::new(),
+        };
+        let mut breakered = BTreeSet::new();
+        breaker_slots(prep.plan.root(), &prep.leaf_slots, false, &mut breakered);
+        for &slot in &prep.leaf_slots {
+            let mut mine =
+                if breakered.contains(&slot) { BTreeSet::new() } else { conjuncts.clone() };
+            mine.remove(&slot);
+            match guards[slot].as_mut() {
+                Some(acc) => acc.retain(|g| mine.contains(g)),
+                None => guards[slot] = Some(mine),
+            }
+        }
+    }
+    let guards: Vec<Vec<usize>> =
+        guards.into_iter().map(|g| g.unwrap_or_default().into_iter().collect()).collect();
+
+    let mut order: Vec<usize> = (0..slots.len()).collect();
+    let mut replan = None;
+    if slots.len() >= 2 {
+        let stats = PlanStats {
+            universe: union.len() as u64,
+            id_span: union.first().copied().zip(union.last().copied()),
+            index: None,
+            observed: Default::default(),
+        };
+        let expr =
+            QueryExpr::And(slots.iter().map(|p| QueryExpr::Leaf(p.pred().clone())).collect());
+        if let Ok(plan) = Planner::with_stats(IndexCaps::all(), stats.clone()).plan(&expr) {
+            // The slot conjunction's plan is usable only if normalization
+            // kept it aligned: child i is exactly slot i's predicate.
+            let aligned = matches!(plan.root(), PlanNode::And { children, .. }
+            if children.len() == slots.len()
+                && children.iter().zip(slots).all(|(child, slot)| {
+                    matches!(child, PlanNode::Leaf { pred, .. } if pred.pred() == slot.pred())
+                }));
+            if aligned {
+                if let PlanNode::And { exec_order, .. } = plan.root() {
+                    order = exec_order.clone();
+                }
+                let reorderable = guards.iter().enumerate().any(|(s, g)| {
+                    serves[s] == LeafServe::EntryScan
+                        && g.iter().any(|&g| serves[g] == LeafServe::EntryScan)
+                });
+                if adaptive && reorderable {
+                    replan = Some(ReplanCtx { expr, plan, stats });
+                }
+            }
+        }
+    }
+    WaveAdaptivity { order, guards, replan }
 }
 
 /// Records one entry's verdicts for every leaf into per-leaf match sets.
@@ -1355,8 +1673,10 @@ mod tests {
         // Shared leaves across the wave: queries 0 and 3 share one
         // steepness predicate, 1 and 3 one peak-count predicate — 6 plan
         // leaves, 3 distinct slots, each evaluated once over n entries.
-        let per_request: Vec<u64> =
-            responses.iter().map(|r| r.as_ref().unwrap().stats.unwrap().entries_scanned).collect();
+        let per_request: Vec<u64> = responses
+            .iter()
+            .map(|r| r.as_ref().unwrap().stats.as_ref().unwrap().entries_scanned)
+            .collect();
         assert_eq!(per_request, vec![n, n, n, 2 * n], "per-leaf counts, shared slots");
     }
 

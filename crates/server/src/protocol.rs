@@ -260,14 +260,22 @@ impl WireResponse {
         if let Some(snapshot) = resp.snapshot {
             wire = wire.with("snapshot", snapshot);
         }
-        if let Some(stats) = resp.stats {
-            wire = wire.with(
-                "stats",
-                format!(
-                    "universe={} scanned={} index={} scan={}",
-                    stats.universe, stats.entries_scanned, stats.index_leaves, stats.scan_leaves
-                ),
+        if let Some(stats) = &resp.stats {
+            let mut rendered = format!(
+                "universe={} scanned={} index={} scan={}",
+                stats.universe, stats.entries_scanned, stats.index_leaves, stats.scan_leaves
             );
+            // Per-leaf observed cardinalities ride along as a comma list
+            // (`-` marks a leaf short-circuiting skipped entirely).
+            if !stats.observed.is_empty() {
+                let observed: Vec<String> = stats
+                    .observed
+                    .iter()
+                    .map(|o| o.map_or_else(|| "-".into(), |n| n.to_string()))
+                    .collect();
+                rendered.push_str(&format!(" observed={}", observed.join(",")));
+            }
+            wire = wire.with("stats", rendered);
         }
         if let Some(explain) = &resp.explain {
             wire.body = explain.clone();
@@ -376,6 +384,18 @@ fn parse_stats(text: &str) -> Result<ExecStats> {
         let (key, value) = part
             .split_once('=')
             .ok_or_else(|| Error::Protocol(format!("malformed stats field `{part}`")))?;
+        if key == "observed" {
+            stats.observed = value
+                .split(',')
+                .map(|o| match o {
+                    "-" => Ok(None),
+                    n => n.parse().map(Some).map_err(|_| {
+                        Error::Protocol(format!("malformed observed cardinality `{n}`"))
+                    }),
+                })
+                .collect::<Result<_>>()?;
+            continue;
+        }
         let value = value
             .parse()
             .map_err(|_| Error::Protocol(format!("malformed stats field `{part}`")))?;
@@ -462,6 +482,7 @@ mod tests {
                 entries_scanned: 7,
                 index_leaves: 2,
                 scan_leaves: 1,
+                observed: vec![Some(4), None, Some(0)],
             }),
             explain: Some("And (exec order #0, #1)\n  #0 PeakCount via index ~4\n".into()),
             snapshot: Some(SnapshotRef::new(8, 2)),

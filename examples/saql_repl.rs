@@ -1,6 +1,8 @@
 //! An explain-driven SAQL REPL: type a query against a small demo ward,
 //! see the physical plan the statistics-backed planner chose (access
-//! paths + `~N` cardinality estimates) next to the results it produces.
+//! paths, `~N` cardinality estimates, and the `(observed M)`
+//! cardinalities execution actually recorded) next to the results it
+//! produces.
 //!
 //! Run with `cargo run --example saql_repl`. A few demo queries run on
 //! startup (so non-interactive runs — CI — still exercise the loop), then
@@ -155,10 +157,17 @@ fn run_local(engine: &StoreEngine<'_>, text: &str) {
             return;
         }
     };
-    print!("── plan ────────────────────────────────\n{}", plan.explain());
+    // The plan box renders *after* execution so each leaf line carries
+    // its observed cardinality next to the planner's `~N` estimate.
     match engine.run_plan(&plan) {
-        Ok((outcome, stats)) => print_outcome(&outcome, &stats),
-        Err(err) => println!("execution error: {err}"),
+        Ok((outcome, stats)) => {
+            print!("── plan ────────────────────────────────\n{}", plan.explain_with(Some(&stats)));
+            print_outcome(&outcome, &stats);
+        }
+        Err(err) => {
+            print!("── plan ────────────────────────────────\n{}", plan.explain());
+            println!("execution error: {err}");
+        }
     }
 }
 

@@ -65,6 +65,50 @@ proptest! {
         assert_all_engines_match(&expr, &store, &archive, &[(workers, shards)])?;
     }
 
+    /// Adaptive re-planning is ordering-only: for random trees, corpora,
+    /// and shard counts, the sharded engine returns identical outcomes
+    /// with mid-batch re-planning on and off, and every per-leaf
+    /// observed cardinality stays within the universe.
+    #[test]
+    fn adaptive_replanning_is_ordering_only(
+        seeds in prop::collection::vec((0u64..4, 0u64..10_000), 8..28),
+        expr in expr_strategy(),
+        shards in 2usize..24,
+    ) {
+        let corpus: Vec<Sequence> =
+            seeds.iter().map(|&(kind, seed)| mixed_sequence(kind, seed)).collect();
+        let (_store, archive) = ingest(&corpus);
+        let requests = vec![saq::core::QueryRequest::expr(expr.clone()).with_stats()];
+        let snapshot = archive.snapshot();
+        let run = |adaptive: bool| {
+            let engine = ShardedEngine::new(EngineConfig {
+                workers: 4,
+                shards,
+                adaptive,
+                ..EngineConfig::default()
+            })
+            .unwrap();
+            let mut responses = engine.run_requests(&snapshot, &requests).unwrap();
+            responses.pop().unwrap().unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(
+            &on.outcome, &off.outcome,
+            "adaptive vs static outcomes ({} shards): {:?}", shards, expr
+        );
+        let universe = corpus.len() as u64;
+        for resp in [&on, &off] {
+            let stats = resp.stats.as_ref().unwrap();
+            for observed in stats.observed.iter().flatten() {
+                prop_assert!(
+                    *observed <= universe,
+                    "observed {} exceeds universe {}: {:?}", observed, universe, expr
+                );
+            }
+        }
+    }
+
     /// Single-leaf expressions through the trait's back-compat `evaluate`
     /// agree with the classic store-level evaluator.
     #[allow(deprecated)] // the shims must stay byte-identical until removal
