@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Bench-trend gate: diff a freshly generated bench_harness snapshot
 against the checked-in previous one and fail on a >25% regression in
-WAL replay throughput (per corpus size) or any kernel's measured
-speedup over its scalar baseline. Sections missing from the previous
+WAL replay throughput (per corpus size), any kernel's measured
+speedup over its scalar baseline, or a streaming feed's splice/pump
+win over the batch re-run. Sections missing from the previous
 snapshot (older schema) are skipped, so the gate tightens as the
 trajectory grows. Set SAQ_BENCH_ALLOW_REGRESSION=1 to record a known
 slowdown instead of failing (e.g. a deliberate trade-off, or a noisy
@@ -50,6 +51,17 @@ def main() -> int:
             failures.append(
                 f"kernel {k['name']}: speedup {p['speedup']:.2f}x -> {k['speedup']:.2f}x"
             )
+
+    prev_streaming = {s["name"]: s for s in prev.get("streaming", [])}
+    for s in now.get("streaming", []):
+        p = prev_streaming.get(s["name"])
+        if p is None:
+            continue
+        for metric in ("splice_speedup", "pump_speedup"):
+            if s[metric] < p[metric] * (1 - TOLERANCE):
+                failures.append(
+                    f"streaming {s['name']}: {metric} {p[metric]:.2f}x -> {s[metric]:.2f}x"
+                )
 
     if failures:
         print(f"bench-trend regressions (>{TOLERANCE:.0%} vs {prev_path}):")

@@ -120,6 +120,32 @@ pub(crate) fn wal_op(id: Option<u64>, seq: Option<&Sequence>) -> WalOp {
     }
 }
 
+/// Builds the WAL op for an append wave: the payload carries only the
+/// *delta* points, in the same [`encode_sequence`] framing as puts.
+/// Replay folds deltas into their entry through [`merge_append`].
+pub(crate) fn wal_append_op(id: u64, delta: &Sequence) -> WalOp {
+    WalOp::Append { id, payload: encode_sequence(delta) }
+}
+
+/// The archive's [`saq_durable::AppendMerge`]: folds an append-delta
+/// payload into the prior entry payload during WAL replay. Decoding both
+/// sides re-validates what the live path validated before logging — a
+/// delta whose first timestamp doesn't extend the prior sequence is
+/// corruption, not data.
+pub(crate) fn merge_append(prior: Option<&[u8]>, delta: &[u8]) -> saq_durable::Result<Vec<u8>> {
+    let delta_seq = decode_sequence(delta)?;
+    match prior {
+        // The append created the entry: the delta is the whole payload.
+        None => Ok(delta.to_vec()),
+        Some(prior) => {
+            let merged = decode_sequence(prior)?.concat(&delta_seq).map_err(|e| {
+                saq_durable::Error::corrupt(format!("append payload rejected: {e}"))
+            })?;
+            Ok(encode_sequence(&merged))
+        }
+    }
+}
+
 /// Runs the ingestion pipeline for one sequence and captures the index
 /// document the engine would derive from it.
 pub fn compute_doc(seq: &Sequence, config: &StoreConfig) -> Result<OwnedDoc> {
@@ -145,6 +171,7 @@ pub struct ColdDocs {
     reader: SegmentReader,
     epsilon_bits: u64,
     theta_bits: u64,
+    breaker_tag: u64,
     base_generation: u64,
     dirty: RwLock<HashSet<u64>>,
     poisoned: AtomicBool,
@@ -166,6 +193,7 @@ impl ColdDocs {
             reader: pager.reader,
             epsilon_bits: pager.epsilon_bits,
             theta_bits: pager.theta_bits,
+            breaker_tag: pager.breaker_tag,
             base_generation: pager.base_generation,
             dirty: RwLock::new(HashSet::new()),
             poisoned: AtomicBool::new(false),
@@ -184,9 +212,14 @@ impl ColdDocs {
     }
 
     /// Whether these documents were computed under the same
-    /// representation parameters (bit-exact ε and θ) as `config`.
+    /// representation parameters (bit-exact ε and θ, and the same
+    /// breaking algorithm — the two breakers produce different valid
+    /// segmentations, so documents from one must never serve the other)
+    /// as `config`.
     pub fn matches_config(&self, config: &StoreConfig) -> bool {
-        self.epsilon_bits == config.epsilon.to_bits() && self.theta_bits == config.theta.to_bits()
+        self.epsilon_bits == config.epsilon.to_bits()
+            && self.theta_bits == config.theta.to_bits()
+            && self.breaker_tag == config.breaker.tag()
     }
 
     /// The generation the documents are exact at.

@@ -12,7 +12,7 @@ use saq_core::{QueryOutcome, QuerySpec, Result, SequenceStore, StoreConfig};
 use saq_durable::{Backend, DurableConfig, DurableStore, WalRecord};
 use saq_index::cold::SegmentIndexSet;
 use saq_index::ShardedCowMap;
-use saq_sequence::Sequence;
+use saq_sequence::{Point, Sequence};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
@@ -209,9 +209,12 @@ impl ArchiveStore {
         config: DurabilityConfig,
     ) -> Result<ArchiveStore> {
         let durable_config = DurableConfig { compact_after: config.compact_after };
-        let (store, recovered) = DurableStore::open(backend, durable_config, || {
-            NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
-        })
+        let (store, recovered) = DurableStore::open_with_merge(
+            backend,
+            durable_config,
+            || NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            &durability::merge_append,
+        )
         .map_err(saq_core::Error::from)?;
         // A recovered instance must stay process-unique: push the minting
         // counter past it so no in-memory archive can collide.
@@ -445,6 +448,69 @@ impl ArchiveStore {
         Ok(removed)
     }
 
+    /// Extends the stored sequence at `id` with `points` — the streaming
+    /// ingestion entry point. One call is one mutation wave: a single
+    /// generation bump, one exact `(generation, id)` mutation-log entry
+    /// (so [`ArchiveStore::changed_since`] deltas stay precise), and on
+    /// durable archives one [`saq_durable::WalOp::Append`] record whose
+    /// payload holds only the delta points. Appending to an id that
+    /// doesn't exist creates the sequence, mirroring what WAL replay
+    /// does with an append to a missing entry.
+    ///
+    /// The extended sequence is validated *before* anything is logged
+    /// (`points` must be non-empty, finite, strictly increasing, and
+    /// start after the stored sequence ends), so a rejected append
+    /// leaves both the WAL and the in-memory state untouched. Returns
+    /// the total point count after the append.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ArchiveStore::put`], panics if the write-ahead append
+    /// fails; [`ArchiveStore::try_append_points`] is the fallible form.
+    pub fn append_points(&mut self, id: u64, points: &[Point]) -> usize {
+        self.try_append_points(id, points).expect("durable archive write failed")
+    }
+
+    /// As [`ArchiveStore::append_points`], surfacing storage failures
+    /// and validation errors instead of panicking.
+    pub fn try_append_points(&mut self, id: u64, points: &[Point]) -> Result<usize> {
+        if points.is_empty() {
+            return Err(saq_core::Error::EmptyInput);
+        }
+        let delta = Sequence::new(points.to_vec())?;
+        // Same locking order as `mutate` and `compact`: durable handle
+        // first, then the archive state lock.
+        let durable = self.shared.durable.clone();
+        let mut wal = durable.as_ref().map(|d| d.store.lock());
+        let mut state = self.shared.state.write();
+        // Build (and thereby validate) the extended sequence before the
+        // write-ahead step; `concat` rejects a non-extending boundary.
+        let extended = match state.sequences.get_arc(id) {
+            Some(prior) => prior.concat(&delta)?,
+            None => delta.clone(),
+        };
+        let total = extended.len();
+        let generation = state.generation + 1;
+        if let Some(wal) = wal.as_mut() {
+            let record = WalRecord { generation, op: durability::wal_append_op(id, &delta) };
+            wal.append(&record).map_err(saq_core::Error::from)?;
+        }
+        if let Some(durable) = &durable {
+            durable.mark(Some(id));
+        }
+        let mut sequences = state.sequences.clone();
+        sequences.insert(id, extended);
+        self.shared.log.lock().record(generation, Some(id));
+        *state = Arc::new(ArchiveState { generation, sequences, ids: OnceLock::new() });
+        drop(state);
+        let compact_now = wal.as_ref().is_some_and(|w| w.should_compact());
+        drop(wal);
+        if compact_now {
+            self.compact()?;
+        }
+        Ok(total)
+    }
+
     /// Marks the whole archive as potentially changed (a wildcard
     /// mutation): the generation bumps and every generation delta crossing
     /// this point reports "unknown" so caches fall back to full
@@ -484,6 +550,7 @@ impl ArchiveStore {
             (Some(docs), Some(config)) => Some(saq_durable::DocsSpec {
                 epsilon_bits: config.epsilon.to_bits(),
                 theta_bits: config.theta.to_bits(),
+                breaker_tag: config.breaker.tag(),
                 docs,
             }),
             _ => None,
@@ -746,6 +813,24 @@ impl TieredStore {
         self.local.reinsert(id, seq)?;
         self.archive.put(id, seq.clone());
         Ok(())
+    }
+
+    /// Streams freshly arrived points into *both* tiers: the raw archive
+    /// appends the delta (a tracked mutation — the log records exactly
+    /// `id`), and the local representation tier splices its entry from
+    /// the archive's extended raw copy
+    /// ([`SequenceStore::append_extended`] — the local tier keeps no raw
+    /// of its own). Under the online breaker only the open suffix is
+    /// re-broken; the returned report says how much work that was.
+    /// Validation happens in the archive step, before either tier
+    /// changes.
+    pub fn append_points(&mut self, id: u64, points: &[Point]) -> Result<saq_core::SpliceReport> {
+        // Both tiers must know the id before either mutates: an archive
+        // append would *create* an unknown id, leaving the tiers torn.
+        self.local.get(id)?;
+        self.archive.try_append_points(id, points)?;
+        let extended = self.archive.get(id).ok_or(saq_core::Error::UnknownSequence { id })?;
+        self.local.append_extended(id, (*extended).clone())
     }
 
     /// Answers a generalized approximate query from local representations,
@@ -1175,6 +1260,157 @@ mod tests {
             assert_eq!(a.get(i).unwrap().points(), expect.points(), "sequence {i} bit-exact");
         }
         assert_eq!(a.changed_since(g), Some(vec![1, 2, 3, 4]));
+    }
+
+    fn tail(seq: &Sequence, n: usize, seed: u64) -> Vec<Point> {
+        let last = *seq.points().last().unwrap();
+        (1..=n)
+            .map(|i| {
+                let wob = ((seed.wrapping_mul(i as u64) % 7) as f64 - 3.0) / 10.0;
+                Point::new(last.t + i as f64, last.v + wob)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_points_is_one_exactly_tracked_wave() {
+        let mut a = ArchiveStore::new(Medium::memory());
+        let base = goalpost(GoalpostSpec::default());
+        a.put(1, base.clone());
+        a.put(2, goalpost(GoalpostSpec { seed: 2, ..GoalpostSpec::default() }));
+        let g = a.generation();
+
+        let wave = tail(&base, 5, 3);
+        assert_eq!(a.append_points(1, &wave), base.len() + 5);
+        assert_eq!(a.generation(), g + 1, "one generation per append wave");
+        assert_eq!(a.changed_since(g), Some(vec![1]), "exact delta, only the appended id");
+        let mut expect = base.points().to_vec();
+        expect.extend_from_slice(&wave);
+        assert_eq!(a.get(1).unwrap().points(), expect.as_slice());
+
+        // Appending to an unknown id creates it (mirrors WAL replay).
+        let fresh: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.5)).collect();
+        assert_eq!(a.append_points(9, &fresh), 4);
+        assert_eq!(a.get(9).unwrap().points(), fresh.as_slice());
+
+        // Rejected appends mutate nothing: not the state, not the log.
+        let g = a.generation();
+        assert!(a.try_append_points(1, &[]).is_err(), "empty wave");
+        assert!(
+            a.try_append_points(1, &[Point::new(0.0, 0.0)]).is_err(),
+            "non-extending timestamp"
+        );
+        assert_eq!(a.generation(), g);
+        assert_eq!(a.changed_since(g), Some(vec![]));
+        assert_eq!(a.get(1).unwrap().points(), expect.as_slice());
+    }
+
+    #[test]
+    fn durable_appends_replay_through_the_merge() {
+        let backend: Arc<dyn saq_durable::Backend> = Arc::new(saq_durable::MemoryBackend::new());
+        let base = goalpost(GoalpostSpec::default());
+        let mut expect = base.points().to_vec();
+        let generation;
+        {
+            let mut a = ArchiveStore::open_backend(
+                Arc::clone(&backend),
+                Medium::memory(),
+                DurabilityConfig::default(),
+            )
+            .unwrap();
+            a.put(1, base.clone());
+            for wave in 0..7u64 {
+                let seq = a.get(1).unwrap();
+                let points = tail(&seq, 1 + (wave as usize % 4), wave + 11);
+                a.append_points(1, &points);
+                expect.extend_from_slice(&points);
+            }
+            // An append that *creates* an entry must also replay.
+            a.append_points(5, &[Point::new(0.0, 1.0), Point::new(1.0, 2.0)]);
+            generation = a.generation();
+        }
+        let a = ArchiveStore::open_backend(
+            Arc::clone(&backend),
+            Medium::memory(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.generation(), generation);
+        assert_eq!(a.get(1).unwrap().points(), expect.as_slice(), "merged replay is bit-exact");
+        assert_eq!(a.get(5).unwrap().len(), 2);
+        assert_eq!(a.changed_since(generation - 1), Some(vec![5]));
+
+        // Compaction folds the merged entry into the segment; appends
+        // after it replay on top of the segment payload.
+        drop(a);
+        let mut a = ArchiveStore::open_backend(
+            Arc::clone(&backend),
+            Medium::memory(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        a.compact().unwrap();
+        let seq = a.get(1).unwrap();
+        let more = tail(&seq, 3, 99);
+        a.append_points(1, &more);
+        expect.extend_from_slice(&more);
+        drop(a);
+        let a = ArchiveStore::open_backend(backend, Medium::memory(), DurabilityConfig::default())
+            .unwrap();
+        assert_eq!(a.get(1).unwrap().points(), expect.as_slice());
+    }
+
+    #[test]
+    fn append_dirties_cold_docs() {
+        use saq_index::cold::DocPager as _;
+        let backend: Arc<dyn saq_durable::Backend> = Arc::new(saq_durable::MemoryBackend::new());
+        let mut a =
+            ArchiveStore::open_backend(backend, Medium::memory(), DurabilityConfig::default())
+                .unwrap();
+        let base = goalpost(GoalpostSpec::default());
+        a.put(1, base.clone());
+        a.put(2, goalpost(GoalpostSpec { seed: 2, ..GoalpostSpec::default() }));
+        a.compact().unwrap();
+        let cold = a.cold_docs().unwrap();
+        assert!(cold.doc(1).is_some());
+        a.append_points(1, &tail(&base, 2, 1));
+        assert!(cold.doc(1).is_none(), "appended id refused — its doc is stale");
+        assert!(cold.doc(2).is_some(), "untouched id still served");
+    }
+
+    #[test]
+    fn tiered_append_splices_local_and_archives_raw() {
+        use saq_core::BreakerKind;
+        let config = StoreConfig::streaming();
+        let mut t = TieredStore::new(config, Medium::memory(), Medium::memory()).unwrap();
+        assert_eq!(t.local().config().breaker, BreakerKind::Online);
+        let base = goalpost(GoalpostSpec::default());
+        let id = t.insert(&base).unwrap();
+        let g = t.archive().generation();
+
+        let wave = tail(&base, 6, 17);
+        let report = t.append_points(id, &wave).unwrap();
+        assert_eq!(report.total_points, base.len() + 6);
+        assert!(report.rebroken_points < report.total_points, "suffix splice, not a re-run");
+
+        // The archive holds the raw extension; the local tier's spliced
+        // representation is byte-identical to a from-scratch re-ingest.
+        let extended = t.archive().get(id).unwrap();
+        let mut expect = base.points().to_vec();
+        expect.extend_from_slice(&wave);
+        assert_eq!(extended.points(), expect.as_slice());
+        let oracle =
+            saq_core::StoredEntry::compute(&extended, &StoreConfig { keep_raw: false, ..config })
+                .unwrap();
+        let local = t.local().get(id).unwrap();
+        assert_eq!(local.series, oracle.series);
+        assert_eq!(local.symbols, oracle.symbols);
+        assert!(local.raw.is_none(), "local tier still keeps no raw");
+        assert_eq!(t.archive().changed_since(g), Some(vec![id]), "tracked, not wildcard");
+
+        // Unknown ids are rejected before either tier mutates.
+        assert!(t.append_points(999, &wave).is_err());
+        assert!(t.archive().get(999).is_none(), "archive did not invent the id");
     }
 
     #[test]

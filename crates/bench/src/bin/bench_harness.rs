@@ -13,6 +13,7 @@
 use saq_bench::kernels::measure_kernels;
 use saq_bench::planner::measure_adaptive;
 use saq_bench::recovery::{bench_date, measure_recovery};
+use saq_bench::streaming::measure_streaming;
 use saq_bench::{env_usize, fnum};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -95,6 +96,39 @@ fn main() {
         ));
     }
 
+    // Streaming ingestion: incremental splice + subscription-pump work
+    // vs the batch re-run each feed shape would otherwise pay.
+    let mut streaming_json = Vec::new();
+    for s in measure_streaming() {
+        println!(
+            "streaming {}: splice {:.1}x ({} rebroken vs {} batch pts), pump {:.1}x \
+             ({} evals over {} waves x {} subs)",
+            s.name,
+            s.splice_speedup,
+            s.rebroken_points,
+            s.batch_points,
+            s.pump_speedup,
+            s.evaluated,
+            s.waves,
+            s.subscriptions
+        );
+        streaming_json.push(format!(
+            "    {{\"name\": \"{}\", \"sequences\": {}, \"subscriptions\": {}, \"waves\": {}, \
+             \"appended_points\": {}, \"rebroken_points\": {}, \"batch_points\": {}, \
+             \"evaluated\": {}, \"splice_speedup\": {:.3}, \"pump_speedup\": {:.3}}}",
+            s.name,
+            s.sequences,
+            s.subscriptions,
+            s.waves,
+            s.appended_points,
+            s.rebroken_points,
+            s.batch_points,
+            s.evaluated,
+            s.splice_speedup,
+            s.pump_speedup
+        ));
+    }
+
     // Every sibling experiment binary, timed end to end. They live next
     // to this harness in the target directory.
     let mut experiments = Vec::new();
@@ -142,6 +176,9 @@ fn main() {
     writeln!(json, "  ],").unwrap();
     writeln!(json, "  \"kernels\": [").unwrap();
     writeln!(json, "{}", kernels_json.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"streaming\": [").unwrap();
+    writeln!(json, "{}", streaming_json.join(",\n")).unwrap();
     writeln!(json, "  ],").unwrap();
     writeln!(json, "  \"experiments\": [").unwrap();
     let rows: Vec<String> = experiments

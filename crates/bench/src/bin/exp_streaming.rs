@@ -1,0 +1,92 @@
+//! Streaming ingestion vs batch re-runs: three live-feed shapes with
+//! standing queries attached, measuring how much work the incremental
+//! paths actually avoid.
+//!
+//! * **ticker** — long random-walk price feeds, a few trades per wave,
+//!   banded watchers: both the suffix splice and id-bounds pruning win.
+//! * **ecg** — one lead streamed chunk by chunk, drifting from the
+//!   paper's regular ~136-sample rhythm to the anomalous ~149-sample
+//!   rhythm, with `peak_interval` alarms standing; a single stream means
+//!   the splice win is the whole story.
+//! * **fleet** — many short telemetry feeds, high churn, per-group
+//!   watchers: pruning carries the pump.
+//!
+//! Two ratios per scenario, both ≥ the `SAQ_EXP_MIN_SPEEDUP` floor where
+//! the scenario exercises them:
+//! * splice speedup — points a batch re-run would re-examine (the whole
+//!   extended sequence, every wave) over points the online breaker
+//!   actually re-broke;
+//! * pump speedup — subscriptions × waves a naive re-run would evaluate
+//!   over what the pruning ladder let through.
+//!
+//! Environment knobs (CI smoke-runs cap these):
+//! * `SAQ_EXP_SEQUENCES` — corpus scale (default 64)
+//! * `SAQ_EXP_WAVES` — append waves per scenario (default 96)
+//! * `SAQ_EXP_MIN_SPEEDUP` — required ratio floor (default 2.0)
+
+use saq_bench::streaming::measure_streaming;
+use saq_bench::{banner, env_f64};
+
+fn main() {
+    banner("streaming", "incremental append + standing-query work vs batch re-runs");
+
+    let reports = measure_streaming();
+    println!(
+        "{:<7} | {:>8} | {:>9} | {:>11} | {:>12} | {:>13} | {:>10} | {:>6}",
+        "feed", "seqs", "subs", "waves", "appended pts", "rebroken pts", "batch pts", "evals"
+    );
+    for r in &reports {
+        println!(
+            "{:<7} | {:>8} | {:>9} | {:>11} | {:>12} | {:>13} | {:>10} | {:>6}",
+            r.name,
+            r.sequences,
+            r.subscriptions,
+            r.waves,
+            r.appended_points,
+            r.rebroken_points,
+            r.batch_points,
+            r.evaluated
+        );
+    }
+    println!();
+    for r in &reports {
+        println!(
+            "{:<7} | splice {:>6.1}x | pump {:>6.1}x",
+            r.name, r.splice_speedup, r.pump_speedup
+        );
+    }
+
+    let floor = env_f64("SAQ_EXP_MIN_SPEEDUP", 2.0);
+    for r in &reports {
+        // Fleet feeds are deliberately short — a 40-point telemetry trace
+        // has no long closed prefix to reuse, so there the splice only
+        // has to not lose; the long-feed scenarios must clear the floor.
+        let splice_floor = if r.name == "fleet" { 1.0 } else { floor };
+        assert!(
+            r.splice_speedup >= splice_floor,
+            "{}: splice work must beat the batch re-run by >={splice_floor}x, measured {:.2}x \
+             ({} rebroken vs {} batch points)",
+            r.name,
+            r.splice_speedup,
+            r.rebroken_points,
+            r.batch_points
+        );
+        // Single-stream scenarios have nothing to prune — every wave
+        // legitimately touches every watcher's only subject.
+        if r.sequences > 1 {
+            assert!(
+                r.pump_speedup >= floor,
+                "{}: pruning must beat re-evaluating every subscription by >={floor}x, \
+                 measured {:.2}x ({} evals vs {} naive)",
+                r.name,
+                r.pump_speedup,
+                r.evaluated,
+                r.subscriptions * r.waves
+            );
+        }
+    }
+    println!(
+        "\nPASS: incremental work >={floor}x below batch re-runs on every feed \
+         (splice on the long feeds, pruning wherever there is more than one stream)"
+    );
+}

@@ -13,6 +13,7 @@
 pub mod kernels;
 pub mod planner;
 pub mod recovery;
+pub mod streaming;
 
 use saq_sequence::Sequence;
 

@@ -16,7 +16,7 @@ use saq_sequence::Point;
 
 /// One detected peak: the rising/descending segments flanking the apex
 /// (Table 1 row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Peak<C> {
     /// Index (within the series) of the rising segment adjacent to the apex.
     pub rising_segment: usize,
@@ -68,7 +68,7 @@ impl<C: Curve> Peak<C> {
 }
 
 /// All peaks of a representation — Table 1 of the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeakTable<C> {
     /// Detected peaks in time order.
     pub peaks: Vec<Peak<C>>,

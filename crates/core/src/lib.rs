@@ -31,6 +31,10 @@
 //! 8. **Languages** ([`lang`]) — SAQL ([`lang::saql`]), the textual
 //!    surface for the full algebra (grammar in `docs/SAQL.md`), and the
 //!    original conjunctive clause language as a shim over its subset.
+//! 9. **Streaming** ([`streaming`], [`subscribe`]) — incremental
+//!    re-representation for live appends (splicing the online breaker's
+//!    stable prefix) and standing queries whose result-set deltas are
+//!    pushed after every mutation wave.
 //!
 //! ## Quick start
 //!
@@ -62,6 +66,8 @@ pub mod query;
 pub mod repr;
 pub mod request;
 pub mod store;
+pub mod streaming;
+pub mod subscribe;
 pub mod transform;
 
 pub use algebra::{
@@ -79,5 +85,7 @@ pub use persist::{load_series, read_series, save_series, write_series, write_ser
 pub use query::{ApproximateMatch, PreparedQuery, QueryOutcome, QuerySpec, SequenceMatch};
 pub use repr::{CompressionReport, FunctionSeries, LinearSeries, Segment};
 pub use request::{QueryBody, QueryRequest, QueryResponse, SnapshotRef};
-pub use store::{SequenceStore, SharedStore, StoreConfig, StoreSnapshot, StoredEntry};
+pub use store::{BreakerKind, SequenceStore, SharedStore, StoreConfig, StoreSnapshot, StoredEntry};
+pub use streaming::{append_entry, extend_entry, SpliceReport};
+pub use subscribe::{Delta, PumpCounters, SubscriptionId, SubscriptionRegistry};
 pub use transform::Transform;

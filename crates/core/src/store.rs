@@ -7,7 +7,7 @@
 //! propose discarding the actual sequences; they can be stored archivally").
 
 use crate::alphabet::{series_symbols, DEFAULT_THETA};
-use crate::brk::{Breaker, LinearInterpolationBreaker};
+use crate::brk::{Breaker, LinearInterpolationBreaker, OnlineBreaker};
 use crate::error::{Error, Result};
 use crate::features::PeakTable;
 use crate::repr::LinearSeries;
@@ -22,6 +22,38 @@ use std::sync::Arc;
 /// pair never collides across two different stores.
 static NEXT_STORE_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
+/// Which breaking algorithm the ingestion pipeline runs.
+///
+/// The two produce different (both valid) segmentations; what matters
+/// for streaming is *suffix stability*: [`BreakerKind::Online`] decides
+/// each breakpoint from the points of the current segment only, so a
+/// closed segment is final and appending points can re-break just the
+/// open suffix ([`crate::streaming::append_entry`]) byte-identically to
+/// a from-scratch run. The recursive offline template has no such
+/// property — appending under it recomputes the whole sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerKind {
+    /// The offline recursive interpolation template (Fig. 8) — the
+    /// batch default used throughout the paper's experiments.
+    #[default]
+    Offline,
+    /// The single-pass sliding-window breaker (§5.1) — suffix-stable,
+    /// required for incremental appends.
+    Online,
+}
+
+impl BreakerKind {
+    /// A stable integer tag for persistence stamps (durable index
+    /// documents record which breaker derived them, next to the ε/θ bit
+    /// patterns). Never reorder: 0 is on disk in every pre-tag manifest.
+    pub fn tag(self) -> u64 {
+        match self {
+            BreakerKind::Offline => 0,
+            BreakerKind::Online => 1,
+        }
+    }
+}
+
 /// Configuration of the ingestion pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
@@ -31,11 +63,26 @@ pub struct StoreConfig {
     pub theta: f64,
     /// Whether to retain the raw sequences alongside representations.
     pub keep_raw: bool,
+    /// Which breaking algorithm ingestion runs (default offline).
+    pub breaker: BreakerKind,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { epsilon: 1.0, theta: DEFAULT_THETA, keep_raw: true }
+        StoreConfig {
+            epsilon: 1.0,
+            theta: DEFAULT_THETA,
+            keep_raw: true,
+            breaker: BreakerKind::default(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// The default configuration with the suffix-stable online breaker —
+    /// what a streaming ingest wants (see [`BreakerKind`]).
+    pub fn streaming() -> StoreConfig {
+        StoreConfig { breaker: BreakerKind::Online, ..StoreConfig::default() }
     }
 }
 
@@ -62,21 +109,34 @@ impl StoredEntry {
         if seq.is_empty() {
             return Err(Error::EmptyInput);
         }
-        let breaker = LinearInterpolationBreaker::new(config.epsilon);
-        let ranges = breaker.break_ranges(seq);
+        let ranges = match config.breaker {
+            BreakerKind::Offline => {
+                LinearInterpolationBreaker::new(config.epsilon).break_ranges(seq)
+            }
+            BreakerKind::Online => OnlineBreaker::new(config.epsilon).break_ranges(seq),
+        };
         let series = LinearSeries::build(seq, &ranges, &RegressionFitter)?;
-        // Single-sample segments have no defined slope; their Flat symbol
-        // would split e.g. a `u+ d+` peak at its apex, so they are dropped
-        // from the indexed symbol string.
-        let symbols: Vec<u8> = series_symbols(&series, config.theta)
-            .into_iter()
-            .zip(series.segments())
-            .filter(|(sym, seg)| !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat))
-            .map(|(sym, _)| sym.id())
-            .collect();
-        let peaks = PeakTable::extract(&series, config.theta);
+        let (symbols, peaks) = derive_features(&series, config.theta);
         Ok(StoredEntry { series, symbols, peaks, raw: config.keep_raw.then(|| seq.clone()) })
     }
+}
+
+/// Derives the indexed artifacts from a representation: θ-quantized slope
+/// symbols and the peaks table. Single-sample segments have no defined
+/// slope; their Flat symbol would split e.g. a `u+ d+` peak at its apex,
+/// so they are dropped from the indexed symbol string. Shared by
+/// [`StoredEntry::compute`] and the streaming splice
+/// ([`crate::streaming::append_entry`]), so both paths always derive the
+/// same features from the same series.
+pub(crate) fn derive_features(series: &LinearSeries, theta: f64) -> (Vec<u8>, PeakTable<Line>) {
+    let symbols: Vec<u8> = series_symbols(series, theta)
+        .into_iter()
+        .zip(series.segments())
+        .filter(|(sym, seg)| !(seg.len() == 1 && *sym == crate::alphabet::SlopeSymbol::Flat))
+        .map(|(sym, _)| sym.id())
+        .collect();
+    let peaks = PeakTable::extract(series, theta);
+    (symbols, peaks)
 }
 
 /// A store of sequence representations with the paper's two indexes,
@@ -177,6 +237,49 @@ impl SequenceStore {
         self.generation += 1;
         // Snapshots may still share the entry; clone only in that case.
         Ok(Arc::try_unwrap(entry).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Extends the sequence stored under `id` with freshly arrived
+    /// points, re-representing it and swapping its index postings — the
+    /// streaming ingest path. Under [`BreakerKind::Online`] only the
+    /// open suffix is re-broken and refitted
+    /// ([`crate::streaming::append_entry`]); the offline breaker has no
+    /// stable suffix, so the whole extended sequence is recomputed.
+    /// Either way the resulting entry is byte-identical to re-ingesting
+    /// the extended sequence from scratch. Requires `keep_raw` (the raw
+    /// points are what gets extended); fails, leaving the store
+    /// untouched, on unknown ids, non-monotonic timestamps, or an empty
+    /// `points`. Returns how much work the splice did.
+    pub fn append_points(
+        &mut self,
+        id: u64,
+        points: &[saq_sequence::Point],
+    ) -> Result<crate::streaming::SpliceReport> {
+        let entry = self.entries.get(id).ok_or(Error::UnknownSequence { id })?;
+        let (next, report) = crate::streaming::append_entry(entry, points, &self.config)?;
+        self.index_entry(id, &next);
+        self.entries.insert(id, next);
+        self.generation += 1;
+        Ok(report)
+    }
+
+    /// As [`SequenceStore::append_points`], for stores built with
+    /// `keep_raw: false`: the caller supplies the whole extended
+    /// sequence (stored prefix + new points) from its own raw tier —
+    /// the [`crate::streaming::extend_entry`] contract. This is how a
+    /// tiered store's local representation tier rides the raw archive's
+    /// append without retaining raw copies of its own.
+    pub fn append_extended(
+        &mut self,
+        id: u64,
+        extended: Sequence,
+    ) -> Result<crate::streaming::SpliceReport> {
+        let entry = self.entries.get(id).ok_or(Error::UnknownSequence { id })?;
+        let (next, report) = crate::streaming::extend_entry(entry, extended, &self.config)?;
+        self.index_entry(id, &next);
+        self.entries.insert(id, next);
+        self.generation += 1;
+        Ok(report)
     }
 
     /// Replaces the sequence stored under an existing id, re-running the

@@ -48,7 +48,10 @@ use std::sync::Arc;
 pub const MANIFEST_KEY: &str = "manifest";
 
 const MANIFEST_MAGIC: &[u8; 4] = b"SAQM";
-const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION: u32 = 2;
+// Version 1 manifests lacked the docs breaker tag; decode defaults it
+// to 0 (the offline breaker), which is what every v1 writer used.
+const MANIFEST_VERSION_V1: u32 = 1;
 
 /// The entry-segment key for base generation `g`.
 pub fn segment_key(g: u64) -> String {
@@ -87,7 +90,7 @@ struct Manifest {
     instance: u64,
     base_generation: u64,
     entries: Option<SegmentRef>,
-    docs: Option<(SegmentRef, u64, u64)>, // (ref, epsilon_bits, theta_bits)
+    docs: Option<(SegmentRef, u64, u64, u64)>, // (ref, epsilon_bits, theta_bits, breaker_tag)
 }
 
 fn put_segment_ref(out: &mut Vec<u8>, r: &SegmentRef) {
@@ -118,10 +121,11 @@ impl Manifest {
             put_segment_ref(&mut body, r);
         }
         body.push(self.docs.is_some() as u8);
-        if let Some((r, eps, theta)) = &self.docs {
+        if let Some((r, eps, theta, breaker)) = &self.docs {
             put_segment_ref(&mut body, r);
             codec::put_u64(&mut body, *eps);
             codec::put_u64(&mut body, *theta);
+            codec::put_u64(&mut body, *breaker);
         }
         codec::frame(&body)
     }
@@ -137,7 +141,7 @@ impl Manifest {
             return Err(Error::corrupt("manifest: bad magic"));
         }
         let version = c.get_u32()?;
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION && version != MANIFEST_VERSION_V1 {
             return Err(Error::corrupt(format!("manifest: unsupported version {version}")));
         }
         let instance = c.get_u64()?;
@@ -147,7 +151,8 @@ impl Manifest {
             let r = get_segment_ref(&mut c)?;
             let eps = c.get_u64()?;
             let theta = c.get_u64()?;
-            Some((r, eps, theta))
+            let breaker = if version >= MANIFEST_VERSION { c.get_u64()? } else { 0 };
+            Some((r, eps, theta, breaker))
         } else {
             None
         };
@@ -164,6 +169,10 @@ pub struct DocsSpec<'a> {
     pub epsilon_bits: u64,
     /// `theta.to_bits()` of the ingest configuration.
     pub theta_bits: u64,
+    /// Which breaker broke the sequences (0 = offline recursive, 1 =
+    /// online sliding-window); opaque here, compared bit-exactly like
+    /// the float parameters.
+    pub breaker_tag: u64,
     /// Encoded documents, sorted by id (same order as the entries).
     pub docs: &'a [(u64, Vec<u8>)],
 }
@@ -176,6 +185,9 @@ pub struct DocsReader {
     pub epsilon_bits: u64,
     /// `theta.to_bits()` the docs were computed under.
     pub theta_bits: u64,
+    /// The breaker tag the docs were computed under (see
+    /// [`DocsSpec::breaker_tag`]).
+    pub breaker_tag: u64,
     /// The generation the docs are exact at.
     pub base_generation: u64,
 }
@@ -208,13 +220,45 @@ pub struct DurableStore {
     wal_records: u64,
 }
 
+/// How recovery folds a [`wal::WalOp::Append`] record into the entry it
+/// extends: `merge(prior_payload, delta_payload)` must return the merged
+/// payload. `prior` is `None` when the append created the entry. The
+/// durable layer stays payload-opaque; the layer that wrote the payloads
+/// supplies the merge (e.g. the archive concatenates point encodings).
+pub type AppendMerge<'a> = &'a dyn Fn(Option<&[u8]>, &[u8]) -> Result<Vec<u8>>;
+
+/// The [`AppendMerge`] used by [`DurableStore::open`]: plain byte
+/// concatenation of the prior payload and the delta.
+fn concat_merge(prior: Option<&[u8]>, delta: &[u8]) -> Result<Vec<u8>> {
+    let mut merged = prior.map(<[u8]>::to_vec).unwrap_or_default();
+    merged.extend_from_slice(delta);
+    Ok(merged)
+}
+
 impl DurableStore {
     /// Opens (or creates) the store in `backend` and runs recovery.
     /// `fresh_instance` mints the instance id for a brand-new store.
+    /// Replayed [`wal::WalOp::Append`] records merge by byte
+    /// concatenation; stores whose payloads need a structure-aware merge
+    /// use [`DurableStore::open_with_merge`].
     pub fn open(
         backend: Arc<dyn Backend>,
         config: DurableConfig,
         fresh_instance: impl FnOnce() -> u64,
+    ) -> Result<(DurableStore, Recovered)> {
+        DurableStore::open_with_merge(backend, config, fresh_instance, &concat_merge)
+    }
+
+    /// As [`DurableStore::open`], with a caller-supplied merge for
+    /// replaying [`wal::WalOp::Append`] records. A merge failure aborts
+    /// recovery: the payloads decoded cleanly (frames passed CRC), so a
+    /// merge that cannot interpret them signals a mis-configured caller,
+    /// not crash damage to silently truncate away.
+    pub fn open_with_merge(
+        backend: Arc<dyn Backend>,
+        config: DurableConfig,
+        fresh_instance: impl FnOnce() -> u64,
+        merge: AppendMerge<'_>,
     ) -> Result<(DurableStore, Recovered)> {
         let manifest = match backend.get(MANIFEST_KEY)? {
             Some(bytes) => Manifest::decode(&bytes)?,
@@ -275,6 +319,12 @@ impl DurableStore {
                     }
                 }
                 wal::WalOp::Wildcard => {}
+                wal::WalOp::Append { id, payload } => {
+                    match entries.binary_search_by_key(id, |(k, _)| *k) {
+                        Ok(i) => entries[i].1 = merge(Some(&entries[i].1), payload)?,
+                        Err(i) => entries.insert(i, (*id, merge(None, payload)?)),
+                    }
+                }
             }
             mutations.push((record.generation, record.op.id()));
             generation = record.generation;
@@ -285,10 +335,11 @@ impl DurableStore {
             backend.sync()?;
         }
 
-        let docs = manifest.docs.as_ref().map(|(r, eps, theta)| DocsReader {
+        let docs = manifest.docs.as_ref().map(|(r, eps, theta, breaker)| DocsReader {
             reader: SegmentReader::new(Arc::clone(&backend), &r.key, r.meta),
             epsilon_bits: *eps,
             theta_bits: *theta,
+            breaker_tag: *breaker,
             base_generation: base,
         });
         let recovered = Recovered {
@@ -388,7 +439,12 @@ impl DurableStore {
                     builder.push(*id, doc)?;
                 }
                 let meta = builder.finish()?;
-                Some((SegmentRef { key, meta }, spec.epsilon_bits, spec.theta_bits))
+                Some((
+                    SegmentRef { key, meta },
+                    spec.epsilon_bits,
+                    spec.theta_bits,
+                    spec.breaker_tag,
+                ))
             }
             None => None,
         };
@@ -404,7 +460,7 @@ impl DurableStore {
         // losing.
         self.backend.put(MANIFEST_KEY, &manifest.encode())?;
         self.backend.truncate(WAL_KEY, 0)?;
-        let stale_docs = old.docs.as_ref().map(|(r, _, _)| r.clone());
+        let stale_docs = old.docs.as_ref().map(|(r, ..)| r.clone());
         for r in old.entries.iter().chain(stale_docs.iter()) {
             if r.key != segment_key(generation) && r.key != docs_key(generation) {
                 self.backend.delete(&r.key)?;
@@ -413,10 +469,11 @@ impl DurableStore {
         self.backend.sync()?;
         self.manifest = manifest;
         self.wal_records = 0;
-        Ok(self.manifest.docs.as_ref().map(|(r, eps, theta)| DocsReader {
+        Ok(self.manifest.docs.as_ref().map(|(r, eps, theta, breaker)| DocsReader {
             reader: SegmentReader::new(Arc::clone(&self.backend), &r.key, r.meta),
             epsilon_bits: *eps,
             theta_bits: *theta,
+            breaker_tag: *breaker,
             base_generation: generation,
         }))
     }
@@ -452,6 +509,7 @@ mod tests {
                 },
                 0.05f64.to_bits(),
                 1.0f64.to_bits(),
+                1,
             )),
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
@@ -500,6 +558,52 @@ mod tests {
         );
         assert!(!recovered.tail_discarded);
         assert_eq!(store.wal_records(), 5);
+    }
+
+    #[test]
+    fn append_records_merge_on_replay() {
+        let backend = MemoryBackend::new();
+        let (mut store, _) = open(&backend);
+        store.append(&put(1, 5, "five")).unwrap();
+        store
+            .append(&WalRecord {
+                generation: 2,
+                op: WalOp::Append { id: 5, payload: b"-more".to_vec() },
+            })
+            .unwrap();
+        // An append may also create the entry (first write via append).
+        store
+            .append(&WalRecord {
+                generation: 3,
+                op: WalOp::Append { id: 9, payload: b"nine".to_vec() },
+            })
+            .unwrap();
+        drop(store);
+
+        // Default merge: byte concatenation.
+        let (_store, recovered) = open(&backend);
+        assert_eq!(recovered.generation, 3);
+        assert_eq!(recovered.entries, vec![(5, b"five-more".to_vec()), (9, b"nine".to_vec())]);
+        assert_eq!(recovered.mutations, vec![(1, Some(5)), (2, Some(5)), (3, Some(9))]);
+
+        // A custom merge sees the prior payload (None when creating).
+        let merge = |prior: Option<&[u8]>, delta: &[u8]| -> Result<Vec<u8>> {
+            let mut out = prior.map(<[u8]>::to_vec).unwrap_or_else(|| b"fresh:".to_vec());
+            out.extend_from_slice(b"+");
+            out.extend_from_slice(delta);
+            Ok(out)
+        };
+        let (_store, recovered) = DurableStore::open_with_merge(
+            Arc::new(backend),
+            DurableConfig::default(),
+            || 1,
+            &merge,
+        )
+        .unwrap();
+        assert_eq!(
+            recovered.entries,
+            vec![(5, b"five+-more".to_vec()), (9, b"fresh:+nine".to_vec())]
+        );
     }
 
     #[test]
@@ -616,8 +720,12 @@ mod tests {
         let (mut store, _) = open(&backend);
         let entries = vec![(3u64, b"e3".to_vec()), (8, b"e8".to_vec())];
         let docs = vec![(3u64, b"d3".to_vec()), (8, b"d8".to_vec())];
-        let spec =
-            DocsSpec { epsilon_bits: 0.1f64.to_bits(), theta_bits: 2.0f64.to_bits(), docs: &docs };
+        let spec = DocsSpec {
+            epsilon_bits: 0.1f64.to_bits(),
+            theta_bits: 2.0f64.to_bits(),
+            breaker_tag: 1,
+            docs: &docs,
+        };
         let pager = store.compact(7, &entries, Some(spec)).unwrap().unwrap();
         assert_eq!(pager.reader.get(8).unwrap().unwrap(), b"d8");
         assert_eq!(pager.base_generation, 7);
@@ -627,6 +735,7 @@ mod tests {
         let pager = recovered.docs.expect("docs survive reopen");
         assert_eq!(pager.epsilon_bits, 0.1f64.to_bits());
         assert_eq!(pager.theta_bits, 2.0f64.to_bits());
+        assert_eq!(pager.breaker_tag, 1);
         assert_eq!(pager.reader.get(3).unwrap().unwrap(), b"d3");
         assert_eq!(pager.reader.get(4).unwrap(), None);
     }

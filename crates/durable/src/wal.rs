@@ -15,8 +15,11 @@
 //! ```
 //!
 //! `kind` is 1 = put, 2 = remove, 3 = wildcard (an id-less whole-store
-//! invalidation, e.g. a clock rescale). `id` is 0 and `payload` empty
-//! for wildcard records; `payload` is empty for removes.
+//! invalidation, e.g. a clock rescale), 4 = append (extend an existing
+//! entry's payload; replay folds the delta in through the caller's merge
+//! function — see [`crate::DurableStore::open_with_merge`]). `id` is 0
+//! and `payload` empty for wildcard records; `payload` is empty for
+//! removes.
 //!
 //! # Reading back
 //!
@@ -36,6 +39,7 @@ pub const WAL_KEY: &str = "wal";
 const KIND_PUT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
 const KIND_WILDCARD: u8 = 3;
+const KIND_APPEND: u8 = 4;
 
 /// One logged mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +58,17 @@ pub enum WalOp {
     },
     /// An id-less whole-store mutation (every entry may have changed).
     Wildcard,
+    /// Extend the entry at `id` with `payload` bytes. The payload holds
+    /// only the *delta*; replay folds it into the prior entry (or a
+    /// missing one) through the merge function handed to
+    /// [`crate::DurableStore::open_with_merge`] — the durable layer
+    /// itself never interprets either byte string.
+    Append {
+        /// The entry id.
+        id: u64,
+        /// The encoded delta (opaque to this layer).
+        payload: Vec<u8>,
+    },
 }
 
 impl WalOp {
@@ -61,7 +76,7 @@ impl WalOp {
     /// same shape the archive's coalescing mutation log records.
     pub fn id(&self) -> Option<u64> {
         match self {
-            WalOp::Put { id, .. } | WalOp::Remove { id } => Some(*id),
+            WalOp::Put { id, .. } | WalOp::Remove { id } | WalOp::Append { id, .. } => Some(*id),
             WalOp::Wildcard => None,
         }
     }
@@ -89,6 +104,7 @@ impl WalRecord {
             WalOp::Put { id, payload } => (KIND_PUT, *id, payload),
             WalOp::Remove { id } => (KIND_REMOVE, *id, &[]),
             WalOp::Wildcard => (KIND_WILDCARD, 0, &[]),
+            WalOp::Append { id, payload } => (KIND_APPEND, *id, payload),
         };
         body.push(kind);
         codec::put_u64(&mut body, self.generation);
@@ -109,6 +125,7 @@ impl WalRecord {
             KIND_PUT => WalOp::Put { id, payload },
             KIND_REMOVE if payload.is_empty() => WalOp::Remove { id },
             KIND_WILDCARD if payload.is_empty() && id == 0 => WalOp::Wildcard,
+            KIND_APPEND => WalOp::Append { id, payload },
             _ => {
                 return Err(Error::corrupt(format!(
                     "wal record: bad kind {kind} (id {id}, {} payload bytes)",
@@ -177,6 +194,7 @@ mod tests {
             WalRecord { generation: 2, op: WalOp::Remove { id: 7 } },
             WalRecord { generation: 3, op: WalOp::Wildcard },
             WalRecord { generation: 4, op: WalOp::Put { id: 9, payload: vec![] } },
+            WalRecord { generation: 5, op: WalOp::Append { id: 9, payload: b"more".to_vec() } },
         ]
     }
 

@@ -86,6 +86,7 @@ use saq_core::algebra::{
 use saq_core::query::{QueryOutcome, QuerySpec};
 use saq_core::request::{QueryRequest, QueryResponse, SnapshotRef};
 use saq_core::store::{StoreConfig, StoredEntry};
+use saq_core::subscribe::{Delta, SubscriptionId, SubscriptionRegistry};
 use saq_core::{Error, Result};
 use saq_index::{DocPager as _, IndexDoc, IndexSet, SequenceIndex as _};
 use saq_sequence::Sequence;
@@ -383,6 +384,31 @@ impl QueryEngine {
                 })
             })
             .collect())
+    }
+
+    /// Re-evaluates a [`SubscriptionRegistry`]'s standing queries against
+    /// one pinned snapshot, pruning with the exact set of ids mutated
+    /// since generation `last_pumped`
+    /// ([`ArchiveSnapshot::changed_since`]). Subscriptions that execute
+    /// run through this engine's sharded pool and feature cache — a pump
+    /// after a k-id wave re-fetches at most those k sequences.
+    ///
+    /// `changed_since` answering `None` is the **wildcard**: an id-less
+    /// whole-archive mutation ([`ArchiveStore::mark_all_changed`]) or a
+    /// delta that fell off the bounded mutation log. It flows through to
+    /// [`SubscriptionRegistry::pump`] as `None`, which re-evaluates every
+    /// subscription — collapsing it to an empty dirty set would silently
+    /// freeze them all (the regression `tests/prop_subscriptions.rs`
+    /// guards).
+    pub fn pump_subscriptions(
+        &self,
+        snapshot: &ArchiveSnapshot,
+        registry: &mut SubscriptionRegistry,
+        last_pumped: u64,
+    ) -> Result<Vec<(SubscriptionId, Delta)>> {
+        let dirty = snapshot.changed_since(last_pumped);
+        let bound = self.bind_snapshot(snapshot.clone());
+        registry.pump(&bound, dirty.as_deref(), None)
     }
 
     /// Runs a batch of queries over every archived sequence using the
@@ -1772,5 +1798,80 @@ mod tests {
         assert!(makespan > 0.0 && makespan < total, "workers overlap: {report:?}");
         assert!((total - disk.elapsed_seconds()).abs() < 1e-9, "clocks account every fetch");
         assert!(report.sim_speedup() > 1.5, "4 workers should overlap: {report:?}");
+    }
+
+    #[test]
+    fn subscription_pump_prunes_by_dirty_ids() {
+        let mut archive = mixed_archive(6);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let mut reg = SubscriptionRegistry::new();
+        // Goalposts sit at ids 0 and 3 in the mixed archive.
+        let watched = reg.register_saql("peaks = 2 and id in [0..0]").unwrap();
+        let baseline = archive.generation();
+        let deltas = engine.pump_subscriptions(&archive.snapshot(), &mut reg, baseline).unwrap();
+        assert_eq!(deltas.len(), 1, "baseline pump reports the starting membership");
+        assert_eq!(reg.current(watched), Some(&[0][..]));
+
+        // A wave touching only unrelated ids: the id-bounds prune means
+        // no subscription executes at all.
+        let pumped = archive.generation();
+        archive.put(5, random_walk(64, 0.0, 0.2, 99));
+        let evaluated = reg.counters().evaluated;
+        let deltas = engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        assert!(deltas.is_empty());
+        assert_eq!(reg.counters().evaluated, evaluated, "dirty id 5 is outside [0..0]");
+        assert_eq!(reg.counters().skipped_id_bounds, 1);
+
+        // Overwriting the watched id re-evaluates and emits the exit.
+        let pumped = archive.generation();
+        archive.put(0, random_walk(64, 0.0, 0.2, 98));
+        let deltas = engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        assert_eq!(deltas, vec![(watched, Delta { entered: vec![], left: vec![0] })]);
+    }
+
+    #[test]
+    fn subscription_pump_treats_wildcards_as_reevaluate_everything() {
+        let mut archive = mixed_archive(3);
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let mut reg = SubscriptionRegistry::new();
+        let watched = reg.register_saql("peaks = 2").unwrap();
+        let pumped = archive.generation();
+        engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        let members = reg.current(watched).unwrap().to_vec();
+        assert!(!members.is_empty());
+
+        // An id-less whole-archive mutation: `changed_since` answers
+        // `None`, and the pump must re-evaluate rather than skip.
+        let pumped = archive.generation();
+        archive.remove(members[0]);
+        archive.mark_all_changed();
+        assert_eq!(archive.changed_since(pumped), None, "wildcard precondition");
+        let deltas = engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        assert_eq!(deltas.len(), 1, "wildcard wave must not freeze the subscription");
+        assert_eq!(deltas[0].1.left, vec![members[0]]);
+    }
+
+    #[test]
+    fn subscription_pump_sees_appended_points() {
+        let mut archive = ArchiveStore::new(Medium::memory());
+        let full = goalpost(GoalpostSpec::default());
+        let (head, tail) = full.points().split_at(full.len() / 2);
+        archive.put(1, Sequence::new(head.to_vec()).unwrap());
+        let engine = QueryEngine::new(EngineConfig::default()).unwrap();
+        let mut reg = SubscriptionRegistry::new();
+        let watched = reg.register_saql("peaks = 2").unwrap();
+        let pumped = archive.generation();
+        engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        let before = reg.current(watched).unwrap().to_vec();
+
+        // Streaming in the second half completes the second goalpost; the
+        // append wave is exactly-tracked, so the pump sees `[1]` dirty.
+        let pumped = archive.generation();
+        archive.append_points(1, tail);
+        let deltas = engine.pump_subscriptions(&archive.snapshot(), &mut reg, pumped).unwrap();
+        assert_eq!(reg.current(watched), Some(&[1][..]));
+        if before.is_empty() {
+            assert_eq!(deltas, vec![(watched, Delta { entered: vec![1], left: vec![] })]);
+        }
     }
 }

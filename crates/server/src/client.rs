@@ -3,12 +3,17 @@
 //! `QueryEngine` trait as every in-process engine — the REPL's
 //! `--connect` mode and any embedding code stay engine-agnostic.
 
-use crate::protocol::{read_frame, write_frame, Verb, WireRequest, WireResponse};
+use crate::protocol::{
+    read_frame, render_points, write_frame, DeltaFrame, Verb, WireRequest, WireResponse,
+};
 use parking_lot::Mutex;
 use saq_core::algebra::{ExecStats, QueryEngine, QueryExpr};
 use saq_core::{Error, QueryOutcome, QueryRequest, QueryResponse, Result, SnapshotRef};
+use saq_sequence::Point;
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Server counters as reported by the `STATS` verb.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +28,12 @@ pub struct ServerStats {
     pub errors: u64,
     /// Largest wave coalesced so far.
     pub max_wave: u64,
+    /// Append waves applied through the `APPEND` verb.
+    pub appends: u64,
+    /// `DELTA` frames pushed to subscribed sessions.
+    pub deltas: u64,
+    /// Currently live subscriptions (a gauge, not a counter).
+    pub subscriptions: u64,
     /// The snapshot the server was at when it answered.
     pub snapshot: Option<SnapshotRef>,
 }
@@ -39,11 +50,16 @@ impl ServerStats {
 }
 
 /// A blocking SAQP/1 client over one TCP connection (= one session).
+///
+/// Subscribed sessions receive unsolicited `DELTA` frames; the client
+/// queues any that arrive interleaved with a response and hands them out
+/// through [`SaqClient::next_delta`] / [`SaqClient::next_delta_within`].
 #[derive(Debug)]
 pub struct SaqClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     last_wave: u64,
+    pending_deltas: VecDeque<DeltaFrame>,
 }
 
 impl SaqClient {
@@ -51,14 +67,22 @@ impl SaqClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<SaqClient> {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(SaqClient { reader, writer, last_wave: 0 })
+        Ok(SaqClient { reader, writer, last_wave: 0, pending_deltas: VecDeque::new() })
     }
 
     fn round_trip(&mut self, request: &WireRequest) -> Result<WireResponse> {
         write_frame(&mut self.writer, &request.render())?;
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
-        WireResponse::parse(&payload)
+        loop {
+            let payload = read_frame(&mut self.reader)?
+                .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
+            // Pushed deltas may land between a request and its response;
+            // queue them for `next_delta` rather than losing them.
+            if let Some(frame) = parse_push(&payload)? {
+                self.pending_deltas.push_back(frame);
+                continue;
+            }
+            return WireResponse::parse(&payload);
+        }
     }
 
     /// Runs one query; an `ERR` reply becomes the [`Error::Remote`] it
@@ -121,6 +145,9 @@ impl SaqClient {
             waves: count("waves"),
             errors: count("errors"),
             max_wave: count("max-wave"),
+            appends: count("appends"),
+            deltas: count("deltas"),
+            subscriptions: count("subscriptions"),
             snapshot: reply.header("snapshot").map(str::parse).transpose()?,
         })
     }
@@ -134,6 +161,104 @@ impl SaqClient {
             Err(reply.to_error())
         }
     }
+
+    /// Registers the SAQL text as a standing query on this session and
+    /// returns its subscription id. The baseline result set arrives as
+    /// the first pushed `DELTA` frame (everything `entered`, nothing
+    /// `left`); later frames report membership changes after each
+    /// mutation wave.
+    pub fn subscribe(&mut self, saql: &str) -> Result<u64> {
+        let mut request = WireRequest::new(Verb::Subscribe);
+        request.body = saql.to_string();
+        let reply = self.round_trip(&request)?;
+        if !reply.ok {
+            return Err(reply.to_error());
+        }
+        reply
+            .header("subscription")
+            .ok_or_else(|| Error::Protocol("reply is missing the subscription header".into()))?
+            .parse()
+            .map_err(|_| Error::Protocol("malformed subscription id".into()))
+    }
+
+    /// Drops a subscription registered by [`SaqClient::subscribe`].
+    pub fn unsubscribe(&mut self, subscription: u64) -> Result<()> {
+        let mut request = WireRequest::new(Verb::Unsubscribe);
+        request.headers.push(("subscription".into(), subscription.to_string()));
+        let reply = self.round_trip(&request)?;
+        if reply.ok {
+            Ok(())
+        } else {
+            Err(reply.to_error())
+        }
+    }
+
+    /// Appends points to the archived sequence `id` (creating it if
+    /// absent) and returns its total length afterwards. The server
+    /// applies the wave, pumps the standing queries, and pushes `DELTA`
+    /// frames to every affected subscriber.
+    pub fn append(&mut self, id: u64, points: &[Point]) -> Result<usize> {
+        let mut request = WireRequest::new(Verb::Append);
+        request.headers.push(("id".into(), id.to_string()));
+        request.body = render_points(points);
+        let reply = self.round_trip(&request)?;
+        if !reply.ok {
+            return Err(reply.to_error());
+        }
+        reply
+            .header("total")
+            .ok_or_else(|| Error::Protocol("reply is missing the total header".into()))?
+            .parse()
+            .map_err(|_| Error::Protocol("malformed total".into()))
+    }
+
+    /// Blocks until the next pushed `DELTA` frame (already-queued frames
+    /// are drained first, in arrival order).
+    pub fn next_delta(&mut self) -> Result<DeltaFrame> {
+        if let Some(frame) = self.pending_deltas.pop_front() {
+            return Ok(frame);
+        }
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
+        parse_push(&payload)?.ok_or_else(|| {
+            Error::Protocol("unexpected response frame while waiting for a delta".into())
+        })
+    }
+
+    /// As [`SaqClient::next_delta`], giving up after `timeout` with
+    /// `Ok(None)` instead of blocking forever.
+    pub fn next_delta_within(&mut self, timeout: Duration) -> Result<Option<DeltaFrame>> {
+        if let Some(frame) = self.pending_deltas.pop_front() {
+            return Ok(Some(frame));
+        }
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        let result = read_frame(&mut self.reader);
+        self.reader.get_ref().set_read_timeout(None)?;
+        match result {
+            Ok(Some(payload)) => parse_push(&payload)?.map(Some).ok_or_else(|| {
+                Error::Protocol("unexpected response frame while waiting for a delta".into())
+            }),
+            Ok(None) => Err(Error::Protocol("server closed the connection".into())),
+            Err(Error::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Parses a pushed `DELTA` frame; `Ok(None)` for anything else (a
+/// response payload).
+fn parse_push(payload: &str) -> Result<Option<DeltaFrame>> {
+    if !payload.starts_with("DELTA ") {
+        return Ok(None);
+    }
+    Ok(Some(DeltaFrame::from_wire(&WireRequest::parse(payload)?)?))
 }
 
 fn expect_snapshot(reply: &WireResponse) -> Result<SnapshotRef> {

@@ -52,11 +52,16 @@ pub mod client;
 pub mod protocol;
 
 pub use client::{RemoteEngine, SaqClient, ServerStats};
+pub use protocol::DeltaFrame;
 
-use protocol::{read_frame, write_frame, Verb, WireRequest, WireResponse};
+use parking_lot::Mutex;
+use protocol::{parse_points, read_frame, write_frame, Verb, WireRequest, WireResponse};
 use saq_archive::ArchiveStore;
+use saq_core::subscribe::{SubscriptionId, SubscriptionRegistry};
 use saq_core::{QueryRequest, QueryResponse, Result, SnapshotRef};
 use saq_engine::{EngineConfig, QueryEngine};
+use saq_sequence::Point;
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -101,6 +106,9 @@ struct Metrics {
     waves: AtomicU64,
     errors: AtomicU64,
     max_wave: AtomicU64,
+    appends: AtomicU64,
+    deltas: AtomicU64,
+    subscriptions: AtomicU64,
 }
 
 /// A point-in-time copy of a server's [`Saqd::metrics`] counters.
@@ -116,6 +124,12 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Largest wave coalesced so far.
     pub max_wave: u64,
+    /// Append waves applied through the `APPEND` verb.
+    pub appends: u64,
+    /// `DELTA` frames pushed to subscribed sessions.
+    pub deltas: u64,
+    /// Currently live subscriptions (a gauge, not a counter).
+    pub subscriptions: u64,
 }
 
 impl Metrics {
@@ -126,9 +140,16 @@ impl Metrics {
             waves: self.waves.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             max_wave: self.max_wave.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            deltas: self.deltas.load(Ordering::Relaxed),
+            subscriptions: self.subscriptions.load(Ordering::Relaxed),
         }
     }
 }
+
+/// The write half of one session's socket, shared between its reader
+/// thread (responses) and the dispatcher (pushed `DELTA` frames).
+type Sink = Arc<Mutex<TcpStream>>;
 
 /// One unit of dispatcher work.
 enum Job {
@@ -136,13 +157,21 @@ enum Job {
     /// wire-ready `(code, message)`) goes back through `reply`, tagged
     /// with the size of the wave that served it.
     Query { req: QueryRequest, reply: SyncSender<(StdResult, u64)> },
+    /// Register a standing SAQL query; membership changes push to `sink`.
+    Subscribe { saql: String, sink: Sink, reply: SyncSender<WireResult<u64>> },
+    /// Drop a subscription; answers whether it was live.
+    Unsubscribe { id: u64, reply: SyncSender<bool> },
+    /// Append points to one archived sequence (creating it if absent);
+    /// answers `(generation, total points)` after the wave is applied.
+    Append { id: u64, points: Vec<Point>, reply: SyncSender<WireResult<(u64, usize)>> },
     /// Stop the dispatch loop.
     Shutdown,
 }
 
 /// A result whose error half is already wire-shaped: `Error` is not
 /// `Clone`, and a wave-level failure must fan out to every member.
-type StdResult = std::result::Result<QueryResponse, (u16, String)>;
+type WireResult<T> = std::result::Result<T, (u16, String)>;
+type StdResult = WireResult<QueryResponse>;
 
 /// A running `saqd` server: an acceptor, one reader thread per
 /// connection, and the single coalescing dispatcher. Dropping the handle
@@ -196,6 +225,7 @@ impl Saqd {
                         metrics: metrics.clone(),
                         archive: archive.clone(),
                         pin: None,
+                        subs: Vec::new(),
                     };
                     std::thread::spawn(move || session.serve(stream));
                 }
@@ -239,9 +269,21 @@ impl Saqd {
     }
 }
 
+/// How one job left the collection loop: a query joins the wave, a
+/// control job (subscribe/unsubscribe/append) was applied and answered
+/// in place, a shutdown ends the loop after this iteration.
+enum Handled {
+    Query((QueryRequest, SyncSender<(StdResult, u64)>)),
+    Control,
+    Stop,
+}
+
 /// The wave loop: take one job, hold the wave open for the configured
-/// window (or until full), then run the whole wave against **one**
-/// archive snapshot.
+/// window (or until full), run the accumulated queries against **one**
+/// archive snapshot, then pump the subscription registry and push the
+/// resulting `DELTA` frames. Control jobs (subscriptions, appends) are
+/// applied in arrival order while the wave collects, so one iteration's
+/// appends are visible to its queries and to its pump.
 fn dispatch_loop(
     engine: &QueryEngine,
     archive: &ArchiveStore,
@@ -249,25 +291,33 @@ fn dispatch_loop(
     jobs: &Receiver<Job>,
     metrics: &Metrics,
 ) {
+    let mut archive = archive.clone();
+    let mut registry = SubscriptionRegistry::new();
+    let mut sinks: HashMap<u64, Sink> = HashMap::new();
+    let mut last_pumped = archive.generation();
     loop {
-        let first = match jobs.recv() {
-            Ok(Job::Query { req, reply }) => (req, reply),
-            Ok(Job::Shutdown) | Err(_) => return,
-        };
-        let mut wave = vec![first];
-        let deadline = Instant::now() + config.wave_window;
+        let mut wave: Vec<(QueryRequest, SyncSender<(StdResult, u64)>)> = Vec::new();
         let mut stop_after = false;
-        while wave.len() < config.max_wave.max(1) {
+        match jobs.recv() {
+            Ok(job) => match apply(job, &mut archive, &mut registry, &mut sinks, metrics) {
+                Handled::Query(q) => wave.push(q),
+                Handled::Control => {}
+                Handled::Stop => stop_after = true,
+            },
+            Err(_) => return,
+        }
+        let deadline = Instant::now() + config.wave_window;
+        while !stop_after && wave.len() < config.max_wave.max(1) {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
             }
             match jobs.recv_timeout(left) {
-                Ok(Job::Query { req, reply }) => wave.push((req, reply)),
-                Ok(Job::Shutdown) => {
-                    stop_after = true;
-                    break;
-                }
+                Ok(job) => match apply(job, &mut archive, &mut registry, &mut sinks, metrics) {
+                    Handled::Query(q) => wave.push(q),
+                    Handled::Control => {}
+                    Handled::Stop => stop_after = true,
+                },
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     stop_after = true;
@@ -276,37 +326,126 @@ fn dispatch_loop(
             }
         }
 
-        let size = wave.len() as u64;
-        metrics.waves.fetch_add(1, Ordering::Relaxed);
-        metrics.queries.fetch_add(size, Ordering::Relaxed);
-        metrics.max_wave.fetch_max(size, Ordering::Relaxed);
-
         let snapshot = archive.snapshot();
-        let requests: Vec<QueryRequest> = wave.iter().map(|(req, _)| req.clone()).collect();
-        match engine.run_requests(&snapshot, &requests) {
-            Ok(results) => {
-                for ((_, reply), result) in wave.into_iter().zip(results) {
-                    let result = result.map_err(|e| {
-                        metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        (e.code(), e.to_string())
-                    });
-                    let _ = reply.send((result, size));
+        if !wave.is_empty() {
+            let size = wave.len() as u64;
+            metrics.waves.fetch_add(1, Ordering::Relaxed);
+            metrics.queries.fetch_add(size, Ordering::Relaxed);
+            metrics.max_wave.fetch_max(size, Ordering::Relaxed);
+
+            let requests: Vec<QueryRequest> = wave.iter().map(|(req, _)| req.clone()).collect();
+            match engine.run_requests(&snapshot, &requests) {
+                Ok(results) => {
+                    for ((_, reply), result) in wave.into_iter().zip(results) {
+                        let result = result.map_err(|e| {
+                            metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            (e.code(), e.to_string())
+                        });
+                        let _ = reply.send((result, size));
+                    }
+                }
+                Err(e) => {
+                    // A wave-level failure (not attributable to one request)
+                    // fans out to every member with the same code + message.
+                    let code = e.code();
+                    let message = e.to_string();
+                    metrics.errors.fetch_add(size, Ordering::Relaxed);
+                    for (_, reply) in wave {
+                        let _ = reply.send((Err((code, message.clone())), size));
+                    }
                 }
             }
-            Err(e) => {
-                // A wave-level failure (not attributable to one request)
-                // fans out to every member with the same code + message.
-                let code = e.code();
-                let message = e.to_string();
-                metrics.errors.fetch_add(size, Ordering::Relaxed);
-                for (_, reply) in wave {
-                    let _ = reply.send((Err((code, message.clone())), size));
+        }
+
+        if !registry.is_empty() {
+            // Pump against the same snapshot the wave answered from. The
+            // dirty set comes from `changed_since(last_pumped)` inside
+            // the engine — a wildcard (`None`) re-evaluates everything.
+            match engine.pump_subscriptions(&snapshot, &mut registry, last_pumped) {
+                Ok(deltas) => {
+                    last_pumped = snapshot.generation();
+                    let current = SnapshotRef::new(snapshot.instance_id(), snapshot.generation());
+                    let mut dead = Vec::new();
+                    for (id, delta) in deltas {
+                        let Some(sink) = sinks.get(&id.raw()) else { continue };
+                        let frame =
+                            DeltaFrame { subscription: id.raw(), delta, snapshot: Some(current) };
+                        if write_frame(&mut *sink.lock(), &frame.to_wire().render()).is_ok() {
+                            metrics.deltas.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            dead.push(id);
+                        }
+                    }
+                    // A sink that refuses writes is a gone session; its
+                    // subscriptions die with it.
+                    for id in dead {
+                        if registry.unregister(id) {
+                            metrics.subscriptions.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        sinks.remove(&id.raw());
+                    }
+                }
+                Err(_) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         if stop_after {
             return;
         }
+    }
+}
+
+/// Applies one job. Queries are deferred to the wave; everything else is
+/// answered immediately so control round-trips never wait on a wave.
+fn apply(
+    job: Job,
+    archive: &mut ArchiveStore,
+    registry: &mut SubscriptionRegistry,
+    sinks: &mut HashMap<u64, Sink>,
+    metrics: &Metrics,
+) -> Handled {
+    match job {
+        Job::Query { req, reply } => Handled::Query((req, reply)),
+        Job::Subscribe { saql, sink, reply } => {
+            let result = registry
+                .register_saql(&saql)
+                .map(|id| {
+                    sinks.insert(id.raw(), sink);
+                    metrics.subscriptions.fetch_add(1, Ordering::Relaxed);
+                    id.raw()
+                })
+                .map_err(|e| {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    (e.code(), e.to_string())
+                });
+            let _ = reply.send(result);
+            Handled::Control
+        }
+        Job::Unsubscribe { id, reply } => {
+            let live = registry.unregister(SubscriptionId::from_raw(id));
+            sinks.remove(&id);
+            if live {
+                metrics.subscriptions.fetch_sub(1, Ordering::Relaxed);
+            }
+            let _ = reply.send(live);
+            Handled::Control
+        }
+        Job::Append { id, points, reply } => {
+            let result = archive
+                .try_append_points(id, &points)
+                .map(|total| {
+                    metrics.appends.fetch_add(1, Ordering::Relaxed);
+                    (archive.generation(), total)
+                })
+                .map_err(|e| {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    (e.code(), e.to_string())
+                });
+            let _ = reply.send(result);
+            Handled::Control
+        }
+        Job::Shutdown => Handled::Stop,
     }
 }
 
@@ -317,25 +456,32 @@ struct Session {
     metrics: Arc<Metrics>,
     archive: ArchiveStore,
     pin: Option<SnapshotRef>,
+    /// Subscriptions this session registered, for cleanup on disconnect.
+    subs: Vec<u64>,
 }
 
 impl Session {
     fn serve(mut self, stream: TcpStream) {
         let Ok(read_half) = stream.try_clone() else { return };
         let mut reader = BufReader::new(read_half);
-        let mut writer = stream;
-        loop {
-            let payload = match read_frame(&mut reader) {
-                Ok(Some(payload)) => payload,
-                Ok(None) | Err(_) => return,
-            };
+        // The write half is shared with the dispatcher, which pushes
+        // `DELTA` frames between (or interleaved with) responses; the
+        // mutex keeps whole frames atomic on the wire.
+        let writer: Sink = Arc::new(Mutex::new(stream));
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
             let response = match WireRequest::parse(&payload) {
-                Ok(request) => self.respond(&request),
+                Ok(request) => self.respond(&request, &writer),
                 Err(e) => WireResponse::err(e.code(), &e.to_string()),
             };
-            if write_frame(&mut writer, &response.render()).is_err() {
-                return;
+            if write_frame(&mut *writer.lock(), &response.render()).is_err() {
+                break;
             }
+        }
+        // The socket is closing: drop this session's subscriptions so the
+        // dispatcher stops evaluating (and pushing) for a gone peer.
+        for id in std::mem::take(&mut self.subs) {
+            let (reply, _) = mpsc::sync_channel(1);
+            let _ = self.jobs.send(Job::Unsubscribe { id, reply });
         }
     }
 
@@ -344,7 +490,7 @@ impl Session {
         SnapshotRef::new(self.archive.instance_id(), self.archive.generation())
     }
 
-    fn respond(&mut self, request: &WireRequest) -> WireResponse {
+    fn respond(&mut self, request: &WireRequest, writer: &Sink) -> WireResponse {
         match request.verb {
             Verb::Query => match request.to_request(self.pin) {
                 Ok(req) => self.run_query(req),
@@ -362,7 +508,81 @@ impl Session {
                     .with("waves", m.waves)
                     .with("errors", m.errors)
                     .with("max-wave", m.max_wave)
+                    .with("appends", m.appends)
+                    .with("deltas", m.deltas)
+                    .with("subscriptions", m.subscriptions)
                     .with("snapshot", self.current())
+            }
+            Verb::Subscribe => {
+                let (reply, result) = mpsc::sync_channel(1);
+                let job = Job::Subscribe {
+                    saql: request.body.trim().to_string(),
+                    sink: writer.clone(),
+                    reply,
+                };
+                if self.stopping.load(Ordering::SeqCst) || self.jobs.send(job).is_err() {
+                    return stopping_err();
+                }
+                match result.recv() {
+                    Ok(Ok(id)) => {
+                        self.subs.push(id);
+                        WireResponse::ok().with("subscription", id)
+                    }
+                    Ok(Err((code, message))) => WireResponse::err(code, &message),
+                    Err(_) => stopping_err(),
+                }
+            }
+            Verb::Unsubscribe => {
+                let id = match request.header("subscription").map(str::parse::<u64>) {
+                    Some(Ok(id)) => id,
+                    _ => {
+                        return WireResponse::err(
+                            9,
+                            "protocol error: UNSUBSCRIBE needs a numeric `subscription` header",
+                        )
+                    }
+                };
+                let (reply, result) = mpsc::sync_channel(1);
+                if self.jobs.send(Job::Unsubscribe { id, reply }).is_err() {
+                    return stopping_err();
+                }
+                match result.recv() {
+                    Ok(live) => {
+                        self.subs.retain(|&s| s != id);
+                        WireResponse::ok().with("known", live)
+                    }
+                    Err(_) => stopping_err(),
+                }
+            }
+            Verb::Append => {
+                let id = match request.header("id").map(str::parse::<u64>) {
+                    Some(Ok(id)) => id,
+                    _ => {
+                        return WireResponse::err(
+                            9,
+                            "protocol error: APPEND needs a numeric `id` header",
+                        )
+                    }
+                };
+                let points = match parse_points(&request.body) {
+                    Ok(points) => points,
+                    Err(e) => return WireResponse::err(e.code(), &e.to_string()),
+                };
+                let (reply, result) = mpsc::sync_channel(1);
+                let job = Job::Append { id, points, reply };
+                if self.stopping.load(Ordering::SeqCst) || self.jobs.send(job).is_err() {
+                    return stopping_err();
+                }
+                match result.recv() {
+                    Ok(Ok((generation, total))) => WireResponse::ok()
+                        .with("total", total)
+                        .with("snapshot", SnapshotRef::new(self.archive.instance_id(), generation)),
+                    Ok(Err((code, message))) => WireResponse::err(code, &message),
+                    Err(_) => stopping_err(),
+                }
+            }
+            Verb::Delta => {
+                WireResponse::err(9, "protocol error: DELTA frames are server-push only")
             }
             Verb::Pin => {
                 let pin = match request.header("snapshot").map(str::parse::<SnapshotRef>) {
@@ -387,18 +607,22 @@ impl Session {
 
     fn run_query(&self, req: QueryRequest) -> WireResponse {
         if self.stopping.load(Ordering::SeqCst) {
-            return WireResponse::err(9, "protocol error: server is stopping");
+            return stopping_err();
         }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         if self.jobs.send(Job::Query { req, reply: reply_tx }).is_err() {
-            return WireResponse::err(9, "protocol error: server is stopping");
+            return stopping_err();
         }
         match reply_rx.recv() {
             Ok((Ok(resp), wave)) => WireResponse::from_response(&resp, wave),
             Ok((Err((code, message)), _)) => WireResponse::err(code, &message),
-            Err(_) => WireResponse::err(9, "protocol error: server is stopping"),
+            Err(_) => stopping_err(),
         }
     }
+}
+
+fn stopping_err() -> WireResponse {
+    WireResponse::err(9, "protocol error: server is stopping")
 }
 
 /// Convenience re-export: the error type everything in this crate
@@ -454,6 +678,88 @@ mod tests {
         assert_eq!(stats.queries, 3);
         assert_eq!(stats.errors, 1);
         assert!(stats.connections >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscriptions_stream_deltas_as_appends_arrive() {
+        let archive = demo_archive();
+        let server = Saqd::spawn(archive.clone(), SaqdConfig::default()).unwrap();
+        let mut client = SaqClient::connect(server.addr()).unwrap();
+
+        let sub = client.subscribe("peaks = 2").unwrap();
+        // The baseline membership arrives as the first pushed frame.
+        let frame = client.next_delta_within(Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(frame.subscription, sub);
+        assert_eq!(frame.delta.entered, vec![0, 2, 4, 6]);
+        assert!(frame.delta.left.is_empty());
+
+        // Creating a goalpost by append brings its id into the set.
+        let seq = goalpost(GoalpostSpec { seed: 42, ..GoalpostSpec::default() });
+        assert_eq!(client.append(50, seq.points()).unwrap(), seq.len());
+        let frame = client.next_delta_within(Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(frame.subscription, sub);
+        assert_eq!(frame.delta.entered, vec![50]);
+        assert!(frame.delta.left.is_empty());
+
+        // Ordinary queries interleave with the pushed frames.
+        let resp = client.query(&QueryRequest::saql("peaks = 2")).unwrap();
+        assert_eq!(resp.outcome.exact, vec![0, 2, 4, 6, 50]);
+
+        // After UNSUBSCRIBE nothing is pushed, even though the archive
+        // keeps moving (the query gives the dispatcher a wave to pump on).
+        client.unsubscribe(sub).unwrap();
+        let mut writer = archive.clone();
+        writer.remove(0);
+        client.query(&QueryRequest::saql("peaks = 2")).unwrap();
+        assert!(client.next_delta_within(Duration::from_millis(200)).unwrap().is_none());
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.appends, 1);
+        assert!(stats.deltas >= 2, "baseline + append delta: {stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscribe_and_append_errors_come_back_as_wire_errors() {
+        let server = Saqd::spawn(demo_archive(), SaqdConfig::default()).unwrap();
+        let mut client = SaqClient::connect(server.addr()).unwrap();
+        let err = client.subscribe("peaks = ").unwrap_err();
+        assert_eq!(err.code(), 7, "SAQL parse errors keep their code: {err}");
+        // Appending before the stored suffix is a sequence-order error; a
+        // rejected append mutates nothing.
+        let err = client.append(0, &[saq_sequence::Point::new(0.0, 1.0)]).unwrap_err();
+        assert!(err.to_string().contains("increasing"), "{err}");
+        let resp = client.query(&QueryRequest::saql("peaks = 2")).unwrap();
+        assert_eq!(resp.outcome.exact, vec![0, 2, 4, 6]);
+        assert_eq!(client.stats().unwrap().appends, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnecting_drops_the_sessions_subscriptions() {
+        let archive = demo_archive();
+        let server = Saqd::spawn(archive.clone(), SaqdConfig::default()).unwrap();
+        let mut subscriber = SaqClient::connect(server.addr()).unwrap();
+        subscriber.subscribe("peaks = 2").unwrap();
+        subscriber.next_delta_within(Duration::from_secs(10)).unwrap().unwrap();
+        drop(subscriber);
+
+        // The reader thread unregisters on disconnect; appends afterwards
+        // must not evaluate for (or push to) the gone session.
+        let mut client = SaqClient::connect(server.addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.stats().unwrap().subscriptions != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(client.stats().unwrap().subscriptions, 0, "disconnect cleans up");
+        let seq = goalpost(GoalpostSpec { seed: 9, ..GoalpostSpec::default() });
+        client.append(60, seq.points()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.stats().unwrap().deltas != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(client.stats().unwrap().deltas, 1, "only the baseline was ever pushed");
         server.shutdown();
     }
 

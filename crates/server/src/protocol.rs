@@ -25,7 +25,9 @@
 
 use saq_core::algebra::ExecStats;
 use saq_core::query::{ApproximateMatch, QueryOutcome};
+use saq_core::subscribe::Delta;
 use saq_core::{Error, QueryRequest, QueryResponse, Result, SnapshotRef};
+use saq_sequence::Point;
 use std::io::{Read, Write};
 
 /// The protocol name + revision, asserted on every verb and status line.
@@ -90,6 +92,19 @@ pub enum Verb {
     Pin,
     /// Drop this session's pin.
     Unpin,
+    /// Register the SAQL query in the body as a standing subscription;
+    /// the reply carries its id in a `subscription:` header, and
+    /// membership changes arrive as unsolicited [`Verb::Delta`] frames.
+    Subscribe,
+    /// Drop the subscription named by the `subscription:` header.
+    Unsubscribe,
+    /// Append points (one `t v` pair per body line) to the archived
+    /// sequence named by the `id:` header, creating it if absent.
+    Append,
+    /// Server→client push: one subscription's membership change after a
+    /// mutation wave (`subscription:`, `entered:`, `left:`, `snapshot:`
+    /// headers). Clients never send this verb.
+    Delta,
     /// Ask the server to stop accepting connections and drain.
     Shutdown,
 }
@@ -102,6 +117,10 @@ impl Verb {
             Verb::Stats => "STATS",
             Verb::Pin => "PIN",
             Verb::Unpin => "UNPIN",
+            Verb::Subscribe => "SUBSCRIBE",
+            Verb::Unsubscribe => "UNSUBSCRIBE",
+            Verb::Append => "APPEND",
+            Verb::Delta => "DELTA",
             Verb::Shutdown => "SHUTDOWN",
         }
     }
@@ -113,6 +132,10 @@ impl Verb {
             "STATS" => Verb::Stats,
             "PIN" => Verb::Pin,
             "UNPIN" => Verb::Unpin,
+            "SUBSCRIBE" => Verb::Subscribe,
+            "UNSUBSCRIBE" => Verb::Unsubscribe,
+            "APPEND" => Verb::Append,
+            "DELTA" => Verb::Delta,
             "SHUTDOWN" => Verb::Shutdown,
             other => return Err(Error::Protocol(format!("unknown verb `{other}`"))),
         })
@@ -329,6 +352,78 @@ impl WireResponse {
     }
 }
 
+/// One pushed membership change: the payload of a [`Verb::Delta`] frame.
+/// The server emits one per subscription whose result set changed in a
+/// mutation wave; `snapshot` names the generation the membership is of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFrame {
+    /// The subscription whose membership changed (wire id).
+    pub subscription: u64,
+    /// Ids that entered and left the result set, both ascending.
+    pub delta: Delta,
+    /// The snapshot the new membership was evaluated at.
+    pub snapshot: Option<SnapshotRef>,
+}
+
+impl DeltaFrame {
+    /// Lowers onto the wire as a `DELTA` frame payload.
+    pub fn to_wire(&self) -> WireRequest {
+        let mut wire = WireRequest::new(Verb::Delta);
+        wire.headers.push(("subscription".into(), self.subscription.to_string()));
+        wire.headers.push(("entered".into(), join_ids(&self.delta.entered)));
+        wire.headers.push(("left".into(), join_ids(&self.delta.left)));
+        if let Some(snapshot) = self.snapshot {
+            wire.headers.push(("snapshot".into(), snapshot.to_string()));
+        }
+        wire
+    }
+
+    /// Raises a parsed `DELTA` frame back into the membership change.
+    pub fn from_wire(wire: &WireRequest) -> Result<DeltaFrame> {
+        if wire.verb != Verb::Delta {
+            return Err(Error::Protocol(format!("{} frame is not a DELTA", wire.verb.as_str())));
+        }
+        let subscription = wire
+            .header("subscription")
+            .ok_or_else(|| Error::Protocol("DELTA frame is missing its subscription".into()))?
+            .parse()
+            .map_err(|_| Error::Protocol("malformed subscription id".into()))?;
+        Ok(DeltaFrame {
+            subscription,
+            delta: Delta {
+                entered: parse_ids(wire.header("entered").unwrap_or_default())?,
+                left: parse_ids(wire.header("left").unwrap_or_default())?,
+            },
+            snapshot: wire.header("snapshot").map(str::parse).transpose()?,
+        })
+    }
+}
+
+/// Renders points as an `APPEND` body: one `t v` pair per line. `{}` on
+/// `f64` is the shortest representation that parses back to the same
+/// bits, so the body round-trips losslessly.
+pub fn render_points(points: &[Point]) -> String {
+    points.iter().map(|p| format!("{} {}\n", p.t, p.v)).collect()
+}
+
+/// Parses an `APPEND` body produced by [`render_points`].
+pub fn parse_points(body: &str) -> Result<Vec<Point>> {
+    body.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            let (t, v) = line
+                .trim()
+                .split_once(' ')
+                .ok_or_else(|| Error::Protocol(format!("malformed point line `{line}`")))?;
+            let parse = |s: &str| {
+                s.parse::<f64>()
+                    .map_err(|_| Error::Protocol(format!("malformed point coordinate `{s}`")))
+            };
+            Ok(Point::new(parse(t)?, parse(v)?))
+        })
+        .collect()
+}
+
 fn header_of<'a>(headers: &'a [(String, String)], key: &str) -> Option<&'a str> {
     headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
@@ -491,6 +586,37 @@ mod tests {
         let parsed = WireResponse::parse(&wire.render()).unwrap();
         assert_eq!(parsed.wave(), 5);
         assert_eq!(parsed.to_response().unwrap(), resp);
+    }
+
+    #[test]
+    fn delta_frames_round_trip() {
+        let frame = DeltaFrame {
+            subscription: 12,
+            delta: Delta { entered: vec![3, 9], left: vec![7] },
+            snapshot: Some(SnapshotRef::new(2, 41)),
+        };
+        let wire = frame.to_wire();
+        let parsed = WireRequest::parse(&wire.render()).unwrap();
+        assert_eq!(parsed.verb, Verb::Delta);
+        assert_eq!(DeltaFrame::from_wire(&parsed).unwrap(), frame);
+        // Empty sides render and parse as empty lists, not errors.
+        let quiet = DeltaFrame { subscription: 0, delta: Delta::default(), snapshot: None };
+        assert_eq!(DeltaFrame::from_wire(&quiet.to_wire()).unwrap(), quiet);
+        assert!(DeltaFrame::from_wire(&WireRequest::new(Verb::Ping)).is_err());
+    }
+
+    #[test]
+    fn append_bodies_round_trip_bit_exactly() {
+        let points = vec![
+            Point::new(0.0, 1.5),
+            Point::new(0.1, -2.25),
+            Point::new(1e9 + 0.125, std::f64::consts::PI),
+        ];
+        let body = render_points(&points);
+        assert_eq!(parse_points(&body).unwrap(), points);
+        assert!(parse_points("1.0").is_err(), "a lone coordinate is malformed");
+        assert!(parse_points("a b").is_err());
+        assert_eq!(parse_points("\n  \n").unwrap(), vec![], "blank lines are skipped");
     }
 
     #[test]

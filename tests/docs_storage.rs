@@ -55,7 +55,7 @@ fn hex(bytes: &[u8]) -> String {
 #[test]
 fn documented_wal_records_encode_to_their_hex() {
     let blocks = fenced_blocks(DOC, "wal-record");
-    assert_eq!(blocks.len(), 3, "STORAGE.md documents a put, a remove, and a wildcard");
+    assert_eq!(blocks.len(), 4, "STORAGE.md documents a put, a remove, a wildcard, and an append");
     for block in blocks {
         let (header, body) = block.split_once('\n').expect("header line then hex");
         let generation: u64 =
@@ -75,6 +75,17 @@ fn documented_wal_records_encode_to_their_hex() {
             }
             "remove" => WalOp::Remove { id: field(header, "id").unwrap().parse().unwrap() },
             "wildcard" => WalOp::Wildcard,
+            "append" => {
+                let payload = field(header, "payload").expect("append has a payload");
+                assert!(payload.len().is_multiple_of(2), "payload hex has whole bytes");
+                WalOp::Append {
+                    id: field(header, "id").expect("append has an id").parse().unwrap(),
+                    payload: (0..payload.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(&payload[i..i + 2], 16).expect("payload hex"))
+                        .collect(),
+                }
+            }
             other => panic!("unknown wal-record kind {other:?} in docs/STORAGE.md"),
         };
         let record = WalRecord { generation, op };

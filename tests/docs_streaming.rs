@@ -1,0 +1,114 @@
+//! Keeps `docs/STREAMING.md` honest: every fenced code block tagged
+//! `saqp` must parse through the real SAQP/1 implementation — SUBSCRIBE
+//! bodies as SAQL, APPEND bodies as point lines, DELTA frames as the
+//! typed server push, replies through `WireResponse::parse`. Run by the
+//! CI docs job (and plain `cargo test`).
+
+use saq::core::lang::saql;
+use saq::server::protocol::{parse_points, DeltaFrame, Verb, WireRequest, WireResponse};
+
+const DOC: &str = include_str!("../docs/STREAMING.md");
+
+/// Extracts the contents of every ```saqp fenced block.
+fn saqp_blocks(doc: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        let fence = line.trim_start();
+        match &mut current {
+            None if fence.trim_end() == "```saqp" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if fence.starts_with("```") {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```saqp block in docs/STREAMING.md");
+    blocks
+}
+
+#[test]
+fn every_saqp_block_in_the_docs_speaks_the_real_protocol() {
+    let blocks = saqp_blocks(DOC);
+    assert!(
+        blocks.len() >= 6,
+        "docs/STREAMING.md should keep its worked protocol examples (found {})",
+        blocks.len()
+    );
+    let mut verbs_seen = Vec::new();
+    for block in &blocks {
+        let status = block.lines().next().unwrap_or_default();
+        if status.starts_with("OK") || status.starts_with("ERR") {
+            let reply = WireResponse::parse(block).unwrap_or_else(|e| {
+                panic!("docs/STREAMING.md reply failed to parse:\n{block}\n{e}")
+            });
+            if !reply.ok {
+                assert!(reply.to_error().code() > 0, "documented errors carry a code:\n{block}");
+            }
+        } else {
+            let request = WireRequest::parse(block).unwrap_or_else(|e| {
+                panic!("docs/STREAMING.md request failed to parse:\n{block}\n{e}")
+            });
+            verbs_seen.push(request.verb);
+            match request.verb {
+                Verb::Subscribe => {
+                    saql::parse(request.body.trim()).unwrap_or_else(|e| {
+                        panic!("SUBSCRIBE body is not valid SAQL:\n{block}\n{e}")
+                    });
+                }
+                Verb::Append => {
+                    request.header("id").and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                        panic!("APPEND example needs a numeric id header:\n{block}")
+                    });
+                    let points = parse_points(&request.body).unwrap_or_else(|e| {
+                        panic!("APPEND body is not valid point lines:\n{block}\n{e}")
+                    });
+                    assert!(!points.is_empty(), "APPEND example appends something:\n{block}");
+                }
+                Verb::Delta => {
+                    let frame = DeltaFrame::from_wire(&request).unwrap_or_else(|e| {
+                        panic!("DELTA example is not a valid push frame:\n{block}\n{e}")
+                    });
+                    assert!(
+                        !frame.delta.is_empty(),
+                        "documented deltas show a membership change:\n{block}"
+                    );
+                }
+                Verb::Unsubscribe => {
+                    request
+                        .header("subscription")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or_else(|| {
+                            panic!("UNSUBSCRIBE example names its subscription:\n{block}")
+                        });
+                }
+                other => panic!("unexpected verb {other:?} in docs/STREAMING.md:\n{block}"),
+            }
+        }
+    }
+    for verb in [Verb::Subscribe, Verb::Append, Verb::Delta, Verb::Unsubscribe] {
+        assert!(
+            verbs_seen.contains(&verb),
+            "docs/STREAMING.md documents every streaming verb (missing {verb:?})"
+        );
+    }
+}
+
+#[test]
+fn documented_examples_round_trip_through_render() {
+    for block in saqp_blocks(DOC) {
+        let status = block.lines().next().unwrap_or_default();
+        if status.starts_with("OK") || status.starts_with("ERR") {
+            let reply = WireResponse::parse(&block).unwrap();
+            assert_eq!(WireResponse::parse(&reply.render()).unwrap(), reply);
+        } else {
+            let request = WireRequest::parse(&block).unwrap();
+            assert_eq!(WireRequest::parse(&request.render()).unwrap(), request);
+        }
+    }
+}

@@ -37,19 +37,43 @@ fn env_usize(key: &str, default: usize) -> usize {
 enum Op {
     Put { kind: u64, seed: u64, id: u64 },
     Remove { id: u64 },
+    Append { id: u64, n: u64, seed: u64 },
     Wildcard,
     Compact,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    // Two put arms bias the unweighted union toward puts.
+    // Two put and two append arms bias the unweighted union toward the
+    // content-carrying records.
     prop_oneof![
         (0u64..4, 0u64..1000, 0u64..10).prop_map(|(kind, seed, id)| Op::Put { kind, seed, id }),
         (0u64..4, 500u64..1500, 0u64..10).prop_map(|(kind, seed, id)| Op::Put { kind, seed, id }),
         (0u64..10).prop_map(|id| Op::Remove { id }),
+        (0u64..10, 1u64..24, 0u64..1000).prop_map(|(id, n, seed)| Op::Append { id, n, seed }),
+        (0u64..10, 1u64..24, 0u64..1000).prop_map(|(id, n, seed)| Op::Append { id, n, seed }),
         Just(Op::Wildcard),
         Just(Op::Compact),
     ]
+}
+
+/// A deterministic tail continuing from `last` with strictly increasing
+/// timestamps — what one streaming append wave carries.
+fn walk_tail(last: Point, n: u64, seed: u64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let (mut t, mut v) = (last.t, last.v);
+    (0..n)
+        .map(|_| {
+            t += 1.0;
+            v += ((next() % 100) as f64 - 49.5) / 25.0;
+            Point::new(t, v)
+        })
+        .collect()
 }
 
 /// The oracle: archive contents (as raw points) after each generation,
@@ -81,6 +105,17 @@ fn run_script(ops: &[Op]) -> (ArchiveStore, Arc<MemoryBackend>, Oracle) {
             Op::Remove { id } => {
                 next.remove(&id);
                 archive.remove(id);
+            }
+            Op::Append { id, n, seed } => {
+                // Continue the stored tail (or start a fresh feed — an
+                // append to an unknown id creates it).
+                let start = next
+                    .get(&id)
+                    .map(|points| *points.last().unwrap())
+                    .unwrap_or_else(|| Point::new(0.0, (seed % 5) as f64));
+                let tail = walk_tail(start, n, seed);
+                next.entry(id).or_default().extend_from_slice(&tail);
+                archive.append_points(id, &tail);
             }
             Op::Wildcard => archive.mark_all_changed(),
             Op::Compact => {
@@ -147,10 +182,12 @@ fn generation_at_cut(ends: &[u64], generations: &[u64], base: u64, cut: u64) -> 
 /// every record — plus a corrupting flip inside every record.
 #[test]
 fn every_wal_boundary_recovers_a_consistent_prefix() {
-    let ops: Vec<Op> = (0..7)
+    let ops: Vec<Op> = (0..9)
         .map(|i| match i {
+            2 => Op::Append { id: 0, n: 6, seed: 41 },
             3 => Op::Remove { id: 1 },
             5 => Op::Wildcard,
+            6 => Op::Append { id: 5, n: 3, seed: 42 }, // creates id 5
             _ => Op::Put { kind: i, seed: 31 * i + 7, id: i % 4 },
         })
         .collect();
@@ -195,6 +232,29 @@ fn every_wal_boundary_recovers_a_consistent_prefix() {
             let expect = if i == 0 { oracle.base_generation } else { generations[i - 1] };
             assert_recovers_to(fork, &oracle, expect);
         }
+    }
+}
+
+/// Append waves are recovery units: cutting the log at every single byte
+/// offset recovers to an exact prefix of acknowledged waves — the stored
+/// sequence is always the base plus whole appended tails in order, never
+/// a torn one.
+#[test]
+fn append_waves_recover_to_an_exact_prefix_at_every_byte() {
+    let mut ops = vec![Op::Put { kind: 2, seed: 9, id: 0 }];
+    ops.extend((0..8).map(|i| Op::Append { id: i % 3, n: 4 + i % 5, seed: 100 + i }));
+    let (archive, backend, oracle) = run_script(&ops);
+    drop(archive);
+
+    let wal = backend.get(WAL_KEY).unwrap().unwrap_or_default();
+    let readback = read_wal_bytes(&wal);
+    assert_eq!(readback.records.len(), ops.len(), "one record per wave");
+    let generations: Vec<u64> = readback.records.iter().map(|r| r.generation).collect();
+    for cut in 0..=wal.len() as u64 {
+        let fork = Arc::new(backend.fork());
+        fork.truncate(WAL_KEY, cut).unwrap();
+        let expect = generation_at_cut(&readback.ends, &generations, oracle.base_generation, cut);
+        assert_recovers_to(fork, &oracle, expect);
     }
 }
 

@@ -1,0 +1,310 @@
+//! Streaming ingestion against the from-scratch oracle.
+//!
+//! Random append schedules (1..64 points per wave) interleaved with puts
+//! and removes drive the incremental paths — `SequenceStore::append_points`
+//! suffix splicing and `ArchiveStore::append_points` delta tracking — and
+//! after *every* generation the incrementally maintained state must be
+//! indistinguishable from throwing everything away and rebuilding: the
+//! re-broken series, the derived features, the `IndexSet`, and the query
+//! results all have to match a from-scratch oracle byte for byte.
+//!
+//! `SAQ_PROP_STREAM_CASES` raises the proptest case count (the CI stress
+//! job sets it).
+
+mod common;
+
+use common::{mixed_sequence, naive_eval, to_outcome};
+use proptest::prelude::*;
+use saq::archive::{ArchiveStore, Medium};
+use saq::core::algebra::{Planner, QueryEngine as _, QueryExpr};
+use saq::core::store::{BreakerKind, SequenceStore, StoreConfig, StoredEntry};
+use saq::sequence::{Point, Sequence};
+use std::collections::BTreeMap;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A deterministic random-walk tail continuing from `last`: strictly
+/// increasing timestamps with irregular spacing, so appends exercise the
+/// same shapes live feeds produce (xorshift keeps every wave reproducible
+/// from its script seed).
+fn walk_tail(last: Point, n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let (mut t, mut v) = (last.t, last.v);
+    (0..n)
+        .map(|_| {
+            t += 0.5 + (next() % 4) as f64 * 0.25;
+            v += ((next() % 200) as f64 - 99.5) / 40.0;
+            Point::new(t, v)
+        })
+        .collect()
+}
+
+// Script ops are `(slot, action, n, seed)` tuples — slot picks the
+// target, action picks append/put/remove (biased toward appends, the
+// path under test), n sizes the appended wave, seed varies content.
+
+fn wave_points(n: u64) -> usize {
+    (n % 64) as usize + 1
+}
+
+/// Asserts a spliced entry is byte-identical to recomputing the whole
+/// extended sequence from scratch — series, symbols, peaks, and raw.
+fn assert_entry_matches_oracle(entry: &StoredEntry, truth: &[Point], config: &StoreConfig) {
+    let seq = Sequence::new(truth.to_vec()).unwrap();
+    let oracle = StoredEntry::compute(&seq, config).unwrap();
+    assert_eq!(entry.series, oracle.series, "spliced series diverged from rebuild");
+    assert_eq!(entry.symbols, oracle.symbols, "spliced symbols diverged from rebuild");
+    assert_eq!(entry.peaks, oracle.peaks, "spliced peaks diverged from rebuild");
+    assert_eq!(
+        entry.raw.as_ref().map(|s| s.points()),
+        Some(truth),
+        "retained raw sequence diverged from the appended truth"
+    );
+}
+
+fn small_exprs() -> Vec<QueryExpr> {
+    vec![
+        QueryExpr::peak_count(2, 1).or(QueryExpr::peak_interval(10, 3)),
+        QueryExpr::shape("0* 1+ (-1)+ 0*").and(QueryExpr::peak_count(2, 1).negate()),
+        QueryExpr::min_steepness(0.6, 0.2).top_k(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        env_usize("SAQ_PROP_STREAM_CASES", 4) as u32
+    ))]
+
+    /// The tentpole property on the representation store: under a random
+    /// append/put/remove schedule, a streaming store's entries, `IndexSet`
+    /// statistics, and engine answers are identical at every generation to
+    /// a from-scratch rebuild of whatever raw truth has accumulated.
+    #[test]
+    fn streamed_store_matches_from_scratch_rebuild_at_every_generation(
+        corpus in proptest::collection::vec((0u64..4, 0u64..1000), 3..7),
+        script in proptest::collection::vec(
+            (0u64..8, 0u64..8, 0u64..1000, 0u64..1000), 6..20,
+        ),
+    ) {
+        let config = StoreConfig::streaming();
+        let mut store = SequenceStore::new(config).unwrap();
+        // The raw truth: what each live id's points *should* be.
+        let mut truth: BTreeMap<u64, Vec<Point>> = BTreeMap::new();
+        for &(kind, seed) in &corpus {
+            let seq = mixed_sequence(kind, seed);
+            let id = store.insert(&seq).unwrap();
+            truth.insert(id, seq.points().to_vec());
+        }
+        let exprs = small_exprs();
+
+        for &(slot, action, n, seed) in &script {
+            let generation = store.generation();
+            let ids: Vec<u64> = truth.keys().copied().collect();
+            let target = ids.get(slot as usize % ids.len().max(1)).copied();
+            match (action % 8, target) {
+                // Removes and fresh puts interleave with the append
+                // schedule, churning ids and index postings around it.
+                (6, Some(id)) => {
+                    store.remove(id).unwrap();
+                    truth.remove(&id);
+                }
+                (7, _) | (_, None) => {
+                    let seq = mixed_sequence(action, seed);
+                    let id = store.insert(&seq).unwrap();
+                    truth.insert(id, seq.points().to_vec());
+                }
+                (_, Some(id)) => {
+                    let points = truth.get_mut(&id).unwrap();
+                    let tail = walk_tail(*points.last().unwrap(), wave_points(n), seed);
+                    let report = store.append_points(id, &tail).unwrap();
+                    points.extend_from_slice(&tail);
+                    prop_assert_eq!(report.total_points, points.len());
+                    prop_assert!(
+                        report.splice_index + report.rebroken_points == points.len(),
+                        "splice must cover exactly the suffix"
+                    );
+                }
+            }
+            prop_assert_eq!(store.generation(), generation + 1, "one bump per wave");
+
+            // Every live entry — not just the touched one — must equal its
+            // from-scratch recomputation, so a splice can never corrupt a
+            // neighbour.
+            for (&id, points) in &truth {
+                assert_entry_matches_oracle(store.get(id).unwrap(), points, &config);
+            }
+
+            // The IndexSet after incremental maintenance must carry the
+            // same statistics as a store rebuilt from the raw truth...
+            let mut rebuilt = SequenceStore::new(config).unwrap();
+            for points in truth.values() {
+                rebuilt.insert(&Sequence::new(points.clone()).unwrap()).unwrap();
+            }
+            prop_assert_eq!(store.index_stats(), rebuilt.index_stats(),
+                "incremental IndexSet drifted from a from-scratch rebuild");
+
+            // ...and the engine answers over it must match the naive
+            // set-algebra oracle over the live entries.
+            let snap = store.snapshot();
+            let refs: BTreeMap<u64, &StoredEntry> =
+                snap.ids().iter().map(|&id| (id, snap.get(id).unwrap())).collect();
+            for expr in &exprs {
+                let expected =
+                    to_outcome(naive_eval(&Planner::normalize(expr), &snap.ids(), &refs));
+                prop_assert_eq!(snap.execute(expr).unwrap(), expected);
+            }
+        }
+    }
+
+    /// The same schedule against the raw archive: contents always equal
+    /// the accumulated truth, the generation bumps exactly once per wave,
+    /// and `changed_since` names exactly the touched id — the contract the
+    /// subscription pump's pruning stands on.
+    #[test]
+    fn streamed_archive_tracks_exact_deltas(
+        corpus in proptest::collection::vec((0u64..4, 0u64..1000), 2..6),
+        script in proptest::collection::vec(
+            (0u64..12, 0u64..8, 0u64..1000, 0u64..1000), 6..24,
+        ),
+    ) {
+        let mut archive = ArchiveStore::new(Medium::memory());
+        let mut truth: BTreeMap<u64, Vec<Point>> = BTreeMap::new();
+        for (i, &(kind, seed)) in corpus.iter().enumerate() {
+            let seq = mixed_sequence(kind, seed);
+            truth.insert(i as u64, seq.points().to_vec());
+            archive.put(i as u64, seq);
+        }
+        let baseline = archive.generation();
+
+        for &(slot, action, n, seed) in &script {
+            let generation = archive.generation();
+            let id = slot % 8;
+            match action % 8 {
+                6 => {
+                    let removed = archive.remove(id);
+                    prop_assert_eq!(removed.is_some(), truth.remove(&id).is_some());
+                }
+                7 => {
+                    let seq = mixed_sequence(action, seed);
+                    truth.insert(id, seq.points().to_vec());
+                    archive.put(id, seq);
+                }
+                _ => {
+                    // Appending to an unknown id creates it — the fleet
+                    // telemetry shape, where new sources just start
+                    // emitting.
+                    let start = truth
+                        .get(&id)
+                        .map(|p| *p.last().unwrap())
+                        .unwrap_or_else(|| Point::new(0.0, (seed % 7) as f64));
+                    let tail = walk_tail(start, wave_points(n), seed);
+                    let total = archive.append_points(id, &tail);
+                    truth.entry(id).or_default().extend_from_slice(&tail);
+                    prop_assert_eq!(total, truth[&id].len());
+                }
+            }
+            prop_assert_eq!(archive.generation(), generation + 1, "one bump per wave");
+            prop_assert_eq!(
+                archive.changed_since(generation),
+                Some(vec![id]),
+                "the delta names exactly the touched id"
+            );
+            prop_assert_eq!(archive.changed_since(archive.generation()), Some(vec![]));
+
+            // The stored bytes equal the accumulated truth for every id.
+            prop_assert_eq!(archive.len(), truth.len());
+            for (&tid, points) in &truth {
+                let stored = archive.get(tid).unwrap();
+                prop_assert_eq!(stored.points(), points.as_slice());
+            }
+        }
+
+        // The union of all per-wave deltas is what changed since the
+        // baseline (or the log was trimmed and the answer is honest).
+        if let Some(mut dirty) = archive.changed_since(baseline) {
+            dirty.sort_unstable();
+            for &(slot, _, _, _) in &script {
+                prop_assert!(dirty.binary_search(&(slot % 8)).is_ok());
+            }
+        }
+    }
+}
+
+/// The acceptance criterion, pinned: appending `k` points to one long
+/// sequence re-breaks only its open suffix — closed segments are reused
+/// and the re-examined point count is a small constant plus `k`, far below
+/// the batch re-run's full length.
+#[test]
+fn appends_rebreak_only_the_open_suffix() {
+    let config = StoreConfig::streaming();
+    let mut store = SequenceStore::new(config).unwrap();
+    let mut points = mixed_sequence(3, 7).points().to_vec();
+    while points.len() < 400 {
+        let tail = walk_tail(*points.last().unwrap(), 50, points.len() as u64);
+        points.extend_from_slice(&tail);
+    }
+    let id = store.insert(&Sequence::new(points.clone()).unwrap()).unwrap();
+
+    for k in [1usize, 8, 32] {
+        let tail = walk_tail(*points.last().unwrap(), k, k as u64);
+        let report = store.append_points(id, &tail).unwrap();
+        points.extend_from_slice(&tail);
+        assert!(report.reused_segments > 0, "closed prefix must be reused");
+        assert!(
+            report.rebroken_points < points.len() / 4,
+            "suffix work ({}) must stay far below the batch re-run ({})",
+            report.rebroken_points,
+            points.len()
+        );
+        assert_entry_matches_oracle(store.get(id).unwrap(), &points, &config);
+    }
+}
+
+/// The offline breaker has no stable suffix, so the append path falls back
+/// to a full recompute — correct, just not incremental — and reports it
+/// honestly.
+#[test]
+fn offline_breaker_appends_fall_back_to_full_recompute() {
+    let config = StoreConfig { keep_raw: true, ..StoreConfig::default() };
+    assert_eq!(config.breaker, BreakerKind::Offline);
+    let mut store = SequenceStore::new(config).unwrap();
+    let mut points = mixed_sequence(0, 11).points().to_vec();
+    let id = store.insert(&Sequence::new(points.clone()).unwrap()).unwrap();
+
+    let tail = walk_tail(*points.last().unwrap(), 5, 3);
+    let report = store.append_points(id, &tail).unwrap();
+    points.extend_from_slice(&tail);
+    assert_eq!(report.reused_segments, 0);
+    assert_eq!(report.rebroken_points, report.total_points);
+    assert_entry_matches_oracle(store.get(id).unwrap(), &points, &config);
+}
+
+/// Failed appends leave the store untouched: unknown ids, empty waves, and
+/// non-monotonic timestamps all reject without burning a generation or
+/// disturbing the entry.
+#[test]
+fn rejected_appends_leave_the_store_untouched() {
+    let config = StoreConfig::streaming();
+    let mut store = SequenceStore::new(config).unwrap();
+    let seq = mixed_sequence(1, 5);
+    let id = store.insert(&seq).unwrap();
+    let generation = store.generation();
+    let stats = store.index_stats();
+
+    assert!(store.append_points(id + 99, &[Point::new(1e6, 0.0)]).is_err(), "unknown id");
+    assert!(store.append_points(id, &[]).is_err(), "empty wave");
+    let stale = seq.points()[0];
+    assert!(store.append_points(id, &[stale]).is_err(), "non-monotonic timestamp");
+
+    assert_eq!(store.generation(), generation, "failed appends burn no generation");
+    assert_eq!(store.index_stats(), stats, "failed appends touch no postings");
+    assert_entry_matches_oracle(store.get(id).unwrap(), seq.points(), &config);
+}
